@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the storage engine (MICRO in DESIGN.md):
+//! the raw put/get/scan costs underneath every invocation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lambda_kv::{Db, Options, WriteBatch};
+
+fn fresh_db(name: &str) -> (Db, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("lambda-bench-kv-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Db::open(&dir, Options::default()).unwrap(), dir)
+}
+
+fn bench_put(c: &mut Criterion) {
+    let (db, dir) = fresh_db("put");
+    let mut group = c.benchmark_group("kv");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    group.bench_function("put_128B", |b| {
+        b.iter(|| {
+            i += 1;
+            db.put(format!("key-{i:012}").into_bytes(), vec![0xabu8; 128]).unwrap();
+        })
+    });
+    group.finish();
+    drop(db);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (db, dir) = fresh_db("batch");
+    let mut group = c.benchmark_group("kv");
+    group.throughput(Throughput::Elements(16));
+    let mut i = 0u64;
+    group.bench_function("batch16_128B", |b| {
+        b.iter_batched(
+            || {
+                let mut batch = WriteBatch::new();
+                for k in 0..16 {
+                    i += 1;
+                    batch.put(format!("key-{i:012}-{k}").into_bytes(), vec![0x5au8; 128]);
+                }
+                batch
+            },
+            |batch| db.write(batch).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+    drop(db);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let (db, dir) = fresh_db("get");
+    for i in 0..10_000u64 {
+        db.put(format!("key-{i:012}").into_bytes(), vec![0x11u8; 128]).unwrap();
+    }
+    db.compact_all().unwrap();
+    let mut group = c.benchmark_group("kv");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    group.bench_function("get_hit_sstable", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            db.get(format!("key-{i:012}").as_bytes()).unwrap().expect("present")
+        })
+    });
+    group.bench_function("get_miss_bloom", |b| {
+        b.iter(|| {
+            i += 1;
+            db.get(format!("absent-{i:012}").as_bytes()).unwrap()
+        })
+    });
+    group.finish();
+    drop(db);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let (db, dir) = fresh_db("scan");
+    for i in 0..10_000u64 {
+        db.put(format!("user/{:04}/k{i:08}", i % 100).into_bytes(), vec![1u8; 64]).unwrap();
+    }
+    db.compact_all().unwrap();
+    let mut group = c.benchmark_group("kv");
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("scan_prefix_100", |b| {
+        b.iter(|| {
+            let n = db.scan_prefix(b"user/0042/").count();
+            assert_eq!(n, 100);
+        })
+    });
+    group.finish();
+    drop(db);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+criterion_group!(benches, bench_put, bench_batch, bench_get, bench_scan);
+criterion_main!(benches);

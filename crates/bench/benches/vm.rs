@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks of the function runtime (MICRO):
+//! sandbox dispatch overhead vs trusted native execution — the cost the
+//! paper accepts for isolation (§4.2: WebAssembly executes "at almost
+//! native speed"; this quantifies our substitute's gap).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lambda_vm::host::MemoryHost;
+use lambda_vm::{assemble, Interpreter, Limits, NativeRegistry, VmValue};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let module = assemble(
+        r#"
+        fn add(2) {
+            load 0
+            load 1
+            add
+            ret
+        }
+        "#,
+    )
+    .unwrap();
+    let interp = Interpreter::new(Limits::default());
+    let mut host = MemoryHost::default();
+    let mut group = c.benchmark_group("vm");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("call_add_bytecode", |b| {
+        b.iter(|| {
+            interp
+                .execute(&module, "add", vec![VmValue::Int(2), VmValue::Int(40)], &mut host)
+                .unwrap()
+        })
+    });
+
+    let mut reg = NativeRegistry::new();
+    reg.register("add", true, true, true, |ctx| {
+        Ok(VmValue::Int(ctx.int_arg(0)? + ctx.int_arg(1)?))
+    });
+    group.bench_function("call_add_native", |b| {
+        b.iter(|| {
+            reg.invoke("add", vec![VmValue::Int(2), VmValue::Int(40)], &mut host).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_compute(c: &mut Criterion) {
+    let module = assemble(
+        r#"
+        fn fib(1) {
+            load 0
+            push.i 2
+            lt
+            jz recurse
+            load 0
+            ret
+        recurse:
+            load 0
+            push.i 1
+            sub
+            call fib
+            load 0
+            push.i 2
+            sub
+            call fib
+            add
+            ret
+        }
+        "#,
+    )
+    .unwrap();
+    let interp = Interpreter::new(Limits::default());
+    let mut host = MemoryHost::default();
+    let mut group = c.benchmark_group("vm");
+    group.bench_function("fib15_bytecode", |b| {
+        b.iter(|| {
+            let out = interp
+                .execute(&module, "fib", vec![VmValue::Int(15)], &mut host)
+                .unwrap();
+            assert_eq!(out, VmValue::Int(610));
+        })
+    });
+    fn fib(n: i64) -> i64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+    group.bench_function("fib15_native", |b| {
+        b.iter(|| assert_eq!(fib(std::hint::black_box(15)), 610))
+    });
+    group.finish();
+}
+
+fn bench_host_calls(c: &mut Criterion) {
+    let module = assemble(
+        r#"
+        fn touch(0) {
+            push.s "key"
+            push.s "value-value-value"
+            host.put
+            pop
+            push.s "key"
+            host.get
+            ret
+        }
+        "#,
+    )
+    .unwrap();
+    let interp = Interpreter::new(Limits::default());
+    let mut host = MemoryHost::default();
+    let mut group = c.benchmark_group("vm");
+    group.throughput(Throughput::Elements(2));
+    group.bench_function("host_put_get", |b| {
+        b.iter(|| interp.execute(&module, "touch", vec![], &mut host).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_assemble_validate(c: &mut Criterion) {
+    let source = lambda_retwis::user_module(); // force-link retwis
+    drop(source);
+    let src = r#"
+        fn create_post(1) locals=5 {
+            host.self
+            push.s "|"
+            concat
+            load 0
+            concat
+            store 4
+            push.s "timeline"
+            load 4
+            host.push
+            pop
+            unit
+            ret
+        }
+        fn get_timeline(1) ro det {
+            push.s "timeline"
+            load 0
+            push.i 1
+            host.scan
+            ret
+        }
+    "#;
+    let mut group = c.benchmark_group("vm");
+    group.bench_function("assemble_and_validate", |b| b.iter(|| assemble(src).unwrap()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_compute,
+    bench_host_calls,
+    bench_assemble_validate
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the wire codec and Paxos commit path
+//! (MICRO): the marshalling and consensus costs underneath the cluster.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lambda_net::{wire, LatencyModel, Network, NodeId};
+use lambda_paxos::{PaxosConfig, PaxosNode};
+use lambda_store::{StoreRequest, StoreResponse};
+use lambda_vm::VmValue;
+
+fn bench_codec(c: &mut Criterion) {
+    let request = StoreRequest::Invoke {
+        object: b"user/004217".to_vec(),
+        method: "create_post".into(),
+        args: vec![VmValue::str("a fairly typical post payload, ~64 bytes of text here!")],
+        read_only: false,
+        internal: false,
+    };
+    let encoded = wire::to_bytes(&request).unwrap();
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_invoke", |b| b.iter(|| wire::to_bytes(&request).unwrap()));
+    group.bench_function("decode_invoke", |b| {
+        b.iter(|| wire::from_bytes::<StoreRequest>(&encoded).unwrap())
+    });
+
+    let response = StoreResponse::Value(VmValue::List(
+        (0..10).map(|i| VmValue::str(format!("user/{i:06}|post body text"))).collect(),
+    ));
+    let encoded_resp = wire::to_bytes(&response).unwrap();
+    group.throughput(Throughput::Bytes(encoded_resp.len() as u64));
+    group.bench_function("decode_timeline_response", |b| {
+        b.iter(|| wire::from_bytes::<StoreResponse>(&encoded_resp).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_paxos_commit(c: &mut Criterion) {
+    let net = Network::new(LatencyModel::instant(), 99);
+    let members = vec![NodeId(1), NodeId(2), NodeId(3)];
+    let nodes: Vec<_> = members
+        .iter()
+        .map(|&id| {
+            PaxosNode::start(
+                &net,
+                id,
+                members.clone(),
+                Arc::new(|_, _| {}),
+                PaxosConfig {
+                    rpc_timeout: Duration::from_millis(200),
+                    max_retries: 8,
+                    retry_backoff: Duration::from_millis(1),
+                    workers: 4,
+                },
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("paxos");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+    group.bench_function("commit_3node", |b| {
+        b.iter(|| nodes[0].propose(b"command".to_vec()).unwrap())
+    });
+    group.finish();
+    net.shutdown();
+}
+
+criterion_group!(benches, bench_codec, bench_paxos_commit);
+criterion_main!(benches);

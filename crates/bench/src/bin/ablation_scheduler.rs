@@ -1,0 +1,114 @@
+//! Ablation ABL-SCHED: per-object scheduling (§4.2) vs one global lock
+//! vs no locking at all — measured on a full replica set, where the cost
+//! of holding a lock is the synchronous backup replication performed
+//! under it.
+//!
+//! The paper's design point: "because functions only directly access data
+//! within the same object, nodes can avoid write conflicts by not
+//! scheduling two functions modifying data of the same object at the same
+//! time" — per-object locks let independent objects' commits (and their
+//! replication round-trips) overlap, serializing only where semantically
+//! required.
+//!
+//! Two workloads: *spread* (clients hit distinct objects — per-object
+//! locking pipelines the replication waits, a global lock serializes them)
+//! and *hot* (every client hits one object — all safe modes serialize).
+//! `Unsafe` removes locking entirely: it may go faster, but the run checks
+//! the commit count and reports the lost updates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lambda_bench::{cluster_config, env_usize};
+use lambda_objects::{ObjectId, SchedulerMode};
+use lambda_retwis::{account_id, AggregatedBackend, RetwisBackend};
+use lambda_store::AggregatedCluster;
+
+fn run_case(
+    mode: SchedulerMode,
+    clients: usize,
+    window: Duration,
+    hot: bool,
+) -> (f64, u64, u64) {
+    let mut config = cluster_config();
+    config.engine.scheduler = mode;
+    let cluster = AggregatedCluster::build(config).expect("cluster");
+    let backend = Arc::new(AggregatedBackend { client: cluster.client() });
+    backend.deploy().unwrap();
+    let objects = if hot { 1 } else { clients };
+    for i in 0..objects {
+        backend.create_account(i, "user").unwrap();
+    }
+
+    let stop = Instant::now() + window;
+    let ops = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            let backend = Arc::clone(&backend);
+            let ops = Arc::clone(&ops);
+            scope.spawn(move || {
+                let target = if hot { 0 } else { t };
+                let mut i = 0;
+                while Instant::now() < stop {
+                    backend.post(target, &format!("p{t}/{i}")).unwrap();
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+    });
+    let total = ops.load(Ordering::Relaxed);
+    // Linearizability check: the hot object's commit version must equal
+    // the number of acknowledged posts (each post = 1 commit on it).
+    let committed = if hot {
+        let id = ObjectId::new(account_id(0));
+        
+        backend
+            .client
+            .invoke(&id, "post_count", vec![], true)
+            .unwrap()
+            .as_int()
+            .unwrap() as u64
+    } else {
+        total
+    };
+    cluster.shutdown();
+    (total as f64 / window.as_secs_f64(), total, committed)
+}
+
+fn main() {
+    let clients = env_usize("SCHED_CLIENTS", 12);
+    let window = Duration::from_secs_f64(lambda_bench::env_f64("SCHED_SECONDS", 3.0));
+    println!(
+        "ablation_scheduler: Post workload on a 3-way replica set, {clients} clients, {window:?}\n"
+    );
+    println!(
+        "{:<12} {:>18} {:>18} {:<30}",
+        "mode", "spread (ops/s)", "hot object (ops/s)", "hot-object integrity"
+    );
+    for (name, mode) in [
+        ("per-object", SchedulerMode::PerObject),
+        ("global", SchedulerMode::Global),
+        ("unsafe", SchedulerMode::Unsafe),
+    ] {
+        let (spread_tput, _, _) = run_case(mode, clients, window, false);
+        let (hot_tput, acked, committed) = run_case(mode, clients, window, true);
+        let integrity = if committed == acked {
+            format!("{committed}/{acked} posts kept")
+        } else {
+            format!("{committed}/{acked} posts kept (LOST UPDATES)")
+        };
+        if mode != SchedulerMode::Unsafe {
+            assert_eq!(committed, acked, "{name}: safe mode lost updates");
+        }
+        println!("{:<12} {:>18.0} {:>18.0} {:<30}", name, spread_tput, hot_tput, integrity);
+    }
+    println!(
+        "\nshape: on spread workloads per-object locking pipelines each commit's\n\
+         replication round-trip across objects, while the global lock\n\
+         serializes the whole node at one commit per round-trip; on a single\n\
+         hot object all safe modes serialize (the application chose the lock\n\
+         granularity, §4.2); unsafe mode trades lost updates for speed."
+    );
+}

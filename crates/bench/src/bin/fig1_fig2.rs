@@ -1,0 +1,62 @@
+//! Regenerates **Figure 1** (normalized ReTwis throughput) and **Figure 2**
+//! (median + p99 latency) of the LambdaObjects paper.
+//!
+//! Setup mirrors §5: three storage machines forming one replica set (no
+//! sharding), one compute machine for the disaggregated variant, clients
+//! contacting the executing node directly, 10,000 accounts (scaled down by
+//! default — set `BENCH_PAPER_SCALE=1` for the full size), up to 100
+//! concurrent closed-loop clients. The aggregated variant enforces
+//! invocation linearizability; the disaggregated variant provides no
+//! consistency guarantees.
+
+use std::sync::Arc;
+
+use lambda_bench::{cluster_config, print_figure1, print_figure2, run_retwis_suite, workload_config};
+use lambda_retwis::{AggregatedBackend, EndpointBackend};
+use lambda_store::{ids, AggregatedCluster, DisaggregatedCluster};
+
+fn main() {
+    let config = workload_config();
+    println!(
+        "fig1_fig2: accounts={} clients={} follows={} window={:?}",
+        config.accounts, config.clients, config.follows_per_account, config.duration
+    );
+
+    // --- Aggregated (LambdaStore) -----------------------------------------
+    println!("\nbuilding aggregated cluster (3 storage nodes, 1 replica set)...");
+    let aggregated_cluster =
+        AggregatedCluster::build(cluster_config()).expect("aggregated cluster");
+    let backend = Arc::new(AggregatedBackend { client: aggregated_cluster.client() });
+    let aggregated = run_retwis_suite(backend, &config);
+    aggregated_cluster.shutdown();
+
+    // --- Disaggregated baseline -------------------------------------------
+    println!("\nbuilding disaggregated cluster (3 storage + 1 compute node)...");
+    let disaggregated_cluster =
+        DisaggregatedCluster::build(cluster_config()).expect("disaggregated cluster");
+    let backend = Arc::new(EndpointBackend {
+        client: disaggregated_cluster.client(),
+        endpoint: ids::COMPUTE,
+        name: "disaggregated",
+    });
+    let disaggregated = run_retwis_suite(backend, &config);
+    let storage_rpcs = disaggregated_cluster
+        .compute
+        .executor()
+        .storage_rpcs
+        .load(std::sync::atomic::Ordering::Relaxed);
+    disaggregated_cluster.shutdown();
+
+    print_figure1(&aggregated, &disaggregated);
+    print_figure2(&aggregated, &disaggregated);
+
+    // Extra diagnostics: the mechanism behind the gap.
+    println!("\ndiagnostics: disaggregated compute issued {storage_rpcs} storage round-trips");
+    for ((op, agg), (_, dis)) in aggregated.per_op.iter().zip(&disaggregated.per_op) {
+        let speedup = agg.throughput() / dis.throughput().max(1e-9);
+        println!(
+            "  {:<12} aggregated/disaggregated throughput ratio: {speedup:.2}x",
+            op.name()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # lambda-coordinator
+//!
+//! The Paxos-backed, cluster-wide coordination service of LambdaStore.
+//!
+//! Per §4.2.1 of the paper, fault tolerance in LambdaStore is anchored by a
+//! coordination service that is "replicated using Paxos to ensure
+//! availability at all times": it tracks membership, owns the shard table
+//! (which replica set serves which part of the object space), detects node
+//! failures through heartbeats, reconfigures affected shards (promoting a
+//! backup to primary and bumping the shard's fencing **epoch**), and
+//! notifies all participants. The coordinator is only involved during
+//! reconfigurations, which is what lets the design scale.
+//!
+//! * [`state`] — the deterministic replicated state machine
+//!   ([`ClusterState`], [`CoordCmd`]) including the **microshard
+//!   directory** (hash placement + per-object pins used for migration);
+//! * [`service`] — the [`Coordinator`] replica (service RPC + Paxos +
+//!   failure detector + watcher notifications) and the [`CoordClient`]
+//!   handle used by storage nodes and front-ends.
+
+pub mod service;
+pub mod state;
+
+pub use service::{
+    CoordClient, CoordConfig, CoordEvent, CoordRequest, CoordResponse, Coordinator,
+    PAXOS_ID_OFFSET,
+};
+pub use state::{ClusterState, CoordCmd, Epoch, ShardId, ShardInfo, N_SLOTS};

@@ -1,0 +1,519 @@
+//! The coordination service: Paxos-replicated cluster state, heartbeat
+//! failure detection, and push notification of reconfigurations.
+//!
+//! Matches §4.2.1 of the paper: "Fault-tolerance is ensured through a
+//! cluster-wide coordination service... replicated using Paxos... If a node
+//! fails, the coordinator will reconfigure the affected shards and notify
+//! all participants."
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
+use lambda_paxos::{PaxosConfig, PaxosNode};
+
+use crate::state::{ClusterState, CoordCmd};
+
+/// NodeId offset separating a coordinator's Paxos endpoint from its
+/// service endpoint.
+pub const PAXOS_ID_OFFSET: u32 = 10_000;
+
+/// Requests accepted by the coordinator service endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoordRequest {
+    /// Liveness signal from a storage node; `watch` is an optional endpoint
+    /// to push state changes to.
+    Heartbeat {
+        /// The storage node.
+        node: NodeId,
+        /// Watch endpoint for push notifications.
+        watch: Option<NodeId>,
+    },
+    /// Fetch the replicated state if its version exceeds `min_version`.
+    GetState {
+        /// Client's current version (0 returns unconditionally).
+        min_version: u64,
+    },
+    /// Replicate a command through Paxos and wait for it to apply.
+    Propose {
+        /// The command.
+        cmd: CoordCmd,
+    },
+}
+
+/// Responses from the coordinator service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoordResponse {
+    /// Generic acknowledgement.
+    Ack,
+    /// Current state (or `None` when not newer than `min_version`).
+    State(Option<ClusterState>),
+    /// Command applied; the state version after application.
+    Applied(u64),
+}
+
+/// Push notification sent to watch endpoints when the state changes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoordEvent {
+    /// The cluster state changed; receivers deduplicate by `state.version`.
+    StateChanged(ClusterState),
+}
+
+/// Coordinator tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordConfig {
+    /// A node missing heartbeats for this long is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Failure-detector scan interval.
+    pub detector_interval: Duration,
+    /// Paxos tuning.
+    pub paxos: PaxosConfig,
+    /// Service RPC workers.
+    pub workers: usize,
+    /// Per-RPC timeout for intra-service calls.
+    pub rpc_timeout: Duration,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        CoordConfig {
+            heartbeat_timeout: Duration::from_millis(500),
+            detector_interval: Duration::from_millis(100),
+            paxos: PaxosConfig::default(),
+            workers: 4,
+            rpc_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+struct CoordShared {
+    state: RwLock<ClusterState>,
+    heartbeats: Mutex<HashMap<NodeId, (Instant, Option<NodeId>)>>,
+    shutdown: AtomicBool,
+}
+
+/// One replica of the coordination service.
+pub struct Coordinator {
+    id: NodeId,
+    rpc: Arc<RpcNode>,
+    paxos: Arc<PaxosNode>,
+    shared: Arc<CoordShared>,
+    config: CoordConfig,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator").field("id", &self.id).finish()
+    }
+}
+
+impl Coordinator {
+    /// Start coordinator replica `id`; `peers` lists every coordinator's
+    /// *service* id (including this one). Each replica derives its Paxos
+    /// endpoint as `id + PAXOS_ID_OFFSET`.
+    pub fn start(
+        net: &Network,
+        id: NodeId,
+        peers: Vec<NodeId>,
+        config: CoordConfig,
+    ) -> Arc<Coordinator> {
+        let shared = Arc::new(CoordShared {
+            state: RwLock::new(ClusterState::default()),
+            heartbeats: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Paxos group underneath.
+        let paxos_members: Vec<NodeId> =
+            peers.iter().map(|p| NodeId(p.0 + PAXOS_ID_OFFSET)).collect();
+        let apply_shared = Arc::clone(&shared);
+        let apply = Arc::new(move |_slot: u64, bytes: &[u8]| {
+            if let Ok(cmd) = wire::from_bytes::<CoordCmd>(bytes) {
+                apply_shared.state.write().apply(&cmd);
+            }
+        });
+        let paxos = PaxosNode::start(
+            net,
+            NodeId(id.0 + PAXOS_ID_OFFSET),
+            paxos_members,
+            apply,
+            config.paxos,
+        );
+
+        // Service endpoint.
+        let handler_shared = Arc::clone(&shared);
+        let handler_paxos = Arc::clone(&paxos);
+        let handler = Arc::new(move |_from: NodeId, body: Vec<u8>| -> Result<Vec<u8>, String> {
+            let req: CoordRequest = wire::from_bytes(&body).map_err(|e| e.to_string())?;
+            let resp = match req {
+                CoordRequest::Heartbeat { node, watch } => {
+                    handler_shared.heartbeats.lock().insert(node, (Instant::now(), watch));
+                    CoordResponse::Ack
+                }
+                CoordRequest::GetState { min_version } => {
+                    let st = handler_shared.state.read();
+                    if st.version > min_version {
+                        CoordResponse::State(Some(st.clone()))
+                    } else {
+                        CoordResponse::State(None)
+                    }
+                }
+                CoordRequest::Propose { cmd } => {
+                    let bytes = wire::to_bytes(&cmd).map_err(|e| e.to_string())?;
+                    let slot =
+                        handler_paxos.propose(bytes).map_err(|e| e.to_string())?;
+                    // Wait until this replica has applied through the slot.
+                    let deadline = Instant::now() + Duration::from_secs(2);
+                    while handler_paxos.applied_len() <= slot {
+                        if Instant::now() > deadline {
+                            return Err("apply timeout".to_string());
+                        }
+                        std::thread::yield_now();
+                    }
+                    CoordResponse::Applied(handler_shared.state.read().version)
+                }
+            };
+            wire::to_bytes(&resp).map_err(|e| e.to_string())
+        });
+        let rpc = RpcNode::start(net, id, handler, config.workers);
+
+        let coordinator = Arc::new(Coordinator { id, rpc, paxos, shared, config });
+
+        // Failure detector + notifier thread.
+        {
+            let c = Arc::clone(&coordinator);
+            std::thread::Builder::new()
+                .name(format!("coord-{id}-detector"))
+                .spawn(move || c.detector_loop())
+                .expect("spawn detector");
+        }
+        coordinator
+    }
+
+    fn detector_loop(&self) {
+        let mut last_notified_version = 0u64;
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(self.config.detector_interval);
+
+            // Sync from peers so detectors on all replicas see fresh state.
+            self.paxos.sync();
+
+            // Declare silent nodes dead.
+            let now = Instant::now();
+            let expired: Vec<NodeId> = {
+                let beats = self.shared.heartbeats.lock();
+                let registered = &self.shared.state.read().nodes;
+                registered
+                    .iter()
+                    .filter(|n| match beats.get(n) {
+                        Some((at, _)) => now.duration_since(*at) > self.config.heartbeat_timeout,
+                        // Never heartbeated here: other replicas may see it;
+                        // don't declare dead based on local absence alone.
+                        None => false,
+                    })
+                    .copied()
+                    .collect()
+            };
+            for dead in expired {
+                let plan = self.shared.state.read().plan_failover(dead);
+                for cmd in plan {
+                    let _ = self.propose_local(&cmd);
+                }
+                let _ = self.propose_local(&CoordCmd::RemoveNode { node: dead });
+                self.shared.heartbeats.lock().remove(&dead);
+            }
+
+            // Push state changes to watchers.
+            let state = self.shared.state.read().clone();
+            if state.version > last_notified_version {
+                last_notified_version = state.version;
+                let event = CoordEvent::StateChanged(state);
+                let bytes = wire::to_bytes(&event).expect("event serializes");
+                let watchers: Vec<NodeId> = self
+                    .shared
+                    .heartbeats
+                    .lock()
+                    .values()
+                    .filter_map(|(_, watch)| *watch)
+                    .collect();
+                for w in watchers {
+                    self.rpc.notify(w, bytes.clone());
+                }
+            }
+        }
+    }
+
+    fn propose_local(&self, cmd: &CoordCmd) -> Result<(), String> {
+        let bytes = wire::to_bytes(cmd).map_err(|e| e.to_string())?;
+        self.paxos.propose(bytes).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Service endpoint id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Snapshot of the replicated state as seen by this replica.
+    pub fn state(&self) -> ClusterState {
+        self.shared.state.read().clone()
+    }
+
+    /// Stop the detector and RPC endpoints.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.rpc.shutdown();
+        self.paxos.shutdown();
+    }
+}
+
+/// Client-side handle to the coordination service, used by storage nodes
+/// and front-ends. Retries across coordinator replicas.
+pub struct CoordClient {
+    rpc: Arc<RpcNode>,
+    coordinators: Vec<NodeId>,
+    timeout: Duration,
+}
+
+impl std::fmt::Debug for CoordClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordClient").field("coordinators", &self.coordinators).finish()
+    }
+}
+
+impl CoordClient {
+    /// Build a client on an existing RPC endpoint.
+    pub fn new(rpc: Arc<RpcNode>, coordinators: Vec<NodeId>, timeout: Duration) -> CoordClient {
+        assert!(!coordinators.is_empty(), "need at least one coordinator");
+        CoordClient { rpc, coordinators, timeout }
+    }
+
+    fn request(&self, req: &CoordRequest) -> Result<CoordResponse, RpcError> {
+        let body = wire::to_bytes(req).expect("requests serialize");
+        let mut last_err = RpcError::Timeout;
+        for &c in &self.coordinators {
+            match self.rpc.call(c, body.clone(), self.timeout) {
+                Ok(bytes) => {
+                    return wire::from_bytes(&bytes)
+                        .map_err(|e| RpcError::BadFrame(e.to_string()));
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Send a heartbeat for `node`, optionally registering a watch endpoint.
+    ///
+    /// # Errors
+    /// Propagates RPC failures (all coordinators unreachable). Heartbeats
+    /// are sent to *every* coordinator so each replica's detector stays fed.
+    pub fn heartbeat(&self, node: NodeId, watch: Option<NodeId>) -> Result<(), RpcError> {
+        let body =
+            wire::to_bytes(&CoordRequest::Heartbeat { node, watch }).expect("serializes");
+        let mut ok = false;
+        let mut last_err = RpcError::Timeout;
+        for &c in &self.coordinators {
+            match self.rpc.call(c, body.clone(), self.timeout) {
+                Ok(_) => ok = true,
+                Err(e) => last_err = e,
+            }
+        }
+        if ok {
+            Ok(())
+        } else {
+            Err(last_err)
+        }
+    }
+
+    /// Fetch the newest state if it is newer than `min_version`.
+    ///
+    /// # Errors
+    /// Propagates RPC failures.
+    pub fn get_state(&self, min_version: u64) -> Result<Option<ClusterState>, RpcError> {
+        match self.request(&CoordRequest::GetState { min_version })? {
+            CoordResponse::State(s) => Ok(s),
+            other => Err(RpcError::BadFrame(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Replicate `cmd`, returning the state version after application.
+    ///
+    /// # Errors
+    /// Propagates RPC failures and remote proposal failures.
+    pub fn propose(&self, cmd: CoordCmd) -> Result<u64, RpcError> {
+        match self.request(&CoordRequest::Propose { cmd })? {
+            CoordResponse::Applied(v) => Ok(v),
+            other => Err(RpcError::BadFrame(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_net::LatencyModel;
+
+    fn fast_config() -> CoordConfig {
+        CoordConfig {
+            heartbeat_timeout: Duration::from_millis(150),
+            detector_interval: Duration::from_millis(25),
+            paxos: PaxosConfig {
+                rpc_timeout: Duration::from_millis(100),
+                max_retries: 10,
+                retry_backoff: Duration::from_millis(2),
+                workers: 4,
+            },
+            workers: 4,
+            rpc_timeout: Duration::from_millis(500),
+        }
+    }
+
+    struct TestCluster {
+        net: Network,
+        coords: Vec<Arc<Coordinator>>,
+        client: CoordClient,
+        _client_rpc: Arc<RpcNode>,
+    }
+
+    fn setup(n_coords: u32) -> TestCluster {
+        let net = Network::new(LatencyModel::instant(), 7);
+        let ids: Vec<NodeId> = (100..100 + n_coords).map(NodeId).collect();
+        let coords: Vec<Arc<Coordinator>> = ids
+            .iter()
+            .map(|&id| Coordinator::start(&net, id, ids.clone(), fast_config()))
+            .collect();
+        let client_rpc = RpcNode::start(&net, NodeId(999), Arc::new(|_, _| Ok(vec![])), 1);
+        let client =
+            CoordClient::new(Arc::clone(&client_rpc), ids, Duration::from_secs(2));
+        TestCluster { net, coords, client, _client_rpc: client_rpc }
+    }
+
+    #[test]
+    fn propose_and_read_state() {
+        let tc = setup(3);
+        tc.client.propose(CoordCmd::RegisterNode { node: NodeId(1) }).unwrap();
+        tc.client.propose(CoordCmd::RegisterNode { node: NodeId(2) }).unwrap();
+        tc.client
+            .propose(CoordCmd::CreateShard { shard: 0, replicas: vec![NodeId(1), NodeId(2)] })
+            .unwrap();
+        let state = tc.client.get_state(0).unwrap().expect("state exists");
+        assert_eq!(state.nodes.len(), 2);
+        assert_eq!(state.shard(0).unwrap().primary, NodeId(1));
+        // min_version filtering.
+        assert!(tc.client.get_state(state.version).unwrap().is_none());
+        for c in &tc.coords {
+            c.shutdown();
+        }
+        tc.net.shutdown();
+    }
+
+    #[test]
+    fn replicas_converge() {
+        let tc = setup(3);
+        for i in 0..5 {
+            tc.client.propose(CoordCmd::RegisterNode { node: NodeId(i) }).unwrap();
+        }
+        // Give detectors a moment to sync.
+        std::thread::sleep(Duration::from_millis(200));
+        let states: Vec<ClusterState> = tc.coords.iter().map(|c| c.state()).collect();
+        for s in &states {
+            assert_eq!(s.nodes.len(), 5);
+        }
+        for c in &tc.coords {
+            c.shutdown();
+        }
+        tc.net.shutdown();
+    }
+
+    #[test]
+    fn failure_detection_promotes_backup() {
+        let tc = setup(3);
+        tc.client.propose(CoordCmd::RegisterNode { node: NodeId(1) }).unwrap();
+        tc.client.propose(CoordCmd::RegisterNode { node: NodeId(2) }).unwrap();
+        tc.client
+            .propose(CoordCmd::CreateShard { shard: 0, replicas: vec![NodeId(1), NodeId(2)] })
+            .unwrap();
+        // Heartbeat both nodes a few times, then let node 1 go silent.
+        for _ in 0..3 {
+            tc.client.heartbeat(NodeId(1), None).unwrap();
+            tc.client.heartbeat(NodeId(2), None).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            tc.client.heartbeat(NodeId(2), None).unwrap();
+            let st = tc.client.get_state(0).unwrap().unwrap();
+            if st.shard(0).unwrap().primary == NodeId(2) && !st.nodes.contains(&NodeId(1)) {
+                assert_eq!(st.shard(0).unwrap().epoch, 2);
+                break;
+            }
+            assert!(Instant::now() < deadline, "failover did not happen in time");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        for c in &tc.coords {
+            c.shutdown();
+        }
+        tc.net.shutdown();
+    }
+
+    #[test]
+    fn watchers_receive_push_notifications() {
+        let tc = setup(3);
+        // A watcher endpoint that records received events.
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let _watch_rpc = RpcNode::start(
+            &tc.net,
+            NodeId(555),
+            Arc::new(move |_, body| {
+                if let Ok(CoordEvent::StateChanged(st)) = wire::from_bytes(&body) {
+                    seen2.lock().push(st.version);
+                }
+                Ok(vec![])
+            }),
+            1,
+        );
+        tc.client.propose(CoordCmd::RegisterNode { node: NodeId(7) }).unwrap();
+        tc.client.heartbeat(NodeId(7), Some(NodeId(555))).unwrap();
+        tc.client.propose(CoordCmd::RegisterNode { node: NodeId(8) }).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(3);
+        loop {
+            tc.client.heartbeat(NodeId(7), Some(NodeId(555))).unwrap();
+            if !seen.lock().is_empty() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no push notification arrived");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for c in &tc.coords {
+            c.shutdown();
+        }
+        tc.net.shutdown();
+    }
+
+    #[test]
+    fn coordinator_survives_minority_failure() {
+        let tc = setup(3);
+        tc.client.propose(CoordCmd::RegisterNode { node: NodeId(1) }).unwrap();
+        // Kill one coordinator replica.
+        tc.coords[2].shutdown();
+        tc.net.isolate(tc.coords[2].id());
+        tc.net.isolate(NodeId(tc.coords[2].id().0 + PAXOS_ID_OFFSET));
+        tc.client.propose(CoordCmd::RegisterNode { node: NodeId(2) }).unwrap();
+        let st = tc.client.get_state(0).unwrap().unwrap();
+        assert!(st.nodes.contains(&NodeId(2)));
+        for c in &tc.coords[..2] {
+            c.shutdown();
+        }
+        tc.net.shutdown();
+    }
+}

@@ -1,0 +1,436 @@
+//! The replicated cluster state machine: membership, shards and the
+//! microshard directory.
+//!
+//! Commands are chosen into the Paxos log and applied deterministically on
+//! every coordinator replica, so all replicas converge on the same
+//! [`ClusterState`]. Epoch numbers fence stale primaries after
+//! reconfigurations (§4.2.1 of the paper).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use lambda_net::NodeId;
+
+/// Identifies a replica group (a "shard" of the object space).
+pub type ShardId = u32;
+
+/// Monotonic configuration number per shard; bumped on every
+/// reconfiguration. Replication messages carry it so a deposed primary's
+/// writes are rejected.
+pub type Epoch = u64;
+
+/// One shard's replica set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// Node executing mutating invocations.
+    pub primary: NodeId,
+    /// Backup replicas (read-only invocations may run here).
+    pub backups: Vec<NodeId>,
+    /// Fencing epoch.
+    pub epoch: Epoch,
+}
+
+impl ShardInfo {
+    /// All replicas: primary first.
+    pub fn replicas(&self) -> Vec<NodeId> {
+        let mut all = vec![self.primary];
+        all.extend(&self.backups);
+        all
+    }
+
+    /// True when `node` serves this shard.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.primary == node || self.backups.contains(&node)
+    }
+}
+
+/// Commands accepted by the replicated state machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoordCmd {
+    /// A storage node joined the cluster.
+    RegisterNode {
+        /// The node.
+        node: NodeId,
+    },
+    /// A storage node was declared dead (failure detector) or left.
+    RemoveNode {
+        /// The node.
+        node: NodeId,
+    },
+    /// Create a shard with an explicit replica set (primary first).
+    CreateShard {
+        /// New shard id (must be unused).
+        shard: ShardId,
+        /// Replica set, primary first; must be non-empty.
+        replicas: Vec<NodeId>,
+    },
+    /// Replace a shard's replica set; bumps the epoch.
+    Reconfigure {
+        /// Shard to change.
+        shard: ShardId,
+        /// New primary.
+        new_primary: NodeId,
+        /// New backups.
+        new_backups: Vec<NodeId>,
+        /// The epoch this reconfiguration was computed against; the command
+        /// is ignored if the shard has since moved on (dedup for concurrent
+        /// failure detectors).
+        expected_epoch: Epoch,
+    },
+    /// Assign placement slots to a shard. Objects hash onto one of
+    /// [`N_SLOTS`] fixed slots; the slot table maps slots to shards, so
+    /// adding a shard never silently remaps data (a slot move must be
+    /// accompanied by migrating its objects).
+    AssignSlots {
+        /// Destination shard (must exist).
+        shard: ShardId,
+        /// Slot indices (`< N_SLOTS`).
+        slots: Vec<u16>,
+    },
+    /// Pin an object to a specific shard (microshard migration, §4.2).
+    PinObject {
+        /// Object id.
+        object: Vec<u8>,
+        /// Destination shard.
+        shard: ShardId,
+    },
+    /// Remove an object pin (fall back to hash placement).
+    UnpinObject {
+        /// Object id.
+        object: Vec<u8>,
+    },
+}
+
+/// Number of fixed placement slots objects hash onto.
+pub const N_SLOTS: u16 = 64;
+
+/// The deterministic, replicated view of the cluster.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterState {
+    /// Registered storage nodes.
+    pub nodes: BTreeSet<NodeId>,
+    /// Shard table.
+    pub shards: BTreeMap<ShardId, ShardInfo>,
+    /// Slot table: placement slot → shard.
+    pub slots: BTreeMap<u16, ShardId>,
+    /// Objects pinned away from their slot-placement shard.
+    pub pins: BTreeMap<Vec<u8>, ShardId>,
+    /// Number of log entries applied (the state's version).
+    pub version: u64,
+}
+
+impl ClusterState {
+    /// Apply one command. Unknown/void commands are no-ops but still bump
+    /// the version (the log position is consumed either way).
+    pub fn apply(&mut self, cmd: &CoordCmd) {
+        self.version += 1;
+        match cmd {
+            CoordCmd::RegisterNode { node } => {
+                self.nodes.insert(*node);
+            }
+            CoordCmd::RemoveNode { node } => {
+                self.nodes.remove(node);
+            }
+            CoordCmd::CreateShard { shard, replicas } => {
+                if self.shards.contains_key(shard) || replicas.is_empty() {
+                    return;
+                }
+                self.shards.insert(
+                    *shard,
+                    ShardInfo {
+                        primary: replicas[0],
+                        backups: replicas[1..].to_vec(),
+                        epoch: 1,
+                    },
+                );
+            }
+            CoordCmd::Reconfigure { shard, new_primary, new_backups, expected_epoch } => {
+                if let Some(info) = self.shards.get_mut(shard) {
+                    if info.epoch != *expected_epoch {
+                        return; // stale reconfiguration, already handled
+                    }
+                    info.primary = *new_primary;
+                    info.backups = new_backups.clone();
+                    info.epoch += 1;
+                }
+            }
+            CoordCmd::AssignSlots { shard, slots } => {
+                if !self.shards.contains_key(shard) {
+                    return;
+                }
+                for &slot in slots {
+                    if slot < N_SLOTS {
+                        self.slots.insert(slot, *shard);
+                    }
+                }
+            }
+            CoordCmd::PinObject { object, shard } => {
+                if self.shards.contains_key(shard) {
+                    self.pins.insert(object.clone(), *shard);
+                }
+            }
+            CoordCmd::UnpinObject { object } => {
+                self.pins.remove(object);
+            }
+        }
+    }
+
+    /// The shard responsible for `object`: a pin if present, otherwise the
+    /// slot table (`fnv1a(object) % N_SLOTS`). Stable: adding shards never
+    /// remaps objects until their slots are explicitly reassigned.
+    pub fn shard_for_object(&self, object: &[u8]) -> Option<ShardId> {
+        if let Some(s) = self.pins.get(object) {
+            return Some(*s);
+        }
+        let slot = (fnv1a(object) % N_SLOTS as u64) as u16;
+        self.slots.get(&slot).copied()
+    }
+
+    /// The placement slot `object` hashes onto.
+    pub fn slot_of(object: &[u8]) -> u16 {
+        (fnv1a(object) % N_SLOTS as u64) as u16
+    }
+
+    /// Info for `shard`.
+    pub fn shard(&self, shard: ShardId) -> Option<&ShardInfo> {
+        self.shards.get(&shard)
+    }
+
+    /// All shards `node` participates in.
+    pub fn shards_of_node(&self, node: NodeId) -> Vec<ShardId> {
+        self.shards
+            .iter()
+            .filter(|(_, info)| info.contains(node))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Compute the reconfigurations needed if `dead` fails: for every shard
+    /// it serves, drop it; if it was primary, promote the first surviving
+    /// backup. Shards with no survivors are left untouched (data loss —
+    /// surfaced by the caller).
+    pub fn plan_failover(&self, dead: NodeId) -> Vec<CoordCmd> {
+        let mut cmds = Vec::new();
+        for (&shard, info) in &self.shards {
+            if !info.contains(dead) {
+                continue;
+            }
+            let survivors: Vec<NodeId> =
+                info.replicas().into_iter().filter(|n| *n != dead).collect();
+            let Some(&new_primary) = survivors.first() else {
+                continue;
+            };
+            cmds.push(CoordCmd::Reconfigure {
+                shard,
+                new_primary,
+                new_backups: survivors[1..].to_vec(),
+                expected_epoch: info.epoch,
+            });
+        }
+        cmds
+    }
+}
+
+/// Stable 64-bit FNV-1a used for hash placement.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_node_state() -> ClusterState {
+        let mut st = ClusterState::default();
+        for i in 0..3 {
+            st.apply(&CoordCmd::RegisterNode { node: NodeId(i) });
+        }
+        st.apply(&CoordCmd::CreateShard {
+            shard: 0,
+            replicas: vec![NodeId(0), NodeId(1), NodeId(2)],
+        });
+        st.apply(&CoordCmd::AssignSlots { shard: 0, slots: (0..N_SLOTS).collect() });
+        st
+    }
+
+    #[test]
+    fn register_and_remove_nodes() {
+        let mut st = ClusterState::default();
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(5) });
+        assert!(st.nodes.contains(&NodeId(5)));
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(5) });
+        assert!(!st.nodes.contains(&NodeId(5)));
+        assert_eq!(st.version, 2);
+    }
+
+    #[test]
+    fn create_shard_sets_primary_and_epoch() {
+        let st = three_node_state();
+        let info = st.shard(0).unwrap();
+        assert_eq!(info.primary, NodeId(0));
+        assert_eq!(info.backups, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(info.epoch, 1);
+        assert!(info.contains(NodeId(2)));
+        assert_eq!(info.replicas(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn duplicate_create_is_a_noop() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::CreateShard { shard: 0, replicas: vec![NodeId(9)] });
+        assert_eq!(st.shard(0).unwrap().primary, NodeId(0));
+    }
+
+    #[test]
+    fn reconfigure_bumps_epoch_and_dedups() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::Reconfigure {
+            shard: 0,
+            new_primary: NodeId(1),
+            new_backups: vec![NodeId(2)],
+            expected_epoch: 1,
+        });
+        let info = st.shard(0).unwrap();
+        assert_eq!(info.primary, NodeId(1));
+        assert_eq!(info.epoch, 2);
+        // A second detector proposing against the old epoch is ignored.
+        st.apply(&CoordCmd::Reconfigure {
+            shard: 0,
+            new_primary: NodeId(2),
+            new_backups: vec![],
+            expected_epoch: 1,
+        });
+        assert_eq!(st.shard(0).unwrap().primary, NodeId(1));
+        assert_eq!(st.shard(0).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn failover_plan_promotes_first_backup() {
+        let st = three_node_state();
+        let cmds = st.plan_failover(NodeId(0));
+        assert_eq!(
+            cmds,
+            vec![CoordCmd::Reconfigure {
+                shard: 0,
+                new_primary: NodeId(1),
+                new_backups: vec![NodeId(2)],
+                expected_epoch: 1,
+            }]
+        );
+        // Backup failure keeps the primary.
+        let cmds = st.plan_failover(NodeId(2));
+        assert_eq!(
+            cmds,
+            vec![CoordCmd::Reconfigure {
+                shard: 0,
+                new_primary: NodeId(0),
+                new_backups: vec![NodeId(1)],
+                expected_epoch: 1,
+            }]
+        );
+        // Unrelated node: nothing to do.
+        assert!(st.plan_failover(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn slot_placement_is_stable_and_total() {
+        let mut st = three_node_state();
+        let a = st.shard_for_object(b"user/42").unwrap();
+        let b = st.shard_for_object(b"user/42").unwrap();
+        assert_eq!(a, b, "placement must be deterministic");
+        // Adding a shard WITHOUT slot reassignment changes nothing.
+        st.apply(&CoordCmd::CreateShard { shard: 1, replicas: vec![NodeId(1), NodeId(2)] });
+        assert_eq!(st.shard_for_object(b"user/42").unwrap(), a);
+        // Reassigning half the slots splits placement.
+        st.apply(&CoordCmd::AssignSlots { shard: 1, slots: (0..N_SLOTS / 2).collect() });
+        let mut seen = BTreeSet::new();
+        for i in 0..200 {
+            seen.insert(st.shard_for_object(format!("obj-{i}").as_bytes()).unwrap());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn slots_reject_missing_shard_and_overflow() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::AssignSlots { shard: 99, slots: vec![0] });
+        assert_eq!(st.slots.get(&0), Some(&0), "unchanged");
+        st.apply(&CoordCmd::AssignSlots { shard: 0, slots: vec![N_SLOTS + 5] });
+        assert!(st.slots.keys().all(|&s| s < N_SLOTS));
+        assert_eq!(ClusterState::slot_of(b"x"), ClusterState::slot_of(b"x"));
+    }
+
+    #[test]
+    fn pins_override_hash_placement() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::CreateShard { shard: 7, replicas: vec![NodeId(2)] });
+        st.apply(&CoordCmd::PinObject { object: b"hot".to_vec(), shard: 7 });
+        assert_eq!(st.shard_for_object(b"hot"), Some(7));
+        st.apply(&CoordCmd::UnpinObject { object: b"hot".to_vec() });
+        let fallback = st.shard_for_object(b"hot").unwrap();
+        assert_eq!(fallback, 0, "falls back to the slot table");
+        assert!(st.pins.is_empty());
+    }
+
+    #[test]
+    fn pin_to_missing_shard_is_ignored() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::PinObject { object: b"x".to_vec(), shard: 99 });
+        assert!(st.pins.is_empty());
+    }
+
+    #[test]
+    fn empty_state_has_no_placement() {
+        let st = ClusterState::default();
+        assert_eq!(st.shard_for_object(b"anything"), None);
+    }
+
+    #[test]
+    fn deterministic_replay_converges() {
+        let cmds = vec![
+            CoordCmd::RegisterNode { node: NodeId(1) },
+            CoordCmd::RegisterNode { node: NodeId(2) },
+            CoordCmd::CreateShard { shard: 0, replicas: vec![NodeId(1), NodeId(2)] },
+            CoordCmd::Reconfigure {
+                shard: 0,
+                new_primary: NodeId(2),
+                new_backups: vec![],
+                expected_epoch: 1,
+            },
+            CoordCmd::AssignSlots { shard: 0, slots: vec![0, 1, 2] },
+            CoordCmd::PinObject { object: b"o".to_vec(), shard: 0 },
+        ];
+        let mut a = ClusterState::default();
+        let mut b = ClusterState::default();
+        for c in &cmds {
+            a.apply(c);
+        }
+        for c in &cmds {
+            b.apply(c);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.version, cmds.len() as u64);
+    }
+
+    #[test]
+    fn shards_of_node_lists_participation() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::CreateShard { shard: 1, replicas: vec![NodeId(2)] });
+        assert_eq!(st.shards_of_node(NodeId(2)), vec![0, 1]);
+        assert_eq!(st.shards_of_node(NodeId(0)), vec![0]);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let st = three_node_state();
+        let bytes = lambda_net::wire::to_bytes(&st).unwrap();
+        let back: ClusterState = lambda_net::wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, st);
+    }
+}

@@ -1,0 +1,392 @@
+//! The consistent result cache for deterministic read-only methods.
+//!
+//! §4.2.2: "storage nodes merely record the output of a function, a hash of
+//! its input, and its read set in the form \[of\] keys and value hashes.
+//! Nodes then only re-execute such functions if the input or reads have
+//! changed." Because the cache lives inside the storage node, it always has
+//! access to the newest committed state, which is what makes it
+//! *consistent* — the disaggregated baseline cannot have this property.
+//!
+//! Two invalidation mechanisms cooperate:
+//! * **eager**: commits report their written keys; entries whose read set
+//!   contains such a key are dropped immediately;
+//! * **lazy**: on a hit, the entry's read set is re-validated against
+//!   current value hashes (defense in depth — e.g. after a migration
+//!   import that bypassed the commit path).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use lambda_vm::VmValue;
+
+use crate::buffer::value_hash;
+use crate::object::ObjectId;
+
+/// Cache lookup/maintenance statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Valid hits served.
+    pub hits: u64,
+    /// Misses (absent entries).
+    pub misses: u64,
+    /// Entries dropped by eager invalidation.
+    pub invalidations: u64,
+    /// Hits rejected by lazy validation.
+    pub stale_hits: u64,
+    /// Entries evicted by capacity.
+    pub evictions: u64,
+}
+
+/// Key of a cache entry: object, method, and a hash of the arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EntryKey {
+    object: ObjectId,
+    method: String,
+    args_hash: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    result: VmValue,
+    read_set: Vec<(Vec<u8>, u64)>,
+}
+
+/// Hash the argument list of an invocation.
+pub fn args_hash(args: &[VmValue]) -> u64 {
+    let mut bytes = Vec::new();
+    for a in args {
+        bytes.extend_from_slice(&a.encode());
+    }
+    value_hash(Some(&bytes))
+}
+
+#[derive(Default)]
+struct CacheInner {
+    entries: HashMap<EntryKey, Entry>,
+    /// Reverse index: storage key → cache entries reading it.
+    by_key: HashMap<Vec<u8>, HashSet<EntryKey>>,
+    /// FIFO order for capacity eviction.
+    order: VecDeque<EntryKey>,
+}
+
+/// The consistent function-result cache of one storage node.
+pub struct ConsistentCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    stale_hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ConsistentCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsistentCache")
+            .field("len", &self.inner.lock().entries.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl ConsistentCache {
+    /// A cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> ConsistentCache {
+        ConsistentCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            stale_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a cached result.
+    ///
+    /// Entries are trusted as-is: every commit path (invocation commits,
+    /// replication applies, migrations, deletions) eagerly invalidates
+    /// overlapping entries, so a resident entry is valid by construction —
+    /// this is what makes a hit O(1) instead of re-reading the read set.
+    /// [`lookup_validated`](Self::lookup_validated) re-checks the read set
+    /// anyway, for callers that bypass the commit paths.
+    pub fn lookup(&self, object: &ObjectId, method: &str, args: &[VmValue]) -> Option<VmValue> {
+        let key = EntryKey {
+            object: object.clone(),
+            method: method.to_string(),
+            args_hash: args_hash(args),
+        };
+        let entry = {
+            let inner = self.inner.lock();
+            inner.entries.get(&key).cloned()
+        };
+        match entry {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.result)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`lookup`](Self::lookup), but re-validates the entry's read set
+    /// with `current_hash` (a callback returning the hash of the *current*
+    /// committed value of a key). Defence in depth for embedders whose
+    /// write paths do not invalidate eagerly.
+    pub fn lookup_validated(
+        &self,
+        object: &ObjectId,
+        method: &str,
+        args: &[VmValue],
+        mut current_hash: impl FnMut(&[u8]) -> u64,
+    ) -> Option<VmValue> {
+        let key = EntryKey {
+            object: object.clone(),
+            method: method.to_string(),
+            args_hash: args_hash(args),
+        };
+        let entry = {
+            let inner = self.inner.lock();
+            inner.entries.get(&key).cloned()
+        };
+        let Some(entry) = entry else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        for (k, recorded) in &entry.read_set {
+            if current_hash(k) != *recorded {
+                self.stale_hits.fetch_add(1, Ordering::Relaxed);
+                self.remove(&key);
+                return None;
+            }
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.result)
+    }
+
+    /// Record a result with its read set.
+    pub fn insert(
+        &self,
+        object: &ObjectId,
+        method: &str,
+        args: &[VmValue],
+        result: VmValue,
+        read_set: Vec<(Vec<u8>, u64)>,
+    ) {
+        let key = EntryKey {
+            object: object.clone(),
+            method: method.to_string(),
+            args_hash: args_hash(args),
+        };
+        let mut inner = self.inner.lock();
+        // Capacity eviction (FIFO).
+        while inner.entries.len() >= self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(old) = inner.entries.remove(&victim) {
+                for (k, _) in &old.read_set {
+                    if let Some(set) = inner.by_key.get_mut(k) {
+                        set.remove(&victim);
+                        if set.is_empty() {
+                            inner.by_key.remove(k);
+                        }
+                    }
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for (k, _) in &read_set {
+            inner.by_key.entry(k.clone()).or_default().insert(key.clone());
+        }
+        if inner.entries.insert(key.clone(), Entry { result, read_set }).is_none() {
+            inner.order.push_back(key);
+        }
+    }
+
+    /// Eagerly invalidate every entry whose read set touches any of
+    /// `written_keys` (called on each commit).
+    pub fn invalidate_keys<'a>(&self, written_keys: impl IntoIterator<Item = &'a [u8]>) {
+        let mut inner = self.inner.lock();
+        let mut victims: HashSet<EntryKey> = HashSet::new();
+        for k in written_keys {
+            if let Some(set) = inner.by_key.remove(k) {
+                victims.extend(set);
+            }
+        }
+        for victim in victims {
+            if let Some(old) = inner.entries.remove(&victim) {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                for (k, _) in &old.read_set {
+                    if let Some(set) = inner.by_key.get_mut(k) {
+                        set.remove(&victim);
+                        if set.is_empty() {
+                            inner.by_key.remove(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop every entry of `object` (migration/deletion).
+    pub fn invalidate_object(&self, object: &ObjectId) {
+        let mut inner = self.inner.lock();
+        let victims: Vec<EntryKey> =
+            inner.entries.keys().filter(|k| &k.object == object).cloned().collect();
+        for victim in victims {
+            if let Some(old) = inner.entries.remove(&victim) {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                for (k, _) in &old.read_set {
+                    if let Some(set) = inner.by_key.get_mut(k) {
+                        set.remove(&victim);
+                        if set.is_empty() {
+                            inner.by_key.remove(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove(&self, key: &EntryKey) {
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.entries.remove(key) {
+            for (k, _) in &old.read_set {
+                if let Some(set) = inner.by_key.get_mut(k) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        inner.by_key.remove(k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            stale_hits: self.stale_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid() -> ObjectId {
+        ObjectId::from("user/1")
+    }
+
+    fn read_set(pairs: &[(&[u8], Option<&[u8]>)]) -> Vec<(Vec<u8>, u64)> {
+        pairs.iter().map(|(k, v)| (k.to_vec(), value_hash(*v))).collect()
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = ConsistentCache::new(16);
+        let rs = read_set(&[(b"k1", Some(b"v1"))]);
+        cache.insert(&oid(), "get", &[], VmValue::Int(7), rs);
+        let hit = cache.lookup_validated(&oid(), "get", &[], |_| value_hash(Some(b"v1")));
+        assert_eq!(hit, Some(VmValue::Int(7)));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_on_absent_or_different_args() {
+        let cache = ConsistentCache::new(16);
+        cache.insert(&oid(), "get", &[VmValue::Int(1)], VmValue::Unit, vec![]);
+        assert!(cache.lookup(&oid(), "get", &[VmValue::Int(2)]).is_none());
+        assert!(cache.lookup(&oid(), "other", &[VmValue::Int(1)]).is_none());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lazy_validation_rejects_changed_reads() {
+        let cache = ConsistentCache::new(16);
+        let rs = read_set(&[(b"k1", Some(b"old"))]);
+        cache.insert(&oid(), "get", &[], VmValue::Int(1), rs);
+        // Value changed underneath.
+        let hit = cache.lookup_validated(&oid(), "get", &[], |_| value_hash(Some(b"new")));
+        assert_eq!(hit, None);
+        assert_eq!(cache.stats().stale_hits, 1);
+        assert!(cache.is_empty(), "stale entry dropped");
+    }
+
+    #[test]
+    fn eager_invalidation_on_written_key() {
+        let cache = ConsistentCache::new(16);
+        cache.insert(&oid(), "a", &[], VmValue::Int(1), read_set(&[(b"k1", None)]));
+        cache.insert(&oid(), "b", &[], VmValue::Int(2), read_set(&[(b"k2", None)]));
+        cache.invalidate_keys([&b"k1"[..]]);
+        assert!(cache.lookup(&oid(), "a", &[]).is_none());
+        assert_eq!(
+            cache.lookup(&oid(), "b", &[]),
+            Some(VmValue::Int(2)),
+            "unrelated entry survives"
+        );
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_object_drops_all_its_entries() {
+        let cache = ConsistentCache::new(16);
+        let other = ObjectId::from("user/2");
+        cache.insert(&oid(), "a", &[], VmValue::Int(1), vec![]);
+        cache.insert(&oid(), "b", &[], VmValue::Int(2), vec![]);
+        cache.insert(&other, "a", &[], VmValue::Int(3), vec![]);
+        cache.invalidate_object(&oid());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&other, "a", &[]), Some(VmValue::Int(3)));
+    }
+
+    #[test]
+    fn capacity_eviction_fifo() {
+        let cache = ConsistentCache::new(2);
+        cache.insert(&oid(), "m1", &[], VmValue::Int(1), vec![]);
+        cache.insert(&oid(), "m2", &[], VmValue::Int(2), vec![]);
+        cache.insert(&oid(), "m3", &[], VmValue::Int(3), vec![]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&oid(), "m1", &[]).is_none(), "oldest evicted");
+        assert!(cache.lookup(&oid(), "m3", &[]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn args_hash_is_order_sensitive() {
+        let a = [VmValue::Int(1), VmValue::Int(2)];
+        let b = [VmValue::Int(2), VmValue::Int(1)];
+        assert_ne!(args_hash(&a), args_hash(&b));
+        assert_eq!(args_hash(&a), args_hash(&a.clone()));
+    }
+
+    #[test]
+    fn empty_read_set_entries_never_go_stale() {
+        let cache = ConsistentCache::new(4);
+        cache.insert(&oid(), "constant", &[], VmValue::Int(42), vec![]);
+        for _ in 0..3 {
+            assert_eq!(cache.lookup(&oid(), "constant", &[]), Some(VmValue::Int(42)));
+        }
+    }
+}

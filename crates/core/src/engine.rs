@@ -1,0 +1,1109 @@
+//! The invocation engine: executes object methods with invocation
+//! linearizability, consistent caching and nested-call semantics.
+//!
+//! This is the component the paper co-locates with storage (§4.2): it owns
+//! the per-object scheduler, runs methods (bytecode via the metered VM, or
+//! trusted native code) against a write buffer, commits each invocation's
+//! write set as one atomic batch, and maintains the consistent result
+//! cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lambda_kv::{Db, WriteBatch};
+use lambda_vm::{HostError, Interpreter, Limits, VmValue};
+
+use crate::cache::{CacheStats, ConsistentCache};
+use crate::error::{encode_error, InvokeError, Result};
+use crate::host::{NestedInvoker, ObjectHost};
+use crate::keys;
+use crate::object::{MethodSet, ObjectId, ObjectType, TypeRegistry};
+use crate::scheduler::{Scheduler, SchedulerMode, SchedulerStats};
+
+/// Routes nested cross-object invocations. In a single-node deployment the
+/// engine recurses locally; in LambdaStore the router checks the shard map
+/// and forwards to the responsible primary.
+pub trait InvokeRouter: Send + Sync {
+    /// Invoke `method` on `target` on behalf of `source`. `depth` is the
+    /// nesting depth of the new invocation (for runaway-recursion limits;
+    /// no locks are held across the boundary, §3.1).
+    ///
+    /// # Errors
+    /// Any invocation failure.
+    fn route(
+        &self,
+        source: &ObjectId,
+        target: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        depth: usize,
+    ) -> Result<VmValue>;
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// VM resource ceilings per invocation.
+    pub limits: Limits,
+    /// Consistent-cache capacity in entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Scheduler discipline.
+    pub scheduler: SchedulerMode,
+    /// Maximum nested-invocation depth.
+    pub max_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            limits: Limits::default(),
+            cache_capacity: 4096,
+            scheduler: SchedulerMode::PerObject,
+            max_depth: 16,
+        }
+    }
+}
+
+/// Engine operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Completed invocations (committed or read-only).
+    pub invocations: u64,
+    /// Invocations that failed/aborted (no writes applied).
+    pub aborts: u64,
+    /// Nested cross-object calls performed.
+    pub nested_calls: u64,
+    /// Atomic commits applied.
+    pub commits: u64,
+    /// Results served from the consistent cache.
+    pub cache_hits: u64,
+    /// Cache behaviour details.
+    pub cache: CacheStats,
+    /// Scheduler behaviour details.
+    pub scheduler: SchedulerStats,
+}
+
+/// Observes every committed write batch — LambdaStore installs a hook that
+/// synchronously replicates the batch to backup replicas (§4.2.1). The hook
+/// runs after the local apply; an error is surfaced to the invoker.
+pub trait CommitHook: Send + Sync {
+    /// Called with the object and the operations just committed locally
+    /// (`None` value = deletion).
+    ///
+    /// # Errors
+    /// A string describing the replication failure.
+    fn on_commit(
+        &self,
+        object: &ObjectId,
+        ops: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> std::result::Result<(), String>;
+}
+
+/// The LambdaObjects execution engine of one storage node.
+pub struct Engine {
+    db: Db,
+    types: Arc<TypeRegistry>,
+    cache: ConsistentCache,
+    cache_enabled: bool,
+    scheduler: Scheduler,
+    interpreter: Interpreter,
+    router: parking_lot::RwLock<Option<Arc<dyn InvokeRouter>>>,
+    commit_hook: parking_lot::RwLock<Option<Arc<dyn CommitHook>>>,
+    max_depth: usize,
+    invocations: AtomicU64,
+    aborts: AtomicU64,
+    nested_calls: AtomicU64,
+    commits: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine").field("types", &self.types.type_names()).finish()
+    }
+}
+
+impl Engine {
+    /// Build an engine over an open database.
+    pub fn new(db: Db, types: Arc<TypeRegistry>, config: EngineConfig) -> Engine {
+        Engine {
+            db,
+            types,
+            cache: ConsistentCache::new(config.cache_capacity.max(1)),
+            cache_enabled: config.cache_capacity > 0,
+            scheduler: Scheduler::new(config.scheduler),
+            interpreter: Interpreter::new(config.limits),
+            router: parking_lot::RwLock::new(None),
+            commit_hook: parking_lot::RwLock::new(None),
+            max_depth: config.max_depth,
+            invocations: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            nested_calls: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Install the cross-shard router (LambdaStore does this at startup).
+    pub fn set_router(&self, router: Arc<dyn InvokeRouter>) {
+        *self.router.write() = Some(router);
+    }
+
+    /// Install the replication hook (LambdaStore does this at startup).
+    pub fn set_commit_hook(&self, hook: Arc<dyn CommitHook>) {
+        *self.commit_hook.write() = Some(hook);
+    }
+
+    /// Run the commit hook for `batch` (already applied locally).
+    fn run_commit_hook(&self, object: &ObjectId, batch: &WriteBatch) -> Result<()> {
+        let hook = self.commit_hook.read().clone();
+        if let Some(hook) = hook {
+            let ops: Vec<(Vec<u8>, Option<Vec<u8>>)> = batch
+                .iter()
+                .map(|op| match op {
+                    lambda_kv::batch::BatchOp::Put { key, value } => {
+                        (key.clone(), Some(value.clone()))
+                    }
+                    lambda_kv::batch::BatchOp::Delete { key } => (key.clone(), None),
+                })
+                .collect();
+            hook.on_commit(object, &ops).map_err(InvokeError::Storage)?;
+        }
+        Ok(())
+    }
+
+    /// Apply a batch produced on another node (the backup side of
+    /// replication or a migration install): writes directly, bypassing the
+    /// commit hook, and invalidates overlapping cache entries.
+    ///
+    /// # Errors
+    /// Storage failures.
+    pub fn apply_replicated(
+        &self,
+        object: &ObjectId,
+        ops: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> Result<()> {
+        let _guard = self.scheduler.acquire_exclusive(object, &[]);
+        let mut batch = WriteBatch::new();
+        let mut keys: Vec<&[u8]> = Vec::with_capacity(ops.len());
+        for (key, value) in ops {
+            keys.push(key);
+            match value {
+                Some(v) => {
+                    batch.put(key.clone(), v.clone());
+                }
+                None => {
+                    batch.delete(key.clone());
+                }
+            }
+        }
+        self.db.write(batch)?;
+        self.cache.invalidate_keys(keys.into_iter().map(|k| k as &[u8]));
+        Ok(())
+    }
+
+    /// The underlying database (used by replication and migration).
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// The type registry.
+    pub fn types(&self) -> &TypeRegistry {
+        &self.types
+    }
+
+    // -- Object lifecycle ---------------------------------------------------
+
+    /// Instantiate an object of `type_name` with initial scalar fields.
+    ///
+    /// # Errors
+    /// [`InvokeError::UnknownType`] / [`InvokeError::AlreadyExists`], plus
+    /// storage failures.
+    pub fn create_object(
+        &self,
+        type_name: &str,
+        id: &ObjectId,
+        fields: &[(&str, &[u8])],
+    ) -> Result<()> {
+        if self.types.get(type_name).is_none() {
+            return Err(InvokeError::UnknownType(type_name.to_string()));
+        }
+        let _guard = self.scheduler.acquire_exclusive(id, &[]);
+        if self.db.get(&keys::meta_key(id))?.is_some() {
+            return Err(InvokeError::AlreadyExists(id.to_string()));
+        }
+        let mut batch = WriteBatch::new();
+        batch.put(keys::meta_key(id), type_name.as_bytes().to_vec());
+        for (field, value) in fields {
+            batch.put(keys::field_key(id, field.as_bytes()), value.to_vec());
+        }
+        self.db.write(batch.clone())?;
+        self.run_commit_hook(id, &batch)?;
+        Ok(())
+    }
+
+    /// True when `id` exists on this node.
+    pub fn object_exists(&self, id: &ObjectId) -> bool {
+        matches!(self.db.get(&keys::meta_key(id)), Ok(Some(_)))
+    }
+
+    /// The type name of `id`.
+    ///
+    /// # Errors
+    /// [`InvokeError::UnknownObject`] when absent.
+    pub fn object_type_name(&self, id: &ObjectId) -> Result<String> {
+        match self.db.get(&keys::meta_key(id))? {
+            Some(bytes) => Ok(String::from_utf8_lossy(&bytes).into_owned()),
+            None => Err(InvokeError::UnknownObject(id.to_string())),
+        }
+    }
+
+    /// Remove an object and all its data.
+    ///
+    /// # Errors
+    /// Storage failures; deleting a missing object is a no-op.
+    pub fn delete_object(&self, id: &ObjectId) -> Result<()> {
+        let _guard = self.scheduler.acquire_exclusive(id, &[]);
+        let prefix = keys::object_prefix(id);
+        let mut batch = WriteBatch::new();
+        for (key, _) in self.db.scan_prefix(&prefix) {
+            batch.delete(key);
+        }
+        if !batch.is_empty() {
+            self.db.write(batch.clone())?;
+            self.run_commit_hook(id, &batch)?;
+        }
+        self.cache.invalidate_object(id);
+        Ok(())
+    }
+
+    /// Enumerate every object stored on this node (admin/rebalancing use;
+    /// scans the meta keys).
+    pub fn list_objects(&self) -> Vec<ObjectId> {
+        self.db
+            .scan_prefix(b"o")
+            .filter_map(|(key, _)| {
+                let (id, suffix) = keys::split_key(&key)?;
+                (suffix == b"m").then_some(id)
+            })
+            .collect()
+    }
+
+    /// The commit version of `id` (0 before its first mutating commit).
+    pub fn object_version(&self, id: &ObjectId) -> u64 {
+        self.db
+            .get(&keys::version_key(id))
+            .ok()
+            .flatten()
+            .and_then(|v| v.try_into().ok())
+            .map(u64::from_le_bytes)
+            .unwrap_or(0)
+    }
+
+    // -- Invocation ----------------------------------------------------------
+
+    /// Invoke a public method from outside (a client request).
+    ///
+    /// # Errors
+    /// Any [`InvokeError`]; on error no writes were applied (beyond those
+    /// committed by nested-call boundaries per §3.1).
+    pub fn invoke(&self, object: &ObjectId, method: &str, args: Vec<VmValue>) -> Result<VmValue> {
+        self.invoke_with_depth(object, method, args, true, 0)
+    }
+
+    /// Full-control invocation entry used by routers and replication:
+    /// `external` enforces the `public` flag, `depth` is the nesting depth
+    /// (0 for client-facing invocations).
+    ///
+    /// # Errors
+    /// Any [`InvokeError`].
+    pub fn invoke_with_depth(
+        &self,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        external: bool,
+        depth: usize,
+    ) -> Result<VmValue> {
+        if depth >= self.max_depth {
+            return Err(InvokeError::DepthExceeded);
+        }
+        let ty = self.object_type(object)?;
+        let meta = ty
+            .method_meta(method)
+            .ok_or_else(|| InvokeError::UnknownMethod(method.to_string()))?;
+        if external && !meta.public {
+            return Err(InvokeError::NotPublic(method.to_string()));
+        }
+
+        let cacheable = self.cache_enabled && meta.read_only && meta.deterministic;
+        if cacheable {
+            // Plain O(1) lookup: every write path invalidates eagerly, so
+            // resident entries are valid by construction (§4.2.2).
+            if let Some(hit) = self.cache.lookup(object, method, &args) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.invocations.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+
+        let guard = if meta.read_only {
+            self.scheduler.acquire_shared(object, &[])
+        } else {
+            self.scheduler.acquire_exclusive(object, &[])
+        };
+
+        let snapshot_seq = self.db.last_sequence();
+        let mut host = ObjectHost::new(
+            &self.db,
+            object.clone(),
+            snapshot_seq,
+            meta.read_only,
+            cacheable,
+            Some(self),
+            depth,
+            Some(guard),
+        );
+
+        let outcome: std::result::Result<VmValue, InvokeError> = match &ty.methods {
+            MethodSet::Bytecode(module) => self
+                .interpreter
+                .execute(module, method, args.clone(), &mut host)
+                .map_err(InvokeError::from),
+            MethodSet::Native(reg) => {
+                reg.invoke(method, args.clone(), &mut host).map_err(InvokeError::from)
+            }
+        };
+        self.nested_calls.fetch_add(host.nested_calls, Ordering::Relaxed);
+
+        match outcome {
+            Ok(value) => {
+                let read_set = host.buffer.read_set();
+                debug_assert!(
+                    !meta.read_only || host.buffer.is_clean(),
+                    "read-only invocation buffered writes"
+                );
+                if !host.buffer.is_clean() {
+                    let written = host.buffer.written_keys();
+                    let batch = host.buffer.take_batch();
+                    self.commit_batch(object, batch, &written)?;
+                }
+                drop(host);
+                self.invocations.fetch_add(1, Ordering::Relaxed);
+                if cacheable {
+                    self.cache.insert(object, method, &args, value.clone(), read_set);
+                }
+                Ok(value)
+            }
+            Err(e) => {
+                host.buffer.discard();
+                drop(host);
+                self.aborts.fetch_add(1, Ordering::Relaxed);
+                // Unwrap nested-error encoding so callers see the original.
+                if let InvokeError::Nested(msg) = &e {
+                    if msg.contains('\x1f') {
+                        return Err(crate::error::decode_error(msg));
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn object_type(&self, id: &ObjectId) -> Result<Arc<ObjectType>> {
+        let name = self.object_type_name(id)?;
+        self.types.get(&name).ok_or(InvokeError::UnknownType(name))
+    }
+
+    /// Resolve the [`ObjectType`] of `id` (shared with the transaction
+    /// extension).
+    pub(crate) fn object_type_of(&self, id: &ObjectId) -> Result<Arc<ObjectType>> {
+        self.object_type(id)
+    }
+
+    /// The interpreter (shared with the transaction extension).
+    pub(crate) fn interpreter_ref(&self) -> &Interpreter {
+        &self.interpreter
+    }
+
+    /// Commit a multi-object transaction batch: apply atomically, run the
+    /// replication hook per touched object, invalidate caches.
+    pub(crate) fn commit_transaction_batch(
+        &self,
+        objects: &[ObjectId],
+        batch: WriteBatch,
+        written_keys: &[Vec<u8>],
+    ) -> Result<()> {
+        self.db.write(batch.clone())?;
+        // Group the committed ops per object for the replication hook.
+        for object in objects {
+            let ops: Vec<(Vec<u8>, Option<Vec<u8>>)> = batch
+                .iter()
+                .filter_map(|op| {
+                    let key = op.key().to_vec();
+                    let (owner, _) = keys::split_key(&key)?;
+                    if &owner != object {
+                        return None;
+                    }
+                    Some(match op {
+                        lambda_kv::batch::BatchOp::Put { value, .. } => {
+                            (key, Some(value.clone()))
+                        }
+                        lambda_kv::batch::BatchOp::Delete { .. } => (key, None),
+                    })
+                })
+                .collect();
+            if !ops.is_empty() {
+                let hook = self.commit_hook.read().clone();
+                if let Some(hook) = hook {
+                    hook.on_commit(object, &ops).map_err(InvokeError::Storage)?;
+                }
+            }
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.cache.invalidate_keys(written_keys.iter().map(Vec::as_slice));
+        Ok(())
+    }
+
+    /// Commit an invocation's write set atomically, bumping the object's
+    /// version and invalidating overlapping cache entries.
+    fn commit_batch(
+        &self,
+        object: &ObjectId,
+        mut batch: WriteBatch,
+        written_keys: &[Vec<u8>],
+    ) -> Result<u64> {
+        let vkey = keys::version_key(object);
+        let version = self.object_version(object) + 1;
+        batch.put(vkey.clone(), version.to_le_bytes().to_vec());
+        self.db.write(batch.clone())?;
+        self.run_commit_hook(object, &batch)?;
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        let mut all_keys: Vec<&[u8]> = written_keys.iter().map(Vec::as_slice).collect();
+        all_keys.push(&vkey);
+        self.cache.invalidate_keys(all_keys);
+        Ok(self.db.last_sequence())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            nested_calls: self.nested_calls.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            scheduler: self.scheduler.stats(),
+        }
+    }
+
+    /// Access the consistent cache (benchmarks/diagnostics).
+    pub fn cache(&self) -> &ConsistentCache {
+        &self.cache
+    }
+
+    /// Access the scheduler (benchmarks/diagnostics).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+}
+
+impl NestedInvoker for Engine {
+    fn commit_source(
+        &self,
+        source: &ObjectId,
+        batch: WriteBatch,
+        written_keys: Vec<Vec<u8>>,
+    ) -> std::result::Result<(), HostError> {
+        self.commit_batch(source, batch, &written_keys)
+            .map(|_| ())
+            .map_err(|e| HostError::Storage(e.to_string()))
+    }
+
+    fn invoke_nested(
+        &self,
+        target: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        depth: usize,
+    ) -> std::result::Result<VmValue, HostError> {
+        let router = self.router.read().clone();
+        let result = match router {
+            Some(router) => router.route(target, target, method, args, depth),
+            None => self.invoke_with_depth(target, method, args, false, depth),
+        };
+        result.map_err(|e| HostError::InvokeFailed(encode_error(&e)))
+    }
+
+    fn reacquire(&self, object: &ObjectId) -> (crate::scheduler::ObjectGuard, u64) {
+        let guard = self.scheduler.acquire_exclusive(object, &[]);
+        (guard, self.db.last_sequence())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{FieldDef, FieldKind};
+    use lambda_kv::Options;
+    use lambda_vm::assemble;
+    use std::path::PathBuf;
+
+    fn counter_module() -> ObjectType {
+        let module = assemble(
+            r#"
+            fn init(0) {
+                push.s "count"
+                push.s "0"
+                host.put
+                ret
+            }
+            fn bump_raw(1) locals=2 {
+                ; arg 0: how many entries to also append to the log
+                push.s "count"
+                host.get
+                store 1
+                load 1
+                jz missing
+                jmp have
+            missing:
+                trap "count field missing"
+            have:
+                ; store count+1 as a single byte string of the arg (simplified):
+                push.s "count"
+                load 0
+                host.put
+                ret
+            }
+            fn read_count(0) ro det {
+                push.s "count"
+                host.get
+                ret
+            }
+            fn crash(0) {
+                push.s "count"
+                push.s "partial"
+                host.put
+                trap "deliberate crash"
+            }
+            fn abort_after_write(0) {
+                push.s "count"
+                push.s "partial"
+                host.put
+                push.s "rolled back"
+                host.abort
+            }
+            fn hidden(0) priv {
+                unit
+                ret
+            }
+            fn poke_other(2) {
+                ; args: target object id, value
+                load 0
+                push.s "bump_raw"
+                load 1
+                mklist 1
+                host.invoke
+                ret
+            }
+            fn write_then_poke(2) locals=2 {
+                ; write locally, then nested-invoke target; our write commits first
+                push.s "count"
+                push.s "pre-call"
+                host.put
+                load 0
+                push.s "bump_raw"
+                load 1
+                mklist 1
+                host.invoke
+                ret
+            }
+            fn poke_then_crash(2) {
+                load 0
+                push.s "bump_raw"
+                load 1
+                mklist 1
+                host.invoke
+                pop
+                trap "after nested"
+            }
+            "#,
+        )
+        .unwrap();
+        ObjectType::from_module(
+            "Counter",
+            vec![FieldDef { name: "count".into(), kind: FieldKind::Scalar }],
+            module,
+        )
+        .unwrap()
+    }
+
+    struct TestEnv {
+        engine: Arc<Engine>,
+        dir: PathBuf,
+    }
+
+    impl Drop for TestEnv {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.dir).ok();
+        }
+    }
+
+    fn setup(config: EngineConfig) -> TestEnv {
+        use std::sync::atomic::AtomicU32;
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("lambda-engine-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let types = Arc::new(TypeRegistry::new());
+        types.register(counter_module());
+        TestEnv { engine: Arc::new(Engine::new(db, types, config)), dir }
+    }
+
+    fn oid(s: &str) -> ObjectId {
+        ObjectId::from(s)
+    }
+
+    #[test]
+    fn create_invoke_read_round_trip() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[]).unwrap();
+        env.engine.invoke(&id, "init", vec![]).unwrap();
+        let v = env.engine.invoke(&id, "read_count", vec![]).unwrap();
+        assert_eq!(v, VmValue::str("0"));
+        env.engine
+            .invoke(&id, "bump_raw", vec![VmValue::str("7")])
+            .unwrap();
+        let v = env.engine.invoke(&id, "read_count", vec![]).unwrap();
+        assert_eq!(v, VmValue::str("7"));
+    }
+
+    #[test]
+    fn create_validates_type_and_duplicates() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        assert!(matches!(
+            env.engine.create_object("Nope", &id, &[]),
+            Err(InvokeError::UnknownType(_))
+        ));
+        env.engine.create_object("Counter", &id, &[("count", b"5")]).unwrap();
+        assert!(matches!(
+            env.engine.create_object("Counter", &id, &[]),
+            Err(InvokeError::AlreadyExists(_))
+        ));
+        // Initial field visible.
+        assert_eq!(
+            env.engine.invoke(&id, "read_count", vec![]).unwrap(),
+            VmValue::str("5")
+        );
+    }
+
+    #[test]
+    fn invoking_missing_object_or_method_fails() {
+        let env = setup(EngineConfig::default());
+        assert!(matches!(
+            env.engine.invoke(&oid("ghost"), "init", vec![]),
+            Err(InvokeError::UnknownObject(_))
+        ));
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[]).unwrap();
+        assert!(matches!(
+            env.engine.invoke(&id, "nope", vec![]),
+            Err(InvokeError::UnknownMethod(_))
+        ));
+    }
+
+    #[test]
+    fn private_methods_rejected_externally() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[]).unwrap();
+        assert!(matches!(
+            env.engine.invoke(&id, "hidden", vec![]),
+            Err(InvokeError::NotPublic(_))
+        ));
+        // Internal path allows it.
+        assert!(env
+            .engine
+            .invoke_with_depth(&id, "hidden", vec![], false, 0)
+            .is_ok());
+    }
+
+    #[test]
+    fn atomicity_failed_invocation_leaves_no_writes() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"ok")]).unwrap();
+        let err = env.engine.invoke(&id, "crash", vec![]).unwrap_err();
+        assert!(matches!(err, InvokeError::Vm(_)));
+        assert_eq!(
+            env.engine.invoke(&id, "read_count", vec![]).unwrap(),
+            VmValue::str("ok"),
+            "partial write must be invisible"
+        );
+        assert_eq!(env.engine.stats().aborts, 1);
+    }
+
+    #[test]
+    fn voluntary_abort_discards_writes() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"ok")]).unwrap();
+        let err = env.engine.invoke(&id, "abort_after_write", vec![]).unwrap_err();
+        assert_eq!(err, InvokeError::Aborted("rolled back".into()));
+        assert_eq!(
+            env.engine.invoke(&id, "read_count", vec![]).unwrap(),
+            VmValue::str("ok")
+        );
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutating_commit() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[]).unwrap();
+        assert_eq!(env.engine.object_version(&id), 0);
+        env.engine.invoke(&id, "init", vec![]).unwrap();
+        env.engine.invoke(&id, "bump_raw", vec![VmValue::str("1")]).unwrap();
+        assert_eq!(env.engine.object_version(&id), 2);
+        // Read-only invocations do not bump.
+        env.engine.invoke(&id, "read_count", vec![]).unwrap();
+        assert_eq!(env.engine.object_version(&id), 2);
+    }
+
+    #[test]
+    fn nested_invocation_reaches_other_object() {
+        let env = setup(EngineConfig::default());
+        let a = oid("c/a");
+        let b = oid("c/b");
+        env.engine.create_object("Counter", &a, &[("count", b"a0")]).unwrap();
+        env.engine.create_object("Counter", &b, &[("count", b"b0")]).unwrap();
+        env.engine
+            .invoke(&a, "poke_other", vec![VmValue::str("c/b"), VmValue::str("b1")])
+            .unwrap();
+        assert_eq!(
+            env.engine.invoke(&b, "read_count", vec![]).unwrap(),
+            VmValue::str("b1")
+        );
+        assert_eq!(env.engine.stats().nested_calls, 1);
+    }
+
+    #[test]
+    fn nested_boundary_commits_precall_writes_even_if_caller_later_crashes() {
+        // §3.1: parts before and after a nested call are separate
+        // invocations; the pre-call part survives a post-call crash.
+        let env = setup(EngineConfig::default());
+        let a = oid("c/a");
+        let b = oid("c/b");
+        env.engine.create_object("Counter", &a, &[("count", b"a0")]).unwrap();
+        env.engine.create_object("Counter", &b, &[("count", b"b0")]).unwrap();
+        let err = env
+            .engine
+            .invoke(&a, "poke_then_crash", vec![VmValue::str("c/b"), VmValue::str("b9")])
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::Vm(_)));
+        // The nested call's effect is durable.
+        assert_eq!(
+            env.engine.invoke(&b, "read_count", vec![]).unwrap(),
+            VmValue::str("b9")
+        );
+    }
+
+    #[test]
+    fn precall_writes_commit_before_nested_call() {
+        let env = setup(EngineConfig::default());
+        let a = oid("c/a");
+        let b = oid("c/b");
+        env.engine.create_object("Counter", &a, &[("count", b"a0")]).unwrap();
+        env.engine.create_object("Counter", &b, &[("count", b"b0")]).unwrap();
+        env.engine
+            .invoke(&a, "write_then_poke", vec![VmValue::str("c/b"), VmValue::str("b1")])
+            .unwrap();
+        assert_eq!(
+            env.engine.invoke(&a, "read_count", vec![]).unwrap(),
+            VmValue::str("pre-call")
+        );
+    }
+
+    #[test]
+    fn self_invocation_does_not_deadlock() {
+        let env = setup(EngineConfig::default());
+        let a = oid("c/a");
+        env.engine.create_object("Counter", &a, &[("count", b"a0")]).unwrap();
+        // a invokes a method on itself (e.g. a user following themselves).
+        env.engine
+            .invoke(&a, "poke_other", vec![VmValue::str("c/a"), VmValue::str("self")])
+            .unwrap();
+        assert_eq!(
+            env.engine.invoke(&a, "read_count", vec![]).unwrap(),
+            VmValue::str("self")
+        );
+    }
+
+    #[test]
+    fn cache_serves_repeat_reads_and_invalidates_on_write() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"x")]).unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                env.engine.invoke(&id, "read_count", vec![]).unwrap(),
+                VmValue::str("x")
+            );
+        }
+        let stats = env.engine.stats();
+        assert_eq!(stats.cache_hits, 2, "first fills, rest hit");
+        // A write invalidates.
+        env.engine.invoke(&id, "bump_raw", vec![VmValue::str("y")]).unwrap();
+        assert_eq!(
+            env.engine.invoke(&id, "read_count", vec![]).unwrap(),
+            VmValue::str("y"),
+            "stale result must not be served"
+        );
+    }
+
+    #[test]
+    fn cache_disabled_by_zero_capacity() {
+        let env = setup(EngineConfig { cache_capacity: 0, ..EngineConfig::default() });
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"x")]).unwrap();
+        env.engine.invoke(&id, "read_count", vec![]).unwrap();
+        env.engine.invoke(&id, "read_count", vec![]).unwrap();
+        assert_eq!(env.engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn depth_limit_stops_runaway_recursion() {
+        let env = setup(EngineConfig { max_depth: 4, ..EngineConfig::default() });
+        let a = oid("c/a");
+        let b = oid("c/b");
+        env.engine.create_object("Counter", &a, &[("count", b"0")]).unwrap();
+        env.engine.create_object("Counter", &b, &[("count", b"0")]).unwrap();
+        // poke_other invoking bump_raw is depth 2 — fine. To exercise the
+        // limit, call invoke_with_depth with a synthetic deep depth.
+        let err = env
+            .engine
+            .invoke_with_depth(&a, "read_count", vec![], false, 4)
+            .unwrap_err();
+        assert_eq!(err, InvokeError::DepthExceeded);
+    }
+
+    #[test]
+    fn concurrent_writers_on_same_object_serialize() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/hot");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        let engine = Arc::clone(&env.engine);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let id = id.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        engine
+                            .invoke(
+                                &id,
+                                "bump_raw",
+                                vec![VmValue::str(format!("{t}-{i}"))],
+                            )
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(engine.object_version(&id), 100, "all 100 commits applied");
+    }
+
+    #[test]
+    fn delete_object_removes_all_data() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"v")]).unwrap();
+        env.engine.invoke(&id, "bump_raw", vec![VmValue::str("w")]).unwrap();
+        assert!(env.engine.object_exists(&id));
+        env.engine.delete_object(&id).unwrap();
+        assert!(!env.engine.object_exists(&id));
+        assert!(matches!(
+            env.engine.invoke(&id, "read_count", vec![]),
+            Err(InvokeError::UnknownObject(_))
+        ));
+        // Idempotent.
+        env.engine.delete_object(&id).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod scatter_tests {
+    use super::*;
+    use crate::object::{FieldDef, FieldKind, ObjectType, TypeRegistry};
+    use lambda_kv::{Db, Options};
+    use lambda_vm::assemble;
+    use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+
+    fn scatter_engine() -> (Engine, std::path::PathBuf) {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, AtomicOrdering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("lambda-scatter-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let types = Arc::new(TypeRegistry::new());
+        let module = assemble(
+            r#"
+            fn broadcast(2) {
+                ; args: list of target ids, payload
+                load 0
+                push.s "receive"
+                load 1
+                mklist 1
+                host.invoke_many
+                ret
+            }
+            fn receive(1) {
+                push.s "inbox"
+                load 0
+                host.push
+                ret
+            }
+            fn broadcast_picky(2) {
+                load 0
+                push.s "receive_picky"
+                load 1
+                mklist 1
+                host.invoke_many
+                ret
+            }
+            fn receive_picky(1) locals=2 {
+                ; aborts on payload "poison"
+                load 0
+                push.s "poison"
+                eq
+                jz accept
+                push.s "rejected"
+                host.abort
+            accept:
+                push.s "inbox"
+                load 0
+                host.push
+                ret
+            }
+            fn inbox_count(0) ro det {
+                push.s "inbox"
+                host.count
+                ret
+            }
+            "#,
+        )
+        .unwrap();
+        types.register(
+            ObjectType::from_module(
+                "Node",
+                vec![FieldDef { name: "inbox".into(), kind: FieldKind::Collection }],
+                module,
+            )
+            .unwrap(),
+        );
+        (Engine::new(db, types, EngineConfig::default()), dir)
+    }
+
+    fn oid(s: &str) -> ObjectId {
+        ObjectId::from(s)
+    }
+
+    #[test]
+    fn invoke_many_scatters_to_all_targets() {
+        let (engine, dir) = scatter_engine();
+        let src = oid("n/src");
+        engine.create_object("Node", &src, &[]).unwrap();
+        let targets: Vec<VmValue> = (0..10)
+            .map(|i| {
+                let id = oid(&format!("n/{i}"));
+                engine.create_object("Node", &id, &[]).unwrap();
+                VmValue::Bytes(id.0)
+            })
+            .collect();
+        let results = engine
+            .invoke(
+                &src,
+                "broadcast",
+                vec![VmValue::List(targets), VmValue::str("hello")],
+            )
+            .unwrap();
+        assert_eq!(results.as_list().unwrap().len(), 10, "one result per target");
+        for i in 0..10 {
+            let n = engine.invoke(&oid(&format!("n/{i}")), "inbox_count", vec![]).unwrap();
+            assert_eq!(n, VmValue::Int(1), "target {i} received the payload");
+        }
+        assert_eq!(engine.stats().nested_calls, 10);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn invoke_many_empty_target_list_is_noop() {
+        let (engine, dir) = scatter_engine();
+        let src = oid("n/src");
+        engine.create_object("Node", &src, &[]).unwrap();
+        let out = engine
+            .invoke(
+                &src,
+                "broadcast",
+                vec![VmValue::List(vec![]), VmValue::str("x")],
+            )
+            .unwrap();
+        assert_eq!(out.as_list().unwrap().len(), 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scatter_branch_failure_fails_the_caller_without_partial_branch_writes() {
+        // Each scatter branch is its own invocation (§3.1): a branch that
+        // aborts discards its own writes, and the error propagates to the
+        // caller, aborting the caller's remaining work.
+        let (engine, dir) = scatter_engine();
+        let src = oid("n/src");
+        engine.create_object("Node", &src, &[]).unwrap();
+        let targets: Vec<VmValue> = (0..3)
+            .map(|i| {
+                let id = oid(&format!("p/{i}"));
+                engine.create_object("Node", &id, &[]).unwrap();
+                VmValue::Bytes(id.0)
+            })
+            .collect();
+        let err = engine
+            .invoke(
+                &src,
+                "broadcast_picky",
+                vec![VmValue::List(targets.clone()), VmValue::str("poison")],
+            )
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::Aborted(_)), "{err}");
+        // Aborted branches wrote nothing.
+        for t in &targets {
+            let id = ObjectId::new(t.as_bytes().unwrap().to_vec());
+            let n = engine.invoke(&id, "inbox_count", vec![]).unwrap();
+            assert_eq!(n, VmValue::Int(0), "aborted branch must not deliver");
+        }
+        // A clean payload goes through the same path.
+        engine
+            .invoke(
+                &src,
+                "broadcast_picky",
+                vec![VmValue::List(targets.clone()), VmValue::str("fine")],
+            )
+            .unwrap();
+        for t in &targets {
+            let id = ObjectId::new(t.as_bytes().unwrap().to_vec());
+            let n = engine.invoke(&id, "inbox_count", vec![]).unwrap();
+            assert_eq!(n, VmValue::Int(1));
+        }
+        std::fs::remove_dir_all(dir).ok();
+
+    }
+}

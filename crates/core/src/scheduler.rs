@@ -1,0 +1,272 @@
+//! Per-object scheduling / concurrency control.
+//!
+//! §4.2: storage nodes "avoid write conflicts by not scheduling two
+//! functions modifying data of the same object at the same time", combining
+//! function scheduling with concurrency control — the application developer
+//! "determine\[s\] the granularity of locks" by deciding what an object is.
+//!
+//! Mutating invocations take the object's lock exclusively; read-only
+//! invocations share it. Alternative modes exist for the scheduler
+//! ablation (ABL-SCHED in DESIGN.md): one global lock (coarse), or no
+//! locking at all (unsafe, for measuring what the locks cost).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::object::ObjectId;
+
+/// Locking disciplines, selectable for ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// One reader-writer lock per object (the paper's design).
+    #[default]
+    PerObject,
+    /// A single lock for the whole node (what a naive embedding would do).
+    Global,
+    /// No locking: invocation linearizability is **not** provided. Only for
+    /// measuring lock overhead against.
+    Unsafe,
+}
+
+/// Scheduler statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Exclusive acquisitions.
+    pub exclusive: u64,
+    /// Shared acquisitions.
+    pub shared: u64,
+}
+
+/// Grants and tracks object locks.
+pub struct Scheduler {
+    mode: SchedulerMode,
+    locks: Mutex<HashMap<ObjectId, Arc<RwLock<()>>>>,
+    global: Arc<RwLock<()>>,
+    exclusive: AtomicU64,
+    shared: AtomicU64,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler").field("mode", &self.mode).finish()
+    }
+}
+
+/// A held object lock; released on drop.
+pub struct ObjectGuard {
+    _lock: Option<GuardKind>,
+}
+
+impl std::fmt::Debug for ObjectGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectGuard").finish()
+    }
+}
+
+enum GuardKind {
+    Shared(#[allow(dead_code)] parking_lot::ArcRwLockReadGuard<parking_lot::RawRwLock, ()>),
+    Exclusive(#[allow(dead_code)] parking_lot::ArcRwLockWriteGuard<parking_lot::RawRwLock, ()>),
+}
+
+impl Scheduler {
+    /// A scheduler with the given discipline.
+    pub fn new(mode: SchedulerMode) -> Scheduler {
+        Scheduler {
+            mode,
+            locks: Mutex::new(HashMap::new()),
+            global: Arc::new(RwLock::new(())),
+            exclusive: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
+        }
+    }
+
+    /// The active discipline.
+    pub fn mode(&self) -> SchedulerMode {
+        self.mode
+    }
+
+    fn lock_for(&self, object: &ObjectId) -> Arc<RwLock<()>> {
+        match self.mode {
+            SchedulerMode::Global => Arc::clone(&self.global),
+            _ => {
+                let mut locks = self.locks.lock();
+                Arc::clone(locks.entry(object.clone()).or_default())
+            }
+        }
+    }
+
+    /// Acquire `object` for a mutating invocation (exclusive), blocking
+    /// until granted. If `object` appears in `held`, the caller already
+    /// owns it higher up a nested-invocation chain and no lock is taken
+    /// (re-entrancy; see §3.1 — the outer parts are separate invocations).
+    pub fn acquire_exclusive(&self, object: &ObjectId, held: &[ObjectId]) -> ObjectGuard {
+        self.exclusive.fetch_add(1, Ordering::Relaxed);
+        if self.mode == SchedulerMode::Unsafe || held.contains(object) {
+            return ObjectGuard { _lock: None };
+        }
+        let lock = self.lock_for(object);
+        ObjectGuard { _lock: Some(GuardKind::Exclusive(lock.write_arc())) }
+    }
+
+    /// Acquire `object` for a read-only invocation (shared).
+    pub fn acquire_shared(&self, object: &ObjectId, held: &[ObjectId]) -> ObjectGuard {
+        self.shared.fetch_add(1, Ordering::Relaxed);
+        if self.mode == SchedulerMode::Unsafe || held.contains(object) {
+            return ObjectGuard { _lock: None };
+        }
+        let lock = self.lock_for(object);
+        ObjectGuard { _lock: Some(GuardKind::Shared(lock.read_arc())) }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            exclusive: self.exclusive.load(Ordering::Relaxed),
+            shared: self.shared.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop lock table entries no longer held by anyone (housekeeping for
+    /// long-running nodes with many short-lived objects).
+    pub fn gc(&self) {
+        let mut locks = self.locks.lock();
+        locks.retain(|_, l| Arc::strong_count(l) > 1 || l.is_locked());
+    }
+
+    /// Number of objects with materialized locks.
+    pub fn tracked_objects(&self) -> usize {
+        self.locks.lock().len()
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new(SchedulerMode::PerObject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn oid(s: &str) -> ObjectId {
+        ObjectId::from(s)
+    }
+
+    #[test]
+    fn exclusive_excludes_exclusive_same_object() {
+        let sched = Arc::new(Scheduler::default());
+        let running = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let sched = Arc::clone(&sched);
+                let running = Arc::clone(&running);
+                let max_seen = Arc::clone(&max_seen);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _g = sched.acquire_exclusive(&oid("hot"), &[]);
+                        let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_micros(20));
+                        running.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "never two writers at once");
+    }
+
+    #[test]
+    fn different_objects_run_in_parallel() {
+        let sched = Arc::new(Scheduler::default());
+        let g1 = sched.acquire_exclusive(&oid("a"), &[]);
+        // Must not block:
+        let g2 = sched.acquire_exclusive(&oid("b"), &[]);
+        drop((g1, g2));
+    }
+
+    #[test]
+    fn readers_share() {
+        let sched = Arc::new(Scheduler::default());
+        let g1 = sched.acquire_shared(&oid("a"), &[]);
+        let g2 = sched.acquire_shared(&oid("a"), &[]);
+        drop((g1, g2));
+        assert_eq!(sched.stats().shared, 2);
+    }
+
+    #[test]
+    fn writer_blocks_reader() {
+        let sched = Arc::new(Scheduler::default());
+        let g = sched.acquire_exclusive(&oid("a"), &[]);
+        let sched2 = Arc::clone(&sched);
+        let t = std::thread::spawn(move || {
+            let _g = sched2.acquire_shared(&oid("a"), &[]);
+            // Reached only after the writer releases.
+            true
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!t.is_finished(), "reader must wait for writer");
+        drop(g);
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn held_objects_reenter_without_deadlock() {
+        let sched = Scheduler::default();
+        let id = oid("self-follower");
+        let g1 = sched.acquire_exclusive(&id, &[]);
+        // A nested invocation on the same object in the same chain.
+        let g2 = sched.acquire_exclusive(&id, std::slice::from_ref(&id));
+        drop((g1, g2));
+    }
+
+    #[test]
+    fn global_mode_serializes_everything() {
+        let sched = Scheduler::new(SchedulerMode::Global);
+        let g1 = sched.acquire_exclusive(&oid("a"), &[]);
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let sched = Arc::new(sched);
+        let sched2 = Arc::clone(&sched);
+        let t = std::thread::spawn(move || {
+            let _g = sched2.acquire_exclusive(&oid("b"), &[]);
+            done2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(done.load(Ordering::SeqCst), 0, "different object still blocked");
+        drop(g1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn unsafe_mode_never_blocks() {
+        let sched = Scheduler::new(SchedulerMode::Unsafe);
+        let g1 = sched.acquire_exclusive(&oid("a"), &[]);
+        let g2 = sched.acquire_exclusive(&oid("a"), &[]);
+        drop((g1, g2));
+    }
+
+    #[test]
+    fn gc_reclaims_unused_locks() {
+        let sched = Scheduler::default();
+        for i in 0..100 {
+            let _g = sched.acquire_exclusive(&oid(&format!("tmp-{i}")), &[]);
+        }
+        assert_eq!(sched.tracked_objects(), 100);
+        sched.gc();
+        assert_eq!(sched.tracked_objects(), 0);
+        // A held lock survives gc.
+        let _g = sched.acquire_exclusive(&oid("live"), &[]);
+        sched.gc();
+        assert_eq!(sched.tracked_objects(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the LambdaObjects core: key-layout bijectivity,
+//! write-buffer semantics against a model, and cache consistency under
+//! random interleavings of reads and invalidating writes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use lambda_objects::{keys, value_hash, ConsistentCache, ObjectId, WriteBuffer};
+use lambda_vm::VmValue;
+
+fn object_id_strategy() -> impl Strategy<Value = ObjectId> {
+    proptest::collection::vec(any::<u8>(), 0..40).prop_map(ObjectId::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn key_layout_is_bijective(
+        id in object_id_strategy(),
+        field in proptest::collection::vec(any::<u8>(), 0..24),
+        index in any::<u64>(),
+    ) {
+        for key in [
+            keys::meta_key(&id),
+            keys::version_key(&id),
+            keys::field_key(&id, &field),
+            keys::counter_key(&id, &field),
+            keys::entry_key(&id, &field, index),
+        ] {
+            let (got, suffix) = keys::split_key(&key).expect("own keys split");
+            prop_assert_eq!(&got, &id);
+            prop_assert_eq!(keys::join_key(&got, &suffix), key);
+        }
+    }
+
+    #[test]
+    fn distinct_objects_have_disjoint_prefixes(
+        a in object_id_strategy(),
+        b in object_id_strategy(),
+    ) {
+        prop_assume!(a != b);
+        let pa = keys::object_prefix(&a);
+        let pb = keys::object_prefix(&b);
+        prop_assert!(!pa.starts_with(&pb) && !pb.starts_with(&pa),
+            "prefixes must never nest");
+    }
+
+    #[test]
+    fn write_buffer_matches_model(
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..8),
+             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..16))),
+            0..40
+        ),
+    ) {
+        let mut buffer = WriteBuffer::new(false);
+        let mut model: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for (key, value) in &ops {
+            match value {
+                Some(v) => {
+                    buffer.put(key.clone(), v.clone());
+                    model.insert(key.clone(), Some(v.clone()));
+                }
+                None => {
+                    buffer.delete(key.clone());
+                    model.insert(key.clone(), None);
+                }
+            }
+        }
+        // Buffered view matches the model.
+        for (key, expected) in &model {
+            prop_assert_eq!(buffer.get(key), Some(expected.clone()));
+        }
+        // The committed batch has exactly one op per distinct key.
+        let batch = buffer.take_batch();
+        prop_assert_eq!(batch.len(), model.len());
+        prop_assert!(buffer.is_clean());
+    }
+
+    #[test]
+    fn value_hash_collision_resistant_on_structure(
+        a in proptest::collection::vec(any::<u8>(), 0..32),
+        b in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        if a != b {
+            // FNV is not cryptographic, but must separate simple cases —
+            // most importantly presence/absence and prefix extensions.
+            prop_assert_ne!(value_hash(Some(&a)), value_hash(None));
+        } else {
+            prop_assert_eq!(value_hash(Some(&a)), value_hash(Some(&b)));
+        }
+    }
+
+    #[test]
+    fn cache_never_serves_stale_after_invalidation(
+        // Sequence of (key index written, new value) interleaved with reads.
+        writes in proptest::collection::vec((0usize..4, any::<u64>()), 1..20),
+    ) {
+        let cache = ConsistentCache::new(64);
+        let object = ObjectId::from("obj/prop");
+        // World state: 4 storage keys.
+        let mut world = [0u64; 4];
+        let keyname = |i: usize| format!("k{i}").into_bytes();
+
+        // Seed: cache one entry per key, recording its read set.
+        for (i, w) in world.iter().enumerate() {
+            let read_set = vec![(keyname(i), value_hash(Some(&w.to_le_bytes())))];
+            cache.insert(&object, "m", &[VmValue::Int(i as i64)], VmValue::Int(*w as i64), read_set);
+        }
+
+        for (idx, new_value) in writes {
+            // A commit to key idx: world changes, cache is eagerly invalidated.
+            world[idx] = new_value;
+            cache.invalidate_keys([keyname(idx).as_slice()]);
+
+            // Every subsequent lookup must reflect the *current* world:
+            // either a miss, or a value equal to the world's.
+            for i in 0..4 {
+                let current = world;
+                let hit = cache.lookup_validated(&object, "m", &[VmValue::Int(i as i64)], |k| {
+                    let j: usize = String::from_utf8_lossy(k)[1..].parse().unwrap();
+                    value_hash(Some(&current[j].to_le_bytes()))
+                });
+                if let Some(v) = hit {
+                    prop_assert_eq!(v, VmValue::Int(world[i] as i64),
+                        "cache served a stale value for key {}", i);
+                }
+            }
+            // Re-populate the invalidated entry like a re-execution would.
+            let read_set = vec![(keyname(idx), value_hash(Some(&world[idx].to_le_bytes())))];
+            cache.insert(&object, "m", &[VmValue::Int(idx as i64)], VmValue::Int(world[idx] as i64), read_set);
+        }
+    }
+
+    #[test]
+    fn counter_codec_round_trips(v in any::<u64>()) {
+        prop_assert_eq!(keys::decode_counter(Some(&keys::encode_counter(v))), v);
+    }
+}

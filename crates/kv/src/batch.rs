@@ -1,0 +1,279 @@
+//! Atomic multi-key write batches.
+//!
+//! A [`WriteBatch`] is the unit of durability and atomicity: the whole batch
+//! is appended to the WAL as a single record and applied to the memtable
+//! under one sequence-number range. LambdaObjects' invocation commit path
+//! (crate `lambda-objects`) maps every function invocation's write set onto
+//! one batch, which is what makes invocations atomic (§3.1 of the paper).
+
+use crate::types::{get_varint32, put_varint32, Key, SeqNo, Value, ValueKind};
+use crate::{KvError, Result};
+
+/// A single operation inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or overwrite `key` with `value`.
+    Put {
+        /// Key to write.
+        key: Key,
+        /// Value to store.
+        value: Value,
+    },
+    /// Remove `key` (writes a tombstone).
+    Delete {
+        /// Key to delete.
+        key: Key,
+    },
+}
+
+impl BatchOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
+
+    /// The kind of LSM entry this op produces.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            BatchOp::Put { .. } => ValueKind::Put,
+            BatchOp::Delete { .. } => ValueKind::Deletion,
+        }
+    }
+}
+
+/// An ordered collection of writes that commits atomically.
+///
+/// # Example
+/// ```
+/// use lambda_kv::WriteBatch;
+/// let mut b = WriteBatch::new();
+/// b.put(b"k1", b"v1");
+/// b.delete(b"k2");
+/// assert_eq!(b.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+    approx_bytes: usize,
+}
+
+impl WriteBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queue a put.
+    pub fn put(&mut self, key: impl Into<Key>, value: impl Into<Value>) -> &mut Self {
+        let (key, value) = (key.into(), value.into());
+        self.approx_bytes += key.len() + value.len() + 16;
+        self.ops.push(BatchOp::Put { key, value });
+        self
+    }
+
+    /// Queue a deletion.
+    pub fn delete(&mut self, key: impl Into<Key>) -> &mut Self {
+        let key = key.into();
+        self.approx_bytes += key.len() + 16;
+        self.ops.push(BatchOp::Delete { key });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Approximate memory footprint, used for memtable accounting.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterate over the queued operations in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BatchOp> {
+        self.ops.iter()
+    }
+
+    /// Append all ops of `other` to `self`.
+    pub fn extend_from(&mut self, other: &WriteBatch) {
+        self.approx_bytes += other.approx_bytes;
+        self.ops.extend(other.ops.iter().cloned());
+    }
+
+    /// Serialize to the WAL payload format:
+    /// `count:varint (kind:u8 klen:varint key vlen:varint value)*`.
+    pub fn encode(&self, seq: SeqNo) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.approx_bytes + 16);
+        out.extend_from_slice(&seq.to_le_bytes());
+        put_varint32(&mut out, self.ops.len() as u32);
+        for op in &self.ops {
+            out.push(op.kind() as u8);
+            match op {
+                BatchOp::Put { key, value } => {
+                    put_varint32(&mut out, key.len() as u32);
+                    out.extend_from_slice(key);
+                    put_varint32(&mut out, value.len() as u32);
+                    out.extend_from_slice(value);
+                }
+                BatchOp::Delete { key } => {
+                    put_varint32(&mut out, key.len() as u32);
+                    out.extend_from_slice(key);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a WAL payload back into `(starting_seq, batch)`.
+    ///
+    /// # Errors
+    /// Returns [`KvError::Corruption`] on framing violations.
+    pub fn decode(buf: &[u8]) -> Result<(SeqNo, WriteBatch)> {
+        let corrupt = |m: &str| KvError::corruption(format!("write batch: {m}"));
+        if buf.len() < 8 {
+            return Err(corrupt("short header"));
+        }
+        let seq = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        let mut pos = 8;
+        let (count, n) = get_varint32(&buf[pos..]).ok_or_else(|| corrupt("bad count"))?;
+        pos += n;
+        let mut batch = WriteBatch::new();
+        for _ in 0..count {
+            let kind = *buf.get(pos).ok_or_else(|| corrupt("missing kind"))?;
+            pos += 1;
+            let kind = ValueKind::from_u8(kind).ok_or_else(|| corrupt("bad kind"))?;
+            let (klen, n) = get_varint32(&buf[pos..]).ok_or_else(|| corrupt("bad klen"))?;
+            pos += n;
+            let key = buf
+                .get(pos..pos + klen as usize)
+                .ok_or_else(|| corrupt("truncated key"))?
+                .to_vec();
+            pos += klen as usize;
+            match kind {
+                ValueKind::Put => {
+                    let (vlen, n) =
+                        get_varint32(&buf[pos..]).ok_or_else(|| corrupt("bad vlen"))?;
+                    pos += n;
+                    let value = buf
+                        .get(pos..pos + vlen as usize)
+                        .ok_or_else(|| corrupt("truncated value"))?
+                        .to_vec();
+                    pos += vlen as usize;
+                    batch.put(key, value);
+                }
+                ValueKind::Deletion => {
+                    batch.delete(key);
+                }
+            }
+        }
+        if pos != buf.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok((seq, batch))
+    }
+}
+
+impl<'a> IntoIterator for &'a WriteBatch {
+    type Item = &'a BatchOp;
+    type IntoIter = std::slice::Iter<'a, BatchOp>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<BatchOp> for WriteBatch {
+    fn from_iter<T: IntoIterator<Item = BatchOp>>(iter: T) -> Self {
+        let mut b = WriteBatch::new();
+        for op in iter {
+            match op {
+                BatchOp::Put { key, value } => {
+                    b.put(key, value);
+                }
+                BatchOp::Delete { key } => {
+                    b.delete(key);
+                }
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WriteBatch {
+        let mut b = WriteBatch::new();
+        b.put(b"alpha".to_vec(), b"1".to_vec());
+        b.delete(b"beta".to_vec());
+        b.put(b"gamma".to_vec(), vec![0u8; 100]);
+        b
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let b = sample();
+        let enc = b.encode(77);
+        let (seq, decoded) = WriteBatch::decode(&enc).unwrap();
+        assert_eq!(seq, 77);
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let b = WriteBatch::new();
+        assert!(b.is_empty());
+        let (seq, decoded) = WriteBatch::decode(&b.encode(0)).unwrap();
+        assert_eq!(seq, 0);
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = sample().encode(1);
+        for cut in 1..enc.len() {
+            let res = WriteBatch::decode(&enc[..cut]);
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut enc = sample().encode(1);
+        enc.push(0xab);
+        assert!(WriteBatch::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn approximate_bytes_grows() {
+        let mut b = WriteBatch::new();
+        let before = b.approximate_bytes();
+        b.put(b"key".to_vec(), vec![0; 1000]);
+        assert!(b.approximate_bytes() >= before + 1000);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = sample();
+        let b = sample();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let ops = vec![
+            BatchOp::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            BatchOp::Delete { key: b"k2".to_vec() },
+        ];
+        let b: WriteBatch = ops.clone().into_iter().collect();
+        assert_eq!(b.iter().cloned().collect::<Vec<_>>(), ops);
+    }
+}

@@ -1,0 +1,901 @@
+//! The database object: ties the WAL, memtables, versions and compaction
+//! together behind a thread-safe handle.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::batch::{BatchOp, WriteBatch};
+use crate::block_cache::BlockCache;
+use crate::compaction::{pick_compaction, run_compaction_cached};
+use crate::iterator::{ChildIter, DbIterator, MergingIterator, VisibilityIterator};
+use crate::memtable::{LookupResult, MemTable};
+use crate::sstable::{Table, TableBuilder};
+use crate::types::{InternalKey, Key, SeqNo, Value, ValueKind, MAX_KEY_LEN, MAX_SEQNO};
+use crate::version::{table_path, wal_path, TableHandle, Version, VersionEdit, VersionSet};
+use crate::wal::{self, Wal};
+use crate::{KvError, Options, Result};
+
+/// Live operation counters, all monotonically increasing.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Committed write batches.
+    pub writes: AtomicU64,
+    /// Point lookups served.
+    pub reads: AtomicU64,
+    /// Memtable flushes performed.
+    pub flushes: AtomicU64,
+    /// Compactions performed.
+    pub compactions: AtomicU64,
+    /// Payload bytes appended to the WAL.
+    pub wal_bytes: AtomicU64,
+}
+
+/// A snapshot of the counters, cheap to copy around.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Committed write batches.
+    pub writes: u64,
+    /// Point lookups served.
+    pub reads: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Payload bytes appended to the WAL.
+    pub wal_bytes: u64,
+}
+
+#[derive(Debug)]
+struct MemState {
+    active: MemTable,
+    immutable: Option<Arc<MemTable>>,
+}
+
+#[derive(Debug)]
+struct WriteState {
+    wal: Wal,
+    wal_number: u64,
+}
+
+#[derive(Debug)]
+struct DbInner {
+    dir: PathBuf,
+    opts: Options,
+    write: Mutex<WriteState>,
+    mem: RwLock<MemState>,
+    versions: Mutex<VersionSet>,
+    current: RwLock<Arc<Version>>,
+    last_seq: AtomicU64,
+    snapshots: Mutex<BTreeMap<SeqNo, usize>>,
+    stats: DbStats,
+    block_cache: Option<Arc<BlockCache>>,
+}
+
+/// A consistent, point-in-time read view. Holding a snapshot pins all
+/// versions it can see against compaction GC; drop it to release them.
+#[derive(Debug)]
+pub struct Snapshot {
+    inner: Arc<DbInner>,
+    seq: SeqNo,
+}
+
+impl Snapshot {
+    /// The sequence number this snapshot reads at.
+    pub fn sequence(&self) -> SeqNo {
+        self.seq
+    }
+
+    /// Read `key` as of this snapshot.
+    ///
+    /// # Errors
+    /// Propagates storage errors.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        Db { inner: Arc::clone(&self.inner) }.get_at(key, self.seq)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut snaps = self.inner.snapshots.lock();
+        if let Some(count) = snaps.get_mut(&self.seq) {
+            *count -= 1;
+            if *count == 0 {
+                snaps.remove(&self.seq);
+            }
+        }
+    }
+}
+
+/// A thread-safe handle to an open database. Clones share the same state.
+#[derive(Debug, Clone)]
+pub struct Db {
+    inner: Arc<DbInner>,
+}
+
+impl Db {
+    /// Open (creating if necessary) a database in `dir`.
+    ///
+    /// Recovery replays the live WAL, skipping entries already made durable
+    /// in a table file, then rolls the log so the directory is always left
+    /// in a clean state.
+    ///
+    /// # Errors
+    /// Returns [`KvError::InvalidDatabase`] / [`KvError::Corruption`] for a
+    /// damaged directory and propagates filesystem errors.
+    pub fn open(dir: impl AsRef<Path>, opts: Options) -> Result<Db> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let block_cache = if opts.block_cache_bytes > 0 {
+            Some(BlockCache::new(opts.block_cache_bytes))
+        } else {
+            None
+        };
+        let fresh = !dir.join("CURRENT").exists();
+        if fresh {
+            let versions = VersionSet::create(&dir, opts.paranoid_checks)?;
+            let wal_number = versions.wal_number;
+            let wal = Wal::create(wal_path(&dir, wal_number))?;
+            let inner = Arc::new(DbInner {
+                dir,
+                opts,
+                write: Mutex::new(WriteState { wal, wal_number }),
+                mem: RwLock::new(MemState { active: MemTable::new(), immutable: None }),
+                current: RwLock::new(versions.current()),
+                versions: Mutex::new(versions),
+                last_seq: AtomicU64::new(0),
+                snapshots: Mutex::new(BTreeMap::new()),
+                stats: DbStats::default(),
+                block_cache,
+            });
+            return Ok(Db { inner });
+        }
+
+        let recovered =
+            VersionSet::recover_cached(&dir, opts.paranoid_checks, block_cache.clone())?;
+        let mut versions = recovered.versions;
+        let mut last_seq = recovered.last_seq;
+        let flushed = versions.flushed_seq;
+
+        // Replay the live WAL into a fresh memtable.
+        let mut mem = MemTable::new();
+        let old_wal = wal_path(&dir, versions.wal_number);
+        if old_wal.exists() {
+            let replay = wal::recover(&old_wal)?;
+            for record in replay.records {
+                let (start_seq, batch) = WriteBatch::decode(&record)?;
+                for (i, op) in batch.iter().enumerate() {
+                    let seq = start_seq + i as u64;
+                    if seq <= flushed {
+                        continue; // already durable in a table
+                    }
+                    match op {
+                        BatchOp::Put { key, value } => {
+                            mem.insert(key.clone(), seq, ValueKind::Put, value.clone());
+                        }
+                        BatchOp::Delete { key } => {
+                            mem.insert(key.clone(), seq, ValueKind::Deletion, Vec::new());
+                        }
+                    }
+                    last_seq = last_seq.max(seq);
+                }
+            }
+        }
+
+        // Flush replayed data so the old WAL can be discarded.
+        if !mem.is_empty() {
+            let number = versions.allocate_file_number();
+            let path = table_path(&dir, number);
+            let mut b = TableBuilder::create(&path, opts.block_bytes, opts.bloom_bits_per_key)?;
+            for (k, v) in mem.iter() {
+                b.add(k, v)?;
+            }
+            let (size, _, _) = b.finish()?;
+            let table = Table::open_cached(&path, opts.paranoid_checks, block_cache.clone())?;
+            versions.flushed_seq = last_seq;
+            versions.log_and_apply(
+                VersionEdit { added: vec![(0, TableHandle::new(number, size, table))], deleted: vec![] },
+                last_seq,
+            )?;
+        }
+
+        let wal_number = versions.allocate_file_number();
+        let wal = Wal::create(wal_path(&dir, wal_number))?;
+        versions.set_wal_number(wal_number, last_seq)?;
+        let _ = fs::remove_file(&old_wal);
+
+        let inner = Arc::new(DbInner {
+            dir,
+            opts,
+            write: Mutex::new(WriteState { wal, wal_number }),
+            mem: RwLock::new(MemState { active: MemTable::new(), immutable: None }),
+            current: RwLock::new(versions.current()),
+            versions: Mutex::new(versions),
+            last_seq: AtomicU64::new(last_seq),
+            snapshots: Mutex::new(BTreeMap::new()),
+            stats: DbStats::default(),
+            block_cache,
+        });
+        let db = Db { inner };
+        db.maybe_compact()?;
+        Ok(db)
+    }
+
+    /// Insert or overwrite a single key.
+    ///
+    /// # Errors
+    /// Propagates storage errors.
+    pub fn put(&self, key: impl Into<Key>, value: impl Into<Value>) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.put(key.into(), value.into());
+        self.write(b)
+    }
+
+    /// Delete a single key.
+    ///
+    /// # Errors
+    /// Propagates storage errors.
+    pub fn delete(&self, key: impl Into<Key>) -> Result<()> {
+        let mut b = WriteBatch::new();
+        b.delete(key.into());
+        self.write(b)
+    }
+
+    /// Commit a batch atomically: it is wholly visible (and durable in the
+    /// WAL) or not at all.
+    ///
+    /// # Errors
+    /// Returns [`KvError::InvalidArgument`] for oversized keys and
+    /// propagates storage errors.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for op in batch.iter() {
+            if op.key().is_empty() {
+                return Err(KvError::InvalidArgument("empty key".into()));
+            }
+            if op.key().len() > MAX_KEY_LEN {
+                return Err(KvError::InvalidArgument(format!(
+                    "key length {} exceeds maximum {}",
+                    op.key().len(),
+                    MAX_KEY_LEN
+                )));
+            }
+        }
+
+        let mut ws = self.inner.write.lock();
+        let start_seq = self.inner.last_seq.load(Ordering::Acquire) + 1;
+        let payload = batch.encode(start_seq);
+        ws.wal.append(&payload)?;
+        if self.inner.opts.sync_wal {
+            ws.wal.sync()?;
+        } else {
+            ws.wal.flush()?;
+        }
+        self.inner.stats.wal_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+
+        {
+            let mut mem = self.inner.mem.write();
+            for (i, op) in batch.iter().enumerate() {
+                let seq = start_seq + i as u64;
+                match op {
+                    BatchOp::Put { key, value } => {
+                        mem.active.insert(key.clone(), seq, ValueKind::Put, value.clone());
+                    }
+                    BatchOp::Delete { key } => {
+                        mem.active.insert(key.clone(), seq, ValueKind::Deletion, Vec::new());
+                    }
+                }
+            }
+        }
+        self.inner
+            .last_seq
+            .store(start_seq + batch.len() as u64 - 1, Ordering::Release);
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+
+        let needs_flush =
+            self.inner.mem.read().active.approximate_bytes() >= self.inner.opts.memtable_bytes;
+        if needs_flush {
+            self.flush_locked(&mut ws)?;
+        }
+        drop(ws);
+        if needs_flush {
+            self.maybe_compact()?;
+        }
+        Ok(())
+    }
+
+    /// Read the newest committed value for `key`.
+    ///
+    /// # Errors
+    /// Propagates storage errors.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        self.get_at(key, self.inner.last_seq.load(Ordering::Acquire))
+    }
+
+    /// Read `key` as of sequence number `seq`.
+    ///
+    /// # Errors
+    /// Propagates storage errors.
+    pub fn get_at(&self, key: &[u8], seq: SeqNo) -> Result<Option<Value>> {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        {
+            let mem = self.inner.mem.read();
+            match mem.active.get(key, seq) {
+                LookupResult::Found(v) => return Ok(Some(v)),
+                LookupResult::Deleted => return Ok(None),
+                LookupResult::NotFound => {}
+            }
+            if let Some(imm) = &mem.immutable {
+                match imm.get(key, seq) {
+                    LookupResult::Found(v) => return Ok(Some(v)),
+                    LookupResult::Deleted => return Ok(None),
+                    LookupResult::NotFound => {}
+                }
+            }
+        }
+        let version = self.inner.current.read().clone();
+        // L0: newest file first (files are sorted by ascending number).
+        for f in version.levels[0].iter().rev() {
+            match f.table.get(key, seq)? {
+                LookupResult::Found(v) => return Ok(Some(v)),
+                LookupResult::Deleted => return Ok(None),
+                LookupResult::NotFound => {}
+            }
+        }
+        for level in version.levels.iter().skip(1) {
+            // Disjoint sorted ranges: binary search for the candidate file.
+            let idx = level.partition_point(|f| f.table.largest.user.as_slice() < key);
+            if let Some(f) = level.get(idx) {
+                if f.table.smallest.user.as_slice() <= key {
+                    match f.table.get(key, seq)? {
+                        LookupResult::Found(v) => return Ok(Some(v)),
+                        LookupResult::Deleted => return Ok(None),
+                        LookupResult::NotFound => {}
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Open a consistent snapshot at the current sequence number.
+    pub fn snapshot(&self) -> Snapshot {
+        let seq = self.inner.last_seq.load(Ordering::Acquire);
+        *self.inner.snapshots.lock().entry(seq).or_insert(0) += 1;
+        Snapshot { inner: Arc::clone(&self.inner), seq }
+    }
+
+    /// Iterate over all live keys in order.
+    pub fn iter(&self) -> DbIterator {
+        self.iter_range(&[], None)
+    }
+
+    /// Iterate over live keys in `[start, end)` at the newest snapshot.
+    pub fn iter_range(&self, start: &[u8], end: Option<&[u8]>) -> DbIterator {
+        self.iter_range_at(start, end, self.inner.last_seq.load(Ordering::Acquire))
+    }
+
+    /// Iterate over live keys in `[start, end)` as of `seq`.
+    pub fn iter_range_at(&self, start: &[u8], end: Option<&[u8]>, seq: SeqNo) -> DbIterator {
+        let mut children: Vec<ChildIter> = Vec::new();
+        {
+            let mem = self.inner.mem.read();
+            let active: Vec<(InternalKey, Value)> =
+                mem.active.range_from(start).map(|(k, v)| (k.clone(), v.clone())).collect();
+            children.push(Box::new(active.into_iter()));
+            if let Some(imm) = &mem.immutable {
+                let entries: Vec<(InternalKey, Value)> =
+                    imm.range_from(start).map(|(k, v)| (k.clone(), v.clone())).collect();
+                children.push(Box::new(entries.into_iter()));
+            }
+        }
+        let version = self.inner.current.read().clone();
+        let seek = InternalKey::seek(start.to_vec(), MAX_SEQNO);
+        for f in version.levels[0].iter().rev() {
+            children.push(Box::new(f.table.iter_from(&seek)));
+        }
+        for level in version.levels.iter().skip(1) {
+            for f in level {
+                if f.table.largest.user.as_slice() >= start {
+                    children.push(Box::new(f.table.iter_from(&seek)));
+                }
+            }
+        }
+        VisibilityIterator::new(MergingIterator::new(children), seq, end.map(|e| e.to_vec()))
+    }
+
+    /// Iterate over all live keys sharing `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> DbIterator {
+        let end = prefix_successor(prefix);
+        self.iter_range(prefix, end.as_deref())
+    }
+
+    /// Force the active memtable into an L0 table.
+    ///
+    /// # Errors
+    /// Propagates storage errors.
+    pub fn flush(&self) -> Result<()> {
+        let mut ws = self.inner.write.lock();
+        self.flush_locked(&mut ws)?;
+        drop(ws);
+        self.maybe_compact()
+    }
+
+    fn flush_locked(&self, ws: &mut WriteState) -> Result<()> {
+        // Rotate the memtable.
+        let imm = {
+            let mut mem = self.inner.mem.write();
+            if mem.active.is_empty() {
+                return Ok(());
+            }
+            let old = std::mem::take(&mut mem.active);
+            let arc = Arc::new(old);
+            mem.immutable = Some(Arc::clone(&arc));
+            arc
+        };
+        let last_seq = self.inner.last_seq.load(Ordering::Acquire);
+
+        // Rotate the WAL first so new writes land in a fresh log.
+        let mut versions = self.inner.versions.lock();
+        let new_wal_number = versions.allocate_file_number();
+        let old_wal_number = ws.wal_number;
+        ws.wal = Wal::create(wal_path(&self.inner.dir, new_wal_number))?;
+        ws.wal_number = new_wal_number;
+
+        // Write the table.
+        let number = versions.allocate_file_number();
+        let path = table_path(&self.inner.dir, number);
+        let mut b = TableBuilder::create(
+            &path,
+            self.inner.opts.block_bytes,
+            self.inner.opts.bloom_bits_per_key,
+        )?;
+        for (k, v) in imm.iter() {
+            b.add(k, v)?;
+        }
+        let (size, _, _) = b.finish()?;
+        let table = Table::open_cached(
+            &path,
+            self.inner.opts.paranoid_checks,
+            self.inner.block_cache.clone(),
+        )?;
+        versions.flushed_seq = last_seq;
+        versions.wal_number = new_wal_number;
+        let new_version = versions.log_and_apply(
+            VersionEdit {
+                added: vec![(0, TableHandle::new(number, size, table))],
+                deleted: vec![],
+            },
+            last_seq,
+        )?;
+        drop(versions);
+
+        *self.inner.current.write() = new_version;
+        self.inner.mem.write().immutable = None;
+        let _ = fs::remove_file(wal_path(&self.inner.dir, old_wal_number));
+        self.inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn oldest_snapshot(&self) -> SeqNo {
+        self.inner
+            .snapshots
+            .lock()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.inner.last_seq.load(Ordering::Acquire))
+    }
+
+    fn maybe_compact(&self) -> Result<()> {
+        loop {
+            let mut versions = self.inner.versions.lock();
+            let task = match pick_compaction(&versions.current(), &self.inner.opts) {
+                Some(t) => t,
+                None => return Ok(()),
+            };
+            run_compaction_cached(
+                &mut versions,
+                task,
+                &self.inner.opts,
+                self.oldest_snapshot(),
+                self.inner.block_cache.clone(),
+            )?;
+            let new_version = versions.current();
+            drop(versions);
+            *self.inner.current.write() = new_version;
+            self.inner.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Compact until no level exceeds its budget (mainly for tests/benches).
+    ///
+    /// # Errors
+    /// Propagates storage errors.
+    pub fn compact_all(&self) -> Result<()> {
+        self.flush()?;
+        self.maybe_compact()
+    }
+
+    /// Current sequence number (the newest committed mutation).
+    pub fn last_sequence(&self) -> SeqNo {
+        self.inner.last_seq.load(Ordering::Acquire)
+    }
+
+    /// Copy of the live counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.inner.stats;
+        StatsSnapshot {
+            writes: s.writes.load(Ordering::Relaxed),
+            reads: s.reads.load(Ordering::Relaxed),
+            flushes: s.flushes.load(Ordering::Relaxed),
+            compactions: s.compactions.load(Ordering::Relaxed),
+            wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live table files (diagnostics).
+    pub fn table_file_count(&self) -> usize {
+        self.inner.current.read().file_count()
+    }
+
+    /// Block-cache statistics, when a cache is configured.
+    pub fn block_cache_stats(&self) -> Option<crate::block_cache::BlockCacheStats> {
+        self.inner.block_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Per-level `(file count, bytes)` of the current version — the LSM
+    /// shape, for diagnostics and capacity planning.
+    pub fn level_sizes(&self) -> Vec<(usize, u64)> {
+        let version = self.inner.current.read().clone();
+        version
+            .levels
+            .iter()
+            .map(|files| (files.len(), files.iter().map(|f| f.size).sum()))
+            .collect()
+    }
+
+    /// Approximate on-disk bytes attributable to keys in `[start, end)`:
+    /// the summed sizes of table files whose ranges overlap the interval
+    /// (an upper bound, like LevelDB's `GetApproximateSizes`).
+    pub fn approximate_size(&self, start: &[u8], end: &[u8]) -> u64 {
+        let version = self.inner.current.read().clone();
+        let hi = if end.is_empty() { &[0xffu8; 16][..] } else { end };
+        version
+            .levels
+            .iter()
+            .flatten()
+            .filter(|f| {
+                f.table.smallest.user.as_slice() < hi
+                    && f.table.largest.user.as_slice() >= start
+            })
+            .map(|f| f.size)
+            .sum()
+    }
+
+    /// Database directory.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+}
+
+/// The smallest key strictly greater than every key with `prefix`
+/// (`None` when the prefix is all `0xff`).
+pub fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut end = prefix.to_vec();
+    while let Some(&last) = end.last() {
+        if last == 0xff {
+            end.pop();
+        } else {
+            *end.last_mut().expect("nonempty") = last + 1;
+            return Some(end);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lambda-kv-db-{}-{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let dir = tmpdir("basic");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.put(b"k1".to_vec(), b"v1".to_vec()).unwrap();
+        assert_eq!(db.get(b"k1").unwrap(), Some(b"v1".to_vec()));
+        db.delete(b"k1".to_vec()).unwrap();
+        assert_eq!(db.get(b"k1").unwrap(), None);
+        assert_eq!(db.get(b"absent").unwrap(), None);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn overwrite_returns_newest() {
+        let dir = tmpdir("overwrite");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        for i in 0..10 {
+            db.put(b"k".to_vec(), format!("v{i}").into_bytes()).unwrap();
+        }
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v9".to_vec()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn batch_is_atomic_in_memory() {
+        let dir = tmpdir("batch");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.put(b"a".to_vec(), b"old".to_vec()).unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"a".to_vec(), b"new".to_vec());
+        b.put(b"b".to_vec(), b"new".to_vec());
+        b.delete(b"c".to_vec());
+        db.write(b).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(db.get(b"b").unwrap(), Some(b"new".to_vec()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn rejects_empty_and_giant_keys() {
+        let dir = tmpdir("validate");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        assert!(matches!(
+            db.put(Vec::new(), b"v".to_vec()),
+            Err(KvError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            db.put(vec![0u8; MAX_KEY_LEN + 1], b"v".to_vec()),
+            Err(KvError::InvalidArgument(_))
+        ));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn survives_flush_and_reads_from_tables() {
+        let dir = tmpdir("flush");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        for i in 0..500 {
+            db.put(format!("key-{i:05}").into_bytes(), vec![b'x'; 64]).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.table_file_count() > 0);
+        for i in 0..500 {
+            assert!(
+                db.get(format!("key-{i:05}").as_bytes()).unwrap().is_some(),
+                "key {i} lost after flush"
+            );
+        }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_replays_wal() {
+        let dir = tmpdir("recover");
+        {
+            let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+            db.put(b"persisted".to_vec(), b"yes".to_vec()).unwrap();
+            db.put(b"deleted".to_vec(), b"tmp".to_vec()).unwrap();
+            db.delete(b"deleted".to_vec()).unwrap();
+            // No flush: data only in WAL. Drop without clean shutdown.
+        }
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        assert_eq!(db.get(b"persisted").unwrap(), Some(b"yes".to_vec()));
+        assert_eq!(db.get(b"deleted").unwrap(), None);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_after_flush_and_more_writes() {
+        let dir = tmpdir("recover2");
+        {
+            let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+            for i in 0..300 {
+                db.put(format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+            db.put(b"after-flush".to_vec(), b"1".to_vec()).unwrap();
+        }
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        assert_eq!(db.get(b"k0123").unwrap(), Some(b"v123".to_vec()));
+        assert_eq!(db.get(b"after-flush").unwrap(), Some(b"1".to_vec()));
+        // Sequence numbers must keep increasing after recovery.
+        let seq = db.last_sequence();
+        db.put(b"new".to_vec(), b"2".to_vec()).unwrap();
+        assert!(db.last_sequence() > seq);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let dir = tmpdir("snapshot");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.put(b"k".to_vec(), b"v1".to_vec()).unwrap();
+        let snap = db.snapshot();
+        db.put(b"k".to_vec(), b"v2".to_vec()).unwrap();
+        db.delete(b"k2".to_vec()).unwrap();
+        assert_eq!(snap.get(b"k").unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn snapshot_survives_flush_and_compaction() {
+        let dir = tmpdir("snapflush");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.put(b"pinned".to_vec(), b"old".to_vec()).unwrap();
+        let snap = db.snapshot();
+        for i in 0..500 {
+            db.put(format!("fill-{i:05}").into_bytes(), vec![0u8; 64]).unwrap();
+        }
+        db.put(b"pinned".to_vec(), b"new".to_vec()).unwrap();
+        db.compact_all().unwrap();
+        assert_eq!(snap.get(b"pinned").unwrap(), Some(b"old".to_vec()));
+        assert_eq!(db.get(b"pinned").unwrap(), Some(b"new".to_vec()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn iteration_sees_merged_state() {
+        let dir = tmpdir("iter");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        for i in 0..200 {
+            db.put(format!("k{i:04}").into_bytes(), b"v".to_vec()).unwrap();
+        }
+        db.flush().unwrap();
+        db.delete(b"k0100".to_vec()).unwrap(); // in memtable, shadows table
+        db.put(b"k0201".to_vec(), b"v".to_vec()).unwrap();
+        let keys: Vec<Key> = db.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), 200, "200 - 1 deleted + 1 new");
+        assert!(!keys.contains(&b"k0100".to_vec()));
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted output");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_prefix_bounds() {
+        let dir = tmpdir("prefix");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.put(b"user/1/a".to_vec(), b"1".to_vec()).unwrap();
+        db.put(b"user/1/b".to_vec(), b"2".to_vec()).unwrap();
+        db.put(b"user/2/a".to_vec(), b"3".to_vec()).unwrap();
+        db.put(b"uzer".to_vec(), b"4".to_vec()).unwrap();
+        let keys: Vec<Key> = db.scan_prefix(b"user/1/").map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"user/1/a".to_vec(), b"user/1/b".to_vec()]);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_all_data() {
+        let dir = tmpdir("compactdata");
+        let opts = Options::small_for_tests();
+        let db = Db::open(&dir, opts).unwrap();
+        for round in 0..5 {
+            for i in 0..300 {
+                db.put(
+                    format!("key-{i:05}").into_bytes(),
+                    format!("round-{round}").into_bytes(),
+                )
+                .unwrap();
+            }
+        }
+        db.compact_all().unwrap();
+        assert!(db.stats().compactions > 0, "compactions must have run");
+        for i in 0..300 {
+            assert_eq!(
+                db.get(format!("key-{i:05}").as_bytes()).unwrap(),
+                Some(b"round-4".to_vec()),
+                "key {i} must hold newest value"
+            );
+        }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let dir = tmpdir("concurrent");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.put(b"shared".to_vec(), b"0".to_vec()).unwrap();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let v = db.get(b"shared").unwrap();
+                        assert!(v.is_some());
+                    }
+                })
+            })
+            .collect();
+        for i in 0..200 {
+            db.put(b"shared".to_vec(), format!("{i}").into_bytes()).unwrap();
+            db.put(format!("filler-{i}").into_bytes(), vec![0u8; 128]).unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(db.get(b"shared").unwrap(), Some(b"199".to_vec()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn prefix_successor_edge_cases() {
+        assert_eq!(prefix_successor(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_successor(&[0x01, 0xff]), Some(vec![0x02]));
+        assert_eq!(prefix_successor(&[0xff, 0xff]), None);
+        assert_eq!(prefix_successor(b""), None);
+    }
+
+    #[test]
+    fn stats_move_forward() {
+        let dir = tmpdir("stats");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.put(b"a".to_vec(), b"b".to_vec()).unwrap();
+        db.get(b"a").unwrap();
+        let s = db.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert!(s.wal_bytes > 0);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn level_sizes_and_approximate_size() {
+        let dir = tmpdir("levels");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        for i in 0..400 {
+            db.put(format!("key-{i:05}").into_bytes(), vec![0u8; 64]).unwrap();
+        }
+        db.compact_all().unwrap();
+        let levels = db.level_sizes();
+        let total_files: usize = levels.iter().map(|(n, _)| n).sum();
+        assert!(total_files > 0);
+        assert_eq!(total_files, db.table_file_count());
+        let all = db.approximate_size(b"", b"");
+        let half = db.approximate_size(b"key-00000", b"key-00200");
+        assert!(all > 0);
+        assert!(half <= all);
+        assert_eq!(db.approximate_size(b"zzz", b"zzzz"), 0);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn block_cache_serves_repeated_reads() {
+        let dir = tmpdir("bcache");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        for i in 0..300 {
+            db.put(format!("key-{i:05}").into_bytes(), vec![0u8; 64]).unwrap();
+        }
+        db.compact_all().unwrap();
+        for _ in 0..3 {
+            for i in (0..300).step_by(50) {
+                db.get(format!("key-{i:05}").as_bytes()).unwrap();
+            }
+        }
+        let stats = db.block_cache_stats().expect("cache configured");
+        assert!(stats.hits > 0, "repeat reads must hit the block cache: {stats:?}");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let dir = tmpdir("noop");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        db.write(WriteBatch::new()).unwrap();
+        assert_eq!(db.stats().writes, 0);
+        fs::remove_dir_all(dir).ok();
+    }
+}

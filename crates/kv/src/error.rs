@@ -1,0 +1,91 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, KvError>;
+
+/// Errors returned by the storage engine.
+#[derive(Debug)]
+pub enum KvError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// On-disk data failed a checksum or framing check.
+    Corruption(String),
+    /// The database directory is malformed or locked.
+    InvalidDatabase(String),
+    /// The caller supplied an argument the engine cannot accept
+    /// (e.g. an oversized key).
+    InvalidArgument(String),
+    /// The database has been shut down.
+    ShuttingDown,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "i/o error: {e}"),
+            KvError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            KvError::InvalidDatabase(msg) => write!(f, "invalid database: {msg}"),
+            KvError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            KvError::ShuttingDown => write!(f, "database is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for KvError {
+    fn from(e: io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+impl KvError {
+    /// Build a [`KvError::Corruption`] with a formatted message.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        KvError::Corruption(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<KvError> = vec![
+            KvError::Io(io::Error::other("boom")),
+            KvError::corruption("bad block"),
+            KvError::InvalidDatabase("missing CURRENT".into()),
+            KvError::InvalidArgument("empty key".into()),
+            KvError::ShuttingDown,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        let e = KvError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        let src = std::error::Error::source(&e).expect("io source");
+        assert!(src.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KvError>();
+    }
+}

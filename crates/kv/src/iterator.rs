@@ -1,0 +1,222 @@
+//! K-way merging iterators with snapshot visibility.
+//!
+//! The database exposes scans by merging the memtable(s) and every level's
+//! tables into one stream ordered by internal key, then collapsing versions:
+//! for each user key, the newest entry visible at the read snapshot decides
+//! whether the key is live (`Put` → yield) or dead (`Deletion` → skip).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::types::{InternalKey, Key, SeqNo, Value, ValueKind};
+
+/// A child stream for the merger: any iterator of `(InternalKey, Value)` in
+/// ascending internal-key order.
+pub type ChildIter = Box<dyn Iterator<Item = (InternalKey, Value)> + Send>;
+
+struct HeapItem {
+    key: InternalKey,
+    value: Value,
+    /// Lower rank = newer source; breaks ties between sources holding an
+    /// identical internal key (possible transiently during flush).
+    rank: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.rank == other.rank
+    }
+}
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-heap behaviour.
+        other.key.cmp(&self.key).then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Merges child iterators into a single ascending internal-key stream.
+pub struct MergingIterator {
+    heap: BinaryHeap<HeapItem>,
+    children: Vec<ChildIter>,
+}
+
+impl std::fmt::Debug for MergingIterator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergingIterator").field("children", &self.children.len()).finish()
+    }
+}
+
+impl MergingIterator {
+    /// Build a merger; `children[0]` is treated as the newest source.
+    pub fn new(mut children: Vec<ChildIter>) -> MergingIterator {
+        let mut heap = BinaryHeap::new();
+        for (rank, child) in children.iter_mut().enumerate() {
+            if let Some((key, value)) = child.next() {
+                heap.push(HeapItem { key, value, rank });
+            }
+        }
+        MergingIterator { heap, children }
+    }
+}
+
+impl Iterator for MergingIterator {
+    type Item = (InternalKey, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let top = self.heap.pop()?;
+        if let Some((key, value)) = self.children[top.rank].next() {
+            self.heap.push(HeapItem { key, value, rank: top.rank });
+        }
+        Some((top.key, top.value))
+    }
+}
+
+/// Collapses a merged multi-version stream into the live user-visible view
+/// at `snapshot_seq`, yielding `(user_key, value)` pairs.
+#[derive(Debug)]
+pub struct VisibilityIterator<I> {
+    inner: I,
+    snapshot_seq: SeqNo,
+    current_user: Option<Key>,
+    /// Exclusive upper bound on user keys.
+    end: Option<Key>,
+}
+
+impl<I: Iterator<Item = (InternalKey, Value)>> VisibilityIterator<I> {
+    /// Wrap `inner` (ascending internal-key order) with visibility rules.
+    pub fn new(inner: I, snapshot_seq: SeqNo, end: Option<Key>) -> Self {
+        VisibilityIterator { inner, snapshot_seq, current_user: None, end }
+    }
+}
+
+impl<I: Iterator<Item = (InternalKey, Value)>> Iterator for VisibilityIterator<I> {
+    type Item = (Key, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (ik, value) = self.inner.next()?;
+            if let Some(end) = &self.end {
+                if ik.user.as_slice() >= end.as_slice() {
+                    return None;
+                }
+            }
+            if self.current_user.as_deref() == Some(ik.user.as_slice()) {
+                continue; // an older version of a key we already decided
+            }
+            if ik.seq > self.snapshot_seq {
+                continue; // too new for this snapshot; keep looking
+            }
+            self.current_user = Some(ik.user.clone());
+            match ik.kind {
+                ValueKind::Put => return Some((ik.user, value)),
+                ValueKind::Deletion => continue,
+            }
+        }
+    }
+}
+
+/// The iterator type returned by [`Db::iter`](crate::Db::iter): a visibility
+/// filter over the full merge.
+pub type DbIterator = VisibilityIterator<MergingIterator>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn child(entries: Vec<(&str, u64, ValueKind, &str)>) -> ChildIter {
+        Box::new(
+            entries
+                .into_iter()
+                .map(|(k, seq, kind, v)| {
+                    (InternalKey::new(k.as_bytes().to_vec(), seq, kind), v.as_bytes().to_vec())
+                })
+                .collect::<Vec<_>>()
+                .into_iter(),
+        )
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_streams() {
+        let a = child(vec![("a", 1, ValueKind::Put, "1"), ("c", 1, ValueKind::Put, "3")]);
+        let b = child(vec![("b", 1, ValueKind::Put, "2"), ("d", 1, ValueKind::Put, "4")]);
+        let merged: Vec<Vec<u8>> =
+            MergingIterator::new(vec![a, b]).map(|(k, _)| k.user).collect();
+        assert_eq!(merged, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn newer_version_wins_across_sources() {
+        let newer = child(vec![("k", 9, ValueKind::Put, "new")]);
+        let older = child(vec![("k", 2, ValueKind::Put, "old")]);
+        let merged = MergingIterator::new(vec![newer, older]);
+        let visible: Vec<(Key, Value)> = VisibilityIterator::new(merged, 100, None).collect();
+        assert_eq!(visible, vec![(b"k".to_vec(), b"new".to_vec())]);
+    }
+
+    #[test]
+    fn tombstone_hides_older_put() {
+        let newer = child(vec![("k", 5, ValueKind::Deletion, "")]);
+        let older = child(vec![("k", 2, ValueKind::Put, "old")]);
+        let merged = MergingIterator::new(vec![newer, older]);
+        let visible: Vec<_> = VisibilityIterator::new(merged, 100, None).collect();
+        assert!(visible.is_empty());
+    }
+
+    #[test]
+    fn snapshot_skips_too_new_versions() {
+        let src = child(vec![
+            ("k", 9, ValueKind::Put, "v9"),
+            ("k", 3, ValueKind::Put, "v3"),
+        ]);
+        let merged = MergingIterator::new(vec![src]);
+        let visible: Vec<_> = VisibilityIterator::new(merged, 5, None).collect();
+        assert_eq!(visible, vec![(b"k".to_vec(), b"v3".to_vec())]);
+    }
+
+    #[test]
+    fn snapshot_before_tombstone_sees_old_value() {
+        let src = child(vec![
+            ("k", 9, ValueKind::Deletion, ""),
+            ("k", 3, ValueKind::Put, "v3"),
+        ]);
+        let merged = MergingIterator::new(vec![src]);
+        let at5: Vec<_> = VisibilityIterator::new(merged, 5, None).collect();
+        assert_eq!(at5, vec![(b"k".to_vec(), b"v3".to_vec())]);
+    }
+
+    #[test]
+    fn end_bound_is_exclusive() {
+        let src = child(vec![
+            ("a", 1, ValueKind::Put, "1"),
+            ("b", 1, ValueKind::Put, "2"),
+            ("c", 1, ValueKind::Put, "3"),
+        ]);
+        let merged = MergingIterator::new(vec![src]);
+        let visible: Vec<Vec<u8>> =
+            VisibilityIterator::new(merged, 100, Some(b"c".to_vec())).map(|(k, _)| k).collect();
+        assert_eq!(visible, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn empty_children_yield_nothing() {
+        let merged = MergingIterator::new(vec![child(vec![]), child(vec![])]);
+        assert_eq!(merged.count(), 0);
+    }
+
+    #[test]
+    fn identical_keys_tie_break_by_rank() {
+        // Both sources claim ("k", 5, Put); rank 0 (newest) must win and the
+        // duplicate must be suppressed by the visibility filter.
+        let a = child(vec![("k", 5, ValueKind::Put, "from-a")]);
+        let b = child(vec![("k", 5, ValueKind::Put, "from-b")]);
+        let merged = MergingIterator::new(vec![a, b]);
+        let visible: Vec<_> = VisibilityIterator::new(merged, 100, None).collect();
+        assert_eq!(visible, vec![(b"k".to_vec(), b"from-a".to_vec())]);
+    }
+}

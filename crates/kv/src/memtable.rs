@@ -1,0 +1,183 @@
+//! In-memory sorted write buffer.
+//!
+//! The memtable absorbs every committed batch before it reaches an SSTable.
+//! Entries are keyed by [`InternalKey`] so multiple versions of the same user
+//! key coexist; lookups walk versions newest-first and respect snapshot
+//! sequence numbers.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::types::{InternalKey, Key, SeqNo, Value, ValueKind};
+
+/// Result of a memtable point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The key has a live value at this snapshot.
+    Found(Value),
+    /// The key was deleted at this snapshot (tombstone wins).
+    Deleted,
+    /// The memtable holds no entry for the key at this snapshot;
+    /// the caller must consult older tables.
+    NotFound,
+}
+
+/// A sorted, in-memory multi-version map.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<InternalKey, Value>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        MemTable::default()
+    }
+
+    /// Insert one entry.
+    pub fn insert(&mut self, user_key: impl Into<Key>, seq: SeqNo, kind: ValueKind, value: Value) {
+        let key = InternalKey::new(user_key.into(), seq, kind);
+        self.approx_bytes += key.user.len() + value.len() + 32;
+        self.map.insert(key, value);
+    }
+
+    /// Look up `user_key` as of snapshot `snapshot_seq`.
+    pub fn get(&self, user_key: &[u8], snapshot_seq: SeqNo) -> LookupResult {
+        let seek = InternalKey::seek(user_key.to_vec(), snapshot_seq);
+        // The first entry at-or-after the seek key is the newest visible
+        // version of `user_key` — or a different key entirely.
+        match self.map.range((Bound::Included(seek), Bound::Unbounded)).next() {
+            Some((ik, value)) if ik.user == user_key => {
+                debug_assert!(ik.seq <= snapshot_seq);
+                match ik.kind {
+                    ValueKind::Put => LookupResult::Found(value.clone()),
+                    ValueKind::Deletion => LookupResult::Deleted,
+                }
+            }
+            _ => LookupResult::NotFound,
+        }
+    }
+
+    /// Approximate memory usage in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Number of (versioned) entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over all entries in internal-key order (user asc, seq desc).
+    pub fn iter(&self) -> impl Iterator<Item = (&InternalKey, &Value)> + '_ {
+        self.map.iter()
+    }
+
+    /// Iterate starting from the first entry whose user key is `>= start`.
+    pub fn range_from<'a>(
+        &'a self,
+        start: &[u8],
+    ) -> impl Iterator<Item = (&'a InternalKey, &'a Value)> + 'a {
+        let seek = InternalKey::seek(start.to_vec(), crate::types::MAX_SEQNO);
+        self.map.range((Bound::Included(seek), Bound::Unbounded))
+    }
+
+    /// The smallest and largest user keys present, if any.
+    pub fn key_range(&self) -> Option<(Key, Key)> {
+        let first = self.map.keys().next()?.user.clone();
+        let last = self.map.keys().next_back()?.user.clone();
+        Some((first, last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_newest_visible_version() {
+        let mut mt = MemTable::new();
+        mt.insert(*b"k", 1, ValueKind::Put, b"v1".to_vec());
+        mt.insert(*b"k", 5, ValueKind::Put, b"v5".to_vec());
+        mt.insert(*b"k", 9, ValueKind::Put, b"v9".to_vec());
+        assert_eq!(mt.get(b"k", 100), LookupResult::Found(b"v9".to_vec()));
+        assert_eq!(mt.get(b"k", 9), LookupResult::Found(b"v9".to_vec()));
+        assert_eq!(mt.get(b"k", 8), LookupResult::Found(b"v5".to_vec()));
+        assert_eq!(mt.get(b"k", 4), LookupResult::Found(b"v1".to_vec()));
+        assert_eq!(mt.get(b"k", 0), LookupResult::NotFound);
+    }
+
+    #[test]
+    fn tombstone_shadows_older_put() {
+        let mut mt = MemTable::new();
+        mt.insert(*b"k", 1, ValueKind::Put, b"v".to_vec());
+        mt.insert(*b"k", 2, ValueKind::Deletion, Vec::new());
+        assert_eq!(mt.get(b"k", 10), LookupResult::Deleted);
+        assert_eq!(mt.get(b"k", 1), LookupResult::Found(b"v".to_vec()));
+    }
+
+    #[test]
+    fn missing_key_is_not_found() {
+        let mut mt = MemTable::new();
+        mt.insert(*b"aa", 1, ValueKind::Put, b"v".to_vec());
+        mt.insert(*b"cc", 1, ValueKind::Put, b"v".to_vec());
+        assert_eq!(mt.get(b"bb", 10), LookupResult::NotFound);
+    }
+
+    #[test]
+    fn prefix_keys_do_not_collide() {
+        let mut mt = MemTable::new();
+        mt.insert(*b"user/1", 1, ValueKind::Put, b"a".to_vec());
+        mt.insert(*b"user/10", 1, ValueKind::Put, b"b".to_vec());
+        assert_eq!(mt.get(b"user/1", 10), LookupResult::Found(b"a".to_vec()));
+        assert_eq!(mt.get(b"user/10", 10), LookupResult::Found(b"b".to_vec()));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut mt = MemTable::new();
+        mt.insert(*b"b", 1, ValueKind::Put, vec![]);
+        mt.insert(*b"a", 2, ValueKind::Put, vec![]);
+        mt.insert(*b"a", 1, ValueKind::Put, vec![]);
+        mt.insert(*b"c", 3, ValueKind::Put, vec![]);
+        let keys: Vec<(Vec<u8>, u64)> =
+            mt.iter().map(|(k, _)| (k.user.clone(), k.seq)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (b"a".to_vec(), 2),
+                (b"a".to_vec(), 1),
+                (b"b".to_vec(), 1),
+                (b"c".to_vec(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn range_from_starts_at_user_key() {
+        let mut mt = MemTable::new();
+        for k in [&b"a"[..], b"b", b"c", b"d"] {
+            mt.insert(k.to_vec(), 1, ValueKind::Put, vec![]);
+        }
+        let keys: Vec<Vec<u8>> = mt.range_from(b"b").map(|(k, _)| k.user.clone()).collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn bytes_accounting_and_key_range() {
+        let mut mt = MemTable::new();
+        assert!(mt.is_empty());
+        assert_eq!(mt.key_range(), None);
+        mt.insert(*b"m", 1, ValueKind::Put, vec![0; 128]);
+        mt.insert(*b"a", 1, ValueKind::Put, vec![0; 128]);
+        assert!(mt.approximate_bytes() >= 256);
+        assert_eq!(mt.len(), 2);
+        assert_eq!(mt.key_range(), Some((b"a".to_vec(), b"m".to_vec())));
+    }
+}

@@ -1,0 +1,822 @@
+//! Immutable, sorted, block-based on-disk tables.
+//!
+//! ## File layout
+//!
+//! ```text
+//! [data block 0][crc32c]
+//! [data block 1][crc32c]
+//! ...
+//! [meta block: smallest/largest internal key][crc32c]
+//! [bloom filter][crc32c]
+//! [index block][crc32c]
+//! [footer: 56 bytes, fixed]
+//! ```
+//!
+//! Data blocks use LevelDB-style prefix compression with restart points:
+//! each entry is `shared:varint unshared:varint vlen:varint key_delta value`
+//! and every `RESTART_INTERVAL`-th entry restarts with a full key. The block
+//! trailer lists the restart offsets so readers can binary-search within a
+//! block.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bloom::BloomFilter;
+use crate::block_cache::{BlockCache, DecodedBlock};
+use crate::crc;
+use crate::memtable::LookupResult;
+use crate::types::{
+    cmp_encoded, get_varint32, put_varint32, InternalKey, Key, SeqNo, Value, ValueKind,
+};
+use crate::{KvError, Result};
+
+/// Number of entries between restart points inside a data block.
+pub const RESTART_INTERVAL: usize = 16;
+/// Magic number closing every table file.
+pub const TABLE_MAGIC: u64 = 0x4c41_4d42_4441_4f42; // "LAMBDAOB"
+/// Size of the fixed footer.
+pub const FOOTER_SIZE: usize = 56;
+
+// ---------------------------------------------------------------------------
+// Block building / parsing
+// ---------------------------------------------------------------------------
+
+/// Incremental builder for one prefix-compressed block.
+#[derive(Debug, Default)]
+struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    counter: usize,
+    last_key: Vec<u8>,
+    entries: usize,
+}
+
+impl BlockBuilder {
+    fn add(&mut self, key: &[u8], value: &[u8]) {
+        debug_assert!(
+            self.last_key.is_empty()
+                || crate::types::cmp_encoded(key, &self.last_key) == std::cmp::Ordering::Greater
+        );
+        let shared = if self.counter < RESTART_INTERVAL {
+            self.last_key.iter().zip(key.iter()).take_while(|(a, b)| a == b).count()
+        } else {
+            self.restarts.push(self.buf.len() as u32);
+            self.counter = 0;
+            0
+        };
+        put_varint32(&mut self.buf, shared as u32);
+        put_varint32(&mut self.buf, (key.len() - shared) as u32);
+        put_varint32(&mut self.buf, value.len() as u32);
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        self.last_key = key.to_vec();
+        self.counter += 1;
+        self.entries += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 8
+    }
+
+    fn finish(&mut self) -> Vec<u8> {
+        let mut out = std::mem::take(&mut self.buf);
+        for r in &self.restarts {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        // +1: offset 0 is always an implicit restart.
+        out.extend_from_slice(&((self.restarts.len() + 1) as u32).to_le_bytes());
+        self.restarts.clear();
+        self.counter = 0;
+        self.last_key.clear();
+        self.entries = 0;
+        out
+    }
+}
+
+/// Parse all `(key, value)` pairs out of one block.
+fn parse_block(block: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let corrupt = |m: &str| KvError::corruption(format!("block: {m}"));
+    if block.len() < 4 {
+        return Err(corrupt("too short"));
+    }
+    let n_restarts =
+        u32::from_le_bytes(block[block.len() - 4..].try_into().unwrap()) as usize;
+    let restarts_size = 4 + n_restarts.saturating_sub(1) * 4;
+    let data_end = block
+        .len()
+        .checked_sub(restarts_size)
+        .ok_or_else(|| corrupt("restart trailer overruns block"))?;
+    let data = &block[..data_end];
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut last_key: Vec<u8> = Vec::new();
+    while pos < data.len() {
+        let (shared, n) = get_varint32(&data[pos..]).ok_or_else(|| corrupt("bad shared"))?;
+        pos += n;
+        let (unshared, n) =
+            get_varint32(&data[pos..]).ok_or_else(|| corrupt("bad unshared"))?;
+        pos += n;
+        let (vlen, n) = get_varint32(&data[pos..]).ok_or_else(|| corrupt("bad vlen"))?;
+        pos += n;
+        if shared as usize > last_key.len() {
+            return Err(corrupt("shared prefix longer than previous key"));
+        }
+        let mut key = last_key[..shared as usize].to_vec();
+        let kend = pos + unshared as usize;
+        key.extend_from_slice(data.get(pos..kend).ok_or_else(|| corrupt("truncated key"))?);
+        pos = kend;
+        let vend = pos + vlen as usize;
+        let value = data.get(pos..vend).ok_or_else(|| corrupt("truncated value"))?.to_vec();
+        pos = vend;
+        last_key = key.clone();
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Table metadata
+// ---------------------------------------------------------------------------
+
+/// Where a block lives inside the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHandle {
+    /// Byte offset of the block payload.
+    pub offset: u64,
+    /// Payload length (excludes the trailing CRC).
+    pub len: u32,
+}
+
+/// Index entry: the last internal key of a block plus its handle.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    last_key: Vec<u8>, // encoded InternalKey
+    handle: BlockHandle,
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Streams sorted entries into a new table file.
+#[derive(Debug)]
+pub struct TableBuilder {
+    file: BufWriter<File>,
+    path: PathBuf,
+    offset: u64,
+    block: BlockBuilder,
+    index: Vec<IndexEntry>,
+    user_keys: Vec<Vec<u8>>,
+    smallest: Option<Vec<u8>>,
+    largest: Option<Vec<u8>>,
+    entry_count: u64,
+    block_bytes: usize,
+    bloom_bits_per_key: usize,
+    last_block_key: Vec<u8>,
+}
+
+impl TableBuilder {
+    /// Start a new table at `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn create(
+        path: impl AsRef<Path>,
+        block_bytes: usize,
+        bloom_bits_per_key: usize,
+    ) -> Result<TableBuilder> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(TableBuilder {
+            file: BufWriter::new(file),
+            path,
+            offset: 0,
+            block: BlockBuilder::default(),
+            index: Vec::new(),
+            user_keys: Vec::new(),
+            smallest: None,
+            largest: None,
+            entry_count: 0,
+            block_bytes: block_bytes.max(128),
+            bloom_bits_per_key,
+            last_block_key: Vec::new(),
+        })
+    }
+
+    /// Append an entry. Keys must arrive in strictly increasing
+    /// internal-key order.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn add(&mut self, key: &InternalKey, value: &[u8]) -> Result<()> {
+        let encoded = key.encode();
+        if self.smallest.is_none() {
+            self.smallest = Some(encoded.clone());
+        }
+        self.largest = Some(encoded.clone());
+        // Dedup consecutive identical user keys for the bloom filter.
+        if self.user_keys.last().map(|k| k.as_slice()) != Some(key.user.as_slice()) {
+            self.user_keys.push(key.user.clone());
+        }
+        self.block.add(&encoded, value);
+        self.last_block_key = encoded;
+        self.entry_count += 1;
+        if self.block.size_estimate() >= self.block_bytes {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let data = self.block.finish();
+        let handle = self.write_raw(&data)?;
+        self.index
+            .push(IndexEntry { last_key: std::mem::take(&mut self.last_block_key), handle });
+        Ok(())
+    }
+
+    fn write_raw(&mut self, data: &[u8]) -> Result<BlockHandle> {
+        let handle = BlockHandle { offset: self.offset, len: data.len() as u32 };
+        self.file.write_all(data)?;
+        self.file.write_all(&crc::mask(crc::crc32c(data)).to_le_bytes())?;
+        self.offset += data.len() as u64 + 4;
+        Ok(handle)
+    }
+
+    /// Number of entries added so far.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Bytes written so far (approximate until [`finish`](Self::finish)).
+    pub fn file_size_estimate(&self) -> u64 {
+        self.offset + self.block.size_estimate() as u64
+    }
+
+    /// Finalize the table and return `(file_size, smallest, largest)` where
+    /// the keys are the encoded internal-key bounds.
+    ///
+    /// # Errors
+    /// Fails when no entries were added, or on filesystem errors.
+    pub fn finish(mut self) -> Result<(u64, InternalKey, InternalKey)> {
+        if self.entry_count == 0 {
+            return Err(KvError::InvalidArgument("cannot finish empty table".into()));
+        }
+        self.flush_block()?;
+
+        // Meta block: smallest/largest encoded internal keys.
+        let smallest = self.smallest.clone().expect("nonempty");
+        let largest = self.largest.clone().expect("nonempty");
+        let mut meta = Vec::new();
+        put_varint32(&mut meta, smallest.len() as u32);
+        meta.extend_from_slice(&smallest);
+        put_varint32(&mut meta, largest.len() as u32);
+        meta.extend_from_slice(&largest);
+        let meta_handle = self.write_raw(&meta.clone())?;
+
+        // Bloom filter.
+        let bloom = BloomFilter::build(
+            self.user_keys.iter().map(|k| k.as_slice()),
+            self.bloom_bits_per_key.max(1),
+        );
+        let bloom_handle = self.write_raw(&bloom.encode())?;
+
+        // Index block: count, then (klen key off len)*.
+        let mut index = Vec::new();
+        put_varint32(&mut index, self.index.len() as u32);
+        for e in &self.index {
+            put_varint32(&mut index, e.last_key.len() as u32);
+            index.extend_from_slice(&e.last_key);
+            index.extend_from_slice(&e.handle.offset.to_le_bytes());
+            index.extend_from_slice(&e.handle.len.to_le_bytes());
+        }
+        let index_handle = self.write_raw(&index)?;
+
+        // Footer.
+        let mut footer = Vec::with_capacity(FOOTER_SIZE);
+        footer.extend_from_slice(&meta_handle.offset.to_le_bytes());
+        footer.extend_from_slice(&meta_handle.len.to_le_bytes());
+        footer.extend_from_slice(&bloom_handle.offset.to_le_bytes());
+        footer.extend_from_slice(&bloom_handle.len.to_le_bytes());
+        footer.extend_from_slice(&index_handle.offset.to_le_bytes());
+        footer.extend_from_slice(&index_handle.len.to_le_bytes());
+        footer.extend_from_slice(&self.entry_count.to_le_bytes());
+        footer.extend_from_slice(&crc::mask(crc::crc32c(&footer)).to_le_bytes());
+        footer.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
+        debug_assert_eq!(footer.len(), FOOTER_SIZE);
+        self.file.write_all(&footer)?;
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        let size = self.offset + FOOTER_SIZE as u64;
+
+        let s = InternalKey::decode(&smallest)
+            .ok_or_else(|| KvError::corruption("builder produced bad smallest key"))?;
+        let l = InternalKey::decode(&largest)
+            .ok_or_else(|| KvError::corruption("builder produced bad largest key"))?;
+        let _ = self.path;
+        Ok((size, s, l))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+static TABLE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Read side of a table file. Cheap to clone via [`Arc`].
+#[derive(Debug)]
+pub struct Table {
+    /// Unique per opened reader; the block-cache key namespace.
+    id: u64,
+    cache: Option<std::sync::Arc<BlockCache>>,
+    file: File,
+    path: PathBuf,
+    index: Vec<IndexEntry>,
+    bloom: Option<BloomFilter>,
+    /// Smallest internal key in the table.
+    pub smallest: InternalKey,
+    /// Largest internal key in the table.
+    pub largest: InternalKey,
+    /// Total number of entries.
+    pub entry_count: u64,
+    paranoid: bool,
+}
+
+impl Table {
+    /// Open and validate a table file.
+    ///
+    /// # Errors
+    /// Returns [`KvError::Corruption`] for malformed files and propagates
+    /// filesystem errors.
+    pub fn open(path: impl AsRef<Path>, paranoid: bool) -> Result<Arc<Table>> {
+        Self::open_cached(path, paranoid, None)
+    }
+
+    /// Open with a shared [`BlockCache`]; hot blocks are served decoded
+    /// from memory (LevelDB's block cache, §4.2's "efficient caching
+    /// mechanisms" at the storage layer).
+    ///
+    /// # Errors
+    /// Same as [`open`](Self::open).
+    pub fn open_cached(
+        path: impl AsRef<Path>,
+        paranoid: bool,
+        cache: Option<std::sync::Arc<BlockCache>>,
+    ) -> Result<Arc<Table>> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let size = file.metadata()?.len();
+        if size < FOOTER_SIZE as u64 {
+            return Err(KvError::corruption("table smaller than footer"));
+        }
+        let mut footer = vec![0u8; FOOTER_SIZE];
+        file.read_exact_at(&mut footer, size - FOOTER_SIZE as u64)?;
+        let magic = u64::from_le_bytes(footer[48..56].try_into().unwrap());
+        if magic != TABLE_MAGIC {
+            return Err(KvError::corruption("bad table magic"));
+        }
+        let stored_crc = crc::unmask(u32::from_le_bytes(footer[44..48].try_into().unwrap()));
+        if crc::crc32c(&footer[..44]) != stored_crc {
+            return Err(KvError::corruption("footer checksum mismatch"));
+        }
+        let rd = |o: usize| u64::from_le_bytes(footer[o..o + 8].try_into().unwrap());
+        let rd32 = |o: usize| u32::from_le_bytes(footer[o..o + 4].try_into().unwrap());
+        let meta_handle = BlockHandle { offset: rd(0), len: rd32(8) };
+        let bloom_handle = BlockHandle { offset: rd(12), len: rd32(20) };
+        let index_handle = BlockHandle { offset: rd(24), len: rd32(32) };
+        let entry_count = rd(36);
+
+        let read_checked = |h: BlockHandle| -> Result<Vec<u8>> {
+            let mut buf = vec![0u8; h.len as usize + 4];
+            file.read_exact_at(&mut buf, h.offset)?;
+            let (data, crcb) = buf.split_at(h.len as usize);
+            let stored = crc::unmask(u32::from_le_bytes(crcb.try_into().unwrap()));
+            if crc::crc32c(data) != stored {
+                return Err(KvError::corruption("block checksum mismatch"));
+            }
+            Ok(data.to_vec())
+        };
+
+        // Meta block.
+        let meta = read_checked(meta_handle)?;
+        let (slen, n) =
+            get_varint32(&meta).ok_or_else(|| KvError::corruption("meta: bad smallest len"))?;
+        let s_end = n + slen as usize;
+        let smallest = meta
+            .get(n..s_end)
+            .and_then(InternalKey::decode)
+            .ok_or_else(|| KvError::corruption("meta: bad smallest"))?;
+        let (llen, n2) = get_varint32(&meta[s_end..])
+            .ok_or_else(|| KvError::corruption("meta: bad largest len"))?;
+        let largest = meta
+            .get(s_end + n2..s_end + n2 + llen as usize)
+            .and_then(InternalKey::decode)
+            .ok_or_else(|| KvError::corruption("meta: bad largest"))?;
+
+        // Bloom filter.
+        let bloom = BloomFilter::decode(&read_checked(bloom_handle)?);
+
+        // Index.
+        let index_raw = read_checked(index_handle)?;
+        let (count, mut pos) =
+            get_varint32(&index_raw).ok_or_else(|| KvError::corruption("index: bad count"))?;
+        let mut index = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (klen, n) = get_varint32(&index_raw[pos..])
+                .ok_or_else(|| KvError::corruption("index: bad klen"))?;
+            pos += n;
+            let key = index_raw
+                .get(pos..pos + klen as usize)
+                .ok_or_else(|| KvError::corruption("index: truncated key"))?
+                .to_vec();
+            pos += klen as usize;
+            let off_bytes = index_raw
+                .get(pos..pos + 12)
+                .ok_or_else(|| KvError::corruption("index: truncated handle"))?;
+            let offset = u64::from_le_bytes(off_bytes[..8].try_into().unwrap());
+            let len = u32::from_le_bytes(off_bytes[8..12].try_into().unwrap());
+            pos += 12;
+            index.push(IndexEntry { last_key: key, handle: BlockHandle { offset, len } });
+        }
+
+        Ok(Arc::new(Table {
+            id: TABLE_IDS.fetch_add(1, Ordering::Relaxed),
+            cache,
+            file,
+            path,
+            index,
+            bloom,
+            smallest,
+            largest,
+            entry_count,
+            paranoid,
+        }))
+    }
+
+    /// Drop this table's blocks from the shared cache (called when the
+    /// file becomes obsolete).
+    pub fn evict_from_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.evict_table(self.id);
+        }
+    }
+
+    /// Path of the table file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn read_block(&self, handle: BlockHandle) -> Result<DecodedBlock> {
+        if let Some(cache) = &self.cache {
+            if let Some(block) = cache.get(self.id, handle.offset) {
+                return Ok(block);
+            }
+        }
+        let mut buf = vec![0u8; handle.len as usize + 4];
+        self.file.read_exact_at(&mut buf, handle.offset)?;
+        let (data, crcb) = buf.split_at(handle.len as usize);
+        if self.paranoid {
+            let stored = crc::unmask(u32::from_le_bytes(crcb.try_into().unwrap()));
+            if crc::crc32c(data) != stored {
+                return Err(KvError::corruption(format!(
+                    "data block at {} checksum mismatch",
+                    handle.offset
+                )));
+            }
+        }
+        let block: DecodedBlock = std::sync::Arc::new(parse_block(data)?);
+        if let Some(cache) = &self.cache {
+            cache.insert(self.id, handle.offset, std::sync::Arc::clone(&block));
+        }
+        Ok(block)
+    }
+
+    /// True when the key range of this table may contain `user_key`.
+    pub fn key_may_be_in_range(&self, user_key: &[u8]) -> bool {
+        user_key >= self.smallest.user.as_slice() && user_key <= self.largest.user.as_slice()
+    }
+
+    /// Point lookup of `user_key` as of `snapshot_seq`.
+    ///
+    /// # Errors
+    /// Propagates I/O and corruption errors.
+    pub fn get(&self, user_key: &[u8], snapshot_seq: SeqNo) -> Result<LookupResult> {
+        if !self.key_may_be_in_range(user_key) {
+            return Ok(LookupResult::NotFound);
+        }
+        if let Some(bloom) = &self.bloom {
+            if !bloom.may_contain(user_key) {
+                return Ok(LookupResult::NotFound);
+            }
+        }
+        let seek = InternalKey::seek(user_key.to_vec(), snapshot_seq).encode();
+        // First block whose last key >= seek.
+        let block_idx = self
+            .index
+            .partition_point(|e| cmp_encoded(&e.last_key, &seek) == std::cmp::Ordering::Less);
+        for idx in block_idx..self.index.len() {
+            let entries = self.read_block(self.index[idx].handle)?;
+            for (ekey, value) in entries.iter() {
+                if cmp_encoded(ekey, &seek) == std::cmp::Ordering::Less {
+                    continue;
+                }
+                let ik = InternalKey::decode(ekey)
+                    .ok_or_else(|| KvError::corruption("undecodable entry key"))?;
+                if ik.user != user_key {
+                    return Ok(LookupResult::NotFound);
+                }
+                debug_assert!(ik.seq <= snapshot_seq);
+                return Ok(match ik.kind {
+                    ValueKind::Put => LookupResult::Found(value.clone()),
+                    ValueKind::Deletion => LookupResult::Deleted,
+                });
+            }
+            // Seek key was past every entry in this block (can happen when it
+            // equals the block's last key boundary); fall through to next.
+        }
+        Ok(LookupResult::NotFound)
+    }
+
+    /// Iterate over every entry in order.
+    pub fn iter(self: &Arc<Self>) -> TableIterator {
+        TableIterator {
+            table: Arc::clone(self),
+            block_idx: 0,
+            entries: std::sync::Arc::new(Vec::new()),
+            pos: 0,
+        }
+    }
+
+    /// Iterate starting at the first entry whose encoded internal key is
+    /// `>= seek`.
+    pub fn iter_from(self: &Arc<Self>, seek: &InternalKey) -> TableIterator {
+        let enc = seek.encode();
+        let block_idx =
+            self.index.partition_point(|e| cmp_encoded(&e.last_key, &enc) == std::cmp::Ordering::Less);
+        let mut it = TableIterator {
+            table: Arc::clone(self),
+            block_idx,
+            entries: std::sync::Arc::new(Vec::new()),
+            pos: 0,
+        };
+        it.skip_until(&enc);
+        it
+    }
+}
+
+/// Streaming iterator over a table's entries.
+#[derive(Debug)]
+pub struct TableIterator {
+    table: Arc<Table>,
+    block_idx: usize,
+    entries: DecodedBlock,
+    pos: usize,
+}
+
+impl TableIterator {
+    fn fill(&mut self) -> bool {
+        while self.pos >= self.entries.len() {
+            if self.block_idx >= self.table.index.len() {
+                return false;
+            }
+            match self.table.read_block(self.table.index[self.block_idx].handle) {
+                Ok(entries) => {
+                    self.entries = entries;
+                    self.pos = 0;
+                    self.block_idx += 1;
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    fn skip_until(&mut self, enc_seek: &[u8]) {
+        loop {
+            if !self.fill() {
+                return;
+            }
+            while self.pos < self.entries.len() {
+                if crate::types::cmp_encoded(&self.entries[self.pos].0, enc_seek) != std::cmp::Ordering::Less {
+                    return;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+impl Iterator for TableIterator {
+    type Item = (InternalKey, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.fill() {
+            return None;
+        }
+        let (k, v) = self.entries[self.pos].clone();
+        self.pos += 1;
+        let ik = InternalKey::decode(&k)?;
+        Some((ik, v))
+    }
+}
+
+/// Build a table from an iterator of sorted `(InternalKey, Value)` pairs.
+/// Convenience wrapper used by flushes and tests.
+///
+/// # Errors
+/// Propagates builder errors; fails on an empty input.
+pub fn build_table<'a>(
+    path: impl AsRef<Path>,
+    entries: impl IntoIterator<Item = (&'a InternalKey, &'a [u8])>,
+    block_bytes: usize,
+    bloom_bits_per_key: usize,
+) -> Result<(u64, InternalKey, InternalKey)> {
+    let mut b = TableBuilder::create(path, block_bytes, bloom_bits_per_key)?;
+    for (k, v) in entries {
+        b.add(k, v)?;
+    }
+    b.finish()
+}
+
+/// The user-key bounds `(smallest, largest)` of a table.
+pub fn user_key_range(t: &Table) -> (Key, Key) {
+    (t.smallest.user.clone(), t.largest.user.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lambda-kv-sst-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_entries(n: usize) -> Vec<(InternalKey, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    InternalKey::new(format!("key-{i:06}").into_bytes(), 10, ValueKind::Put),
+                    format!("value-{i}").into_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    fn write_table(path: &Path, entries: &[(InternalKey, Vec<u8>)]) {
+        build_table(
+            path,
+            entries.iter().map(|(k, v)| (k, v.as_slice())),
+            256,
+            10,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn build_and_get_all_keys() {
+        let path = tmpfile("basic.sst");
+        let entries = sample_entries(500);
+        write_table(&path, &entries);
+        let table = Table::open(&path, true).unwrap();
+        assert_eq!(table.entry_count, 500);
+        for (k, v) in &entries {
+            match table.get(&k.user, 100).unwrap() {
+                LookupResult::Found(got) => assert_eq!(&got, v),
+                other => panic!("expected found for {k}, got {other:?}"),
+            }
+        }
+        assert_eq!(table.get(b"absent", 100).unwrap(), LookupResult::NotFound);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn snapshot_visibility() {
+        let path = tmpfile("snap.sst");
+        let entries = vec![
+            (InternalKey::new(*b"k", 9, ValueKind::Put), b"v9".to_vec()),
+            (InternalKey::new(*b"k", 5, ValueKind::Deletion), Vec::new()),
+            (InternalKey::new(*b"k", 2, ValueKind::Put), b"v2".to_vec()),
+        ];
+        write_table(&path, &entries);
+        let t = Table::open(&path, true).unwrap();
+        assert_eq!(t.get(b"k", 100).unwrap(), LookupResult::Found(b"v9".to_vec()));
+        assert_eq!(t.get(b"k", 8).unwrap(), LookupResult::Deleted);
+        assert_eq!(t.get(b"k", 4).unwrap(), LookupResult::Found(b"v2".to_vec()));
+        assert_eq!(t.get(b"k", 1).unwrap(), LookupResult::NotFound);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn iterator_yields_sorted_entries() {
+        let path = tmpfile("iter.sst");
+        let entries = sample_entries(300);
+        write_table(&path, &entries);
+        let t = Table::open(&path, true).unwrap();
+        let collected: Vec<(InternalKey, Vec<u8>)> = t.iter().collect();
+        assert_eq!(collected.len(), 300);
+        assert_eq!(collected, entries);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn iter_from_seeks_correctly() {
+        let path = tmpfile("seek.sst");
+        let entries = sample_entries(100);
+        write_table(&path, &entries);
+        let t = Table::open(&path, true).unwrap();
+        let seek = InternalKey::seek(b"key-000050".to_vec(), crate::types::MAX_SEQNO);
+        let got: Vec<_> = t.iter_from(&seek).map(|(k, _)| k.user).collect();
+        assert_eq!(got.len(), 50);
+        assert_eq!(got[0], b"key-000050".to_vec());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bounds_are_recorded() {
+        let path = tmpfile("bounds.sst");
+        let entries = sample_entries(10);
+        write_table(&path, &entries);
+        let t = Table::open(&path, true).unwrap();
+        assert_eq!(t.smallest.user, b"key-000000".to_vec());
+        assert_eq!(t.largest.user, b"key-000009".to_vec());
+        assert!(t.key_may_be_in_range(b"key-000005"));
+        assert!(!t.key_may_be_in_range(b"zzz"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_footer_is_rejected() {
+        let path = tmpfile("corrupt.sst");
+        write_table(&path, &sample_entries(10));
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 20] ^= 0xff; // inside footer crc-covered region
+        std::fs::write(&path, &data).unwrap();
+        assert!(Table::open(&path, true).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_data_block_detected_on_read() {
+        let path = tmpfile("corruptblock.sst");
+        write_table(&path, &sample_entries(200));
+        let mut data = std::fs::read(&path).unwrap();
+        data[10] ^= 0x01; // first data block payload
+        std::fs::write(&path, &data).unwrap();
+        let t = Table::open(&path, true).unwrap();
+        // Key in the first block must now fail.
+        assert!(t.get(b"key-000000", 100).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_table_is_an_error() {
+        let path = tmpfile("empty.sst");
+        let b = TableBuilder::create(&path, 256, 10).unwrap();
+        assert!(b.finish().is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = tmpfile("short.sst");
+        std::fs::write(&path, b"tiny").unwrap();
+        assert!(Table::open(&path, true).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn block_parse_round_trip_with_restarts() {
+        let mut b = BlockBuilder::default();
+        let keys: Vec<Vec<u8>> = (0..100)
+            .map(|i| InternalKey::new(format!("pfx-common-{i:04}").into_bytes(), 1, ValueKind::Put).encode())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        for k in &sorted {
+            b.add(k, b"val");
+        }
+        let block = b.finish();
+        let parsed = parse_block(&block).unwrap();
+        assert_eq!(parsed.len(), 100);
+        for (i, (k, v)) in parsed.iter().enumerate() {
+            assert_eq!(k, &sorted[i]);
+            assert_eq!(v, b"val");
+        }
+    }
+}

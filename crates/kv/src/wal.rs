@@ -1,0 +1,375 @@
+//! Write-ahead log with CRC-protected, block-aligned record framing.
+//!
+//! The format follows the LevelDB log format: the file is a sequence of
+//! 32 KiB blocks; each record carries a 7-byte header
+//! `crc32c(masked):u32 len:u16 type:u8` and records that straddle block
+//! boundaries are split into FIRST/MIDDLE/LAST fragments. This framing lets
+//! recovery resynchronize after torn writes at the tail of the log.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc;
+use crate::{KvError, Result};
+
+/// Size of a log block.
+pub const BLOCK_SIZE: usize = 32 * 1024;
+/// Bytes of framing overhead per fragment.
+pub const HEADER_SIZE: usize = 7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum RecordType {
+    Full = 1,
+    First = 2,
+    Middle = 3,
+    Last = 4,
+}
+
+impl RecordType {
+    fn from_u8(v: u8) -> Option<RecordType> {
+        match v {
+            1 => Some(RecordType::Full),
+            2 => Some(RecordType::First),
+            3 => Some(RecordType::Middle),
+            4 => Some(RecordType::Last),
+            _ => None,
+        }
+    }
+}
+
+/// Appending side of the log.
+#[derive(Debug)]
+pub struct Wal {
+    file: BufWriter<File>,
+    path: PathBuf,
+    block_offset: usize,
+    written: u64,
+}
+
+impl Wal {
+    /// Create (truncating) a log file at `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(Wal { file: BufWriter::new(file), path, block_offset: 0, written: 0 })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total payload bytes appended so far (excludes framing).
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Append one record; it becomes visible to recovery once flushed.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut left = payload;
+        let mut begin = true;
+        loop {
+            let leftover = BLOCK_SIZE - self.block_offset;
+            if leftover < HEADER_SIZE {
+                // Pad the tail of the block with zeros and start a new block.
+                if leftover > 0 {
+                    self.file.write_all(&[0u8; HEADER_SIZE][..leftover])?;
+                }
+                self.block_offset = 0;
+            }
+            let avail = BLOCK_SIZE - self.block_offset - HEADER_SIZE;
+            let fragment_len = left.len().min(avail);
+            let end = fragment_len == left.len();
+            let rtype = match (begin, end) {
+                (true, true) => RecordType::Full,
+                (true, false) => RecordType::First,
+                (false, false) => RecordType::Middle,
+                (false, true) => RecordType::Last,
+            };
+            self.emit(rtype, &left[..fragment_len])?;
+            left = &left[fragment_len..];
+            begin = false;
+            if end {
+                break;
+            }
+        }
+        self.written += payload.len() as u64;
+        Ok(())
+    }
+
+    fn emit(&mut self, rtype: RecordType, data: &[u8]) -> Result<()> {
+        let mut header = [0u8; HEADER_SIZE];
+        let crc = crc::mask(crc::extend(crc::crc32c(&[rtype as u8]), data));
+        header[..4].copy_from_slice(&crc.to_le_bytes());
+        header[4..6].copy_from_slice(&(data.len() as u16).to_le_bytes());
+        header[6] = rtype as u8;
+        self.file.write_all(&header)?;
+        self.file.write_all(data)?;
+        self.block_offset += HEADER_SIZE + data.len();
+        debug_assert!(self.block_offset <= BLOCK_SIZE);
+        if self.block_offset == BLOCK_SIZE {
+            self.block_offset = 0;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered data to the OS.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn flush(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Flush and `fsync`, guaranteeing durability across power loss.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+/// Outcome of reading a log file.
+#[derive(Debug, Default)]
+pub struct WalRecovery {
+    /// The payloads of all complete records, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// True when the tail of the log was torn/corrupt and recovery stopped
+    /// early (expected after a crash; everything before the tear is intact).
+    pub truncated_tail: bool,
+}
+
+/// Read every intact record from the log at `path`.
+///
+/// Recovery is tolerant of a torn tail (reports it via
+/// [`WalRecovery::truncated_tail`]) but treats corruption in the middle of
+/// the log the same way LevelDB does: stop at the first bad record.
+///
+/// # Errors
+/// Propagates filesystem errors; a missing file is an error (callers check
+/// existence first).
+pub fn recover(path: impl AsRef<Path>) -> Result<WalRecovery> {
+    let mut file = File::open(path.as_ref())?;
+    let mut raw = Vec::new();
+    file.read_to_end(&mut raw)?;
+
+    let mut out = WalRecovery::default();
+    let mut pos = 0usize;
+    let mut pending: Option<Vec<u8>> = None;
+
+    'outer: while pos < raw.len() {
+        let block_remaining = BLOCK_SIZE - (pos % BLOCK_SIZE);
+        if block_remaining < HEADER_SIZE {
+            pos += block_remaining; // skip padding
+            continue;
+        }
+        if pos + HEADER_SIZE > raw.len() {
+            out.truncated_tail = true;
+            break;
+        }
+        let header = &raw[pos..pos + HEADER_SIZE];
+        // A zeroed header means pre-allocated/padded space: end of log.
+        if header.iter().all(|&b| b == 0) {
+            break;
+        }
+        let stored_crc = crc::unmask(u32::from_le_bytes(header[..4].try_into().unwrap()));
+        let len = u16::from_le_bytes(header[4..6].try_into().unwrap()) as usize;
+        let rtype = header[6];
+        if pos + HEADER_SIZE + len > raw.len() {
+            out.truncated_tail = true;
+            break;
+        }
+        let data = &raw[pos + HEADER_SIZE..pos + HEADER_SIZE + len];
+        let actual = crc::extend(crc::crc32c(&[rtype]), data);
+        if actual != stored_crc {
+            out.truncated_tail = true;
+            break;
+        }
+        let rtype = match RecordType::from_u8(rtype) {
+            Some(t) => t,
+            None => {
+                out.truncated_tail = true;
+                break 'outer;
+            }
+        };
+        pos += HEADER_SIZE + len;
+        match rtype {
+            RecordType::Full => {
+                if pending.take().is_some() {
+                    out.truncated_tail = true; // dangling fragment
+                }
+                out.records.push(data.to_vec());
+            }
+            RecordType::First => {
+                if pending.take().is_some() {
+                    out.truncated_tail = true;
+                }
+                pending = Some(data.to_vec());
+            }
+            RecordType::Middle => match pending.as_mut() {
+                Some(buf) => buf.extend_from_slice(data),
+                None => {
+                    out.truncated_tail = true;
+                    break;
+                }
+            },
+            RecordType::Last => match pending.take() {
+                Some(mut buf) => {
+                    buf.extend_from_slice(data);
+                    out.records.push(buf);
+                }
+                None => {
+                    out.truncated_tail = true;
+                    break;
+                }
+            },
+        }
+    }
+    if pending.is_some() {
+        out.truncated_tail = true;
+    }
+    Ok(out)
+}
+
+/// Validate that `path` exists and is a file (used by recovery preflight).
+///
+/// # Errors
+/// Returns [`KvError::InvalidDatabase`] when the path is missing.
+pub fn require_file(path: impl AsRef<Path>) -> Result<()> {
+    let p = path.as_ref();
+    if p.is_file() {
+        Ok(())
+    } else {
+        Err(KvError::InvalidDatabase(format!("missing log file {}", p.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lambda-kv-wal-{}-{}", name, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn small_records_round_trip() {
+        let dir = tmpdir("small");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        for i in 0..100u32 {
+            wal.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        wal.flush().unwrap();
+        let rec = recover(&path).unwrap();
+        assert!(!rec.truncated_tail);
+        assert_eq!(rec.records.len(), 100);
+        assert_eq!(rec.records[42], b"record-42");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn records_spanning_blocks_round_trip() {
+        let dir = tmpdir("span");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        let big = vec![7u8; BLOCK_SIZE * 3 + 123];
+        wal.append(&big).unwrap();
+        wal.append(b"after").unwrap();
+        wal.sync().unwrap();
+        let rec = recover(&path).unwrap();
+        assert!(!rec.truncated_tail);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[0], big);
+        assert_eq!(rec.records[1], b"after");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let dir = tmpdir("empty");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"").unwrap();
+        wal.flush().unwrap();
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.records, vec![Vec::<u8>::new()]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_prefix_kept() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"keep-me-1").unwrap();
+        wal.append(b"keep-me-2").unwrap();
+        wal.append(&vec![9u8; 4000]).unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        // Tear off the last 100 bytes, simulating a crash mid-write.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 100]).unwrap();
+        let rec = recover(&path).unwrap();
+        assert!(rec.truncated_tail);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[0], b"keep-me-1");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bitflip_stops_recovery() {
+        let dir = tmpdir("flip");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"first").unwrap();
+        wal.append(b"second").unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a bit inside the second record's payload.
+        let idx = HEADER_SIZE + 5 + HEADER_SIZE + 2;
+        data[idx] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        let rec = recover(&path).unwrap();
+        assert!(rec.truncated_tail);
+        assert_eq!(rec.records, vec![b"first".to_vec()]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn header_never_straddles_blocks() {
+        let dir = tmpdir("pad");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        // Leave exactly 3 bytes in the first block: forces padding.
+        let first = BLOCK_SIZE - HEADER_SIZE - (HEADER_SIZE + 3) + 3;
+        wal.append(&vec![1u8; first - HEADER_SIZE]).unwrap();
+        wal.append(b"tail-record").unwrap();
+        wal.flush().unwrap();
+        let rec = recover(&path).unwrap();
+        assert!(!rec.truncated_tail);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[1], b"tail-record");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn require_file_errors_on_missing() {
+        assert!(require_file("/definitely/not/here").is_err());
+    }
+}

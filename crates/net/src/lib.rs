@@ -1,0 +1,46 @@
+//! # lambda-net
+//!
+//! An in-process simulated cluster network with a serde wire codec and an
+//! RPC layer.
+//!
+//! The LambdaObjects evaluation (§5) ran on four CloudLab machines in one
+//! rack. This crate substitutes for that testbed: nodes are threads, links
+//! carry real serialized bytes, and a dispatcher injects configurable
+//! per-message latency, jitter, bandwidth cost, loss and partitions. The
+//! architectural effect the paper measures — a disaggregated design paying
+//! network round-trips for every storage access while the aggregated design
+//! pays none — is a function of hop counts and per-hop latency, both of
+//! which are reproduced faithfully here.
+//!
+//! Layers:
+//! * [`wire`] — a compact binary serde codec; every message is truly
+//!   serialized and reparsed so marshalling costs are paid;
+//! * [`sim`] — [`Network`], [`NodeHandle`], [`LatencyModel`], partitions;
+//! * [`rpc`] — request/response with ids, timeouts and a worker pool.
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_net::{LatencyModel, Network, NodeId, RpcNode};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let net = Network::new(LatencyModel::instant(), 42);
+//! let _server = RpcNode::start(&net, NodeId(1), Arc::new(|_, body| Ok(body)), 2);
+//! let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+//! let reply = client
+//!     .call(NodeId(1), b"echo".to_vec(), Duration::from_secs(1))
+//!     .expect("echo");
+//! assert_eq!(reply, b"echo");
+//! net.shutdown();
+//! ```
+
+pub mod rpc;
+pub mod sim;
+pub mod wire;
+
+pub use rpc::{Handler, RpcError, RpcNode};
+pub use sim::{
+    Envelope, LatencyModel, Network, NodeHandle, NodeId, RecvError, RecvTimeoutError,
+};
+pub use wire::{from_bytes, to_bytes, WireError};

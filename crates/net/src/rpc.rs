@@ -1,0 +1,467 @@
+//! Request/response RPC over the simulated network.
+//!
+//! An [`RpcNode`] owns a [`NodeHandle`], runs a router thread that
+//! demultiplexes incoming frames, dispatches requests to a worker pool, and
+//! matches responses to pending calls by id. Calls have timeouts so callers
+//! can survive partitions and node failures (the coordinator relies on this
+//! to detect dead nodes, §4.2.1).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::sim::{Network, NodeHandle, NodeId};
+
+/// Frame kind tags.
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_ONEWAY: u8 = 3;
+
+/// RPC failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// No response within the deadline (partition, crash, overload).
+    Timeout,
+    /// The local node is shutting down.
+    Shutdown,
+    /// The remote handler reported an application-level error.
+    Remote(String),
+    /// A malformed frame arrived.
+    BadFrame(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "rpc timed out"),
+            RpcError::Shutdown => write!(f, "rpc node shut down"),
+            RpcError::Remote(m) => write!(f, "remote error: {m}"),
+            RpcError::BadFrame(m) => write!(f, "bad frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A request handler: `(from, request bytes) -> Result<response, error>`.
+/// Errors travel back to the caller as [`RpcError::Remote`].
+pub type Handler = Arc<dyn Fn(NodeId, Vec<u8>) -> Result<Vec<u8>, String> + Send + Sync>;
+
+fn encode_frame(kind: u8, id: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + body.len());
+    out.push(kind);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn decode_frame(payload: &[u8]) -> Result<(u8, u64, Vec<u8>), RpcError> {
+    if payload.len() < 9 {
+        return Err(RpcError::BadFrame("short frame".into()));
+    }
+    let kind = payload[0];
+    let id = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+    Ok((kind, id, payload[9..].to_vec()))
+}
+
+// Responses carry an ok/err tag byte.
+fn encode_response_body(result: &Result<Vec<u8>, String>) -> Vec<u8> {
+    match result {
+        Ok(bytes) => {
+            let mut out = Vec::with_capacity(1 + bytes.len());
+            out.push(0);
+            out.extend_from_slice(bytes);
+            out
+        }
+        Err(msg) => {
+            let mut out = Vec::with_capacity(1 + msg.len());
+            out.push(1);
+            out.extend_from_slice(msg.as_bytes());
+            out
+        }
+    }
+}
+
+fn decode_response_body(body: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+    match body.split_first() {
+        Some((0, rest)) => Ok(rest.to_vec()),
+        Some((1, rest)) => Err(RpcError::Remote(String::from_utf8_lossy(rest).into_owned())),
+        _ => Err(RpcError::BadFrame("empty response body".into())),
+    }
+}
+
+/// Completion channel for one in-flight call.
+type PendingReply = Sender<Result<Vec<u8>, RpcError>>;
+
+struct RpcShared {
+    pending: Mutex<HashMap<u64, PendingReply>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// An RPC endpoint: issues calls and serves a handler.
+pub struct RpcNode {
+    id: NodeId,
+    net: Network,
+    shared: Arc<RpcShared>,
+    outbound: Sender<(NodeId, Vec<u8>)>,
+}
+
+impl fmt::Debug for RpcNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RpcNode").field("id", &self.id).finish()
+    }
+}
+
+impl RpcNode {
+    /// Join `net` as `id`, serving `handler` on `workers` threads.
+    pub fn start(net: &Network, id: NodeId, handler: Handler, workers: usize) -> Arc<RpcNode> {
+        let handle = net.join(id);
+        Self::start_with_handle(handle, handler, workers)
+    }
+
+    /// Like [`start`](Self::start) for a pre-joined [`NodeHandle`].
+    pub fn start_with_handle(handle: NodeHandle, handler: Handler, workers: usize) -> Arc<RpcNode> {
+        let id = handle.id();
+        let net = handle.network().clone();
+        let shared = Arc::new(RpcShared {
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        // Outbound channel: the router and workers both need to send.
+        let (out_tx, out_rx) = channel::unbounded::<(NodeId, Vec<u8>)>();
+        // Worker pool for request handling.
+        let (job_tx, job_rx) = channel::unbounded::<(NodeId, u64, Vec<u8>)>();
+        for w in 0..workers.max(1) {
+            let job_rx: Receiver<(NodeId, u64, Vec<u8>)> = job_rx.clone();
+            let handler = Arc::clone(&handler);
+            let out_tx = out_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("rpc-{id}-worker-{w}"))
+                .spawn(move || {
+                    while let Ok((from, req_id, body)) = job_rx.recv() {
+                        let result = handler(from, body);
+                        let frame =
+                            encode_frame(KIND_RESPONSE, req_id, &encode_response_body(&result));
+                        let _ = out_tx.send((from, frame));
+                    }
+                })
+                .expect("spawn rpc worker");
+        }
+        // Router thread: owns the NodeHandle and multiplexes between the
+        // network mailbox and the local outbound queue with no added
+        // latency on either path.
+        {
+            let shared = Arc::clone(&shared);
+            let handler = Arc::clone(&handler);
+            let incoming = handle.receiver();
+            std::thread::Builder::new()
+                .name(format!("rpc-{id}-router"))
+                .spawn(move || {
+                    loop {
+                        let env = channel::select! {
+                            recv(out_rx) -> out => {
+                                match out {
+                                    Ok((to, frame)) => {
+                                        handle.send(to, frame);
+                                        continue;
+                                    }
+                                    Err(_) => break, // all senders gone
+                                }
+                            }
+                            recv(incoming) -> env => match env {
+                                Ok(env) => env,
+                                Err(_) => break, // left the network
+                            },
+                            default(Duration::from_millis(50)) => {
+                                if shared.shutdown.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                continue;
+                            }
+                        };
+                        match decode_frame(&env.payload) {
+                            Ok((KIND_REQUEST, req_id, body)) => {
+                                let _ = job_tx.send((env.from, req_id, body));
+                            }
+                            Ok((KIND_ONEWAY, _, body)) => {
+                                // Fire-and-forget: run inline on a worker.
+                                let _ = job_tx.send((env.from, 0, body));
+                                // Response for id 0 goes nowhere: workers
+                                // still send a frame, which the peer's
+                                // router discards (no pending id 0).
+                                let _ = handler; // handler captured for lifetime parity
+                            }
+                            Ok((KIND_RESPONSE, req_id, body)) => {
+                                let waiter = shared.pending.lock().remove(&req_id);
+                                if let Some(tx) = waiter {
+                                    let _ = tx.send(decode_response_body(body));
+                                }
+                            }
+                            Ok((other, _, _)) => {
+                                // Unknown frame kind: ignore (forward compat).
+                                let _ = other;
+                            }
+                            Err(_) => { /* malformed frame: drop */ }
+                        }
+                    }
+                })
+                .expect("spawn rpc router");
+        }
+        Arc::new(RpcNode { id, net, shared, outbound: out_tx })
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Call `to` with `body`, waiting up to `timeout` for the response.
+    ///
+    /// # Errors
+    /// [`RpcError::Timeout`] when no response arrives (the pending slot is
+    /// reclaimed), [`RpcError::Remote`] when the handler failed.
+    pub fn call(&self, to: NodeId, body: Vec<u8>, timeout: Duration) -> Result<Vec<u8>, RpcError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(RpcError::Shutdown);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::bounded(1);
+        self.shared.pending.lock().insert(id, tx);
+        let frame = encode_frame(KIND_REQUEST, id, &body);
+        if self.outbound.send((to, frame)).is_err() {
+            self.shared.pending.lock().remove(&id);
+            return Err(RpcError::Shutdown);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                self.shared.pending.lock().remove(&id);
+                Err(RpcError::Timeout)
+            }
+        }
+    }
+
+    /// Issue several calls **concurrently** (single thread: all requests
+    /// are sent before any response is awaited) and wait for every reply
+    /// within one shared deadline. Returns one result per request, in
+    /// order. This is how the replication hook achieves the paper's "at
+    /// most one network round-trip within the responsible replica set"
+    /// without spawning threads.
+    pub fn call_many(
+        &self,
+        requests: &[(NodeId, Vec<u8>)],
+        timeout: Duration,
+    ) -> Vec<Result<Vec<u8>, RpcError>> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return requests.iter().map(|_| Err(RpcError::Shutdown)).collect();
+        }
+        let mut waiters = Vec::with_capacity(requests.len());
+        for (to, body) in requests {
+            let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = channel::bounded(1);
+            self.shared.pending.lock().insert(id, tx);
+            let frame = encode_frame(KIND_REQUEST, id, body);
+            if self.outbound.send((*to, frame)).is_err() {
+                self.shared.pending.lock().remove(&id);
+                waiters.push((id, None));
+                continue;
+            }
+            waiters.push((id, Some(rx)));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        waiters
+            .into_iter()
+            .map(|(id, rx)| match rx {
+                None => Err(RpcError::Shutdown),
+                Some(rx) => {
+                    let remaining =
+                        deadline.saturating_duration_since(std::time::Instant::now());
+                    match rx.recv_timeout(remaining) {
+                        Ok(result) => result,
+                        Err(_) => {
+                            self.shared.pending.lock().remove(&id);
+                            Err(RpcError::Timeout)
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Send a one-way message (no response expected).
+    pub fn notify(&self, to: NodeId, body: Vec<u8>) {
+        let frame = encode_frame(KIND_ONEWAY, 0, &body);
+        let _ = self.outbound.send((to, frame));
+    }
+
+    /// Stop the router and fail all pending calls.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let mut pending = self.shared.pending.lock();
+        for (_, tx) in pending.drain() {
+            let _ = tx.send(Err(RpcError::Shutdown));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::LatencyModel;
+
+    fn echo_handler() -> Handler {
+        Arc::new(|from, body| {
+            let mut out = format!("from={} ", from.0).into_bytes();
+            out.extend_from_slice(&body);
+            Ok(out)
+        })
+    }
+
+    #[test]
+    fn call_and_response() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let server = RpcNode::start(&net, NodeId(1), echo_handler(), 2);
+        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let out = client.call(NodeId(1), b"ping".to_vec(), Duration::from_secs(1)).unwrap();
+        assert_eq!(out, b"from=2 ping");
+        server.shutdown();
+        client.shutdown();
+        net.shutdown();
+    }
+
+    #[test]
+    fn concurrent_calls_are_matched() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let _server = RpcNode::start(
+            &net,
+            NodeId(1),
+            Arc::new(|_, body| Ok(body)), // echo
+            4,
+        );
+        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let client = Arc::clone(&client);
+        let threads: Vec<_> = (0..8u32)
+            .map(|i| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || {
+                    for j in 0..50u32 {
+                        let body = format!("{i}-{j}").into_bytes();
+                        let out = client
+                            .call(NodeId(1), body.clone(), Duration::from_secs(5))
+                            .unwrap();
+                        assert_eq!(out, body);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_propagate() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let _server =
+            RpcNode::start(&net, NodeId(1), Arc::new(|_, _| Err("nope".to_string())), 1);
+        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let err = client.call(NodeId(1), vec![], Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err, RpcError::Remote("nope".into()));
+        net.shutdown();
+    }
+
+    #[test]
+    fn timeout_on_dead_destination() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let err = client.call(NodeId(99), vec![], Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        net.shutdown();
+    }
+
+    #[test]
+    fn timeout_on_partition_then_recovery() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let _server = RpcNode::start(&net, NodeId(1), echo_handler(), 1);
+        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        net.cut_link(NodeId(1), NodeId(2));
+        let err = client.call(NodeId(1), b"x".to_vec(), Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        net.heal_link(NodeId(1), NodeId(2));
+        assert!(client.call(NodeId(1), b"x".to_vec(), Duration::from_secs(1)).is_ok());
+        net.shutdown();
+    }
+
+    #[test]
+    fn notify_reaches_handler() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let (tx, rx) = channel::unbounded();
+        let _server = RpcNode::start(
+            &net,
+            NodeId(1),
+            Arc::new(move |_, body| {
+                tx.send(body).unwrap();
+                Ok(vec![])
+            }),
+            1,
+        );
+        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        client.notify(NodeId(1), b"event".to_vec());
+        let got = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got, b"event");
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_pending_calls() {
+        let net = Network::new(
+            LatencyModel {
+                base: Duration::from_millis(200),
+                ..LatencyModel::instant()
+            },
+            1,
+        );
+        let _server = RpcNode::start(&net, NodeId(1), echo_handler(), 1);
+        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let c2 = Arc::clone(&client);
+        let t = std::thread::spawn(move || {
+            c2.call(NodeId(1), b"slow".to_vec(), Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        client.shutdown();
+        let res = t.join().unwrap();
+        assert_eq!(res.unwrap_err(), RpcError::Shutdown);
+        net.shutdown();
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(KIND_REQUEST, 77, b"body");
+        let (kind, id, body) = decode_frame(&frame).unwrap();
+        assert_eq!((kind, id, body.as_slice()), (KIND_REQUEST, 77, &b"body"[..]));
+        assert!(decode_frame(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn response_body_round_trip() {
+        assert_eq!(decode_response_body(encode_response_body(&Ok(b"x".to_vec()))), Ok(b"x".to_vec()));
+        assert_eq!(
+            decode_response_body(encode_response_body(&Err("bad".into()))),
+            Err(RpcError::Remote("bad".into()))
+        );
+        assert!(decode_response_body(vec![]).is_err());
+    }
+}

@@ -1,0 +1,589 @@
+//! The simulated cluster network.
+//!
+//! Nodes register with a [`Network`] and exchange byte messages through it.
+//! A dispatcher thread holds a delivery queue ordered by deadline; each
+//! message is delayed by a sample from the configured [`LatencyModel`]
+//! before it reaches the destination mailbox. Links can be cut (network
+//! partitions) and the per-link/message statistics feed the evaluation
+//! harness.
+//!
+//! This substitutes for the paper's CloudLab testbed (§5): the effect being
+//! measured — disaggregation paying one network round-trip per storage
+//! access — is a property of *hop counts and per-hop latency*, which the
+//! simulator reproduces precisely. Defaults model an intra-rack network.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifies a node (machine) in the simulated cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Serialized payload.
+    pub payload: Vec<u8>,
+}
+
+/// Per-message latency distribution.
+///
+/// Samples `base + U(0, jitter)` plus a per-byte cost, approximating an
+/// intra-rack network: ~100µs propagation + switching, mild jitter, and
+/// ~10 Gbps serialization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed one-way latency.
+    pub base: Duration,
+    /// Uniform jitter added on top.
+    pub jitter: Duration,
+    /// Transfer cost per byte (models bandwidth).
+    pub per_byte: Duration,
+    /// Probability of silently dropping a message (packet loss).
+    pub drop_probability: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base: Duration::from_micros(250),
+            jitter: Duration::from_micros(100),
+            per_byte: Duration::from_nanos(1), // ≈ 8 Gbps
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A zero-latency model for tests that only care about plumbing.
+    pub fn instant() -> Self {
+        LatencyModel {
+            base: Duration::ZERO,
+            jitter: Duration::ZERO,
+            per_byte: Duration::ZERO,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// Latency for one `len`-byte message, sampled with `rng`.
+    pub fn sample(&self, len: usize, rng: &mut SmallRng) -> Duration {
+        let jitter = if self.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            self.jitter.mul_f64(rng.gen::<f64>())
+        };
+        self.base + jitter + self.per_byte * (len as u32)
+    }
+}
+
+/// Counters observed by the harness.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Messages accepted for delivery.
+    pub messages_sent: AtomicU64,
+    /// Messages actually delivered.
+    pub messages_delivered: AtomicU64,
+    /// Messages dropped (loss, partition, unknown destination).
+    pub messages_dropped: AtomicU64,
+    /// Total payload bytes sent.
+    pub bytes_sent: AtomicU64,
+}
+
+struct Scheduled {
+    deliver_at: Instant,
+    seq: u64,
+    envelope: Envelope,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (deadline, seq) via reversal.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct NetInner {
+    mailboxes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    cut_links: RwLock<HashSet<(NodeId, NodeId)>>,
+    latency: RwLock<LatencyModel>,
+    queue: Mutex<BinaryHeap<Scheduled>>,
+    queue_cv: Condvar,
+    rng: Mutex<SmallRng>,
+    seq: AtomicU64,
+    stats: NetStats,
+    shutdown: AtomicBool,
+}
+
+/// Handle to the simulated network; cheap to clone.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetInner>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.inner.mailboxes.read().len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Create a network with the given latency model. The RNG is seeded for
+    /// reproducible jitter sequences.
+    pub fn new(latency: LatencyModel, seed: u64) -> Network {
+        let inner = Arc::new(NetInner {
+            mailboxes: RwLock::new(HashMap::new()),
+            cut_links: RwLock::new(HashSet::new()),
+            latency: RwLock::new(latency),
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_cv: Condvar::new(),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            seq: AtomicU64::new(0),
+            stats: NetStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let dispatcher = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("lambda-net-dispatcher".into())
+            .spawn(move || dispatcher_loop(dispatcher))
+            .expect("spawn dispatcher");
+        Network { inner }
+    }
+
+    /// A network with default intra-rack latency.
+    pub fn with_default_latency() -> Network {
+        Network::new(LatencyModel::default(), 0x1a_4b_da)
+    }
+
+    /// Register `id`, returning its mailbox handle.
+    ///
+    /// # Panics
+    /// Panics if the id is already registered (configuration bug).
+    pub fn join(&self, id: NodeId) -> NodeHandle {
+        let (tx, rx) = channel::unbounded();
+        let prev = self.inner.mailboxes.write().insert(id, tx);
+        assert!(prev.is_none(), "{id} joined twice");
+        NodeHandle { id, net: self.clone(), incoming: rx }
+    }
+
+    /// Remove `id` from the network; queued messages to it are dropped.
+    pub fn leave(&self, id: NodeId) {
+        self.inner.mailboxes.write().remove(&id);
+    }
+
+    /// True when `id` is currently registered.
+    pub fn is_member(&self, id: NodeId) -> bool {
+        self.inner.mailboxes.read().contains_key(&id)
+    }
+
+    /// Cut the link between `a` and `b` (both directions).
+    pub fn cut_link(&self, a: NodeId, b: NodeId) {
+        let mut cut = self.inner.cut_links.write();
+        cut.insert((a, b));
+        cut.insert((b, a));
+    }
+
+    /// Restore the link between `a` and `b`.
+    pub fn heal_link(&self, a: NodeId, b: NodeId) {
+        let mut cut = self.inner.cut_links.write();
+        cut.remove(&(a, b));
+        cut.remove(&(b, a));
+    }
+
+    /// Isolate a node from everyone currently registered.
+    pub fn isolate(&self, id: NodeId) {
+        let others: Vec<NodeId> = self.inner.mailboxes.read().keys().copied().collect();
+        for other in others {
+            if other != id {
+                self.cut_link(id, other);
+            }
+        }
+    }
+
+    /// Undo [`isolate`](Self::isolate).
+    pub fn heal_all(&self, id: NodeId) {
+        self.inner.cut_links.write().retain(|(a, b)| *a != id && *b != id);
+    }
+
+    /// Replace the latency model at runtime.
+    pub fn set_latency(&self, latency: LatencyModel) {
+        *self.inner.latency.write() = latency;
+    }
+
+    /// Current latency model.
+    pub fn latency(&self) -> LatencyModel {
+        *self.inner.latency.read()
+    }
+
+    /// Counter snapshot: (sent, delivered, dropped, bytes).
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        let s = &self.inner.stats;
+        (
+            s.messages_sent.load(Ordering::Relaxed),
+            s.messages_delivered.load(Ordering::Relaxed),
+            s.messages_dropped.load(Ordering::Relaxed),
+            s.bytes_sent.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stop the dispatcher; in-flight messages are discarded.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_cv.notify_all();
+    }
+
+    fn send(&self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+        let stats = &self.inner.stats;
+        stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if self.inner.cut_links.read().contains(&(from, to)) {
+            stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let latency = *self.inner.latency.read();
+        let delay = {
+            let mut rng = self.inner.rng.lock();
+            if latency.drop_probability > 0.0 && rng.gen::<f64>() < latency.drop_probability {
+                stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            latency.sample(payload.len(), &mut rng)
+        };
+        let item = Scheduled {
+            deliver_at: Instant::now() + delay,
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            envelope: Envelope { from, to, payload },
+        };
+        self.inner.queue.lock().push(item);
+        self.inner.queue_cv.notify_one();
+    }
+}
+
+fn dispatcher_loop(inner: Arc<NetInner>) {
+    let mut queue = inner.queue.lock();
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        // Deliver everything due.
+        while queue.peek().is_some_and(|s| s.deliver_at <= now) {
+            let item = queue.pop().expect("peeked");
+            // Check partitions again at delivery time: a link cut mid-flight
+            // loses the packet, like a real partition would.
+            let blocked = inner
+                .cut_links
+                .read()
+                .contains(&(item.envelope.from, item.envelope.to));
+            let mailbox = if blocked {
+                None
+            } else {
+                inner.mailboxes.read().get(&item.envelope.to).cloned()
+            };
+            match mailbox {
+                Some(tx) if tx.send(item.envelope).is_ok() => {
+                    inner.stats.messages_delivered.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    inner.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        match queue.peek().map(|s| s.deliver_at) {
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                inner.queue_cv.wait_for(&mut queue, timeout.max(Duration::from_micros(10)));
+            }
+            None => {
+                inner.queue_cv.wait_for(&mut queue, Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// A node's endpoint on the network.
+pub struct NodeHandle {
+    id: NodeId,
+    net: Network,
+    incoming: Receiver<Envelope>,
+}
+
+impl fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeHandle").field("id", &self.id).finish()
+    }
+}
+
+impl NodeHandle {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The network this node belongs to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Send `payload` to `to` (fire-and-forget, like UDP-with-ordering).
+    pub fn send(&self, to: NodeId, payload: Vec<u8>) {
+        self.net.send(self.id, to, payload);
+    }
+
+    /// Block until a message arrives.
+    ///
+    /// # Errors
+    /// Returns `Err` when the network shut down.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.incoming.recv().map_err(|_| RecvError)
+    }
+
+    /// Block until a message arrives or `timeout` passes.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError::Timeout`] on timeout, `Disconnected` on shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvTimeoutError> {
+        self.incoming.recv_timeout(timeout).map_err(|e| match e {
+            channel::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            channel::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.incoming.try_recv().ok()
+    }
+
+    /// A clone of the underlying channel receiver, for callers that need to
+    /// `select!` over the mailbox and other channels (the RPC router does).
+    pub fn receiver(&self) -> Receiver<Envelope> {
+        self.incoming.clone()
+    }
+}
+
+/// The mailbox was closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "network mailbox closed")
+    }
+}
+impl std::error::Error for RecvError {}
+
+/// Timed-out or closed mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived in time.
+    Timeout,
+    /// The mailbox was closed.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+            RecvTimeoutError::Disconnected => write!(f, "network mailbox closed"),
+        }
+    }
+}
+impl std::error::Error for RecvTimeoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_delivered() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        a.send(NodeId(2), b"hello".to_vec());
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, NodeId(1));
+        assert_eq!(env.payload, b"hello");
+        net.shutdown();
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let net = Network::new(
+            LatencyModel {
+                base: Duration::from_millis(20),
+                jitter: Duration::ZERO,
+                per_byte: Duration::ZERO,
+                drop_probability: 0.0,
+            },
+            1,
+        );
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        let start = Instant::now();
+        a.send(NodeId(2), vec![0]);
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(18), "elapsed {elapsed:?}");
+        net.shutdown();
+    }
+
+    #[test]
+    fn ordering_preserved_for_same_latency() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        for i in 0..100u32 {
+            a.send(NodeId(2), i.to_le_bytes().to_vec());
+        }
+        for i in 0..100u32 {
+            let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.payload, i.to_le_bytes());
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn cut_link_drops_messages() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        net.cut_link(NodeId(1), NodeId(2));
+        a.send(NodeId(2), b"lost".to_vec());
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(50)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        net.heal_link(NodeId(1), NodeId(2));
+        a.send(NodeId(2), b"found".to_vec());
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().payload, b"found");
+        let (_, _, dropped, _) = net.stats();
+        assert_eq!(dropped, 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn isolate_and_heal_all() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        let c = net.join(NodeId(3));
+        net.isolate(NodeId(1));
+        a.send(NodeId(2), b"x".to_vec());
+        c.send(NodeId(1), b"y".to_vec());
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        assert!(a.recv_timeout(Duration::from_millis(50)).is_err());
+        net.heal_all(NodeId(1));
+        a.send(NodeId(2), b"z".to_vec());
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+        net.shutdown();
+    }
+
+    #[test]
+    fn unknown_destination_is_dropped() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        a.send(NodeId(99), b"void".to_vec());
+        // Give the dispatcher a beat.
+        std::thread::sleep(Duration::from_millis(20));
+        let (sent, _, dropped, _) = net.stats();
+        assert_eq!(sent, 1);
+        assert_eq!(dropped, 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn drop_probability_loses_packets() {
+        let net = Network::new(
+            LatencyModel { drop_probability: 1.0, ..LatencyModel::instant() },
+            1,
+        );
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        a.send(NodeId(2), b"gone".to_vec());
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        net.shutdown();
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let _b = net.join(NodeId(2));
+        a.send(NodeId(2), vec![0u8; 100]);
+        let (_, _, _, bytes) = net.stats();
+        assert_eq!(bytes, 100);
+        net.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn double_join_panics() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let _a = net.join(NodeId(1));
+        let _b = net.join(NodeId(1));
+    }
+
+    #[test]
+    fn leave_makes_node_unreachable() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        assert!(net.is_member(NodeId(2)));
+        net.leave(NodeId(2));
+        assert!(!net.is_member(NodeId(2)));
+        a.send(NodeId(2), b"late".to_vec());
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        net.shutdown();
+    }
+
+    #[test]
+    fn latency_sample_includes_size_cost() {
+        let model = LatencyModel {
+            base: Duration::from_micros(10),
+            jitter: Duration::ZERO,
+            per_byte: Duration::from_micros(1),
+            drop_probability: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let small = model.sample(10, &mut rng);
+        let big = model.sample(1000, &mut rng);
+        assert!(big > small);
+        assert_eq!(big, Duration::from_micros(10 + 1000));
+    }
+}

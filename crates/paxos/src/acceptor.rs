@@ -1,0 +1,195 @@
+//! Acceptor and learner state, the passive (and safety-critical) half of
+//! Paxos.
+
+use std::collections::BTreeMap;
+
+use crate::messages::{Ballot, PaxosMsg, Slot};
+
+/// Per-slot acceptor state.
+#[derive(Debug, Clone, Default)]
+pub struct SlotState {
+    /// Highest ballot promised.
+    pub promised: Ballot,
+    /// Highest accepted `(ballot, value)`.
+    pub accepted: Option<(Ballot, Vec<u8>)>,
+}
+
+/// The acceptor + learner for one node. Purely message-driven, no I/O —
+/// which makes the safety properties unit-testable in isolation.
+#[derive(Debug, Default)]
+pub struct Acceptor {
+    slots: BTreeMap<Slot, SlotState>,
+    chosen: BTreeMap<Slot, Vec<u8>>,
+}
+
+impl Acceptor {
+    /// New empty acceptor.
+    pub fn new() -> Self {
+        Acceptor::default()
+    }
+
+    /// Handle `Prepare`: promise iff the ballot beats anything promised.
+    pub fn on_prepare(&mut self, slot: Slot, ballot: Ballot) -> PaxosMsg {
+        let st = self.slots.entry(slot).or_default();
+        if ballot > st.promised {
+            st.promised = ballot;
+            PaxosMsg::Promise { slot, ballot, accepted: st.accepted.clone() }
+        } else {
+            PaxosMsg::Nack { slot, promised: st.promised }
+        }
+    }
+
+    /// Handle `Accept`: accept iff the ballot is at least the promise.
+    pub fn on_accept(&mut self, slot: Slot, ballot: Ballot, value: Vec<u8>) -> PaxosMsg {
+        let st = self.slots.entry(slot).or_default();
+        if ballot >= st.promised {
+            st.promised = ballot;
+            st.accepted = Some((ballot, value));
+            PaxosMsg::Accepted { slot, ballot }
+        } else {
+            PaxosMsg::Nack { slot, promised: st.promised }
+        }
+    }
+
+    /// Record a chosen value (learner role). Idempotent; a conflicting
+    /// second value for the same slot is a protocol-violation and panics in
+    /// debug builds.
+    pub fn on_learn(&mut self, slot: Slot, value: Vec<u8>) {
+        if let Some(existing) = self.chosen.get(&slot) {
+            debug_assert_eq!(
+                existing, &value,
+                "two different values chosen for slot {slot} — Paxos safety violated"
+            );
+            return;
+        }
+        self.chosen.insert(slot, value);
+    }
+
+    /// The chosen value for `slot`, if known.
+    pub fn chosen(&self, slot: Slot) -> Option<&Vec<u8>> {
+        self.chosen.get(&slot)
+    }
+
+    /// All known chosen entries starting at `from`.
+    pub fn chosen_from(&self, from: Slot) -> Vec<(Slot, Vec<u8>)> {
+        self.chosen.range(from..).map(|(s, v)| (*s, v.clone())).collect()
+    }
+
+    /// First slot with no known chosen value.
+    pub fn first_unchosen(&self) -> Slot {
+        let mut slot = 0;
+        for (&s, _) in self.chosen.iter() {
+            if s == slot {
+                slot += 1;
+            } else if s > slot {
+                break;
+            }
+        }
+        slot
+    }
+
+    /// Number of contiguously chosen slots from 0.
+    pub fn chosen_prefix_len(&self) -> u64 {
+        self.first_unchosen()
+    }
+
+    /// Total chosen entries (may have gaps).
+    pub fn chosen_count(&self) -> usize {
+        self.chosen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(round: u64, node: u32) -> Ballot {
+        Ballot { round, node }
+    }
+
+    #[test]
+    fn promise_then_nack_lower() {
+        let mut a = Acceptor::new();
+        match a.on_prepare(0, b(5, 1)) {
+            PaxosMsg::Promise { accepted: None, .. } => {}
+            other => panic!("expected promise, got {other:?}"),
+        }
+        match a.on_prepare(0, b(3, 2)) {
+            PaxosMsg::Nack { promised, .. } => assert_eq!(promised, b(5, 1)),
+            other => panic!("expected nack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accept_respects_promise() {
+        let mut a = Acceptor::new();
+        a.on_prepare(0, b(5, 1));
+        match a.on_accept(0, b(4, 2), b"late".to_vec()) {
+            PaxosMsg::Nack { .. } => {}
+            other => panic!("expected nack, got {other:?}"),
+        }
+        match a.on_accept(0, b(5, 1), b"ok".to_vec()) {
+            PaxosMsg::Accepted { .. } => {}
+            other => panic!("expected accepted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn promise_reveals_prior_accepted_value() {
+        let mut a = Acceptor::new();
+        a.on_prepare(0, b(1, 1));
+        a.on_accept(0, b(1, 1), b"v1".to_vec());
+        match a.on_prepare(0, b(2, 2)) {
+            PaxosMsg::Promise { accepted: Some((ballot, value)), .. } => {
+                assert_eq!(ballot, b(1, 1));
+                assert_eq!(value, b"v1");
+            }
+            other => panic!("expected promise with value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_ballot_accept_allowed_after_own_prepare() {
+        let mut a = Acceptor::new();
+        a.on_prepare(0, b(2, 1));
+        match a.on_accept(0, b(2, 1), b"v".to_vec()) {
+            PaxosMsg::Accepted { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut a = Acceptor::new();
+        a.on_prepare(0, b(9, 1));
+        match a.on_prepare(1, b(1, 2)) {
+            PaxosMsg::Promise { .. } => {}
+            other => panic!("slot 1 unaffected by slot 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn learn_and_first_unchosen() {
+        let mut a = Acceptor::new();
+        assert_eq!(a.first_unchosen(), 0);
+        a.on_learn(0, b"a".to_vec());
+        a.on_learn(1, b"b".to_vec());
+        a.on_learn(3, b"d".to_vec()); // gap at 2
+        assert_eq!(a.first_unchosen(), 2);
+        assert_eq!(a.chosen(3), Some(&b"d".to_vec()));
+        assert_eq!(a.chosen_count(), 3);
+        assert_eq!(a.chosen_from(1), vec![(1, b"b".to_vec()), (3, b"d".to_vec())]);
+        // Idempotent relearn.
+        a.on_learn(0, b"a".to_vec());
+        assert_eq!(a.chosen_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety violated")]
+    #[cfg(debug_assertions)]
+    fn conflicting_learn_panics_in_debug() {
+        let mut a = Acceptor::new();
+        a.on_learn(0, b"x".to_vec());
+        a.on_learn(0, b"y".to_vec());
+    }
+}

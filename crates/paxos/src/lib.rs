@@ -1,0 +1,46 @@
+//! # lambda-paxos
+//!
+//! Single- and multi-decree Paxos over the simulated cluster network.
+//!
+//! The LambdaStore design (§4.2.1) requires a cluster-wide coordination
+//! service that is "replicated using Paxos to ensure availability at all
+//! times". This crate implements that consensus substrate from scratch:
+//!
+//! * [`acceptor`] — the message-driven acceptor/learner state machine
+//!   (pure, unit-testable safety core);
+//! * [`node`] — a full participant combining proposer, acceptor and
+//!   learner over [`lambda_net`] RPC, exposing a replicated log with an
+//!   in-order apply callback;
+//! * [`messages`] — the wire protocol.
+//!
+//! Any member may propose; concurrent proposals are serialized by ballots
+//! with randomized backoff. A majority of members must be reachable for
+//! progress (safety holds under any partition).
+//!
+//! # Example
+//!
+//! ```
+//! use lambda_net::{LatencyModel, Network, NodeId};
+//! use lambda_paxos::{PaxosConfig, PaxosNode};
+//! use std::sync::Arc;
+//!
+//! let net = Network::new(LatencyModel::instant(), 7);
+//! let members = vec![NodeId(0), NodeId(1), NodeId(2)];
+//! let nodes: Vec<_> = members
+//!     .iter()
+//!     .map(|&id| {
+//!         PaxosNode::start(&net, id, members.clone(), Arc::new(|_, _| {}), PaxosConfig::default())
+//!     })
+//!     .collect();
+//! let slot = nodes[0].propose(b"reconfigure".to_vec()).expect("majority up");
+//! assert_eq!(nodes[0].chosen(slot), Some(b"reconfigure".to_vec()));
+//! net.shutdown();
+//! ```
+
+pub mod acceptor;
+pub mod messages;
+pub mod node;
+
+pub use acceptor::Acceptor;
+pub use messages::{Ballot, PaxosMsg, Slot};
+pub use node::{ApplyFn, PaxosConfig, PaxosNode, ProposeError};

@@ -1,0 +1,134 @@
+//! Paxos wire messages.
+
+use serde::{Deserialize, Serialize};
+
+/// A proposal number: totally ordered, unique per proposer.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Ballot {
+    /// Monotonically increasing round.
+    pub round: u64,
+    /// Proposer node id (tie-breaker, guarantees uniqueness).
+    pub node: u32,
+}
+
+impl Ballot {
+    /// The smallest ballot; never used for actual proposals.
+    pub const ZERO: Ballot = Ballot { round: 0, node: 0 };
+
+    /// The next ballot for `node` that beats `other`.
+    pub fn succeed(other: Ballot, node: u32) -> Ballot {
+        Ballot { round: other.round + 1, node }
+    }
+}
+
+/// Log slot index.
+pub type Slot = u64;
+
+/// Messages exchanged between Paxos participants.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PaxosMsg {
+    /// Phase 1a: leader solicits promises for `slot`.
+    Prepare {
+        /// Log slot.
+        slot: Slot,
+        /// Proposal ballot.
+        ballot: Ballot,
+    },
+    /// Phase 1b: acceptor promises not to accept lower ballots.
+    Promise {
+        /// Log slot.
+        slot: Slot,
+        /// The promised ballot (echoed).
+        ballot: Ballot,
+        /// Highest accepted proposal so far, if any.
+        accepted: Option<(Ballot, Vec<u8>)>,
+    },
+    /// Phase 2a: leader asks acceptors to accept `value`.
+    Accept {
+        /// Log slot.
+        slot: Slot,
+        /// Proposal ballot.
+        ballot: Ballot,
+        /// Proposed value.
+        value: Vec<u8>,
+    },
+    /// Phase 2b: acceptor accepted the proposal.
+    Accepted {
+        /// Log slot.
+        slot: Slot,
+        /// Accepted ballot (echoed).
+        ballot: Ballot,
+    },
+    /// Rejection of a stale ballot, carrying the ballot that beat it.
+    Nack {
+        /// Log slot.
+        slot: Slot,
+        /// The higher promised ballot.
+        promised: Ballot,
+    },
+    /// Learner broadcast: `value` is chosen for `slot`.
+    Learn {
+        /// Log slot.
+        slot: Slot,
+        /// Chosen value.
+        value: Vec<u8>,
+    },
+    /// Catch-up request: send me chosen values from `from_slot`.
+    PullChosen {
+        /// First slot of interest.
+        from_slot: Slot,
+    },
+    /// Catch-up response.
+    ChosenBatch {
+        /// `(slot, value)` pairs known chosen.
+        entries: Vec<(Slot, Vec<u8>)>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_net::wire;
+
+    #[test]
+    fn ballot_ordering() {
+        let a = Ballot { round: 1, node: 2 };
+        let b = Ballot { round: 2, node: 1 };
+        let c = Ballot { round: 1, node: 3 };
+        assert!(a < b, "round dominates");
+        assert!(a < c, "node breaks ties");
+        assert!(Ballot::ZERO < a);
+        let s = Ballot::succeed(b, 9);
+        assert!(s > b);
+        assert_eq!(s.node, 9);
+    }
+
+    #[test]
+    fn messages_round_trip_the_wire() {
+        let msgs = vec![
+            PaxosMsg::Prepare { slot: 3, ballot: Ballot { round: 7, node: 1 } },
+            PaxosMsg::Promise {
+                slot: 3,
+                ballot: Ballot { round: 7, node: 1 },
+                accepted: Some((Ballot { round: 2, node: 2 }, b"old".to_vec())),
+            },
+            PaxosMsg::Accept {
+                slot: 0,
+                ballot: Ballot { round: 1, node: 1 },
+                value: b"cmd".to_vec(),
+            },
+            PaxosMsg::Accepted { slot: 0, ballot: Ballot::ZERO },
+            PaxosMsg::Nack { slot: 1, promised: Ballot { round: 9, node: 3 } },
+            PaxosMsg::Learn { slot: 5, value: vec![] },
+            PaxosMsg::PullChosen { from_slot: 2 },
+            PaxosMsg::ChosenBatch { entries: vec![(0, b"a".to_vec()), (1, b"b".to_vec())] },
+        ];
+        for m in msgs {
+            let bytes = wire::to_bytes(&m).unwrap();
+            let back: PaxosMsg = wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+}

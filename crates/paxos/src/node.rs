@@ -1,0 +1,483 @@
+//! A full Paxos participant: proposer + acceptor + learner over RPC.
+//!
+//! Values are chosen into a replicated log (multi-decree Paxos). Any node
+//! may propose; concurrent proposers are resolved by ballot ordering with
+//! randomized backoff. Chosen entries are applied, in slot order, to a
+//! user-supplied state machine callback — the coordination service in
+//! `lambda-coordinator` layers its membership/shard-map state machine on
+//! top of exactly this interface.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
+
+use crate::acceptor::Acceptor;
+use crate::messages::{Ballot, PaxosMsg, Slot};
+
+/// Tuning for proposals.
+#[derive(Debug, Clone, Copy)]
+pub struct PaxosConfig {
+    /// Per-RPC timeout.
+    pub rpc_timeout: Duration,
+    /// Attempts before giving up a proposal.
+    pub max_retries: u32,
+    /// Base backoff between attempts (randomized up to 2x).
+    pub retry_backoff: Duration,
+    /// RPC worker threads per node.
+    pub workers: usize,
+}
+
+impl Default for PaxosConfig {
+    fn default() -> Self {
+        PaxosConfig {
+            rpc_timeout: Duration::from_millis(250),
+            max_retries: 12,
+            retry_backoff: Duration::from_millis(5),
+            workers: 4,
+        }
+    }
+}
+
+/// Proposal failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProposeError {
+    /// Could not achieve a majority within the retry budget.
+    NoMajority,
+    /// The node is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProposeError::NoMajority => write!(f, "no majority reachable"),
+            ProposeError::Shutdown => write!(f, "paxos node shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ProposeError {}
+
+/// Callback applied to each chosen entry exactly once, in slot order.
+pub type ApplyFn = Arc<dyn Fn(Slot, &[u8]) + Send + Sync>;
+
+/// One Paxos participant.
+pub struct PaxosNode {
+    id: NodeId,
+    members: Vec<NodeId>,
+    rpc: Arc<RpcNode>,
+    acceptor: Arc<Mutex<Acceptor>>,
+    next_apply: Arc<Mutex<Slot>>,
+    apply: ApplyFn,
+    round: AtomicU64,
+    config: PaxosConfig,
+}
+
+impl std::fmt::Debug for PaxosNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaxosNode")
+            .field("id", &self.id)
+            .field("members", &self.members)
+            .finish()
+    }
+}
+
+impl PaxosNode {
+    /// Join `net` as one member of the Paxos group `members` (which must
+    /// include `id`). `apply` receives chosen entries in order.
+    ///
+    /// # Panics
+    /// Panics when `id` is not listed in `members`.
+    pub fn start(
+        net: &Network,
+        id: NodeId,
+        members: Vec<NodeId>,
+        apply: ApplyFn,
+        config: PaxosConfig,
+    ) -> Arc<PaxosNode> {
+        assert!(members.contains(&id), "{id} must be a member");
+        let acceptor = Arc::new(Mutex::new(Acceptor::new()));
+        let next_apply = Arc::new(Mutex::new(0u64));
+
+        let handler_acceptor = Arc::clone(&acceptor);
+        let handler_next = Arc::clone(&next_apply);
+        let handler_apply = Arc::clone(&apply);
+        let handler = Arc::new(move |_from: NodeId, body: Vec<u8>| -> Result<Vec<u8>, String> {
+            let msg: PaxosMsg = wire::from_bytes(&body).map_err(|e| e.to_string())?;
+            let response = {
+                let mut acc = handler_acceptor.lock();
+                match msg {
+                    PaxosMsg::Prepare { slot, ballot } => acc.on_prepare(slot, ballot),
+                    PaxosMsg::Accept { slot, ballot, value } => {
+                        acc.on_accept(slot, ballot, value)
+                    }
+                    PaxosMsg::Learn { slot, value } => {
+                        acc.on_learn(slot, value);
+                        drop(acc);
+                        apply_ready(&handler_acceptor, &handler_next, &handler_apply);
+                        PaxosMsg::ChosenBatch { entries: vec![] }
+                    }
+                    PaxosMsg::PullChosen { from_slot } => {
+                        PaxosMsg::ChosenBatch { entries: acc.chosen_from(from_slot) }
+                    }
+                    other => return Err(format!("unexpected message {other:?}")),
+                }
+            };
+            wire::to_bytes(&response).map_err(|e| e.to_string())
+        });
+
+        let rpc = RpcNode::start(net, id, handler, config.workers);
+        Arc::new(PaxosNode {
+            id,
+            members,
+            rpc,
+            acceptor,
+            next_apply,
+            apply,
+            round: AtomicU64::new(1),
+            config,
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Group membership (static for the group's lifetime).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    fn send(&self, to: NodeId, msg: &PaxosMsg) -> Result<PaxosMsg, RpcError> {
+        let body = wire::to_bytes(msg).expect("paxos messages serialize");
+        let reply = self.rpc.call(to, body, self.config.rpc_timeout)?;
+        wire::from_bytes(&reply).map_err(|e| RpcError::BadFrame(e.to_string()))
+    }
+
+    /// Propose `value` for the next available log slot. Returns the slot at
+    /// which **this** value was chosen (other proposers' values may occupy
+    /// earlier slots).
+    ///
+    /// # Errors
+    /// [`ProposeError::NoMajority`] after the retry budget is exhausted.
+    pub fn propose(&self, value: Vec<u8>) -> Result<Slot, ProposeError> {
+        let mut slot = self.acceptor.lock().first_unchosen();
+        for attempt in 0..self.config.max_retries {
+            // Skip over slots that got chosen since (other proposers).
+            slot = slot.max(self.acceptor.lock().first_unchosen());
+            let ballot = Ballot {
+                round: self.round.fetch_add(1, Ordering::Relaxed),
+                node: self.id.0,
+            };
+
+            match self.try_slot(slot, ballot, &value) {
+                SlotOutcome::ChosenOurs => return Ok(slot),
+                SlotOutcome::ChosenOther => {
+                    // Someone else's value landed in this slot; move on.
+                    slot += 1;
+                    continue;
+                }
+                SlotOutcome::Failed => {
+                    let backoff = self.config.retry_backoff.mul_f64(
+                        1.0 + rand::thread_rng().gen::<f64>() * (attempt as f64 + 1.0),
+                    );
+                    std::thread::sleep(backoff);
+                    // Catch up in case we are behind a healthy majority.
+                    self.sync();
+                }
+            }
+        }
+        Err(ProposeError::NoMajority)
+    }
+
+    fn try_slot(&self, slot: Slot, ballot: Ballot, value: &[u8]) -> SlotOutcome {
+        // Phase 1: prepare.
+        let mut promises = Vec::new();
+        for &peer in &self.members {
+            if let Ok(PaxosMsg::Promise { accepted, .. }) =
+                self.send(peer, &PaxosMsg::Prepare { slot, ballot })
+            {
+                promises.push(accepted);
+            }
+        }
+        if promises.len() < self.majority() {
+            return SlotOutcome::Failed;
+        }
+        // Adopt the highest already-accepted value, if any (safety rule).
+        let adopted: Option<Vec<u8>> = promises
+            .into_iter()
+            .flatten()
+            .max_by_key(|(b, _)| *b)
+            .map(|(_, v)| v);
+        let proposing_ours = adopted.is_none();
+        let value_to_send = adopted.unwrap_or_else(|| value.to_vec());
+
+        // Phase 2: accept.
+        let mut accepted_count = 0;
+        for &peer in &self.members {
+            if let Ok(PaxosMsg::Accepted { .. }) = self.send(
+                peer,
+                &PaxosMsg::Accept { slot, ballot, value: value_to_send.clone() },
+            ) {
+                accepted_count += 1;
+            }
+        }
+        if accepted_count < self.majority() {
+            return SlotOutcome::Failed;
+        }
+
+        // Chosen: teach everyone (including ourselves).
+        for &peer in &self.members {
+            let _ = self.send(peer, &PaxosMsg::Learn { slot, value: value_to_send.clone() });
+        }
+        if proposing_ours {
+            SlotOutcome::ChosenOurs
+        } else {
+            SlotOutcome::ChosenOther
+        }
+    }
+
+    /// Pull chosen entries from peers to fill local gaps (used after
+    /// partitions and by fresh nodes).
+    pub fn sync(&self) {
+        let from = self.acceptor.lock().first_unchosen();
+        for &peer in &self.members {
+            if peer == self.id {
+                continue;
+            }
+            if let Ok(PaxosMsg::ChosenBatch { entries }) =
+                self.send(peer, &PaxosMsg::PullChosen { from_slot: from })
+            {
+                let mut acc = self.acceptor.lock();
+                for (slot, value) in entries {
+                    acc.on_learn(slot, value);
+                }
+            }
+        }
+        apply_ready(&self.acceptor, &self.next_apply, &self.apply);
+    }
+
+    /// The chosen value at `slot`, if known locally.
+    pub fn chosen(&self, slot: Slot) -> Option<Vec<u8>> {
+        self.acceptor.lock().chosen(slot).cloned()
+    }
+
+    /// Length of the contiguous chosen prefix known locally.
+    pub fn chosen_prefix_len(&self) -> u64 {
+        self.acceptor.lock().chosen_prefix_len()
+    }
+
+    /// Number of entries applied to the state machine so far.
+    pub fn applied_len(&self) -> u64 {
+        *self.next_apply.lock()
+    }
+
+    /// Stop serving RPCs.
+    pub fn shutdown(&self) {
+        self.rpc.shutdown();
+    }
+}
+
+enum SlotOutcome {
+    ChosenOurs,
+    ChosenOther,
+    Failed,
+}
+
+fn apply_ready(acceptor: &Arc<Mutex<Acceptor>>, next: &Arc<Mutex<Slot>>, apply: &ApplyFn) {
+    // Lock order: next_apply before acceptor reads, releasing between
+    // entries so appliers may re-enter propose paths safely.
+    let mut next = next.lock();
+    loop {
+        let value = {
+            let acc = acceptor.lock();
+            acc.chosen(*next).cloned()
+        };
+        match value {
+            Some(v) => {
+                apply(*next, &v);
+                *next += 1;
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_net::LatencyModel;
+    use std::collections::HashMap;
+
+    type AppliedLog = Arc<Mutex<Vec<(Slot, Vec<u8>)>>>;
+
+    struct Cluster {
+        net: Network,
+        nodes: Vec<Arc<PaxosNode>>,
+        logs: Vec<AppliedLog>,
+    }
+
+    fn cluster(n: u32) -> Cluster {
+        cluster_with(n, PaxosConfig::default())
+    }
+
+    fn cluster_with(n: u32, config: PaxosConfig) -> Cluster {
+        let net = Network::new(LatencyModel::instant(), 42);
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let mut nodes = Vec::new();
+        let mut logs = Vec::new();
+        for &id in &members {
+            let log: AppliedLog = Arc::new(Mutex::new(Vec::new()));
+            let log2 = Arc::clone(&log);
+            let apply: ApplyFn = Arc::new(move |slot, value| {
+                log2.lock().push((slot, value.to_vec()));
+            });
+            nodes.push(PaxosNode::start(&net, id, members.clone(), apply, config));
+            logs.push(log);
+        }
+        Cluster { net, nodes, logs }
+    }
+
+    #[test]
+    fn single_value_is_chosen_everywhere() {
+        let c = cluster(3);
+        let slot = c.nodes[0].propose(b"hello".to_vec()).unwrap();
+        assert_eq!(slot, 0);
+        for node in &c.nodes {
+            node.sync();
+            assert_eq!(node.chosen(0), Some(b"hello".to_vec()));
+        }
+        c.net.shutdown();
+    }
+
+    #[test]
+    fn sequential_proposals_fill_slots() {
+        let c = cluster(3);
+        for i in 0..5u32 {
+            let v = format!("cmd-{i}").into_bytes();
+            let slot = c.nodes[(i % 3) as usize].propose(v.clone()).unwrap();
+            assert_eq!(slot, i as u64);
+        }
+        for node in &c.nodes {
+            node.sync();
+            assert_eq!(node.chosen_prefix_len(), 5);
+        }
+        // Logs applied in order with identical content everywhere.
+        let reference: Vec<(Slot, Vec<u8>)> = c.logs[0].lock().clone();
+        assert_eq!(reference.len(), 5);
+        for log in &c.logs {
+            assert_eq!(*log.lock(), reference);
+        }
+        c.net.shutdown();
+    }
+
+    #[test]
+    fn concurrent_proposers_agree() {
+        let c = cluster(3);
+        let mut handles = Vec::new();
+        for (i, node) in c.nodes.iter().enumerate() {
+            let node = Arc::clone(node);
+            handles.push(std::thread::spawn(move || {
+                let mut slots = Vec::new();
+                for j in 0..5 {
+                    let v = format!("n{i}-{j}").into_bytes();
+                    let slot = node.propose(v.clone()).expect("majority up");
+                    slots.push((slot, v));
+                }
+                slots
+            }));
+        }
+        let mut all: Vec<(Slot, Vec<u8>)> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        // Every proposal landed in a distinct slot.
+        let mut by_slot: HashMap<Slot, Vec<u8>> = HashMap::new();
+        for (slot, v) in &all {
+            assert!(
+                by_slot.insert(*slot, v.clone()).is_none(),
+                "slot {slot} assigned twice"
+            );
+        }
+        // All nodes agree on every chosen slot.
+        for node in &c.nodes {
+            node.sync();
+            for (slot, v) in &by_slot {
+                assert_eq!(node.chosen(*slot).as_ref(), Some(v), "slot {slot}");
+            }
+        }
+        c.net.shutdown();
+    }
+
+    #[test]
+    fn progress_with_one_node_down() {
+        let c = cluster(3);
+        c.net.isolate(NodeId(2));
+        let slot = c.nodes[0].propose(b"majority-ok".to_vec()).unwrap();
+        assert_eq!(c.nodes[0].chosen(slot), Some(b"majority-ok".to_vec()));
+        // The isolated node catches up after healing.
+        c.net.heal_all(NodeId(2));
+        c.nodes[2].sync();
+        assert_eq!(c.nodes[2].chosen(slot), Some(b"majority-ok".to_vec()));
+        c.net.shutdown();
+    }
+
+    #[test]
+    fn minority_cannot_choose() {
+        let c = cluster_with(
+            3,
+            PaxosConfig {
+                rpc_timeout: Duration::from_millis(30),
+                max_retries: 3,
+                retry_backoff: Duration::from_millis(1),
+                workers: 4,
+            },
+        );
+        // Node 0 alone (cut from 1 and 2).
+        c.net.isolate(NodeId(0));
+        let err = c.nodes[0].propose(b"doomed".to_vec()).unwrap_err();
+        assert_eq!(err, ProposeError::NoMajority);
+        for node in &c.nodes[1..] {
+            assert_eq!(node.chosen(0), None);
+        }
+        c.net.shutdown();
+    }
+
+    #[test]
+    fn five_node_cluster_tolerates_two_failures() {
+        let c = cluster(5);
+        c.net.isolate(NodeId(3));
+        c.net.isolate(NodeId(4));
+        let slot = c.nodes[1].propose(b"three-of-five".to_vec()).unwrap();
+        assert_eq!(c.nodes[1].chosen(slot), Some(b"three-of-five".to_vec()));
+        c.net.shutdown();
+    }
+
+    #[test]
+    fn applied_log_is_gapless_prefix() {
+        let c = cluster(3);
+        for i in 0..4 {
+            c.nodes[0].propose(vec![i]).unwrap();
+        }
+        for node in &c.nodes {
+            node.sync();
+        }
+        for log in &c.logs {
+            let log = log.lock();
+            for (i, (slot, _)) in log.iter().enumerate() {
+                assert_eq!(*slot, i as u64, "applied out of order");
+            }
+        }
+        c.net.shutdown();
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based safety test of the Paxos core: under *any* interleaving
+//! of prepare/accept messages from competing proposers — including delayed,
+//! reordered and dropped deliveries — at most one value can ever be chosen
+//! for a slot.
+//!
+//! This drives the pure [`Acceptor`] state machines directly (no network,
+//! no threads), simulating the proposer algorithm step by step with a
+//! proptest-chosen schedule.
+
+use proptest::prelude::*;
+
+use lambda_paxos::{Acceptor, Ballot, PaxosMsg};
+
+const N_ACCEPTORS: usize = 3;
+const MAJORITY: usize = N_ACCEPTORS / 2 + 1;
+
+/// One scheduled action: proposer `p` advances its protocol with acceptor
+/// `a` (or restarts with a higher ballot).
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Proposer sends its next pending message to acceptor `a` and
+    /// processes the reply immediately (synchronous RPC).
+    Talk { proposer: usize, acceptor: usize },
+    /// Proposer abandons its round and retries with a higher ballot.
+    Restart { proposer: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        8 => (0usize..2, 0usize..N_ACCEPTORS)
+            .prop_map(|(proposer, acceptor)| Step::Talk { proposer, acceptor }),
+        1 => (0usize..2).prop_map(|proposer| Step::Restart { proposer }),
+    ]
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    Preparing,
+    Accepting,
+    Done,
+}
+
+/// A faithful single-slot proposer: phase 1 to a majority, adopt the
+/// highest accepted value, phase 2 to a majority.
+/// A promise from acceptor `usize`, possibly carrying a prior accepted
+/// proposal.
+type Promise = (usize, Option<(Ballot, Vec<u8>)>);
+
+struct SimProposer {
+    id: u32,
+    ballot: Ballot,
+    value: Vec<u8>,
+    phase: Phase,
+    promises: Vec<Promise>,
+    accepts: Vec<usize>,
+    proposing: Vec<u8>,
+    max_seen: Ballot,
+}
+
+impl SimProposer {
+    fn new(id: u32, value: Vec<u8>) -> SimProposer {
+        SimProposer {
+            id,
+            ballot: Ballot { round: 1, node: id },
+            value: value.clone(),
+            phase: Phase::Preparing,
+            promises: Vec::new(),
+            accepts: Vec::new(),
+            proposing: value,
+            max_seen: Ballot::ZERO,
+        }
+    }
+
+    fn restart(&mut self) {
+        self.ballot = Ballot::succeed(self.max_seen.max(self.ballot), self.id);
+        self.phase = Phase::Preparing;
+        self.promises.clear();
+        self.accepts.clear();
+        self.proposing = self.value.clone();
+    }
+
+    /// Talk to acceptor `a`; returns a chosen value if this step completed
+    /// phase 2 on a majority.
+    fn talk(&mut self, a_idx: usize, acceptors: &mut [Acceptor]) -> Option<Vec<u8>> {
+        match self.phase {
+            Phase::Preparing => {
+                if self.promises.iter().any(|(i, _)| *i == a_idx) {
+                    return None; // already heard from this acceptor
+                }
+                match acceptors[a_idx].on_prepare(0, self.ballot) {
+                    PaxosMsg::Promise { accepted, .. } => {
+                        self.promises.push((a_idx, accepted));
+                        if self.promises.len() >= MAJORITY {
+                            // Adopt the highest accepted value, if any.
+                            if let Some((_, v)) = self
+                                .promises
+                                .iter()
+                                .filter_map(|(_, acc)| acc.clone())
+                                .max_by_key(|(b, _)| *b)
+                            {
+                                self.proposing = v;
+                            }
+                            self.phase = Phase::Accepting;
+                        }
+                    }
+                    PaxosMsg::Nack { promised, .. } => {
+                        self.max_seen = self.max_seen.max(promised);
+                    }
+                    _ => unreachable!(),
+                }
+                None
+            }
+            Phase::Accepting => {
+                if self.accepts.contains(&a_idx) {
+                    return None;
+                }
+                match acceptors[a_idx].on_accept(0, self.ballot, self.proposing.clone()) {
+                    PaxosMsg::Accepted { .. } => {
+                        self.accepts.push(a_idx);
+                        if self.accepts.len() >= MAJORITY {
+                            self.phase = Phase::Done;
+                            return Some(self.proposing.clone());
+                        }
+                    }
+                    PaxosMsg::Nack { promised, .. } => {
+                        self.max_seen = self.max_seen.max(promised);
+                    }
+                    _ => unreachable!(),
+                }
+                None
+            }
+            Phase::Done => None,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn at_most_one_value_is_ever_chosen(
+        schedule in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        let mut acceptors: Vec<Acceptor> = (0..N_ACCEPTORS).map(|_| Acceptor::new()).collect();
+        let mut proposers =
+            [SimProposer::new(1, b"alpha".to_vec()), SimProposer::new(2, b"beta".to_vec())];
+        let mut chosen: Vec<Vec<u8>> = Vec::new();
+
+        for step in schedule {
+            match step {
+                Step::Talk { proposer, acceptor } => {
+                    if let Some(v) = proposers[proposer].talk(acceptor, &mut acceptors) {
+                        chosen.push(v);
+                    }
+                }
+                Step::Restart { proposer } => proposers[proposer].restart(),
+            }
+        }
+
+        // SAFETY: every chosen value must be identical.
+        if let Some(first) = chosen.first() {
+            for v in &chosen {
+                prop_assert_eq!(v, first, "two different values chosen — Paxos violated");
+            }
+            // And a chosen value must be one of the proposed values.
+            prop_assert!(first == b"alpha" || first == b"beta");
+        }
+
+        // Additionally: once chosen, a later prepare must surface the
+        // chosen value to any new proposer reaching a majority.
+        if let Some(first) = chosen.first() {
+            let probe_ballot = Ballot { round: 1_000, node: 9 };
+            let mut seen: Vec<Option<(Ballot, Vec<u8>)>> = Vec::new();
+            for a in acceptors.iter_mut() {
+                if let PaxosMsg::Promise { accepted, .. } = a.on_prepare(0, probe_ballot) {
+                    seen.push(accepted);
+                }
+            }
+            prop_assert!(seen.len() >= MAJORITY);
+            let adopted = seen
+                .into_iter()
+                .flatten()
+                .max_by_key(|(b, _)| *b)
+                .map(|(_, v)| v);
+            prop_assert_eq!(
+                adopted.as_ref(),
+                Some(first),
+                "a new majority prepare must adopt the chosen value"
+            );
+        }
+    }
+}

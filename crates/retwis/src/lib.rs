@@ -1,0 +1,28 @@
+//! # lambda-retwis
+//!
+//! The ReTwis microblogging application (§2, §3.2 of the LambdaObjects
+//! paper) plus the workload machinery that reproduces the evaluation (§5):
+//!
+//! * [`app`] — the `User` object type (fields: `name`, `followers`,
+//!   `posts`, `timeline`; methods: `create_post`, `store_post`,
+//!   `get_timeline`, `follow`, ...), in both bytecode and trusted-native
+//!   form, faithful to Listing 1;
+//! * [`backend`] — how each architecture serves the operations
+//!   (direct-to-storage for aggregated, via a fixed compute/gateway
+//!   endpoint otherwise);
+//! * [`workload`] — social-graph setup (Zipfian follower skew) and
+//!   closed-loop drivers (10,000 accounts, up to 100 concurrent clients);
+//! * [`metrics`] — latency histograms and throughput accounting;
+//! * [`zipf`] — the skew sampler.
+
+pub mod app;
+pub mod backend;
+pub mod metrics;
+pub mod workload;
+pub mod zipf;
+
+pub use app::{account_id, parse_post, user_fields, user_module, user_type, user_type_native, USER_TYPE};
+pub use backend::{AggregatedBackend, EndpointBackend, RetwisBackend};
+pub use metrics::{Histogram, RunResult};
+pub use workload::{run, setup, Op, OpMix, WorkloadConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,242 @@
+//! Latency histograms and throughput accounting for the evaluation
+//! harness (Figures 1 and 2 report throughput, median and p99 latency).
+
+use std::time::Duration;
+
+/// A log-bucketed latency histogram (HdrHistogram-style, base-2 buckets
+/// with 16 sub-buckets each), recording nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+const SUB_BUCKETS: u64 = 16;
+const NUM_BUCKETS: usize = 64 * SUB_BUCKETS as usize;
+
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUB_BUCKETS {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros() as u64;
+    let shift = msb - 3; // keep 4 significant bits
+    let base = (msb - 3) * SUB_BUCKETS;
+    ((base + ((ns >> shift) & (SUB_BUCKETS - 1))) as usize).min(NUM_BUCKETS - 1)
+}
+
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let base = idx / SUB_BUCKETS; // = msb - 3
+    let sub = idx % SUB_BUCKETS;
+    let msb = base + 3;
+    let shift = msb - 3;
+    ((1u64 << msb) | (sub << shift)) + (1u64 << shift) / 2
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns / self.count)
+    }
+
+    /// The `p`-th percentile (0.0–100.0), approximated by bucket midpoint.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_value(idx).min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> Duration {
+        self.percentile(50.0)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(if self.count == 0 { 0 } else { self.max_ns })
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Duration {
+        Duration::from_nanos(if self.count == 0 { 0 } else { self.min_ns })
+    }
+
+    /// Fold another histogram into this one (per-thread merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+/// Result of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Operations completed.
+    pub operations: u64,
+    /// Operations that failed.
+    pub failures: u64,
+    /// Wall-clock duration of the measurement window.
+    pub elapsed: Duration,
+    /// Latency distribution of successful operations.
+    pub latency: Histogram,
+}
+
+impl RunResult {
+    /// Completed operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.operations as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.0} ops/s (n={}, fail={}), median {:?}, p99 {:?}",
+            self.throughput(),
+            self.operations,
+            self.failures,
+            self.latency.median(),
+            self.latency.percentile(99.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.median(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_close() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let p50 = h.median();
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99);
+        // Log buckets: within ~7% of true value.
+        let true_p50 = Duration::from_micros(500);
+        let err = (p50.as_nanos() as f64 - true_p50.as_nanos() as f64).abs()
+            / true_p50.as_nanos() as f64;
+        assert!(err < 0.08, "median {p50:?} too far from {true_p50:?}");
+    }
+
+    #[test]
+    fn record_updates_min_max_mean() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_millis(3));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Duration::from_millis(2));
+        assert_eq!(h.min(), Duration::from_millis(1));
+        assert_eq!(h.max(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..10 {
+            a.record(Duration::from_micros(100));
+            b.record(Duration::from_micros(300));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert!(a.median() >= Duration::from_micros(95));
+        assert!(a.max() >= Duration::from_micros(290));
+    }
+
+    #[test]
+    fn bucket_round_trip_is_monotone() {
+        let mut last = 0;
+        for ns in [0u64, 1, 15, 16, 100, 1000, 123_456, 10_000_000, u32::MAX as u64] {
+            let idx = bucket_index(ns);
+            assert!(idx >= last || idx == last, "bucket index must not decrease");
+            last = idx;
+            let approx = bucket_value(idx);
+            if ns > 64 {
+                let err = (approx as f64 - ns as f64).abs() / ns as f64;
+                assert!(err < 0.10, "bucket error {err} for {ns}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_result_throughput() {
+        let r = RunResult {
+            operations: 500,
+            failures: 2,
+            elapsed: Duration::from_secs(5),
+            latency: Histogram::new(),
+        };
+        assert!((r.throughput() - 100.0).abs() < 1e-9);
+        assert!(r.summary().contains("100 ops/s"));
+    }
+}

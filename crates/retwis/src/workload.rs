@@ -1,0 +1,363 @@
+//! Workload generation: social-graph setup and closed-loop request drivers
+//! reproducing the evaluation of §5 ("We set up 10,000 accounts and run up
+//! to 100 concurrent client requests for all workloads").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::backend::RetwisBackend;
+use crate::metrics::{Histogram, RunResult};
+use crate::zipf::Zipf;
+
+/// The three ReTwis operations measured in Figures 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Create a post and fan it out to follower timelines.
+    Post,
+    /// Read a user's timeline (read-only).
+    GetTimeline,
+    /// Add a follower to an account.
+    Follow,
+}
+
+impl Op {
+    /// All operations, in the paper's presentation order.
+    pub const ALL: [Op; 3] = [Op::Post, Op::GetTimeline, Op::Follow];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Post => "Post",
+            Op::GetTimeline => "GetTimeline",
+            Op::Follow => "Follow",
+        }
+    }
+}
+
+/// Relative operation weights of a mixed workload.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Weight of [`Op::Post`].
+    pub post: u32,
+    /// Weight of [`Op::GetTimeline`].
+    pub get_timeline: u32,
+    /// Weight of [`Op::Follow`].
+    pub follow: u32,
+}
+
+impl OpMix {
+    /// A single-operation workload (how §5 runs each measurement).
+    pub fn only(op: Op) -> OpMix {
+        match op {
+            Op::Post => OpMix { post: 1, get_timeline: 0, follow: 0 },
+            Op::GetTimeline => OpMix { post: 0, get_timeline: 1, follow: 0 },
+            Op::Follow => OpMix { post: 0, get_timeline: 0, follow: 1 },
+        }
+    }
+
+    fn pick(&self, rng: &mut SmallRng) -> Op {
+        let total = self.post + self.get_timeline + self.follow;
+        assert!(total > 0, "empty op mix");
+        let r = rng.gen_range(0..total);
+        if r < self.post {
+            Op::Post
+        } else if r < self.post + self.get_timeline {
+            Op::GetTimeline
+        } else {
+            Op::Follow
+        }
+    }
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of accounts (paper: 10,000).
+    pub accounts: usize,
+    /// Follow edges created per account during setup.
+    pub follows_per_account: usize,
+    /// Zipf exponent for follow-target popularity.
+    pub zipf_theta: f64,
+    /// Concurrent closed-loop clients (paper: up to 100).
+    pub clients: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// `get_timeline` limit.
+    pub timeline_limit: i64,
+    /// RNG seed (drivers derive per-thread seeds from it).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            accounts: 10_000,
+            follows_per_account: 10,
+            zipf_theta: 0.99,
+            clients: 100,
+            duration: Duration::from_secs(10),
+            mix: OpMix { post: 1, get_timeline: 1, follow: 1 },
+            timeline_limit: 10,
+            seed: 0x7e75,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A small configuration for tests.
+    pub fn small() -> Self {
+        WorkloadConfig {
+            accounts: 50,
+            follows_per_account: 3,
+            clients: 8,
+            duration: Duration::from_millis(300),
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+/// Create the accounts and the follow graph. Parallelized across
+/// `config.clients` threads; idempotent-ish (existing accounts are
+/// skipped).
+///
+/// # Errors
+/// The first backend failure.
+pub fn setup<B: RetwisBackend + ?Sized + 'static>(
+    backend: &Arc<B>,
+    config: &WorkloadConfig,
+) -> Result<(), String> {
+    let threads = config.clients.clamp(1, 64);
+
+    // Phase 1: create every account (a follow edge needs both endpoints).
+    parallel_phase(threads, config.accounts, {
+        let backend = Arc::clone(backend);
+        move |_t, i| {
+            let name = format!("user{i}");
+            match backend.create_account(i, &name) {
+                Ok(()) | Err(lambda_objects::InvokeError::AlreadyExists(_)) => Ok(()),
+                Err(e) => Err(format!("create account {i}: {e}")),
+            }
+        }
+    })?;
+
+    // Phase 2: create the follow graph.
+    parallel_phase(threads, config.accounts, {
+        let backend = Arc::clone(backend);
+        let config = config.clone();
+        move |t, i| {
+            let zipf = Zipf::new(config.accounts, config.zipf_theta);
+            let mut rng =
+                SmallRng::seed_from_u64(config.seed ^ ((t as u64) << 32) ^ i as u64);
+            for _ in 0..config.follows_per_account {
+                // `i` follows a popular target (not itself).
+                let mut target = zipf.sample(&mut rng);
+                if target == i {
+                    target = (target + 1) % config.accounts;
+                }
+                backend.follow(target, i).map_err(|e| format!("follow {target}<-{i}: {e}"))?;
+            }
+            Ok(())
+        }
+    })?;
+    Ok(())
+}
+
+/// Run `work(thread, item)` for every item in `0..items` across `threads`
+/// worker threads, propagating the first error.
+fn parallel_phase<F>(threads: usize, items: usize, work: F) -> Result<(), String>
+where
+    F: Fn(usize, usize) -> Result<(), String> + Clone + Send + 'static,
+{
+    let next = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let next = Arc::clone(&next);
+        let work = work.clone();
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= items {
+                    return Ok(());
+                }
+                work(t, i)?;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().map_err(|_| "setup thread panicked".to_string())??;
+    }
+    Ok(())
+}
+
+/// Run a closed-loop measurement: `config.clients` driver threads each
+/// issue one request at a time for `config.duration`.
+pub fn run<B: RetwisBackend + ?Sized + 'static>(
+    backend: &Arc<B>,
+    config: &WorkloadConfig,
+) -> RunResult {
+    let stop_at = Instant::now() + config.duration;
+    let mut handles = Vec::new();
+    for t in 0..config.clients {
+        let backend = Arc::clone(backend);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xdead ^ ((t as u64) << 24));
+            let mut hist = Histogram::new();
+            let mut ops = 0u64;
+            let mut failures = 0u64;
+            let mut seq = 0u64;
+            while Instant::now() < stop_at {
+                let op = config.mix.pick(&mut rng);
+                let started = Instant::now();
+                let result = match op {
+                    Op::Post => {
+                        let author = rng.gen_range(0..config.accounts);
+                        seq += 1;
+                        backend
+                            .post(author, &format!("post {t}/{seq} lorem ipsum dolor"))
+                            .map(|_| 0usize)
+                    }
+                    Op::GetTimeline => {
+                        let user = rng.gen_range(0..config.accounts);
+                        backend.get_timeline(user, config.timeline_limit)
+                    }
+                    Op::Follow => {
+                        // Uniform targets: the Follow *measurement* spreads
+                        // across accounts (the Zipf skew shapes the setup
+                        // graph, i.e. Post's fan-out, not this op mix).
+                        let target = rng.gen_range(0..config.accounts);
+                        let follower = rng.gen_range(0..config.accounts);
+                        backend.follow(target, follower).map(|_| 0usize)
+                    }
+                };
+                match result {
+                    Ok(_) => {
+                        hist.record(started.elapsed());
+                        ops += 1;
+                    }
+                    Err(_) => failures += 1,
+                }
+            }
+            (hist, ops, failures)
+        }));
+    }
+    let started = Instant::now();
+    let mut latency = Histogram::new();
+    let mut operations = 0;
+    let mut failures = 0;
+    for h in handles {
+        let (hist, ops, fails) = h.join().expect("driver thread");
+        latency.merge(&hist);
+        operations += ops;
+        failures += fails;
+    }
+    // Drivers all stop at the same deadline; use the configured window (the
+    // join happens right after).
+    let elapsed = config.duration.max(started.elapsed().min(config.duration * 2));
+    RunResult { operations, failures, elapsed, latency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_objects::InvokeError;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// An in-memory backend for driver-logic tests.
+    #[derive(Default)]
+    struct FakeBackend {
+        accounts: Mutex<HashMap<usize, String>>,
+        follows: Mutex<Vec<(usize, usize)>>,
+        posts: AtomicU64,
+        timeline_reads: AtomicU64,
+    }
+
+    impl RetwisBackend for FakeBackend {
+        fn deploy(&self) -> Result<(), InvokeError> {
+            Ok(())
+        }
+        fn create_account(&self, i: usize, name: &str) -> Result<(), InvokeError> {
+            self.accounts.lock().insert(i, name.to_string());
+            Ok(())
+        }
+        fn follow(&self, target: usize, follower: usize) -> Result<(), InvokeError> {
+            self.follows.lock().push((target, follower));
+            Ok(())
+        }
+        fn post(&self, _author: usize, _msg: &str) -> Result<(), InvokeError> {
+            self.posts.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn get_timeline(&self, _user: usize, _limit: i64) -> Result<usize, InvokeError> {
+            self.timeline_reads.fetch_add(1, Ordering::Relaxed);
+            Ok(0)
+        }
+        fn label(&self) -> &'static str {
+            "fake"
+        }
+    }
+
+    #[test]
+    fn setup_creates_all_accounts_and_edges() {
+        let backend = Arc::new(FakeBackend::default());
+        let config = WorkloadConfig::small();
+        setup(&backend, &config).unwrap();
+        assert_eq!(backend.accounts.lock().len(), config.accounts);
+        let follows = backend.follows.lock();
+        assert_eq!(follows.len(), config.accounts * config.follows_per_account);
+        // Nobody follows themselves.
+        assert!(follows.iter().all(|(t, f)| t != f));
+    }
+
+    #[test]
+    fn run_respects_single_op_mix() {
+        let backend = Arc::new(FakeBackend::default());
+        let config = WorkloadConfig {
+            mix: OpMix::only(Op::GetTimeline),
+            ..WorkloadConfig::small()
+        };
+        let result = run(&backend, &config);
+        assert!(result.operations > 0);
+        assert_eq!(result.failures, 0);
+        assert_eq!(backend.posts.load(Ordering::Relaxed), 0);
+        assert_eq!(
+            backend.timeline_reads.load(Ordering::Relaxed),
+            result.operations
+        );
+        assert!(result.throughput() > 0.0);
+        assert!(result.latency.count() == result.operations);
+    }
+
+    #[test]
+    fn mixed_workload_hits_all_ops() {
+        let backend = Arc::new(FakeBackend::default());
+        let config = WorkloadConfig::small();
+        let result = run(&backend, &config);
+        assert!(result.operations > 0);
+        assert!(backend.posts.load(Ordering::Relaxed) > 0);
+        assert!(backend.timeline_reads.load(Ordering::Relaxed) > 0);
+        assert!(!backend.follows.lock().is_empty());
+    }
+
+    #[test]
+    fn op_names_match_paper() {
+        assert_eq!(Op::Post.name(), "Post");
+        assert_eq!(Op::GetTimeline.name(), "GetTimeline");
+        assert_eq!(Op::Follow.name(), "Follow");
+        assert_eq!(Op::ALL.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty op mix")]
+    fn empty_mix_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        OpMix { post: 0, get_timeline: 0, follow: 0 }.pick(&mut rng);
+    }
+}

@@ -1,0 +1,563 @@
+//! The aggregated architecture: a LambdaStore storage node.
+//!
+//! Each node embeds the LambdaObjects [`Engine`] directly in the storage
+//! process (§4.2): invocations execute where the data lives, mutating
+//! methods at the shard's primary, read-only methods at any replica.
+//! Committed write sets are replicated synchronously to backups with epoch
+//! fencing (§4.2.1), nested cross-object calls are routed to the
+//! responsible primary, and the node heartbeats the coordination service
+//! and receives shard-map pushes.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use lambda_coordinator::CoordClient;
+use lambda_coordinator::CoordEvent;
+use lambda_kv::Db;
+use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
+use lambda_objects::{
+    decode_error, encode_error, keys, CommitHook, Engine, EngineConfig, InvokeError,
+    InvokeRouter, ObjectId, ObjectType, TypeRegistry,
+};
+use lambda_vm::VmValue;
+
+use crate::placement::Placement;
+use crate::proto::{NodeStatsWire, StoreRequest, StoreResponse};
+
+/// Offset for a node's watch endpoint (coordinator push notifications).
+pub const WATCH_ID_OFFSET: u32 = 20_000;
+
+/// Node configuration.
+#[derive(Debug, Clone)]
+pub struct AggregatedConfig {
+    /// Directory for this node's database.
+    pub data_dir: PathBuf,
+    /// Storage-engine options.
+    pub kv: lambda_kv::Options,
+    /// Execution-engine options.
+    pub engine: EngineConfig,
+    /// RPC worker threads.
+    pub workers: usize,
+    /// Per-RPC timeout for node-to-node calls.
+    pub rpc_timeout: Duration,
+    /// Heartbeat + state-poll interval.
+    pub heartbeat_interval: Duration,
+    /// Coordinator service endpoints.
+    pub coordinators: Vec<NodeId>,
+}
+
+impl AggregatedConfig {
+    /// Sensible defaults under `data_dir` with the given coordinators.
+    pub fn new(data_dir: PathBuf, coordinators: Vec<NodeId>) -> AggregatedConfig {
+        AggregatedConfig {
+            data_dir,
+            kv: lambda_kv::Options::default(),
+            engine: EngineConfig::default(),
+            workers: 16,
+            rpc_timeout: Duration::from_millis(500),
+            heartbeat_interval: Duration::from_millis(100),
+            coordinators,
+        }
+    }
+}
+
+struct NodeInner {
+    id: NodeId,
+    engine: Engine,
+    placement: Placement,
+    rpc: OnceLock<Arc<RpcNode>>,
+    rpc_timeout: Duration,
+    requests: AtomicU64,
+    replications: AtomicU64,
+    busy_nanos: AtomicU64,
+    started: Instant,
+    shutdown: AtomicBool,
+    /// When false the replication hook is skipped (single-node mode and
+    /// the ABL-REPL "no replication" ablation).
+    replicate: AtomicBool,
+}
+
+impl NodeInner {
+    fn rpc(&self) -> &Arc<RpcNode> {
+        self.rpc.get().expect("rpc initialized during start")
+    }
+
+    fn call_peer(&self, to: NodeId, req: &StoreRequest) -> Result<StoreResponse, InvokeError> {
+        let body = wire::to_bytes(req).expect("requests serialize");
+        match self.rpc().call(to, body, self.rpc_timeout) {
+            Ok(bytes) => wire::from_bytes(&bytes)
+                .map_err(|e| InvokeError::Nested(format!("bad response: {e}"))),
+            Err(RpcError::Remote(msg)) => Err(decode_error(&msg)),
+            Err(other) => Err(InvokeError::Nested(other.to_string())),
+        }
+    }
+
+    fn handle(&self, _from: NodeId, req: StoreRequest) -> Result<StoreResponse, InvokeError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match req {
+            StoreRequest::Invoke { object, method, args, read_only, internal } => {
+                let oid = ObjectId::new(object);
+                self.check_role(&oid, read_only)?;
+                let value =
+                    self.engine.invoke_with_depth(&oid, &method, args, !internal, 0)?;
+                Ok(StoreResponse::Value(value))
+            }
+            StoreRequest::CreateObject { type_name, object, fields } => {
+                let oid = ObjectId::new(object);
+                self.check_role(&oid, false)?;
+                let fields: Vec<(&str, &[u8])> =
+                    fields.iter().map(|(f, v)| (f.as_str(), v.as_slice())).collect();
+                self.engine.create_object(&type_name, &oid, &fields)?;
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::DeleteObject { object } => {
+                let oid = ObjectId::new(object);
+                self.check_role(&oid, false)?;
+                self.engine.delete_object(&oid)?;
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::DeployType { name, fields, module } => {
+                let ty = ObjectType::from_module(name, fields, module)
+                    .map_err(|e| InvokeError::Vm(format!("module rejected: {e}")))?;
+                self.engine.types().register(ty);
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::Replicate { shard, epoch, object, ops } => {
+                let local_epoch = self.placement.epoch_of(shard).unwrap_or(0);
+                if epoch < local_epoch {
+                    return Err(InvokeError::WrongNode(format!(
+                        "stale epoch {epoch} < {local_epoch} for shard {shard}"
+                    )));
+                }
+                let oid = ObjectId::new(object);
+                self.engine.apply_replicated(&oid, &ops)?;
+                self.replications.fetch_add(1, Ordering::Relaxed);
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::FetchObject { object, evict } => {
+                let oid = ObjectId::new(object);
+                let snapshot = if evict {
+                    let snap = self.engine.export_object(&oid)?;
+                    // Deleting through the engine replicates the deletions
+                    // to backups, so a later failover cannot resurrect the
+                    // migrated object here.
+                    self.engine.delete_object(&oid)?;
+                    snap
+                } else {
+                    self.engine.export_object(&oid)?
+                };
+                Ok(StoreResponse::Snapshot(snapshot))
+            }
+            StoreRequest::InstallObject { snapshot, shard } => {
+                let info = self
+                    .placement
+                    .snapshot()
+                    .shard(shard)
+                    .cloned()
+                    .ok_or_else(|| InvokeError::WrongNode(format!("no shard {shard}")))?;
+                if info.primary != self.id {
+                    return Err(InvokeError::WrongNode(format!(
+                        "install target shard {shard} is served by node-{}",
+                        info.primary.0
+                    )));
+                }
+                self.engine.import_object(&snapshot)?;
+                // Propagate the imported data to the target shard's backups
+                // explicitly — the object's placement still points at the
+                // source shard until the coordinator pin lands.
+                let ops: Vec<(Vec<u8>, Option<Vec<u8>>)> = snapshot
+                    .entries
+                    .iter()
+                    .map(|(suffix, value)| {
+                        (keys::join_key(&snapshot.id, suffix), Some(value.clone()))
+                    })
+                    .collect();
+                let req = StoreRequest::Replicate {
+                    shard,
+                    epoch: info.epoch,
+                    object: snapshot.id.0.clone(),
+                    ops,
+                };
+                for backup in &info.backups {
+                    match self.call_peer(*backup, &req)? {
+                        StoreResponse::Ok => {}
+                        other => {
+                            return Err(InvokeError::Storage(format!(
+                                "install replication to {backup}: bad reply {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::RawGet { key } => {
+                let v = self.engine.db().get(&key)?;
+                Ok(StoreResponse::MaybeBytes(v))
+            }
+            StoreRequest::RawPut { key, value } => {
+                self.engine.db().put(key.clone(), value.clone())?;
+                self.replicate_raw(vec![(key, Some(value))])?;
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::RawDelete { key } => {
+                self.engine.db().delete(key.clone())?;
+                self.replicate_raw(vec![(key, None)])?;
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::RawPush { object, field, value } => {
+                let oid = ObjectId::new(object);
+                let ckey = keys::counter_key(&oid, &field);
+                let len = keys::decode_counter(self.engine.db().get(&ckey)?.as_deref());
+                let ekey = keys::entry_key(&oid, &field, len);
+                let mut batch = lambda_kv::WriteBatch::new();
+                batch.put(ekey.clone(), value.clone());
+                batch.put(ckey.clone(), keys::encode_counter(len + 1));
+                self.engine.db().write(batch)?;
+                self.replicate_raw(vec![
+                    (ekey, Some(value)),
+                    (ckey, Some(keys::encode_counter(len + 1))),
+                ])?;
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::RawScan { object, field, limit, newest_first } => {
+                let oid = ObjectId::new(object);
+                let ckey = keys::counter_key(&oid, &field);
+                let len = keys::decode_counter(self.engine.db().get(&ckey)?.as_deref());
+                let take = limit.min(len);
+                let mut rows = Vec::with_capacity(take as usize);
+                let indices: Vec<u64> = if newest_first {
+                    ((len - take)..len).rev().collect()
+                } else {
+                    (0..take).collect()
+                };
+                for i in indices {
+                    if let Some(v) = self.engine.db().get(&keys::entry_key(&oid, &field, i))? {
+                        rows.push(v);
+                    }
+                }
+                Ok(StoreResponse::Rows(rows))
+            }
+            StoreRequest::RawCount { object, field } => {
+                let oid = ObjectId::new(object);
+                let ckey = keys::counter_key(&oid, &field);
+                let len = keys::decode_counter(self.engine.db().get(&ckey)?.as_deref());
+                Ok(StoreResponse::Count(len))
+            }
+            StoreRequest::ListObjects => {
+                let ids = self.engine.list_objects().into_iter().map(|o| o.0).collect();
+                Ok(StoreResponse::Objects(ids))
+            }
+            StoreRequest::Transact { calls } => {
+                // Every object must be primary-local: transactions do not
+                // span shards (cross-shard would need 2PC, left open like
+                // in the paper).
+                for call in &calls {
+                    self.check_role(&call.object, false)?;
+                }
+                let results = self.engine.invoke_transaction(&calls)?;
+                Ok(StoreResponse::Values(results))
+            }
+            StoreRequest::Stats => {
+                let es = self.engine.stats();
+                Ok(StoreResponse::NodeStats(NodeStatsWire {
+                    requests: self.requests.load(Ordering::Relaxed),
+                    invocations: es.invocations,
+                    cache_hits: es.cache_hits,
+                    replications_applied: self.replications.load(Ordering::Relaxed),
+                    busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+                    uptime_nanos: self.started.elapsed().as_nanos() as u64,
+                }))
+            }
+        }
+    }
+
+    /// Verify this node may serve the request for `oid`: any replica for
+    /// read-only work, the primary for everything else. With no shard map
+    /// installed (single-node mode) everything is served locally.
+    fn check_role(&self, oid: &ObjectId, read_only: bool) -> Result<(), InvokeError> {
+        let Some((_, info)) = self.placement.locate(oid) else {
+            return Ok(());
+        };
+        if read_only {
+            if info.contains(self.id) {
+                return Ok(());
+            }
+        } else if info.primary == self.id {
+            return Ok(());
+        }
+        Err(InvokeError::WrongNode(format!(
+            "object {oid} is served by primary node-{} (epoch {})",
+            info.primary.0, info.epoch
+        )))
+    }
+
+    /// Synchronous replication for the raw (baseline) API. The baseline
+    /// "uses our prototype as its storage layer" (§5): raw writes get the
+    /// same primary-backup durability as engine commits. (What the
+    /// baseline lacks is invocation-level consistency — atomicity,
+    /// isolation, per-object scheduling — not storage replication.)
+    fn replicate_raw(&self, ops: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> Result<(), InvokeError> {
+        if !self.replicate.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let Some((key, _)) = ops.first() else { return Ok(()) };
+        let Some((oid, _)) = keys::split_key(key) else { return Ok(()) };
+        let Some((shard, info)) = self.placement.locate(&oid) else { return Ok(()) };
+        if info.primary != self.id {
+            return Ok(());
+        }
+        self.replicate_to_backups(shard, info.epoch, &oid, &ops, &info.backups)
+            .map_err(InvokeError::Storage)
+    }
+}
+
+impl NodeInner {
+    /// Ship `ops` to every backup of `shard` **in parallel** and wait for
+    /// all acks — the paper's "at most one network round-trip within the
+    /// responsible replica set" (§4.2.1).
+    fn replicate_to_backups(
+        &self,
+        shard: lambda_coordinator::ShardId,
+        epoch: lambda_coordinator::Epoch,
+        object: &ObjectId,
+        ops: &[(Vec<u8>, Option<Vec<u8>>)],
+        backups: &[NodeId],
+    ) -> Result<(), String> {
+        if backups.is_empty() {
+            return Ok(());
+        }
+        let req = StoreRequest::Replicate {
+            shard,
+            epoch,
+            object: object.0.clone(),
+            ops: ops.to_vec(),
+        };
+        let body = wire::to_bytes(&req).expect("requests serialize");
+        let requests: Vec<(NodeId, Vec<u8>)> =
+            backups.iter().map(|&b| (b, body.clone())).collect();
+        let replies = self.rpc().call_many(&requests, self.rpc_timeout);
+        for (backup, reply) in backups.iter().zip(replies) {
+            match reply {
+                Ok(bytes) => match wire::from_bytes::<StoreResponse>(&bytes) {
+                    Ok(StoreResponse::Ok) => {}
+                    Ok(other) => {
+                        return Err(format!("backup {backup}: bad reply {other:?}"))
+                    }
+                    Err(e) => return Err(format!("backup {backup}: bad response: {e}")),
+                },
+                Err(RpcError::Remote(msg)) => {
+                    return Err(format!("backup {backup} failed: {msg}"))
+                }
+                Err(e) => return Err(format!("backup {backup} failed: {e}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CommitHook for NodeInner {
+    fn on_commit(
+        &self,
+        object: &ObjectId,
+        ops: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> Result<(), String> {
+        if !self.replicate.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let Some((shard, info)) = self.placement.locate(object) else {
+            return Ok(()); // no shard map: single-node mode
+        };
+        if info.primary != self.id {
+            return Err(format!(
+                "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
+                self.id.0, info.epoch
+            ));
+        }
+        self.replicate_to_backups(shard, info.epoch, object, ops, &info.backups)
+    }
+}
+
+impl InvokeRouter for NodeInner {
+    fn route(
+        &self,
+        _source: &ObjectId,
+        target: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        depth: usize,
+    ) -> Result<VmValue, InvokeError> {
+        match self.placement.locate(target) {
+            Some((_, info)) if info.primary != self.id => {
+                // Remote object: one hop to its primary (§4.2.1 — "a
+                // function invocation results in at most one network
+                // round-trip within the responsible replica set").
+                let req = StoreRequest::Invoke {
+                    object: target.0.clone(),
+                    method: method.to_string(),
+                    args,
+                    read_only: false,
+                    internal: true,
+                };
+                match self.call_peer(info.primary, &req)? {
+                    StoreResponse::Value(v) => Ok(v),
+                    other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+                }
+            }
+            _ => self.engine.invoke_with_depth(target, method, args, false, depth),
+        }
+    }
+}
+
+/// A running LambdaStore node.
+pub struct AggregatedNode {
+    inner: Arc<NodeInner>,
+    watch_rpc: Arc<RpcNode>,
+}
+
+impl std::fmt::Debug for AggregatedNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggregatedNode").field("id", &self.inner.id).finish()
+    }
+}
+
+impl AggregatedNode {
+    /// Start a node with the given id on `net`.
+    ///
+    /// # Errors
+    /// Propagates storage-open failures as [`InvokeError::Storage`].
+    pub fn start(
+        net: &Network,
+        id: NodeId,
+        config: AggregatedConfig,
+    ) -> Result<Arc<AggregatedNode>, InvokeError> {
+        let db = Db::open(&config.data_dir, config.kv.clone())?;
+        let types = Arc::new(TypeRegistry::new());
+        let engine = Engine::new(db, types, config.engine);
+
+        let inner = Arc::new(NodeInner {
+            id,
+            engine,
+            placement: Placement::new(),
+            rpc: OnceLock::new(),
+            rpc_timeout: config.rpc_timeout,
+            requests: AtomicU64::new(0),
+            replications: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            replicate: AtomicBool::new(true),
+        });
+
+        // Service endpoint.
+        let handler_inner = Arc::clone(&inner);
+        let handler = Arc::new(move |from: NodeId, body: Vec<u8>| -> Result<Vec<u8>, String> {
+            let started = Instant::now();
+            let req: StoreRequest = wire::from_bytes(&body).map_err(|e| e.to_string())?;
+            let result = handler_inner
+                .handle(from, req)
+                .map_err(|e| encode_error(&e))
+                .and_then(|resp| wire::to_bytes(&resp).map_err(|e| e.to_string()));
+            handler_inner
+                .busy_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            result
+        });
+        let rpc = RpcNode::start(net, id, handler, config.workers);
+        inner.rpc.set(Arc::clone(&rpc)).expect("set once");
+
+        // The engine's replication hook and cross-shard router are the node.
+        inner.engine.set_commit_hook(Arc::clone(&inner) as Arc<dyn CommitHook>);
+        inner.engine.set_router(Arc::clone(&inner) as Arc<dyn InvokeRouter>);
+
+        // Watch endpoint for coordinator pushes.
+        let watch_inner = Arc::clone(&inner);
+        let watch_rpc = RpcNode::start(
+            net,
+            NodeId(id.0 + WATCH_ID_OFFSET),
+            Arc::new(move |_, body| {
+                if let Ok(CoordEvent::StateChanged(state)) = wire::from_bytes(&body) {
+                    watch_inner.placement.update(state);
+                }
+                Ok(vec![])
+            }),
+            1,
+        );
+
+        // Heartbeat + state-poll loop.
+        if !config.coordinators.is_empty() {
+            let coord = CoordClient::new(
+                Arc::clone(&rpc),
+                config.coordinators.clone(),
+                config.rpc_timeout,
+            );
+            let hb_inner = Arc::clone(&inner);
+            let interval = config.heartbeat_interval;
+            let watch_id = NodeId(id.0 + WATCH_ID_OFFSET);
+            std::thread::Builder::new()
+                .name(format!("store-{id}-heartbeat"))
+                .spawn(move || loop {
+                    if hb_inner.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let _ = coord.heartbeat(hb_inner.id, Some(watch_id));
+                    if let Ok(Some(state)) = coord.get_state(hb_inner.placement.version()) {
+                        hb_inner.placement.update(state);
+                    }
+                    // Housekeeping: drop lock-table entries for idle objects.
+                    hb_inner.engine.scheduler().gc();
+                    std::thread::sleep(interval);
+                })
+                .expect("spawn heartbeat");
+        }
+
+        Ok(Arc::new(AggregatedNode { inner, watch_rpc }))
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.inner.id
+    }
+
+    /// Direct engine access (tests, native-type deployment, benches).
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Deploy a native (trusted) object type directly on this node.
+    pub fn register_native_type(&self, ty: ObjectType) {
+        self.inner.engine.types().register(ty);
+    }
+
+    /// The node's placement view (tests/diagnostics; also used to install
+    /// static shard maps when no coordinator is configured).
+    pub fn placement(&self) -> &Placement {
+        &self.inner.placement
+    }
+
+    /// Enable or disable synchronous replication (ABL-REPL ablation).
+    pub fn set_replication_enabled(&self, enabled: bool) {
+        self.inner.replicate.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> NodeStatsWire {
+        let es = self.inner.engine.stats();
+        NodeStatsWire {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            invocations: es.invocations,
+            cache_hits: es.cache_hits,
+            replications_applied: self.inner.replications.load(Ordering::Relaxed),
+            busy_nanos: self.inner.busy_nanos.load(Ordering::Relaxed),
+            uptime_nanos: self.inner.started.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Stop serving (the node "crashes": heartbeats stop, RPCs fail).
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.rpc().shutdown();
+        self.watch_rpc.shutdown();
+    }
+}

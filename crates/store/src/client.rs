@@ -1,0 +1,419 @@
+//! Client-side handle to a LambdaStore cluster.
+//!
+//! Per §5, "clients directly contact the executing node and there is no
+//! load balancer or frontend": the client caches the shard map, routes
+//! mutating invocations to the primary, routes read-only invocations to a
+//! (rotating) replica, and refreshes + retries on `WrongNode` or timeouts
+//! (the paper's "clients... will reissue their request if needed",
+//! §4.2.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lambda_coordinator::{CoordClient, CoordCmd, ShardId};
+use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
+use lambda_objects::{decode_error, InvokeError, ObjectId, ObjectSnapshot, TxCall};
+use lambda_vm::{Module, VmValue};
+
+use crate::placement::Placement;
+use crate::proto::{NodeStatsWire, StoreRequest, StoreResponse};
+
+/// A cluster client. Cheap to clone ([`Arc`] inside); safe to share across
+/// request-generator threads.
+#[derive(Clone)]
+pub struct StoreClient {
+    inner: Arc<ClientInner>,
+}
+
+struct ClientInner {
+    rpc: Arc<RpcNode>,
+    coord: Option<CoordClient>,
+    placement: Placement,
+    timeout: Duration,
+    retries: usize,
+    round_robin: AtomicU64,
+}
+
+impl std::fmt::Debug for StoreClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreClient").finish()
+    }
+}
+
+impl StoreClient {
+    /// Create a client with its own network endpoint `id`.
+    pub fn new(
+        net: &Network,
+        id: NodeId,
+        coordinators: Vec<NodeId>,
+        timeout: Duration,
+    ) -> StoreClient {
+        let rpc = RpcNode::start(net, id, Arc::new(|_, _| Ok(vec![])), 1);
+        let coord = if coordinators.is_empty() {
+            None
+        } else {
+            Some(CoordClient::new(Arc::clone(&rpc), coordinators, timeout))
+        };
+        let client = StoreClient {
+            inner: Arc::new(ClientInner {
+                rpc,
+                coord,
+                placement: Placement::new(),
+                timeout,
+                retries: 20,
+                round_robin: AtomicU64::new(0),
+            }),
+        };
+        client.refresh();
+        client
+    }
+
+    /// Re-fetch the shard map from the coordinators.
+    pub fn refresh(&self) {
+        if let Some(coord) = &self.inner.coord {
+            if let Ok(Some(state)) = coord.get_state(self.inner.placement.version()) {
+                self.inner.placement.update(state);
+            }
+        }
+    }
+
+    /// The client's placement view (also used to install static maps in
+    /// coordinator-less deployments).
+    pub fn placement(&self) -> &Placement {
+        &self.inner.placement
+    }
+
+    fn call(&self, node: NodeId, req: &StoreRequest) -> Result<StoreResponse, InvokeError> {
+        let body = wire::to_bytes(req).expect("requests serialize");
+        match self.inner.rpc.call(node, body, self.inner.timeout) {
+            Ok(bytes) => wire::from_bytes(&bytes)
+                .map_err(|e| InvokeError::Nested(format!("bad response: {e}"))),
+            Err(RpcError::Remote(msg)) => Err(decode_error(&msg)),
+            Err(other) => Err(InvokeError::Nested(other.to_string())),
+        }
+    }
+
+    fn target_for(&self, object: &ObjectId, read_only: bool) -> Option<NodeId> {
+        let (_, info) = self.inner.placement.locate(object)?;
+        if read_only && !info.backups.is_empty() {
+            // Rotate across the whole replica set for read scaling
+            // ("read-only functions can execute at any replica", §4.2.1).
+            let all = info.replicas();
+            let i = self.inner.round_robin.fetch_add(1, Ordering::Relaxed) as usize;
+            Some(all[i % all.len()])
+        } else {
+            Some(info.primary)
+        }
+    }
+
+    fn with_routing<T>(
+        &self,
+        object: &ObjectId,
+        read_only: bool,
+        mut op: impl FnMut(NodeId) -> Result<T, InvokeError>,
+    ) -> Result<T, InvokeError> {
+        let mut last_err = InvokeError::Nested("no storage nodes known".into());
+        for attempt in 0..self.inner.retries {
+            let Some(node) = self.target_for(object, read_only) else {
+                self.refresh();
+                std::thread::sleep(Duration::from_millis(10 * (attempt as u64 + 1)));
+                continue;
+            };
+            match op(node) {
+                Ok(v) => return Ok(v),
+                Err(e @ (InvokeError::WrongNode(_) | InvokeError::Nested(_))) => {
+                    // Stale map or unreachable node: refresh and retry
+                    // (§4.2.1 — clients reissue after reconfiguration).
+                    last_err = e;
+                    self.refresh();
+                    std::thread::sleep(Duration::from_millis(10 * (attempt as u64 + 1)));
+                }
+                Err(e @ InvokeError::Storage(_)) if attempt + 1 < self.inner.retries => {
+                    // Replication failure at the primary (e.g. backup died
+                    // and the shard has not reconfigured yet): retry.
+                    last_err = e;
+                    self.refresh();
+                    std::thread::sleep(Duration::from_millis(10 * (attempt as u64 + 1)));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Invoke `method` on `object`. `read_only` is a routing hint that lets
+    /// the call run on any replica; it is re-verified server-side.
+    ///
+    /// # Errors
+    /// Any [`InvokeError`], after routing retries are exhausted.
+    pub fn invoke(
+        &self,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        read_only: bool,
+    ) -> Result<VmValue, InvokeError> {
+        self.with_routing(object, read_only, |node| {
+            let req = StoreRequest::Invoke {
+                object: object.0.clone(),
+                method: method.to_string(),
+                args: args.clone(),
+                read_only,
+                internal: false,
+            };
+            match self.call(node, &req)? {
+                StoreResponse::Value(v) => Ok(v),
+                other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+            }
+        })
+    }
+
+    /// Create an object of a deployed type.
+    ///
+    /// # Errors
+    /// Any [`InvokeError`].
+    pub fn create_object(
+        &self,
+        type_name: &str,
+        object: &ObjectId,
+        fields: &[(&str, &[u8])],
+    ) -> Result<(), InvokeError> {
+        self.with_routing(object, false, |node| {
+            let req = StoreRequest::CreateObject {
+                type_name: type_name.to_string(),
+                object: object.0.clone(),
+                fields: fields
+                    .iter()
+                    .map(|(f, v)| (f.to_string(), v.to_vec()))
+                    .collect(),
+            };
+            match self.call(node, &req)? {
+                StoreResponse::Ok => Ok(()),
+                other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+            }
+        })
+    }
+
+    /// Delete an object.
+    ///
+    /// # Errors
+    /// Any [`InvokeError`].
+    pub fn delete_object(&self, object: &ObjectId) -> Result<(), InvokeError> {
+        self.with_routing(object, false, |node| {
+            let req = StoreRequest::DeleteObject { object: object.0.clone() };
+            match self.call(node, &req)? {
+                StoreResponse::Ok => Ok(()),
+                other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+            }
+        })
+    }
+
+    /// Deploy a bytecode object type to every registered storage node.
+    ///
+    /// # Errors
+    /// The first node failure.
+    pub fn deploy_type(
+        &self,
+        name: &str,
+        fields: Vec<lambda_objects::FieldDef>,
+        module: &Module,
+    ) -> Result<(), InvokeError> {
+        self.refresh();
+        let nodes = self.inner.placement.storage_nodes();
+        if nodes.is_empty() {
+            return Err(InvokeError::Nested("no storage nodes registered".into()));
+        }
+        for node in nodes {
+            let req = StoreRequest::DeployType {
+                name: name.to_string(),
+                fields: fields.clone(),
+                module: module.clone(),
+            };
+            match self.call(node, &req)? {
+                StoreResponse::Ok => {}
+                other => return Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Migrate `object` to `target_shard`: evict at the source primary,
+    /// install at the target primary, and pin the object there through the
+    /// coordinator (microshard migration, §4.2).
+    ///
+    /// # Errors
+    /// Any step failure; the coordinator pin is proposed last so routing
+    /// flips only after the data has moved.
+    pub fn migrate_object(
+        &self,
+        object: &ObjectId,
+        target_shard: ShardId,
+    ) -> Result<(), InvokeError> {
+        self.refresh();
+        let state = self.inner.placement.snapshot();
+        let target_info = state
+            .shard(target_shard)
+            .ok_or_else(|| InvokeError::Nested(format!("no shard {target_shard}")))?
+            .clone();
+        let snapshot: ObjectSnapshot = self.with_routing(object, false, |node| {
+            // (fetch with evict: the source deletes its copy under lock)
+            let req = StoreRequest::FetchObject { object: object.0.clone(), evict: true };
+            match self.call(node, &req)? {
+                StoreResponse::Snapshot(s) => Ok(s),
+                other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+            }
+        })?;
+        // The target primary may not have learned about a freshly created
+        // shard yet (its placement refreshes on the heartbeat interval);
+        // retry the install briefly. The snapshot is held client-side, so
+        // no data is at risk while we wait.
+        let mut installed = false;
+        let mut last_err = InvokeError::Nested("install never attempted".into());
+        for _ in 0..50 {
+            match self.call(
+                target_info.primary,
+                &StoreRequest::InstallObject {
+                    snapshot: snapshot.clone(),
+                    shard: target_shard,
+                },
+            ) {
+                Ok(StoreResponse::Ok) => {
+                    installed = true;
+                    break;
+                }
+                Ok(other) => {
+                    return Err(InvokeError::Nested(format!("bad reply {other:?}")))
+                }
+                Err(e @ InvokeError::WrongNode(_)) => {
+                    last_err = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        if !installed {
+            return Err(last_err);
+        }
+        if let Some(coord) = &self.inner.coord {
+            coord
+                .propose(CoordCmd::PinObject { object: object.0.clone(), shard: target_shard })
+                .map_err(|e| InvokeError::Nested(format!("pin failed: {e}")))?;
+        }
+        self.refresh();
+        Ok(())
+    }
+
+    /// Execute a serializable multi-call transaction. All objects must be
+    /// served by the same primary node; the call is routed to the primary
+    /// of the first object (a cross-shard mix yields
+    /// [`InvokeError::WrongNode`]).
+    ///
+    /// # Errors
+    /// Any [`InvokeError`]; on error no writes were applied.
+    pub fn transact(&self, calls: Vec<TxCall>) -> Result<Vec<VmValue>, InvokeError> {
+        let Some(first) = calls.first() else {
+            return Ok(Vec::new());
+        };
+        let object = first.object.clone();
+        self.with_routing(&object, false, |node| {
+            let req = StoreRequest::Transact { calls: calls.clone() };
+            match self.call(node, &req)? {
+                StoreResponse::Values(v) => Ok(v),
+                other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+            }
+        })
+    }
+
+    /// Enumerate the objects stored on `node`.
+    ///
+    /// # Errors
+    /// RPC failures.
+    pub fn list_objects(&self, node: NodeId) -> Result<Vec<ObjectId>, InvokeError> {
+        match self.call(node, &StoreRequest::ListObjects)? {
+            StoreResponse::Objects(ids) => Ok(ids.into_iter().map(ObjectId::new).collect()),
+            other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+        }
+    }
+
+    /// Rebalance one placement slot to `target_shard`: migrate every
+    /// object hashing onto `slot` from its current shard, then flip the
+    /// slot table (the Akkio-style microshard rebalancing §4.2 points at;
+    /// moving whole slots is how the cluster scales out without touching
+    /// unrelated data).
+    ///
+    /// # Errors
+    /// Any migration or coordination failure (already-moved objects keep
+    /// their pins, so a retried rebalance converges).
+    pub fn rebalance_slot(
+        &self,
+        slot: u16,
+        target_shard: ShardId,
+    ) -> Result<usize, InvokeError> {
+        use lambda_coordinator::ClusterState;
+        self.refresh();
+        let state = self.inner.placement.snapshot();
+        let Some(&source_shard) = state.slots.get(&slot) else {
+            return Err(InvokeError::Nested(format!("slot {slot} is unassigned")));
+        };
+        if source_shard == target_shard {
+            return Ok(0);
+        }
+        let source = state
+            .shard(source_shard)
+            .ok_or_else(|| InvokeError::Nested(format!("no shard {source_shard}")))?
+            .clone();
+        // Every object in the slot currently lives on the source primary.
+        let mut moved = 0;
+        for object in self.list_objects(source.primary)? {
+            if ClusterState::slot_of(object.as_bytes()) != slot {
+                continue;
+            }
+            // Skip objects pinned elsewhere (they only *stored* here if the
+            // pin points here, in which case slot_of is irrelevant).
+            if state.pins.contains_key(object.as_bytes()) {
+                continue;
+            }
+            self.migrate_object(&object, target_shard)?;
+            moved += 1;
+        }
+        // Flip the slot table; future objects in this slot are created on
+        // the target shard. Existing moved objects stay routed by pins
+        // (equivalent destination), which keeps the cut-over race-free.
+        if let Some(coord) = &self.inner.coord {
+            coord
+                .propose(lambda_coordinator::CoordCmd::AssignSlots {
+                    shard: target_shard,
+                    slots: vec![slot],
+                })
+                .map_err(|e| InvokeError::Nested(format!("slot flip failed: {e}")))?;
+        }
+        self.refresh();
+        Ok(moved)
+    }
+
+    /// Fetch statistics from `node`.
+    ///
+    /// # Errors
+    /// RPC failures.
+    pub fn node_stats(&self, node: NodeId) -> Result<NodeStatsWire, InvokeError> {
+        match self.call(node, &StoreRequest::Stats)? {
+            StoreResponse::NodeStats(s) => Ok(s),
+            other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+        }
+    }
+
+    /// Raw storage access (used by the disaggregated baseline's compute
+    /// layer and by tests).
+    ///
+    /// # Errors
+    /// RPC failures.
+    pub fn raw(&self, node: NodeId, req: &StoreRequest) -> Result<StoreResponse, InvokeError> {
+        self.call(node, req)
+    }
+
+    /// Shut the client's endpoint down.
+    pub fn shutdown(&self) {
+        self.inner.rpc.shutdown();
+    }
+}

@@ -1,0 +1,122 @@
+//! Cached cluster-state view used by nodes and clients for routing.
+
+use parking_lot::RwLock;
+
+use lambda_coordinator::{ClusterState, Epoch, ShardId, ShardInfo};
+use lambda_net::NodeId;
+use lambda_objects::ObjectId;
+
+/// A monotonically-updated local copy of the coordinator's replicated
+/// state. Watch notifications and on-demand refreshes both funnel through
+/// [`update`](Placement::update), which ignores stale versions.
+#[derive(Debug, Default)]
+pub struct Placement {
+    state: RwLock<ClusterState>,
+}
+
+impl Placement {
+    /// Empty placement (no shards known yet).
+    pub fn new() -> Placement {
+        Placement::default()
+    }
+
+    /// Install `state` if it is newer than the current copy; returns
+    /// whether it was accepted.
+    pub fn update(&self, state: ClusterState) -> bool {
+        let mut cur = self.state.write();
+        if state.version > cur.version {
+            *cur = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Version of the local copy.
+    pub fn version(&self) -> u64 {
+        self.state.read().version
+    }
+
+    /// Full snapshot (diagnostics).
+    pub fn snapshot(&self) -> ClusterState {
+        self.state.read().clone()
+    }
+
+    /// The shard and replica set responsible for `object`.
+    pub fn locate(&self, object: &ObjectId) -> Option<(ShardId, ShardInfo)> {
+        let st = self.state.read();
+        let shard = st.shard_for_object(object.as_bytes())?;
+        let info = st.shard(shard)?.clone();
+        Some((shard, info))
+    }
+
+    /// The current epoch of `shard`.
+    pub fn epoch_of(&self, shard: ShardId) -> Option<Epoch> {
+        self.state.read().shard(shard).map(|i| i.epoch)
+    }
+
+    /// True when `node` is the primary for `object`.
+    pub fn is_primary(&self, node: NodeId, object: &ObjectId) -> bool {
+        self.locate(object).is_some_and(|(_, info)| info.primary == node)
+    }
+
+    /// True when `node` serves `object` in any role.
+    pub fn is_replica(&self, node: NodeId, object: &ObjectId) -> bool {
+        self.locate(object).is_some_and(|(_, info)| info.contains(node))
+    }
+
+    /// All registered storage nodes.
+    pub fn storage_nodes(&self) -> Vec<NodeId> {
+        self.state.read().nodes.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_coordinator::CoordCmd;
+
+    fn state() -> ClusterState {
+        let mut st = ClusterState::default();
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(1) });
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(2) });
+        st.apply(&CoordCmd::CreateShard { shard: 0, replicas: vec![NodeId(1), NodeId(2)] });
+        st.apply(&CoordCmd::AssignSlots {
+            shard: 0,
+            slots: (0..lambda_coordinator::N_SLOTS).collect(),
+        });
+        st
+    }
+
+    #[test]
+    fn update_accepts_only_newer() {
+        let p = Placement::new();
+        assert!(p.update(state()));
+        let v = p.version();
+        assert!(!p.update(ClusterState::default()), "older state rejected");
+        assert_eq!(p.version(), v);
+    }
+
+    #[test]
+    fn locate_and_roles() {
+        let p = Placement::new();
+        p.update(state());
+        let obj = ObjectId::from("user/1");
+        let (shard, info) = p.locate(&obj).unwrap();
+        assert_eq!(shard, 0);
+        assert_eq!(info.primary, NodeId(1));
+        assert!(p.is_primary(NodeId(1), &obj));
+        assert!(!p.is_primary(NodeId(2), &obj));
+        assert!(p.is_replica(NodeId(2), &obj));
+        assert!(!p.is_replica(NodeId(9), &obj));
+        assert_eq!(p.epoch_of(0), Some(1));
+        assert_eq!(p.storage_nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_placement_locates_nothing() {
+        let p = Placement::new();
+        assert!(p.locate(&ObjectId::from("x")).is_none());
+        assert!(p.epoch_of(0).is_none());
+    }
+}

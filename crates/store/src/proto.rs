@@ -1,0 +1,298 @@
+//! Wire protocol of LambdaStore nodes (and of the disaggregated baseline's
+//! storage layer).
+
+use serde::{Deserialize, Serialize};
+
+use lambda_coordinator::{Epoch, ShardId};
+use lambda_objects::{migration::ObjectSnapshot, FieldDef, TxCall};
+use lambda_vm::{Module, VmValue};
+
+/// Requests understood by storage nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StoreRequest {
+    /// Invoke a method on an object (aggregated architecture: executes at
+    /// the storage node). `read_only` is the client's routing hint: it
+    /// allows execution at a backup; the node re-verifies against the
+    /// method's declared metadata.
+    Invoke {
+        /// Target object id.
+        object: Vec<u8>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<VmValue>,
+        /// Routing hint from the client.
+        read_only: bool,
+        /// Set for node-to-node nested invocations: allows calling
+        /// non-public methods (a production system would authenticate the
+        /// sender; nodes are trusted here).
+        internal: bool,
+    },
+    /// Instantiate an object.
+    CreateObject {
+        /// Type name (must be deployed).
+        type_name: String,
+        /// New object id.
+        object: Vec<u8>,
+        /// Initial scalar fields.
+        fields: Vec<(String, Vec<u8>)>,
+    },
+    /// Remove an object.
+    DeleteObject {
+        /// Object id.
+        object: Vec<u8>,
+    },
+    /// Deploy a bytecode object type (the serverless "upload functions"
+    /// step).
+    DeployType {
+        /// Type name.
+        name: String,
+        /// Field schema.
+        fields: Vec<FieldDef>,
+        /// Validated module.
+        module: Module,
+    },
+    /// Primary→backup replication of one committed write set.
+    Replicate {
+        /// Shard the object belongs to.
+        shard: ShardId,
+        /// The primary's configuration epoch (fencing).
+        epoch: Epoch,
+        /// Object whose data changed.
+        object: Vec<u8>,
+        /// `(key, Some(value))` puts / `(key, None)` deletes.
+        ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    },
+    /// Migration: export an object (source side executes `evict`).
+    FetchObject {
+        /// Object id.
+        object: Vec<u8>,
+        /// When true the source deletes its copy (move); otherwise copy.
+        evict: bool,
+    },
+    /// Migration: install an exported object here.
+    InstallObject {
+        /// The snapshot.
+        snapshot: ObjectSnapshot,
+        /// The destination shard (this node must be its primary); the
+        /// install is replicated to that shard's backups.
+        shard: ShardId,
+    },
+    /// Raw storage API used by the disaggregated baseline's compute layer;
+    /// each call is exactly one network round-trip (§4.1).
+    RawGet {
+        /// Full storage key.
+        key: Vec<u8>,
+    },
+    /// Raw put (see [`StoreRequest::RawGet`]).
+    RawPut {
+        /// Full storage key.
+        key: Vec<u8>,
+        /// Value.
+        value: Vec<u8>,
+    },
+    /// Raw delete.
+    RawDelete {
+        /// Full storage key.
+        key: Vec<u8>,
+    },
+    /// Append to an object collection (single round-trip read-modify-write
+    /// of the length counter, mirroring what the aggregated host does
+    /// locally).
+    RawPush {
+        /// Object id.
+        object: Vec<u8>,
+        /// Collection field.
+        field: Vec<u8>,
+        /// Entry payload.
+        value: Vec<u8>,
+    },
+    /// Scan an object collection.
+    RawScan {
+        /// Object id.
+        object: Vec<u8>,
+        /// Collection field.
+        field: Vec<u8>,
+        /// Maximum entries.
+        limit: u64,
+        /// Newest entries first.
+        newest_first: bool,
+    },
+    /// Collection length.
+    RawCount {
+        /// Object id.
+        object: Vec<u8>,
+        /// Collection field.
+        field: Vec<u8>,
+    },
+    /// Enumerate the objects stored on this node (admin/rebalancing).
+    ListObjects,
+    /// Execute a serializable multi-call transaction (the paper's §3.1 /
+    /// §7 future-work extension). All objects must be served by this node
+    /// as primary; cross-shard transactions are rejected.
+    Transact {
+        /// The calls, executed in order under strict 2PL.
+        calls: Vec<TxCall>,
+    },
+    /// Node statistics snapshot.
+    Stats,
+}
+
+/// Per-node counters returned by [`StoreRequest::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeStatsWire {
+    /// Requests handled.
+    pub requests: u64,
+    /// Invocations executed here.
+    pub invocations: u64,
+    /// Results served from the consistent cache.
+    pub cache_hits: u64,
+    /// Replication messages applied (backup role).
+    pub replications_applied: u64,
+    /// Nanoseconds spent actually executing requests (utilization).
+    pub busy_nanos: u64,
+    /// Nanoseconds since the node started.
+    pub uptime_nanos: u64,
+}
+
+impl NodeStatsWire {
+    /// Fraction of wall-clock time spent serving requests.
+    pub fn utilization(&self) -> f64 {
+        if self.uptime_nanos == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / self.uptime_nanos as f64
+        }
+    }
+}
+
+/// Responses from storage nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StoreResponse {
+    /// Invocation result.
+    Value(VmValue),
+    /// Generic success.
+    Ok,
+    /// Raw read result.
+    MaybeBytes(Option<Vec<u8>>),
+    /// Raw scan rows.
+    Rows(Vec<Vec<u8>>),
+    /// Raw count.
+    Count(u64),
+    /// Migration export.
+    Snapshot(ObjectSnapshot),
+    /// Statistics.
+    NodeStats(NodeStatsWire),
+    /// Transaction results, one per call.
+    Values(Vec<VmValue>),
+    /// Object ids (ListObjects).
+    Objects(Vec<Vec<u8>>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda_net::wire;
+    use lambda_objects::{FieldKind, ObjectId};
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            StoreRequest::Invoke {
+                object: b"user/1".to_vec(),
+                method: "create_post".into(),
+                args: vec![VmValue::str("hi"), VmValue::Int(3)],
+                read_only: false,
+                internal: false,
+            },
+            StoreRequest::CreateObject {
+                type_name: "User".into(),
+                object: b"user/1".to_vec(),
+                fields: vec![("name".into(), b"ada".to_vec())],
+            },
+            StoreRequest::DeleteObject { object: b"user/1".to_vec() },
+            StoreRequest::DeployType {
+                name: "User".into(),
+                fields: vec![FieldDef { name: "tl".into(), kind: FieldKind::Collection }],
+                module: Module::default(),
+            },
+            StoreRequest::Replicate {
+                shard: 3,
+                epoch: 7,
+                object: b"user/1".to_vec(),
+                ops: vec![(b"k".to_vec(), Some(b"v".to_vec())), (b"d".to_vec(), None)],
+            },
+            StoreRequest::FetchObject { object: b"user/1".to_vec(), evict: true },
+            StoreRequest::InstallObject {
+                snapshot: ObjectSnapshot {
+                    id: ObjectId::from("user/1"),
+                    entries: vec![(b"m".to_vec(), b"User".to_vec())],
+                },
+                shard: 2,
+            },
+            StoreRequest::RawGet { key: b"k".to_vec() },
+            StoreRequest::RawPut { key: b"k".to_vec(), value: b"v".to_vec() },
+            StoreRequest::RawDelete { key: b"k".to_vec() },
+            StoreRequest::RawPush {
+                object: b"u".to_vec(),
+                field: b"tl".to_vec(),
+                value: b"p".to_vec(),
+            },
+            StoreRequest::RawScan {
+                object: b"u".to_vec(),
+                field: b"tl".to_vec(),
+                limit: 10,
+                newest_first: true,
+            },
+            StoreRequest::RawCount { object: b"u".to_vec(), field: b"tl".to_vec() },
+            StoreRequest::ListObjects,
+            StoreRequest::Transact {
+                calls: vec![TxCall::new(
+                    lambda_objects::ObjectId::from("acct/a"),
+                    "add",
+                    vec![VmValue::Int(4)],
+                )],
+            },
+            StoreRequest::Stats,
+        ];
+        for r in reqs {
+            let bytes = wire::to_bytes(&r).unwrap();
+            let back: StoreRequest = wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            StoreResponse::Value(VmValue::List(vec![VmValue::Int(1)])),
+            StoreResponse::Ok,
+            StoreResponse::MaybeBytes(Some(b"v".to_vec())),
+            StoreResponse::MaybeBytes(None),
+            StoreResponse::Rows(vec![b"a".to_vec(), b"b".to_vec()]),
+            StoreResponse::Count(42),
+            StoreResponse::NodeStats(NodeStatsWire {
+                requests: 1,
+                invocations: 2,
+                cache_hits: 3,
+                replications_applied: 4,
+                busy_nanos: 5,
+                uptime_nanos: 10,
+            }),
+            StoreResponse::Values(vec![VmValue::Unit, VmValue::Int(1)]),
+            StoreResponse::Objects(vec![b"user/1".to_vec()]),
+        ];
+        for r in resps {
+            let bytes = wire::to_bytes(&r).unwrap();
+            let back: StoreResponse = wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn utilization_math() {
+        let s = NodeStatsWire { busy_nanos: 25, uptime_nanos: 100, ..Default::default() };
+        assert!((s.utilization() - 0.25).abs() < 1e-9);
+        assert_eq!(NodeStatsWire::default().utilization(), 0.0);
+    }
+}

@@ -1,0 +1,796 @@
+//! Integration tests across the three architectures.
+
+use std::time::{Duration, Instant};
+
+use lambda_net::NodeId;
+use lambda_objects::{FieldDef, FieldKind, InvokeError, ObjectId};
+use lambda_store::{
+    AggregatedCluster, ClusterConfig, DisaggregatedCluster, ServerlessCluster, StoreRequest,
+    StoreResponse,
+};
+use lambda_vm::{assemble, Module, VmValue};
+
+/// A small "Account" type exercising fields, collections, nested calls and
+/// aborts.
+fn account_module() -> Module {
+    assemble(
+        r#"
+        fn deposit(1) locals=2 {
+            ; arg 0: amount
+            push.s "balance"
+            host.get
+            btoi
+            load 0
+            add
+            store 1
+            push.s "balance"
+            load 1
+            itob
+            host.put
+            pop
+            push.s "log"
+            push.s "deposit"
+            host.push
+            pop
+            load 1
+            ret
+        }
+        fn balance(0) ro det {
+            push.s "balance"
+            host.get
+            btoi
+            ret
+        }
+        fn history(1) ro {
+            push.s "log"
+            load 0
+            push.i 1
+            host.scan
+            ret
+        }
+        fn transfer(2) locals=3 {
+            ; arg 0: target account id, arg 1: amount
+            push.s "balance"
+            host.get
+            btoi
+            store 2
+            load 2
+            load 1
+            lt
+            jz enough
+            push.s "insufficient funds"
+            host.abort
+        enough:
+            push.s "balance"
+            load 2
+            load 1
+            sub
+            itob
+            host.put
+            pop
+            load 0
+            push.s "deposit"
+            load 1
+            mklist 1
+            host.invoke
+            ret
+        }
+        "#,
+    )
+    .expect("account module assembles")
+}
+
+fn account_fields() -> Vec<FieldDef> {
+    vec![
+        FieldDef { name: "balance".into(), kind: FieldKind::Scalar },
+        FieldDef { name: "log".into(), kind: FieldKind::Collection },
+    ]
+}
+
+/// Balance values are stored as VM ints; helper to read them.
+fn as_int(v: VmValue) -> i64 {
+    v.as_int().unwrap_or_else(|| panic!("expected int, got {v}"))
+}
+
+#[test]
+fn aggregated_end_to_end() {
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+
+    let alice = ObjectId::from("acct/alice");
+    client.create_object("Account", &alice, &[]).unwrap();
+    let balance = client
+        .invoke(&alice, "deposit", vec![VmValue::Int(100)], false)
+        .unwrap();
+    assert_eq!(as_int(balance), 100);
+    let balance = client.invoke(&alice, "balance", vec![], true).unwrap();
+    assert_eq!(as_int(balance), 100);
+
+    // Duplicate creation is rejected cluster-wide.
+    assert!(matches!(
+        client.create_object("Account", &alice, &[]),
+        Err(InvokeError::AlreadyExists(_))
+    ));
+
+    cluster.shutdown();
+}
+
+#[test]
+fn aggregated_cross_object_transfer_and_abort() {
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+
+    let a = ObjectId::from("acct/a");
+    let b = ObjectId::from("acct/b");
+    client.create_object("Account", &a, &[]).unwrap();
+    client.create_object("Account", &b, &[]).unwrap();
+    client.invoke(&a, "deposit", vec![VmValue::Int(50)], false).unwrap();
+
+    // Successful transfer (may cross shards/nodes).
+    client
+        .invoke(&a, "transfer", vec![VmValue::str("acct/b"), VmValue::Int(20)], false)
+        .unwrap();
+    assert_eq!(as_int(client.invoke(&a, "balance", vec![], true).unwrap()), 30);
+    assert_eq!(as_int(client.invoke(&b, "balance", vec![], true).unwrap()), 20);
+
+    // Overdraft aborts and leaves balances untouched.
+    let err = client
+        .invoke(&a, "transfer", vec![VmValue::str("acct/b"), VmValue::Int(1000)], false)
+        .unwrap_err();
+    assert!(matches!(err, InvokeError::Aborted(_)), "got {err}");
+    assert_eq!(as_int(client.invoke(&a, "balance", vec![], true).unwrap()), 30);
+    assert_eq!(as_int(client.invoke(&b, "balance", vec![], true).unwrap()), 20);
+
+    cluster.shutdown();
+}
+
+#[test]
+fn aggregated_replicates_to_backups() {
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let id = ObjectId::from("acct/replicated");
+    client.create_object("Account", &id, &[]).unwrap();
+    client.invoke(&id, "deposit", vec![VmValue::Int(7)], false).unwrap();
+
+    // Every node holds the object's data (rf = 3 with 3 nodes).
+    for node in &cluster.core.storage {
+        assert!(
+            node.engine().object_exists(&id),
+            "node-{} missing replicated object",
+            node.id().0
+        );
+    }
+    let stats: Vec<u64> =
+        cluster.core.storage.iter().map(|n| n.stats().replications_applied).collect();
+    assert!(stats.iter().sum::<u64>() >= 2, "backups applied replication: {stats:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn aggregated_failover_promotes_backup() {
+    let mut config = ClusterConfig::for_tests();
+    config.heartbeat_timeout = Duration::from_millis(400);
+    let cluster = AggregatedCluster::build(config).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let id = ObjectId::from("acct/survivor");
+    client.create_object("Account", &id, &[]).unwrap();
+    client.invoke(&id, "deposit", vec![VmValue::Int(42)], false).unwrap();
+
+    // Find and kill the primary.
+    client.refresh();
+    let (_, info) = client.placement().locate(&id).expect("located");
+    let primary_idx = cluster
+        .core
+        .storage
+        .iter()
+        .position(|n| n.id() == info.primary)
+        .expect("primary present");
+    cluster.core.kill_storage_node(primary_idx);
+
+    // The client keeps retrying until the coordinator promotes a backup.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let balance = loop {
+        match client.invoke(&id, "deposit", vec![VmValue::Int(1)], false) {
+            Ok(v) => break as_int(v),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("failover never completed: {e}"),
+        }
+    };
+    assert_eq!(balance, 43, "state survived the primary failure");
+    client.refresh();
+    let (_, new_info) = client.placement().locate(&id).expect("located");
+    assert_ne!(new_info.primary, info.primary, "a backup was promoted");
+    assert!(new_info.epoch > info.epoch, "epoch advanced");
+    cluster.shutdown();
+}
+
+#[test]
+fn aggregated_read_only_runs_on_replicas() {
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let id = ObjectId::from("acct/reader");
+    client.create_object("Account", &id, &[]).unwrap();
+    client.invoke(&id, "deposit", vec![VmValue::Int(5)], false).unwrap();
+
+    for _ in 0..30 {
+        assert_eq!(as_int(client.invoke(&id, "balance", vec![], true).unwrap()), 5);
+    }
+    // More than one node served invocations (primary + at least one backup).
+    let serving: Vec<u64> =
+        cluster.core.storage.iter().map(|n| n.stats().invocations).collect();
+    let busy_nodes = serving.iter().filter(|&&c| c > 0).count();
+    assert!(busy_nodes >= 2, "read scaling across replicas: {serving:?}");
+
+    // A mutating method routed with a read-only hint must be rejected, not
+    // silently executed on a backup.
+    let err = client.invoke(&id, "deposit", vec![VmValue::Int(1)], true);
+    if let Ok(v) = err {
+        // It may still have landed on the primary (round-robin); then it
+        // succeeds legitimately.
+        assert_eq!(as_int(v), 6);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn aggregated_migration_moves_object() {
+    let mut config = ClusterConfig::for_tests();
+    config.shards = 3;
+    config.replication_factor = 1;
+    let cluster = AggregatedCluster::build(config).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+
+    let id = ObjectId::from("acct/mover");
+    client.create_object("Account", &id, &[]).unwrap();
+    client.invoke(&id, "deposit", vec![VmValue::Int(11)], false).unwrap();
+    let (source_shard, _) = client.placement().locate(&id).unwrap();
+    let target_shard = (source_shard + 1) % 3;
+
+    client.migrate_object(&id, target_shard).unwrap();
+    let (new_shard, _) = client.placement().locate(&id).unwrap();
+    assert_eq!(new_shard, target_shard);
+    // State intact and writable after migration.
+    assert_eq!(as_int(client.invoke(&id, "balance", vec![], true).unwrap()), 11);
+    assert_eq!(
+        as_int(client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap()),
+        12
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn disaggregated_end_to_end() {
+    let cluster = DisaggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    let compute = lambda_store::ids::COMPUTE;
+
+    // Deploy + create through the compute node.
+    let deploy = StoreRequest::DeployType {
+        name: "Account".into(),
+        fields: account_fields(),
+        module: account_module(),
+    };
+    assert_eq!(client.raw(compute, &deploy).unwrap(), StoreResponse::Ok);
+    let create = StoreRequest::CreateObject {
+        type_name: "Account".into(),
+        object: b"acct/remote".to_vec(),
+        fields: vec![],
+    };
+    assert_eq!(client.raw(compute, &create).unwrap(), StoreResponse::Ok);
+
+    let invoke = StoreRequest::Invoke {
+        object: b"acct/remote".to_vec(),
+        method: "deposit".into(),
+        args: vec![VmValue::Int(9)],
+        read_only: false,
+        internal: false,
+    };
+    match client.raw(compute, &invoke).unwrap() {
+        StoreResponse::Value(v) => assert_eq!(as_int(v), 9),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Storage accesses crossed the network.
+    let rpcs = cluster
+        .compute
+        .executor()
+        .storage_rpcs
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(rpcs >= 4, "expected several storage round-trips, got {rpcs}");
+    cluster.shutdown();
+}
+
+#[test]
+fn disaggregated_nested_calls_run_on_compute() {
+    let cluster = DisaggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    let compute = lambda_store::ids::COMPUTE;
+    client
+        .raw(
+            compute,
+            &StoreRequest::DeployType {
+                name: "Account".into(),
+                fields: account_fields(),
+                module: account_module(),
+            },
+        )
+        .unwrap();
+    for name in ["acct/x", "acct/y"] {
+        client
+            .raw(
+                compute,
+                &StoreRequest::CreateObject {
+                    type_name: "Account".into(),
+                    object: name.as_bytes().to_vec(),
+                    fields: vec![],
+                },
+            )
+            .unwrap();
+    }
+    let deposit = StoreRequest::Invoke {
+        object: b"acct/x".to_vec(),
+        method: "deposit".into(),
+        args: vec![VmValue::Int(30)],
+        read_only: false,
+        internal: false,
+    };
+    client.raw(compute, &deposit).unwrap();
+    let transfer = StoreRequest::Invoke {
+        object: b"acct/x".to_vec(),
+        method: "transfer".into(),
+        args: vec![VmValue::str("acct/y"), VmValue::Int(10)],
+        read_only: false,
+        internal: false,
+    };
+    client.raw(compute, &transfer).unwrap();
+    let balance = StoreRequest::Invoke {
+        object: b"acct/y".to_vec(),
+        method: "balance".into(),
+        args: vec![],
+        read_only: true,
+        internal: false,
+    };
+    match client.raw(compute, &balance).unwrap() {
+        StoreResponse::Value(v) => assert_eq!(as_int(v), 10),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Nested call = an extra function invocation on the compute node.
+    let invocations = cluster
+        .compute
+        .executor()
+        .invocations
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(invocations >= 3, "deposit + transfer + nested deposit + balance: {invocations}");
+    cluster.shutdown();
+}
+
+#[test]
+fn serverless_pays_cold_starts() {
+    let cluster =
+        ServerlessCluster::build(ClusterConfig::for_tests(), Duration::from_millis(80))
+            .unwrap();
+    let client = cluster.client();
+    let gw = lambda_store::ids::GATEWAY;
+    client
+        .raw(
+            gw,
+            &StoreRequest::DeployType {
+                name: "Account".into(),
+                fields: account_fields(),
+                module: account_module(),
+            },
+        )
+        .unwrap();
+    client
+        .raw(
+            gw,
+            &StoreRequest::CreateObject {
+                type_name: "Account".into(),
+                object: b"acct/s".to_vec(),
+                fields: vec![],
+            },
+        )
+        .unwrap();
+
+    let invoke = StoreRequest::Invoke {
+        object: b"acct/s".to_vec(),
+        method: "deposit".into(),
+        args: vec![VmValue::Int(1)],
+        read_only: false,
+        internal: false,
+    };
+    // First call: cold.
+    let t0 = Instant::now();
+    client.raw(gw, &invoke).unwrap();
+    let cold = t0.elapsed();
+    // Subsequent calls: warm (take the fastest to filter fsync noise).
+    let warm = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            client.raw(gw, &invoke).unwrap();
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+
+    let (cold_starts, warm_starts) = cluster.gateway.start_counts();
+    assert_eq!(cold_starts, 1);
+    assert_eq!(warm_starts, 5);
+    assert!(
+        cold > warm + Duration::from_millis(40),
+        "cold {cold:?} must exceed warm {warm:?} by most of the 80ms cold-start delay"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn transactions_commit_atomically_across_colocated_objects() {
+    use lambda_objects::TxCall;
+    // Single shard: every object is co-located at one primary.
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let a = ObjectId::from("acct/tx-a");
+    let b = ObjectId::from("acct/tx-b");
+    client.create_object("Account", &a, &[]).unwrap();
+    client.create_object("Account", &b, &[]).unwrap();
+    client.invoke(&a, "deposit", vec![VmValue::Int(100)], false).unwrap();
+
+    // Atomic transfer as one transaction.
+    let results = client
+        .transact(vec![
+            TxCall::new(a.clone(), "deposit", vec![VmValue::Int(-40)]),
+            TxCall::new(b.clone(), "deposit", vec![VmValue::Int(40)]),
+        ])
+        .unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(as_int(client.invoke(&a, "balance", vec![], true).unwrap()), 60);
+    assert_eq!(as_int(client.invoke(&b, "balance", vec![], true).unwrap()), 40);
+
+    // Transactions replicate like everything else: data on all replicas.
+    for node in &cluster.core.storage {
+        assert!(node.engine().object_exists(&b));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn elasticity_scale_out_with_migration() {
+    // The §7 open problem exercised end-to-end: add a node to a running
+    // cluster, create a shard on it, migrate a hot object over, and keep
+    // serving it — state intact, clients re-routed by the coordinator pin.
+    let mut config = ClusterConfig::for_tests();
+    config.replication_factor = 1;
+    let mut cluster = AggregatedCluster::build(config.clone()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let hot = ObjectId::from("acct/hot");
+    client.create_object("Account", &hot, &[]).unwrap();
+    client.invoke(&hot, "deposit", vec![VmValue::Int(55)], false).unwrap();
+
+    // Scale out.
+    let t = Instant::now();
+    let new_node = cluster.core.add_storage_node(&config).unwrap();
+    let new_shard = 7;
+    cluster.core.create_shard(new_shard, vec![new_node]).unwrap();
+    // The new node needs the type deployed before it can execute methods.
+    client.refresh();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    client.migrate_object(&hot, new_shard).unwrap();
+    let elapsed = t.elapsed();
+
+    // The object now lives on (and is served by) the new node.
+    client.refresh();
+    let (shard, info) = client.placement().locate(&hot).unwrap();
+    assert_eq!(shard, new_shard);
+    assert_eq!(info.primary, new_node);
+    assert_eq!(as_int(client.invoke(&hot, "balance", vec![], true).unwrap()), 55);
+    assert_eq!(
+        as_int(client.invoke(&hot, "deposit", vec![VmValue::Int(1)], false).unwrap()),
+        56
+    );
+    // The engine on the new node really holds it.
+    assert!(cluster.core.storage.last().unwrap().engine().object_exists(&hot));
+    assert!(!cluster.core.storage[0].engine().list_objects().contains(&hot)
+        || !cluster.core.storage[0].engine().object_exists(&hot));
+    println!("scale-out + migration completed in {elapsed:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn epoch_fencing_blocks_deposed_primary() {
+    // A primary that is partitioned (but alive) keeps trying to commit
+    // after the coordinator promoted a backup; epoch fencing must reject
+    // its replication so no split-brain write survives.
+    let mut config = ClusterConfig::for_tests();
+    config.heartbeat_timeout = Duration::from_millis(300);
+    let cluster = AggregatedCluster::build(config).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let id = ObjectId::from("acct/fenced");
+    client.create_object("Account", &id, &[]).unwrap();
+    client.invoke(&id, "deposit", vec![VmValue::Int(10)], false).unwrap();
+
+    client.refresh();
+    let (_, info) = client.placement().locate(&id).unwrap();
+    let old_primary = cluster
+        .core
+        .storage
+        .iter()
+        .find(|n| n.id() == info.primary)
+        .expect("primary exists");
+
+    // Partition the primary from the coordinators AND the other storage
+    // nodes, but keep it able to receive requests from a rogue client.
+    for c in &cluster.core.coordinator_ids {
+        cluster.core.net.cut_link(old_primary.id(), *c);
+        cluster.core.net.cut_link(
+            NodeId(old_primary.id().0 + lambda_store::WATCH_ID_OFFSET),
+            *c,
+        );
+    }
+    for n in &cluster.core.storage_ids {
+        if *n != old_primary.id() {
+            cluster.core.net.cut_link(old_primary.id(), *n);
+        }
+    }
+
+    // Wait for failover.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        client.refresh();
+        let (_, now) = client.placement().locate(&id).unwrap();
+        if now.primary != info.primary && now.epoch > info.epoch {
+            break;
+        }
+        assert!(Instant::now() < deadline, "failover did not happen");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The new configuration serves writes.
+    let v = client.invoke(&id, "deposit", vec![VmValue::Int(5)], false).unwrap();
+    assert_eq!(as_int(v), 15);
+
+    // A rogue client talking directly to the deposed primary: its commit
+    // must fail (its backups reject the stale epoch once it can reach them
+    // — here it cannot reach them at all, which also fails the commit).
+    let rogue = cluster.client();
+    let req = StoreRequest::Invoke {
+        object: id.0.clone(),
+        method: "deposit".into(),
+        args: vec![VmValue::Int(1000)],
+        read_only: false,
+        internal: false,
+    };
+    let res = rogue.raw(old_primary.id(), &req);
+    assert!(res.is_err(), "deposed primary must not acknowledge writes: {res:?}");
+
+    // The authoritative balance is unaffected by the rogue attempt.
+    let v = client.invoke(&id, "balance", vec![], true).unwrap();
+    assert_eq!(as_int(v), 15);
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_survives_packet_loss() {
+    // 20% packet loss: RPC timeouts + client retries still deliver every
+    // operation exactly once at the application level (the engine's
+    // idempotent routing retries sit below).
+    let mut config = ClusterConfig::for_tests();
+    config.latency = lambda_net::LatencyModel {
+        base: Duration::from_micros(50),
+        jitter: Duration::from_micros(20),
+        per_byte: Duration::from_nanos(0),
+        drop_probability: 0.0, // enabled after bootstrap
+    };
+    let cluster = AggregatedCluster::build(config).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let id = ObjectId::from("acct/lossy");
+    client.create_object("Account", &id, &[]).unwrap();
+
+    cluster.core.net.set_latency(lambda_net::LatencyModel {
+        base: Duration::from_micros(50),
+        jitter: Duration::from_micros(20),
+        per_byte: Duration::from_nanos(0),
+        drop_probability: 0.20,
+    });
+
+    let mut sum = 0i64;
+    for i in 0..20 {
+        // A lost request or response surfaces as a retryable error; the
+        // deposit is NOT idempotent, so only count acknowledged ones.
+        match client.invoke(&id, "deposit", vec![VmValue::Int(1)], false) {
+            Ok(v) => sum = as_int(v),
+            Err(_) => { /* dropped somewhere; fine */ }
+        }
+        let _ = i;
+    }
+    // Heal and verify the acknowledged state is consistent and readable.
+    cluster.core.net.set_latency(lambda_net::LatencyModel::instant());
+    let v = as_int(client.invoke(&id, "balance", vec![], true).unwrap());
+    assert!(v >= sum, "acknowledged deposits must persist (last ack {sum}, read {v})");
+    assert!(v <= 20 * 21, "sanity");
+    cluster.shutdown();
+}
+
+#[test]
+fn serverless_gateway_logs_requests_durably() {
+    let cluster =
+        ServerlessCluster::build(ClusterConfig::for_tests(), Duration::from_millis(5))
+            .unwrap();
+    let client = cluster.client();
+    let gw = lambda_store::ids::GATEWAY;
+    client
+        .raw(
+            gw,
+            &StoreRequest::DeployType {
+                name: "Account".into(),
+                fields: account_fields(),
+                module: account_module(),
+            },
+        )
+        .unwrap();
+    client
+        .raw(
+            gw,
+            &StoreRequest::CreateObject {
+                type_name: "Account".into(),
+                object: b"acct/logged".to_vec(),
+                fields: vec![],
+            },
+        )
+        .unwrap();
+    for i in 0..5 {
+        let req = StoreRequest::Invoke {
+            object: b"acct/logged".to_vec(),
+            method: "deposit".into(),
+            args: vec![VmValue::Int(i)],
+            read_only: false,
+            internal: false,
+        };
+        client.raw(gw, &req).unwrap();
+    }
+    // The durable request log (§4.1: OpenWhisk/Kafka role) holds every
+    // request that was acknowledged.
+    let log_path = cluster.core.base_dir().join("gateway").join("requests.log");
+    let recovered = lambdaobjects_recover(&log_path);
+    assert!(
+        recovered >= 7,
+        "expected >= 7 logged requests (deploy + create + 5 invokes), got {recovered}"
+    );
+    cluster.shutdown();
+}
+
+/// Replay the gateway's WAL-format request log and count intact records.
+fn lambdaobjects_recover(path: &std::path::Path) -> usize {
+    lambda_kv::wal::recover(path).map(|r| r.records.len()).unwrap_or(0)
+}
+
+#[test]
+fn slot_rebalancing_moves_a_whole_slot() {
+    use lambda_coordinator::ClusterState;
+    let mut config = ClusterConfig::for_tests();
+    config.shards = 2;
+    config.replication_factor = 1;
+    let cluster = AggregatedCluster::build(config).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+
+    // Create objects until one specific slot owns at least 3 of them.
+    let state = client.placement().snapshot();
+    let target_slot: u16 = *state.slots.keys().next().unwrap();
+    let mut in_slot = Vec::new();
+    let mut others = Vec::new();
+    for i in 0..200 {
+        let id = ObjectId::from(format!("acct/slot-{i}").as_str());
+        if ClusterState::slot_of(id.as_bytes()) == target_slot {
+            in_slot.push(id);
+        } else {
+            others.push(id);
+        }
+        if in_slot.len() >= 3 && others.len() >= 3 {
+            break;
+        }
+    }
+    for id in in_slot.iter().chain(others.iter().take(3)) {
+        client.create_object("Account", id, &[]).unwrap();
+        client.invoke(id, "deposit", vec![VmValue::Int(9)], false).unwrap();
+    }
+    let source_shard = *client.placement().snapshot().slots.get(&target_slot).unwrap();
+    let target_shard = 1 - source_shard; // two shards: 0 and 1
+
+    let moved = client.rebalance_slot(target_slot, target_shard).unwrap();
+    assert_eq!(moved, in_slot.len(), "every object in the slot moved");
+
+    // All moved objects now served by the target shard, state intact.
+    for id in &in_slot {
+        let (shard, _) = client.placement().locate(id).unwrap();
+        assert_eq!(shard, target_shard, "{id} must be served by the target shard");
+        assert_eq!(as_int(client.invoke(id, "balance", vec![], true).unwrap()), 9);
+    }
+    // Objects in other slots were untouched.
+    for id in others.iter().take(3) {
+        let (shard, _) = client.placement().locate(id).unwrap();
+        assert_ne!(
+            (shard, target_slot),
+            (target_shard, ClusterState::slot_of(id.as_bytes())),
+            "unrelated objects must not have moved shards via this slot"
+        );
+        assert_eq!(as_int(client.invoke(id, "balance", vec![], true).unwrap()), 9);
+    }
+    // The slot table itself flipped.
+    assert_eq!(
+        client.placement().snapshot().slots.get(&target_slot),
+        Some(&target_shard)
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn planned_decommission_keeps_serving() {
+    // Scale-in: gracefully remove the primary via coordinator
+    // reconfiguration (no failure detector involved); clients keep being
+    // served with no acknowledged-write loss and no detectable gap beyond
+    // a routing refresh.
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let id = ObjectId::from("acct/drain");
+    client.create_object("Account", &id, &[]).unwrap();
+    for _ in 0..10 {
+        client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap();
+    }
+    client.refresh();
+    let (_, before) = client.placement().locate(&id).unwrap();
+    let primary_idx = cluster
+        .core
+        .storage
+        .iter()
+        .position(|n| n.id() == before.primary)
+        .unwrap();
+
+    cluster.core.decommission_node(primary_idx).unwrap();
+
+    // The client retries through the reconfiguration; state is intact.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let balance = loop {
+        match client.invoke(&id, "balance", vec![], true) {
+            Ok(v) => break as_int(v),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20))
+            }
+            Err(e) => panic!("decommission broke serving: {e}"),
+        }
+    };
+    assert_eq!(balance, 10);
+    client.refresh();
+    let (_, after) = client.placement().locate(&id).unwrap();
+    assert_ne!(after.primary, before.primary, "primary role moved");
+    assert!(after.epoch > before.epoch);
+    assert!(!after.contains(before.primary), "decommissioned node fully removed");
+    // Still writable.
+    assert_eq!(
+        as_int(client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap()),
+        11
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn decommission_refuses_to_drop_last_replica() {
+    let mut config = ClusterConfig::for_tests();
+    config.replication_factor = 1;
+    let cluster = AggregatedCluster::build(config).unwrap();
+    let err = cluster.core.decommission_node(0).unwrap_err();
+    assert!(err.to_string().contains("last replica"), "{err}");
+    cluster.shutdown();
+}

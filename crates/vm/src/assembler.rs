@@ -1,0 +1,521 @@
+//! A small textual assembly language for authoring modules.
+//!
+//! This plays the role of the application developer's toolchain: object-type
+//! methods in the examples and the ReTwis benchmark are written in this
+//! language and compiled to [`Module`]s, so the code deployed to storage
+//! nodes really is untrusted bytecode that goes through validation and
+//! metering — just as the paper ships WebAssembly binaries.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comments start with ';' or '#'
+//! const greeting = "hello"          ; named constant
+//!
+//! fn create_post(2) locals=4 {      ; arity 2, 4 local slots
+//!     load 0                        ; params are locals 0..arity
+//!     push.s "timeline"             ; inline string constant
+//!     host.get
+//!     jz empty                      ; jump if falsy
+//!     push.i 42
+//!     ret
+//! empty:
+//!     unit
+//!     ret
+//! }
+//!
+//! fn helper(0) ro det priv {        ; read-only, deterministic, private
+//!     unit
+//!     ret
+//! }
+//! ```
+//!
+//! Flags: `ro` (read-only), `det` (deterministic), `priv` (not externally
+//! callable). `locals=N` defaults to the arity.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::bytecode::{FunctionDef, HostFn, Instr, Module};
+use crate::validate::validate_module;
+
+/// Assembly failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+fn aerr(line: usize, message: impl Into<String>) -> AssembleError {
+    AssembleError { line, message: message.into() }
+}
+
+/// Parse and validate a module from assembly text.
+///
+/// # Errors
+/// Returns an [`AssembleError`] describing the first syntax or validation
+/// problem (validation failures are reported on the function's header line).
+pub fn assemble(source: &str) -> Result<Module, AssembleError> {
+    let mut module = Module::default();
+    let mut named_consts: HashMap<String, u32> = HashMap::new();
+
+    // Pass 1: collect function signatures so `call name` can resolve
+    // forward references.
+    let mut signatures: HashMap<String, u32> = HashMap::new();
+    let mut func_headers: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if let Some(rest) = line.strip_prefix("fn ") {
+            let name = rest
+                .split('(')
+                .next()
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| aerr(lineno + 1, "malformed fn header"))?;
+            if signatures.contains_key(name) {
+                return Err(aerr(lineno + 1, format!("duplicate function {name:?}")));
+            }
+            signatures.insert(name.to_string(), signatures.len() as u32);
+            func_headers.push((lineno + 1, name.to_string()));
+        }
+    }
+
+    let mut lines = source.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("const ") {
+            let (name, value) = rest
+                .split_once('=')
+                .ok_or_else(|| aerr(lineno + 1, "const needs '='"))?;
+            let bytes = parse_string(value.trim())
+                .ok_or_else(|| aerr(lineno + 1, "const value must be a quoted string"))?;
+            let idx = module.intern(bytes);
+            named_consts.insert(name.trim().to_string(), idx);
+            continue;
+        }
+        if line.starts_with("fn ") {
+            let header_line = lineno + 1;
+            let header = line
+                .strip_suffix('{')
+                .ok_or_else(|| aerr(header_line, "fn header must end with '{'"))?
+                .trim();
+            let (def, body_expected) = parse_header(header_line, header)?;
+            debug_assert!(body_expected);
+            // Collect body lines until the closing brace.
+            let mut body: Vec<(usize, String)> = Vec::new();
+            let mut closed = false;
+            for (bl, braw) in lines.by_ref() {
+                let bline = strip_comment(braw).trim().to_string();
+                if bline == "}" {
+                    closed = true;
+                    break;
+                }
+                if !bline.is_empty() {
+                    body.push((bl + 1, bline));
+                }
+            }
+            if !closed {
+                return Err(aerr(header_line, "unterminated function body"));
+            }
+            let code = assemble_body(&mut module, &named_consts, &signatures, &body)?;
+            let mut def = def;
+            def.code = code;
+            // Default locals to at least the arity.
+            if def.locals < def.arity as u16 {
+                def.locals = def.arity as u16;
+            }
+            module.functions.push(def);
+            continue;
+        }
+        return Err(aerr(lineno + 1, format!("unexpected top-level line: {line:?}")));
+    }
+
+    validate_module(&module).map_err(|e| {
+        let line = func_headers
+            .iter()
+            .find(|(_, name)| *name == e.function)
+            .map(|(l, _)| *l)
+            .unwrap_or(0);
+        aerr(line, format!("validation failed: {e}"))
+    })?;
+    Ok(module)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Quote-aware: don't cut ';' or '#' inside string literals.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_header(line: usize, header: &str) -> Result<(FunctionDef, bool), AssembleError> {
+    // header looks like: fn name(arity) [locals=N] [ro] [det] [priv]
+    let rest = header.strip_prefix("fn ").ok_or_else(|| aerr(line, "expected fn"))?;
+    let open = rest.find('(').ok_or_else(|| aerr(line, "expected '(' in fn header"))?;
+    let close = rest.find(')').ok_or_else(|| aerr(line, "expected ')' in fn header"))?;
+    let name = rest[..open].trim().to_string();
+    if name.is_empty() {
+        return Err(aerr(line, "function needs a name"));
+    }
+    let arity: u8 = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| aerr(line, "arity must be a small integer"))?;
+    let mut def = FunctionDef {
+        name,
+        arity,
+        locals: arity as u16,
+        read_only: false,
+        deterministic: false,
+        public: true,
+        code: Vec::new(),
+    };
+    for tok in rest[close + 1..].split_whitespace() {
+        if let Some(n) = tok.strip_prefix("locals=") {
+            def.locals =
+                n.parse().map_err(|_| aerr(line, "locals= must be an integer"))?;
+        } else {
+            match tok {
+                "ro" => def.read_only = true,
+                "det" => def.deterministic = true,
+                "priv" => def.public = false,
+                other => return Err(aerr(line, format!("unknown flag {other:?}"))),
+            }
+        }
+    }
+    Ok((def, true))
+}
+
+fn parse_string(token: &str) -> Option<Vec<u8>> {
+    let inner = token.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = Vec::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push(b'\n'),
+                't' => out.push(b'\t'),
+                '\\' => out.push(b'\\'),
+                '"' => out.push(b'"'),
+                '0' => out.push(0),
+                'x' => {
+                    let hi = chars.next()?.to_digit(16)?;
+                    let lo = chars.next()?.to_digit(16)?;
+                    out.push((hi * 16 + lo) as u8);
+                }
+                _ => return None,
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Some(out)
+}
+
+fn assemble_body(
+    module: &mut Module,
+    named_consts: &HashMap<String, u32>,
+    signatures: &HashMap<String, u32>,
+    body: &[(usize, String)],
+) -> Result<Vec<Instr>, AssembleError> {
+    // Pass 1: label positions.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut idx = 0u32;
+    for (lineno, line) in body {
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if labels.insert(label.to_string(), idx).is_some() {
+                return Err(aerr(*lineno, format!("duplicate label {label:?}")));
+            }
+        } else {
+            idx += 1;
+        }
+    }
+
+    // Pass 2: instructions.
+    let mut code = Vec::new();
+    for (lineno, line) in body {
+        if line.ends_with(':') {
+            continue;
+        }
+        let lineno = *lineno;
+        let (mnemonic, arg) = match line.split_once(char::is_whitespace) {
+            Some((m, a)) => (m, a.trim()),
+            None => (line.as_str(), ""),
+        };
+        let need_label = |labels: &HashMap<String, u32>| -> Result<u32, AssembleError> {
+            labels
+                .get(arg)
+                .copied()
+                .ok_or_else(|| aerr(lineno, format!("unknown label {arg:?}")))
+        };
+        let need_int = || -> Result<i64, AssembleError> {
+            arg.parse().map_err(|_| aerr(lineno, format!("expected integer, got {arg:?}")))
+        };
+        let instr = match mnemonic {
+            "push.i" => Instr::PushInt(need_int()?),
+            "push.s" => {
+                let bytes = parse_string(arg)
+                    .ok_or_else(|| aerr(lineno, "push.s needs a quoted string"))?;
+                Instr::PushConst(module.intern(bytes))
+            }
+            "push.c" => {
+                let idx = named_consts
+                    .get(arg)
+                    .copied()
+                    .ok_or_else(|| aerr(lineno, format!("unknown const {arg:?}")))?;
+                Instr::PushConst(idx)
+            }
+            "true" => Instr::PushBool(true),
+            "false" => Instr::PushBool(false),
+            "unit" => Instr::PushUnit,
+            "dup" => Instr::Dup,
+            "pop" => Instr::Pop,
+            "swap" => Instr::Swap,
+            "load" => Instr::Load(
+                need_int()?.try_into().map_err(|_| aerr(lineno, "local out of range"))?,
+            ),
+            "store" => Instr::Store(
+                need_int()?.try_into().map_err(|_| aerr(lineno, "local out of range"))?,
+            ),
+            "add" => Instr::Add,
+            "sub" => Instr::Sub,
+            "mul" => Instr::Mul,
+            "div" => Instr::Div,
+            "mod" => Instr::Mod,
+            "eq" => Instr::Eq,
+            "lt" => Instr::Lt,
+            "le" => Instr::Le,
+            "not" => Instr::Not,
+            "concat" => Instr::Concat,
+            "len" => Instr::Len,
+            "itob" => Instr::IntToBytes,
+            "btoi" => Instr::BytesToInt,
+            "mklist" => Instr::MakeList(
+                need_int()?.try_into().map_err(|_| aerr(lineno, "mklist count"))?,
+            ),
+            "index" => Instr::Index,
+            "append" => Instr::Append,
+            "jmp" => Instr::Jump(need_label(&labels)?),
+            "jz" => Instr::JumpIfFalse(need_label(&labels)?),
+            "call" => {
+                let idx = signatures
+                    .get(arg)
+                    .copied()
+                    .ok_or_else(|| aerr(lineno, format!("unknown function {arg:?}")))?;
+                Instr::Call(idx)
+            }
+            "ret" => Instr::Ret,
+            "trap" => {
+                let bytes = parse_string(arg)
+                    .ok_or_else(|| aerr(lineno, "trap needs a quoted string"))?;
+                Instr::Trap(module.intern(bytes))
+            }
+            "host.get" => Instr::Host(HostFn::Get),
+            "host.put" => Instr::Host(HostFn::Put),
+            "host.delete" => Instr::Host(HostFn::Delete),
+            "host.push" => Instr::Host(HostFn::Push),
+            "host.scan" => Instr::Host(HostFn::Scan),
+            "host.count" => Instr::Host(HostFn::Count),
+            "host.invoke" => Instr::Host(HostFn::Invoke),
+            "host.invoke_many" => Instr::Host(HostFn::InvokeMany),
+            "host.self" => Instr::Host(HostFn::SelfId),
+            "host.time" => Instr::Host(HostFn::Time),
+            "host.log" => Instr::Host(HostFn::Log),
+            "host.abort" => Instr::Host(HostFn::Abort),
+            other => return Err(aerr(lineno, format!("unknown mnemonic {other:?}"))),
+        };
+        code.push(instr);
+    }
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::MemoryHost;
+    use crate::interp::Interpreter;
+    use crate::value::VmValue;
+    use crate::Limits;
+
+    fn exec(src: &str, f: &str, args: Vec<VmValue>) -> VmValue {
+        let m = assemble(src).unwrap();
+        let mut host = MemoryHost::default();
+        Interpreter::new(Limits::default()).execute(&m, f, args, &mut host).unwrap()
+    }
+
+    #[test]
+    fn assembles_and_runs_arithmetic() {
+        let out = exec(
+            "fn main(2) {\n load 0\n load 1\n add\n ret\n}",
+            "main",
+            vec![VmValue::Int(20), VmValue::Int(22)],
+        );
+        assert_eq!(out, VmValue::Int(42));
+    }
+
+    #[test]
+    fn labels_and_jumps() {
+        let src = r#"
+        fn abs(1) {
+            load 0
+            push.i 0
+            lt
+            jz positive
+            push.i 0
+            load 0
+            sub
+            ret
+        positive:
+            load 0
+            ret
+        }
+        "#;
+        assert_eq!(exec(src, "abs", vec![VmValue::Int(-5)]), VmValue::Int(5));
+        assert_eq!(exec(src, "abs", vec![VmValue::Int(7)]), VmValue::Int(7));
+    }
+
+    #[test]
+    fn named_and_inline_constants() {
+        let src = r#"
+        const greeting = "hello "
+        fn greet(1) {
+            push.c greeting
+            load 0
+            concat
+            ret
+        }
+        "#;
+        assert_eq!(exec(src, "greet", vec![VmValue::str("world")]), VmValue::str("hello world"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(parse_string(r#""a\nb""#), Some(b"a\nb".to_vec()));
+        assert_eq!(parse_string(r#""q\"q""#), Some(b"q\"q".to_vec()));
+        assert_eq!(parse_string(r#""\xZZ""#), None);
+        assert_eq!(parse_string(r#""\x41\x00""#), Some(vec![0x41, 0x00]));
+        assert_eq!(parse_string("unquoted"), None);
+    }
+
+    #[test]
+    fn comments_are_ignored_even_with_hash() {
+        let src = "fn f(0) { ; comment after header\n push.i 1 # trailing\n ret\n}\n";
+        assert_eq!(exec(src, "f", vec![]), VmValue::Int(1));
+    }
+
+    #[test]
+    fn semicolon_inside_string_is_kept() {
+        let src = "fn f(0) {\n push.s \"a;b\"\n ret\n}";
+        assert_eq!(exec(src, "f", vec![]), VmValue::str("a;b"));
+    }
+
+    #[test]
+    fn flags_parse() {
+        let m = assemble(
+            "fn r(0) ro det priv {\n unit\n ret\n}\nfn w(0) locals=3 {\n unit\n ret\n}",
+        )
+        .unwrap();
+        let (_, r) = m.function("r").unwrap();
+        assert!(r.read_only && r.deterministic && !r.public);
+        let (_, w) = m.function("w").unwrap();
+        assert_eq!(w.locals, 3);
+        assert!(w.public);
+    }
+
+    #[test]
+    fn cross_function_calls_resolve_forward() {
+        let src = r#"
+        fn main(0) {
+            push.i 5
+            call double
+            ret
+        }
+        fn double(1) {
+            load 0
+            push.i 2
+            mul
+            ret
+        }
+        "#;
+        assert_eq!(exec(src, "main", vec![]), VmValue::Int(10));
+    }
+
+    #[test]
+    fn host_calls_assemble() {
+        let src = r#"
+        fn put_get(0) {
+            push.s "k"
+            push.s "v"
+            host.put
+            pop
+            push.s "k"
+            host.get
+            ret
+        }
+        "#;
+        assert_eq!(exec(src, "put_get", vec![]), VmValue::str("v"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("fn f(0) {\n bogus\n ret\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("fn f(0) {\n jmp nowhere\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("const x 5\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn unterminated_body_is_error() {
+        let e = assemble("fn f(0) {\n ret\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        // read-only function with a put must be rejected.
+        let e = assemble(
+            "fn bad(0) ro {\n push.s \"k\"\n push.s \"v\"\n host.put\n ret\n}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("read-only"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let e = assemble("fn a(0) {\n ret\n}\nfn a(0) {\n ret\n}").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn trap_assembles() {
+        let m = assemble("fn t(0) {\n trap \"boom\"\n}").unwrap();
+        let mut host = MemoryHost::default();
+        let err = Interpreter::new(Limits::default())
+            .execute(&m, "t", vec![], &mut host)
+            .unwrap_err();
+        assert_eq!(err, crate::interp::VmError::Trap("boom".into()));
+    }
+}

@@ -1,0 +1,350 @@
+//! The instruction set and module format.
+//!
+//! A [`Module`] is the deployable unit — the paper's "object type holds a
+//! set of functions in a format specific to the implementation" (§3). It
+//! carries a constant pool (byte strings) and a list of functions, each with
+//! declared arity, local count, and the `read_only` / `deterministic` flags
+//! the consistency machinery relies on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::VmValue;
+
+/// Identifier of a host call reachable from untrusted code.
+///
+/// This enum *is* the attack surface: nothing else crosses the sandbox
+/// boundary. It mirrors the paper's object API — key-value access on the
+/// object's own fields, list/collection helpers, cross-object invocation
+/// and a handful of utilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostFn {
+    /// `(key: bytes) -> bytes | unit` — read a field of this object.
+    Get,
+    /// `(key: bytes, value) -> unit` — write a field of this object.
+    Put,
+    /// `(key: bytes) -> unit` — delete a field of this object.
+    Delete,
+    /// `(field: bytes, value) -> unit` — append to a keyed collection.
+    Push,
+    /// `(field: bytes, limit: int, newest_first: int) -> list` — scan a
+    /// keyed collection.
+    Scan,
+    /// `(field: bytes) -> int` — number of entries in a keyed collection.
+    Count,
+    /// `(object: bytes, method: bytes, args: list) -> value` — invoke a
+    /// method of another object (commits this invocation's writes first,
+    /// per §3.1).
+    Invoke,
+    /// `(objects: list<bytes>, method: bytes, args: list) -> list` —
+    /// scatter one call to many objects **in parallel** (the paper's
+    /// parallel `store_post` fan-out, §3.2). Commits this invocation's
+    /// writes first, like [`HostFn::Invoke`].
+    InvokeMany,
+    /// `() -> bytes` — the id of the current object.
+    SelfId,
+    /// `() -> int` — wall-clock milliseconds (from the host, so cached
+    /// deterministic functions must not use it; the validator enforces
+    /// this).
+    Time,
+    /// `(msg: bytes) -> unit` — debug logging.
+    Log,
+    /// `(reason: bytes) -> !` — abort the invocation; all writes discard.
+    Abort,
+}
+
+impl HostFn {
+    /// Number of arguments popped from the stack.
+    pub fn arg_count(self) -> usize {
+        match self {
+            HostFn::Get | HostFn::Delete | HostFn::Count | HostFn::Log | HostFn::Abort => 1,
+            HostFn::Put | HostFn::Push => 2,
+            HostFn::Scan | HostFn::Invoke | HostFn::InvokeMany => 3,
+            HostFn::SelfId | HostFn::Time => 0,
+        }
+    }
+
+    /// True when the call can change object state (directly or via another
+    /// object). Read-only functions may not contain these.
+    pub fn is_mutating(self) -> bool {
+        matches!(
+            self,
+            HostFn::Put | HostFn::Delete | HostFn::Push | HostFn::Invoke | HostFn::InvokeMany
+        )
+    }
+
+    /// True when the call's result can differ across executions with
+    /// identical object state. Deterministic (cacheable) functions may not
+    /// contain these.
+    pub fn is_nondeterministic(self) -> bool {
+        matches!(self, HostFn::Time)
+    }
+}
+
+/// One VM instruction. The machine is a classic operand-stack design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Push an integer literal.
+    PushInt(i64),
+    /// Push a boolean literal.
+    PushBool(bool),
+    /// Push `Unit`.
+    PushUnit,
+    /// Push constant-pool entry `idx` as bytes.
+    PushConst(u32),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the top two stack slots.
+    Swap,
+    /// Push a copy of local `idx` (parameters are locals `0..arity`).
+    Load(u16),
+    /// Pop into local `idx`.
+    Store(u16),
+    /// Integer addition (traps on overflow).
+    Add,
+    /// Integer subtraction (traps on overflow).
+    Sub,
+    /// Integer multiplication (traps on overflow).
+    Mul,
+    /// Integer division (traps on divide-by-zero/overflow).
+    Div,
+    /// Integer remainder (traps on divide-by-zero).
+    Mod,
+    /// Equality on any two values; pushes a bool.
+    Eq,
+    /// `a < b` on ints or bytes; pushes a bool.
+    Lt,
+    /// `a <= b` on ints or bytes; pushes a bool.
+    Le,
+    /// Logical negation of truthiness.
+    Not,
+    /// Concatenate two bytes values.
+    Concat,
+    /// Length of bytes or list, as int.
+    Len,
+    /// Convert an int to its 8-byte little-endian encoding.
+    IntToBytes,
+    /// Convert bytes (≤ 8, little-endian) or `Unit` (= 0) to an int.
+    BytesToInt,
+    /// Pop `n` values, push a list (first-pushed becomes element 0).
+    MakeList(u16),
+    /// `(list, idx) -> value` — list indexing (traps out of bounds).
+    Index,
+    /// `(list, value) -> list` — functional append.
+    Append,
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop; jump when falsy.
+    JumpIfFalse(u32),
+    /// Call module function `idx`; its arity is popped off the stack.
+    Call(u32),
+    /// Return the top of stack (or `Unit` if empty).
+    Ret,
+    /// Invoke a host function.
+    Host(HostFn),
+    /// Abort with a constant-pool message (sugar over `Host(Abort)`).
+    Trap(u32),
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionDef {
+    /// Method name, unique within the module.
+    pub name: String,
+    /// Number of parameters (stored in the first locals).
+    pub arity: u8,
+    /// Total local slots, including parameters.
+    pub locals: u16,
+    /// Declared read-only: validated to contain no mutating host calls;
+    /// eligible to run on backup replicas (§4.2.1).
+    pub read_only: bool,
+    /// Declared deterministic: validated to contain no nondeterministic
+    /// host calls; results are eligible for the consistent cache (§4.2.2).
+    pub deterministic: bool,
+    /// Whether external clients may invoke this method (`pub` in the
+    /// paper's Listing 1); non-public methods are only callable from other
+    /// methods.
+    pub public: bool,
+    /// The code.
+    pub code: Vec<Instr>,
+}
+
+/// A deployable bundle of functions plus their constant pool.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Module {
+    /// Byte-string constants referenced by `PushConst`/`Trap`.
+    pub constants: Vec<Vec<u8>>,
+    /// The functions, in call-index order.
+    pub functions: Vec<FunctionDef>,
+}
+
+impl Module {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<(u32, &FunctionDef)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (i as u32, f))
+    }
+
+    /// Intern a constant, returning its pool index.
+    pub fn intern(&mut self, bytes: impl Into<Vec<u8>>) -> u32 {
+        let bytes = bytes.into();
+        if let Some(i) = self.constants.iter().position(|c| *c == bytes) {
+            return i as u32;
+        }
+        self.constants.push(bytes);
+        (self.constants.len() - 1) as u32
+    }
+
+    /// Serialized size estimate (for network-transfer cost modelling).
+    pub fn approx_bytes(&self) -> usize {
+        let consts: usize = self.constants.iter().map(|c| c.len() + 8).sum();
+        let code: usize =
+            self.functions.iter().map(|f| f.name.len() + 16 + f.code.len() * 6).sum();
+        consts + code
+    }
+
+    /// Total instruction count across all functions.
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+/// Builder-style helper for constructing modules programmatically (tests
+/// and native shims use this; application code uses the [assembler]).
+///
+/// [assembler]: crate::assembler
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Start an empty module.
+    pub fn new() -> Self {
+        ModuleBuilder::default()
+    }
+
+    /// Add a function and return `self` for chaining.
+    pub fn function(mut self, def: FunctionDef) -> Self {
+        self.module.functions.push(def);
+        self
+    }
+
+    /// Intern a constant.
+    pub fn constant(&mut self, bytes: impl Into<Vec<u8>>) -> u32 {
+        self.module.intern(bytes)
+    }
+
+    /// Finish, returning the module (not yet validated).
+    pub fn build(self) -> Module {
+        self.module
+    }
+}
+
+/// Convert a [`VmValue`] list into call arguments, tolerating a bare value.
+pub fn args_from_value(v: VmValue) -> Vec<VmValue> {
+    match v {
+        VmValue::List(items) => items,
+        VmValue::Unit => Vec::new(),
+        other => vec![other],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_fn_arg_counts_cover_all_variants() {
+        // A change to HostFn must update arg_count; spot check them all.
+        let all = [
+            HostFn::Get,
+            HostFn::Put,
+            HostFn::Delete,
+            HostFn::Push,
+            HostFn::Scan,
+            HostFn::Count,
+            HostFn::Invoke,
+            HostFn::InvokeMany,
+            HostFn::SelfId,
+            HostFn::Time,
+            HostFn::Log,
+            HostFn::Abort,
+        ];
+        for f in all {
+            assert!(f.arg_count() <= 3);
+        }
+        assert_eq!(HostFn::Invoke.arg_count(), 3);
+        assert_eq!(HostFn::SelfId.arg_count(), 0);
+    }
+
+    #[test]
+    fn mutating_and_deterministic_classification() {
+        assert!(HostFn::Put.is_mutating());
+        assert!(HostFn::Push.is_mutating());
+        assert!(HostFn::Invoke.is_mutating());
+        assert!(!HostFn::Get.is_mutating());
+        assert!(!HostFn::Scan.is_mutating());
+        assert!(HostFn::Time.is_nondeterministic());
+        assert!(!HostFn::Get.is_nondeterministic());
+    }
+
+    #[test]
+    fn intern_dedups() {
+        let mut m = Module::default();
+        let a = m.intern(b"hello".to_vec());
+        let b = m.intern(b"world".to_vec());
+        let a2 = m.intern(b"hello".to_vec());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(m.constants.len(), 2);
+    }
+
+    #[test]
+    fn function_lookup_by_name() {
+        let m = ModuleBuilder::new()
+            .function(FunctionDef {
+                name: "first".into(),
+                arity: 0,
+                locals: 0,
+                read_only: true,
+                deterministic: true,
+                public: true,
+                code: vec![Instr::Ret],
+            })
+            .function(FunctionDef {
+                name: "second".into(),
+                arity: 2,
+                locals: 3,
+                read_only: false,
+                deterministic: false,
+                public: false,
+                code: vec![Instr::Ret],
+            })
+            .build();
+        assert_eq!(m.function("second").unwrap().0, 1);
+        assert!(m.function("missing").is_none());
+        assert_eq!(m.instruction_count(), 2);
+    }
+
+    #[test]
+    fn args_from_value_shapes() {
+        assert_eq!(args_from_value(VmValue::Unit), Vec::<VmValue>::new());
+        assert_eq!(args_from_value(VmValue::Int(1)), vec![VmValue::Int(1)]);
+        assert_eq!(
+            args_from_value(VmValue::List(vec![VmValue::Int(1), VmValue::Int(2)])),
+            vec![VmValue::Int(1), VmValue::Int(2)]
+        );
+    }
+
+    #[test]
+    fn approx_bytes_positive() {
+        let mut m = Module::default();
+        m.intern(b"0123456789".to_vec());
+        assert!(m.approx_bytes() >= 10);
+    }
+}

@@ -1,0 +1,378 @@
+//! Static validation of modules before they are accepted for deployment.
+//!
+//! Like a WebAssembly validator, this runs once at upload time so the
+//! interpreter can rely on structural well-formedness. Beyond stack
+//! discipline it enforces the two *semantic* contracts the storage system
+//! depends on:
+//!
+//! * **read-only** functions contain no mutating host calls, so the
+//!   scheduler may run them concurrently and on backup replicas (§4.2.1);
+//! * **deterministic** functions contain no nondeterministic host calls, so
+//!   their results are safe to serve from the consistent cache (§4.2.2).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::bytecode::{FunctionDef, Instr, Module};
+
+/// Maximum operand-stack depth a function may require.
+pub const MAX_STACK_DEPTH: usize = 1024;
+/// Maximum local slots.
+pub const MAX_LOCALS: u16 = 4096;
+
+/// A validation failure, with enough context to debug the module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function in which the problem was found (empty for module-level).
+    pub function: String,
+    /// Instruction index, when applicable.
+    pub at: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(pc) => write!(f, "function {:?} at {}: {}", self.function, pc, self.message),
+            None => write!(f, "function {:?}: {}", self.function, self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err(function: &str, at: Option<usize>, message: impl Into<String>) -> ValidateError {
+    ValidateError { function: function.to_string(), at, message: message.into() }
+}
+
+/// Validate a whole module.
+///
+/// # Errors
+/// Returns the first [`ValidateError`] found.
+pub fn validate_module(module: &Module) -> Result<(), ValidateError> {
+    let mut seen = std::collections::HashSet::new();
+    for f in &module.functions {
+        if !seen.insert(f.name.as_str()) {
+            return Err(err(&f.name, None, "duplicate function name"));
+        }
+    }
+    for f in &module.functions {
+        validate_function(module, f)?;
+    }
+    Ok(())
+}
+
+/// Validate one function.
+///
+/// # Errors
+/// Returns the first [`ValidateError`] found.
+pub fn validate_function(module: &Module, f: &FunctionDef) -> Result<(), ValidateError> {
+    if (f.locals as usize) < f.arity as usize {
+        return Err(err(&f.name, None, "locals must cover parameters"));
+    }
+    if f.locals > MAX_LOCALS {
+        return Err(err(&f.name, None, format!("more than {MAX_LOCALS} locals")));
+    }
+
+    // Semantic flags first — the cheap and important checks.
+    for (pc, instr) in f.code.iter().enumerate() {
+        if let Instr::Host(hf) = instr {
+            if f.read_only && hf.is_mutating() {
+                return Err(err(
+                    &f.name,
+                    Some(pc),
+                    format!("read-only function uses mutating host call {hf:?}"),
+                ));
+            }
+            if f.deterministic && hf.is_nondeterministic() {
+                return Err(err(
+                    &f.name,
+                    Some(pc),
+                    format!("deterministic function uses nondeterministic host call {hf:?}"),
+                ));
+            }
+        }
+    }
+
+    // Reference checks.
+    for (pc, instr) in f.code.iter().enumerate() {
+        match instr {
+            Instr::PushConst(i) | Instr::Trap(i)
+                if *i as usize >= module.constants.len() => {
+                    return Err(err(&f.name, Some(pc), format!("constant {i} out of range")));
+                }
+            Instr::Load(i) | Instr::Store(i)
+                if *i >= f.locals.max(f.arity as u16) => {
+                    return Err(err(&f.name, Some(pc), format!("local {i} out of range")));
+                }
+            Instr::Jump(t) | Instr::JumpIfFalse(t)
+                if *t as usize > f.code.len() => {
+                    return Err(err(&f.name, Some(pc), format!("jump target {t} out of range")));
+                }
+            Instr::Call(i)
+                if *i as usize >= module.functions.len() => {
+                    return Err(err(&f.name, Some(pc), format!("function {i} out of range")));
+                }
+            _ => {}
+        }
+    }
+
+    // Abstract stack-depth analysis over the control-flow graph. Every
+    // reachable pc must have a single consistent stack depth.
+    let mut depth_at: Vec<Option<isize>> = vec![None; f.code.len() + 1];
+    let mut work = VecDeque::new();
+    depth_at[0] = Some(0);
+    work.push_back(0usize);
+    while let Some(pc) = work.pop_front() {
+        if pc >= f.code.len() {
+            continue; // falling off the end is an implicit ret
+        }
+        let depth = depth_at[pc].expect("queued pcs have depth");
+        let (pops, pushes, nexts): (isize, isize, Vec<usize>) = match &f.code[pc] {
+            Instr::PushInt(_)
+            | Instr::PushBool(_)
+            | Instr::PushUnit
+            | Instr::PushConst(_)
+            | Instr::Load(_) => (0, 1, vec![pc + 1]),
+            Instr::Dup => (1, 2, vec![pc + 1]),
+            Instr::Pop | Instr::Store(_) => (1, 0, vec![pc + 1]),
+            Instr::Swap => (2, 2, vec![pc + 1]),
+            Instr::Add
+            | Instr::Sub
+            | Instr::Mul
+            | Instr::Div
+            | Instr::Mod
+            | Instr::Eq
+            | Instr::Lt
+            | Instr::Le
+            | Instr::Concat
+            | Instr::Index
+            | Instr::Append => (2, 1, vec![pc + 1]),
+            Instr::Not | Instr::Len | Instr::IntToBytes | Instr::BytesToInt => {
+                (1, 1, vec![pc + 1])
+            }
+            Instr::MakeList(n) => (*n as isize, 1, vec![pc + 1]),
+            Instr::Jump(t) => (0, 0, vec![*t as usize]),
+            Instr::JumpIfFalse(t) => (1, 0, vec![*t as usize, pc + 1]),
+            Instr::Call(i) => {
+                let arity = module.functions[*i as usize].arity as isize;
+                (arity, 1, vec![pc + 1])
+            }
+            Instr::Ret => (0, 0, vec![]), // consumes whatever is there
+            // Abort never returns; it terminates the invocation.
+            Instr::Host(crate::bytecode::HostFn::Abort) => (1, 0, vec![]),
+            Instr::Host(hf) => (hf.arg_count() as isize, 1, vec![pc + 1]),
+            Instr::Trap(_) => (0, 0, vec![]),
+        };
+        if depth < pops {
+            return Err(err(
+                &f.name,
+                Some(pc),
+                format!("stack underflow: depth {depth}, needs {pops}"),
+            ));
+        }
+        let new_depth = depth - pops + pushes;
+        if new_depth as usize > MAX_STACK_DEPTH {
+            return Err(err(&f.name, Some(pc), "stack depth exceeds limit"));
+        }
+        for next in nexts {
+            match depth_at[next] {
+                None => {
+                    depth_at[next] = Some(new_depth);
+                    work.push_back(next);
+                }
+                Some(existing) if existing != new_depth => {
+                    return Err(err(
+                        &f.name,
+                        Some(next),
+                        format!(
+                            "inconsistent stack depth: {existing} vs {new_depth} on merge"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{HostFn, ModuleBuilder};
+
+    fn func(name: &str, code: Vec<Instr>) -> FunctionDef {
+        FunctionDef {
+            name: name.into(),
+            arity: 0,
+            locals: 2,
+            read_only: false,
+            deterministic: false,
+            public: true,
+            code,
+        }
+    }
+
+    #[test]
+    fn accepts_wellformed_function() {
+        let m = ModuleBuilder::new()
+            .function(func(
+                "ok",
+                vec![
+                    Instr::PushInt(1),
+                    Instr::PushInt(2),
+                    Instr::Add,
+                    Instr::Store(0),
+                    Instr::Load(0),
+                    Instr::Ret,
+                ],
+            ))
+            .build();
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let m = ModuleBuilder::new().function(func("bad", vec![Instr::Add])).build();
+        let e = validate_module(&m).unwrap_err();
+        assert!(e.message.contains("underflow"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_jump_target() {
+        let m = ModuleBuilder::new().function(func("bad", vec![Instr::Jump(99)])).build();
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_constant_and_local() {
+        let m = ModuleBuilder::new().function(func("c", vec![Instr::PushConst(0)])).build();
+        assert!(validate_module(&m).is_err());
+        let m = ModuleBuilder::new()
+            .function(func("l", vec![Instr::Load(50), Instr::Ret]))
+            .build();
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_call_index() {
+        let m = ModuleBuilder::new().function(func("c", vec![Instr::Call(7)])).build();
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_merge_depth() {
+        // One path pushes 1 value, the other 2, merging at the same pc.
+        let m = ModuleBuilder::new()
+            .function(func(
+                "merge",
+                vec![
+                    /* 0 */ Instr::PushBool(true),
+                    /* 1 */ Instr::JumpIfFalse(4),
+                    /* 2 */ Instr::PushInt(1),
+                    /* 3 */ Instr::Jump(6),
+                    /* 4 */ Instr::PushInt(1),
+                    /* 5 */ Instr::PushInt(2),
+                    /* 6 */ Instr::Ret,
+                ],
+            ))
+            .build();
+        let e = validate_module(&m).unwrap_err();
+        assert!(e.message.contains("inconsistent"), "{e}");
+    }
+
+    #[test]
+    fn read_only_rejects_mutations() {
+        for hf in [HostFn::Put, HostFn::Delete, HostFn::Push, HostFn::Invoke] {
+            let mut builder = ModuleBuilder::new();
+            let c = builder.constant(b"k".to_vec());
+            let mut code = vec![Instr::PushConst(c); hf.arg_count()];
+            code.push(Instr::Host(hf));
+            code.push(Instr::Ret);
+            let mut f = func("ro", code);
+            f.read_only = true;
+            let m = builder.function(f).build();
+            let e = validate_module(&m).unwrap_err();
+            assert!(e.message.contains("read-only"), "{hf:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn read_only_accepts_reads() {
+        let mut builder = ModuleBuilder::new();
+        let c = builder.constant(b"k".to_vec());
+        let mut f = func(
+            "ro",
+            vec![Instr::PushConst(c), Instr::Host(HostFn::Get), Instr::Ret],
+        );
+        f.read_only = true;
+        let m = builder.function(f).build();
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn deterministic_rejects_time() {
+        let mut f = func("det", vec![Instr::Host(HostFn::Time), Instr::Ret]);
+        f.deterministic = true;
+        let m = ModuleBuilder::new().function(f).build();
+        let e = validate_module(&m).unwrap_err();
+        assert!(e.message.contains("nondeterministic"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_function_names() {
+        let m = ModuleBuilder::new()
+            .function(func("dup", vec![Instr::Ret]))
+            .function(func("dup", vec![Instr::Ret]))
+            .build();
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_locals_smaller_than_arity() {
+        let f = FunctionDef {
+            name: "bad".into(),
+            arity: 3,
+            locals: 1,
+            read_only: false,
+            deterministic: false,
+            public: true,
+            code: vec![Instr::Ret],
+        };
+        let m = ModuleBuilder::new().function(f).build();
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn loop_with_consistent_depth_is_accepted() {
+        let m = ModuleBuilder::new()
+            .function(func(
+                "loopy",
+                vec![
+                    /* 0 */ Instr::PushInt(10),
+                    /* 1 */ Instr::Store(0),
+                    /* 2 */ Instr::Load(0),
+                    /* 3 */ Instr::JumpIfFalse(9),
+                    /* 4 */ Instr::Load(0),
+                    /* 5 */ Instr::PushInt(1),
+                    /* 6 */ Instr::Sub,
+                    /* 7 */ Instr::Store(0),
+                    /* 8 */ Instr::Jump(2),
+                    /* 9 */ Instr::PushUnit,
+                    /* 10 */ Instr::Ret,
+                ],
+            ))
+            .build();
+        validate_module(&m).unwrap();
+    }
+
+    #[test]
+    fn error_display_contains_location() {
+        let m = ModuleBuilder::new().function(func("where", vec![Instr::Pop])).build();
+        let e = validate_module(&m).unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("where") && s.contains("0"), "{s}");
+    }
+}

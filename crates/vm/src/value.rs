@@ -1,0 +1,335 @@
+//! Dynamically-typed values flowing through the VM, host calls and
+//! cross-object invocations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A VM value: the argument/result type of every LambdaObjects method.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum VmValue {
+    /// Absence of a value (also the return of a fall-through function).
+    #[default]
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Byte string (also used for UTF-8 text).
+    Bytes(Vec<u8>),
+    /// Ordered list of values.
+    List(Vec<VmValue>),
+}
+
+impl VmValue {
+    /// UTF-8 convenience constructor.
+    pub fn str(s: impl Into<String>) -> VmValue {
+        VmValue::Bytes(s.into().into_bytes())
+    }
+
+    /// Approximate heap footprint, used for VM memory metering.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            VmValue::Unit | VmValue::Bool(_) | VmValue::Int(_) => 16,
+            VmValue::Bytes(b) => 24 + b.len(),
+            VmValue::List(items) => {
+                24 + items.iter().map(VmValue::approx_bytes).sum::<usize>()
+            }
+        }
+    }
+
+    /// View as an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            VmValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// View as a boolean. Integers coerce C-style (0 = false) because the
+    /// comparison opcodes produce ints.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            VmValue::Bool(b) => Some(*b),
+            VmValue::Int(v) => Some(*v != 0),
+            _ => None,
+        }
+    }
+
+    /// View as bytes.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            VmValue::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// View as a list.
+    pub fn as_list(&self) -> Option<&[VmValue]> {
+        match self {
+            VmValue::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Lossy UTF-8 view of a bytes value.
+    pub fn as_str_lossy(&self) -> Option<String> {
+        self.as_bytes().map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// Truthiness used by conditional jumps.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            VmValue::Unit => false,
+            VmValue::Bool(b) => *b,
+            VmValue::Int(v) => *v != 0,
+            VmValue::Bytes(b) => !b.is_empty(),
+            VmValue::List(items) => !items.is_empty(),
+        }
+    }
+
+    /// Name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            VmValue::Unit => "unit",
+            VmValue::Bool(_) => "bool",
+            VmValue::Int(_) => "int",
+            VmValue::Bytes(_) => "bytes",
+            VmValue::List(_) => "list",
+        }
+    }
+
+    /// Compact binary encoding, stable across versions; used wherever a
+    /// value must live inside a storage cell or travel over the simulated
+    /// network.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            VmValue::Unit => out.push(0),
+            VmValue::Bool(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            VmValue::Int(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            VmValue::Bytes(b) => {
+                out.push(3);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            VmValue::List(items) => {
+                out.push(4);
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<VmValue> {
+        let (v, used) = Self::decode_from(buf)?;
+        if used == buf.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn decode_from(buf: &[u8]) -> Option<(VmValue, usize)> {
+        let (&tag, rest) = buf.split_first()?;
+        match tag {
+            0 => Some((VmValue::Unit, 1)),
+            1 => {
+                let &b = rest.first()?;
+                Some((VmValue::Bool(b != 0), 2))
+            }
+            2 => {
+                let v = i64::from_le_bytes(rest.get(..8)?.try_into().ok()?);
+                Some((VmValue::Int(v), 9))
+            }
+            3 => {
+                let len = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+                let data = rest.get(4..4 + len)?;
+                Some((VmValue::Bytes(data.to_vec()), 5 + len))
+            }
+            4 => {
+                let count = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+                let mut pos = 5;
+                let mut items = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let (item, used) = Self::decode_from(buf.get(pos..)?)?;
+                    items.push(item);
+                    pos += used;
+                }
+                Some((VmValue::List(items), pos))
+            }
+            _ => None,
+        }
+    }
+}
+
+
+impl fmt::Display for VmValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmValue::Unit => write!(f, "()"),
+            VmValue::Bool(b) => write!(f, "{b}"),
+            VmValue::Int(v) => write!(f, "{v}"),
+            VmValue::Bytes(b) => match std::str::from_utf8(b) {
+                Ok(s) => write!(f, "{s:?}"),
+                Err(_) => {
+                    write!(f, "0x")?;
+                    for x in b {
+                        write!(f, "{x:02x}")?;
+                    }
+                    Ok(())
+                }
+            },
+            VmValue::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for VmValue {
+    fn from(v: i64) -> Self {
+        VmValue::Int(v)
+    }
+}
+
+impl From<bool> for VmValue {
+    fn from(v: bool) -> Self {
+        VmValue::Bool(v)
+    }
+}
+
+impl From<Vec<u8>> for VmValue {
+    fn from(v: Vec<u8>) -> Self {
+        VmValue::Bytes(v)
+    }
+}
+
+impl From<&str> for VmValue {
+    fn from(v: &str) -> Self {
+        VmValue::str(v)
+    }
+}
+
+impl From<Vec<VmValue>> for VmValue {
+    fn from(v: Vec<VmValue>) -> Self {
+        VmValue::List(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<VmValue> {
+        vec![
+            VmValue::Unit,
+            VmValue::Bool(true),
+            VmValue::Bool(false),
+            VmValue::Int(0),
+            VmValue::Int(-1),
+            VmValue::Int(i64::MAX),
+            VmValue::Bytes(Vec::new()),
+            VmValue::Bytes(b"hello".to_vec()),
+            VmValue::List(vec![]),
+            VmValue::List(vec![
+                VmValue::Int(1),
+                VmValue::str("two"),
+                VmValue::List(vec![VmValue::Bool(true)]),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for v in samples() {
+            assert_eq!(VmValue::decode(&v.encode()), Some(v.clone()), "round trip for {v}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = VmValue::Int(7).encode();
+        enc.push(0);
+        assert!(VmValue::decode(&enc).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        for v in samples() {
+            let enc = v.encode();
+            for cut in 0..enc.len() {
+                assert!(VmValue::decode(&enc[..cut]).is_none(), "cut={cut} of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert!(VmValue::decode(&[9]).is_none());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!VmValue::Unit.is_truthy());
+        assert!(!VmValue::Int(0).is_truthy());
+        assert!(VmValue::Int(-3).is_truthy());
+        assert!(!VmValue::Bytes(vec![]).is_truthy());
+        assert!(VmValue::str("x").is_truthy());
+        assert!(!VmValue::List(vec![]).is_truthy());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(VmValue::Int(5).as_int(), Some(5));
+        assert_eq!(VmValue::Bool(true).as_int(), None);
+        assert_eq!(VmValue::Int(1).as_bool(), Some(true));
+        assert_eq!(VmValue::str("ab").as_bytes(), Some(&b"ab"[..]));
+        assert_eq!(VmValue::str("ab").as_str_lossy().as_deref(), Some("ab"));
+        assert!(VmValue::List(vec![VmValue::Unit]).as_list().is_some());
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_content() {
+        let small = VmValue::Bytes(vec![0; 8]).approx_bytes();
+        let big = VmValue::Bytes(vec![0; 8000]).approx_bytes();
+        assert!(big > small + 7000);
+        let list = VmValue::List(vec![VmValue::Int(1); 100]).approx_bytes();
+        assert!(list >= 100 * 16);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VmValue::Int(3).to_string(), "3");
+        assert_eq!(VmValue::str("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            VmValue::List(vec![VmValue::Int(1), VmValue::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(VmValue::Unit.to_string(), "()");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the VM: value-codec round-trips, validator
+//! robustness on arbitrary bytecode, and the interpreter's safety promise —
+//! validated modules never panic or escape their resource limits.
+
+use proptest::prelude::*;
+
+use lambda_vm::host::MemoryHost;
+use lambda_vm::{
+    validate_module, FunctionDef, Instr, Interpreter, Limits, Module, VmValue,
+};
+
+fn value_strategy() -> impl Strategy<Value = VmValue> {
+    let leaf = prop_oneof![
+        Just(VmValue::Unit),
+        any::<bool>().prop_map(VmValue::Bool),
+        any::<i64>().prop_map(VmValue::Int),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(VmValue::Bytes),
+    ];
+    leaf.prop_recursive(3, 32, 8, |inner| {
+        proptest::collection::vec(inner, 0..8).prop_map(VmValue::List)
+    })
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    use lambda_vm::bytecode::HostFn;
+    prop_oneof![
+        any::<i64>().prop_map(Instr::PushInt),
+        any::<bool>().prop_map(Instr::PushBool),
+        Just(Instr::PushUnit),
+        (0u32..4).prop_map(Instr::PushConst),
+        Just(Instr::Dup),
+        Just(Instr::Pop),
+        Just(Instr::Swap),
+        (0u16..6).prop_map(Instr::Load),
+        (0u16..6).prop_map(Instr::Store),
+        Just(Instr::Add),
+        Just(Instr::Sub),
+        Just(Instr::Mul),
+        Just(Instr::Div),
+        Just(Instr::Mod),
+        Just(Instr::Eq),
+        Just(Instr::Lt),
+        Just(Instr::Le),
+        Just(Instr::Not),
+        Just(Instr::Concat),
+        Just(Instr::Len),
+        Just(Instr::IntToBytes),
+        Just(Instr::BytesToInt),
+        (0u16..4).prop_map(Instr::MakeList),
+        Just(Instr::Index),
+        Just(Instr::Append),
+        (0u32..24).prop_map(Instr::Jump),
+        (0u32..24).prop_map(Instr::JumpIfFalse),
+        Just(Instr::Ret),
+        prop_oneof![
+            Just(HostFn::Get),
+            Just(HostFn::Put),
+            Just(HostFn::Push),
+            Just(HostFn::Scan),
+            Just(HostFn::Count),
+            Just(HostFn::SelfId),
+            Just(HostFn::Time),
+            Just(HostFn::Log),
+        ]
+        .prop_map(Instr::Host),
+        (0u32..4).prop_map(Instr::Trap),
+    ]
+}
+
+fn arbitrary_module() -> impl Strategy<Value = Module> {
+    (
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..4),
+        proptest::collection::vec(instr_strategy(), 0..24),
+    )
+        .prop_map(|(constants, code)| Module {
+            constants,
+            functions: vec![FunctionDef {
+                name: "fuzz".into(),
+                arity: 1,
+                locals: 6,
+                read_only: false,
+                deterministic: false,
+                public: true,
+                code,
+            }],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn value_codec_round_trips(v in value_strategy()) {
+        let encoded = v.encode();
+        prop_assert_eq!(VmValue::decode(&encoded), Some(v));
+    }
+
+    #[test]
+    fn value_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = VmValue::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn validator_never_panics(module in arbitrary_module()) {
+        let _ = validate_module(&module); // accept or reject, never panic
+    }
+
+    #[test]
+    fn validated_modules_execute_safely(module in arbitrary_module()) {
+        // The interpreter contract: anything the validator accepts runs to
+        // an Ok/Err outcome within its limits — no panics, no runaway.
+        if validate_module(&module).is_ok() {
+            let interp = Interpreter::new(Limits::tiny());
+            let mut host = MemoryHost::default();
+            let _ = interp.execute(&module, "fuzz", vec![VmValue::Int(3)], &mut host);
+        }
+    }
+
+    #[test]
+    fn fuel_bounds_instruction_count(n in 1u64..500) {
+        // A straight-line program of n pushes + pops; fuel == n means the
+        // program is cut off before finishing, fuel >= 2n+1 lets it finish.
+        let mut code = Vec::new();
+        for _ in 0..n {
+            code.push(Instr::PushInt(1));
+            code.push(Instr::Pop);
+        }
+        code.push(Instr::Ret);
+        let module = Module {
+            constants: vec![],
+            functions: vec![FunctionDef {
+                name: "line".into(),
+                arity: 0,
+                locals: 0,
+                read_only: false,
+                deterministic: false,
+                public: true,
+                code,
+            }],
+        };
+        validate_module(&module).unwrap();
+        let mut host = MemoryHost::default();
+        let starved = Interpreter::new(Limits { fuel: n, memory_bytes: 1 << 20, call_depth: 4 })
+            .execute(&module, "line", vec![], &mut host);
+        prop_assert!(starved.is_err(), "n instructions of fuel cannot finish 2n+1 instructions");
+        let fed = Interpreter::new(Limits { fuel: 2 * n + 3, memory_bytes: 1 << 20, call_depth: 4 })
+            .execute(&module, "line", vec![], &mut host);
+        prop_assert!(fed.is_ok());
+    }
+}

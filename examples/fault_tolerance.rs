@@ -1,0 +1,119 @@
+//! Fault tolerance (§4.2.1): kill the primary of a replica set under a
+//! live workload and watch the Paxos-replicated coordinator detect the
+//! failure, promote a backup, bump the fencing epoch, and notify
+//! participants — while no acknowledged write is lost.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use std::error::Error;
+use std::time::{Duration, Instant};
+
+use lambdaobjects::objects::{FieldDef, FieldKind, ObjectId};
+use lambdaobjects::store::{AggregatedCluster, ClusterConfig};
+use lambdaobjects::vm::{assemble, VmValue};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = ClusterConfig {
+        heartbeat_timeout: Duration::from_millis(500),
+        ..ClusterConfig::default()
+    };
+    println!("booting cluster (3-way replication, 500ms failure detector)...");
+    let cluster = AggregatedCluster::build(config)?;
+    let client = cluster.client();
+
+    let module = assemble(
+        r#"
+        fn append(1) {
+            push.s "log"
+            load 0
+            host.push
+            pop
+            push.s "log"
+            host.count
+            ret
+        }
+        fn count(0) ro det {
+            push.s "log"
+            host.count
+            ret
+        }
+        "#,
+    )?;
+    client.deploy_type(
+        "Journal",
+        vec![FieldDef { name: "log".into(), kind: FieldKind::Collection }],
+        &module,
+    )?;
+    let journal = ObjectId::from("journal/ops");
+    client.create_object("Journal", &journal, &[])?;
+
+    // Write a batch of entries; each is replicated to both backups before
+    // the call returns.
+    let mut acked: i64 = 0;
+    for i in 0..25 {
+        client.invoke(&journal, "append", vec![VmValue::str(format!("entry-{i}"))], false)?;
+        acked += 1;
+    }
+    client.refresh();
+    let (_, info) = client.placement().locate(&journal).expect("placed");
+    println!("{acked} entries acknowledged; primary is node-{} (epoch {})", info.primary.0, info.epoch);
+
+    // Crash the primary.
+    let primary_idx = cluster
+        .core
+        .storage
+        .iter()
+        .position(|n| n.id() == info.primary)
+        .expect("primary exists");
+    println!("crashing node-{}...", info.primary.0);
+    cluster.core.kill_storage_node(primary_idx);
+
+    // Keep writing: the client retries until the coordinator reconfigures.
+    let t = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut failover = None;
+    while failover.is_none() {
+        match client.invoke(
+            &journal,
+            "append",
+            vec![VmValue::str(format!("entry-{acked}"))],
+            false,
+        ) {
+            Ok(_) => {
+                acked += 1;
+                failover = Some(t.elapsed());
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50))
+            }
+            Err(e) => return Err(format!("failover never completed: {e}").into()),
+        }
+    }
+    client.refresh();
+    let (_, new_info) = client.placement().locate(&journal).expect("placed");
+    println!(
+        "failover completed in {:?}: new primary node-{} (epoch {} -> {})",
+        failover.expect("measured"),
+        new_info.primary.0,
+        info.epoch,
+        new_info.epoch
+    );
+    assert_ne!(new_info.primary, info.primary);
+
+    // Every acknowledged entry survived.
+    let count = client.invoke(&journal, "count", vec![], true)?.as_int().unwrap();
+    assert_eq!(count, acked, "acknowledged writes must survive the failover");
+    println!("all {count} acknowledged entries survived; epoch fencing prevents the dead primary from committing");
+
+    // Writes continue normally on the new configuration.
+    for i in 0..10 {
+        client.invoke(&journal, "append", vec![VmValue::str(format!("post-failover-{i}"))], false)?;
+    }
+    println!("10 more entries committed on the new primary");
+
+    cluster.shutdown();
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Serializable multi-call transactions — the paper's future-work
+//! extension (§3.1: "future versions of the LambdaObjects model will
+//! support serializable transactions spanning multiple function calls"),
+//! implemented here with strict two-phase locking inside the storage node.
+//!
+//! Demonstrates: atomic cross-object transfers, all-or-nothing aborts, and
+//! a read snapshot consistent across the whole transaction — contrasted
+//! with the weaker per-invocation guarantees of plain nested calls.
+//!
+//! ```sh
+//! cargo run --release --example transactions
+//! ```
+
+use std::error::Error;
+
+use lambdaobjects::objects::{FieldDef, FieldKind, InvokeError, ObjectId, TxCall};
+use lambdaobjects::store::{AggregatedCluster, ClusterConfig};
+use lambdaobjects::vm::{assemble, VmValue};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("booting LambdaStore cluster...");
+    let cluster = AggregatedCluster::build(ClusterConfig::default())?;
+    let client = cluster.client();
+
+    let module = assemble(
+        r#"
+        fn add(1) locals=2 {
+            push.s "balance"
+            host.get
+            btoi
+            load 0
+            add
+            store 1
+            push.s "balance"
+            load 1
+            itob
+            host.put
+            pop
+            load 1
+            ret
+        }
+        fn sub_checked(1) locals=2 {
+            push.s "balance"
+            host.get
+            btoi
+            store 1
+            load 1
+            load 0
+            lt
+            jz ok
+            push.s "insufficient funds"
+            host.abort
+        ok:
+            push.s "balance"
+            load 1
+            load 0
+            sub
+            itob
+            host.put
+            pop
+            unit
+            ret
+        }
+        fn balance(0) ro det {
+            push.s "balance"
+            host.get
+            btoi
+            ret
+        }
+        "#,
+    )?;
+    client.deploy_type(
+        "Account",
+        vec![FieldDef { name: "balance".into(), kind: FieldKind::Scalar }],
+        &module,
+    )?;
+
+    let checking = ObjectId::from("acct/checking");
+    let savings = ObjectId::from("acct/savings");
+    let fees = ObjectId::from("acct/fees");
+    for id in [&checking, &savings, &fees] {
+        client.create_object("Account", id, &[])?;
+    }
+    client.invoke(&checking, "add", vec![VmValue::Int(500)], false)?;
+    println!("checking: 500, savings: 0, fees: 0");
+
+    // 1. An atomic three-way transfer: move 200 to savings and pay a 5
+    //    fee, as ONE transaction — no interleaving invocation can ever see
+    //    the money in flight.
+    let results = client.transact(vec![
+        TxCall::new(checking.clone(), "sub_checked", vec![VmValue::Int(205)]),
+        TxCall::new(savings.clone(), "add", vec![VmValue::Int(200)]),
+        TxCall::new(fees.clone(), "add", vec![VmValue::Int(5)]),
+        TxCall::new(checking.clone(), "balance", vec![]),
+    ])?;
+    println!(
+        "transfer committed atomically; checking balance inside the tx: {}",
+        results[3]
+    );
+
+    // 2. All-or-nothing: the second call overdraws, so the first call's
+    //    write must roll back too.
+    let err = client
+        .transact(vec![
+            TxCall::new(savings.clone(), "add", vec![VmValue::Int(1_000_000)]),
+            TxCall::new(checking.clone(), "sub_checked", vec![VmValue::Int(999_999)]),
+        ])
+        .unwrap_err();
+    assert!(matches!(err, InvokeError::Aborted(_)));
+    println!("overdraft transaction aborted: {err}");
+
+    let check = |id: &ObjectId| -> Result<i64, Box<dyn Error>> {
+        Ok(client.invoke(id, "balance", vec![], true)?.as_int().unwrap())
+    };
+    let (c, s, f) = (check(&checking)?, check(&savings)?, check(&fees)?);
+    println!("final balances — checking: {c}, savings: {s}, fees: {f}");
+    assert_eq!((c, s, f), (295, 200, 5), "atomicity held");
+    assert_eq!(c + s + f, 500, "money conserved");
+
+    // 3. Read consistency: a transaction of pure reads sees one snapshot.
+    let snap = client.transact(vec![
+        TxCall::new(checking.clone(), "balance", vec![]),
+        TxCall::new(savings.clone(), "balance", vec![]),
+        TxCall::new(fees.clone(), "balance", vec![]),
+    ])?;
+    let total: i64 = snap.iter().map(|v| v.as_int().unwrap()).sum();
+    println!("consistent snapshot across three objects sums to {total}");
+    assert_eq!(total, 500);
+
+    cluster.shutdown();
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! # lambdaobjects
+//!
+//! A from-scratch reproduction of *LambdaObjects: Re-Aggregating Storage
+//! and Execution for Cloud Computing* (Mast, Arpaci-Dusseau,
+//! Arpaci-Dusseau — HotStorage '22).
+//!
+//! This facade crate re-exports the whole system; see the README for the
+//! architecture tour and DESIGN.md for the paper-to-module map.
+//!
+//! * [`kv`] — LSM storage engine (LevelDB substitute)
+//! * [`vm`] — sandboxed, metered bytecode runtime (WebAssembly substitute)
+//! * [`net`] — simulated cluster network + RPC (CloudLab substitute)
+//! * [`paxos`] — consensus for the coordination service
+//! * [`coordinator`] — membership, shard map, failure detection
+//! * [`objects`] — **the paper's contribution**: the LambdaObjects model
+//! * [`store`] — the three architectures (aggregated / disaggregated /
+//!   conventional serverless)
+//! * [`retwis`] — the evaluation application + workload generator
+//!
+//! # Quickstart
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use lambdaobjects::objects::{Engine, EngineConfig, ObjectId, ObjectType, TypeRegistry};
+//! use lambdaobjects::vm::{assemble, VmValue};
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join(format!("lambdaobjects-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let db = lambdaobjects::kv::Db::open(&dir, lambdaobjects::kv::Options::default())?;
+//! let types = Arc::new(TypeRegistry::new());
+//! types.register(ObjectType::from_module(
+//!     "Counter",
+//!     vec![],
+//!     assemble(
+//!         r#"
+//!         fn bump(0) locals=1 {
+//!             push.s "n"
+//!             host.get
+//!             btoi
+//!             push.i 1
+//!             add
+//!             store 0
+//!             push.s "n"
+//!             load 0
+//!             itob
+//!             host.put
+//!             pop
+//!             load 0
+//!             ret
+//!         }
+//!         "#,
+//!     )?,
+//! )?);
+//! let engine = Engine::new(db, types, EngineConfig::default());
+//! let id = ObjectId::from("counter/1");
+//! engine.create_object("Counter", &id, &[])?;
+//! assert_eq!(engine.invoke(&id, "bump", vec![])?, VmValue::Int(1));
+//! assert_eq!(engine.invoke(&id, "bump", vec![])?, VmValue::Int(2));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lambda_coordinator as coordinator;
+pub use lambda_kv as kv;
+pub use lambda_net as net;
+pub use lambda_objects as objects;
+pub use lambda_paxos as paxos;
+pub use lambda_retwis as retwis;
+pub use lambda_store as store;
+pub use lambda_vm as vm;

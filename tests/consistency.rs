@@ -1,0 +1,271 @@
+//! Cross-crate integration: the consistency claims of the paper, verified
+//! end-to-end through the full stack (client → RPC → node → engine → VM →
+//! KV → replication).
+//!
+//! The centerpiece contrasts the two architectures under write contention:
+//! the aggregated design's invocation linearizability keeps a concurrent
+//! counter exact, while the disaggregated baseline — "no consistency
+//! guarantees" (§5) — loses updates.
+
+
+use lambdaobjects::objects::{FieldDef, FieldKind, ObjectId};
+use lambdaobjects::store::{
+    ids, AggregatedCluster, ClusterConfig, DisaggregatedCluster, StoreRequest, StoreResponse,
+};
+use lambdaobjects::vm::{assemble, Module, VmValue};
+
+fn counter_module() -> Module {
+    assemble(
+        r#"
+        ; A read-modify-write increment: the classic lost-update probe.
+        fn increment(0) locals=1 {
+            push.s "n"
+            host.get
+            btoi
+            push.i 1
+            add
+            store 0
+            push.s "n"
+            load 0
+            itob
+            host.put
+            pop
+            load 0
+            ret
+        }
+        fn read(0) ro det {
+            push.s "n"
+            host.get
+            btoi
+            ret
+        }
+        "#,
+    )
+    .expect("counter module")
+}
+
+fn fields() -> Vec<FieldDef> {
+    vec![FieldDef { name: "n".into(), kind: FieldKind::Scalar }]
+}
+
+const THREADS: usize = 8;
+const INCREMENTS: usize = 30;
+
+#[test]
+fn aggregated_concurrent_increments_are_exact() {
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Counter", fields(), &counter_module()).unwrap();
+    let id = ObjectId::from("counter/shared");
+    client.create_object("Counter", &id, &[]).unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let client = client.clone();
+            let id = id.clone();
+            scope.spawn(move || {
+                for _ in 0..INCREMENTS {
+                    client.invoke(&id, "increment", vec![], false).unwrap();
+                }
+            });
+        }
+    });
+
+    let n = client.invoke(&id, "read", vec![], true).unwrap();
+    assert_eq!(
+        n,
+        VmValue::Int((THREADS * INCREMENTS) as i64),
+        "invocation linearizability: every increment must be preserved"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn disaggregated_concurrent_increments_lose_updates() {
+    let cluster = DisaggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    let compute = ids::COMPUTE;
+    client
+        .raw(
+            compute,
+            &StoreRequest::DeployType {
+                name: "Counter".into(),
+                fields: fields(),
+                module: counter_module(),
+            },
+        )
+        .unwrap();
+    client
+        .raw(
+            compute,
+            &StoreRequest::CreateObject {
+                type_name: "Counter".into(),
+                object: b"counter/shared".to_vec(),
+                fields: vec![],
+            },
+        )
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let client = client.clone();
+            scope.spawn(move || {
+                for _ in 0..INCREMENTS {
+                    let req = StoreRequest::Invoke {
+                        object: b"counter/shared".to_vec(),
+                        method: "increment".into(),
+                        args: vec![],
+                        read_only: false,
+                        internal: false,
+                    };
+                    client.raw(compute, &req).unwrap();
+                }
+            });
+        }
+    });
+
+    let read = StoreRequest::Invoke {
+        object: b"counter/shared".to_vec(),
+        method: "read".into(),
+        args: vec![],
+        read_only: true,
+        internal: false,
+    };
+    let n = match client.raw(compute, &read).unwrap() {
+        StoreResponse::Value(VmValue::Int(n)) => n,
+        other => panic!("unexpected {other:?}"),
+    };
+    let expected = (THREADS * INCREMENTS) as i64;
+    assert!(n <= expected, "counter can never exceed the attempt count");
+    assert!(
+        n < expected,
+        "the no-consistency baseline must lose updates under contention \
+         (got {n} of {expected}; if this ever flakes the baseline has \
+         accidentally become consistent)"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn causality_block_then_post_scenario() {
+    // §2's motivating example: "a user might unfriend (or even block)
+    // another user and expect that any post they create after this will
+    // not be visible to that party." With a followers list, the analogous
+    // property: a follower removed before a post never receives it.
+    let module = assemble(
+        r#"
+        fn follow(1) {
+            push.s "followers"
+            load 0
+            host.push
+            ret
+        }
+        ; Remove every follower (simplified block-all).
+        fn block_all(0) locals=2 {
+            push.s "followers"
+            host.count
+            store 0
+            push.s "removed"
+            load 0
+            itob
+            host.put
+            pop
+            push.s "blocked"
+            push.s "yes"
+            host.put
+            ret
+        }
+        fn create_post(1) locals=4 {
+            ; Only fan out when not blocked (reads its own committed state —
+            ; the real-time guarantee makes the preceding block visible).
+            push.s "blocked"
+            host.get
+            jz fanout
+            unit
+            ret
+        fanout:
+            push.s "followers"
+            push.i 1000000
+            push.i 0
+            host.scan
+            store 1
+            load 1
+            len
+            store 2
+            push.i 0
+            store 3
+        loop:
+            load 3
+            load 2
+            lt
+            jz done
+            load 1
+            load 3
+            index
+            push.s "store_post"
+            load 0
+            mklist 1
+            host.invoke
+            pop
+            load 3
+            push.i 1
+            add
+            store 3
+            jmp loop
+        done:
+            unit
+            ret
+        }
+        fn store_post(1) priv {
+            push.s "timeline"
+            load 0
+            host.push
+            ret
+        }
+        fn timeline_len(0) ro det {
+            push.s "timeline"
+            host.count
+            ret
+        }
+        "#,
+    )
+    .unwrap();
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client
+        .deploy_type(
+            "User",
+            vec![
+                FieldDef { name: "followers".into(), kind: FieldKind::Collection },
+                FieldDef { name: "timeline".into(), kind: FieldKind::Collection },
+                FieldDef { name: "blocked".into(), kind: FieldKind::Scalar },
+            ],
+            &module,
+        )
+        .unwrap();
+    let author = ObjectId::from("u/author");
+    let stalker = ObjectId::from("u/stalker");
+    client.create_object("User", &author, &[]).unwrap();
+    client.create_object("User", &stalker, &[]).unwrap();
+    client
+        .invoke(&author, "follow", vec![VmValue::Bytes(stalker.0.clone())], false)
+        .unwrap();
+
+    // Post while followed: delivered.
+    client.invoke(&author, "create_post", vec![VmValue::str("public")], false).unwrap();
+    let n = client.invoke(&stalker, "timeline_len", vec![], true).unwrap();
+    assert_eq!(n, VmValue::Int(1));
+
+    // Block, then post. Once block_all returns, the real-time guarantee of
+    // invocation linearizability (§3.1) ensures the following create_post
+    // observes the block — the post must NOT reach the stalker.
+    client.invoke(&author, "block_all", vec![], false).unwrap();
+    client.invoke(&author, "create_post", vec![VmValue::str("private")], false).unwrap();
+    let n = client.invoke(&stalker, "timeline_len", vec![], true).unwrap();
+    assert_eq!(
+        n,
+        VmValue::Int(1),
+        "a post created after blocking must never reach the blocked user"
+    );
+    cluster.shutdown();
+}

