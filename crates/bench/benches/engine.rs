@@ -11,8 +11,7 @@ use lambda_retwis::{account_id, user_type, user_type_native, USER_TYPE};
 use lambda_vm::VmValue;
 
 fn engine_with(ty: lambda_objects::ObjectType, name: &str) -> (Engine, std::path::PathBuf) {
-    let dir =
-        std::env::temp_dir().join(format!("lambda-bench-eng-{}-{name}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("lambda-bench-eng-{}-{name}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let db = Db::open(&dir, Options::default()).unwrap();
     let types = Arc::new(TypeRegistry::new());
@@ -37,16 +36,13 @@ fn bench_invoke_paths(c: &mut Criterion) {
         b.iter(|| engine.invoke(&id, "get_timeline", vec![VmValue::Int(10)]).unwrap())
     });
     let (uncached, dir2) = {
-        let dir = std::env::temp_dir()
-            .join(format!("lambda-bench-eng-{}-uncached", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("lambda-bench-eng-{}-uncached", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let db = Db::open(&dir, Options::default()).unwrap();
         let types = Arc::new(TypeRegistry::new());
         types.register(user_type());
-        (
-            Engine::new(db, types, EngineConfig { cache_capacity: 0, ..EngineConfig::default() }),
-            dir,
-        )
+        (Engine::new(db, types, EngineConfig { cache_capacity: 0, ..EngineConfig::default() }), dir)
     };
     uncached.create_object(USER_TYPE, &id, &[("name", b"bench")]).unwrap();
     for i in 0..10 {
@@ -91,9 +87,7 @@ fn bench_nested_call(c: &mut Criterion) {
     let follower = ObjectId::new(account_id(3));
     engine.create_object(USER_TYPE, &author, &[("name", b"a")]).unwrap();
     engine.create_object(USER_TYPE, &follower, &[("name", b"f")]).unwrap();
-    engine
-        .invoke(&author, "follow", vec![VmValue::Bytes(follower.0.clone())])
-        .unwrap();
+    engine.invoke(&author, "follow", vec![VmValue::Bytes(follower.0.clone())]).unwrap();
     let mut group = c.benchmark_group("engine");
     group.throughput(Throughput::Elements(1));
     group.bench_function("post_with_one_follower", |b| {

@@ -36,9 +36,7 @@ fn bench_dispatch(c: &mut Criterion) {
         Ok(VmValue::Int(ctx.int_arg(0)? + ctx.int_arg(1)?))
     });
     group.bench_function("call_add_native", |b| {
-        b.iter(|| {
-            reg.invoke("add", vec![VmValue::Int(2), VmValue::Int(40)], &mut host).unwrap()
-        })
+        b.iter(|| reg.invoke("add", vec![VmValue::Int(2), VmValue::Int(40)], &mut host).unwrap())
     });
     group.finish();
 }
@@ -73,9 +71,7 @@ fn bench_compute(c: &mut Criterion) {
     let mut group = c.benchmark_group("vm");
     group.bench_function("fib15_bytecode", |b| {
         b.iter(|| {
-            let out = interp
-                .execute(&module, "fib", vec![VmValue::Int(15)], &mut host)
-                .unwrap();
+            let out = interp.execute(&module, "fib", vec![VmValue::Int(15)], &mut host).unwrap();
             assert_eq!(out, VmValue::Int(610));
         })
     });
@@ -148,11 +144,5 @@ fn bench_assemble_validate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dispatch,
-    bench_compute,
-    bench_host_calls,
-    bench_assemble_validate
-);
+criterion_group!(benches, bench_dispatch, bench_compute, bench_host_calls, bench_assemble_validate);
 criterion_main!(benches);

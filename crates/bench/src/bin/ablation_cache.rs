@@ -42,9 +42,7 @@ fn run_case(engine: &Engine, reads: usize, writes_per_100_reads: usize) -> (f64,
                 .unwrap();
             expected_len += 1;
         }
-        let tl = engine
-            .invoke(&id, "get_timeline", vec![VmValue::Int(TIMELINE_LIMIT)])
-            .unwrap();
+        let tl = engine.invoke(&id, "get_timeline", vec![VmValue::Int(TIMELINE_LIMIT)]).unwrap();
         let got = tl.as_list().unwrap().len();
         assert_eq!(
             got,
@@ -63,9 +61,7 @@ fn seed(engine: &Engine) {
     let id = ObjectId::new(account_id(0));
     engine.create_object("User", &id, &[("name", b"u0")]).unwrap();
     for i in 0..TIMELINE_LIMIT {
-        engine
-            .invoke(&id, "create_post", vec![VmValue::str(format!("seed {i}"))])
-            .unwrap();
+        engine.invoke(&id, "create_post", vec![VmValue::str(format!("seed {i}"))]).unwrap();
     }
 }
 

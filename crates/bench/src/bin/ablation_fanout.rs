@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use lambda_bench::{cluster_config, env_usize, ms};
 use lambda_objects::ObjectId;
-use lambda_retwis::{account_id, EndpointBackend, RetwisBackend, AggregatedBackend};
+use lambda_retwis::{account_id, AggregatedBackend, EndpointBackend, RetwisBackend};
 use lambda_store::{ids, AggregatedCluster, DisaggregatedCluster};
 use lambda_vm::VmValue;
 
@@ -108,10 +108,7 @@ fn main() {
 
     // Sanity: the fan-out really delivered posts.
     let check = ObjectId::new(account_id(1));
-    let tl = agg
-        .client
-        .invoke(&check, "get_timeline", vec![VmValue::Int(5)], true)
-        .unwrap();
+    let tl = agg.client.invoke(&check, "get_timeline", vec![VmValue::Int(5)], true).unwrap();
     assert!(!tl.as_list().unwrap().is_empty(), "follower timeline populated");
 
     agg_cluster.shutdown();

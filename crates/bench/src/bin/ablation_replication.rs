@@ -36,12 +36,14 @@ fn main() {
         cluster_cfg.replication_factor = rf;
         let cluster = AggregatedCluster::build(cluster_cfg).expect("cluster");
         let backend = Arc::new(AggregatedBackend { client: cluster.client() });
-        backend.client.deploy_type(
-            lambda_retwis::USER_TYPE,
-            lambda_retwis::user_fields(),
-            &lambda_retwis::user_module(),
-        )
-        .expect("deploy");
+        backend
+            .client
+            .deploy_type(
+                lambda_retwis::USER_TYPE,
+                lambda_retwis::user_fields(),
+                &lambda_retwis::user_module(),
+            )
+            .expect("deploy");
         setup(&backend, &config).expect("setup");
         let result = run(&backend, &config);
         let replications: u64 =

@@ -25,12 +25,7 @@ use lambda_objects::{ObjectId, SchedulerMode};
 use lambda_retwis::{account_id, AggregatedBackend, RetwisBackend};
 use lambda_store::AggregatedCluster;
 
-fn run_case(
-    mode: SchedulerMode,
-    clients: usize,
-    window: Duration,
-    hot: bool,
-) -> (f64, u64, u64) {
+fn run_case(mode: SchedulerMode, clients: usize, window: Duration, hot: bool) -> (f64, u64, u64) {
     let mut config = cluster_config();
     config.engine.scheduler = mode;
     let cluster = AggregatedCluster::build(config).expect("cluster");
@@ -63,13 +58,8 @@ fn run_case(
     // the number of acknowledged posts (each post = 1 commit on it).
     let committed = if hot {
         let id = ObjectId::new(account_id(0));
-        
-        backend
-            .client
-            .invoke(&id, "post_count", vec![], true)
-            .unwrap()
-            .as_int()
-            .unwrap() as u64
+
+        backend.client.invoke(&id, "post_count", vec![], true).unwrap().as_int().unwrap() as u64
     } else {
         total
     };

@@ -11,7 +11,9 @@
 
 use std::sync::Arc;
 
-use lambda_bench::{cluster_config, print_figure1, print_figure2, run_retwis_suite, workload_config};
+use lambda_bench::{
+    cluster_config, print_figure1, print_figure2, run_retwis_suite, workload_config,
+};
 use lambda_retwis::{AggregatedBackend, EndpointBackend};
 use lambda_store::{ids, AggregatedCluster, DisaggregatedCluster};
 
@@ -54,9 +56,6 @@ fn main() {
     println!("\ndiagnostics: disaggregated compute issued {storage_rpcs} storage round-trips");
     for ((op, agg), (_, dis)) in aggregated.per_op.iter().zip(&disaggregated.per_op) {
         let speedup = agg.throughput() / dis.throughput().max(1e-9);
-        println!(
-            "  {:<12} aggregated/disaggregated throughput ratio: {speedup:.2}x",
-            op.name()
-        );
+        println!("  {:<12} aggregated/disaggregated throughput ratio: {speedup:.2}x", op.name());
     }
 }

@@ -24,8 +24,8 @@ use std::time::{Duration, Instant};
 use lambda_bench::{cluster_config, env_f64, env_usize, ms};
 use lambda_objects::ObjectId;
 use lambda_retwis::{
-    account_id, run, setup, user_type_native, AggregatedBackend, EndpointBackend,
-    RetwisBackend, RunResult, WorkloadConfig,
+    account_id, run, setup, user_type_native, AggregatedBackend, EndpointBackend, RetwisBackend,
+    RunResult, WorkloadConfig,
 };
 use lambda_store::{ids, AggregatedCluster, ServerlessCluster};
 
@@ -50,8 +50,7 @@ fn mixed_config() -> WorkloadConfig {
 }
 
 fn utilization_of(cluster: &lambda_store::ClusterCore) -> f64 {
-    let stats: Vec<f64> =
-        cluster.storage.iter().map(|n| n.stats().utilization()).collect();
+    let stats: Vec<f64> = cluster.storage.iter().map(|n| n.stats().utilization()).collect();
     stats.iter().sum::<f64>() / stats.len().max(1) as f64
 }
 
@@ -130,8 +129,7 @@ fn main() {
 
     // --- Conventional serverless -------------------------------------------
     {
-        let cold_start =
-            Duration::from_millis(env_usize("SERVERLESS_COLD_MS", 100) as u64);
+        let cold_start = Duration::from_millis(env_usize("SERVERLESS_COLD_MS", 100) as u64);
         println!("\n[serverless] building gateway cluster (cold start {cold_start:?})...");
         let cluster = ServerlessCluster::build(cluster_config(), cold_start).unwrap();
         let backend = Arc::new(EndpointBackend {

@@ -129,14 +129,7 @@ pub fn print_figure1(aggregated: &ArchResults, disaggregated: &ArchResults) {
         let a = agg.throughput();
         let d = dis.throughput();
         let base = a.max(1e-9);
-        println!(
-            "{:<14} {:>14.0} {:>16.0} {:>12.2} {:>14.2}",
-            op.name(),
-            a,
-            d,
-            a / base,
-            d / base
-        );
+        println!("{:<14} {:>14.0} {:>16.0} {:>12.2} {:>14.2}", op.name(), a, d, a / base, d / base);
     }
     println!(
         "\npaper shape: aggregated >= 2.6x disaggregated on every workload\n\

@@ -22,7 +22,6 @@ pub mod service;
 pub mod state;
 
 pub use service::{
-    CoordClient, CoordConfig, CoordEvent, CoordRequest, CoordResponse, Coordinator,
-    PAXOS_ID_OFFSET,
+    CoordClient, CoordConfig, CoordEvent, CoordRequest, CoordResponse, Coordinator, PAXOS_ID_OFFSET,
 };
 pub use state::{ClusterState, CoordCmd, Epoch, ShardId, ShardInfo, N_SLOTS};

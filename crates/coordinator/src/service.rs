@@ -165,8 +165,7 @@ impl Coordinator {
                 }
                 CoordRequest::Propose { cmd } => {
                     let bytes = wire::to_bytes(&cmd).map_err(|e| e.to_string())?;
-                    let slot =
-                        handler_paxos.propose(bytes).map_err(|e| e.to_string())?;
+                    let slot = handler_paxos.propose(bytes).map_err(|e| e.to_string())?;
                     // Wait until this replica has applied through the slot.
                     let deadline = Instant::now() + Duration::from_secs(2);
                     while handler_paxos.applied_len() <= slot {
@@ -302,8 +301,7 @@ impl CoordClient {
         for &c in &self.coordinators {
             match self.rpc.call(c, body.clone(), self.timeout) {
                 Ok(bytes) => {
-                    return wire::from_bytes(&bytes)
-                        .map_err(|e| RpcError::BadFrame(e.to_string()));
+                    return wire::from_bytes(&bytes).map_err(|e| RpcError::BadFrame(e.to_string()));
                 }
                 Err(e) => last_err = e,
             }
@@ -317,8 +315,7 @@ impl CoordClient {
     /// Propagates RPC failures (all coordinators unreachable). Heartbeats
     /// are sent to *every* coordinator so each replica's detector stays fed.
     pub fn heartbeat(&self, node: NodeId, watch: Option<NodeId>) -> Result<(), RpcError> {
-        let body =
-            wire::to_bytes(&CoordRequest::Heartbeat { node, watch }).expect("serializes");
+        let body = wire::to_bytes(&CoordRequest::Heartbeat { node, watch }).expect("serializes");
         let mut ok = false;
         let mut last_err = RpcError::Timeout;
         for &c in &self.coordinators {
@@ -392,8 +389,7 @@ mod tests {
             .map(|&id| Coordinator::start(&net, id, ids.clone(), fast_config()))
             .collect();
         let client_rpc = RpcNode::start(&net, NodeId(999), Arc::new(|_, _| Ok(vec![])), 1);
-        let client =
-            CoordClient::new(Arc::clone(&client_rpc), ids, Duration::from_secs(2));
+        let client = CoordClient::new(Arc::clone(&client_rpc), ids, Duration::from_secs(2));
         TestCluster { net, coords, client, _client_rpc: client_rpc }
     }
 

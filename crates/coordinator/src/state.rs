@@ -138,11 +138,7 @@ impl ClusterState {
                 }
                 self.shards.insert(
                     *shard,
-                    ShardInfo {
-                        primary: replicas[0],
-                        backups: replicas[1..].to_vec(),
-                        epoch: 1,
-                    },
+                    ShardInfo { primary: replicas[0], backups: replicas[1..].to_vec(), epoch: 1 },
                 );
             }
             CoordCmd::Reconfigure { shard, new_primary, new_backups, expected_epoch } => {
@@ -199,11 +195,7 @@ impl ClusterState {
 
     /// All shards `node` participates in.
     pub fn shards_of_node(&self, node: NodeId) -> Vec<ShardId> {
-        self.shards
-            .iter()
-            .filter(|(_, info)| info.contains(node))
-            .map(|(id, _)| *id)
-            .collect()
+        self.shards.iter().filter(|(_, info)| info.contains(node)).map(|(id, _)| *id).collect()
     }
 
     /// Compute the reconfigurations needed if `dead` fails: for every shard

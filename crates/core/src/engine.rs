@@ -86,6 +86,10 @@ pub struct EngineStats {
 /// Observes every committed write batch — LambdaStore installs a hook that
 /// synchronously replicates the batch to backup replicas (§4.2.1). The hook
 /// runs after the local apply; an error is surfaced to the invoker.
+/// One replicated write set: `(key, Some(value))` puts / `(key, None)`
+/// deletes, as shipped by primary-to-backup replication.
+pub type WriteSetOps = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+
 pub trait CommitHook: Send + Sync {
     /// Called with the object and the operations just committed locally
     /// (`None` value = deletion).
@@ -196,6 +200,47 @@ impl Engine {
                     batch.delete(key.clone());
                 }
             }
+        }
+        self.db.write(batch)?;
+        self.cache.invalidate_keys(keys.into_iter().map(|k| k as &[u8]));
+        Ok(())
+    }
+
+    /// Apply a window of replicated write sets (the backup side of batched
+    /// replication): all entries land in **one** storage batch — atomically
+    /// and in commit order — under exclusive guards for every touched
+    /// object.
+    ///
+    /// Guards are acquired in sorted object order so concurrent window
+    /// appliers cannot deadlock; windows for different shards touch
+    /// disjoint objects anyway, but sorting removes the assumption.
+    ///
+    /// # Errors
+    /// Storage failures (the whole window fails together; nothing applied).
+    pub fn apply_replicated_batch(&self, entries: &[(ObjectId, WriteSetOps)]) -> Result<()> {
+        let mut objects: Vec<&ObjectId> = entries.iter().map(|(o, _)| o).collect();
+        objects.sort();
+        objects.dedup();
+        let _guards: Vec<_> =
+            objects.iter().map(|o| self.scheduler.acquire_exclusive(o, &[])).collect();
+
+        let mut batch = WriteBatch::new();
+        let mut keys: Vec<&[u8]> = Vec::new();
+        for (_, ops) in entries {
+            for (key, value) in ops {
+                keys.push(key);
+                match value {
+                    Some(v) => {
+                        batch.put(key.clone(), v.clone());
+                    }
+                    None => {
+                        batch.delete(key.clone());
+                    }
+                }
+            }
+        }
+        if batch.is_empty() {
+            return Ok(());
         }
         self.db.write(batch)?;
         self.cache.invalidate_keys(keys.into_iter().map(|k| k as &[u8]));
@@ -329,9 +374,8 @@ impl Engine {
             return Err(InvokeError::DepthExceeded);
         }
         let ty = self.object_type(object)?;
-        let meta = ty
-            .method_meta(method)
-            .ok_or_else(|| InvokeError::UnknownMethod(method.to_string()))?;
+        let meta =
+            ty.method_meta(method).ok_or_else(|| InvokeError::UnknownMethod(method.to_string()))?;
         if external && !meta.public {
             return Err(InvokeError::NotPublic(method.to_string()));
         }
@@ -446,9 +490,7 @@ impl Engine {
                         return None;
                     }
                     Some(match op {
-                        lambda_kv::batch::BatchOp::Put { value, .. } => {
-                            (key, Some(value.clone()))
-                        }
+                        lambda_kv::batch::BatchOp::Put { value, .. } => (key, Some(value.clone())),
                         lambda_kv::batch::BatchOp::Delete { .. } => (key, None),
                     })
                 })
@@ -654,8 +696,7 @@ mod tests {
         use std::sync::atomic::AtomicU32;
         static COUNTER: AtomicU32 = AtomicU32::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir()
-            .join(format!("lambda-engine-{}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("lambda-engine-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let db = Db::open(&dir, Options::small_for_tests()).unwrap();
         let types = Arc::new(TypeRegistry::new());
@@ -675,9 +716,7 @@ mod tests {
         env.engine.invoke(&id, "init", vec![]).unwrap();
         let v = env.engine.invoke(&id, "read_count", vec![]).unwrap();
         assert_eq!(v, VmValue::str("0"));
-        env.engine
-            .invoke(&id, "bump_raw", vec![VmValue::str("7")])
-            .unwrap();
+        env.engine.invoke(&id, "bump_raw", vec![VmValue::str("7")]).unwrap();
         let v = env.engine.invoke(&id, "read_count", vec![]).unwrap();
         assert_eq!(v, VmValue::str("7"));
     }
@@ -696,10 +735,7 @@ mod tests {
             Err(InvokeError::AlreadyExists(_))
         ));
         // Initial field visible.
-        assert_eq!(
-            env.engine.invoke(&id, "read_count", vec![]).unwrap(),
-            VmValue::str("5")
-        );
+        assert_eq!(env.engine.invoke(&id, "read_count", vec![]).unwrap(), VmValue::str("5"));
     }
 
     #[test]
@@ -722,15 +758,9 @@ mod tests {
         let env = setup(EngineConfig::default());
         let id = oid("c/1");
         env.engine.create_object("Counter", &id, &[]).unwrap();
-        assert!(matches!(
-            env.engine.invoke(&id, "hidden", vec![]),
-            Err(InvokeError::NotPublic(_))
-        ));
+        assert!(matches!(env.engine.invoke(&id, "hidden", vec![]), Err(InvokeError::NotPublic(_))));
         // Internal path allows it.
-        assert!(env
-            .engine
-            .invoke_with_depth(&id, "hidden", vec![], false, 0)
-            .is_ok());
+        assert!(env.engine.invoke_with_depth(&id, "hidden", vec![], false, 0).is_ok());
     }
 
     #[test]
@@ -755,10 +785,7 @@ mod tests {
         env.engine.create_object("Counter", &id, &[("count", b"ok")]).unwrap();
         let err = env.engine.invoke(&id, "abort_after_write", vec![]).unwrap_err();
         assert_eq!(err, InvokeError::Aborted("rolled back".into()));
-        assert_eq!(
-            env.engine.invoke(&id, "read_count", vec![]).unwrap(),
-            VmValue::str("ok")
-        );
+        assert_eq!(env.engine.invoke(&id, "read_count", vec![]).unwrap(), VmValue::str("ok"));
     }
 
     #[test]
@@ -782,13 +809,8 @@ mod tests {
         let b = oid("c/b");
         env.engine.create_object("Counter", &a, &[("count", b"a0")]).unwrap();
         env.engine.create_object("Counter", &b, &[("count", b"b0")]).unwrap();
-        env.engine
-            .invoke(&a, "poke_other", vec![VmValue::str("c/b"), VmValue::str("b1")])
-            .unwrap();
-        assert_eq!(
-            env.engine.invoke(&b, "read_count", vec![]).unwrap(),
-            VmValue::str("b1")
-        );
+        env.engine.invoke(&a, "poke_other", vec![VmValue::str("c/b"), VmValue::str("b1")]).unwrap();
+        assert_eq!(env.engine.invoke(&b, "read_count", vec![]).unwrap(), VmValue::str("b1"));
         assert_eq!(env.engine.stats().nested_calls, 1);
     }
 
@@ -807,10 +829,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, InvokeError::Vm(_)));
         // The nested call's effect is durable.
-        assert_eq!(
-            env.engine.invoke(&b, "read_count", vec![]).unwrap(),
-            VmValue::str("b9")
-        );
+        assert_eq!(env.engine.invoke(&b, "read_count", vec![]).unwrap(), VmValue::str("b9"));
     }
 
     #[test]
@@ -823,10 +842,7 @@ mod tests {
         env.engine
             .invoke(&a, "write_then_poke", vec![VmValue::str("c/b"), VmValue::str("b1")])
             .unwrap();
-        assert_eq!(
-            env.engine.invoke(&a, "read_count", vec![]).unwrap(),
-            VmValue::str("pre-call")
-        );
+        assert_eq!(env.engine.invoke(&a, "read_count", vec![]).unwrap(), VmValue::str("pre-call"));
     }
 
     #[test]
@@ -838,10 +854,7 @@ mod tests {
         env.engine
             .invoke(&a, "poke_other", vec![VmValue::str("c/a"), VmValue::str("self")])
             .unwrap();
-        assert_eq!(
-            env.engine.invoke(&a, "read_count", vec![]).unwrap(),
-            VmValue::str("self")
-        );
+        assert_eq!(env.engine.invoke(&a, "read_count", vec![]).unwrap(), VmValue::str("self"));
     }
 
     #[test]
@@ -850,10 +863,7 @@ mod tests {
         let id = oid("c/1");
         env.engine.create_object("Counter", &id, &[("count", b"x")]).unwrap();
         for _ in 0..3 {
-            assert_eq!(
-                env.engine.invoke(&id, "read_count", vec![]).unwrap(),
-                VmValue::str("x")
-            );
+            assert_eq!(env.engine.invoke(&id, "read_count", vec![]).unwrap(), VmValue::str("x"));
         }
         let stats = env.engine.stats();
         assert_eq!(stats.cache_hits, 2, "first fills, rest hit");
@@ -885,10 +895,7 @@ mod tests {
         env.engine.create_object("Counter", &b, &[("count", b"0")]).unwrap();
         // poke_other invoking bump_raw is depth 2 — fine. To exercise the
         // limit, call invoke_with_depth with a synthetic deep depth.
-        let err = env
-            .engine
-            .invoke_with_depth(&a, "read_count", vec![], false, 4)
-            .unwrap_err();
+        let err = env.engine.invoke_with_depth(&a, "read_count", vec![], false, 4).unwrap_err();
         assert_eq!(err, InvokeError::DepthExceeded);
     }
 
@@ -905,11 +912,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..25 {
                         engine
-                            .invoke(
-                                &id,
-                                "bump_raw",
-                                vec![VmValue::str(format!("{t}-{i}"))],
-                            )
+                            .invoke(&id, "bump_raw", vec![VmValue::str(format!("{t}-{i}"))])
                             .unwrap();
                     }
                 })
@@ -950,8 +953,7 @@ mod scatter_tests {
     fn scatter_engine() -> (Engine, std::path::PathBuf) {
         static COUNTER: AtomicU32 = AtomicU32::new(0);
         let n = COUNTER.fetch_add(1, AtomicOrdering::Relaxed);
-        let dir =
-            std::env::temp_dir().join(format!("lambda-scatter-{}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("lambda-scatter-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let db = Db::open(&dir, Options::small_for_tests()).unwrap();
         let types = Arc::new(TypeRegistry::new());
@@ -1030,11 +1032,7 @@ mod scatter_tests {
             })
             .collect();
         let results = engine
-            .invoke(
-                &src,
-                "broadcast",
-                vec![VmValue::List(targets), VmValue::str("hello")],
-            )
+            .invoke(&src, "broadcast", vec![VmValue::List(targets), VmValue::str("hello")])
             .unwrap();
         assert_eq!(results.as_list().unwrap().len(), 10, "one result per target");
         for i in 0..10 {
@@ -1051,11 +1049,7 @@ mod scatter_tests {
         let src = oid("n/src");
         engine.create_object("Node", &src, &[]).unwrap();
         let out = engine
-            .invoke(
-                &src,
-                "broadcast",
-                vec![VmValue::List(vec![]), VmValue::str("x")],
-            )
+            .invoke(&src, "broadcast", vec![VmValue::List(vec![]), VmValue::str("x")])
             .unwrap();
         assert_eq!(out.as_list().unwrap().len(), 0);
         std::fs::remove_dir_all(dir).ok();
@@ -1104,6 +1098,5 @@ mod scatter_tests {
             assert_eq!(n, VmValue::Int(1));
         }
         std::fs::remove_dir_all(dir).ok();
-
     }
 }

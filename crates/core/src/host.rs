@@ -161,8 +161,7 @@ impl Host for ObjectHost<'_> {
         self.ensure_writable()?;
         let len = self.collection_len(field)?;
         self.buffer.put(keys::entry_key(&self.object, field, len), value.to_vec());
-        self.buffer
-            .put(keys::counter_key(&self.object, field), keys::encode_counter(len + 1));
+        self.buffer.put(keys::counter_key(&self.object, field), keys::encode_counter(len + 1));
         Ok(())
     }
 
@@ -258,29 +257,24 @@ impl Host for ObjectHost<'_> {
         const FANOUT_WAVE: usize = 8;
         let mut results: Vec<Result<VmValue, HostError>> = Vec::with_capacity(targets.len());
         for wave in targets.chunks(FANOUT_WAVE) {
-            let wave_results: Vec<Result<VmValue, HostError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .map(|target| {
-                            let args = args.clone();
-                            let target = ObjectId::new(target.clone());
-                            scope.spawn(move || {
-                                nested.invoke_nested(&target, method, args, depth)
-                            })
+            let wave_results: Vec<Result<VmValue, HostError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|target| {
+                        let args = args.clone();
+                        let target = ObjectId::new(target.clone());
+                        scope.spawn(move || nested.invoke_nested(&target, method, args, depth))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(HostError::InvokeFailed("fan-out thread panicked".into()))
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| {
-                            h.join().unwrap_or_else(|_| {
-                                Err(HostError::InvokeFailed(
-                                    "fan-out thread panicked".into(),
-                                ))
-                            })
-                        })
-                        .collect()
-                });
+                    })
+                    .collect()
+            });
             results.extend(wave_results);
         }
         if had_guard {
@@ -314,8 +308,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn tmpdb(name: &str) -> (Db, PathBuf) {
-        let dir = std::env::temp_dir()
-            .join(format!("lambda-objhost-{}-{}", name, std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("lambda-objhost-{}-{}", name, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         (Db::open(&dir, Options::small_for_tests()).unwrap(), dir)
     }
@@ -340,8 +334,7 @@ mod tests {
     fn keys_are_scoped_to_the_object() {
         let (db, dir) = tmpdb("scope");
         // Pre-populate another object's field.
-        db.put(keys::field_key(&ObjectId::from("user/2"), b"name"), b"other".to_vec())
-            .unwrap();
+        db.put(keys::field_key(&ObjectId::from("user/2"), b"name"), b"other".to_vec()).unwrap();
         let mut host = ObjectHost::new(&db, oid(), db.last_sequence(), false, false, None, 0, None);
         assert_eq!(host.get(b"name").unwrap(), None, "cannot see other objects");
         std::fs::remove_dir_all(dir).ok();
@@ -424,10 +417,7 @@ mod tests {
     fn invoke_without_engine_fails_cleanly() {
         let (db, dir) = tmpdb("noeng");
         let mut host = ObjectHost::new(&db, oid(), db.last_sequence(), false, false, None, 0, None);
-        assert!(matches!(
-            host.invoke(b"user/2", "m", vec![]),
-            Err(HostError::InvokeFailed(_))
-        ));
+        assert!(matches!(host.invoke(b"user/2", "m", vec![]), Err(HostError::InvokeFailed(_))));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -142,11 +142,7 @@ mod tests {
     #[test]
     fn split_join_round_trip() {
         let oid = id("user/bob");
-        for key in [
-            meta_key(&oid),
-            field_key(&oid, b"name"),
-            entry_key(&oid, b"tl", 123),
-        ] {
+        for key in [meta_key(&oid), field_key(&oid, b"name"), entry_key(&oid, b"tl", 123)] {
             let (got_id, suffix) = split_key(&key).unwrap();
             assert_eq!(got_id, oid);
             assert_eq!(join_key(&got_id, &suffix), key);

@@ -78,12 +78,10 @@ pub mod transaction;
 
 pub use buffer::{value_hash, WriteBuffer};
 pub use cache::{args_hash, CacheStats, ConsistentCache};
-pub use engine::{CommitHook, Engine, EngineConfig, EngineStats, InvokeRouter};
+pub use engine::{CommitHook, Engine, EngineConfig, EngineStats, InvokeRouter, WriteSetOps};
 pub use error::{decode_error, encode_error, InvokeError, Result};
 pub use host::{NestedInvoker, ObjectHost};
 pub use migration::ObjectSnapshot;
-pub use object::{
-    FieldDef, FieldKind, MethodMeta, MethodSet, ObjectId, ObjectType, TypeRegistry,
-};
+pub use object::{FieldDef, FieldKind, MethodMeta, MethodSet, ObjectId, ObjectType, TypeRegistry};
 pub use scheduler::{ObjectGuard, Scheduler, SchedulerMode, SchedulerStats};
 pub use transaction::TxCall;

@@ -112,8 +112,7 @@ mod tests {
     fn new_engine() -> (Engine, std::path::PathBuf) {
         static COUNTER: AtomicU32 = AtomicU32::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir()
-            .join(format!("lambda-migrate-{}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("lambda-migrate-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let db = Db::open(&dir, Options::small_for_tests()).unwrap();
         let types = Arc::new(TypeRegistry::new());
@@ -180,10 +179,7 @@ mod tests {
     #[test]
     fn export_missing_object_fails() {
         let (engine, dir) = new_engine();
-        assert!(matches!(
-            engine.export_object(&oid("ghost")),
-            Err(InvokeError::UnknownObject(_))
-        ));
+        assert!(matches!(engine.export_object(&oid("ghost")), Err(InvokeError::UnknownObject(_))));
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -193,10 +189,7 @@ mod tests {
         let id = oid("user/a");
         engine.create_object("User", &id, &[]).unwrap();
         let snap = engine.export_object(&id).unwrap();
-        assert!(matches!(
-            engine.import_object(&snap),
-            Err(InvokeError::AlreadyExists(_))
-        ));
+        assert!(matches!(engine.import_object(&snap), Err(InvokeError::AlreadyExists(_))));
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -214,5 +207,4 @@ mod tests {
         assert!(engine.object_exists(&id));
         std::fs::remove_dir_all(dir).ok();
     }
-
 }

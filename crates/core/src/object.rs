@@ -121,11 +121,7 @@ impl ObjectType {
         module: Module,
     ) -> std::result::Result<ObjectType, ValidateError> {
         validate_module(&module)?;
-        Ok(ObjectType {
-            name: name.into(),
-            fields,
-            methods: MethodSet::Bytecode(Arc::new(module)),
-        })
+        Ok(ObjectType { name: name.into(), fields, methods: MethodSet::Bytecode(Arc::new(module)) })
     }
 
     /// Create a native-backed type.
@@ -164,9 +160,7 @@ impl ObjectType {
             MethodSet::Bytecode(module) => {
                 module.functions.iter().map(|f| f.name.clone()).collect()
             }
-            MethodSet::Native(reg) => {
-                reg.method_names().into_iter().map(str::to_string).collect()
-            }
+            MethodSet::Native(reg) => reg.method_names().into_iter().map(str::to_string).collect(),
         }
     }
 }
@@ -221,8 +215,8 @@ mod tests {
 
     #[test]
     fn from_module_validates() {
-        let module = assemble("fn get_name(0) ro det {\n push.s \"name\"\n host.get\n ret\n}")
-            .unwrap();
+        let module =
+            assemble("fn get_name(0) ro det {\n push.s \"name\"\n host.get\n ret\n}").unwrap();
         let ty = ObjectType::from_module("User", user_fields(), module).unwrap();
         let meta = ty.method_meta("get_name").unwrap();
         assert!(meta.read_only && meta.deterministic && meta.public);

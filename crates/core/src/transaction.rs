@@ -58,9 +58,7 @@ impl TxHost<'_> {
         if let Some(buffered) = self.buffer.get(full_key) {
             return Ok(buffered);
         }
-        self.db
-            .get_at(full_key, self.snapshot_seq)
-            .map_err(|e| HostError::Storage(e.to_string()))
+        self.db.get_at(full_key, self.snapshot_seq).map_err(|e| HostError::Storage(e.to_string()))
     }
 
     fn ensure_writable(&self) -> std::result::Result<(), HostError> {
@@ -109,11 +107,8 @@ impl Host for TxHost<'_> {
         let len = keys::decode_counter(self.read_key(&ckey)?.as_deref());
         let take = (limit as u64).min(len);
         let mut out = Vec::with_capacity(take as usize);
-        let indices: Vec<u64> = if newest_first {
-            ((len - take)..len).rev().collect()
-        } else {
-            (0..take).collect()
-        };
+        let indices: Vec<u64> =
+            if newest_first { ((len - take)..len).rev().collect() } else { (0..take).collect() };
         for i in indices {
             if let Some(v) = self.read_key(&keys::entry_key(&self.object, field, i))? {
                 out.push(v);
@@ -193,10 +188,8 @@ impl Engine {
         let mut objects: Vec<ObjectId> = calls.iter().map(|c| c.object.clone()).collect();
         objects.sort();
         objects.dedup();
-        let _guards: Vec<_> = objects
-            .iter()
-            .map(|o| self.scheduler().acquire_exclusive(o, &[]))
-            .collect();
+        let _guards: Vec<_> =
+            objects.iter().map(|o| self.scheduler().acquire_exclusive(o, &[])).collect();
 
         // One snapshot + one buffer for the whole transaction.
         let snapshot_seq = self.db().last_sequence();
@@ -234,9 +227,8 @@ impl Engine {
             let written = buffer.written_keys();
             let mut batch = buffer.take_batch();
             for object in &objects {
-                let touched = written
-                    .iter()
-                    .any(|k| keys::split_key(k).is_some_and(|(o, _)| &o == object));
+                let touched =
+                    written.iter().any(|k| keys::split_key(k).is_some_and(|(o, _)| &o == object));
                 if touched {
                     let vkey = keys::version_key(object);
                     let version = self.object_version(object) + 1;
@@ -398,11 +390,7 @@ mod tests {
         engine.create_object("Account", &oid("a"), &[]).unwrap();
         engine.create_object("Account", &oid("b"), &[]).unwrap();
         let err = engine
-            .invoke_transaction(&[TxCall::new(
-                oid("a"),
-                "sneaky_invoke",
-                vec![VmValue::str("b")],
-            )])
+            .invoke_transaction(&[TxCall::new(oid("a"), "sneaky_invoke", vec![VmValue::str("b")])])
             .unwrap_err();
         assert!(matches!(err, InvokeError::Nested(_)), "{err}");
         std::fs::remove_dir_all(dir).ok();
@@ -475,9 +463,8 @@ mod tests {
         let (engine, dir) = new_engine();
         engine.create_object("Account", &oid("a"), &[]).unwrap();
         // balance is ro: executing it inside a tx is fine and writes nothing.
-        let results = engine
-            .invoke_transaction(&[TxCall::new(oid("a"), "balance", vec![])])
-            .unwrap();
+        let results =
+            engine.invoke_transaction(&[TxCall::new(oid("a"), "balance", vec![])]).unwrap();
         assert_eq!(results[0], VmValue::Int(0));
         assert_eq!(engine.object_version(&oid("a")), 0, "no version bump for pure reads");
         std::fs::remove_dir_all(dir).ok();

@@ -123,11 +123,11 @@ proptest! {
             match op {
                 Op::Create(o) => {
                     let result = engine.create_object("Account", &oid(o), &[]);
-                    if model.contains_key(&o) {
-                        prop_assert!(matches!(result, Err(InvokeError::AlreadyExists(_))));
-                    } else {
+                    if let std::collections::hash_map::Entry::Vacant(slot) = model.entry(o) {
                         prop_assert!(result.is_ok());
-                        model.insert(o, ModelObject::default());
+                        slot.insert(ModelObject::default());
+                    } else {
+                        prop_assert!(matches!(result, Err(InvokeError::AlreadyExists(_))));
                     }
                 }
                 Op::Delete(o) => {

@@ -151,15 +151,12 @@ impl WriteBatch {
             let kind = ValueKind::from_u8(kind).ok_or_else(|| corrupt("bad kind"))?;
             let (klen, n) = get_varint32(&buf[pos..]).ok_or_else(|| corrupt("bad klen"))?;
             pos += n;
-            let key = buf
-                .get(pos..pos + klen as usize)
-                .ok_or_else(|| corrupt("truncated key"))?
-                .to_vec();
+            let key =
+                buf.get(pos..pos + klen as usize).ok_or_else(|| corrupt("truncated key"))?.to_vec();
             pos += klen as usize;
             match kind {
                 ValueKind::Put => {
-                    let (vlen, n) =
-                        get_varint32(&buf[pos..]).ok_or_else(|| corrupt("bad vlen"))?;
+                    let (vlen, n) = get_varint32(&buf[pos..]).ok_or_else(|| corrupt("bad vlen"))?;
                     pos += n;
                     let value = buf
                         .get(pos..pos + vlen as usize)

@@ -79,9 +79,9 @@ impl BlockCache {
     pub fn get(&self, table_id: u64, offset: u64) -> Option<DecodedBlock> {
         let mut inner = self.inner.lock();
         let key = (table_id, offset);
-        if let Some((block, _, old_tick)) = inner.map.get(&key).map(|(b, s, t)| {
-            (Arc::clone(b), *s, *t)
-        }) {
+        if let Some((block, _, old_tick)) =
+            inner.map.get(&key).map(|(b, s, t)| (Arc::clone(b), *s, *t))
+        {
             inner.order.remove(&old_tick);
             inner.tick += 1;
             let tick = inner.tick;
@@ -99,8 +99,7 @@ impl BlockCache {
 
     /// Insert a decoded block, evicting LRU entries past the budget.
     pub fn insert(&self, table_id: u64, offset: u64, block: DecodedBlock) {
-        let size: usize =
-            block.iter().map(|(k, v)| k.len() + v.len() + 32).sum::<usize>() + 64;
+        let size: usize = block.iter().map(|(k, v)| k.len() + v.len() + 32).sum::<usize>() + 64;
         if size > self.capacity_bytes {
             return; // larger than the whole cache: skip
         }
@@ -171,11 +170,7 @@ mod tests {
     use super::*;
 
     fn block(n: usize, bytes_each: usize) -> DecodedBlock {
-        Arc::new(
-            (0..n)
-                .map(|i| (format!("k{i}").into_bytes(), vec![0u8; bytes_each]))
-                .collect(),
-        )
+        Arc::new((0..n).map(|i| (format!("k{i}").into_bytes(), vec![0u8; bytes_each])).collect())
     }
 
     #[test]

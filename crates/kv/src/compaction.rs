@@ -246,8 +246,8 @@ mod tests {
     use std::path::{Path, PathBuf};
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("lambda-kv-compact-{}-{}", name, std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("lambda-kv-compact-{}-{}", name, std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -270,7 +270,10 @@ mod tests {
     }
 
     fn put(k: &str, seq: u64) -> (InternalKey, Vec<u8>) {
-        (InternalKey::new(k.as_bytes().to_vec(), seq, ValueKind::Put), format!("v{seq}").into_bytes())
+        (
+            InternalKey::new(k.as_bytes().to_vec(), seq, ValueKind::Put),
+            format!("v{seq}").into_bytes(),
+        )
     }
 
     fn del(k: &str, seq: u64) -> (InternalKey, Vec<u8>) {
@@ -330,10 +333,7 @@ mod tests {
         let res = run_compaction(&mut vs, task, &opts, 2).unwrap();
         assert_eq!(res.entries_out, 2, "both versions kept");
         let out = &vs.current().levels[1][0].table;
-        assert_eq!(
-            out.get(b"a", 2).unwrap(),
-            crate::memtable::LookupResult::Found(b"v1".to_vec())
-        );
+        assert_eq!(out.get(b"a", 2).unwrap(), crate::memtable::LookupResult::Found(b"v1".to_vec()));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -1,13 +1,14 @@
 //! The database object: ties the WAL, memtables, versions and compaction
 //! together behind a thread-safe handle.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::batch::{BatchOp, WriteBatch};
 use crate::block_cache::BlockCache;
@@ -33,6 +34,14 @@ pub struct DbStats {
     pub compactions: AtomicU64,
     /// Payload bytes appended to the WAL.
     pub wal_bytes: AtomicU64,
+    /// Group commits performed (each is one WAL append run + one sync).
+    pub commit_groups: AtomicU64,
+    /// Write batches folded into group commits. Together with
+    /// `commit_groups` this yields the mean group size.
+    pub commit_group_batches: AtomicU64,
+    /// Total microseconds writers spent parked in the commit queue waiting
+    /// for a leader to durably commit their batch.
+    pub commit_stall_micros: AtomicU64,
 }
 
 /// A snapshot of the counters, cheap to copy around.
@@ -48,6 +57,23 @@ pub struct StatsSnapshot {
     pub compactions: u64,
     /// Payload bytes appended to the WAL.
     pub wal_bytes: u64,
+    /// Group commits performed (each is one WAL append run + one sync).
+    pub commit_groups: u64,
+    /// Write batches folded into group commits.
+    pub commit_group_batches: u64,
+    /// Total microseconds writers spent parked in the commit queue.
+    pub commit_stall_micros: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean number of batches per group commit (1.0 when uncontended).
+    pub fn mean_group_size(&self) -> f64 {
+        if self.commit_groups == 0 {
+            0.0
+        } else {
+            self.commit_group_batches as f64 / self.commit_groups as f64
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -62,11 +88,50 @@ struct WriteState {
     wal_number: u64,
 }
 
+/// A writer parked in the commit queue.
+///
+/// The queue implements leader/follower group commit: the writer at the
+/// front of the queue is the leader. It drains every batch queued behind it,
+/// appends them all to the WAL under one sync, assigns sequence numbers in
+/// queue order, then posts each follower its result and promotes the next
+/// queued writer (if any) to leader.
+#[derive(Debug)]
+struct CommitWaiter {
+    state: Mutex<WaiterState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct WaiterState {
+    /// The writer's batch; taken by the leader when it forms a group.
+    batch: Option<WriteBatch>,
+    /// Set when this waiter is promoted to leader of the next group.
+    leader: bool,
+    /// Set (with `result`) once a leader has committed this waiter's batch.
+    done: bool,
+    result: Option<Result<()>>,
+}
+
+impl CommitWaiter {
+    fn new(batch: WriteBatch) -> Self {
+        CommitWaiter {
+            state: Mutex::new(WaiterState {
+                batch: Some(batch),
+                leader: false,
+                done: false,
+                result: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct DbInner {
     dir: PathBuf,
     opts: Options,
     write: Mutex<WriteState>,
+    commit_queue: Mutex<VecDeque<Arc<CommitWaiter>>>,
     mem: RwLock<MemState>,
     versions: Mutex<VersionSet>,
     current: RwLock<Arc<Version>>,
@@ -144,6 +209,7 @@ impl Db {
                 dir,
                 opts,
                 write: Mutex::new(WriteState { wal, wal_number }),
+                commit_queue: Mutex::new(VecDeque::new()),
                 mem: RwLock::new(MemState { active: MemTable::new(), immutable: None }),
                 current: RwLock::new(versions.current()),
                 versions: Mutex::new(versions),
@@ -198,7 +264,10 @@ impl Db {
             let table = Table::open_cached(&path, opts.paranoid_checks, block_cache.clone())?;
             versions.flushed_seq = last_seq;
             versions.log_and_apply(
-                VersionEdit { added: vec![(0, TableHandle::new(number, size, table))], deleted: vec![] },
+                VersionEdit {
+                    added: vec![(0, TableHandle::new(number, size, table))],
+                    deleted: vec![],
+                },
                 last_seq,
             )?;
         }
@@ -212,6 +281,7 @@ impl Db {
             dir,
             opts,
             write: Mutex::new(WriteState { wal, wal_number }),
+            commit_queue: Mutex::new(VecDeque::new()),
             mem: RwLock::new(MemState { active: MemTable::new(), immutable: None }),
             current: RwLock::new(versions.current()),
             versions: Mutex::new(versions),
@@ -248,6 +318,12 @@ impl Db {
     /// Commit a batch atomically: it is wholly visible (and durable in the
     /// WAL) or not at all.
     ///
+    /// Commits go through a group-commit queue: concurrent writers are
+    /// coalesced by a leader into one WAL append run with a single
+    /// `sync`/`flush`, which amortizes the durability cost across the group.
+    /// Sequence numbers are assigned in queue (arrival) order and a batch is
+    /// never visible to readers before it is durable in the WAL.
+    ///
     /// # Errors
     /// Returns [`KvError::InvalidArgument`] for oversized keys and
     /// propagates storage errors.
@@ -268,35 +344,122 @@ impl Db {
             }
         }
 
-        let mut ws = self.inner.write.lock();
-        let start_seq = self.inner.last_seq.load(Ordering::Acquire) + 1;
-        let payload = batch.encode(start_seq);
-        ws.wal.append(&payload)?;
-        if self.inner.opts.sync_wal {
-            ws.wal.sync()?;
-        } else {
-            ws.wal.flush()?;
+        // Enqueue; the writer at the front of the queue leads the next group.
+        let waiter = Arc::new(CommitWaiter::new(batch));
+        let is_leader = {
+            let mut queue = self.inner.commit_queue.lock();
+            queue.push_back(Arc::clone(&waiter));
+            queue.len() == 1
+        };
+
+        if !is_leader {
+            // Follower: park until a leader commits our batch, or promotes
+            // us to lead the next group.
+            let parked = Instant::now();
+            let mut st = waiter.state.lock();
+            while !st.done && !st.leader {
+                waiter.cv.wait(&mut st);
+            }
+            let result = if st.done {
+                Some(st.result.take().expect("done waiter has a result"))
+            } else {
+                None
+            };
+            drop(st);
+            self.inner
+                .stats
+                .commit_stall_micros
+                .fetch_add(parked.elapsed().as_micros() as u64, Ordering::Relaxed);
+            if let Some(result) = result {
+                return result;
+            }
+            // Promoted: fall through and lead the next group.
         }
-        self.inner.stats.wal_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+
+        self.lead_commit(&waiter)
+    }
+
+    /// Lead one group commit. `own` must be the front of the commit queue.
+    fn lead_commit(&self, own: &Arc<CommitWaiter>) -> Result<()> {
+        let mut ws = self.inner.write.lock();
+
+        // Form the group: every writer queued up to now, in arrival order.
+        // Members stay in the queue until their result is posted, so writers
+        // arriving mid-commit queue behind them as followers. With group
+        // commit disabled (ABL-GROUPCOMMIT `off`) the leader commits only
+        // its own batch; queued writers are promoted one at a time, which
+        // degenerates to per-batch append + sync under the write lock.
+        let group: Vec<Arc<CommitWaiter>> = if self.inner.opts.group_commit {
+            self.inner.commit_queue.lock().iter().cloned().collect()
+        } else {
+            vec![Arc::clone(own)]
+        };
+        debug_assert!(!group.is_empty() && Arc::ptr_eq(&group[0], own));
+
+        // Assign sequence numbers in queue order.
+        let first_seq = self.inner.last_seq.load(Ordering::Acquire) + 1;
+        let mut next_seq = first_seq;
+        let mut batches: Vec<(WriteBatch, SeqNo)> = Vec::with_capacity(group.len());
+        for w in &group {
+            let batch = w.state.lock().batch.take().expect("queued waiter has a batch");
+            let seq = next_seq;
+            next_seq += batch.len() as u64;
+            batches.push((batch, seq));
+        }
+
+        // One WAL append run and a single sync for the whole group.
+        let appended: Result<u64> = (|| {
+            let mut bytes = 0u64;
+            for (batch, seq) in &batches {
+                let payload = batch.encode(*seq);
+                ws.wal.append(&payload)?;
+                bytes += payload.len() as u64;
+            }
+            if self.inner.opts.sync_wal {
+                ws.wal.sync()?;
+            } else {
+                ws.wal.flush()?;
+            }
+            Ok(bytes)
+        })();
+
+        let bytes = match appended {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // The whole group fails: nothing was applied, so no state
+                // advances and every writer sees an error.
+                self.finish_group(&group, Some(&e));
+                drop(ws);
+                return Err(e);
+            }
+        };
 
         {
             let mut mem = self.inner.mem.write();
-            for (i, op) in batch.iter().enumerate() {
-                let seq = start_seq + i as u64;
-                match op {
-                    BatchOp::Put { key, value } => {
-                        mem.active.insert(key.clone(), seq, ValueKind::Put, value.clone());
-                    }
-                    BatchOp::Delete { key } => {
-                        mem.active.insert(key.clone(), seq, ValueKind::Deletion, Vec::new());
+            for (batch, start) in &batches {
+                for (i, op) in batch.iter().enumerate() {
+                    let seq = start + i as u64;
+                    match op {
+                        BatchOp::Put { key, value } => {
+                            mem.active.insert(key.clone(), seq, ValueKind::Put, value.clone());
+                        }
+                        BatchOp::Delete { key } => {
+                            mem.active.insert(key.clone(), seq, ValueKind::Deletion, Vec::new());
+                        }
                     }
                 }
             }
         }
-        self.inner
-            .last_seq
-            .store(start_seq + batch.len() as u64 - 1, Ordering::Release);
-        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.last_seq.store(next_seq - 1, Ordering::Release);
+        let stats = &self.inner.stats;
+        stats.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        stats.writes.fetch_add(group.len() as u64, Ordering::Relaxed);
+        stats.commit_groups.fetch_add(1, Ordering::Relaxed);
+        stats.commit_group_batches.fetch_add(group.len() as u64, Ordering::Relaxed);
+
+        // Wake followers before the (possibly slow) flush below: their
+        // batches are durable and visible, so they need not wait for it.
+        self.finish_group(&group, None);
 
         let needs_flush =
             self.inner.mem.read().active.approximate_bytes() >= self.inner.opts.memtable_bytes;
@@ -308,6 +471,30 @@ impl Db {
             self.maybe_compact()?;
         }
         Ok(())
+    }
+
+    /// Pop the finished group off the queue, post each member its result and
+    /// promote the next queued writer (if any) to lead the following group.
+    fn finish_group(&self, group: &[Arc<CommitWaiter>], err: Option<&KvError>) {
+        let mut queue = self.inner.commit_queue.lock();
+        for w in group {
+            let popped = queue.pop_front().expect("group members stay queued until finished");
+            debug_assert!(Arc::ptr_eq(&popped, w));
+            let mut st = popped.state.lock();
+            st.done = true;
+            st.result = Some(match err {
+                None => Ok(()),
+                Some(e) => {
+                    Err(KvError::Io(std::io::Error::other(format!("group commit failed: {e}"))))
+                }
+            });
+            drop(st);
+            popped.cv.notify_one();
+        }
+        if let Some(next) = queue.front() {
+            next.state.lock().leader = true;
+            next.cv.notify_one();
+        }
     }
 
     /// Read the newest committed value for `key`.
@@ -537,6 +724,9 @@ impl Db {
             flushes: s.flushes.load(Ordering::Relaxed),
             compactions: s.compactions.load(Ordering::Relaxed),
             wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
+            commit_groups: s.commit_groups.load(Ordering::Relaxed),
+            commit_group_batches: s.commit_group_batches.load(Ordering::Relaxed),
+            commit_stall_micros: s.commit_stall_micros.load(Ordering::Relaxed),
         }
     }
 
@@ -572,8 +762,7 @@ impl Db {
             .iter()
             .flatten()
             .filter(|f| {
-                f.table.smallest.user.as_slice() < hi
-                    && f.table.largest.user.as_slice() >= start
+                f.table.smallest.user.as_slice() < hi && f.table.largest.user.as_slice() >= start
             })
             .map(|f| f.size)
             .sum()
@@ -653,10 +842,7 @@ mod tests {
     fn rejects_empty_and_giant_keys() {
         let dir = tmpdir("validate");
         let db = Db::open(&dir, Options::small_for_tests()).unwrap();
-        assert!(matches!(
-            db.put(Vec::new(), b"v".to_vec()),
-            Err(KvError::InvalidArgument(_))
-        ));
+        assert!(matches!(db.put(Vec::new(), b"v".to_vec()), Err(KvError::InvalidArgument(_))));
         assert!(matches!(
             db.put(vec![0u8; MAX_KEY_LEN + 1], b"v".to_vec()),
             Err(KvError::InvalidArgument(_))
@@ -785,11 +971,8 @@ mod tests {
         let db = Db::open(&dir, opts).unwrap();
         for round in 0..5 {
             for i in 0..300 {
-                db.put(
-                    format!("key-{i:05}").into_bytes(),
-                    format!("round-{round}").into_bytes(),
-                )
-                .unwrap();
+                db.put(format!("key-{i:05}").into_bytes(), format!("round-{round}").into_bytes())
+                    .unwrap();
             }
         }
         db.compact_all().unwrap();
@@ -887,6 +1070,92 @@ mod tests {
         }
         let stats = db.block_cache_stats().expect("cache configured");
         assert!(stats.hits > 0, "repeat reads must hit the block cache: {stats:?}");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn group_commit_counts_every_batch() {
+        let dir = tmpdir("groupstats");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let writers: Vec<_> = (0..8)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        db.put(format!("w{t}-{i:03}").into_bytes(), b"v".to_vec()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.writes, 400);
+        assert_eq!(s.commit_group_batches, 400);
+        assert!(s.commit_groups > 0 && s.commit_groups <= 400);
+        assert!(s.mean_group_size() >= 1.0);
+        for t in 0..8 {
+            for i in 0..50 {
+                assert!(db.get(format!("w{t}-{i:03}").as_bytes()).unwrap().is_some());
+            }
+        }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn group_commit_disabled_commits_one_batch_per_group() {
+        let dir = tmpdir("nogroup");
+        let db =
+            Db::open(&dir, Options { group_commit: false, ..Options::small_for_tests() }).unwrap();
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        db.put(format!("n{t}-{i:03}").into_bytes(), b"v".to_vec()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.writes, 200);
+        assert_eq!(s.commit_group_batches, 200);
+        assert_eq!(s.commit_groups, 200, "disabled grouping: one batch per group");
+        assert_eq!(db.last_sequence(), 200);
+        for t in 0..4 {
+            for i in 0..50 {
+                assert!(db.get(format!("n{t}-{i:03}").as_bytes()).unwrap().is_some());
+            }
+        }
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn concurrent_commits_get_distinct_gapless_seqnos() {
+        let dir = tmpdir("groupseq");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let mut b = WriteBatch::new();
+                        b.put(format!("t{t}-{i:03}").into_bytes(), b"x".to_vec());
+                        b.put(format!("u{t}-{i:03}").into_bytes(), b"y".to_vec());
+                        db.write(b).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        // 400 two-op batches => exactly 800 sequence numbers, no gaps, no reuse.
+        assert_eq!(db.last_sequence(), 800);
         fs::remove_dir_all(dir).ok();
     }
 

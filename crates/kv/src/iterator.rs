@@ -145,8 +145,7 @@ mod tests {
     fn merge_interleaves_sorted_streams() {
         let a = child(vec![("a", 1, ValueKind::Put, "1"), ("c", 1, ValueKind::Put, "3")]);
         let b = child(vec![("b", 1, ValueKind::Put, "2"), ("d", 1, ValueKind::Put, "4")]);
-        let merged: Vec<Vec<u8>> =
-            MergingIterator::new(vec![a, b]).map(|(k, _)| k.user).collect();
+        let merged: Vec<Vec<u8>> = MergingIterator::new(vec![a, b]).map(|(k, _)| k.user).collect();
         assert_eq!(merged, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
     }
 
@@ -170,10 +169,7 @@ mod tests {
 
     #[test]
     fn snapshot_skips_too_new_versions() {
-        let src = child(vec![
-            ("k", 9, ValueKind::Put, "v9"),
-            ("k", 3, ValueKind::Put, "v3"),
-        ]);
+        let src = child(vec![("k", 9, ValueKind::Put, "v9"), ("k", 3, ValueKind::Put, "v3")]);
         let merged = MergingIterator::new(vec![src]);
         let visible: Vec<_> = VisibilityIterator::new(merged, 5, None).collect();
         assert_eq!(visible, vec![(b"k".to_vec(), b"v3".to_vec())]);
@@ -181,10 +177,7 @@ mod tests {
 
     #[test]
     fn snapshot_before_tombstone_sees_old_value() {
-        let src = child(vec![
-            ("k", 9, ValueKind::Deletion, ""),
-            ("k", 3, ValueKind::Put, "v3"),
-        ]);
+        let src = child(vec![("k", 9, ValueKind::Deletion, ""), ("k", 3, ValueKind::Put, "v3")]);
         let merged = MergingIterator::new(vec![src]);
         let at5: Vec<_> = VisibilityIterator::new(merged, 5, None).collect();
         assert_eq!(at5, vec![(b"k".to_vec(), b"v3".to_vec())]);

@@ -60,7 +60,7 @@ pub mod wal;
 
 pub use batch::WriteBatch;
 pub use block_cache::{BlockCache, BlockCacheStats};
-pub use db::{Db, DbStats, Snapshot};
+pub use db::{Db, DbStats, Snapshot, StatsSnapshot};
 pub use error::{KvError, Result};
 pub use iterator::DbIterator;
 pub use types::{Key, SeqNo, Value, ValueKind};
@@ -94,6 +94,11 @@ pub struct Options {
     /// simulated cluster issues thousands of tiny commits per second; the
     /// benches that measure durability cost re-enable it.
     pub sync_wal: bool,
+    /// Coalesce concurrent commits through the group-commit queue: the
+    /// front writer appends every queued batch and pays one WAL sync for
+    /// the whole group. Disabling it (ABL-GROUPCOMMIT's `off` arm) makes
+    /// each writer append and sync its own batch under the write lock.
+    pub group_commit: bool,
     /// Verify block checksums on every read.
     pub paranoid_checks: bool,
 }
@@ -110,6 +115,7 @@ impl Default for Options {
             bloom_bits_per_key: 10,
             block_cache_bytes: 8 << 20,
             sync_wal: false,
+            group_commit: true,
             paranoid_checks: true,
         }
     }
@@ -129,6 +135,7 @@ impl Options {
             bloom_bits_per_key: 10,
             block_cache_bytes: 64 << 10,
             sync_wal: false,
+            group_commit: true,
             paranoid_checks: true,
         }
     }

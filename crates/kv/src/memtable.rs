@@ -146,16 +146,10 @@ mod tests {
         mt.insert(*b"a", 2, ValueKind::Put, vec![]);
         mt.insert(*b"a", 1, ValueKind::Put, vec![]);
         mt.insert(*b"c", 3, ValueKind::Put, vec![]);
-        let keys: Vec<(Vec<u8>, u64)> =
-            mt.iter().map(|(k, _)| (k.user.clone(), k.seq)).collect();
+        let keys: Vec<(Vec<u8>, u64)> = mt.iter().map(|(k, _)| (k.user.clone(), k.seq)).collect();
         assert_eq!(
             keys,
-            vec![
-                (b"a".to_vec(), 2),
-                (b"a".to_vec(), 1),
-                (b"b".to_vec(), 1),
-                (b"c".to_vec(), 3)
-            ]
+            vec![(b"a".to_vec(), 2), (b"a".to_vec(), 1), (b"b".to_vec(), 1), (b"c".to_vec(), 3)]
         );
     }
 

@@ -26,8 +26,8 @@ use std::sync::Arc;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::bloom::BloomFilter;
 use crate::block_cache::{BlockCache, DecodedBlock};
+use crate::bloom::BloomFilter;
 use crate::crc;
 use crate::memtable::LookupResult;
 use crate::types::{
@@ -108,8 +108,7 @@ fn parse_block(block: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
     if block.len() < 4 {
         return Err(corrupt("too short"));
     }
-    let n_restarts =
-        u32::from_le_bytes(block[block.len() - 4..].try_into().unwrap()) as usize;
+    let n_restarts = u32::from_le_bytes(block[block.len() - 4..].try_into().unwrap()) as usize;
     let restarts_size = 4 + n_restarts.saturating_sub(1) * 4;
     let data_end = block
         .len()
@@ -122,8 +121,7 @@ fn parse_block(block: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
     while pos < data.len() {
         let (shared, n) = get_varint32(&data[pos..]).ok_or_else(|| corrupt("bad shared"))?;
         pos += n;
-        let (unshared, n) =
-            get_varint32(&data[pos..]).ok_or_else(|| corrupt("bad unshared"))?;
+        let (unshared, n) = get_varint32(&data[pos..]).ok_or_else(|| corrupt("bad unshared"))?;
         pos += n;
         let (vlen, n) = get_varint32(&data[pos..]).ok_or_else(|| corrupt("bad vlen"))?;
         pos += n;
@@ -242,8 +240,7 @@ impl TableBuilder {
         }
         let data = self.block.finish();
         let handle = self.write_raw(&data)?;
-        self.index
-            .push(IndexEntry { last_key: std::mem::take(&mut self.last_block_key), handle });
+        self.index.push(IndexEntry { last_key: std::mem::take(&mut self.last_block_key), handle });
         Ok(())
     }
 
@@ -564,8 +561,9 @@ impl Table {
     /// `>= seek`.
     pub fn iter_from(self: &Arc<Self>, seek: &InternalKey) -> TableIterator {
         let enc = seek.encode();
-        let block_idx =
-            self.index.partition_point(|e| cmp_encoded(&e.last_key, &enc) == std::cmp::Ordering::Less);
+        let block_idx = self
+            .index
+            .partition_point(|e| cmp_encoded(&e.last_key, &enc) == std::cmp::Ordering::Less);
         let mut it = TableIterator {
             table: Arc::clone(self),
             block_idx,
@@ -610,7 +608,9 @@ impl TableIterator {
                 return;
             }
             while self.pos < self.entries.len() {
-                if crate::types::cmp_encoded(&self.entries[self.pos].0, enc_seek) != std::cmp::Ordering::Less {
+                if crate::types::cmp_encoded(&self.entries[self.pos].0, enc_seek)
+                    != std::cmp::Ordering::Less
+                {
                     return;
                 }
                 self.pos += 1;
@@ -678,13 +678,7 @@ mod tests {
     }
 
     fn write_table(path: &Path, entries: &[(InternalKey, Vec<u8>)]) {
-        build_table(
-            path,
-            entries.iter().map(|(k, v)| (k, v.as_slice())),
-            256,
-            10,
-        )
-        .unwrap();
+        build_table(path, entries.iter().map(|(k, v)| (k, v.as_slice())), 256, 10).unwrap();
     }
 
     #[test]
@@ -804,7 +798,10 @@ mod tests {
     fn block_parse_round_trip_with_restarts() {
         let mut b = BlockBuilder::default();
         let keys: Vec<Vec<u8>> = (0..100)
-            .map(|i| InternalKey::new(format!("pfx-common-{i:04}").into_bytes(), 1, ValueKind::Put).encode())
+            .map(|i| {
+                InternalKey::new(format!("pfx-common-{i:04}").into_bytes(), 1, ValueKind::Put)
+                    .encode()
+            })
             .collect();
         let mut sorted = keys.clone();
         sorted.sort();

@@ -262,8 +262,7 @@ mod tests {
 
     #[test]
     fn varint_round_trips() {
-        let values: Vec<u64> =
-            vec![0, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let values: Vec<u64> = vec![0, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
         for v in values {
             let mut buf = Vec::new();
             put_varint64(&mut buf, v);

@@ -208,9 +208,8 @@ impl VersionSet {
 
         let mut pos = 0usize;
         let mut rd_u64 = |body: &[u8]| -> Result<u64> {
-            let v = body
-                .get(pos..pos + 8)
-                .ok_or_else(|| KvError::corruption("manifest truncated"))?;
+            let v =
+                body.get(pos..pos + 8).ok_or_else(|| KvError::corruption("manifest truncated"))?;
             pos += 8;
             Ok(u64::from_le_bytes(v.try_into().unwrap()))
         };
@@ -284,8 +283,7 @@ impl VersionSet {
             }
             new.levels[level].push(handle);
             if level > 0 {
-                new.levels[level]
-                    .sort_by(|a, b| a.table.smallest.user.cmp(&b.table.smallest.user));
+                new.levels[level].sort_by(|a, b| a.table.smallest.user.cmp(&b.table.smallest.user));
             } else {
                 new.levels[0].sort_by_key(|f| f.number);
             }
@@ -348,8 +346,8 @@ mod tests {
     use crate::types::{InternalKey, ValueKind};
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("lambda-kv-ver-{}-{}", name, std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("lambda-kv-ver-{}-{}", name, std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir

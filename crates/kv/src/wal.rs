@@ -261,7 +261,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("lambda-kv-wal-{}-{}", name, std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("lambda-kv-wal-{}-{}", name, std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }

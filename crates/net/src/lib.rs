@@ -40,7 +40,5 @@ pub mod sim;
 pub mod wire;
 
 pub use rpc::{Handler, RpcError, RpcNode};
-pub use sim::{
-    Envelope, LatencyModel, Network, NodeHandle, NodeId, RecvError, RecvTimeoutError,
-};
+pub use sim::{Envelope, LatencyModel, Network, NodeHandle, NodeId, RecvError, RecvTimeoutError};
 pub use wire::{from_bytes, to_bytes, WireError};

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -253,26 +254,29 @@ impl RpcNode {
         }
     }
 
-    /// Issue several calls **concurrently** (single thread: all requests
-    /// are sent before any response is awaited) and wait for every reply
-    /// within one shared deadline. Returns one result per request, in
-    /// order. This is how the replication hook achieves the paper's "at
-    /// most one network round-trip within the responsible replica set"
+    /// Send one `body` to several `targets` **concurrently** (single
+    /// thread: all requests are sent before any response is awaited) and
+    /// wait for every reply within one shared deadline. Returns one result
+    /// per target, in order. The body is a refcounted [`Bytes`], so callers
+    /// serialize a request exactly once no matter how many replicas it
+    /// fans out to. This is how the replication hook achieves the paper's
+    /// "at most one network round-trip within the responsible replica set"
     /// without spawning threads.
     pub fn call_many(
         &self,
-        requests: &[(NodeId, Vec<u8>)],
+        targets: &[NodeId],
+        body: Bytes,
         timeout: Duration,
     ) -> Vec<Result<Vec<u8>, RpcError>> {
         if self.shared.shutdown.load(Ordering::Acquire) {
-            return requests.iter().map(|_| Err(RpcError::Shutdown)).collect();
+            return targets.iter().map(|_| Err(RpcError::Shutdown)).collect();
         }
-        let mut waiters = Vec::with_capacity(requests.len());
-        for (to, body) in requests {
+        let mut waiters = Vec::with_capacity(targets.len());
+        for to in targets {
             let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
             let (tx, rx) = channel::bounded(1);
             self.shared.pending.lock().insert(id, tx);
-            let frame = encode_frame(KIND_REQUEST, id, body);
+            let frame = encode_frame(KIND_REQUEST, id, &body);
             if self.outbound.send((*to, frame)).is_err() {
                 self.shared.pending.lock().remove(&id);
                 waiters.push((id, None));
@@ -286,8 +290,7 @@ impl RpcNode {
             .map(|(id, rx)| match rx {
                 None => Err(RpcError::Shutdown),
                 Some(rx) => {
-                    let remaining =
-                        deadline.saturating_duration_since(std::time::Instant::now());
+                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
                     match rx.recv_timeout(remaining) {
                         Ok(result) => result,
                         Err(_) => {
@@ -358,9 +361,8 @@ mod tests {
                 std::thread::spawn(move || {
                     for j in 0..50u32 {
                         let body = format!("{i}-{j}").into_bytes();
-                        let out = client
-                            .call(NodeId(1), body.clone(), Duration::from_secs(5))
-                            .unwrap();
+                        let out =
+                            client.call(NodeId(1), body.clone(), Duration::from_secs(5)).unwrap();
                         assert_eq!(out, body);
                     }
                 })
@@ -375,8 +377,7 @@ mod tests {
     #[test]
     fn remote_errors_propagate() {
         let net = Network::new(LatencyModel::instant(), 1);
-        let _server =
-            RpcNode::start(&net, NodeId(1), Arc::new(|_, _| Err("nope".to_string())), 1);
+        let _server = RpcNode::start(&net, NodeId(1), Arc::new(|_, _| Err("nope".to_string())), 1);
         let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
         let err = client.call(NodeId(1), vec![], Duration::from_secs(1)).unwrap_err();
         assert_eq!(err, RpcError::Remote("nope".into()));
@@ -406,6 +407,33 @@ mod tests {
     }
 
     #[test]
+    fn call_many_shares_one_body_across_targets() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let servers: Vec<_> =
+            (1..=3).map(|i| RpcNode::start(&net, NodeId(i), echo_handler(), 1)).collect();
+        let client = RpcNode::start(&net, NodeId(9), Arc::new(|_, _| Ok(vec![])), 1);
+        let targets = [NodeId(1), NodeId(2), NodeId(3)];
+        let body = Bytes::from(b"fanout".to_vec());
+        let replies = client.call_many(&targets, body, Duration::from_secs(1));
+        assert_eq!(replies.len(), 3);
+        for r in replies {
+            assert_eq!(r.unwrap(), b"from=9 fanout");
+        }
+        // A dead target times out without poisoning the others.
+        let replies = client.call_many(
+            &[NodeId(1), NodeId(42)],
+            Bytes::from(b"x".to_vec()),
+            Duration::from_millis(100),
+        );
+        assert!(replies[0].is_ok());
+        assert_eq!(replies[1], Err(RpcError::Timeout));
+        for s in servers {
+            s.shutdown();
+        }
+        net.shutdown();
+    }
+
+    #[test]
     fn notify_reaches_handler() {
         let net = Network::new(LatencyModel::instant(), 1);
         let (tx, rx) = channel::unbounded();
@@ -428,10 +456,7 @@ mod tests {
     #[test]
     fn shutdown_fails_pending_calls() {
         let net = Network::new(
-            LatencyModel {
-                base: Duration::from_millis(200),
-                ..LatencyModel::instant()
-            },
+            LatencyModel { base: Duration::from_millis(200), ..LatencyModel::instant() },
             1,
         );
         let _server = RpcNode::start(&net, NodeId(1), echo_handler(), 1);
@@ -457,7 +482,10 @@ mod tests {
 
     #[test]
     fn response_body_round_trip() {
-        assert_eq!(decode_response_body(encode_response_body(&Ok(b"x".to_vec()))), Ok(b"x".to_vec()));
+        assert_eq!(
+            decode_response_body(encode_response_body(&Ok(b"x".to_vec()))),
+            Ok(b"x".to_vec())
+        );
         assert_eq!(
             decode_response_body(encode_response_body(&Err("bad".into()))),
             Err(RpcError::Remote("bad".into()))

@@ -124,10 +124,7 @@ impl Eq for Scheduled {}
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on (deadline, seq) via reversal.
-        other
-            .deliver_at
-            .cmp(&self.deliver_at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.deliver_at.cmp(&self.deliver_at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for Scheduled {
@@ -156,9 +153,7 @@ pub struct Network {
 
 impl fmt::Debug for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Network")
-            .field("nodes", &self.inner.mailboxes.read().len())
-            .finish()
+        f.debug_struct("Network").field("nodes", &self.inner.mailboxes.read().len()).finish()
     }
 }
 
@@ -306,15 +301,9 @@ fn dispatcher_loop(inner: Arc<NetInner>) {
             let item = queue.pop().expect("peeked");
             // Check partitions again at delivery time: a link cut mid-flight
             // loses the packet, like a real partition would.
-            let blocked = inner
-                .cut_links
-                .read()
-                .contains(&(item.envelope.from, item.envelope.to));
-            let mailbox = if blocked {
-                None
-            } else {
-                inner.mailboxes.read().get(&item.envelope.to).cloned()
-            };
+            let blocked = inner.cut_links.read().contains(&(item.envelope.from, item.envelope.to));
+            let mailbox =
+                if blocked { None } else { inner.mailboxes.read().get(&item.envelope.to).cloned() };
             match mailbox {
                 Some(tx) if tx.send(item.envelope).is_ok() => {
                     inner.stats.messages_delivered.fetch_add(1, Ordering::Relaxed);
@@ -529,10 +518,8 @@ mod tests {
 
     #[test]
     fn drop_probability_loses_packets() {
-        let net = Network::new(
-            LatencyModel { drop_probability: 1.0, ..LatencyModel::instant() },
-            1,
-        );
+        let net =
+            Network::new(LatencyModel { drop_probability: 1.0, ..LatencyModel::instant() }, 1);
         let a = net.join(NodeId(1));
         let b = net.join(NodeId(2));
         a.send(NodeId(2), b"gone".to_vec());

@@ -338,8 +338,8 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let bytes = self.take(4)?;
         let v = u32::from_le_bytes(bytes.try_into().expect("4"));
-        let c = char::from_u32(v)
-            .ok_or_else(|| WireError::Malformed(format!("invalid char {v}")))?;
+        let c =
+            char::from_u32(v).ok_or_else(|| WireError::Malformed(format!("invalid char {v}")))?;
         visitor.visit_char(c)
     }
 

@@ -26,8 +26,7 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
     ];
     leaf.prop_recursive(4, 64, 6, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Tree::Many),
             (any::<u32>(), proptest::option::of(inner))
                 .prop_map(|(id, t)| Tree::Tagged { id, inner: t.map(Box::new) }),

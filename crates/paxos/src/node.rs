@@ -80,10 +80,7 @@ pub struct PaxosNode {
 
 impl std::fmt::Debug for PaxosNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PaxosNode")
-            .field("id", &self.id)
-            .field("members", &self.members)
-            .finish()
+        f.debug_struct("PaxosNode").field("id", &self.id).field("members", &self.members).finish()
     }
 }
 
@@ -113,9 +110,7 @@ impl PaxosNode {
                 let mut acc = handler_acceptor.lock();
                 match msg {
                     PaxosMsg::Prepare { slot, ballot } => acc.on_prepare(slot, ballot),
-                    PaxosMsg::Accept { slot, ballot, value } => {
-                        acc.on_accept(slot, ballot, value)
-                    }
+                    PaxosMsg::Accept { slot, ballot, value } => acc.on_accept(slot, ballot, value),
                     PaxosMsg::Learn { slot, value } => {
                         acc.on_learn(slot, value);
                         drop(acc);
@@ -175,10 +170,8 @@ impl PaxosNode {
         for attempt in 0..self.config.max_retries {
             // Skip over slots that got chosen since (other proposers).
             slot = slot.max(self.acceptor.lock().first_unchosen());
-            let ballot = Ballot {
-                round: self.round.fetch_add(1, Ordering::Relaxed),
-                node: self.id.0,
-            };
+            let ballot =
+                Ballot { round: self.round.fetch_add(1, Ordering::Relaxed), node: self.id.0 };
 
             match self.try_slot(slot, ballot, &value) {
                 SlotOutcome::ChosenOurs => return Ok(slot),
@@ -188,9 +181,10 @@ impl PaxosNode {
                     continue;
                 }
                 SlotOutcome::Failed => {
-                    let backoff = self.config.retry_backoff.mul_f64(
-                        1.0 + rand::thread_rng().gen::<f64>() * (attempt as f64 + 1.0),
-                    );
+                    let backoff = self
+                        .config
+                        .retry_backoff
+                        .mul_f64(1.0 + rand::thread_rng().gen::<f64>() * (attempt as f64 + 1.0));
                     std::thread::sleep(backoff);
                     // Catch up in case we are behind a healthy majority.
                     self.sync();
@@ -214,21 +208,17 @@ impl PaxosNode {
             return SlotOutcome::Failed;
         }
         // Adopt the highest already-accepted value, if any (safety rule).
-        let adopted: Option<Vec<u8>> = promises
-            .into_iter()
-            .flatten()
-            .max_by_key(|(b, _)| *b)
-            .map(|(_, v)| v);
+        let adopted: Option<Vec<u8>> =
+            promises.into_iter().flatten().max_by_key(|(b, _)| *b).map(|(_, v)| v);
         let proposing_ours = adopted.is_none();
         let value_to_send = adopted.unwrap_or_else(|| value.to_vec());
 
         // Phase 2: accept.
         let mut accepted_count = 0;
         for &peer in &self.members {
-            if let Ok(PaxosMsg::Accepted { .. }) = self.send(
-                peer,
-                &PaxosMsg::Accept { slot, ballot, value: value_to_send.clone() },
-            ) {
+            if let Ok(PaxosMsg::Accepted { .. }) =
+                self.send(peer, &PaxosMsg::Accept { slot, ballot, value: value_to_send.clone() })
+            {
                 accepted_count += 1;
             }
         }
@@ -404,10 +394,7 @@ mod tests {
         // Every proposal landed in a distinct slot.
         let mut by_slot: HashMap<Slot, Vec<u8>> = HashMap::new();
         for (slot, v) in &all {
-            assert!(
-                by_slot.insert(*slot, v.clone()).is_none(),
-                "slot {slot} assigned twice"
-            );
+            assert!(by_slot.insert(*slot, v.clone()).is_none(), "slot {slot} assigned twice");
         }
         // All nodes agree on every chosen slot.
         for node in &c.nodes {

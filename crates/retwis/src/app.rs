@@ -199,8 +199,7 @@ pub fn user_type_native() -> ObjectType {
         ctx.host.push(b"posts", &post)?;
         ctx.host.push(b"timeline", &post)?;
         let followers = ctx.host.scan(b"followers", usize::MAX, false)?;
-        ctx.host
-            .invoke_many(followers, "store_post", vec![VmValue::Bytes(post.clone())])?;
+        ctx.host.invoke_many(followers, "store_post", vec![VmValue::Bytes(post.clone())])?;
         Ok(VmValue::Unit)
     });
     reg.register("store_post", false, false, false, |ctx| {
@@ -258,8 +257,7 @@ mod tests {
     fn engine_with(ty: ObjectType) -> (Engine, std::path::PathBuf) {
         static COUNTER: AtomicU32 = AtomicU32::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir =
-            std::env::temp_dir().join(format!("lambda-retwis-{}-{n}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("lambda-retwis-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let db = Db::open(&dir, Options::small_for_tests()).unwrap();
         let types = Arc::new(TypeRegistry::new());
@@ -275,21 +273,12 @@ mod tests {
             engine.create_object(USER_TYPE, id, &[("name", name.as_bytes())]).unwrap();
         }
         // bob and carol follow alice.
-        engine
-            .invoke(&alice, "follow", vec![VmValue::Bytes(bob.0.clone())])
-            .unwrap();
-        engine
-            .invoke(&alice, "follow", vec![VmValue::Bytes(carol.0.clone())])
-            .unwrap();
-        assert_eq!(
-            engine.invoke(&alice, "follower_count", vec![]).unwrap(),
-            VmValue::Int(2)
-        );
+        engine.invoke(&alice, "follow", vec![VmValue::Bytes(bob.0.clone())]).unwrap();
+        engine.invoke(&alice, "follow", vec![VmValue::Bytes(carol.0.clone())]).unwrap();
+        assert_eq!(engine.invoke(&alice, "follower_count", vec![]).unwrap(), VmValue::Int(2));
 
         // alice posts; bob and carol receive it.
-        engine
-            .invoke(&alice, "create_post", vec![VmValue::str("hello world")])
-            .unwrap();
+        engine.invoke(&alice, "create_post", vec![VmValue::str("hello world")]).unwrap();
         for reader in [&alice, &bob, &carol] {
             let tl = engine.invoke(reader, "get_timeline", vec![VmValue::Int(10)]).unwrap();
             let items = tl.as_list().expect("list").to_vec();
@@ -349,9 +338,7 @@ mod tests {
         let (engine, dir) = engine_with(user_type());
         let alice = ObjectId::new(account_id(0));
         engine.create_object(USER_TYPE, &alice, &[]).unwrap();
-        let err = engine
-            .invoke(&alice, "store_post", vec![VmValue::str("forged")])
-            .unwrap_err();
+        let err = engine.invoke(&alice, "store_post", vec![VmValue::str("forged")]).unwrap_err();
         assert!(matches!(err, lambda_objects::InvokeError::NotPublic(_)));
         std::fs::remove_dir_all(dir).ok();
     }

@@ -72,9 +72,7 @@ impl RetwisBackend for AggregatedBackend {
 
     fn post(&self, author: usize, msg: &str) -> Result<(), InvokeError> {
         let id = ObjectId::new(account_id(author));
-        self.client
-            .invoke(&id, "create_post", vec![VmValue::str(msg)], false)
-            .map(|_| ())
+        self.client.invoke(&id, "create_post", vec![VmValue::str(msg)], false).map(|_| ())
     }
 
     fn get_timeline(&self, user: usize, limit: i64) -> Result<usize, InvokeError> {

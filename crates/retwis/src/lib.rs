@@ -21,7 +21,9 @@ pub mod metrics;
 pub mod workload;
 pub mod zipf;
 
-pub use app::{account_id, parse_post, user_fields, user_module, user_type, user_type_native, USER_TYPE};
+pub use app::{
+    account_id, parse_post, user_fields, user_module, user_type, user_type_native, USER_TYPE,
+};
 pub use backend::{AggregatedBackend, EndpointBackend, RetwisBackend};
 pub use metrics::{Histogram, RunResult};
 pub use workload::{run, setup, Op, OpMix, WorkloadConfig};

@@ -183,8 +183,8 @@ mod tests {
         assert!(p50 <= p90 && p90 <= p99);
         // Log buckets: within ~7% of true value.
         let true_p50 = Duration::from_micros(500);
-        let err = (p50.as_nanos() as f64 - true_p50.as_nanos() as f64).abs()
-            / true_p50.as_nanos() as f64;
+        let err =
+            (p50.as_nanos() as f64 - true_p50.as_nanos() as f64).abs() / true_p50.as_nanos() as f64;
         assert!(err < 0.08, "median {p50:?} too far from {true_p50:?}");
     }
 

@@ -152,8 +152,7 @@ pub fn setup<B: RetwisBackend + ?Sized + 'static>(
         let config = config.clone();
         move |t, i| {
             let zipf = Zipf::new(config.accounts, config.zipf_theta);
-            let mut rng =
-                SmallRng::seed_from_u64(config.seed ^ ((t as u64) << 32) ^ i as u64);
+            let mut rng = SmallRng::seed_from_u64(config.seed ^ ((t as u64) << 32) ^ i as u64);
             for _ in 0..config.follows_per_account {
                 // `i` follows a popular target (not itself).
                 let mut target = zipf.sample(&mut rng);
@@ -319,18 +318,13 @@ mod tests {
     #[test]
     fn run_respects_single_op_mix() {
         let backend = Arc::new(FakeBackend::default());
-        let config = WorkloadConfig {
-            mix: OpMix::only(Op::GetTimeline),
-            ..WorkloadConfig::small()
-        };
+        let config =
+            WorkloadConfig { mix: OpMix::only(Op::GetTimeline), ..WorkloadConfig::small() };
         let result = run(&backend, &config);
         assert!(result.operations > 0);
         assert_eq!(result.failures, 0);
         assert_eq!(backend.posts.load(Ordering::Relaxed), 0);
-        assert_eq!(
-            backend.timeline_reads.load(Ordering::Relaxed),
-            result.operations
-        );
+        assert_eq!(backend.timeline_reads.load(Ordering::Relaxed), result.operations);
         assert!(result.throughput() > 0.0);
         assert!(result.latency.count() == result.operations);
     }

@@ -1,0 +1,178 @@
+//! Vendored, minimal `criterion`-compatible benchmark harness.
+//!
+//! Runs each benchmark for a fixed short measurement window, reports
+//! mean time per iteration and derived throughput on stdout. No statistics,
+//! no plotting, no baseline comparison — just enough to keep `cargo bench`
+//! compiling and producing useful numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output; batches of a few thousand.
+    SmallInput,
+    /// Large setup output; one setup per measurement.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measure: Duration,
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly for the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.total = start.elapsed();
+    }
+
+    /// Time `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while total < self.measure {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.total = total;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measure: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the work performed per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Shorten/lengthen the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.measure = window;
+        self
+    }
+
+    /// Run one benchmark and print its result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { measure: self.measure, iters: 1, total: Duration::ZERO };
+        f(&mut bencher);
+        let per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+        let mut line = format!(
+            "{}/{:<28} {:>12.1} ns/iter ({} iters)",
+            self.name, id, per_iter, bencher.iters
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = match tp {
+                Throughput::Elements(n) => {
+                    format!("{:>12.0} elem/s", n as f64 * 1e9 / per_iter)
+                }
+                Throughput::Bytes(n) => {
+                    format!("{:>12.1} MiB/s", n as f64 * 1e9 / per_iter / (1024.0 * 1024.0))
+                }
+            };
+            line.push_str("  ");
+            line.push_str(&per_sec);
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (printing is immediate; this is a no-op for parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep offline benches quick: the harness favors completion over
+        // statistical power. CRITERION_MEASURE_MS overrides.
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion { measure: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let measure = self.measure;
+        BenchmarkGroup { name: name.to_string(), throughput: None, measure, _criterion: self }
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

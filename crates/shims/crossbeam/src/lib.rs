@@ -1,0 +1,420 @@
+//! Vendored, minimal `crossbeam`-compatible MPMC channels plus a two-way
+//! `select!` with a `default(timeout)` arm — exactly the surface this
+//! workspace uses.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    /// Shared wakeup target registered by `select!` so a send on *any*
+    /// selected channel unblocks the selecting thread.
+    pub struct SelectWaker {
+        fired: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl SelectWaker {
+        fn new() -> Arc<Self> {
+            Arc::new(SelectWaker { fired: Mutex::new(false), cv: Condvar::new() })
+        }
+
+        fn notify(&self) {
+            let mut fired = self.fired.lock().unwrap_or_else(PoisonError::into_inner);
+            *fired = true;
+            self.cv.notify_all();
+        }
+
+        /// Wait until notified or `deadline`; returns false on timeout.
+        fn wait_until(&self, deadline: Instant) -> bool {
+            let mut fired = self.fired.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if *fired {
+                    *fired = false;
+                    return true;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                let (g, _res) = self
+                    .cv
+                    .wait_timeout(fired, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                fired = g;
+            }
+        }
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        wakers: Vec<Arc<SelectWaker>>,
+    }
+
+    struct Shared<T> {
+        state: Mutex<ChanState<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn notify_wakers(state: &mut ChanState<T>) {
+            for w in &state.wakers {
+                w.notify();
+            }
+        }
+    }
+
+    /// Sending half; cloneable (MPMC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Create a bounded channel; sends block when `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                wakers: Vec::new(),
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// All receivers disconnected; the message is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// All senders disconnected and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Outcome of [`Receiver::recv_timeout`] failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived in time.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    /// Outcome of [`Receiver::try_recv`] failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue currently empty.
+        Empty,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Send `msg`, blocking if the channel is bounded and full.
+        ///
+        /// # Errors
+        /// [`SendError`] when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cap) = self.shared.cap {
+                while state.queue.len() >= cap && state.receivers > 0 {
+                    state =
+                        self.shared.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            state.queue.push_back(msg);
+            self.shared.not_empty.notify_one();
+            Shared::notify_wakers(&mut state);
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.senders += 1;
+            drop(state);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.shared.not_empty.notify_all();
+                Shared::notify_wakers(&mut state);
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives.
+        ///
+        /// # Errors
+        /// [`RecvError`] when the channel is empty and all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Block until a message arrives or `timeout` passes.
+        ///
+        /// # Errors
+        /// `Timeout` or `Disconnected`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _res) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = g;
+            }
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        /// `Empty` or `Disconnected`.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(msg) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        fn register_waker(&self, waker: &Arc<SelectWaker>) {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.wakers.push(Arc::clone(waker));
+        }
+
+        fn unregister_waker(&self, waker: &Arc<SelectWaker>) {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.wakers.retain(|w| !Arc::ptr_eq(w, waker));
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.receivers += 1;
+            drop(state);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Which `select!` arm fired (support type for the macro; not public API).
+    #[doc(hidden)]
+    pub enum SelectResult<A, B> {
+        /// First `recv` arm.
+        Recv0(Result<A, RecvError>),
+        /// Second `recv` arm.
+        Recv1(Result<B, RecvError>),
+        /// The `default(timeout)` arm.
+        Default,
+    }
+
+    /// Two-channel select with timeout (support fn for the macro).
+    #[doc(hidden)]
+    pub fn select2_timeout<A, B>(
+        r0: &Receiver<A>,
+        r1: &Receiver<B>,
+        timeout: Duration,
+    ) -> SelectResult<A, B> {
+        let deadline = Instant::now() + timeout;
+        let waker = SelectWaker::new();
+        r0.register_waker(&waker);
+        r1.register_waker(&waker);
+        let result = loop {
+            match r0.try_recv() {
+                Ok(v) => break SelectResult::Recv0(Ok(v)),
+                Err(TryRecvError::Disconnected) => break SelectResult::Recv0(Err(RecvError)),
+                Err(TryRecvError::Empty) => {}
+            }
+            match r1.try_recv() {
+                Ok(v) => break SelectResult::Recv1(Ok(v)),
+                Err(TryRecvError::Disconnected) => break SelectResult::Recv1(Err(RecvError)),
+                Err(TryRecvError::Empty) => {}
+            }
+            if !waker.wait_until(deadline) {
+                break SelectResult::Default;
+            }
+        };
+        r0.unregister_waker(&waker);
+        r1.unregister_waker(&waker);
+        result
+    }
+
+    pub use crate::select;
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn mpmc_roundtrip_and_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx2.recv().unwrap(), 2);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(
+                rx2.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let t = thread::spawn(move || tx.send(2).unwrap());
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn select_two_channels() {
+            let (tx_a, rx_a) = unbounded::<u32>();
+            let (_tx_b, rx_b) = unbounded::<u32>();
+            let t = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(10));
+                tx_a.send(42).unwrap();
+            });
+            let got = crate::select! {
+                recv(rx_a) -> v => {
+                    v.unwrap()
+                }
+                recv(rx_b) -> v => v.map(|x| x + 1).unwrap_or(0),
+                default(Duration::from_secs(2)) => {
+                    unreachable!("timed out")
+                }
+            };
+            assert_eq!(got, 42);
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn select_times_out() {
+            let (_tx_a, rx_a) = unbounded::<u32>();
+            let (_tx_b, rx_b) = unbounded::<u32>();
+            let got = crate::select! {
+                recv(rx_a) -> _v => {
+                    1u32
+                }
+                recv(rx_b) -> _v => 2u32,
+                default(Duration::from_millis(5)) => {
+                    3u32
+                }
+            };
+            assert_eq!(got, 3);
+        }
+    }
+}
+
+/// Two-`recv`-arm select with a `default(timeout)` arm.
+///
+/// Arm bodies expand in place inside a `match`, so `break`/`continue` in a
+/// body bind to the *caller's* enclosing loop — this matches how the RPC
+/// router uses crossbeam's `select!`.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r0:expr) -> $p0:pat => $b0:block
+        recv($r1:expr) -> $p1:pat => $b1:expr,
+        default($t:expr) => $b2:block
+    ) => {
+        match $crate::channel::select2_timeout(&$r0, &$r1, $t) {
+            $crate::channel::SelectResult::Recv0($p0) => $b0,
+            $crate::channel::SelectResult::Recv1($p1) => $b1,
+            $crate::channel::SelectResult::Default => $b2,
+        }
+    };
+}

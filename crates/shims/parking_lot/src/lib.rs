@@ -1,0 +1,410 @@
+//! Vendored, minimal `parking_lot`-compatible synchronization primitives.
+//!
+//! Built on `std::sync` (poison errors are swallowed, matching parking_lot's
+//! no-poisoning semantics). The `RwLock` is a custom writer-preference lock so
+//! that `read_arc`/`write_arc` can hand out `'static` guards holding an `Arc`
+//! without lifetime gymnastics.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock (no poisoning).
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { inner: Some(p.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+///
+/// Holds the std guard in an `Option` so [`Condvar::wait`] can temporarily
+/// take ownership of it.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("mutex guard vacated")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("mutex guard vacated")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of [`Condvar::wait_for`].
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`].
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("mutex guard vacated");
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("mutex guard vacated");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Marker type standing in for parking_lot's raw lock type parameter on the
+/// `Arc*Guard` structs.
+pub struct RawRwLock;
+
+struct RwState {
+    readers: usize,
+    writer: bool,
+    waiting_writers: usize,
+}
+
+/// A writer-preference readers–writer lock supporting `Arc`-owned guards.
+pub struct RwLock<T: ?Sized> {
+    state: std::sync::Mutex<RwState>,
+    reader_cv: std::sync::Condvar,
+    writer_cv: std::sync::Condvar,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Create a new unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            state: std::sync::Mutex::new(RwState { readers: 0, writer: false, waiting_writers: 0 }),
+            reader_cv: std::sync::Condvar::new(),
+            writer_cv: std::sync::Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn lock_shared(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while state.writer || state.waiting_writers > 0 {
+            state = self.reader_cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        state.readers += 1;
+    }
+
+    fn lock_exclusive(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.waiting_writers += 1;
+        while state.writer || state.readers > 0 {
+            state = self.writer_cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        state.waiting_writers -= 1;
+        state.writer = true;
+    }
+
+    fn unlock_shared(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.readers -= 1;
+        if state.readers == 0 {
+            self.writer_cv.notify_one();
+        }
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.writer = false;
+        if state.waiting_writers > 0 {
+            self.writer_cv.notify_one();
+        } else {
+            self.reader_cv.notify_all();
+        }
+    }
+
+    /// Acquire a shared (read) lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquire an exclusive (write) lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Whether any reader or writer currently holds the lock.
+    pub fn is_locked(&self) -> bool {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.writer || state.readers > 0
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Acquire a shared lock whose guard owns an `Arc` of the lock.
+    pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<RawRwLock, T> {
+        self.lock_shared();
+        ArcRwLockReadGuard { lock: Arc::clone(self), marker: PhantomData }
+    }
+
+    /// Acquire an exclusive lock whose guard owns an `Arc` of the lock.
+    pub fn write_arc(self: &Arc<Self>) -> ArcRwLockWriteGuard<RawRwLock, T> {
+        self.lock_exclusive();
+        ArcRwLockWriteGuard { lock: Arc::clone(self), marker: PhantomData }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: shared lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_shared();
+    }
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive lock held for the guard's lifetime.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_exclusive();
+    }
+}
+
+/// Shared guard owning an `Arc` of its lock (from [`RwLock::read_arc`]).
+pub struct ArcRwLockReadGuard<R, T> {
+    lock: Arc<RwLock<T>>,
+    marker: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: shared lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<R, T> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_shared();
+    }
+}
+
+/// Exclusive guard owning an `Arc` of its lock (from [`RwLock::write_arc`]).
+pub struct ArcRwLockWriteGuard<R, T> {
+    lock: Arc<RwLock<T>>,
+    marker: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<R, T> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive lock held for the guard's lifetime.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<R, T> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_exclusive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            *ready = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        handle.join().unwrap();
+        assert!(*ready);
+    }
+
+    #[test]
+    fn rwlock_arc_guards_release() {
+        let lock = Arc::new(RwLock::new(0u32));
+        {
+            let mut w = lock.write_arc();
+            *w = 7;
+        }
+        let r1 = lock.read_arc();
+        let r2 = lock.read_arc();
+        assert_eq!((*r1, *r2), (7, 7));
+        drop((r1, r2));
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+}

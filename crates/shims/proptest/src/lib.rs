@@ -1,0 +1,624 @@
+//! Vendored, minimal `proptest`-compatible property-testing harness.
+//!
+//! Covers the surface this workspace uses: `proptest!`, `prop_oneof!`
+//! (weighted and unweighted), `prop_assert*`, `any::<T>()`, integer-range and
+//! simple `".{a,b}"` string strategies, tuples, `collection::{vec,
+//! btree_map}`, `option::of`, `Just`, `prop_map`, and `prop_recursive`.
+//! Cases are generated from a deterministic per-test seed. There is **no
+//! shrinking**: a failing case reports its inputs and seed instead.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// Random source handed to strategies.
+    pub type TestRng = SmallRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { strat: self, f }
+        }
+
+        /// Type-erase into a cheaply clonable strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Build a recursive strategy: `self` is the leaf; `branch` maps a
+        /// strategy for depth-`d` values to one for depth-`d+1` values.
+        /// `depth` bounds nesting; the size hints are accepted for API
+        /// compatibility but unused.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                let deeper = branch(strat.clone()).boxed();
+                // 2:1 bias toward branching, bottoming out at the leaf.
+                strat = Union::new(vec![(1, strat), (2, deeper)]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Object-safe strategy facade backing [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        strat: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.strat.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of the same value type
+    /// (the expansion of `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Build from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (weight, strat) in &self.arms {
+                if pick < *weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($ty:ty),*) => {
+            $(impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            })*
+        };
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types with a default "any value" strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($ty:ty),*) => {
+            $(impl Arbitrary for $ty {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    use rand::RngCore;
+                    rng.next_u64() as $ty
+                }
+            })*
+        };
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            use rand::RngCore;
+            // Raw bit patterns: exercises infinities, NaNs, subnormals.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            use rand::RngCore;
+            #[allow(clippy::cast_possible_truncation)]
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let options = ['a', 'Z', '0', ' ', '\u{00e9}', '\u{4e16}', '\u{1f600}', '\\', '"'];
+            options[rng.gen_range(0..options.len())]
+        }
+    }
+
+    /// Strategy for any value of `T` (see [`any`]).
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    /// `&'static str` patterns act as string strategies. Only the simple
+    /// `.{min,max}` regex shape (any chars, bounded length) is understood;
+    /// that is the only shape this workspace uses.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_len_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+            let len = if max > min { rng.gen_range(min..max + 1) } else { min };
+            let alphabet: &[char] = &[
+                'a',
+                'b',
+                'z',
+                'A',
+                'Q',
+                '0',
+                '7',
+                ' ',
+                '_',
+                '-',
+                '/',
+                '.',
+                '\\',
+                '"',
+                '\'',
+                '\u{00e9}',
+                '\u{00df}',
+                '\u{4e16}',
+                '\u{754c}',
+                '\u{1f600}',
+            ];
+            (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+        }
+    }
+
+    /// Parse `".{min,max}"` → `(min, max)`.
+    fn parse_len_pattern(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (min, max) = rest.split_once(',')?;
+        Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+    }
+
+    macro_rules! tuple_strategy {
+        ($($idx:tt $name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(0 T0);
+    tuple_strategy!(0 T0, 1 T1);
+    tuple_strategy!(0 T0, 1 T1, 2 T2);
+    tuple_strategy!(0 T0, 1 T1, 2 T2, 3 T3);
+    tuple_strategy!(0 T0, 1 T1, 2 T2, 3 T3, 4 T4);
+    tuple_strategy!(0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5);
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap` with entry count drawn from a range.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Maps of `key`/`value` pairs with size in `size` (duplicate keys may
+    /// reduce the final size, as in real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord + Debug,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_len(&self.size, rng);
+            (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+
+    fn sample_len(range: &Range<usize>, rng: &mut TestRng) -> usize {
+        if range.end > range.start {
+            rng.gen_range(range.clone())
+        } else {
+            range.start
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Runner configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+        /// Maximum shrink iterations (accepted for API parity; shrinking
+        /// in this shim is bounded by the strategy, not this knob).
+        pub max_shrink_iters: u32,
+        /// Upper bound on rejected (`prop_assume!`-filtered) cases.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 1024, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// A failed property case (from `prop_assert*`).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Execute `case` for each configured case with a deterministic rng.
+    ///
+    /// # Panics
+    /// Panics (failing the test) on the first case returning `Err`.
+    pub fn run<F>(config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..u64::from(config.cases) {
+            let seed = 0x9d8f_7a6b_5c4d_3e2f ^ (i.wrapping_mul(0x2545_F491_4F6C_DD1D));
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(err) = case(&mut rng) {
+                panic!("proptest case {i} failed (seed {seed:#x}): {err}");
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(( $weight as u32, $crate::strategy::Strategy::boxed($strat) )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(( 1u32, $crate::strategy::Strategy::boxed($strat) )),+
+        ])
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Without shrinking machinery, a skipped case simply counts as passing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assert inside a property; failure fails the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r)
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, $($fmt)+)
+            }
+        }
+    };
+}
+
+/// Assert two values are not equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r)
+            }
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run(&__config, |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$attr])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_strings(n in 3u32..17, s in ".{0,8}", pair in (any::<u8>(), 0i64..5)) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!(s.chars().count() <= 8);
+            let (_b, small) = pair;
+            prop_assert!((0..5).contains(&small));
+        }
+
+        #[test]
+        fn collections_and_options(
+            v in crate::collection::vec(any::<u8>(), 0..9),
+            m in crate::collection::btree_map(".{0,4}", any::<i64>(), 0..5),
+            o in crate::option::of(any::<bool>()),
+        ) {
+            prop_assert!(v.len() < 9);
+            prop_assert!(m.len() < 5);
+            let _ = o;
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![
+            4 => (0u8..10).prop_map(u32::from),
+            1 => Just(99u32),
+        ]) {
+            prop_assert!(x < 10 || x == 99);
+        }
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 1,
+                T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(4, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(T::Node)
+        });
+        crate::test_runner::run(
+            &ProptestConfig { cases: 128, ..ProptestConfig::default() },
+            |rng| {
+                let t = strat.generate(rng);
+                if depth(&t) > 5 {
+                    return Err(crate::test_runner::TestCaseError("too deep".into()));
+                }
+                Ok(())
+            },
+        );
+    }
+}

@@ -1,0 +1,638 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error raised by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A field the type requires was not present.
+    fn missing_field(field: &'static str) -> Self {
+        Error::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// An enum variant index the type does not define.
+    fn unknown_variant(variant: u32, expected: &'static [&'static str]) -> Self {
+        Error::custom(format_args!("unknown variant index {variant}, expected one of {expected:?}"))
+    }
+
+    /// A sequence/tuple had the wrong number of elements.
+    fn invalid_length(len: usize, expected: &dyn Expected) -> Self {
+        Error::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+}
+
+/// What a [`Visitor`] expected, for error messages.
+pub trait Expected {
+    /// Describe the expectation.
+    ///
+    /// # Errors
+    /// Formatter errors.
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, T: Visitor<'de>> Expected for T {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl Expected for &str {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str(self)
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Expected::fmt(self, formatter)
+    }
+}
+
+/// A data structure deserializable from any serde format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from `deserializer`.
+    ///
+    /// # Errors
+    /// Format- or shape-specific.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// Types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A stateful [`Deserialize`] (serde's seed mechanism).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserialize with this seed's state.
+    ///
+    /// # Errors
+    /// Format- or shape-specific.
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A serde input format.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Self-describing dispatch (unsupported by positional formats).
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: the next value is a `bool`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `i8`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `i16`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `i32`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `i64`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `i128` (defaults to unsupported).
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_i128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Self::Error> {
+        Err(Self::Error::custom("i128 is not supported"))
+    }
+    /// Hint: `u128` (defaults to unsupported).
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_u128<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, Self::Error> {
+        Err(Self::Error::custom("u128 is not supported"))
+    }
+    /// Hint: `u8`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `u16`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `u32`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `u64`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `f32`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `f64`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `char`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: string slice.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: owned string.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: byte slice.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: owned bytes.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `Option`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: `()`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: unit struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: newtype struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: variable-length sequence.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: fixed-length tuple.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: tuple struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: map.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Hint: struct with named fields.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: enum.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Hint: struct field / variant identifier.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skip a value of any type.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// True for human-readable formats.
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+macro_rules! visit_default {
+    ($fn:ident, $ty:ty, $what:expr) => {
+        /// Receive a value of this shape (default: type error).
+        ///
+        /// # Errors
+        /// Defaults to a type-mismatch error.
+        fn $fn<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+            Err(Error::custom(format_args!(concat!("unexpected ", $what))))
+        }
+    };
+}
+
+/// Drives deserialization of one value: the format calls back the matching
+/// `visit_*` method.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Describe what this visitor expects (for error messages).
+    ///
+    /// # Errors
+    /// Formatter errors.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    visit_default!(visit_bool, bool, "bool");
+    visit_default!(visit_i8, i8, "i8");
+    visit_default!(visit_i16, i16, "i16");
+    visit_default!(visit_i32, i32, "i32");
+    visit_default!(visit_i64, i64, "i64");
+    visit_default!(visit_u8, u8, "u8");
+    visit_default!(visit_u16, u16, "u16");
+    visit_default!(visit_u32, u32, "u32");
+    visit_default!(visit_u64, u64, "u64");
+    visit_default!(visit_f32, f32, "f32");
+    visit_default!(visit_f64, f64, "f64");
+    visit_default!(visit_char, char, "char");
+
+    /// Receive a borrowed string (defaults to [`Visitor::visit_str`]).
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Receive a string slice.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(Error::custom("unexpected string"))
+    }
+    /// Receive an owned string (defaults to [`Visitor::visit_str`]).
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Receive borrowed bytes (defaults to [`Visitor::visit_bytes`]).
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Receive a byte slice.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(Error::custom("unexpected bytes"))
+    }
+    /// Receive owned bytes (defaults to [`Visitor::visit_bytes`]).
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Receive `None`.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom("unexpected none"))
+    }
+    /// Receive `Some(value)`.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(Error::custom("unexpected some"))
+    }
+    /// Receive `()`.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom("unexpected unit"))
+    }
+    /// Receive a newtype struct.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(Error::custom("unexpected newtype struct"))
+    }
+    /// Receive a sequence.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom("unexpected sequence"))
+    }
+    /// Receive a map.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom("unexpected map"))
+    }
+    /// Receive an enum.
+    ///
+    /// # Errors
+    /// Type-mismatch by default.
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(Error::custom("unexpected enum"))
+    }
+}
+
+/// Format-side access to sequence elements.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Next element via a seed.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    /// Next element.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Format-side access to map entries.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Next key via a seed.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    /// Next value via a seed.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Next key.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+    /// Next value.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Format-side access to an enum value.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Accessor for the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Read the variant identifier via a seed.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    /// Read the variant identifier.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Format-side access to one enum variant's payload.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// The variant has no payload.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// Newtype payload via a seed.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+    /// Newtype payload.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// Tuple payload.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Struct payload.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of primitives into trivial deserializers (used for enum
+/// variant indices).
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The deserializer produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Wrap `self`.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// A deserializer holding one `u32` (enum variant index).
+pub struct U32Deserializer<E> {
+    value: u32,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = U32Deserializer<E>;
+    fn into_deserializer(self) -> U32Deserializer<E> {
+        U32Deserializer { value: self, marker: PhantomData }
+    }
+}
+
+macro_rules! u32_forward {
+    ($($fn:ident)*) => {
+        $(
+            fn $fn<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.visit_u32(self.value)
+            }
+        )*
+    };
+}
+
+impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+    type Error = E;
+
+    u32_forward!(
+        deserialize_any deserialize_bool deserialize_i8 deserialize_i16 deserialize_i32
+        deserialize_i64 deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64
+        deserialize_f32 deserialize_f64 deserialize_char deserialize_str deserialize_string
+        deserialize_bytes deserialize_byte_buf deserialize_option deserialize_unit
+        deserialize_seq deserialize_map deserialize_identifier deserialize_ignored_any
+    );
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+}

@@ -1,0 +1,327 @@
+//! `Serialize`/`Deserialize` impls for the std types used in wire messages.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use crate::de::{Deserialize, Deserializer, Error as DeError, MapAccess, SeqAccess, Visitor};
+use crate::ser::{Serialize, SerializeMap, SerializeSeq, SerializeTuple, Serializer};
+
+macro_rules! primitive_impl {
+    ($ty:ty, $ser:ident, $de:ident, $visit:ident) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimVisitor;
+                impl<'de> Visitor<'de> for PrimVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    fn $visit<E: DeError>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$de(PrimVisitor)
+            }
+        }
+    };
+}
+
+primitive_impl!(bool, serialize_bool, deserialize_bool, visit_bool);
+primitive_impl!(i8, serialize_i8, deserialize_i8, visit_i8);
+primitive_impl!(i16, serialize_i16, deserialize_i16, visit_i16);
+primitive_impl!(i32, serialize_i32, deserialize_i32, visit_i32);
+primitive_impl!(i64, serialize_i64, deserialize_i64, visit_i64);
+primitive_impl!(u8, serialize_u8, deserialize_u8, visit_u8);
+primitive_impl!(u16, serialize_u16, deserialize_u16, visit_u16);
+primitive_impl!(u32, serialize_u32, deserialize_u32, visit_u32);
+primitive_impl!(u64, serialize_u64, deserialize_u64, visit_u64);
+primitive_impl!(f32, serialize_f32, deserialize_f32, visit_f32);
+primitive_impl!(f64, serialize_f64, deserialize_f64, visit_f64);
+primitive_impl!(char, serialize_char, deserialize_char, visit_char);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(deserializer)?;
+        usize::try_from(v).map_err(|_| DeError::custom("usize overflow"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: DeError>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: DeError>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: DeError>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+            fn visit_unit<E: DeError>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct SetVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for SetVisitor<T> {
+            type Value = BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = BTreeSet::new();
+                while let Some(item) = seq.next_element()? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(SetVisitor(PhantomData))
+    }
+}
+
+macro_rules! map_impl {
+    ($map:ident, $($bound:path),*) => {
+        impl<K: Serialize, V: Serialize> Serialize for $map<K, V>
+        where
+            K: $($bound +)*,
+        {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut map = serializer.serialize_map(Some(self.len()))?;
+                for (k, v) in self {
+                    map.serialize_key(k)?;
+                    map.serialize_value(v)?;
+                }
+                map.end()
+            }
+        }
+
+        impl<'de, K, V> Deserialize<'de> for $map<K, V>
+        where
+            K: Deserialize<'de> $(+ $bound)*,
+            V: Deserialize<'de>,
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct MapVisitor<K, V>(PhantomData<(K, V)>);
+                impl<'de, K, V> Visitor<'de> for MapVisitor<K, V>
+                where
+                    K: Deserialize<'de> $(+ $bound)*,
+                    V: Deserialize<'de>,
+                {
+                    type Value = $map<K, V>;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a map")
+                    }
+                    fn visit_map<A: MapAccess<'de>>(
+                        self,
+                        mut access: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let mut out = $map::new();
+                        while let Some(key) = access.next_key()? {
+                            let value = access.next_value()?;
+                            out.insert(key, value);
+                        }
+                        Ok(out)
+                    }
+                }
+                deserializer.deserialize_map(MapVisitor(PhantomData))
+            }
+        }
+    };
+}
+
+map_impl!(BTreeMap, Ord);
+map_impl!(HashMap, Eq, Hash);
+
+macro_rules! tuple_impl {
+    ($len:expr, $($idx:tt $name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tup = serializer.serialize_tuple($len)?;
+                $(tup.serialize_element(&self.$idx)?;)+
+                tup.end()
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        Ok(($(
+                            seq.next_element::<$name>()?
+                                .ok_or_else(|| {
+                                    <A::Error as DeError>::invalid_length($idx, &"tuple")
+                                })?,
+                        )+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        }
+    };
+}
+
+tuple_impl!(1, 0 T0);
+tuple_impl!(2, 0 T0, 1 T1);
+tuple_impl!(3, 0 T0, 1 T1, 2 T2);
+tuple_impl!(4, 0 T0, 1 T1, 2 T2, 3 T3);
+tuple_impl!(5, 0 T0, 1 T1, 2 T2, 3 T3, 4 T4);
+tuple_impl!(6, 0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5);

@@ -1,0 +1,20 @@
+//! A vendored, minimal reimplementation of the serde data model.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! its own `serde` with exactly the API surface the repository uses: the
+//! `Serialize`/`Deserialize` traits, the `Serializer`/`Deserializer` visitor
+//! machinery, impls for the std types that appear in wire messages, and a
+//! derive macro (see `serde_derive`) for structs and enums.
+//!
+//! It is intentionally NOT a drop-in replacement for all of serde — only the
+//! positional, non-self-describing subset exercised by `lambda_net::wire`.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

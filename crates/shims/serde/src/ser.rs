@@ -1,0 +1,361 @@
+//! Serialization half of the data model.
+
+use std::fmt::Display;
+
+/// Error raised by a [`Serializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized into any serde data format.
+pub trait Serialize {
+    /// Serialize `self` into `serializer`.
+    ///
+    /// # Errors
+    /// Whatever the serializer reports.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A serde output format.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Sub-serializer for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuples.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuple structs.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuple enum variants.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for struct enum variants.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialize a `bool`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i8`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i16`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i32`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i64`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u8`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u16`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u32`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u64`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f32`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f64`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `char`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string slice.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize opaque bytes.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Option::None`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Option::Some(value)`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `()`.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit enum variant.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype enum variant.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begin a sequence.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begin a tuple.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begin a tuple struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begin a tuple enum variant.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begin a map.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begin a struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begin a struct enum variant.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    /// True for human-readable formats (JSON-like). Binary formats say no.
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Sequence sub-serializer.
+pub trait SerializeSeq {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one element.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the sequence.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Tuple sub-serializer.
+pub trait SerializeTuple {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one element.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the tuple.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Tuple-struct sub-serializer.
+pub trait SerializeTupleStruct {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one field.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the tuple struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Tuple-variant sub-serializer.
+pub trait SerializeTupleVariant {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one field.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the variant.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Map sub-serializer.
+pub trait SerializeMap {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one key.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serialize one value.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the map.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Struct sub-serializer.
+pub trait SerializeStruct {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one named field.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the struct.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Struct-variant sub-serializer.
+pub trait SerializeStructVariant {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one named field.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the variant.
+    ///
+    /// # Errors
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}

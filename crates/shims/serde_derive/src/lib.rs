@@ -1,0 +1,501 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` without syn/quote.
+//!
+//! Parses the item declaration directly from the proc-macro token stream.
+//! Field *types* are never inspected — the generated code relies on type
+//! inference through `next_element()` and the type's own constructor, which is
+//! sufficient for the positional wire format this workspace uses. Generic
+//! types are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("expected attribute body, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a field's type: everything up to a `,` at angle-bracket depth zero.
+/// Consumes the trailing comma if present.
+fn skip_type(iter: &mut TokenIter) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = iter.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                iter.next();
+                return;
+            }
+            _ => {}
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return names,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field name, got {other:?}"),
+                }
+                skip_type(&mut iter);
+            }
+            other => panic!("expected field name, got {other:?}"),
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type(&mut iter);
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => return variants,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        match iter.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("expected `,` after variant, got {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("derive shim does not support generic types ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, fields: Fields::Named(parse_named_fields(g.stream())) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct { name, fields: Fields::Tuple(count_tuple_fields(g.stream())) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item::Struct { name, fields: Fields::Unit }
+            }
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("derive shim supports structs and enums only, got `{other}`"),
+    }
+}
+
+/// Derive `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let body = serialize_struct_body(name, fields);
+            let _ = write!(
+                out,
+                "impl ::serde::ser::Serialize for {name} {{\
+                   fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) \
+                       -> ::std::result::Result<S::Ok, S::Error> {{ {body} }}\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::ser::Serializer::\
+                             serialize_unit_variant(serializer, \"{name}\", {idx}u32, \"{vname}\"),"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(__f0) => ::serde::ser::Serializer::\
+                             serialize_newtype_variant(serializer, \"{name}\", {idx}u32, \
+                             \"{vname}\", __f0),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut steps = String::new();
+                        for p in &pats {
+                            let _ = write!(
+                                steps,
+                                "::serde::ser::SerializeTupleVariant::\
+                                 serialize_field(&mut __tv, {p})?;"
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => {{\
+                               let mut __tv = ::serde::ser::Serializer::serialize_tuple_variant(\
+                                   serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\
+                               {steps}\
+                               ::serde::ser::SerializeTupleVariant::end(__tv)\
+                             }},",
+                            pats.join(", ")
+                        );
+                    }
+                    Fields::Named(fnames) => {
+                        let mut steps = String::new();
+                        for f in fnames {
+                            let _ = write!(
+                                steps,
+                                "::serde::ser::SerializeStructVariant::\
+                                 serialize_field(&mut __sv, \"{f}\", {f})?;"
+                            );
+                        }
+                        let n = fnames.len();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => {{\
+                               let mut __sv = ::serde::ser::Serializer::serialize_struct_variant(\
+                                   serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\
+                               {steps}\
+                               ::serde::ser::SerializeStructVariant::end(__sv)\
+                             }},",
+                            fnames.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::ser::Serialize for {name} {{\
+                   fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) \
+                       -> ::std::result::Result<S::Ok, S::Error> {{\
+                     match self {{ {arms} }}\
+                   }}\
+                 }}"
+            );
+        }
+    }
+    out.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(serializer, \"{name}\")")
+        }
+        Fields::Tuple(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)"
+        ),
+        Fields::Tuple(n) => {
+            let mut body = format!(
+                "let mut __ts = ::serde::ser::Serializer::serialize_tuple_struct(\
+                 serializer, \"{name}\", {n}usize)?;"
+            );
+            for i in 0..*n {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __ts, &self.{i})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__ts)");
+            body
+        }
+        Fields::Named(fnames) => {
+            let n = fnames.len();
+            let mut body = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(\
+                 serializer, \"{name}\", {n}usize)?;"
+            );
+            for f in fnames {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)");
+            body
+        }
+    }
+}
+
+/// Emit a `visit_seq` body that reads `n` positional elements and finishes
+/// with `ctor(...)` applied to them.
+fn visit_seq_fn(ctor: &str, n: usize, named: Option<&[String]>) -> String {
+    let mut body = String::new();
+    for i in 0..n {
+        let _ = write!(
+            body,
+            "let __f{i} = match ::serde::de::SeqAccess::next_element(&mut seq)? {{\
+               ::std::option::Option::Some(v) => v,\
+               ::std::option::Option::None => return ::std::result::Result::Err(\
+                   ::serde::de::Error::invalid_length({i}usize, &\"more elements\")),\
+             }};"
+        );
+    }
+    let finish = match named {
+        Some(fnames) => {
+            let binds: Vec<String> =
+                fnames.iter().enumerate().map(|(i, f)| format!("{f}: __f{i}")).collect();
+            format!("{ctor} {{ {} }}", binds.join(", "))
+        }
+        None => {
+            let args: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+            format!("{ctor}({})", args.join(", "))
+        }
+    };
+    format!(
+        "fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A) \
+             -> ::std::result::Result<Self::Value, A::Error> {{\
+           {body} ::std::result::Result::Ok({finish})\
+         }}"
+    )
+}
+
+fn quoted_list(names: &[String]) -> String {
+    let quoted: Vec<String> = names.iter().map(|n| format!("\"{n}\"")).collect();
+    format!("&[{}]", quoted.join(", "))
+}
+
+/// Derive `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, visitor_impl, dispatch) = match &item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => (
+                name.clone(),
+                format!(
+                    "fn visit_unit<E: ::serde::de::Error>(self) \
+                         -> ::std::result::Result<Self::Value, E> {{\
+                       ::std::result::Result::Ok({name})\
+                     }}"
+                ),
+                format!(
+                    "::serde::de::Deserializer::deserialize_unit_struct(\
+                     deserializer, \"{name}\", __Visitor)"
+                ),
+            ),
+            Fields::Tuple(1) => (
+                name.clone(),
+                format!(
+                    "fn visit_newtype_struct<D: ::serde::de::Deserializer<'de>>(\
+                         self, __d: D) -> ::std::result::Result<Self::Value, D::Error> {{\
+                       ::std::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\
+                     }}"
+                ),
+                format!(
+                    "::serde::de::Deserializer::deserialize_newtype_struct(\
+                     deserializer, \"{name}\", __Visitor)"
+                ),
+            ),
+            Fields::Tuple(n) => (
+                name.clone(),
+                visit_seq_fn(name, *n, None),
+                format!(
+                    "::serde::de::Deserializer::deserialize_tuple_struct(\
+                     deserializer, \"{name}\", {n}usize, __Visitor)"
+                ),
+            ),
+            Fields::Named(fnames) => (
+                name.clone(),
+                visit_seq_fn(name, fnames.len(), Some(fnames)),
+                format!(
+                    "::serde::de::Deserializer::deserialize_struct(\
+                     deserializer, \"{name}\", {}, __Visitor)",
+                    quoted_list(fnames)
+                ),
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let vnames: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{\
+                               ::serde::de::VariantAccess::unit_variant(__variant)?;\
+                               ::std::result::Result::Ok({name}::{vname})\
+                             }},"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => ::std::result::Result::Ok({name}::{vname}(\
+                               ::serde::de::VariantAccess::newtype_variant(__variant)?)),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let inner = visit_seq_fn(&format!("{name}::{vname}"), *n, None);
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{\
+                               struct __V{idx};\
+                               impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{\
+                                 type Value = {name};\
+                                 fn expecting(&self, f: &mut ::std::fmt::Formatter<'_>) \
+                                     -> ::std::fmt::Result {{\
+                                   f.write_str(\"tuple variant {name}::{vname}\")\
+                                 }}\
+                                 {inner}\
+                               }}\
+                               ::serde::de::VariantAccess::tuple_variant(\
+                                   __variant, {n}usize, __V{idx})\
+                             }},"
+                        );
+                    }
+                    Fields::Named(fnames) => {
+                        let inner =
+                            visit_seq_fn(&format!("{name}::{vname}"), fnames.len(), Some(fnames));
+                        let flist = quoted_list(fnames);
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{\
+                               struct __V{idx};\
+                               impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{\
+                                 type Value = {name};\
+                                 fn expecting(&self, f: &mut ::std::fmt::Formatter<'_>) \
+                                     -> ::std::fmt::Result {{\
+                                   f.write_str(\"struct variant {name}::{vname}\")\
+                                 }}\
+                                 {inner}\
+                               }}\
+                               ::serde::de::VariantAccess::struct_variant(\
+                                   __variant, {flist}, __V{idx})\
+                             }},"
+                        );
+                    }
+                }
+            }
+            let vlist = quoted_list(&vnames);
+            let visitor_impl = format!(
+                "fn visit_enum<A: ::serde::de::EnumAccess<'de>>(self, __data: A) \
+                     -> ::std::result::Result<Self::Value, A::Error> {{\
+                   let (__idx, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__data)?;\
+                   match __idx {{\
+                     {arms}\
+                     _ => ::std::result::Result::Err(::serde::de::Error::unknown_variant(\
+                         __idx, {vlist})),\
+                   }}\
+                 }}"
+            );
+            let dispatch = format!(
+                "::serde::de::Deserializer::deserialize_enum(\
+                 deserializer, \"{name}\", {vlist}, __Visitor)"
+            );
+            (name.clone(), visitor_impl, dispatch)
+        }
+    };
+
+    let out = format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\
+           fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D) \
+               -> ::std::result::Result<Self, D::Error> {{\
+             struct __Visitor;\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\
+               type Value = {name};\
+               fn expecting(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\
+                 f.write_str(\"{name}\")\
+               }}\
+               {visitor_impl}\
+             }}\
+             {dispatch}\
+           }}\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -8,18 +8,23 @@
 //! responsible primary, and the node heartbeats the coordination service
 //! and receives shard-map pushes.
 
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
 use lambda_coordinator::CoordClient;
 use lambda_coordinator::CoordEvent;
+use lambda_coordinator::{Epoch, ShardId};
 use lambda_kv::Db;
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{
-    decode_error, encode_error, keys, CommitHook, Engine, EngineConfig, InvokeError,
-    InvokeRouter, ObjectId, ObjectType, TypeRegistry,
+    decode_error, encode_error, keys, CommitHook, Engine, EngineConfig, InvokeError, InvokeRouter,
+    ObjectId, ObjectType, TypeRegistry, WriteSetOps,
 };
 use lambda_vm::VmValue;
 
@@ -63,6 +68,70 @@ impl AggregatedConfig {
     }
 }
 
+/// One committed write set parked in a shard's replication window, waiting
+/// for a window leader to ship it (or to be promoted to leader itself).
+#[derive(Debug)]
+struct ReplWaiter {
+    state: Mutex<ReplWaiterState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct ReplWaiterState {
+    /// `(object, ops)`; taken by the window leader when it forms a batch.
+    entry: Option<(Vec<u8>, WriteSetOps)>,
+    /// Epoch and backup set captured at enqueue time. The leader only
+    /// coalesces a prefix that agrees on both, so fencing stays exact
+    /// across reconfigurations.
+    epoch: Epoch,
+    backups: Vec<NodeId>,
+    /// Set when this waiter is promoted to lead the next window.
+    leader: bool,
+    /// Set (with `result`) once a leader has shipped this write set.
+    done: bool,
+    result: Option<Result<(), String>>,
+}
+
+impl ReplWaiter {
+    fn new(object: Vec<u8>, ops: WriteSetOps, epoch: Epoch, backups: Vec<NodeId>) -> Self {
+        ReplWaiter {
+            state: Mutex::new(ReplWaiterState {
+                entry: Some((object, ops)),
+                epoch,
+                backups,
+                leader: false,
+                done: false,
+                result: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Per-shard replication window: a queue of committed write sets awaiting
+/// shipment, led by the writer at its front (same leader/follower scheme as
+/// the storage engine's WAL group commit).
+#[derive(Debug, Default)]
+struct ShardWindow {
+    queue: Mutex<VecDeque<Arc<ReplWaiter>>>,
+}
+
+/// Decode one ack per backup; any failure fails the whole window.
+fn collect_acks(backups: &[NodeId], replies: Vec<Result<Vec<u8>, RpcError>>) -> Result<(), String> {
+    for (backup, reply) in backups.iter().zip(replies) {
+        match reply {
+            Ok(bytes) => match wire::from_bytes::<StoreResponse>(&bytes) {
+                Ok(StoreResponse::Ok) => {}
+                Ok(other) => return Err(format!("backup {backup}: bad reply {other:?}")),
+                Err(e) => return Err(format!("backup {backup}: bad response: {e}")),
+            },
+            Err(RpcError::Remote(msg)) => return Err(format!("backup {backup} failed: {msg}")),
+            Err(e) => return Err(format!("backup {backup} failed: {e}")),
+        }
+    }
+    Ok(())
+}
+
 struct NodeInner {
     id: NodeId,
     engine: Engine,
@@ -77,6 +146,15 @@ struct NodeInner {
     /// When false the replication hook is skipped (single-node mode and
     /// the ABL-REPL "no replication" ablation).
     replicate: AtomicBool,
+    /// When false every committed write set is shipped as its own
+    /// `Replicate` RPC (the ABL-GROUPCOMMIT "wal-only" configuration).
+    repl_batching: AtomicBool,
+    /// Per-shard replication windows, created on first use.
+    repl_windows: Mutex<HashMap<ShardId, Arc<ShardWindow>>>,
+    /// Batched replication rounds issued (one `ReplicateBatch` fan-out).
+    repl_rounds: AtomicU64,
+    /// Write sets shipped through batched rounds.
+    repl_entries: AtomicU64,
 }
 
 impl NodeInner {
@@ -100,8 +178,7 @@ impl NodeInner {
             StoreRequest::Invoke { object, method, args, read_only, internal } => {
                 let oid = ObjectId::new(object);
                 self.check_role(&oid, read_only)?;
-                let value =
-                    self.engine.invoke_with_depth(&oid, &method, args, !internal, 0)?;
+                let value = self.engine.invoke_with_depth(&oid, &method, args, !internal, 0)?;
                 Ok(StoreResponse::Value(value))
             }
             StoreRequest::CreateObject { type_name, object, fields } => {
@@ -134,6 +211,20 @@ impl NodeInner {
                 let oid = ObjectId::new(object);
                 self.engine.apply_replicated(&oid, &ops)?;
                 self.replications.fetch_add(1, Ordering::Relaxed);
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::ReplicateBatch { shard, epoch, entries } => {
+                let local_epoch = self.placement.epoch_of(shard).unwrap_or(0);
+                if epoch < local_epoch {
+                    return Err(InvokeError::WrongNode(format!(
+                        "stale epoch {epoch} < {local_epoch} for shard {shard}"
+                    )));
+                }
+                let count = entries.len() as u64;
+                let entries: Vec<(ObjectId, WriteSetOps)> =
+                    entries.into_iter().map(|(o, ops)| (ObjectId::new(o), ops)).collect();
+                self.engine.apply_replicated_batch(&entries)?;
+                self.replications.fetch_add(count, Ordering::Relaxed);
                 Ok(StoreResponse::Ok)
             }
             StoreRequest::FetchObject { object, evict } => {
@@ -302,9 +393,15 @@ impl NodeInner {
         if !self.replicate.load(Ordering::Relaxed) {
             return Ok(());
         }
-        let Some((key, _)) = ops.first() else { return Ok(()) };
-        let Some((oid, _)) = keys::split_key(key) else { return Ok(()) };
-        let Some((shard, info)) = self.placement.locate(&oid) else { return Ok(()) };
+        let Some((key, _)) = ops.first() else {
+            return Ok(());
+        };
+        let Some((oid, _)) = keys::split_key(key) else {
+            return Ok(());
+        };
+        let Some((shard, info)) = self.placement.locate(&oid) else {
+            return Ok(());
+        };
         if info.primary != self.id {
             return Ok(());
         }
@@ -317,10 +414,16 @@ impl NodeInner {
     /// Ship `ops` to every backup of `shard` **in parallel** and wait for
     /// all acks — the paper's "at most one network round-trip within the
     /// responsible replica set" (§4.2.1).
+    ///
+    /// With replication batching on (the default) the write set joins the
+    /// shard's replication window: concurrent commits against the same
+    /// shard are coalesced by a window leader into one `ReplicateBatch`
+    /// fan-out, and this call returns only once that batch is acked by
+    /// every backup. The commit is not reported successful before then.
     fn replicate_to_backups(
         &self,
-        shard: lambda_coordinator::ShardId,
-        epoch: lambda_coordinator::Epoch,
+        shard: ShardId,
+        epoch: Epoch,
         object: &ObjectId,
         ops: &[(Vec<u8>, Option<Vec<u8>>)],
         backups: &[NodeId],
@@ -328,32 +431,107 @@ impl NodeInner {
         if backups.is_empty() {
             return Ok(());
         }
-        let req = StoreRequest::Replicate {
-            shard,
-            epoch,
-            object: object.0.clone(),
-            ops: ops.to_vec(),
+        if !self.repl_batching.load(Ordering::Relaxed) {
+            // Unbatched path: one RPC round per committed write set. The
+            // body is still serialized exactly once for the whole fan-out.
+            let req = StoreRequest::Replicate {
+                shard,
+                epoch,
+                object: object.0.clone(),
+                ops: ops.to_vec(),
+            };
+            let body = Bytes::from(wire::to_bytes(&req).expect("requests serialize"));
+            let replies = self.rpc().call_many(backups, body, self.rpc_timeout);
+            return collect_acks(backups, replies);
+        }
+
+        // Join the shard's replication window.
+        let window = {
+            let mut windows = self.repl_windows.lock();
+            Arc::clone(windows.entry(shard).or_default())
         };
-        let body = wire::to_bytes(&req).expect("requests serialize");
-        let requests: Vec<(NodeId, Vec<u8>)> =
-            backups.iter().map(|&b| (b, body.clone())).collect();
-        let replies = self.rpc().call_many(&requests, self.rpc_timeout);
-        for (backup, reply) in backups.iter().zip(replies) {
-            match reply {
-                Ok(bytes) => match wire::from_bytes::<StoreResponse>(&bytes) {
-                    Ok(StoreResponse::Ok) => {}
-                    Ok(other) => {
-                        return Err(format!("backup {backup}: bad reply {other:?}"))
-                    }
-                    Err(e) => return Err(format!("backup {backup}: bad response: {e}")),
-                },
-                Err(RpcError::Remote(msg)) => {
-                    return Err(format!("backup {backup} failed: {msg}"))
-                }
-                Err(e) => return Err(format!("backup {backup} failed: {e}")),
+        let waiter =
+            Arc::new(ReplWaiter::new(object.0.clone(), ops.to_vec(), epoch, backups.to_vec()));
+        let is_leader = {
+            let mut queue = window.queue.lock();
+            queue.push_back(Arc::clone(&waiter));
+            queue.len() == 1
+        };
+        if !is_leader {
+            // Follower: park until a leader ships our write set, or
+            // promotes us to lead the next window.
+            let mut st = waiter.state.lock();
+            while !st.done && !st.leader {
+                waiter.cv.wait(&mut st);
+            }
+            if st.done {
+                return st.result.take().expect("done waiter has a result");
             }
         }
-        Ok(())
+        self.lead_replication(shard, &window, &waiter)
+    }
+
+    /// Lead one batched replication round. `own` must be the front of the
+    /// window's queue.
+    fn lead_replication(
+        &self,
+        shard: ShardId,
+        window: &ShardWindow,
+        own: &Arc<ReplWaiter>,
+    ) -> Result<(), String> {
+        let (epoch, backups) = {
+            let st = own.state.lock();
+            (st.epoch, st.backups.clone())
+        };
+        // Coalesce the longest queue prefix that shares our epoch and
+        // backup set; a write set enqueued under a newer configuration
+        // leads its own round later, keeping the fencing check exact.
+        let group: Vec<Arc<ReplWaiter>> = {
+            let queue = window.queue.lock();
+            let mut group = Vec::new();
+            for w in queue.iter() {
+                let st = w.state.lock();
+                if st.epoch != epoch || st.backups != backups {
+                    break;
+                }
+                group.push(Arc::clone(w));
+            }
+            group
+        };
+        debug_assert!(!group.is_empty() && Arc::ptr_eq(&group[0], own));
+
+        let entries: Vec<(Vec<u8>, WriteSetOps)> = group
+            .iter()
+            .map(|w| w.state.lock().entry.take().expect("queued waiter has an entry"))
+            .collect();
+        let count = entries.len() as u64;
+
+        // Serialize once; the refcounted body is shared by every send.
+        let req = StoreRequest::ReplicateBatch { shard, epoch, entries };
+        let body = Bytes::from(wire::to_bytes(&req).expect("requests serialize"));
+        let replies = self.rpc().call_many(&backups, body, self.rpc_timeout);
+        let outcome = collect_acks(&backups, replies);
+        self.repl_rounds.fetch_add(1, Ordering::Relaxed);
+        self.repl_entries.fetch_add(count, Ordering::Relaxed);
+
+        // Pop the group, post every waiter its result, and promote the
+        // next queued write set (if any) to lead the following round.
+        let mut queue = window.queue.lock();
+        for w in &group {
+            let popped = queue.pop_front().expect("group members stay queued until finished");
+            debug_assert!(Arc::ptr_eq(&popped, w));
+            let mut st = popped.state.lock();
+            st.done = true;
+            st.result = Some(outcome.clone());
+            drop(st);
+            popped.cv.notify_one();
+        }
+        if let Some(next) = queue.front() {
+            next.state.lock().leader = true;
+            next.cv.notify_one();
+        }
+        drop(queue);
+        outcome
     }
 }
 
@@ -448,6 +626,10 @@ impl AggregatedNode {
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
             replicate: AtomicBool::new(true),
+            repl_batching: AtomicBool::new(true),
+            repl_windows: Mutex::new(HashMap::new()),
+            repl_rounds: AtomicU64::new(0),
+            repl_entries: AtomicU64::new(0),
         });
 
         // Service endpoint.
@@ -487,11 +669,8 @@ impl AggregatedNode {
 
         // Heartbeat + state-poll loop.
         if !config.coordinators.is_empty() {
-            let coord = CoordClient::new(
-                Arc::clone(&rpc),
-                config.coordinators.clone(),
-                config.rpc_timeout,
-            );
+            let coord =
+                CoordClient::new(Arc::clone(&rpc), config.coordinators.clone(), config.rpc_timeout);
             let hb_inner = Arc::clone(&inner);
             let interval = config.heartbeat_interval;
             let watch_id = NodeId(id.0 + WATCH_ID_OFFSET);
@@ -539,6 +718,22 @@ impl AggregatedNode {
     /// Enable or disable synchronous replication (ABL-REPL ablation).
     pub fn set_replication_enabled(&self, enabled: bool) {
         self.inner.replicate.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Enable or disable per-shard replication batching (ABL-GROUPCOMMIT
+    /// ablation). When disabled each committed write set is shipped as its
+    /// own [`StoreRequest::Replicate`] RPC.
+    pub fn set_replication_batching(&self, enabled: bool) {
+        self.inner.repl_batching.store(enabled, Ordering::Relaxed);
+    }
+
+    /// `(rounds, entries)` shipped through the batched replication path;
+    /// `entries / rounds` is the mean replication window size.
+    pub fn replication_batch_stats(&self) -> (u64, u64) {
+        (
+            self.inner.repl_rounds.load(Ordering::Relaxed),
+            self.inner.repl_entries.load(Ordering::Relaxed),
+        )
     }
 
     /// Statistics snapshot.

@@ -183,10 +183,7 @@ impl StoreClient {
             let req = StoreRequest::CreateObject {
                 type_name: type_name.to_string(),
                 object: object.0.clone(),
-                fields: fields
-                    .iter()
-                    .map(|(f, v)| (f.to_string(), v.to_vec()))
-                    .collect(),
+                fields: fields.iter().map(|(f, v)| (f.to_string(), v.to_vec())).collect(),
             };
             match self.call(node, &req)? {
                 StoreResponse::Ok => Ok(()),
@@ -273,18 +270,13 @@ impl StoreClient {
         for _ in 0..50 {
             match self.call(
                 target_info.primary,
-                &StoreRequest::InstallObject {
-                    snapshot: snapshot.clone(),
-                    shard: target_shard,
-                },
+                &StoreRequest::InstallObject { snapshot: snapshot.clone(), shard: target_shard },
             ) {
                 Ok(StoreResponse::Ok) => {
                     installed = true;
                     break;
                 }
-                Ok(other) => {
-                    return Err(InvokeError::Nested(format!("bad reply {other:?}")))
-                }
+                Ok(other) => return Err(InvokeError::Nested(format!("bad reply {other:?}"))),
                 Err(e @ InvokeError::WrongNode(_)) => {
                     last_err = e;
                     std::thread::sleep(Duration::from_millis(20));
@@ -345,11 +337,7 @@ impl StoreClient {
     /// # Errors
     /// Any migration or coordination failure (already-moved objects keep
     /// their pins, so a retried rebalance converges).
-    pub fn rebalance_slot(
-        &self,
-        slot: u16,
-        target_shard: ShardId,
-    ) -> Result<usize, InvokeError> {
+    pub fn rebalance_slot(&self, slot: u16, target_shard: ShardId) -> Result<usize, InvokeError> {
         use lambda_coordinator::ClusterState;
         self.refresh();
         let state = self.inner.placement.snapshot();

@@ -8,9 +8,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use lambda_coordinator::{
-    CoordClient, CoordCmd, CoordConfig, Coordinator, N_SLOTS,
-};
+use lambda_coordinator::{CoordClient, CoordCmd, CoordConfig, Coordinator, N_SLOTS};
 use lambda_net::{LatencyModel, Network, NodeId, RpcNode};
 use lambda_objects::{EngineConfig, InvokeError};
 use lambda_paxos::PaxosConfig;
@@ -76,8 +74,7 @@ impl Default for ClusterConfig {
             shards: 1,
             replication_factor: 3,
             latency: LatencyModel::default(),
-            base_dir: std::env::temp_dir()
-                .join(format!("lambdastore-{}-{n}", std::process::id())),
+            base_dir: std::env::temp_dir().join(format!("lambdastore-{}-{n}", std::process::id())),
             engine: EngineConfig::default(),
             kv: lambda_kv::Options::default(),
             workers: 48,
@@ -130,9 +127,8 @@ impl ClusterCore {
         let net = Network::new(config.latency, 0xc10d);
 
         // Coordination service.
-        let coordinator_ids: Vec<NodeId> = (0..config.coordinators)
-            .map(|i| NodeId(ids::COORD_BASE + i))
-            .collect();
+        let coordinator_ids: Vec<NodeId> =
+            (0..config.coordinators).map(|i| NodeId(ids::COORD_BASE + i)).collect();
         let coord_config = CoordConfig {
             heartbeat_timeout: config.heartbeat_timeout,
             detector_interval: config.heartbeat_interval / 2,
@@ -161,9 +157,8 @@ impl ClusterCore {
         }
         let rf = config.replication_factor.clamp(1, storage_ids.len());
         for shard in 0..config.shards {
-            let replicas: Vec<NodeId> = (0..rf)
-                .map(|r| storage_ids[(shard as usize + r) % storage_ids.len()])
-                .collect();
+            let replicas: Vec<NodeId> =
+                (0..rf).map(|r| storage_ids[(shard as usize + r) % storage_ids.len()]).collect();
             admin
                 .propose(CoordCmd::CreateShard { shard, replicas })
                 .map_err(|e| InvokeError::Nested(format!("bootstrap: {e}")))?;
@@ -311,9 +306,7 @@ impl ClusterCore {
             )));
         }
         for cmd in plan {
-            admin
-                .propose(cmd)
-                .map_err(|e| InvokeError::Nested(format!("decommission: {e}")))?;
+            admin.propose(cmd).map_err(|e| InvokeError::Nested(format!("decommission: {e}")))?;
         }
         admin
             .propose(CoordCmd::RemoveNode { node: id })

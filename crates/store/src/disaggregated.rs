@@ -20,9 +20,7 @@ use parking_lot::RwLock;
 
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{encode_error, keys, InvokeError, ObjectId};
-use lambda_vm::{
-    Host, HostError, Interpreter, Limits, Module, VmValue,
-};
+use lambda_vm::{Host, HostError, Interpreter, Limits, Module, VmValue};
 
 use crate::proto::{NodeStatsWire, StoreRequest, StoreResponse};
 
@@ -102,11 +100,7 @@ impl FunctionExecutor {
         self.storage[i % self.storage.len()]
     }
 
-    fn storage_call(
-        &self,
-        node: NodeId,
-        req: &StoreRequest,
-    ) -> Result<StoreResponse, HostError> {
+    fn storage_call(&self, node: NodeId, req: &StoreRequest) -> Result<StoreResponse, HostError> {
         self.storage_rpcs.fetch_add(1, Ordering::Relaxed);
         let body = wire::to_bytes(req).expect("requests serialize");
         match self.rpc.call(node, body, self.rpc_timeout) {
@@ -133,15 +127,10 @@ impl FunctionExecutor {
         self.invocations.fetch_add(1, Ordering::Relaxed);
         // Fetch the object's type over the network (meta lookup).
         let meta = self
-            .storage_call(
-                self.read_target(),
-                &StoreRequest::RawGet { key: keys::meta_key(object) },
-            )
+            .storage_call(self.read_target(), &StoreRequest::RawGet { key: keys::meta_key(object) })
             .map_err(InvokeError::from)?;
         let type_name = match meta {
-            StoreResponse::MaybeBytes(Some(bytes)) => {
-                String::from_utf8_lossy(&bytes).into_owned()
-            }
+            StoreResponse::MaybeBytes(Some(bytes)) => String::from_utf8_lossy(&bytes).into_owned(),
             StoreResponse::MaybeBytes(None) => {
                 return Err(InvokeError::UnknownObject(object.to_string()))
             }
@@ -160,9 +149,7 @@ impl FunctionExecutor {
             return Err(InvokeError::NotPublic(method.to_string()));
         }
         let mut host = RemoteHost { executor: self, object: object.clone() };
-        self.interpreter
-            .execute(&module, method, args, &mut host)
-            .map_err(InvokeError::from)
+        self.interpreter.execute(&module, method, args, &mut host).map_err(InvokeError::from)
     }
 
     /// Create an object by writing its meta + fields over the raw API.
@@ -214,10 +201,8 @@ impl Host for RemoteHost<'_> {
     }
 
     fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), HostError> {
-        let req = StoreRequest::RawPut {
-            key: keys::field_key(&self.object, key),
-            value: value.to_vec(),
-        };
+        let req =
+            StoreRequest::RawPut { key: keys::field_key(&self.object, key), value: value.to_vec() };
         match self.executor.storage_call(self.executor.write_target(), &req)? {
             StoreResponse::Ok => Ok(()),
             other => Err(HostError::Storage(format!("bad reply {other:?}"))),
@@ -263,10 +248,7 @@ impl Host for RemoteHost<'_> {
     }
 
     fn count(&mut self, field: &[u8]) -> Result<u64, HostError> {
-        let req = StoreRequest::RawCount {
-            object: self.object.0.clone(),
-            field: field.to_vec(),
-        };
+        let req = StoreRequest::RawCount { object: self.object.0.clone(), field: field.to_vec() };
         match self.executor.storage_call(self.executor.read_target(), &req)? {
             StoreResponse::Count(n) => Ok(n),
             other => Err(HostError::Storage(format!("bad reply {other:?}"))),
@@ -301,31 +283,28 @@ impl Host for RemoteHost<'_> {
         const FANOUT_WAVE: usize = 8;
         let mut results: Vec<Result<VmValue, HostError>> = Vec::with_capacity(targets.len());
         for wave in targets.chunks(FANOUT_WAVE) {
-            let wave_results: Vec<Result<VmValue, HostError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .map(|target| {
-                            let args = args.clone();
-                            let target = ObjectId::new(target.clone());
-                            scope.spawn(move || {
-                                executor.execute(&target, method, args, false).map_err(|e| {
-                                    HostError::InvokeFailed(lambda_objects::encode_error(&e))
-                                })
+            let wave_results: Vec<Result<VmValue, HostError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|target| {
+                        let args = args.clone();
+                        let target = ObjectId::new(target.clone());
+                        scope.spawn(move || {
+                            executor.execute(&target, method, args, false).map_err(|e| {
+                                HostError::InvokeFailed(lambda_objects::encode_error(&e))
                             })
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| {
-                            h.join().unwrap_or_else(|_| {
-                                Err(HostError::InvokeFailed(
-                                    "fan-out thread panicked".into(),
-                                ))
-                            })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            Err(HostError::InvokeFailed("fan-out thread panicked".into()))
                         })
-                        .collect()
-                });
+                    })
+                    .collect()
+            });
             results.extend(wave_results);
         }
         results.into_iter().collect()
@@ -377,18 +356,14 @@ impl ComputeInner {
             }
             StoreRequest::CreateObject { type_name, object, fields } => {
                 let oid = ObjectId::new(object);
-                self.executor
-                    .create_object(&type_name, &oid, &fields)
-                    .map(|()| StoreResponse::Ok)
+                self.executor.create_object(&type_name, &oid, &fields).map(|()| StoreResponse::Ok)
             }
             StoreRequest::DeployType { name, module, .. } => {
                 self.executor.deploy(name, module);
                 Ok(StoreResponse::Ok)
             }
             StoreRequest::Stats => Ok(StoreResponse::NodeStats(self.stats())),
-            other => {
-                Err(InvokeError::Nested(format!("unsupported on compute node: {other:?}")))
-            }
+            other => Err(InvokeError::Nested(format!("unsupported on compute node: {other:?}"))),
         };
         let encoded = result
             .map_err(|e| encode_error(&e))
@@ -413,8 +388,7 @@ impl ComputeNode {
     /// Start a compute node at `id`. The executor issues its storage RPCs
     /// from a dedicated endpoint (`id + 30000`).
     pub fn start(net: &Network, id: NodeId, config: ComputeConfig) -> Arc<ComputeNode> {
-        let exec_rpc =
-            RpcNode::start(net, NodeId(id.0 + 30_000), Arc::new(|_, _| Ok(vec![])), 1);
+        let exec_rpc = RpcNode::start(net, NodeId(id.0 + 30_000), Arc::new(|_, _| Ok(vec![])), 1);
         let executor = Arc::new(FunctionExecutor::new(exec_rpc, &config));
         let inner = Arc::new(ComputeInner {
             id,

@@ -31,8 +31,7 @@ pub mod serverless;
 pub use aggregated::{AggregatedConfig, AggregatedNode, WATCH_ID_OFFSET};
 pub use client::StoreClient;
 pub use cluster::{
-    ids, AggregatedCluster, ClusterConfig, ClusterCore, DisaggregatedCluster,
-    ServerlessCluster,
+    ids, AggregatedCluster, ClusterConfig, ClusterCore, DisaggregatedCluster, ServerlessCluster,
 };
 pub use disaggregated::{ComputeConfig, ComputeNode, FunctionExecutor};
 pub use placement::Placement;

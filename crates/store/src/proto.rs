@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use lambda_coordinator::{Epoch, ShardId};
-use lambda_objects::{migration::ObjectSnapshot, FieldDef, TxCall};
+use lambda_objects::{migration::ObjectSnapshot, FieldDef, TxCall, WriteSetOps};
 use lambda_vm::{Module, VmValue};
 
 /// Requests understood by storage nodes.
@@ -61,7 +61,21 @@ pub enum StoreRequest {
         /// Object whose data changed.
         object: Vec<u8>,
         /// `(key, Some(value))` puts / `(key, None)` deletes.
-        ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+        ops: WriteSetOps,
+    },
+    /// Primary→backup replication of a window of committed write sets,
+    /// coalesced by the primary's per-shard replication batcher into one
+    /// RPC. The backup applies the window atomically and in order.
+    ReplicateBatch {
+        /// Shard the objects belong to.
+        shard: ShardId,
+        /// The primary's configuration epoch (fencing; the whole window
+        /// carries one epoch — the batcher never coalesces write sets
+        /// across a reconfiguration).
+        epoch: Epoch,
+        /// `(object, ops)` per committed write set, in commit order.
+        /// `(key, Some(value))` puts / `(key, None)` deletes.
+        entries: Vec<(Vec<u8>, WriteSetOps)>,
     },
     /// Migration: export an object (source side executes `evict`).
     FetchObject {
@@ -221,6 +235,17 @@ mod tests {
                 epoch: 7,
                 object: b"user/1".to_vec(),
                 ops: vec![(b"k".to_vec(), Some(b"v".to_vec())), (b"d".to_vec(), None)],
+            },
+            StoreRequest::ReplicateBatch {
+                shard: 3,
+                epoch: 7,
+                entries: vec![
+                    (
+                        b"user/1".to_vec(),
+                        vec![(b"k".to_vec(), Some(b"v".to_vec())), (b"d".to_vec(), None)],
+                    ),
+                    (b"user/2".to_vec(), vec![(b"x".to_vec(), Some(b"y".to_vec()))]),
+                ],
             },
             StoreRequest::FetchObject { object: b"user/1".to_vec(), evict: true },
             StoreRequest::InstallObject {

@@ -149,19 +149,15 @@ impl GatewayInner {
                 let function = method.to_string();
                 self.acquire_slot();
                 self.acquire_container(&function);
-                let out = self
-                    .executor
-                    .execute(&oid, &method, args, true)
-                    .map(StoreResponse::Value);
+                let out =
+                    self.executor.execute(&oid, &method, args, true).map(StoreResponse::Value);
                 self.release_container(&function);
                 self.release_slot();
                 out
             }
             StoreRequest::CreateObject { type_name, object, fields } => {
                 let oid = ObjectId::new(object);
-                self.executor
-                    .create_object(&type_name, &oid, &fields)
-                    .map(|()| StoreResponse::Ok)
+                self.executor.create_object(&type_name, &oid, &fields).map(|()| StoreResponse::Ok)
             }
             StoreRequest::DeployType { name, module, .. } => {
                 self.executor.deploy(name, module);
@@ -215,8 +211,7 @@ impl ServerlessGateway {
             .map_err(|e| InvokeError::Storage(e.to_string()))?;
         let log = Wal::create(config.log_dir.join("requests.log"))
             .map_err(|e| InvokeError::Storage(e.to_string()))?;
-        let exec_rpc =
-            RpcNode::start(net, NodeId(id.0 + 30_000), Arc::new(|_, _| Ok(vec![])), 1);
+        let exec_rpc = RpcNode::start(net, NodeId(id.0 + 30_000), Arc::new(|_, _| Ok(vec![])), 1);
         let executor = Arc::new(FunctionExecutor::new(exec_rpc, &config.compute));
         let workers = config.compute.workers;
         let inner = Arc::new(GatewayInner {

@@ -100,9 +100,7 @@ fn aggregated_end_to_end() {
 
     let alice = ObjectId::from("acct/alice");
     client.create_object("Account", &alice, &[]).unwrap();
-    let balance = client
-        .invoke(&alice, "deposit", vec![VmValue::Int(100)], false)
-        .unwrap();
+    let balance = client.invoke(&alice, "deposit", vec![VmValue::Int(100)], false).unwrap();
     assert_eq!(as_int(balance), 100);
     let balance = client.invoke(&alice, "balance", vec![], true).unwrap();
     assert_eq!(as_int(balance), 100);
@@ -129,9 +127,7 @@ fn aggregated_cross_object_transfer_and_abort() {
     client.invoke(&a, "deposit", vec![VmValue::Int(50)], false).unwrap();
 
     // Successful transfer (may cross shards/nodes).
-    client
-        .invoke(&a, "transfer", vec![VmValue::str("acct/b"), VmValue::Int(20)], false)
-        .unwrap();
+    client.invoke(&a, "transfer", vec![VmValue::str("acct/b"), VmValue::Int(20)], false).unwrap();
     assert_eq!(as_int(client.invoke(&a, "balance", vec![], true).unwrap()), 30);
     assert_eq!(as_int(client.invoke(&b, "balance", vec![], true).unwrap()), 20);
 
@@ -157,11 +153,7 @@ fn aggregated_replicates_to_backups() {
 
     // Every node holds the object's data (rf = 3 with 3 nodes).
     for node in &cluster.core.storage {
-        assert!(
-            node.engine().object_exists(&id),
-            "node-{} missing replicated object",
-            node.id().0
-        );
+        assert!(node.engine().object_exists(&id), "node-{} missing replicated object", node.id().0);
     }
     let stats: Vec<u64> =
         cluster.core.storage.iter().map(|n| n.stats().replications_applied).collect();
@@ -183,12 +175,8 @@ fn aggregated_failover_promotes_backup() {
     // Find and kill the primary.
     client.refresh();
     let (_, info) = client.placement().locate(&id).expect("located");
-    let primary_idx = cluster
-        .core
-        .storage
-        .iter()
-        .position(|n| n.id() == info.primary)
-        .expect("primary present");
+    let primary_idx =
+        cluster.core.storage.iter().position(|n| n.id() == info.primary).expect("primary present");
     cluster.core.kill_storage_node(primary_idx);
 
     // The client keeps retrying until the coordinator promotes a backup.
@@ -211,6 +199,107 @@ fn aggregated_failover_promotes_backup() {
 }
 
 #[test]
+fn replication_batching_failover_preserves_batched_writes() {
+    // The correctness bar of the commit pipeline: an invocation does not
+    // return success until its write set is durable locally AND acked by
+    // every backup — even when it was shipped inside a coalesced
+    // ReplicateBatch window. Kill the primary right after a burst of
+    // concurrent deposits; the promoted backup must hold every one.
+    let mut config = ClusterConfig::for_tests();
+    config.heartbeat_timeout = Duration::from_millis(400);
+    let cluster = AggregatedCluster::build(config).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let id = ObjectId::from("acct/batched");
+    client.create_object("Account", &id, &[]).unwrap();
+
+    const THREADS: usize = 4;
+    const DEPOSITS: usize = 10;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let client = client.clone();
+            let id = id.clone();
+            scope.spawn(move || {
+                for _ in 0..DEPOSITS {
+                    client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap();
+                }
+            });
+        }
+    });
+
+    // The burst flowed through the per-shard replication batcher.
+    let (rounds, entries): (u64, u64) = cluster
+        .core
+        .storage
+        .iter()
+        .map(|n| n.replication_batch_stats())
+        .fold((0, 0), |(r, e), (nr, ne)| (r + nr, e + ne));
+    assert!(rounds > 0 && entries >= rounds, "batcher engaged: {rounds} rounds / {entries}");
+
+    client.refresh();
+    let (_, info) = client.placement().locate(&id).expect("located");
+    let primary_idx =
+        cluster.core.storage.iter().position(|n| n.id() == info.primary).expect("primary present");
+    cluster.core.kill_storage_node(primary_idx);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let balance = loop {
+        match client.invoke(&id, "balance", vec![], true) {
+            Ok(v) => break as_int(v),
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("failover never completed: {e}"),
+        }
+    };
+    assert_eq!(
+        balance,
+        (THREADS * DEPOSITS) as i64,
+        "every batched-replicated deposit survived the primary failure"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn replication_batching_toggle_falls_back_to_per_write_rpcs() {
+    // ABL-GROUPCOMMIT's "wal-only" configuration: with batching disabled
+    // every committed write set ships as its own Replicate RPC, and the
+    // system stays exactly as consistent.
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    for node in &cluster.core.storage {
+        node.set_replication_batching(false);
+    }
+    let client = cluster.client();
+    client.deploy_type("Account", account_fields(), &account_module()).unwrap();
+    let id = ObjectId::from("acct/unbatched");
+    client.create_object("Account", &id, &[]).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let client = client.clone();
+            let id = id.clone();
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(as_int(client.invoke(&id, "balance", vec![], true).unwrap()), 40);
+    let (rounds, _) = cluster
+        .core
+        .storage
+        .iter()
+        .map(|n| n.replication_batch_stats())
+        .fold((0, 0), |(r, e), (nr, ne)| (r + nr, e + ne));
+    assert_eq!(rounds, 0, "disabled batcher must never coalesce");
+    // Backups still received and applied every write set.
+    for node in &cluster.core.storage {
+        assert!(node.engine().object_exists(&id), "node-{} missing object", node.id().0);
+    }
+    cluster.shutdown();
+}
+
+#[test]
 fn aggregated_read_only_runs_on_replicas() {
     let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
     let client = cluster.client();
@@ -223,8 +312,7 @@ fn aggregated_read_only_runs_on_replicas() {
         assert_eq!(as_int(client.invoke(&id, "balance", vec![], true).unwrap()), 5);
     }
     // More than one node served invocations (primary + at least one backup).
-    let serving: Vec<u64> =
-        cluster.core.storage.iter().map(|n| n.stats().invocations).collect();
+    let serving: Vec<u64> = cluster.core.storage.iter().map(|n| n.stats().invocations).collect();
     let busy_nodes = serving.iter().filter(|&&c| c > 0).count();
     assert!(busy_nodes >= 2, "read scaling across replicas: {serving:?}");
 
@@ -259,10 +347,7 @@ fn aggregated_migration_moves_object() {
     assert_eq!(new_shard, target_shard);
     // State intact and writable after migration.
     assert_eq!(as_int(client.invoke(&id, "balance", vec![], true).unwrap()), 11);
-    assert_eq!(
-        as_int(client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap()),
-        12
-    );
+    assert_eq!(as_int(client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap()), 12);
     cluster.shutdown();
 }
 
@@ -299,11 +384,7 @@ fn disaggregated_end_to_end() {
     }
 
     // Storage accesses crossed the network.
-    let rpcs = cluster
-        .compute
-        .executor()
-        .storage_rpcs
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let rpcs = cluster.compute.executor().storage_rpcs.load(std::sync::atomic::Ordering::Relaxed);
     assert!(rpcs >= 4, "expected several storage round-trips, got {rpcs}");
     cluster.shutdown();
 }
@@ -363,11 +444,8 @@ fn disaggregated_nested_calls_run_on_compute() {
         other => panic!("unexpected {other:?}"),
     }
     // Nested call = an extra function invocation on the compute node.
-    let invocations = cluster
-        .compute
-        .executor()
-        .invocations
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let invocations =
+        cluster.compute.executor().invocations.load(std::sync::atomic::Ordering::Relaxed);
     assert!(invocations >= 3, "deposit + transfer + nested deposit + balance: {invocations}");
     cluster.shutdown();
 }
@@ -375,8 +453,7 @@ fn disaggregated_nested_calls_run_on_compute() {
 #[test]
 fn serverless_pays_cold_starts() {
     let cluster =
-        ServerlessCluster::build(ClusterConfig::for_tests(), Duration::from_millis(80))
-            .unwrap();
+        ServerlessCluster::build(ClusterConfig::for_tests(), Duration::from_millis(80)).unwrap();
     let client = cluster.client();
     let gw = lambda_store::ids::GATEWAY;
     client
@@ -493,14 +570,13 @@ fn elasticity_scale_out_with_migration() {
     assert_eq!(shard, new_shard);
     assert_eq!(info.primary, new_node);
     assert_eq!(as_int(client.invoke(&hot, "balance", vec![], true).unwrap()), 55);
-    assert_eq!(
-        as_int(client.invoke(&hot, "deposit", vec![VmValue::Int(1)], false).unwrap()),
-        56
-    );
+    assert_eq!(as_int(client.invoke(&hot, "deposit", vec![VmValue::Int(1)], false).unwrap()), 56);
     // The engine on the new node really holds it.
     assert!(cluster.core.storage.last().unwrap().engine().object_exists(&hot));
-    assert!(!cluster.core.storage[0].engine().list_objects().contains(&hot)
-        || !cluster.core.storage[0].engine().object_exists(&hot));
+    assert!(
+        !cluster.core.storage[0].engine().list_objects().contains(&hot)
+            || !cluster.core.storage[0].engine().object_exists(&hot)
+    );
     println!("scale-out + migration completed in {elapsed:?}");
     cluster.shutdown();
 }
@@ -521,21 +597,14 @@ fn epoch_fencing_blocks_deposed_primary() {
 
     client.refresh();
     let (_, info) = client.placement().locate(&id).unwrap();
-    let old_primary = cluster
-        .core
-        .storage
-        .iter()
-        .find(|n| n.id() == info.primary)
-        .expect("primary exists");
+    let old_primary =
+        cluster.core.storage.iter().find(|n| n.id() == info.primary).expect("primary exists");
 
     // Partition the primary from the coordinators AND the other storage
     // nodes, but keep it able to receive requests from a rogue client.
     for c in &cluster.core.coordinator_ids {
         cluster.core.net.cut_link(old_primary.id(), *c);
-        cluster.core.net.cut_link(
-            NodeId(old_primary.id().0 + lambda_store::WATCH_ID_OFFSET),
-            *c,
-        );
+        cluster.core.net.cut_link(NodeId(old_primary.id().0 + lambda_store::WATCH_ID_OFFSET), *c);
     }
     for n in &cluster.core.storage_ids {
         if *n != old_primary.id() {
@@ -625,8 +694,7 @@ fn cluster_survives_packet_loss() {
 #[test]
 fn serverless_gateway_logs_requests_durably() {
     let cluster =
-        ServerlessCluster::build(ClusterConfig::for_tests(), Duration::from_millis(5))
-            .unwrap();
+        ServerlessCluster::build(ClusterConfig::for_tests(), Duration::from_millis(5)).unwrap();
     let client = cluster.client();
     let gw = lambda_store::ids::GATEWAY;
     client
@@ -728,10 +796,7 @@ fn slot_rebalancing_moves_a_whole_slot() {
         assert_eq!(as_int(client.invoke(id, "balance", vec![], true).unwrap()), 9);
     }
     // The slot table itself flipped.
-    assert_eq!(
-        client.placement().snapshot().slots.get(&target_slot),
-        Some(&target_shard)
-    );
+    assert_eq!(client.placement().snapshot().slots.get(&target_slot), Some(&target_shard));
     cluster.shutdown();
 }
 
@@ -751,12 +816,7 @@ fn planned_decommission_keeps_serving() {
     }
     client.refresh();
     let (_, before) = client.placement().locate(&id).unwrap();
-    let primary_idx = cluster
-        .core
-        .storage
-        .iter()
-        .position(|n| n.id() == before.primary)
-        .unwrap();
+    let primary_idx = cluster.core.storage.iter().position(|n| n.id() == before.primary).unwrap();
 
     cluster.core.decommission_node(primary_idx).unwrap();
 
@@ -765,9 +825,7 @@ fn planned_decommission_keeps_serving() {
     let balance = loop {
         match client.invoke(&id, "balance", vec![], true) {
             Ok(v) => break as_int(v),
-            Err(_) if Instant::now() < deadline => {
-                std::thread::sleep(Duration::from_millis(20))
-            }
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
             Err(e) => panic!("decommission broke serving: {e}"),
         }
     };
@@ -778,10 +836,7 @@ fn planned_decommission_keeps_serving() {
     assert!(after.epoch > before.epoch);
     assert!(!after.contains(before.primary), "decommissioned node fully removed");
     // Still writable.
-    assert_eq!(
-        as_int(client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap()),
-        11
-    );
+    assert_eq!(as_int(client.invoke(&id, "deposit", vec![VmValue::Int(1)], false).unwrap()), 11);
     cluster.shutdown();
 }
 

@@ -97,9 +97,8 @@ pub fn assemble(source: &str) -> Result<Module, AssembleError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("const ") {
-            let (name, value) = rest
-                .split_once('=')
-                .ok_or_else(|| aerr(lineno + 1, "const needs '='"))?;
+            let (name, value) =
+                rest.split_once('=').ok_or_else(|| aerr(lineno + 1, "const needs '='"))?;
             let bytes = parse_string(value.trim())
                 .ok_or_else(|| aerr(lineno + 1, "const value must be a quoted string"))?;
             let idx = module.intern(bytes);
@@ -144,11 +143,8 @@ pub fn assemble(source: &str) -> Result<Module, AssembleError> {
     }
 
     validate_module(&module).map_err(|e| {
-        let line = func_headers
-            .iter()
-            .find(|(_, name)| *name == e.function)
-            .map(|(l, _)| *l)
-            .unwrap_or(0);
+        let line =
+            func_headers.iter().find(|(_, name)| *name == e.function).map(|(l, _)| *l).unwrap_or(0);
         aerr(line, format!("validation failed: {e}"))
     })?;
     Ok(module)
@@ -191,8 +187,7 @@ fn parse_header(line: usize, header: &str) -> Result<(FunctionDef, bool), Assemb
     };
     for tok in rest[close + 1..].split_whitespace() {
         if let Some(n) = tok.strip_prefix("locals=") {
-            def.locals =
-                n.parse().map_err(|_| aerr(line, "locals= must be an integer"))?;
+            def.locals = n.parse().map_err(|_| aerr(line, "locals= must be an integer"))?;
         } else {
             match tok {
                 "ro" => def.read_only = true,
@@ -264,10 +259,7 @@ fn assemble_body(
             None => (line.as_str(), ""),
         };
         let need_label = |labels: &HashMap<String, u32>| -> Result<u32, AssembleError> {
-            labels
-                .get(arg)
-                .copied()
-                .ok_or_else(|| aerr(lineno, format!("unknown label {arg:?}")))
+            labels.get(arg).copied().ok_or_else(|| aerr(lineno, format!("unknown label {arg:?}")))
         };
         let need_int = || -> Result<i64, AssembleError> {
             arg.parse().map_err(|_| aerr(lineno, format!("expected integer, got {arg:?}")))
@@ -292,9 +284,9 @@ fn assemble_body(
             "dup" => Instr::Dup,
             "pop" => Instr::Pop,
             "swap" => Instr::Swap,
-            "load" => Instr::Load(
-                need_int()?.try_into().map_err(|_| aerr(lineno, "local out of range"))?,
-            ),
+            "load" => {
+                Instr::Load(need_int()?.try_into().map_err(|_| aerr(lineno, "local out of range"))?)
+            }
             "store" => Instr::Store(
                 need_int()?.try_into().map_err(|_| aerr(lineno, "local out of range"))?,
             ),
@@ -311,9 +303,9 @@ fn assemble_body(
             "len" => Instr::Len,
             "itob" => Instr::IntToBytes,
             "btoi" => Instr::BytesToInt,
-            "mklist" => Instr::MakeList(
-                need_int()?.try_into().map_err(|_| aerr(lineno, "mklist count"))?,
-            ),
+            "mklist" => {
+                Instr::MakeList(need_int()?.try_into().map_err(|_| aerr(lineno, "mklist count"))?)
+            }
             "index" => Instr::Index,
             "append" => Instr::Append,
             "jmp" => Instr::Jump(need_label(&labels)?),
@@ -327,8 +319,8 @@ fn assemble_body(
             }
             "ret" => Instr::Ret,
             "trap" => {
-                let bytes = parse_string(arg)
-                    .ok_or_else(|| aerr(lineno, "trap needs a quoted string"))?;
+                let bytes =
+                    parse_string(arg).ok_or_else(|| aerr(lineno, "trap needs a quoted string"))?;
                 Instr::Trap(module.intern(bytes))
             }
             "host.get" => Instr::Host(HostFn::Get),
@@ -432,10 +424,9 @@ mod tests {
 
     #[test]
     fn flags_parse() {
-        let m = assemble(
-            "fn r(0) ro det priv {\n unit\n ret\n}\nfn w(0) locals=3 {\n unit\n ret\n}",
-        )
-        .unwrap();
+        let m =
+            assemble("fn r(0) ro det priv {\n unit\n ret\n}\nfn w(0) locals=3 {\n unit\n ret\n}")
+                .unwrap();
         let (_, r) = m.function("r").unwrap();
         assert!(r.read_only && r.deterministic && !r.public);
         let (_, w) = m.function("w").unwrap();
@@ -496,10 +487,8 @@ mod tests {
     #[test]
     fn validation_failures_surface() {
         // read-only function with a put must be rejected.
-        let e = assemble(
-            "fn bad(0) ro {\n push.s \"k\"\n push.s \"v\"\n host.put\n ret\n}",
-        )
-        .unwrap_err();
+        let e = assemble("fn bad(0) ro {\n push.s \"k\"\n push.s \"v\"\n host.put\n ret\n}")
+            .unwrap_err();
         assert!(e.message.contains("read-only"), "{e}");
     }
 
@@ -513,9 +502,8 @@ mod tests {
     fn trap_assembles() {
         let m = assemble("fn t(0) {\n trap \"boom\"\n}").unwrap();
         let mut host = MemoryHost::default();
-        let err = Interpreter::new(Limits::default())
-            .execute(&m, "t", vec![], &mut host)
-            .unwrap_err();
+        let err =
+            Interpreter::new(Limits::default()).execute(&m, "t", vec![], &mut host).unwrap_err();
         assert_eq!(err, crate::interp::VmError::Trap("boom".into()));
     }
 }

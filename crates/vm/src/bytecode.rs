@@ -182,11 +182,7 @@ pub struct Module {
 impl Module {
     /// Find a function by name.
     pub fn function(&self, name: &str) -> Option<(u32, &FunctionDef)> {
-        self.functions
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name == name)
-            .map(|(i, f)| (i as u32, f))
+        self.functions.iter().enumerate().find(|(_, f)| f.name == name).map(|(i, f)| (i as u32, f))
     }
 
     /// Intern a constant, returning its pool index.
@@ -202,8 +198,7 @@ impl Module {
     /// Serialized size estimate (for network-transfer cost modelling).
     pub fn approx_bytes(&self) -> usize {
         let consts: usize = self.constants.iter().map(|c| c.len() + 8).sum();
-        let code: usize =
-            self.functions.iter().map(|f| f.name.len() + 16 + f.code.len() * 6).sum();
+        let code: usize = self.functions.iter().map(|f| f.name.len() + 16 + f.code.len() * 6).sum();
         consts + code
     }
 

@@ -224,9 +224,8 @@ mod tests {
         assert_eq!(a1.code, a2.code);
         // The binary constant survived the escape round-trip.
         let mut h = MemoryHost::default();
-        let len = Interpreter::new(Limits::default())
-            .execute(&m2, "weird", vec![], &mut h)
-            .unwrap();
+        let len =
+            Interpreter::new(Limits::default()).execute(&m2, "weird", vec![], &mut h).unwrap();
         assert_eq!(len, VmValue::Int("bytes\n\"quoted\"".len() as i64 + 2));
     }
 

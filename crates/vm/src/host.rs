@@ -238,11 +238,8 @@ impl Host for MemoryHost {
         newest_first: bool,
     ) -> Result<Vec<Vec<u8>>, HostError> {
         let items = self.collections.get(field).cloned().unwrap_or_default();
-        let mut out: Vec<Vec<u8>> = if newest_first {
-            items.into_iter().rev().collect()
-        } else {
-            items
-        };
+        let mut out: Vec<Vec<u8>> =
+            if newest_first { items.into_iter().rev().collect() } else { items };
         out.truncate(limit);
         Ok(out)
     }

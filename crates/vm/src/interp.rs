@@ -144,13 +144,8 @@ impl Interpreter {
                 got: args.len(),
             });
         }
-        let mut run = Run {
-            module,
-            host,
-            limits: self.limits,
-            report: ExecutionReport::default(),
-            mem: 0,
-        };
+        let mut run =
+            Run { module, host, limits: self.limits, report: ExecutionReport::default(), mem: 0 };
         let value = run.call(idx as usize, args)?;
         Ok((value, run.report))
     }
@@ -208,9 +203,7 @@ impl Run<'_, '_> {
 
             match instr {
                 Instr::PushInt(v) => self.push(frames.last_mut().unwrap(), VmValue::Int(v))?,
-                Instr::PushBool(b) => {
-                    self.push(frames.last_mut().unwrap(), VmValue::Bool(b))?
-                }
+                Instr::PushBool(b) => self.push(frames.last_mut().unwrap(), VmValue::Bool(b))?,
                 Instr::PushUnit => self.push(frames.last_mut().unwrap(), VmValue::Unit)?,
                 Instr::PushConst(i) => {
                     let c = self
@@ -289,9 +282,7 @@ impl Run<'_, '_> {
                             // a grew by b.len: account for it.
                             self.alloc(0)?;
                         }
-                        (a, _) => {
-                            return Err(VmError::Type { op: "concat", found: a.type_name() })
-                        }
+                        (a, _) => return Err(VmError::Type { op: "concat", found: a.type_name() }),
                     }
                 }
                 Instr::Len => {
@@ -299,9 +290,7 @@ impl Run<'_, '_> {
                     let len = match &v {
                         VmValue::Bytes(b) => b.len() as i64,
                         VmValue::List(l) => l.len() as i64,
-                        other => {
-                            return Err(VmError::Type { op: "len", found: other.type_name() })
-                        }
+                        other => return Err(VmError::Type { op: "len", found: other.type_name() }),
                     };
                     self.free(v.approx_bytes());
                     self.push(frames.last_mut().unwrap(), VmValue::Int(len))?;
@@ -346,15 +335,12 @@ impl Run<'_, '_> {
                     let list = self.pop(frames.last_mut().unwrap())?;
                     match list {
                         VmValue::List(items) => {
-                            let item = items
-                                .get(idx as usize)
-                                .cloned()
-                                .ok_or_else(|| {
-                                    VmError::Trap(format!(
-                                        "list index {idx} out of bounds (len {})",
-                                        items.len()
-                                    ))
-                                })?;
+                            let item = items.get(idx as usize).cloned().ok_or_else(|| {
+                                VmError::Trap(format!(
+                                    "list index {idx} out of bounds (len {})",
+                                    items.len()
+                                ))
+                            })?;
                             self.free(VmValue::List(items).approx_bytes());
                             self.push(frames.last_mut().unwrap(), item)?;
                         }
@@ -536,9 +522,7 @@ impl Run<'_, '_> {
         }
 
         let bytes_arg = |v: &VmValue, op: &'static str| -> Result<Vec<u8>, VmError> {
-            v.as_bytes()
-                .map(<[u8]>::to_vec)
-                .ok_or(VmError::Type { op, found: v.type_name() })
+            v.as_bytes().map(<[u8]>::to_vec).ok_or(VmError::Type { op, found: v.type_name() })
         };
         let int_arg = |v: &VmValue, op: &'static str| -> Result<i64, VmError> {
             v.as_int().ok_or(VmError::Type { op, found: v.type_name() })
@@ -601,8 +585,8 @@ impl Run<'_, '_> {
                         })
                     }
                 };
-                let method = String::from_utf8_lossy(&bytes_arg(&args[1], "host invoke_many")?)
-                    .into_owned();
+                let method =
+                    String::from_utf8_lossy(&bytes_arg(&args[1], "host invoke_many")?).into_owned();
                 let call_args = match &args[2] {
                     VmValue::List(items) => items.clone(),
                     VmValue::Unit => Vec::new(),
@@ -618,8 +602,8 @@ impl Run<'_, '_> {
             }
             HostFn::Invoke => {
                 let object = bytes_arg(&args[0], "host invoke")?;
-                let method = String::from_utf8_lossy(&bytes_arg(&args[1], "host invoke")?)
-                    .into_owned();
+                let method =
+                    String::from_utf8_lossy(&bytes_arg(&args[1], "host invoke")?).into_owned();
                 let call_args = match &args[2] {
                     VmValue::List(items) => items.clone(),
                     VmValue::Unit => Vec::new(),
@@ -798,21 +782,17 @@ mod tests {
             .function(func("loop", 0, 0, vec![Instr::Call(0), Instr::Ret]))
             .build();
         let mut host = MemoryHost::default();
-        let err = Interpreter::new(Limits::tiny())
-            .execute(&m, "loop", vec![], &mut host)
-            .unwrap_err();
+        let err =
+            Interpreter::new(Limits::tiny()).execute(&m, "loop", vec![], &mut host).unwrap_err();
         assert_eq!(err, VmError::CallDepthExceeded);
     }
 
     #[test]
     fn fuel_exhaustion_on_infinite_loop() {
-        let m = ModuleBuilder::new()
-            .function(func("spin", 0, 0, vec![Instr::Jump(0)]))
-            .build();
+        let m = ModuleBuilder::new().function(func("spin", 0, 0, vec![Instr::Jump(0)])).build();
         let mut host = MemoryHost::default();
-        let err = Interpreter::new(Limits::tiny())
-            .execute(&m, "spin", vec![], &mut host)
-            .unwrap_err();
+        let err =
+            Interpreter::new(Limits::tiny()).execute(&m, "spin", vec![], &mut host).unwrap_err();
         assert_eq!(err, VmError::FuelExhausted);
     }
 
@@ -889,15 +869,11 @@ mod tests {
         host.push(b"timeline", b"one").unwrap();
         host.push(b"timeline", b"two").unwrap();
         host.push(b"timeline", b"three").unwrap();
-        let out = Interpreter::new(Limits::default())
-            .execute(&m, "read_tl", vec![], &mut host)
-            .unwrap();
+        let out =
+            Interpreter::new(Limits::default()).execute(&m, "read_tl", vec![], &mut host).unwrap();
         assert_eq!(
             out,
-            VmValue::List(vec![
-                VmValue::Bytes(b"three".to_vec()),
-                VmValue::Bytes(b"two".to_vec())
-            ])
+            VmValue::List(vec![VmValue::Bytes(b"three".to_vec()), VmValue::Bytes(b"two".to_vec())])
         );
     }
 
@@ -906,12 +882,7 @@ mod tests {
         let mut builder = ModuleBuilder::new();
         let msg = builder.constant(b"insufficient funds".to_vec());
         let m = builder
-            .function(func(
-                "fail",
-                0,
-                0,
-                vec![Instr::PushConst(msg), Instr::Host(HostFn::Abort)],
-            ))
+            .function(func("fail", 0, 0, vec![Instr::PushConst(msg), Instr::Host(HostFn::Abort)]))
             .build();
         match run(&m, "fail", vec![]) {
             Err(VmError::Host(HostError::Aborted(m))) => {

@@ -190,10 +190,7 @@ mod tests {
     fn unknown_method_fails() {
         let r = registry();
         let mut host = MemoryHost::default();
-        assert!(matches!(
-            r.invoke("missing", vec![], &mut host),
-            Err(HostError::InvokeFailed(_))
-        ));
+        assert!(matches!(r.invoke("missing", vec![], &mut host), Err(HostError::InvokeFailed(_))));
     }
 
     #[test]
@@ -222,9 +219,8 @@ mod tests {
     fn read_only_host_blocks_native_mutation() {
         let r = registry();
         let mut host = MemoryHost { read_only: true, ..MemoryHost::default() };
-        let err = r
-            .invoke("store", vec![VmValue::str("k"), VmValue::str("v")], &mut host)
-            .unwrap_err();
+        let err =
+            r.invoke("store", vec![VmValue::str("k"), VmValue::str("v")], &mut host).unwrap_err();
         assert_eq!(err, HostError::ReadOnlyViolation);
     }
 }

@@ -98,22 +98,18 @@ pub fn validate_function(module: &Module, f: &FunctionDef) -> Result<(), Validat
     // Reference checks.
     for (pc, instr) in f.code.iter().enumerate() {
         match instr {
-            Instr::PushConst(i) | Instr::Trap(i)
-                if *i as usize >= module.constants.len() => {
-                    return Err(err(&f.name, Some(pc), format!("constant {i} out of range")));
-                }
-            Instr::Load(i) | Instr::Store(i)
-                if *i >= f.locals.max(f.arity as u16) => {
-                    return Err(err(&f.name, Some(pc), format!("local {i} out of range")));
-                }
-            Instr::Jump(t) | Instr::JumpIfFalse(t)
-                if *t as usize > f.code.len() => {
-                    return Err(err(&f.name, Some(pc), format!("jump target {t} out of range")));
-                }
-            Instr::Call(i)
-                if *i as usize >= module.functions.len() => {
-                    return Err(err(&f.name, Some(pc), format!("function {i} out of range")));
-                }
+            Instr::PushConst(i) | Instr::Trap(i) if *i as usize >= module.constants.len() => {
+                return Err(err(&f.name, Some(pc), format!("constant {i} out of range")));
+            }
+            Instr::Load(i) | Instr::Store(i) if *i >= f.locals.max(f.arity as u16) => {
+                return Err(err(&f.name, Some(pc), format!("local {i} out of range")));
+            }
+            Instr::Jump(t) | Instr::JumpIfFalse(t) if *t as usize > f.code.len() => {
+                return Err(err(&f.name, Some(pc), format!("jump target {t} out of range")));
+            }
+            Instr::Call(i) if *i as usize >= module.functions.len() => {
+                return Err(err(&f.name, Some(pc), format!("function {i} out of range")));
+            }
             _ => {}
         }
     }
@@ -149,9 +145,7 @@ pub fn validate_function(module: &Module, f: &FunctionDef) -> Result<(), Validat
             | Instr::Concat
             | Instr::Index
             | Instr::Append => (2, 1, vec![pc + 1]),
-            Instr::Not | Instr::Len | Instr::IntToBytes | Instr::BytesToInt => {
-                (1, 1, vec![pc + 1])
-            }
+            Instr::Not | Instr::Len | Instr::IntToBytes | Instr::BytesToInt => (1, 1, vec![pc + 1]),
             Instr::MakeList(n) => (*n as isize, 1, vec![pc + 1]),
             Instr::Jump(t) => (0, 0, vec![*t as usize]),
             Instr::JumpIfFalse(t) => (1, 0, vec![*t as usize, pc + 1]),
@@ -186,9 +180,7 @@ pub fn validate_function(module: &Module, f: &FunctionDef) -> Result<(), Validat
                     return Err(err(
                         &f.name,
                         Some(next),
-                        format!(
-                            "inconsistent stack depth: {existing} vs {new_depth} on merge"
-                        ),
+                        format!("inconsistent stack depth: {existing} vs {new_depth} on merge"),
                     ));
                 }
                 Some(_) => {}
@@ -250,9 +242,7 @@ mod tests {
     fn rejects_bad_constant_and_local() {
         let m = ModuleBuilder::new().function(func("c", vec![Instr::PushConst(0)])).build();
         assert!(validate_module(&m).is_err());
-        let m = ModuleBuilder::new()
-            .function(func("l", vec![Instr::Load(50), Instr::Ret]))
-            .build();
+        let m = ModuleBuilder::new().function(func("l", vec![Instr::Load(50), Instr::Ret])).build();
         assert!(validate_module(&m).is_err());
     }
 
@@ -303,10 +293,7 @@ mod tests {
     fn read_only_accepts_reads() {
         let mut builder = ModuleBuilder::new();
         let c = builder.constant(b"k".to_vec());
-        let mut f = func(
-            "ro",
-            vec![Instr::PushConst(c), Instr::Host(HostFn::Get), Instr::Ret],
-        );
+        let mut f = func("ro", vec![Instr::PushConst(c), Instr::Host(HostFn::Get), Instr::Ret]);
         f.read_only = true;
         let m = builder.function(f).build();
         validate_module(&m).unwrap();

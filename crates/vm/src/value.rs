@@ -6,8 +6,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A VM value: the argument/result type of every LambdaObjects method.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum VmValue {
     /// Absence of a value (also the return of a fall-through function).
     #[default]
@@ -33,9 +32,7 @@ impl VmValue {
         match self {
             VmValue::Unit | VmValue::Bool(_) | VmValue::Int(_) => 16,
             VmValue::Bytes(b) => 24 + b.len(),
-            VmValue::List(items) => {
-                24 + items.iter().map(VmValue::approx_bytes).sum::<usize>()
-            }
+            VmValue::List(items) => 24 + items.iter().map(VmValue::approx_bytes).sum::<usize>(),
         }
     }
 
@@ -179,7 +176,6 @@ impl VmValue {
         }
     }
 }
-
 
 impl fmt::Display for VmValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -326,10 +322,7 @@ mod tests {
     fn display_formats() {
         assert_eq!(VmValue::Int(3).to_string(), "3");
         assert_eq!(VmValue::str("hi").to_string(), "\"hi\"");
-        assert_eq!(
-            VmValue::List(vec![VmValue::Int(1), VmValue::Int(2)]).to_string(),
-            "[1, 2]"
-        );
+        assert_eq!(VmValue::List(vec![VmValue::Int(1), VmValue::Int(2)]).to_string(), "[1, 2]");
         assert_eq!(VmValue::Unit.to_string(), "()");
     }
 }

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use lambda_vm::host::MemoryHost;
-use lambda_vm::{
-    validate_module, FunctionDef, Instr, Interpreter, Limits, Module, VmValue,
-};
+use lambda_vm::{validate_module, FunctionDef, Instr, Interpreter, Limits, Module, VmValue};
 
 fn value_strategy() -> impl Strategy<Value = VmValue> {
     let leaf = prop_oneof![

@@ -96,8 +96,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     )?;
 
     for i in 0..ACCOUNTS {
-        client
-            .create_object("Account", &account(i), &[("balance", &INITIAL.to_le_bytes())])?;
+        client.create_object("Account", &account(i), &[("balance", &INITIAL.to_le_bytes())])?;
     }
     println!("{ACCOUNTS} accounts created with {INITIAL} each");
 
@@ -128,10 +127,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                     let result = client.invoke(
                         &account(from),
                         "withdraw_then_pay",
-                        vec![
-                            VmValue::Bytes(account(to).0.clone()),
-                            VmValue::Int(amount),
-                        ],
+                        vec![VmValue::Bytes(account(to).0.clone()), VmValue::Int(amount)],
                         false,
                     );
                     match result {
@@ -156,10 +152,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Invariants.
     let mut total = 0i64;
     for i in 0..ACCOUNTS {
-        let bal = client
-            .invoke(&account(i), "balance", vec![], true)?
-            .as_int()
-            .expect("int balance");
+        let bal =
+            client.invoke(&account(i), "balance", vec![], true)?.as_int().expect("int balance");
         assert!(bal >= 0, "account {i} went negative: {bal}");
         total += bal;
         println!("  account {i}: {bal}");
@@ -169,9 +163,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         INITIAL * ACCOUNTS as i64,
         "money must be conserved across concurrent transfers"
     );
-    println!(
-        "\ninvariants hold: no negative balances, total = {total} (= {ACCOUNTS} x {INITIAL})"
-    );
+    println!("\ninvariants hold: no negative balances, total = {total} (= {ACCOUNTS} x {INITIAL})");
 
     cluster.shutdown();
     println!("done.");

@@ -15,10 +15,8 @@ use lambdaobjects::store::{AggregatedCluster, ClusterConfig};
 use lambdaobjects::vm::{assemble, VmValue};
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let config = ClusterConfig {
-        heartbeat_timeout: Duration::from_millis(500),
-        ..ClusterConfig::default()
-    };
+    let config =
+        ClusterConfig { heartbeat_timeout: Duration::from_millis(500), ..ClusterConfig::default() };
     println!("booting cluster (3-way replication, 500ms failure detector)...");
     let cluster = AggregatedCluster::build(config)?;
     let client = cluster.client();
@@ -58,15 +56,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     client.refresh();
     let (_, info) = client.placement().locate(&journal).expect("placed");
-    println!("{acked} entries acknowledged; primary is node-{} (epoch {})", info.primary.0, info.epoch);
+    println!(
+        "{acked} entries acknowledged; primary is node-{} (epoch {})",
+        info.primary.0, info.epoch
+    );
 
     // Crash the primary.
-    let primary_idx = cluster
-        .core
-        .storage
-        .iter()
-        .position(|n| n.id() == info.primary)
-        .expect("primary exists");
+    let primary_idx =
+        cluster.core.storage.iter().position(|n| n.id() == info.primary).expect("primary exists");
     println!("crashing node-{}...", info.primary.0);
     cluster.core.kill_storage_node(primary_idx);
 
@@ -75,19 +72,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let deadline = Instant::now() + Duration::from_secs(15);
     let mut failover = None;
     while failover.is_none() {
-        match client.invoke(
-            &journal,
-            "append",
-            vec![VmValue::str(format!("entry-{acked}"))],
-            false,
-        ) {
+        match client.invoke(&journal, "append", vec![VmValue::str(format!("entry-{acked}"))], false)
+        {
             Ok(_) => {
                 acked += 1;
                 failover = Some(t.elapsed());
             }
-            Err(_) if Instant::now() < deadline => {
-                std::thread::sleep(Duration::from_millis(50))
-            }
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
             Err(e) => return Err(format!("failover never completed: {e}").into()),
         }
     }
@@ -109,7 +100,12 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Writes continue normally on the new configuration.
     for i in 0..10 {
-        client.invoke(&journal, "append", vec![VmValue::str(format!("post-failover-{i}"))], false)?;
+        client.invoke(
+            &journal,
+            "append",
+            vec![VmValue::str(format!("post-failover-{i}"))],
+            false,
+        )?;
     }
     println!("10 more entries committed on the new primary");
 

@@ -46,8 +46,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let tl = client.invoke(id, "get_timeline", vec![VmValue::Int(10)], true)?;
         println!("\n{who}'s timeline:");
         for post in tl.as_list().unwrap_or(&[]) {
-            let (author, msg) = parse_post(post.as_bytes().unwrap_or_default())
-                .unwrap_or_default();
+            let (author, msg) = parse_post(post.as_bytes().unwrap_or_default()).unwrap_or_default();
             println!("  @{author}: {msg}");
         }
     }

@@ -64,12 +64,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    invocation linearizability; the commit replicates synchronously
     //    to the backups before the call returns.
     for (name, msg) in [("ada", "hello"), ("grace", "hopper was here"), ("alan", "42")] {
-        let count = client.invoke(
-            &book,
-            "sign",
-            vec![VmValue::str(name), VmValue::str(msg)],
-            false,
-        )?;
+        let count =
+            client.invoke(&book, "sign", vec![VmValue::str(name), VmValue::str(msg)], false)?;
         println!("signed by {name}; entries now: {count}");
     }
 

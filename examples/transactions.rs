@@ -93,10 +93,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         TxCall::new(fees.clone(), "add", vec![VmValue::Int(5)]),
         TxCall::new(checking.clone(), "balance", vec![]),
     ])?;
-    println!(
-        "transfer committed atomically; checking balance inside the tx: {}",
-        results[3]
-    );
+    println!("transfer committed atomically; checking balance inside the tx: {}", results[3]);
 
     // 2. All-or-nothing: the second call overdraws, so the first call's
     //    write must roll back too.

@@ -7,7 +7,6 @@
 //! counter exact, while the disaggregated baseline — "no consistency
 //! guarantees" (§5) — loses updates.
 
-
 use lambdaobjects::objects::{FieldDef, FieldKind, ObjectId};
 use lambdaobjects::store::{
     ids, AggregatedCluster, ClusterConfig, DisaggregatedCluster, StoreRequest, StoreResponse,
@@ -76,6 +75,63 @@ fn aggregated_concurrent_increments_are_exact() {
         n,
         VmValue::Int((THREADS * INCREMENTS) as i64),
         "invocation linearizability: every increment must be preserved"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn aggregated_increments_exact_with_commit_pipeline_engaged() {
+    // Same linearizability probe as above, but explicitly verifying that
+    // BOTH batching layers of the commit pipeline were exercised while the
+    // counter stayed exact: the storage engine's WAL group commit and the
+    // per-shard replication batcher (both on by default).
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let client = cluster.client();
+    client.deploy_type("Counter", fields(), &counter_module()).unwrap();
+    let id = ObjectId::from("counter/pipelined");
+    client.create_object("Counter", &id, &[]).unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let client = client.clone();
+            let id = id.clone();
+            scope.spawn(move || {
+                for _ in 0..INCREMENTS {
+                    client.invoke(&id, "increment", vec![], false).unwrap();
+                }
+            });
+        }
+    });
+
+    let n = client.invoke(&id, "read", vec![], true).unwrap();
+    assert_eq!(
+        n,
+        VmValue::Int((THREADS * INCREMENTS) as i64),
+        "linearizability must hold with group commit + replication batching on"
+    );
+
+    // Layer 1: the primary's WAL commits went through the group-commit
+    // queue (every durable write is counted against a leader round).
+    let kv_groups: u64 =
+        cluster.core.storage.iter().map(|n| n.engine().db().stats().commit_groups).sum();
+    let kv_batches: u64 =
+        cluster.core.storage.iter().map(|n| n.engine().db().stats().commit_group_batches).sum();
+    assert!(kv_groups > 0, "WAL group commit never engaged");
+    assert!(kv_batches >= kv_groups, "each leader round commits >= 1 batch");
+
+    // Layer 2: replication to the backups flowed through the per-shard
+    // window batcher, and every committed write set was shipped.
+    let (rounds, entries): (u64, u64) = cluster
+        .core
+        .storage
+        .iter()
+        .map(|n| n.replication_batch_stats())
+        .fold((0, 0), |(r, e), (nr, ne)| (r + nr, e + ne));
+    assert!(rounds > 0, "replication batcher never engaged");
+    assert!(entries >= rounds, "each replication round ships >= 1 write set");
+    assert!(
+        entries >= (THREADS * INCREMENTS) as u64,
+        "every committed increment was replicated ({entries} entries)"
     );
     cluster.shutdown();
 }
@@ -247,9 +303,7 @@ fn causality_block_then_post_scenario() {
     let stalker = ObjectId::from("u/stalker");
     client.create_object("User", &author, &[]).unwrap();
     client.create_object("User", &stalker, &[]).unwrap();
-    client
-        .invoke(&author, "follow", vec![VmValue::Bytes(stalker.0.clone())], false)
-        .unwrap();
+    client.invoke(&author, "follow", vec![VmValue::Bytes(stalker.0.clone())], false).unwrap();
 
     // Post while followed: delivered.
     client.invoke(&author, "create_post", vec![VmValue::str("public")], false).unwrap();

@@ -7,8 +7,7 @@ use std::time::Duration;
 
 use lambdaobjects::objects::ObjectId;
 use lambdaobjects::retwis::{
-    account_id, parse_post, run, setup, AggregatedBackend, OpMix, RetwisBackend,
-    WorkloadConfig,
+    account_id, parse_post, run, setup, AggregatedBackend, OpMix, RetwisBackend, WorkloadConfig,
 };
 use lambdaobjects::store::{AggregatedCluster, ClusterConfig};
 use lambdaobjects::vm::VmValue;
@@ -38,18 +37,11 @@ fn retwis_workload_on_cluster_is_consistent() {
     // timeline exactly once, newest-first.
     let client = cluster.client();
     let author = ObjectId::new(account_id(0));
-    client
-        .invoke(&author, "create_post", vec![VmValue::str("probe-post")], false)
-        .unwrap();
-    let followers = client
-        .invoke(&author, "follower_count", vec![], true)
-        .unwrap()
-        .as_int()
-        .unwrap();
+    client.invoke(&author, "create_post", vec![VmValue::str("probe-post")], false).unwrap();
+    let followers =
+        client.invoke(&author, "follower_count", vec![], true).unwrap().as_int().unwrap();
     assert!(followers > 0, "the graph gave account 0 followers");
-    let tl = client
-        .invoke(&author, "get_timeline", vec![VmValue::Int(1)], true)
-        .unwrap();
+    let tl = client.invoke(&author, "get_timeline", vec![VmValue::Int(1)], true).unwrap();
     let newest = tl.as_list().unwrap()[0].as_bytes().unwrap().to_vec();
     let (who, msg) = parse_post(&newest).unwrap();
     assert_eq!(who, "user/000000");
