@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_paxos::{PaxosConfig, PaxosNode};
+use lambda_telemetry::{Counter, Registry};
 
 use crate::state::{ClusterState, CoordCmd};
 
@@ -95,6 +96,14 @@ struct CoordShared {
     state: RwLock<ClusterState>,
     heartbeats: Mutex<HashMap<NodeId, (Instant, Option<NodeId>)>>,
     shutdown: AtomicBool,
+    /// Telemetry registry for this replica; the counters below share its
+    /// cells, so operators read them either way.
+    registry: Arc<Registry>,
+    hb_received: Counter,
+    state_reads: Counter,
+    proposals: Counter,
+    failovers: Counter,
+    notifications: Counter,
 }
 
 /// One replica of the coordination service.
@@ -122,10 +131,17 @@ impl Coordinator {
         peers: Vec<NodeId>,
         config: CoordConfig,
     ) -> Arc<Coordinator> {
+        let registry = Registry::shared();
         let shared = Arc::new(CoordShared {
             state: RwLock::new(ClusterState::default()),
             heartbeats: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            hb_received: registry.counter("coord_heartbeats"),
+            state_reads: registry.counter("coord_state_reads"),
+            proposals: registry.counter("coord_proposals"),
+            failovers: registry.counter("coord_failovers"),
+            notifications: registry.counter("coord_notifications"),
+            registry,
         });
 
         // Paxos group underneath.
@@ -152,10 +168,12 @@ impl Coordinator {
             let req: CoordRequest = wire::from_bytes(&body).map_err(|e| e.to_string())?;
             let resp = match req {
                 CoordRequest::Heartbeat { node, watch } => {
+                    handler_shared.hb_received.incr();
                     handler_shared.heartbeats.lock().insert(node, (Instant::now(), watch));
                     CoordResponse::Ack
                 }
                 CoordRequest::GetState { min_version } => {
+                    handler_shared.state_reads.incr();
                     let st = handler_shared.state.read();
                     if st.version > min_version {
                         CoordResponse::State(Some(st.clone()))
@@ -164,6 +182,7 @@ impl Coordinator {
                     }
                 }
                 CoordRequest::Propose { cmd } => {
+                    handler_shared.proposals.incr();
                     let bytes = wire::to_bytes(&cmd).map_err(|e| e.to_string())?;
                     let slot = handler_paxos.propose(bytes).map_err(|e| e.to_string())?;
                     // Wait until this replica has applied through the slot.
@@ -222,6 +241,7 @@ impl Coordinator {
                     .collect()
             };
             for dead in expired {
+                self.shared.failovers.incr();
                 let plan = self.shared.state.read().plan_failover(dead);
                 for cmd in plan {
                     let _ = self.propose_local(&cmd);
@@ -244,6 +264,7 @@ impl Coordinator {
                     .filter_map(|(_, watch)| *watch)
                     .collect();
                 for w in watchers {
+                    self.shared.notifications.incr();
                     self.rpc.notify(w, bytes.clone());
                 }
             }
@@ -264,6 +285,12 @@ impl Coordinator {
     /// Snapshot of the replicated state as seen by this replica.
     pub fn state(&self) -> ClusterState {
         self.shared.state.read().clone()
+    }
+
+    /// This replica's telemetry registry (`coord_*` counters: heartbeats,
+    /// state reads, proposals, failovers, push notifications).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
     }
 
     /// Stop the detector and RPC endpoints.
@@ -406,6 +433,13 @@ mod tests {
         assert_eq!(state.shard(0).unwrap().primary, NodeId(1));
         // min_version filtering.
         assert!(tc.client.get_state(state.version).unwrap().is_none());
+        // The serving replicas count the traffic in their registries.
+        let proposals: u64 =
+            tc.coords.iter().map(|c| c.registry().counter_value("coord_proposals")).sum();
+        let reads: u64 =
+            tc.coords.iter().map(|c| c.registry().counter_value("coord_state_reads")).sum();
+        assert_eq!(proposals, 3);
+        assert!(reads >= 2);
         for c in &tc.coords {
             c.shutdown();
         }

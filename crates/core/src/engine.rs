@@ -7,10 +7,11 @@
 //! write set as one atomic batch, and maintains the consistent result
 //! cache.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use lambda_kv::{Db, WriteBatch};
+use lambda_telemetry::{Counter, InvocationContext, Registry, Stage};
 use lambda_vm::{HostError, Interpreter, Limits, VmValue};
 
 use crate::cache::{CacheStats, ConsistentCache};
@@ -24,14 +25,18 @@ use crate::scheduler::{Scheduler, SchedulerMode, SchedulerStats};
 /// engine recurses locally; in LambdaStore the router checks the shard map
 /// and forwards to the responsible primary.
 pub trait InvokeRouter: Send + Sync {
-    /// Invoke `method` on `target` on behalf of `source`. `depth` is the
-    /// nesting depth of the new invocation (for runaway-recursion limits;
-    /// no locks are held across the boundary, §3.1).
+    /// Invoke `method` on `target` on behalf of `source`. `ctx` is the
+    /// originating invocation's context (trace identity + remaining
+    /// deadline budget — forwarded hops must re-serialize the remaining
+    /// budget, not the original). `depth` is the nesting depth of the new
+    /// invocation (for runaway-recursion limits; no locks are held across
+    /// the boundary, §3.1).
     ///
     /// # Errors
     /// Any invocation failure.
     fn route(
         &self,
+        ctx: &InvocationContext,
         source: &ObjectId,
         target: &ObjectId,
         method: &str,
@@ -92,12 +97,15 @@ pub type WriteSetOps = Vec<(Vec<u8>, Option<Vec<u8>>)>;
 
 pub trait CommitHook: Send + Sync {
     /// Called with the object and the operations just committed locally
-    /// (`None` value = deletion).
+    /// (`None` value = deletion). `ctx` carries the committing
+    /// invocation's trace identity and remaining deadline budget so
+    /// replication RPCs can be bounded by it.
     ///
     /// # Errors
     /// A string describing the replication failure.
     fn on_commit(
         &self,
+        ctx: &InvocationContext,
         object: &ObjectId,
         ops: &[(Vec<u8>, Option<Vec<u8>>)],
     ) -> std::result::Result<(), String>;
@@ -114,11 +122,12 @@ pub struct Engine {
     router: parking_lot::RwLock<Option<Arc<dyn InvokeRouter>>>,
     commit_hook: parking_lot::RwLock<Option<Arc<dyn CommitHook>>>,
     max_depth: usize,
-    invocations: AtomicU64,
-    aborts: AtomicU64,
-    nested_calls: AtomicU64,
-    commits: AtomicU64,
-    cache_hits: AtomicU64,
+    registry: Arc<Registry>,
+    invocations: Counter,
+    aborts: Counter,
+    nested_calls: Counter,
+    commits: Counter,
+    cache_hits: Counter,
 }
 
 impl std::fmt::Debug for Engine {
@@ -128,24 +137,44 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Build an engine over an open database.
+    /// Build an engine over an open database with a private telemetry
+    /// registry.
     pub fn new(db: Db, types: Arc<TypeRegistry>, config: EngineConfig) -> Engine {
+        Engine::with_registry(db, types, config, Registry::shared())
+    }
+
+    /// Build an engine that reports through `registry` — the node-wide
+    /// registry shared with the kv layer and the RPC handler, so
+    /// `EngineStats`, `SchedulerStats` and the node's wire stats are all
+    /// views over one set of cells.
+    pub fn with_registry(
+        db: Db,
+        types: Arc<TypeRegistry>,
+        config: EngineConfig,
+        registry: Arc<Registry>,
+    ) -> Engine {
         Engine {
             db,
             types,
             cache: ConsistentCache::new(config.cache_capacity.max(1)),
             cache_enabled: config.cache_capacity > 0,
-            scheduler: Scheduler::new(config.scheduler),
+            scheduler: Scheduler::with_registry(config.scheduler, &registry),
             interpreter: Interpreter::new(config.limits),
             router: parking_lot::RwLock::new(None),
             commit_hook: parking_lot::RwLock::new(None),
             max_depth: config.max_depth,
-            invocations: AtomicU64::new(0),
-            aborts: AtomicU64::new(0),
-            nested_calls: AtomicU64::new(0),
-            commits: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
+            invocations: registry.counter("eng_invocations"),
+            aborts: registry.counter("eng_aborts"),
+            nested_calls: registry.counter("eng_nested_calls"),
+            commits: registry.counter("eng_commits"),
+            cache_hits: registry.counter("eng_cache_hits"),
+            registry,
         }
+    }
+
+    /// The telemetry registry this engine reports through.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Install the cross-shard router (LambdaStore does this at startup).
@@ -158,8 +187,14 @@ impl Engine {
         *self.commit_hook.write() = Some(hook);
     }
 
-    /// Run the commit hook for `batch` (already applied locally).
-    fn run_commit_hook(&self, object: &ObjectId, batch: &WriteBatch) -> Result<()> {
+    /// Run the commit hook for `batch` (already applied locally), timing
+    /// the replication fan-out as the invocation's `replicate` span.
+    fn run_commit_hook(
+        &self,
+        ctx: &InvocationContext,
+        object: &ObjectId,
+        batch: &WriteBatch,
+    ) -> Result<()> {
         let hook = self.commit_hook.read().clone();
         if let Some(hook) = hook {
             let ops: Vec<(Vec<u8>, Option<Vec<u8>>)> = batch
@@ -171,7 +206,10 @@ impl Engine {
                     lambda_kv::batch::BatchOp::Delete { key } => (key.clone(), None),
                 })
                 .collect();
-            hook.on_commit(object, &ops).map_err(InvokeError::Storage)?;
+            let start = Instant::now();
+            let result = hook.on_commit(ctx, object, &ops);
+            self.registry.record_span(ctx.trace_id, Stage::Replicate, start.elapsed());
+            result.map_err(InvokeError::Storage)?;
         }
         Ok(())
     }
@@ -283,7 +321,7 @@ impl Engine {
             batch.put(keys::field_key(id, field.as_bytes()), value.to_vec());
         }
         self.db.write(batch.clone())?;
-        self.run_commit_hook(id, &batch)?;
+        self.run_commit_hook(&InvocationContext::background(), id, &batch)?;
         Ok(())
     }
 
@@ -316,7 +354,7 @@ impl Engine {
         }
         if !batch.is_empty() {
             self.db.write(batch.clone())?;
-            self.run_commit_hook(id, &batch)?;
+            self.run_commit_hook(&InvocationContext::background(), id, &batch)?;
         }
         self.cache.invalidate_object(id);
         Ok(())
@@ -347,23 +385,45 @@ impl Engine {
 
     // -- Invocation ----------------------------------------------------------
 
-    /// Invoke a public method from outside (a client request).
+    /// Invoke a public method from outside (a client request) under a
+    /// fresh unbounded context.
     ///
     /// # Errors
     /// Any [`InvokeError`]; on error no writes were applied (beyond those
     /// committed by nested-call boundaries per §3.1).
     pub fn invoke(&self, object: &ObjectId, method: &str, args: Vec<VmValue>) -> Result<VmValue> {
-        self.invoke_with_depth(object, method, args, true, 0)
+        self.invoke_ctx(&InvocationContext::background(), object, method, args, true, 0)
     }
 
     /// Full-control invocation entry used by routers and replication:
     /// `external` enforces the `public` flag, `depth` is the nesting depth
-    /// (0 for client-facing invocations).
+    /// (0 for client-facing invocations). Runs under a fresh unbounded
+    /// context; deadline-carrying callers use [`Engine::invoke_ctx`].
     ///
     /// # Errors
     /// Any [`InvokeError`].
     pub fn invoke_with_depth(
         &self,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        external: bool,
+        depth: usize,
+    ) -> Result<VmValue> {
+        self.invoke_ctx(&InvocationContext::background(), object, method, args, external, depth)
+    }
+
+    /// Invoke under an explicit [`InvocationContext`]: the queue wait,
+    /// method execution, kv commit and replication fan-out are each
+    /// recorded as a span against `ctx.trace_id`, and an invocation whose
+    /// deadline expires while queued is shed before execution with
+    /// [`InvokeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    /// Any [`InvokeError`].
+    pub fn invoke_ctx(
+        &self,
+        ctx: &InvocationContext,
         object: &ObjectId,
         method: &str,
         args: Vec<VmValue>,
@@ -385,17 +445,24 @@ impl Engine {
             // Plain O(1) lookup: every write path invalidates eagerly, so
             // resident entries are valid by construction (§4.2.2).
             if let Some(hit) = self.cache.lookup(object, method, &args) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                self.invocations.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.incr();
+                self.invocations.incr();
                 return Ok(hit);
             }
         }
 
-        let guard = if meta.read_only {
-            self.scheduler.acquire_shared(object, &[])
-        } else {
-            self.scheduler.acquire_exclusive(object, &[])
+        // Queue span: time spent waiting behind the per-object lock. The
+        // scheduler re-checks the deadline at dequeue and sheds expired
+        // work here — before any execute/commit cycles are spent on it.
+        let queue_start = Instant::now();
+        let guard = match self.scheduler.acquire_ctx(object, &[], !meta.read_only, ctx) {
+            Ok(guard) => guard,
+            Err(e) => {
+                self.aborts.incr();
+                return Err(e);
+            }
         };
+        self.registry.record_span(ctx.trace_id, Stage::Queue, queue_start.elapsed());
 
         let snapshot_seq = self.db.last_sequence();
         let mut host = ObjectHost::new(
@@ -408,7 +475,11 @@ impl Engine {
             depth,
             Some(guard),
         );
+        host.ctx = *ctx;
 
+        // Execute span: the method body proper (nested calls and their
+        // commits run inside it; their own spans break that down).
+        let exec_start = Instant::now();
         let outcome: std::result::Result<VmValue, InvokeError> = match &ty.methods {
             MethodSet::Bytecode(module) => self
                 .interpreter
@@ -418,7 +489,8 @@ impl Engine {
                 reg.invoke(method, args.clone(), &mut host).map_err(InvokeError::from)
             }
         };
-        self.nested_calls.fetch_add(host.nested_calls, Ordering::Relaxed);
+        self.registry.record_span(ctx.trace_id, Stage::Execute, exec_start.elapsed());
+        self.nested_calls.add(host.nested_calls);
 
         match outcome {
             Ok(value) => {
@@ -430,10 +502,10 @@ impl Engine {
                 if !host.buffer.is_clean() {
                     let written = host.buffer.written_keys();
                     let batch = host.buffer.take_batch();
-                    self.commit_batch(object, batch, &written)?;
+                    self.commit_batch(ctx, object, batch, &written)?;
                 }
                 drop(host);
-                self.invocations.fetch_add(1, Ordering::Relaxed);
+                self.invocations.incr();
                 if cacheable {
                     self.cache.insert(object, method, &args, value.clone(), read_set);
                 }
@@ -442,7 +514,7 @@ impl Engine {
             Err(e) => {
                 host.buffer.discard();
                 drop(host);
-                self.aborts.fetch_add(1, Ordering::Relaxed);
+                self.aborts.incr();
                 // Unwrap nested-error encoding so callers see the original.
                 if let InvokeError::Nested(msg) = &e {
                     if msg.contains('\x1f') {
@@ -498,19 +570,23 @@ impl Engine {
             if !ops.is_empty() {
                 let hook = self.commit_hook.read().clone();
                 if let Some(hook) = hook {
-                    hook.on_commit(object, &ops).map_err(InvokeError::Storage)?;
+                    hook.on_commit(&InvocationContext::background(), object, &ops)
+                        .map_err(InvokeError::Storage)?;
                 }
             }
         }
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.incr();
         self.cache.invalidate_keys(written_keys.iter().map(Vec::as_slice));
         Ok(())
     }
 
     /// Commit an invocation's write set atomically, bumping the object's
-    /// version and invalidating overlapping cache entries.
+    /// version and invalidating overlapping cache entries. The kv write is
+    /// the invocation's `commit` span; the hook call inside
+    /// [`Engine::run_commit_hook`] is its `replicate` span.
     fn commit_batch(
         &self,
+        ctx: &InvocationContext,
         object: &ObjectId,
         mut batch: WriteBatch,
         written_keys: &[Vec<u8>],
@@ -518,23 +594,26 @@ impl Engine {
         let vkey = keys::version_key(object);
         let version = self.object_version(object) + 1;
         batch.put(vkey.clone(), version.to_le_bytes().to_vec());
+        let commit_start = Instant::now();
         self.db.write(batch.clone())?;
-        self.run_commit_hook(object, &batch)?;
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.registry.record_span(ctx.trace_id, Stage::Commit, commit_start.elapsed());
+        self.run_commit_hook(ctx, object, &batch)?;
+        self.commits.incr();
         let mut all_keys: Vec<&[u8]> = written_keys.iter().map(Vec::as_slice).collect();
         all_keys.push(&vkey);
         self.cache.invalidate_keys(all_keys);
         Ok(self.db.last_sequence())
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (a view over the telemetry registry's `eng_*` and
+    /// `sched_*` counters).
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            invocations: self.invocations.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
-            nested_calls: self.nested_calls.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            invocations: self.invocations.get(),
+            aborts: self.aborts.get(),
+            nested_calls: self.nested_calls.get(),
+            commits: self.commits.get(),
+            cache_hits: self.cache_hits.get(),
             cache: self.cache.stats(),
             scheduler: self.scheduler.stats(),
         }
@@ -554,17 +633,19 @@ impl Engine {
 impl NestedInvoker for Engine {
     fn commit_source(
         &self,
+        ctx: &InvocationContext,
         source: &ObjectId,
         batch: WriteBatch,
         written_keys: Vec<Vec<u8>>,
     ) -> std::result::Result<(), HostError> {
-        self.commit_batch(source, batch, &written_keys)
+        self.commit_batch(ctx, source, batch, &written_keys)
             .map(|_| ())
             .map_err(|e| HostError::Storage(e.to_string()))
     }
 
     fn invoke_nested(
         &self,
+        ctx: &InvocationContext,
         target: &ObjectId,
         method: &str,
         args: Vec<VmValue>,
@@ -572,8 +653,8 @@ impl NestedInvoker for Engine {
     ) -> std::result::Result<VmValue, HostError> {
         let router = self.router.read().clone();
         let result = match router {
-            Some(router) => router.route(target, target, method, args, depth),
-            None => self.invoke_with_depth(target, method, args, false, depth),
+            Some(router) => router.route(ctx, target, target, method, args, depth),
+            None => self.invoke_ctx(ctx, target, method, args, false, depth),
         };
         result.map_err(|e| HostError::InvokeFailed(encode_error(&e)))
     }
@@ -693,7 +774,7 @@ mod tests {
     }
 
     fn setup(config: EngineConfig) -> TestEnv {
-        use std::sync::atomic::AtomicU32;
+        use std::sync::atomic::{AtomicU32, Ordering};
         static COUNTER: AtomicU32 = AtomicU32::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let dir = std::env::temp_dir().join(format!("lambda-engine-{}-{n}", std::process::id()));
@@ -922,6 +1003,45 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(engine.object_version(&id), 100, "all 100 commits applied");
+    }
+
+    #[test]
+    fn invoke_ctx_records_span_chain() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        let ctx = InvocationContext::client(std::time::Duration::from_secs(30));
+        env.engine.invoke_ctx(&ctx, &id, "bump_raw", vec![VmValue::str("9")], true, 0).unwrap();
+        let spans = env.engine.registry().spans_for(ctx.trace_id);
+        let stages: Vec<Stage> = spans.iter().map(|s| s.stage).collect();
+        assert!(stages.contains(&Stage::Queue), "{stages:?}");
+        assert!(stages.contains(&Stage::Execute), "{stages:?}");
+        assert!(stages.contains(&Stage::Commit), "{stages:?}");
+        // No commit hook installed → no replicate span on a bare engine.
+        assert!(!stages.contains(&Stage::Replicate), "{stages:?}");
+        // Every span belongs to this trace.
+        assert!(spans.iter().all(|s| s.trace_id == ctx.trace_id));
+        // Stage histograms were fed too.
+        assert!(env.engine.registry().stage_stats(Stage::Execute).count >= 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_execution() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"keep")]).unwrap();
+        let expired = InvocationContext::from_wire(4242, 0, 0);
+        let err = env
+            .engine
+            .invoke_ctx(&expired, &id, "bump_raw", vec![VmValue::str("x")], true, 0)
+            .unwrap_err();
+        assert_eq!(err, InvokeError::DeadlineExceeded);
+        // The method never ran: no writes, no version bump, no spans.
+        assert_eq!(env.engine.invoke(&id, "read_count", vec![]).unwrap(), VmValue::str("keep"));
+        assert_eq!(env.engine.object_version(&id), 0);
+        assert!(env.engine.registry().spans_for(4242).is_empty());
+        assert_eq!(env.engine.stats().scheduler.shed, 1);
+        assert_eq!(env.engine.stats().aborts, 1);
     }
 
     #[test]

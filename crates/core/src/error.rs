@@ -32,6 +32,9 @@ pub enum InvokeError {
     DepthExceeded,
     /// This node is not responsible for the object (routing layer).
     WrongNode(String),
+    /// The invocation's deadline budget ran out before it could execute;
+    /// the work was shed without running the method body.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for InvokeError {
@@ -48,6 +51,7 @@ impl fmt::Display for InvokeError {
             InvokeError::Nested(msg) => write!(f, "nested invocation failed: {msg}"),
             InvokeError::DepthExceeded => write!(f, "invocation depth limit exceeded"),
             InvokeError::WrongNode(msg) => write!(f, "wrong node for object: {msg}"),
+            InvokeError::DeadlineExceeded => write!(f, "invocation deadline exceeded"),
         }
     }
 }
@@ -95,6 +99,7 @@ pub fn encode_error(e: &InvokeError) -> String {
         InvokeError::Nested(s) => format!("nested\x1f{s}"),
         InvokeError::DepthExceeded => "depth_exceeded\x1f".to_string(),
         InvokeError::WrongNode(s) => format!("wrong_node\x1f{s}"),
+        InvokeError::DeadlineExceeded => "deadline_exceeded\x1f".to_string(),
     }
 }
 
@@ -115,6 +120,7 @@ pub fn decode_error(s: &str) -> InvokeError {
         "nested" => InvokeError::Nested(rest),
         "depth_exceeded" => InvokeError::DepthExceeded,
         "wrong_node" => InvokeError::WrongNode(rest),
+        "deadline_exceeded" => InvokeError::DeadlineExceeded,
         _ => InvokeError::Nested(s.to_string()),
     }
 }
@@ -137,6 +143,7 @@ mod tests {
             InvokeError::Nested("remote".into()),
             InvokeError::DepthExceeded,
             InvokeError::WrongNode("moved".into()),
+            InvokeError::DeadlineExceeded,
         ];
         for e in &errors {
             assert!(!e.to_string().is_empty());
@@ -157,6 +164,7 @@ mod tests {
             InvokeError::Nested("timeout".into()),
             InvokeError::DepthExceeded,
             InvokeError::WrongNode("shard 3".into()),
+            InvokeError::DeadlineExceeded,
         ];
         for e in errors {
             assert_eq!(decode_error(&encode_error(&e)), e, "{e}");

@@ -7,6 +7,7 @@
 //! engine — which commits the buffered writes first, per §3.1.
 
 use lambda_kv::{Db, WriteBatch};
+use lambda_telemetry::InvocationContext;
 use lambda_vm::{Host, HostError, VmValue};
 
 use crate::buffer::WriteBuffer;
@@ -30,17 +31,21 @@ pub trait NestedInvoker: Sync {
     /// Storage/replication failures, encoded as a [`HostError`].
     fn commit_source(
         &self,
+        ctx: &InvocationContext,
         source: &ObjectId,
         batch: WriteBatch,
         written_keys: Vec<Vec<u8>>,
     ) -> Result<(), HostError>;
 
     /// Run the nested invocation (called with the caller's lock released).
+    /// `ctx` is the caller's context: the nested invocation inherits the
+    /// trace identity and the *remaining* deadline budget.
     ///
     /// # Errors
     /// Any nested failure, encoded as a [`HostError`].
     fn invoke_nested(
         &self,
+        ctx: &InvocationContext,
         target: &ObjectId,
         method: &str,
         args: Vec<VmValue>,
@@ -71,6 +76,9 @@ pub struct ObjectHost<'a> {
     pub logs: Vec<String>,
     /// Number of nested invocations performed.
     pub nested_calls: u64,
+    /// The invocation's context (trace identity + deadline); inherited by
+    /// nested calls. Defaults to an unbounded background context.
+    pub ctx: InvocationContext,
 }
 
 impl std::fmt::Debug for ObjectHost<'_> {
@@ -107,6 +115,7 @@ impl<'a> ObjectHost<'a> {
             guard,
             logs: Vec::new(),
             nested_calls: 0,
+            ctx: InvocationContext::background(),
         }
     }
 
@@ -209,14 +218,14 @@ impl Host for ObjectHost<'_> {
         let written = self.buffer.written_keys();
         let batch = self.buffer.take_batch();
         if !batch.is_empty() {
-            nested.commit_source(&self.object, batch, written)?;
+            nested.commit_source(&self.ctx, &self.object, batch, written)?;
         }
         // ...and the pre-call part is now a completed invocation: release
         // our object lock so the nested call (and everyone else) can make
         // progress even through follower cycles or self-invocations.
         let had_guard = self.guard.take().is_some();
         let target = ObjectId::new(object.to_vec());
-        let result = nested.invoke_nested(&target, method, args, self.depth + 1);
+        let result = nested.invoke_nested(&self.ctx, &target, method, args, self.depth + 1);
         if had_guard {
             // Resume as a fresh invocation: re-acquire and advance the
             // snapshot to see everything committed in the meantime.
@@ -248,10 +257,11 @@ impl Host for ObjectHost<'_> {
         let written = self.buffer.written_keys();
         let batch = self.buffer.take_batch();
         if !batch.is_empty() {
-            nested.commit_source(&self.object, batch, written)?;
+            nested.commit_source(&self.ctx, &self.object, batch, written)?;
         }
         let had_guard = self.guard.take().is_some();
         let depth = self.depth + 1;
+        let ctx = self.ctx;
         // Bounded parallelism: scatter in waves so a celebrity fan-out
         // does not spawn thousands of threads at once.
         const FANOUT_WAVE: usize = 8;
@@ -263,7 +273,8 @@ impl Host for ObjectHost<'_> {
                     .map(|target| {
                         let args = args.clone();
                         let target = ObjectId::new(target.clone());
-                        scope.spawn(move || nested.invoke_nested(&target, method, args, depth))
+                        scope
+                            .spawn(move || nested.invoke_nested(&ctx, &target, method, args, depth))
                     })
                     .collect();
                 handles

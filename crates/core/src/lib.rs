@@ -85,3 +85,7 @@ pub use migration::ObjectSnapshot;
 pub use object::{FieldDef, FieldKind, MethodMeta, MethodSet, ObjectId, ObjectType, TypeRegistry};
 pub use scheduler::{ObjectGuard, Scheduler, SchedulerMode, SchedulerStats};
 pub use transaction::TxCall;
+
+// Telemetry substrate re-exports: the context and registry types are part
+// of the engine's public API surface (invoke_ctx, with_registry).
+pub use lambda_telemetry::{Counter, InvocationContext, Origin, Registry, SpanRecord, Stage};

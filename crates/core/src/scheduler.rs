@@ -11,11 +11,12 @@
 //! locking at all (unsafe, for measuring what the locks cost).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use lambda_telemetry::{Counter, InvocationContext, Registry};
 use parking_lot::{Mutex, RwLock};
 
+use crate::error::InvokeError;
 use crate::object::ObjectId;
 
 /// Locking disciplines, selectable for ablation experiments.
@@ -31,13 +32,16 @@ pub enum SchedulerMode {
     Unsafe,
 }
 
-/// Scheduler statistics.
+/// Scheduler statistics — a thin view over the telemetry registry's
+/// `sched_*` counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     /// Exclusive acquisitions.
     pub exclusive: u64,
     /// Shared acquisitions.
     pub shared: u64,
+    /// Invocations shed at dequeue because their deadline had expired.
+    pub shed: u64,
 }
 
 /// Grants and tracks object locks.
@@ -45,8 +49,9 @@ pub struct Scheduler {
     mode: SchedulerMode,
     locks: Mutex<HashMap<ObjectId, Arc<RwLock<()>>>>,
     global: Arc<RwLock<()>>,
-    exclusive: AtomicU64,
-    shared: AtomicU64,
+    exclusive: Counter,
+    shared: Counter,
+    shed: Counter,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -72,14 +77,29 @@ enum GuardKind {
 }
 
 impl Scheduler {
-    /// A scheduler with the given discipline.
+    /// A scheduler with the given discipline and private counters.
     pub fn new(mode: SchedulerMode) -> Scheduler {
         Scheduler {
             mode,
             locks: Mutex::new(HashMap::new()),
             global: Arc::new(RwLock::new(())),
-            exclusive: AtomicU64::new(0),
-            shared: AtomicU64::new(0),
+            exclusive: Counter::new(),
+            shared: Counter::new(),
+            shed: Counter::new(),
+        }
+    }
+
+    /// A scheduler whose counters live in `registry` (as `sched_exclusive`,
+    /// `sched_shared`, `sched_shed`), so node stats and scheduler stats are
+    /// views over the same cells.
+    pub fn with_registry(mode: SchedulerMode, registry: &Registry) -> Scheduler {
+        Scheduler {
+            mode,
+            locks: Mutex::new(HashMap::new()),
+            global: Arc::new(RwLock::new(())),
+            exclusive: registry.counter("sched_exclusive"),
+            shared: registry.counter("sched_shared"),
+            shed: registry.counter("sched_shed"),
         }
     }
 
@@ -103,7 +123,7 @@ impl Scheduler {
     /// owns it higher up a nested-invocation chain and no lock is taken
     /// (re-entrancy; see §3.1 — the outer parts are separate invocations).
     pub fn acquire_exclusive(&self, object: &ObjectId, held: &[ObjectId]) -> ObjectGuard {
-        self.exclusive.fetch_add(1, Ordering::Relaxed);
+        self.exclusive.incr();
         if self.mode == SchedulerMode::Unsafe || held.contains(object) {
             return ObjectGuard { _lock: None };
         }
@@ -113,7 +133,7 @@ impl Scheduler {
 
     /// Acquire `object` for a read-only invocation (shared).
     pub fn acquire_shared(&self, object: &ObjectId, held: &[ObjectId]) -> ObjectGuard {
-        self.shared.fetch_add(1, Ordering::Relaxed);
+        self.shared.incr();
         if self.mode == SchedulerMode::Unsafe || held.contains(object) {
             return ObjectGuard { _lock: None };
         }
@@ -121,11 +141,46 @@ impl Scheduler {
         ObjectGuard { _lock: Some(GuardKind::Shared(lock.read_arc())) }
     }
 
+    /// Deadline-aware acquire: queue for `object`, then *re-check the
+    /// deadline at dequeue time* — an invocation whose budget expired
+    /// while it waited behind the lock is shed here, before any
+    /// execute/commit work, and never reaches the engine.
+    ///
+    /// # Errors
+    /// [`InvokeError::DeadlineExceeded`] when `ctx`'s deadline has passed
+    /// (either before enqueueing or during the wait).
+    pub fn acquire_ctx(
+        &self,
+        object: &ObjectId,
+        held: &[ObjectId],
+        exclusive: bool,
+        ctx: &InvocationContext,
+    ) -> Result<ObjectGuard, InvokeError> {
+        // Already out of budget: shed without touching the lock table.
+        if ctx.expired() {
+            self.shed.incr();
+            return Err(InvokeError::DeadlineExceeded);
+        }
+        let guard = if exclusive {
+            self.acquire_exclusive(object, held)
+        } else {
+            self.acquire_shared(object, held)
+        };
+        // Dequeue-time check: the wait itself may have consumed the budget.
+        if ctx.expired() {
+            drop(guard);
+            self.shed.incr();
+            return Err(InvokeError::DeadlineExceeded);
+        }
+        Ok(guard)
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> SchedulerStats {
         SchedulerStats {
-            exclusive: self.exclusive.load(Ordering::Relaxed),
-            shared: self.shared.load(Ordering::Relaxed),
+            exclusive: self.exclusive.get(),
+            shared: self.shared.get(),
+            shed: self.shed.get(),
         }
     }
 
@@ -151,7 +206,7 @@ impl Default for Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
     fn oid(s: &str) -> ObjectId {
@@ -253,6 +308,68 @@ mod tests {
         let g1 = sched.acquire_exclusive(&oid("a"), &[]);
         let g2 = sched.acquire_exclusive(&oid("a"), &[]);
         drop((g1, g2));
+    }
+
+    #[test]
+    fn expired_context_is_shed_before_enqueue() {
+        let sched = Scheduler::default();
+        // A context whose budget is already zero.
+        let ctx = InvocationContext::from_wire(1, 0, 0);
+        let res = sched.acquire_ctx(&oid("a"), &[], true, &ctx);
+        assert!(matches!(res, Err(InvokeError::DeadlineExceeded)));
+        assert_eq!(sched.stats().shed, 1);
+        // It never materialized a lock — nothing reached the lock table.
+        assert_eq!(sched.tracked_objects(), 0);
+    }
+
+    #[test]
+    fn budget_exhausted_while_queued_is_shed_at_dequeue() {
+        let sched = Arc::new(Scheduler::default());
+        let id = oid("slow");
+        // A long-running invocation holds the object...
+        let g = sched.acquire_exclusive(&id, &[]);
+        let sched2 = Arc::clone(&sched);
+        let id2 = id.clone();
+        let t = std::thread::spawn(move || {
+            // ...while a follower with a 20ms budget queues behind it.
+            let ctx = InvocationContext::from_wire(2, 20_000_000, 0);
+            sched2.acquire_ctx(&id2, &[], true, &ctx)
+        });
+        // Hold the lock well past the follower's budget.
+        std::thread::sleep(Duration::from_millis(80));
+        drop(g);
+        let res = t.join().unwrap();
+        assert!(matches!(res, Err(InvokeError::DeadlineExceeded)), "shed at dequeue: {res:?}");
+        assert_eq!(sched.stats().shed, 1);
+    }
+
+    #[test]
+    fn unexpired_context_acquires_normally() {
+        let sched = Scheduler::default();
+        let ctx = InvocationContext::client(Duration::from_secs(10));
+        let g = sched.acquire_ctx(&oid("a"), &[], true, &ctx).unwrap();
+        drop(g);
+        let g = sched.acquire_ctx(&oid("a"), &[], false, &ctx).unwrap();
+        drop(g);
+        let s = sched.stats();
+        assert_eq!((s.exclusive, s.shared, s.shed), (1, 1, 0));
+    }
+
+    #[test]
+    fn background_context_never_sheds() {
+        let sched = Scheduler::default();
+        let ctx = InvocationContext::background();
+        assert!(sched.acquire_ctx(&oid("a"), &[], true, &ctx).is_ok());
+        assert_eq!(sched.stats().shed, 0);
+    }
+
+    #[test]
+    fn registry_backed_counters_are_shared() {
+        let reg = lambda_telemetry::Registry::new();
+        let sched = Scheduler::with_registry(SchedulerMode::PerObject, &reg);
+        let _g = sched.acquire_exclusive(&oid("a"), &[]);
+        assert_eq!(reg.counter_value("sched_exclusive"), 1);
+        assert_eq!(sched.stats().exclusive, 1);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use lambda_telemetry::{Counter, Registry};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::batch::{BatchOp, WriteBatch};
@@ -22,26 +23,48 @@ use crate::wal::{self, Wal};
 use crate::{KvError, Options, Result};
 
 /// Live operation counters, all monotonically increasing.
+///
+/// Each field is a [`Counter`] handle; when the database is opened with
+/// [`Db::open_with_registry`] the handles share their cells with the node's
+/// telemetry [`Registry`] (under `kv_*` names), so node-level stats and
+/// [`StatsSnapshot`] are two views over the same counters.
 #[derive(Debug, Default)]
 pub struct DbStats {
     /// Committed write batches.
-    pub writes: AtomicU64,
+    pub writes: Counter,
     /// Point lookups served.
-    pub reads: AtomicU64,
+    pub reads: Counter,
     /// Memtable flushes performed.
-    pub flushes: AtomicU64,
+    pub flushes: Counter,
     /// Compactions performed.
-    pub compactions: AtomicU64,
+    pub compactions: Counter,
     /// Payload bytes appended to the WAL.
-    pub wal_bytes: AtomicU64,
+    pub wal_bytes: Counter,
     /// Group commits performed (each is one WAL append run + one sync).
-    pub commit_groups: AtomicU64,
+    pub commit_groups: Counter,
     /// Write batches folded into group commits. Together with
     /// `commit_groups` this yields the mean group size.
-    pub commit_group_batches: AtomicU64,
+    pub commit_group_batches: Counter,
     /// Total microseconds writers spent parked in the commit queue waiting
     /// for a leader to durably commit their batch.
-    pub commit_stall_micros: AtomicU64,
+    pub commit_stall_micros: Counter,
+}
+
+impl DbStats {
+    /// Counters registered in (and shared with) `registry` under `kv_*`
+    /// names.
+    fn with_registry(registry: &Registry) -> Self {
+        DbStats {
+            writes: registry.counter("kv_writes"),
+            reads: registry.counter("kv_reads"),
+            flushes: registry.counter("kv_flushes"),
+            compactions: registry.counter("kv_compactions"),
+            wal_bytes: registry.counter("kv_wal_bytes"),
+            commit_groups: registry.counter("kv_commit_groups"),
+            commit_group_batches: registry.counter("kv_commit_group_batches"),
+            commit_stall_micros: registry.counter("kv_commit_stall_micros"),
+        }
+    }
 }
 
 /// A snapshot of the counters, cheap to copy around.
@@ -193,6 +216,24 @@ impl Db {
     /// Returns [`KvError::InvalidDatabase`] / [`KvError::Corruption`] for a
     /// damaged directory and propagates filesystem errors.
     pub fn open(dir: impl AsRef<Path>, opts: Options) -> Result<Db> {
+        Self::open_with_stats(dir, opts, DbStats::default())
+    }
+
+    /// Open a database whose operation counters live in `registry` (under
+    /// `kv_*` names), so the surrounding node can serve them alongside its
+    /// own stats. Behaves exactly like [`Db::open`] otherwise.
+    ///
+    /// # Errors
+    /// Same as [`Db::open`].
+    pub fn open_with_registry(
+        dir: impl AsRef<Path>,
+        opts: Options,
+        registry: &Registry,
+    ) -> Result<Db> {
+        Self::open_with_stats(dir, opts, DbStats::with_registry(registry))
+    }
+
+    fn open_with_stats(dir: impl AsRef<Path>, opts: Options, stats: DbStats) -> Result<Db> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let block_cache = if opts.block_cache_bytes > 0 {
@@ -215,7 +256,7 @@ impl Db {
                 versions: Mutex::new(versions),
                 last_seq: AtomicU64::new(0),
                 snapshots: Mutex::new(BTreeMap::new()),
-                stats: DbStats::default(),
+                stats,
                 block_cache,
             });
             return Ok(Db { inner });
@@ -287,7 +328,7 @@ impl Db {
             versions: Mutex::new(versions),
             last_seq: AtomicU64::new(last_seq),
             snapshots: Mutex::new(BTreeMap::new()),
-            stats: DbStats::default(),
+            stats,
             block_cache,
         });
         let db = Db { inner };
@@ -366,10 +407,7 @@ impl Db {
                 None
             };
             drop(st);
-            self.inner
-                .stats
-                .commit_stall_micros
-                .fetch_add(parked.elapsed().as_micros() as u64, Ordering::Relaxed);
+            self.inner.stats.commit_stall_micros.add(parked.elapsed().as_micros() as u64);
             if let Some(result) = result {
                 return result;
             }
@@ -452,10 +490,10 @@ impl Db {
         }
         self.inner.last_seq.store(next_seq - 1, Ordering::Release);
         let stats = &self.inner.stats;
-        stats.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
-        stats.writes.fetch_add(group.len() as u64, Ordering::Relaxed);
-        stats.commit_groups.fetch_add(1, Ordering::Relaxed);
-        stats.commit_group_batches.fetch_add(group.len() as u64, Ordering::Relaxed);
+        stats.wal_bytes.add(bytes);
+        stats.writes.add(group.len() as u64);
+        stats.commit_groups.incr();
+        stats.commit_group_batches.add(group.len() as u64);
 
         // Wake followers before the (possibly slow) flush below: their
         // batches are durable and visible, so they need not wait for it.
@@ -510,7 +548,7 @@ impl Db {
     /// # Errors
     /// Propagates storage errors.
     pub fn get_at(&self, key: &[u8], seq: SeqNo) -> Result<Option<Value>> {
-        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.reads.incr();
         {
             let mem = self.inner.mem.read();
             match mem.active.get(key, seq) {
@@ -666,7 +704,7 @@ impl Db {
         *self.inner.current.write() = new_version;
         self.inner.mem.write().immutable = None;
         let _ = fs::remove_file(wal_path(&self.inner.dir, old_wal_number));
-        self.inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.flushes.incr();
         Ok(())
     }
 
@@ -697,7 +735,7 @@ impl Db {
             let new_version = versions.current();
             drop(versions);
             *self.inner.current.write() = new_version;
-            self.inner.stats.compactions.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.compactions.incr();
         }
     }
 
@@ -719,14 +757,14 @@ impl Db {
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.inner.stats;
         StatsSnapshot {
-            writes: s.writes.load(Ordering::Relaxed),
-            reads: s.reads.load(Ordering::Relaxed),
-            flushes: s.flushes.load(Ordering::Relaxed),
-            compactions: s.compactions.load(Ordering::Relaxed),
-            wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
-            commit_groups: s.commit_groups.load(Ordering::Relaxed),
-            commit_group_batches: s.commit_group_batches.load(Ordering::Relaxed),
-            commit_stall_micros: s.commit_stall_micros.load(Ordering::Relaxed),
+            writes: s.writes.get(),
+            reads: s.reads.get(),
+            flushes: s.flushes.get(),
+            compactions: s.compactions.get(),
+            wal_bytes: s.wal_bytes.get(),
+            commit_groups: s.commit_groups.get(),
+            commit_group_batches: s.commit_group_batches.get(),
+            commit_stall_micros: s.commit_stall_micros.get(),
         }
     }
 
@@ -809,6 +847,23 @@ mod tests {
         db.delete(b"k1".to_vec()).unwrap();
         assert_eq!(db.get(b"k1").unwrap(), None);
         assert_eq!(db.get(b"absent").unwrap(), None);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn registry_backed_stats_are_shared() {
+        let dir = tmpdir("registry-stats");
+        let registry = Registry::new();
+        let db = Db::open_with_registry(&dir, Options::small_for_tests(), &registry).unwrap();
+        db.put(b"k".to_vec(), b"v".to_vec()).unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+        let snap = db.stats();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.reads, 1);
+        // The registry serves the very same counters under kv_* names.
+        assert_eq!(registry.counter_value("kv_writes"), 1);
+        assert_eq!(registry.counter_value("kv_reads"), 1);
+        assert!(registry.counter_value("kv_wal_bytes") > 0);
         fs::remove_dir_all(dir).ok();
     }
 

@@ -41,4 +41,6 @@ pub mod wire;
 
 pub use rpc::{Handler, RpcError, RpcNode};
 pub use sim::{Envelope, LatencyModel, Network, NodeHandle, NodeId, RecvError, RecvTimeoutError};
-pub use wire::{from_bytes, to_bytes, WireError};
+pub use wire::{
+    from_bytes, split_header, to_bytes, RequestHeader, WireError, HEADER_MAGIC, HEADER_VERSION,
+};

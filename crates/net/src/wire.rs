@@ -75,6 +75,95 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
     Ok(value)
 }
 
+/// First byte of a headered request frame. Legacy frames start with the
+/// body directly — a `u32` enum variant index whose low byte is a small
+/// number — so any magic well above the largest variant index
+/// unambiguously marks the envelope.
+pub const HEADER_MAGIC: u8 = 0xC7;
+
+/// Current request-header version.
+pub const HEADER_VERSION: u8 = 1;
+
+/// Length of the version-1 header payload (trace_id + budget + origin).
+const HEADER_V1_LEN: usize = 8 + 8 + 1;
+
+/// The out-of-band request envelope: per-invocation context carried ahead
+/// of the serialized request body.
+///
+/// Layout: `magic (1) | version (1) | payload_len (u16 LE) | payload`.
+/// The payload for version 1 is `trace_id (u64 LE) | budget_nanos (u64 LE)
+/// | origin (u8)`. Receivers skip payload bytes beyond what they
+/// understand (`payload_len` is authoritative), so future versions can
+/// append fields without breaking old nodes, and old headerless frames
+/// (no magic) still decode as a bare body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Sender's header version.
+    pub version: u8,
+    /// Trace identity of the invocation.
+    pub trace_id: u64,
+    /// Remaining deadline budget in nanoseconds (`u64::MAX` = none).
+    pub budget_nanos: u64,
+    /// Origin tag (see `lambda-telemetry`'s `Origin`).
+    pub origin: u8,
+}
+
+impl RequestHeader {
+    /// Serialize the header envelope (to be followed by the body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + HEADER_V1_LEN);
+        out.push(HEADER_MAGIC);
+        out.push(self.version);
+        out.extend_from_slice(&(HEADER_V1_LEN as u16).to_le_bytes());
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.budget_nanos.to_le_bytes());
+        out.push(self.origin);
+        out
+    }
+
+    /// Serialize the header followed by `body` in one buffer.
+    pub fn encode_with_body(&self, body: &[u8]) -> Vec<u8> {
+        let mut out = self.encode();
+        out.extend_from_slice(body);
+        out
+    }
+}
+
+/// Split a request frame into its optional header and the body.
+///
+/// Frames that do not start with [`HEADER_MAGIC`] are legacy bodies:
+/// returned whole with no header. Headered frames yield the parsed
+/// [`RequestHeader`] and the remaining body; payload bytes beyond the
+/// version-1 fields are tolerated and skipped.
+///
+/// # Errors
+/// Returns [`WireError`] only for frames that claim the envelope but are
+/// truncated mid-header.
+pub fn split_header(bytes: &[u8]) -> Result<(Option<RequestHeader>, &[u8]), WireError> {
+    if bytes.first() != Some(&HEADER_MAGIC) {
+        return Ok((None, bytes));
+    }
+    if bytes.len() < 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    let version = bytes[1];
+    let payload_len = u16::from_le_bytes([bytes[2], bytes[3]]) as usize;
+    let payload = bytes.get(4..4 + payload_len).ok_or(WireError::UnexpectedEof)?;
+    if payload.len() < HEADER_V1_LEN {
+        return Err(WireError::Malformed(format!(
+            "header payload too short: {} bytes",
+            payload.len()
+        )));
+    }
+    let header = RequestHeader {
+        version,
+        trace_id: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
+        budget_nanos: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
+        origin: payload[16],
+    };
+    Ok((Some(header), &bytes[4 + payload_len..]))
+}
+
 struct Encoder {
     out: Vec<u8>,
 }
@@ -667,5 +756,73 @@ mod tests {
         let v: Vec<Vec<String>> = vec![vec![], vec!["x".into()]];
         let back: Vec<Vec<String>> = from_bytes(&to_bytes(&v).unwrap()).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = RequestHeader {
+            version: HEADER_VERSION,
+            trace_id: 0xDEAD_BEEF,
+            budget_nanos: 1_500_000,
+            origin: 1,
+        };
+        let body = to_bytes(&sample()).unwrap();
+        let frame = h.encode_with_body(&body);
+        let (parsed, rest) = split_header(&frame).unwrap();
+        assert_eq!(parsed, Some(h));
+        assert_eq!(rest, &body[..]);
+        let back: Outer = from_bytes(rest).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn legacy_headerless_frames_still_decode() {
+        // An old-format frame is just the serialized body; the first byte
+        // is a small enum variant index (or struct field), never the magic.
+        let body = to_bytes(&Kind::One(7)).unwrap();
+        assert_ne!(body[0], HEADER_MAGIC);
+        let (parsed, rest) = split_header(&body).unwrap();
+        assert!(parsed.is_none());
+        let back: Kind = from_bytes(rest).unwrap();
+        assert_eq!(back, Kind::One(7));
+    }
+
+    #[test]
+    fn unknown_trailing_header_bytes_are_tolerated() {
+        // A future sender appends extra fields to the header payload and
+        // bumps the declared length; a v1 receiver must skip them.
+        let h = RequestHeader { version: 2, trace_id: 42, budget_nanos: u64::MAX, origin: 0 };
+        let body = to_bytes(&Kind::Pair(-1, 1)).unwrap();
+        let mut frame = Vec::new();
+        frame.push(HEADER_MAGIC);
+        frame.push(h.version);
+        let extra = [0xAA, 0xBB, 0xCC, 0xDD];
+        frame.extend_from_slice(&((17 + extra.len()) as u16).to_le_bytes());
+        frame.extend_from_slice(&h.trace_id.to_le_bytes());
+        frame.extend_from_slice(&h.budget_nanos.to_le_bytes());
+        frame.push(h.origin);
+        frame.extend_from_slice(&extra);
+        frame.extend_from_slice(&body);
+
+        let (parsed, rest) = split_header(&frame).unwrap();
+        assert_eq!(parsed, Some(h));
+        let back: Kind = from_bytes(rest).unwrap();
+        assert_eq!(back, Kind::Pair(-1, 1));
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let h = RequestHeader { version: 1, trace_id: 1, budget_nanos: 2, origin: 0 };
+        let frame = h.encode();
+        for cut in 1..frame.len() {
+            assert!(split_header(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn short_header_payload_is_malformed() {
+        // Magic + version + declared length 4, but v1 needs 17 bytes.
+        let frame = [HEADER_MAGIC, 1, 4, 0, 1, 2, 3, 4];
+        assert!(matches!(split_header(&frame), Err(WireError::Malformed(_))));
     }
 }

@@ -1,0 +1,66 @@
+//! Cross-layer tracing on the aggregated path: one ReTwis Post must leave
+//! a complete span chain — queue, execute, commit, replicate — under a
+//! single trace id in the executing node's telemetry registry.
+
+use std::time::Duration;
+
+use lambda_objects::{InvocationContext, ObjectId, Stage};
+use lambda_retwis::{account_id, AggregatedBackend, RetwisBackend};
+use lambda_store::{AggregatedCluster, ClusterConfig};
+use lambda_vm::VmValue;
+
+#[test]
+fn retwis_post_produces_a_complete_span_chain() {
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    let backend = AggregatedBackend { client: cluster.client() };
+    backend.deploy().unwrap();
+    backend.create_account(0, "alice").unwrap();
+    backend.create_account(1, "bob").unwrap();
+    // bob follows alice, so alice's post fans out to bob's timeline.
+    backend.follow(0, 1).unwrap();
+
+    // Issue the Post under an explicit context so the trace id is known.
+    let client = cluster.client();
+    let ctx = InvocationContext::client(Duration::from_secs(5));
+    let alice = ObjectId::new(account_id(0));
+    client.invoke_ctx(&ctx, &alice, "create_post", vec![VmValue::str("hello")], false).unwrap();
+
+    // The write landed: bob's timeline holds the fanned-out post.
+    assert_eq!(backend.get_timeline(1, 10).unwrap(), 1);
+
+    // Exactly one node executed the invocation; its registry retains the
+    // whole chain under the request's trace id (nested store_post calls
+    // run under the same trace, so stages may repeat — every stage of the
+    // aggregated critical path must appear at least once).
+    let chain: Vec<_> =
+        cluster.core.storage.iter().flat_map(|n| n.registry().spans_for(ctx.trace_id)).collect();
+    for stage in Stage::ALL {
+        assert!(
+            chain.iter().any(|s| s.stage == stage),
+            "missing {stage:?} span for trace {}: {chain:?}",
+            ctx.trace_id
+        );
+    }
+    assert!(chain.iter().all(|s| s.trace_id == ctx.trace_id));
+
+    // The per-stage histograms (what the breakdown report reads) saw the
+    // same samples.
+    let executing = cluster
+        .core
+        .storage
+        .iter()
+        .find(|n| !n.registry().spans_for(ctx.trace_id).is_empty())
+        .expect("some node executed the post");
+    for stage in Stage::ALL {
+        assert!(
+            executing.registry().stage_stats(stage).count > 0,
+            "stage {stage:?} histogram is empty"
+        );
+    }
+
+    // NodeStatsWire is a thin view over the same registry.
+    let wire = executing.stats();
+    assert_eq!(wire.requests, executing.registry().counter_value("node_requests"));
+    assert_eq!(wire.invocations, executing.registry().counter_value("eng_invocations"));
+    cluster.shutdown();
+}

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -23,13 +23,13 @@ use lambda_coordinator::{Epoch, ShardId};
 use lambda_kv::Db;
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{
-    decode_error, encode_error, keys, CommitHook, Engine, EngineConfig, InvokeError, InvokeRouter,
-    ObjectId, ObjectType, TypeRegistry, WriteSetOps,
+    decode_error, encode_error, keys, CommitHook, Counter, Engine, EngineConfig, InvocationContext,
+    InvokeError, InvokeRouter, ObjectId, ObjectType, Registry, TypeRegistry, WriteSetOps,
 };
 use lambda_vm::VmValue;
 
 use crate::placement::Placement;
-use crate::proto::{NodeStatsWire, StoreRequest, StoreResponse};
+use crate::proto::{self, NodeStatsWire, StoreRequest, StoreResponse};
 
 /// Offset for a node's watch endpoint (coordinator push notifications).
 pub const WATCH_ID_OFFSET: u32 = 20_000;
@@ -138,10 +138,13 @@ struct NodeInner {
     placement: Placement,
     rpc: OnceLock<Arc<RpcNode>>,
     rpc_timeout: Duration,
-    requests: AtomicU64,
-    replications: AtomicU64,
-    busy_nanos: AtomicU64,
-    started: Instant,
+    /// The node-wide telemetry registry: shared by the kv layer, the
+    /// engine/scheduler, and the counters below, so every stats surface is
+    /// a view over one set of cells.
+    registry: Arc<Registry>,
+    requests: Counter,
+    replications: Counter,
+    busy_nanos: Counter,
     shutdown: AtomicBool,
     /// When false the replication hook is skipped (single-node mode and
     /// the ABL-REPL "no replication" ablation).
@@ -152,9 +155,9 @@ struct NodeInner {
     /// Per-shard replication windows, created on first use.
     repl_windows: Mutex<HashMap<ShardId, Arc<ShardWindow>>>,
     /// Batched replication rounds issued (one `ReplicateBatch` fan-out).
-    repl_rounds: AtomicU64,
+    repl_rounds: Counter,
     /// Write sets shipped through batched rounds.
-    repl_entries: AtomicU64,
+    repl_entries: Counter,
 }
 
 impl NodeInner {
@@ -162,9 +165,22 @@ impl NodeInner {
         self.rpc.get().expect("rpc initialized during start")
     }
 
-    fn call_peer(&self, to: NodeId, req: &StoreRequest) -> Result<StoreResponse, InvokeError> {
-        let body = wire::to_bytes(req).expect("requests serialize");
-        match self.rpc().call(to, body, self.rpc_timeout) {
+    /// One node-to-node RPC on behalf of `ctx`: the context crosses the
+    /// wire in the request envelope (origin flipped to `Node`), and the
+    /// transport timeout is the remaining budget capped at the configured
+    /// per-hop timeout. An already-expired context sheds before any I/O.
+    fn call_peer(
+        &self,
+        ctx: &InvocationContext,
+        to: NodeId,
+        req: &StoreRequest,
+    ) -> Result<StoreResponse, InvokeError> {
+        let down = ctx.for_downstream();
+        if down.expired() {
+            return Err(InvokeError::DeadlineExceeded);
+        }
+        let frame = proto::encode_request(&down, req).expect("requests serialize");
+        match self.rpc().call(to, frame, down.rpc_timeout(self.rpc_timeout)) {
             Ok(bytes) => wire::from_bytes(&bytes)
                 .map_err(|e| InvokeError::Nested(format!("bad response: {e}"))),
             Err(RpcError::Remote(msg)) => Err(decode_error(&msg)),
@@ -172,13 +188,18 @@ impl NodeInner {
         }
     }
 
-    fn handle(&self, _from: NodeId, req: StoreRequest) -> Result<StoreResponse, InvokeError> {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+    fn handle(
+        &self,
+        _from: NodeId,
+        ctx: &InvocationContext,
+        req: StoreRequest,
+    ) -> Result<StoreResponse, InvokeError> {
+        self.requests.incr();
         match req {
             StoreRequest::Invoke { object, method, args, read_only, internal } => {
                 let oid = ObjectId::new(object);
                 self.check_role(&oid, read_only)?;
-                let value = self.engine.invoke_with_depth(&oid, &method, args, !internal, 0)?;
+                let value = self.engine.invoke_ctx(ctx, &oid, &method, args, !internal, 0)?;
                 Ok(StoreResponse::Value(value))
             }
             StoreRequest::CreateObject { type_name, object, fields } => {
@@ -210,7 +231,7 @@ impl NodeInner {
                 }
                 let oid = ObjectId::new(object);
                 self.engine.apply_replicated(&oid, &ops)?;
-                self.replications.fetch_add(1, Ordering::Relaxed);
+                self.replications.incr();
                 Ok(StoreResponse::Ok)
             }
             StoreRequest::ReplicateBatch { shard, epoch, entries } => {
@@ -224,7 +245,7 @@ impl NodeInner {
                 let entries: Vec<(ObjectId, WriteSetOps)> =
                     entries.into_iter().map(|(o, ops)| (ObjectId::new(o), ops)).collect();
                 self.engine.apply_replicated_batch(&entries)?;
-                self.replications.fetch_add(count, Ordering::Relaxed);
+                self.replications.add(count);
                 Ok(StoreResponse::Ok)
             }
             StoreRequest::FetchObject { object, evict } => {
@@ -272,7 +293,7 @@ impl NodeInner {
                     ops,
                 };
                 for backup in &info.backups {
-                    match self.call_peer(*backup, &req)? {
+                    match self.call_peer(ctx, *backup, &req)? {
                         StoreResponse::Ok => {}
                         other => {
                             return Err(InvokeError::Storage(format!(
@@ -289,12 +310,12 @@ impl NodeInner {
             }
             StoreRequest::RawPut { key, value } => {
                 self.engine.db().put(key.clone(), value.clone())?;
-                self.replicate_raw(vec![(key, Some(value))])?;
+                self.replicate_raw(ctx, vec![(key, Some(value))])?;
                 Ok(StoreResponse::Ok)
             }
             StoreRequest::RawDelete { key } => {
                 self.engine.db().delete(key.clone())?;
-                self.replicate_raw(vec![(key, None)])?;
+                self.replicate_raw(ctx, vec![(key, None)])?;
                 Ok(StoreResponse::Ok)
             }
             StoreRequest::RawPush { object, field, value } => {
@@ -306,10 +327,10 @@ impl NodeInner {
                 batch.put(ekey.clone(), value.clone());
                 batch.put(ckey.clone(), keys::encode_counter(len + 1));
                 self.engine.db().write(batch)?;
-                self.replicate_raw(vec![
-                    (ekey, Some(value)),
-                    (ckey, Some(keys::encode_counter(len + 1))),
-                ])?;
+                self.replicate_raw(
+                    ctx,
+                    vec![(ekey, Some(value)), (ckey, Some(keys::encode_counter(len + 1)))],
+                )?;
                 Ok(StoreResponse::Ok)
             }
             StoreRequest::RawScan { object, field, limit, newest_first } => {
@@ -350,17 +371,21 @@ impl NodeInner {
                 let results = self.engine.invoke_transaction(&calls)?;
                 Ok(StoreResponse::Values(results))
             }
-            StoreRequest::Stats => {
-                let es = self.engine.stats();
-                Ok(StoreResponse::NodeStats(NodeStatsWire {
-                    requests: self.requests.load(Ordering::Relaxed),
-                    invocations: es.invocations,
-                    cache_hits: es.cache_hits,
-                    replications_applied: self.replications.load(Ordering::Relaxed),
-                    busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
-                    uptime_nanos: self.started.elapsed().as_nanos() as u64,
-                }))
-            }
+            StoreRequest::Stats => Ok(StoreResponse::NodeStats(self.stats_wire())),
+        }
+    }
+
+    /// The node's wire stats, served straight from the shared registry
+    /// (engine counters included — same cells `EngineStats` reads).
+    fn stats_wire(&self) -> NodeStatsWire {
+        let es = self.engine.stats();
+        NodeStatsWire {
+            requests: self.requests.get(),
+            invocations: es.invocations,
+            cache_hits: es.cache_hits,
+            replications_applied: self.replications.get(),
+            busy_nanos: self.busy_nanos.get(),
+            uptime_nanos: self.registry.uptime_nanos(),
         }
     }
 
@@ -389,7 +414,11 @@ impl NodeInner {
     /// same primary-backup durability as engine commits. (What the
     /// baseline lacks is invocation-level consistency — atomicity,
     /// isolation, per-object scheduling — not storage replication.)
-    fn replicate_raw(&self, ops: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> Result<(), InvokeError> {
+    fn replicate_raw(
+        &self,
+        ctx: &InvocationContext,
+        ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+    ) -> Result<(), InvokeError> {
         if !self.replicate.load(Ordering::Relaxed) {
             return Ok(());
         }
@@ -405,7 +434,7 @@ impl NodeInner {
         if info.primary != self.id {
             return Ok(());
         }
-        self.replicate_to_backups(shard, info.epoch, &oid, &ops, &info.backups)
+        self.replicate_to_backups(ctx, shard, info.epoch, &oid, &ops, &info.backups)
             .map_err(InvokeError::Storage)
     }
 }
@@ -422,6 +451,7 @@ impl NodeInner {
     /// every backup. The commit is not reported successful before then.
     fn replicate_to_backups(
         &self,
+        ctx: &InvocationContext,
         shard: ShardId,
         epoch: Epoch,
         object: &ObjectId,
@@ -433,15 +463,18 @@ impl NodeInner {
         }
         if !self.repl_batching.load(Ordering::Relaxed) {
             // Unbatched path: one RPC round per committed write set. The
-            // body is still serialized exactly once for the whole fan-out.
+            // body is still serialized exactly once for the whole fan-out,
+            // carrying the invocation's context so backups apply under the
+            // same trace, and bounded by its remaining budget.
             let req = StoreRequest::Replicate {
                 shard,
                 epoch,
                 object: object.0.clone(),
                 ops: ops.to_vec(),
             };
-            let body = Bytes::from(wire::to_bytes(&req).expect("requests serialize"));
-            let replies = self.rpc().call_many(backups, body, self.rpc_timeout);
+            let down = ctx.for_downstream();
+            let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
+            let replies = self.rpc().call_many(backups, body, down.rpc_timeout(self.rpc_timeout));
             return collect_acks(backups, replies);
         }
 
@@ -468,13 +501,16 @@ impl NodeInner {
                 return st.result.take().expect("done waiter has a result");
             }
         }
-        self.lead_replication(shard, &window, &waiter)
+        self.lead_replication(ctx, shard, &window, &waiter)
     }
 
     /// Lead one batched replication round. `own` must be the front of the
-    /// window's queue.
+    /// window's queue. The leader's context bounds the fan-out timeout and
+    /// travels in the batch envelope (followers coalesced into the round
+    /// inherit the leader's budget for this one round-trip).
     fn lead_replication(
         &self,
+        ctx: &InvocationContext,
         shard: ShardId,
         window: &ShardWindow,
         own: &Arc<ReplWaiter>,
@@ -508,11 +544,12 @@ impl NodeInner {
 
         // Serialize once; the refcounted body is shared by every send.
         let req = StoreRequest::ReplicateBatch { shard, epoch, entries };
-        let body = Bytes::from(wire::to_bytes(&req).expect("requests serialize"));
-        let replies = self.rpc().call_many(&backups, body, self.rpc_timeout);
+        let down = ctx.for_downstream();
+        let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
+        let replies = self.rpc().call_many(&backups, body, down.rpc_timeout(self.rpc_timeout));
         let outcome = collect_acks(&backups, replies);
-        self.repl_rounds.fetch_add(1, Ordering::Relaxed);
-        self.repl_entries.fetch_add(count, Ordering::Relaxed);
+        self.repl_rounds.incr();
+        self.repl_entries.add(count);
 
         // Pop the group, post every waiter its result, and promote the
         // next queued write set (if any) to lead the following round.
@@ -538,6 +575,7 @@ impl NodeInner {
 impl CommitHook for NodeInner {
     fn on_commit(
         &self,
+        ctx: &InvocationContext,
         object: &ObjectId,
         ops: &[(Vec<u8>, Option<Vec<u8>>)],
     ) -> Result<(), String> {
@@ -553,13 +591,14 @@ impl CommitHook for NodeInner {
                 self.id.0, info.epoch
             ));
         }
-        self.replicate_to_backups(shard, info.epoch, object, ops, &info.backups)
+        self.replicate_to_backups(ctx, shard, info.epoch, object, ops, &info.backups)
     }
 }
 
 impl InvokeRouter for NodeInner {
     fn route(
         &self,
+        ctx: &InvocationContext,
         _source: &ObjectId,
         target: &ObjectId,
         method: &str,
@@ -570,7 +609,10 @@ impl InvokeRouter for NodeInner {
             Some((_, info)) if info.primary != self.id => {
                 // Remote object: one hop to its primary (§4.2.1 — "a
                 // function invocation results in at most one network
-                // round-trip within the responsible replica set").
+                // round-trip within the responsible replica set"). The
+                // caller's context rides along, so the remote engine's
+                // spans join this trace and its scheduler enforces what is
+                // left of the deadline.
                 let req = StoreRequest::Invoke {
                     object: target.0.clone(),
                     method: method.to_string(),
@@ -578,12 +620,12 @@ impl InvokeRouter for NodeInner {
                     read_only: false,
                     internal: true,
                 };
-                match self.call_peer(info.primary, &req)? {
+                match self.call_peer(ctx, info.primary, &req)? {
                     StoreResponse::Value(v) => Ok(v),
                     other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
                 }
             }
-            _ => self.engine.invoke_with_depth(target, method, args, false, depth),
+            _ => self.engine.invoke_ctx(ctx, target, method, args, false, depth),
         }
     }
 }
@@ -610,9 +652,12 @@ impl AggregatedNode {
         id: NodeId,
         config: AggregatedConfig,
     ) -> Result<Arc<AggregatedNode>, InvokeError> {
-        let db = Db::open(&config.data_dir, config.kv.clone())?;
+        // One registry per node: the kv layer, engine, scheduler and the
+        // node's own request counters all report through it.
+        let registry = Registry::shared();
+        let db = Db::open_with_registry(&config.data_dir, config.kv.clone(), &registry)?;
         let types = Arc::new(TypeRegistry::new());
-        let engine = Engine::new(db, types, config.engine);
+        let engine = Engine::with_registry(db, types, config.engine, Arc::clone(&registry));
 
         let inner = Arc::new(NodeInner {
             id,
@@ -620,30 +665,28 @@ impl AggregatedNode {
             placement: Placement::new(),
             rpc: OnceLock::new(),
             rpc_timeout: config.rpc_timeout,
-            requests: AtomicU64::new(0),
-            replications: AtomicU64::new(0),
-            busy_nanos: AtomicU64::new(0),
-            started: Instant::now(),
+            requests: registry.counter("node_requests"),
+            replications: registry.counter("node_replications_applied"),
+            busy_nanos: registry.counter("node_busy_nanos"),
             shutdown: AtomicBool::new(false),
             replicate: AtomicBool::new(true),
             repl_batching: AtomicBool::new(true),
             repl_windows: Mutex::new(HashMap::new()),
-            repl_rounds: AtomicU64::new(0),
-            repl_entries: AtomicU64::new(0),
+            repl_rounds: registry.counter("node_repl_rounds"),
+            repl_entries: registry.counter("node_repl_entries"),
+            registry,
         });
 
         // Service endpoint.
         let handler_inner = Arc::clone(&inner);
         let handler = Arc::new(move |from: NodeId, body: Vec<u8>| -> Result<Vec<u8>, String> {
             let started = Instant::now();
-            let req: StoreRequest = wire::from_bytes(&body).map_err(|e| e.to_string())?;
+            let (ctx, req) = proto::decode_request(&body).map_err(|e| e.to_string())?;
             let result = handler_inner
-                .handle(from, req)
+                .handle(from, &ctx, req)
                 .map_err(|e| encode_error(&e))
                 .and_then(|resp| wire::to_bytes(&resp).map_err(|e| e.to_string()));
-            handler_inner
-                .busy_nanos
-                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            handler_inner.busy_nanos.add(started.elapsed().as_nanos() as u64);
             result
         });
         let rpc = RpcNode::start(net, id, handler, config.workers);
@@ -704,6 +747,12 @@ impl AggregatedNode {
         &self.inner.engine
     }
 
+    /// The node-wide telemetry registry (span chains, stage histograms,
+    /// and every counter the node's stats surfaces are served from).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
     /// Deploy a native (trusted) object type directly on this node.
     pub fn register_native_type(&self, ty: ObjectType) {
         self.inner.engine.types().register(ty);
@@ -730,23 +779,12 @@ impl AggregatedNode {
     /// `(rounds, entries)` shipped through the batched replication path;
     /// `entries / rounds` is the mean replication window size.
     pub fn replication_batch_stats(&self) -> (u64, u64) {
-        (
-            self.inner.repl_rounds.load(Ordering::Relaxed),
-            self.inner.repl_entries.load(Ordering::Relaxed),
-        )
+        (self.inner.repl_rounds.get(), self.inner.repl_entries.get())
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot (a thin view over the registry's counters).
     pub fn stats(&self) -> NodeStatsWire {
-        let es = self.inner.engine.stats();
-        NodeStatsWire {
-            requests: self.inner.requests.load(Ordering::Relaxed),
-            invocations: es.invocations,
-            cache_hits: es.cache_hits,
-            replications_applied: self.inner.replications.load(Ordering::Relaxed),
-            busy_nanos: self.inner.busy_nanos.load(Ordering::Relaxed),
-            uptime_nanos: self.inner.started.elapsed().as_nanos() as u64,
-        }
+        self.inner.stats_wire()
     }
 
     /// Stop serving (the node "crashes": heartbeats stop, RPCs fail).

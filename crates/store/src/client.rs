@@ -13,11 +13,13 @@ use std::time::Duration;
 
 use lambda_coordinator::{CoordClient, CoordCmd, ShardId};
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
-use lambda_objects::{decode_error, InvokeError, ObjectId, ObjectSnapshot, TxCall};
+use lambda_objects::{
+    decode_error, InvocationContext, InvokeError, ObjectId, ObjectSnapshot, TxCall,
+};
 use lambda_vm::{Module, VmValue};
 
 use crate::placement::Placement;
-use crate::proto::{NodeStatsWire, StoreRequest, StoreResponse};
+use crate::proto::{self, NodeStatsWire, StoreRequest, StoreResponse};
 
 /// A cluster client. Cheap to clone ([`Arc`] inside); safe to share across
 /// request-generator threads.
@@ -85,8 +87,20 @@ impl StoreClient {
     }
 
     fn call(&self, node: NodeId, req: &StoreRequest) -> Result<StoreResponse, InvokeError> {
-        let body = wire::to_bytes(req).expect("requests serialize");
-        match self.inner.rpc.call(node, body, self.inner.timeout) {
+        // Each call gets a fresh context with the full client timeout as
+        // its budget, so routing retries are not starved by earlier
+        // attempts' spent time.
+        self.call_ctx(&InvocationContext::client(self.inner.timeout), node, req)
+    }
+
+    fn call_ctx(
+        &self,
+        ctx: &InvocationContext,
+        node: NodeId,
+        req: &StoreRequest,
+    ) -> Result<StoreResponse, InvokeError> {
+        let frame = proto::encode_request(ctx, req).expect("requests serialize");
+        match self.inner.rpc.call(node, frame, ctx.rpc_timeout(self.inner.timeout)) {
             Ok(bytes) => wire::from_bytes(&bytes)
                 .map_err(|e| InvokeError::Nested(format!("bad response: {e}"))),
             Err(RpcError::Remote(msg)) => Err(decode_error(&msg)),
@@ -145,6 +159,10 @@ impl StoreClient {
     /// Invoke `method` on `object`. `read_only` is a routing hint that lets
     /// the call run on any replica; it is re-verified server-side.
     ///
+    /// Each routing attempt is a fresh invocation born here with the
+    /// client timeout as its deadline budget; the context (trace id +
+    /// budget + origin) travels with the request in the wire envelope.
+    ///
     /// # Errors
     /// Any [`InvokeError`], after routing retries are exhausted.
     pub fn invoke(
@@ -155,18 +173,56 @@ impl StoreClient {
         read_only: bool,
     ) -> Result<VmValue, InvokeError> {
         self.with_routing(object, read_only, |node| {
-            let req = StoreRequest::Invoke {
-                object: object.0.clone(),
-                method: method.to_string(),
-                args: args.clone(),
-                read_only,
-                internal: false,
-            };
-            match self.call(node, &req)? {
-                StoreResponse::Value(v) => Ok(v),
-                other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
-            }
+            let ctx = InvocationContext::client(self.inner.timeout);
+            self.invoke_at(&ctx, node, object, method, args.clone(), read_only)
         })
+    }
+
+    /// Invoke under a caller-supplied context. Unlike [`invoke`], the one
+    /// deadline bounds the *whole* routing loop: an attempt never starts
+    /// once the budget is spent, and [`InvokeError::DeadlineExceeded`] is
+    /// returned to the caller rather than retried.
+    ///
+    /// [`invoke`]: StoreClient::invoke
+    ///
+    /// # Errors
+    /// Any [`InvokeError`]; `DeadlineExceeded` once the context expires.
+    pub fn invoke_ctx(
+        &self,
+        ctx: &InvocationContext,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        read_only: bool,
+    ) -> Result<VmValue, InvokeError> {
+        self.with_routing(object, read_only, |node| {
+            if ctx.expired() {
+                return Err(InvokeError::DeadlineExceeded);
+            }
+            self.invoke_at(ctx, node, object, method, args.clone(), read_only)
+        })
+    }
+
+    fn invoke_at(
+        &self,
+        ctx: &InvocationContext,
+        node: NodeId,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        read_only: bool,
+    ) -> Result<VmValue, InvokeError> {
+        let req = StoreRequest::Invoke {
+            object: object.0.clone(),
+            method: method.to_string(),
+            args,
+            read_only,
+            internal: false,
+        };
+        match self.call_ctx(ctx, node, &req)? {
+            StoreResponse::Value(v) => Ok(v),
+            other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+        }
     }
 
     /// Create an object of a deployed type.

@@ -348,7 +348,10 @@ impl ComputeInner {
     fn handle(&self, body: Vec<u8>) -> Result<Vec<u8>, String> {
         let started = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let req: StoreRequest = wire::from_bytes(&body).map_err(|e| e.to_string())?;
+        // Strip the request envelope; the baseline ignores the carried
+        // context (no deadline enforcement, no spans — it has none of the
+        // aggregated path's machinery, which is the point of §5).
+        let (_ctx, req) = crate::proto::decode_request(&body).map_err(|e| e.to_string())?;
         let result = match req {
             StoreRequest::Invoke { object, method, args, .. } => {
                 let oid = ObjectId::new(object);

@@ -4,8 +4,44 @@
 use serde::{Deserialize, Serialize};
 
 use lambda_coordinator::{Epoch, ShardId};
-use lambda_objects::{migration::ObjectSnapshot, FieldDef, TxCall, WriteSetOps};
+use lambda_net::wire::{self, RequestHeader, WireError, HEADER_VERSION};
+use lambda_objects::{migration::ObjectSnapshot, FieldDef, InvocationContext, TxCall, WriteSetOps};
 use lambda_vm::{Module, VmValue};
+
+/// Serialize `req` behind the versioned request envelope carrying `ctx`:
+/// trace id, remaining deadline budget, and origin travel out-of-band
+/// ahead of the body, so the context reaches every hop without touching
+/// the request enum itself.
+///
+/// # Errors
+/// Body serialization failures.
+pub fn encode_request(ctx: &InvocationContext, req: &StoreRequest) -> Result<Vec<u8>, WireError> {
+    let header = RequestHeader {
+        version: HEADER_VERSION,
+        trace_id: ctx.trace_id,
+        budget_nanos: ctx.budget_nanos(),
+        origin: ctx.origin.to_wire(),
+    };
+    let body = wire::to_bytes(req)?;
+    Ok(header.encode_with_body(&body))
+}
+
+/// Parse a request frame into the sender's context and the request.
+/// Headered frames re-derive the deadline from the carried budget
+/// (`deadline = now + budget`); legacy headerless frames decode as the
+/// bare body under a fresh unbounded background context, so old senders
+/// keep working.
+///
+/// # Errors
+/// Truncated envelopes and malformed bodies.
+pub fn decode_request(bytes: &[u8]) -> Result<(InvocationContext, StoreRequest), WireError> {
+    let (header, body) = wire::split_header(bytes)?;
+    let ctx = match header {
+        Some(h) => InvocationContext::from_wire(h.trace_id, h.budget_nanos, h.origin),
+        None => InvocationContext::background(),
+    };
+    Ok((ctx, wire::from_bytes(body)?))
+}
 
 /// Requests understood by storage nodes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -312,6 +348,47 @@ mod tests {
             let back: StoreResponse = wire::from_bytes(&bytes).unwrap();
             assert_eq!(back, r);
         }
+    }
+
+    #[test]
+    fn request_envelope_round_trips_context() {
+        use std::time::Duration;
+        let ctx = InvocationContext::client(Duration::from_secs(5));
+        let req = StoreRequest::Invoke {
+            object: b"user/1".to_vec(),
+            method: "post".into(),
+            args: vec![VmValue::Int(1)],
+            read_only: false,
+            internal: false,
+        };
+        let frame = encode_request(&ctx, &req).unwrap();
+        let (back_ctx, back_req) = decode_request(&frame).unwrap();
+        assert_eq!(back_req, req);
+        assert_eq!(back_ctx.trace_id, ctx.trace_id);
+        assert_eq!(back_ctx.origin, ctx.origin);
+        // The receiving hop re-derives the deadline from the budget; it
+        // can only have shrunk in transit.
+        assert!(back_ctx.budget_nanos() <= Duration::from_secs(5).as_nanos() as u64);
+        assert!(!back_ctx.expired());
+    }
+
+    #[test]
+    fn legacy_request_frames_decode_with_background_context() {
+        let req = StoreRequest::Stats;
+        let frame = wire::to_bytes(&req).unwrap();
+        let (ctx, back) = decode_request(&frame).unwrap();
+        assert_eq!(back, req);
+        assert!(ctx.deadline.is_none());
+        assert!(!ctx.expired());
+    }
+
+    #[test]
+    fn expired_budget_survives_the_wire() {
+        let ctx = InvocationContext::from_wire(9, 0, 0);
+        let frame = encode_request(&ctx, &StoreRequest::ListObjects).unwrap();
+        let (back_ctx, _) = decode_request(&frame).unwrap();
+        assert_eq!(back_ctx.trace_id, 9);
+        assert!(back_ctx.expired());
     }
 
     #[test]

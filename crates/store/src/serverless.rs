@@ -142,7 +142,9 @@ impl GatewayInner {
                 log.flush().map_err(|e| e.to_string())?;
             }
         }
-        let req: StoreRequest = wire::from_bytes(&body).map_err(|e| e.to_string())?;
+        // Strip the request envelope (the raw frame, header included, was
+        // already logged above); the gateway ignores the carried context.
+        let (_ctx, req) = crate::proto::decode_request(&body).map_err(|e| e.to_string())?;
         let result = match req {
             StoreRequest::Invoke { object, method, args, .. } => {
                 let oid = ObjectId::new(object);

@@ -841,6 +841,66 @@ fn planned_decommission_keeps_serving() {
 }
 
 #[test]
+fn deadline_expired_followers_are_shed() {
+    use lambda_objects::{InvocationContext, ObjectType};
+    use lambda_vm::NativeRegistry;
+
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    // A trusted native type (the §4.2 co-located alternative) with a
+    // method that deliberately holds the object's exclusive lock. Native
+    // code cannot travel through DeployType, so register it on every node.
+    for node in &cluster.core.storage {
+        let mut reg = NativeRegistry::new();
+        reg.register("occupy", false, false, true, |ctx| {
+            std::thread::sleep(Duration::from_millis(400));
+            ctx.host.put(b"state", b"occupied")?;
+            Ok(VmValue::Unit)
+        });
+        reg.register("bump", false, false, true, |ctx| {
+            ctx.host.put(b"state", b"bumped")?;
+            Ok(VmValue::Unit)
+        });
+        node.register_native_type(ObjectType::from_native(
+            "Throttle",
+            vec![FieldDef { name: "state".into(), kind: FieldKind::Scalar }],
+            reg,
+        ));
+    }
+    let client = cluster.client();
+    let id = ObjectId::from("throttle/one");
+    client.create_object("Throttle", &id, &[("state", b"idle".as_slice())]).unwrap();
+
+    // Occupy the object's lock from one thread...
+    let slow_client = client.clone();
+    let slow_id = id.clone();
+    let slow = std::thread::spawn(move || slow_client.invoke(&slow_id, "occupy", vec![], false));
+    std::thread::sleep(Duration::from_millis(100)); // let it win the lock
+
+    // ...then queue a follower whose budget cannot survive the wait. The
+    // deadline travels in the wire envelope; the scheduler re-checks it at
+    // dequeue and sheds the invocation before any execute/commit work, and
+    // the client-side routing loop fails fast instead of retrying.
+    let ctx = InvocationContext::client(Duration::from_millis(150));
+    let err = client.invoke_ctx(&ctx, &id, "bump", vec![], false).unwrap_err();
+    assert!(matches!(err, InvokeError::DeadlineExceeded), "got {err}");
+
+    slow.join().unwrap().unwrap();
+    // The server really shed it (it never executed: "bump" would have
+    // overwritten the slow method's write).
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let shed: u64 =
+            cluster.core.storage.iter().map(|n| n.registry().counter_value("sched_shed")).sum();
+        if shed >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "scheduler never shed the expired invocation");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.shutdown();
+}
+
+#[test]
 fn decommission_refuses_to_drop_last_replica() {
     let mut config = ClusterConfig::for_tests();
     config.replication_factor = 1;

@@ -1,0 +1,74 @@
+//! Lock-free monotonic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, lock-free, monotonically increasing counter.
+///
+/// Cloning a `Counter` clones the *handle*, not the value: all clones
+/// update the same underlying cell. This is what lets a subsystem keep a
+/// cheap local handle while the [`Registry`](crate::Registry) serves the
+/// same cell to stats snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_cell() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let c = Counter::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+}

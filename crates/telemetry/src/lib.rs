@@ -1,0 +1,32 @@
+//! # lambda-telemetry
+//!
+//! The unified telemetry substrate for LambdaObjects: lock-free
+//! [counters](Counter), log-bucketed [latency histograms](LatencyHistogram)
+//! with p50/p95/p99 extraction, a bounded [span recorder](SpanRecorder), and
+//! a per-process [`Registry`] that every layer (kv, scheduler, engine,
+//! store nodes, coordinator) reports through.
+//!
+//! The second half of the crate is the [`InvocationContext`]: a
+//! `{ trace_id, deadline, origin }` triple born at the client, serialized
+//! into the wire header, and re-derived at every hop so that
+//!
+//! * each stage of an invocation (queue → execute → commit → replicate)
+//!   records a [`SpanRecord`] tied to one `trace_id`, and
+//! * the *remaining* deadline budget — not a flat per-hop timeout — bounds
+//!   every downstream RPC, and expired work is shed before it wastes
+//!   execute/commit cycles.
+//!
+//! The crate is intentionally std-only: it must be usable from the kv
+//! layer up without dragging dependencies into the offline build.
+
+pub mod context;
+pub mod counter;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use context::{next_trace_id, InvocationContext, Origin, NO_BUDGET};
+pub use counter::Counter;
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use registry::Registry;
+pub use span::{SpanRecord, SpanRecorder, Stage};

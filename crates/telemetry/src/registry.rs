@@ -1,0 +1,162 @@
+//! The per-process telemetry registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::counter::Counter;
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::span::{SpanRecord, SpanRecorder, Stage};
+
+/// One registry per node (or per process for single-node users): named
+/// counters, per-stage latency histograms, and the span recorder.
+///
+/// Every layer running inside a node — kv, scheduler, engine, the RPC
+/// handler — holds the same `Arc<Registry>` and reports through it, which
+/// is what lets the node serve `SchedulerStats`, kv `StatsSnapshot`, and
+/// `NodeStatsWire` as thin views over one mechanism.
+///
+/// Recording can be disabled (`set_enabled(false)`): counters still run
+/// (they are load-bearing for stats), but histogram samples and spans are
+/// skipped, which is the "telemetry off" configuration the overhead
+/// experiment compares against.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    started: Instant,
+    counters: RwLock<HashMap<&'static str, Counter>>,
+    stages: [LatencyHistogram; 4],
+    spans: SpanRecorder,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A fresh registry with span/histogram recording enabled.
+    pub fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            started: Instant::now(),
+            counters: RwLock::new(HashMap::new()),
+            stages: Default::default(),
+            spans: SpanRecorder::default(),
+        }
+    }
+
+    /// A fresh shared registry.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Enable or disable histogram/span recording (counters always run).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether histogram/span recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this registry (≈ its node) was created.
+    pub fn uptime_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// The counter registered under `name`, creating it at zero on first
+    /// use. The returned handle shares the cell with the registry — cache
+    /// it in hot paths rather than re-looking it up.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return c.clone();
+        }
+        self.counters.write().unwrap().entry(name).or_default().clone()
+    }
+
+    /// Current value of `name` (zero if never registered).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.read().unwrap().get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Snapshot of every named counter.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<_> =
+            self.counters.read().unwrap().iter().map(|(n, c)| (*n, c.get())).collect();
+        out.sort_unstable_by_key(|(n, _)| *n);
+        out
+    }
+
+    fn stage_slot(stage: Stage) -> usize {
+        match stage {
+            Stage::Queue => 0,
+            Stage::Execute => 1,
+            Stage::Commit => 2,
+            Stage::Replicate => 3,
+        }
+    }
+
+    /// Record a span: one histogram sample for the stage plus a span
+    /// record tied to `trace_id`. No-op while disabled.
+    pub fn record_span(&self, trace_id: u64, stage: Stage, duration: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        self.stages[Self::stage_slot(stage)].record(duration);
+        self.spans.record(trace_id, stage, duration);
+    }
+
+    /// Latency distribution of one stage.
+    pub fn stage_stats(&self, stage: Stage) -> HistogramSnapshot {
+        self.stages[Self::stage_slot(stage)].snapshot()
+    }
+
+    /// Retained spans for one trace, in recording order.
+    pub fn spans_for(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans.spans_for(trace_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("invocations");
+        a.add(2);
+        r.counter("invocations").incr();
+        assert_eq!(r.counter_value("invocations"), 3);
+        assert_eq!(r.counter_value("never"), 0);
+        assert_eq!(r.counters(), vec![("invocations", 3)]);
+    }
+
+    #[test]
+    fn spans_feed_stage_histograms() {
+        let r = Registry::new();
+        r.record_span(9, Stage::Execute, Duration::from_micros(10));
+        r.record_span(9, Stage::Commit, Duration::from_micros(20));
+        assert_eq!(r.stage_stats(Stage::Execute).count, 1);
+        assert_eq!(r.stage_stats(Stage::Commit).count, 1);
+        assert_eq!(r.stage_stats(Stage::Queue).count, 0);
+        let chain = r.spans_for(9);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].stage, Stage::Execute);
+    }
+
+    #[test]
+    fn disabling_stops_spans_but_not_counters() {
+        let r = Registry::new();
+        r.set_enabled(false);
+        r.record_span(1, Stage::Queue, Duration::from_micros(1));
+        assert_eq!(r.stage_stats(Stage::Queue).count, 0);
+        assert!(r.spans_for(1).is_empty());
+        r.counter("still_counts").incr();
+        assert_eq!(r.counter_value("still_counts"), 1);
+    }
+}

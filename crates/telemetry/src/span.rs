@@ -1,0 +1,131 @@
+//! Trace spans: per-stage timing records tied to an invocation's trace id.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The span taxonomy — the paper's aggregated critical path (§3.1): an
+/// invocation queues behind its object's scheduler lock, executes, commits
+/// its write set, and fans the write set out to backups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Waiting for the per-object scheduler lock.
+    Queue,
+    /// Running the method body (VM or native).
+    Execute,
+    /// Committing the write batch to the kv store (WAL + memtable).
+    Commit,
+    /// Replicating the committed write set to backups.
+    Replicate,
+}
+
+impl Stage {
+    /// All stages, in critical-path order.
+    pub const ALL: [Stage; 4] = [Stage::Queue, Stage::Execute, Stage::Commit, Stage::Replicate];
+
+    /// Stable lowercase name (used in reports and the registry).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Execute => "execute",
+            Stage::Commit => "commit",
+            Stage::Replicate => "replicate",
+        }
+    }
+}
+
+/// One recorded span: stage + duration for a given trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The invocation this span belongs to.
+    pub trace_id: u64,
+    /// Which stage of the critical path.
+    pub stage: Stage,
+    /// Stage duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+/// A bounded ring buffer of recent spans.
+///
+/// The recorder exists so tests and the breakdown report can reconstruct a
+/// single invocation's chain; it is not a general tracing backend. The
+/// buffer is bounded (oldest spans are dropped) and guarded by a plain
+/// mutex — span recording happens at most four times per invocation, well
+/// off the per-access hot path.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    spans: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder keeping at most `capacity` recent spans.
+    pub fn new(capacity: usize) -> Self {
+        Self { spans: Mutex::new(VecDeque::with_capacity(capacity.min(4096))), capacity }
+    }
+
+    /// Record a span.
+    pub fn record(&self, trace_id: u64, stage: Stage, duration: Duration) {
+        let rec = SpanRecord {
+            trace_id,
+            stage,
+            duration_nanos: duration.as_nanos().min(u64::MAX as u128) as u64,
+        };
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() == self.capacity {
+            spans.pop_front();
+        }
+        spans.push_back(rec);
+    }
+
+    /// All retained spans for one trace, in recording order.
+    pub fn spans_for(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().iter().filter(|s| s.trace_id == trace_id).copied().collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters_by_trace() {
+        let r = SpanRecorder::new(16);
+        r.record(1, Stage::Queue, Duration::from_micros(5));
+        r.record(2, Stage::Queue, Duration::from_micros(7));
+        r.record(1, Stage::Execute, Duration::from_micros(11));
+        let spans = r.spans_for(1);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, Stage::Queue);
+        assert_eq!(spans[1].stage, Stage::Execute);
+        assert_eq!(spans[1].duration_nanos, 11_000);
+    }
+
+    #[test]
+    fn bounded_capacity_drops_oldest() {
+        let r = SpanRecorder::new(3);
+        for i in 0..5u64 {
+            r.record(i, Stage::Commit, Duration::from_nanos(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert!(r.spans_for(0).is_empty());
+        assert!(r.spans_for(1).is_empty());
+        assert_eq!(r.spans_for(4).len(), 1);
+    }
+}
