@@ -185,27 +185,51 @@ impl ConsistentCache {
             args_hash: args_hash(args),
         };
         let mut inner = self.inner.lock();
-        // Capacity eviction (FIFO).
-        while inner.entries.len() >= self.capacity {
-            let Some(victim) = inner.order.pop_front() else {
-                break;
-            };
-            if let Some(old) = inner.entries.remove(&victim) {
-                for (k, _) in &old.read_set {
-                    if let Some(set) = inner.by_key.get_mut(k) {
-                        set.remove(&victim);
-                        if set.is_empty() {
-                            inner.by_key.remove(k);
-                        }
+        // Drain order keys whose entries were invalidated out-of-band; they
+        // are not live and must not linger (unbounded growth) nor count
+        // toward anything.
+        while inner.order.front().is_some_and(|k| !inner.entries.contains_key(k)) {
+            inner.order.pop_front();
+        }
+        // A replace: detach the old version's read set from the reverse
+        // index first, so a key only the old version read no longer
+        // invalidates the new entry.
+        let replacing = inner.entries.remove(&key);
+        if let Some(old) = &replacing {
+            for (k, _) in &old.read_set {
+                if let Some(set) = inner.by_key.get_mut(k) {
+                    set.remove(&key);
+                    if set.is_empty() {
+                        inner.by_key.remove(k);
                     }
                 }
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Capacity eviction (FIFO) — only when the insert actually grows
+        // the map; replacing in place never needs a victim.
+        if replacing.is_none() {
+            while inner.entries.len() >= self.capacity {
+                let Some(victim) = inner.order.pop_front() else {
+                    break;
+                };
+                if let Some(old) = inner.entries.remove(&victim) {
+                    for (k, _) in &old.read_set {
+                        if let Some(set) = inner.by_key.get_mut(k) {
+                            set.remove(&victim);
+                            if set.is_empty() {
+                                inner.by_key.remove(k);
+                            }
+                        }
+                    }
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         for (k, _) in &read_set {
             inner.by_key.entry(k.clone()).or_default().insert(key.clone());
         }
-        if inner.entries.insert(key.clone(), Entry { result, read_set }).is_none() {
+        inner.entries.insert(key.clone(), Entry { result, read_set });
+        if replacing.is_none() {
             inner.order.push_back(key);
         }
     }
@@ -277,6 +301,13 @@ impl ConsistentCache {
     /// True when the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Length of the FIFO eviction queue, including any stale keys not yet
+    /// drained (test visibility only).
+    #[cfg(test)]
+    fn order_len(&self) -> usize {
+        self.inner.lock().order.len()
     }
 
     /// Counter snapshot.
@@ -371,6 +402,51 @@ mod tests {
         assert!(cache.lookup(&oid(), "m1", &[]).is_none(), "oldest evicted");
         assert!(cache.lookup(&oid(), "m3", &[]).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn replace_detaches_the_old_read_set() {
+        let cache = ConsistentCache::new(16);
+        cache.insert(&oid(), "get", &[], VmValue::Int(1), read_set(&[(b"k_old", None)]));
+        // Re-execution of the same method now reads a different key.
+        cache.insert(&oid(), "get", &[], VmValue::Int(2), read_set(&[(b"k_new", None)]));
+        // A write to the key only the *old* version read must not drop the
+        // new entry (the stale reverse-index link used to leak here).
+        cache.invalidate_keys([&b"k_old"[..]]);
+        assert_eq!(cache.lookup(&oid(), "get", &[]), Some(VmValue::Int(2)));
+        assert_eq!(cache.stats().invalidations, 0);
+        // The new read set is indexed: writing k_new drops the entry.
+        cache.invalidate_keys([&b"k_new"[..]]);
+        assert!(cache.lookup(&oid(), "get", &[]).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn replace_at_capacity_does_not_evict() {
+        let cache = ConsistentCache::new(2);
+        cache.insert(&oid(), "m1", &[], VmValue::Int(1), vec![]);
+        cache.insert(&oid(), "m2", &[], VmValue::Int(2), vec![]);
+        // Replacing m2 does not grow the map, so m1 must survive.
+        cache.insert(&oid(), "m2", &[], VmValue::Int(22), vec![]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&oid(), "m1", &[]), Some(VmValue::Int(1)));
+        assert_eq!(cache.lookup(&oid(), "m2", &[]), Some(VmValue::Int(22)));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidated_entries_do_not_linger_in_the_eviction_queue() {
+        let cache = ConsistentCache::new(16);
+        for m in ["a", "b", "c"] {
+            cache.insert(&oid(), m, &[], VmValue::Int(1), read_set(&[(b"k", None)]));
+        }
+        cache.invalidate_keys([&b"k"[..]]);
+        assert!(cache.is_empty());
+        // The next insert drains the stale queue front instead of letting
+        // it grow without bound across invalidation churn.
+        cache.insert(&oid(), "d", &[], VmValue::Int(2), vec![]);
+        assert_eq!(cache.order_len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

@@ -69,6 +69,15 @@ impl Default for EngineConfig {
     }
 }
 
+/// Remembered invocation results per object. Each committed external
+/// mutation stores its result under the object's dedup prefix; when the
+/// window overflows, the records with the lowest commit versions are
+/// evicted in the same atomic batch. A duplicate arriving after its record
+/// was evicted re-executes — the window bounds storage, and a client whose
+/// retries span more than `DEDUP_WINDOW` intervening commits has long
+/// exhausted its deadline budget.
+pub const DEDUP_WINDOW: usize = 32;
+
 /// Engine operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -82,6 +91,8 @@ pub struct EngineStats {
     pub commits: u64,
     /// Results served from the consistent cache.
     pub cache_hits: u64,
+    /// Redelivered mutations answered from the dedup window.
+    pub duplicates_suppressed: u64,
     /// Cache behaviour details.
     pub cache: CacheStats,
     /// Scheduler behaviour details.
@@ -128,6 +139,7 @@ pub struct Engine {
     nested_calls: Counter,
     commits: Counter,
     cache_hits: Counter,
+    duplicates_suppressed: Counter,
 }
 
 impl std::fmt::Debug for Engine {
@@ -168,6 +180,7 @@ impl Engine {
             nested_calls: registry.counter("eng_nested_calls"),
             commits: registry.counter("eng_commits"),
             cache_hits: registry.counter("eng_cache_hits"),
+            duplicates_suppressed: registry.counter("eng_duplicates_suppressed"),
             registry,
         }
     }
@@ -464,6 +477,22 @@ impl Engine {
         };
         self.registry.record_span(ctx.trace_id, Stage::Queue, queue_start.elapsed());
 
+        // Exactly-once under retries: a redelivered mutation (the client
+        // re-sent after a lost ack) whose invocation id is still in the
+        // object's dedup window is answered from the recorded result
+        // without re-executing. Checked under the object guard, so the
+        // first delivery's commit is fully visible here.
+        let dedup = external && !meta.read_only && ctx.invocation_id != 0;
+        if dedup {
+            if let Some(rec) = self.db.get(&keys::dedup_key(object, ctx.invocation_id))? {
+                if let Some(result) = decode_dedup_record(&rec) {
+                    self.duplicates_suppressed.incr();
+                    self.invocations.incr();
+                    return Ok(result);
+                }
+            }
+        }
+
         let snapshot_seq = self.db.last_sequence();
         let mut host = ObjectHost::new(
             &self.db,
@@ -501,7 +530,15 @@ impl Engine {
                 );
                 if !host.buffer.is_clean() {
                     let written = host.buffer.written_keys();
-                    let batch = host.buffer.take_batch();
+                    let mut batch = host.buffer.take_batch();
+                    if dedup {
+                        // The record joins the invocation's own write set,
+                        // so one atomic commit makes the effects and the
+                        // memory of them durable together — and the same
+                        // ops replicate to backups, preserving exactly-once
+                        // across failover.
+                        self.append_dedup_record(object, ctx.invocation_id, &value, &mut batch);
+                    }
                     self.commit_batch(ctx, object, batch, &written)?;
                 }
                 drop(host);
@@ -522,6 +559,46 @@ impl Engine {
                     }
                 }
                 Err(e)
+            }
+        }
+    }
+
+    /// Add a dedup record for `invocation_id` to `batch` and evict the
+    /// oldest records beyond [`DEDUP_WINDOW`] in the same batch. Runs under
+    /// the object's guard, right before the commit that bumps the version.
+    fn append_dedup_record(
+        &self,
+        object: &ObjectId,
+        invocation_id: u64,
+        result: &VmValue,
+        batch: &mut WriteBatch,
+    ) {
+        let version = self.object_version(object) + 1;
+        let encoded = result.encode();
+        let mut value = Vec::with_capacity(8 + encoded.len());
+        value.extend_from_slice(&version.to_le_bytes());
+        value.extend_from_slice(&encoded);
+        let own_key = keys::dedup_key(object, invocation_id);
+        batch.put(own_key.clone(), value);
+
+        let mut records: Vec<(Vec<u8>, u64)> = self
+            .db
+            .scan_prefix(&keys::dedup_prefix(object))
+            .filter(|(k, _)| *k != own_key)
+            .map(|(k, v)| {
+                let ver = v
+                    .get(0..8)
+                    .and_then(|b| b.try_into().ok())
+                    .map(u64::from_le_bytes)
+                    .unwrap_or(0);
+                (k, ver)
+            })
+            .collect();
+        let excess = (records.len() + 1).saturating_sub(DEDUP_WINDOW);
+        if excess > 0 {
+            records.sort_by_key(|&(_, ver)| ver);
+            for (key, _) in records.into_iter().take(excess) {
+                batch.delete(key);
             }
         }
     }
@@ -614,6 +691,7 @@ impl Engine {
             nested_calls: self.nested_calls.get(),
             commits: self.commits.get(),
             cache_hits: self.cache_hits.get(),
+            duplicates_suppressed: self.duplicates_suppressed.get(),
             cache: self.cache.stats(),
             scheduler: self.scheduler.stats(),
         }
@@ -628,6 +706,13 @@ impl Engine {
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
     }
+}
+
+/// Decode a dedup record's stored result (layout: `version (u64 LE) ‖
+/// encoded VmValue`). `None` on malformed records — the invocation then
+/// re-executes, the safe direction for corrupted state.
+fn decode_dedup_record(rec: &[u8]) -> Option<VmValue> {
+    VmValue::decode(rec.get(8..)?)
 }
 
 impl NestedInvoker for Engine {
@@ -1042,6 +1127,74 @@ mod tests {
         assert!(env.engine.registry().spans_for(4242).is_empty());
         assert_eq!(env.engine.stats().scheduler.shed, 1);
         assert_eq!(env.engine.stats().aborts, 1);
+    }
+
+    #[test]
+    fn duplicate_delivery_returns_recorded_result_without_reexecuting() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        let ctx = InvocationContext::client(std::time::Duration::from_secs(30));
+        let first =
+            env.engine.invoke_ctx(&ctx, &id, "bump_raw", vec![VmValue::str("9")], true, 0).unwrap();
+        assert_eq!(env.engine.object_version(&id), 1);
+
+        // The client's retry redelivers the same invocation id.
+        let mut retry = ctx;
+        retry.attempt = 1;
+        let second = env
+            .engine
+            .invoke_ctx(&retry, &id, "bump_raw", vec![VmValue::str("9")], true, 0)
+            .unwrap();
+        assert_eq!(second, first, "recorded result served verbatim");
+        assert_eq!(env.engine.object_version(&id), 1, "no second commit");
+        assert_eq!(env.engine.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn contexts_without_invocation_id_are_not_deduped() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        let ctx = InvocationContext::background();
+        assert_eq!(ctx.invocation_id, 0);
+        env.engine.invoke_ctx(&ctx, &id, "bump_raw", vec![VmValue::str("a")], true, 0).unwrap();
+        env.engine.invoke_ctx(&ctx, &id, "bump_raw", vec![VmValue::str("b")], true, 0).unwrap();
+        assert_eq!(env.engine.object_version(&id), 2, "both executions committed");
+        assert_eq!(env.engine.stats().duplicates_suppressed, 0);
+    }
+
+    #[test]
+    fn dedup_window_stays_bounded_and_evicts_oldest() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        let ctxs: Vec<InvocationContext> = (0..DEDUP_WINDOW + 8)
+            .map(|i| {
+                let ctx = InvocationContext::client(std::time::Duration::from_secs(30));
+                env.engine
+                    .invoke_ctx(&ctx, &id, "bump_raw", vec![VmValue::str(format!("{i}"))], true, 0)
+                    .unwrap();
+                ctx
+            })
+            .collect();
+        let records = env.engine.db().scan_prefix(&keys::dedup_prefix(&id)).count();
+        assert_eq!(records, DEDUP_WINDOW, "window bounded");
+        // The newest id is remembered, the oldest has been evicted (its
+        // duplicate re-executes — bounded-window tradeoff).
+        let newest = ctxs.last().unwrap();
+        assert!(env
+            .engine
+            .db()
+            .get(&keys::dedup_key(&id, newest.invocation_id))
+            .unwrap()
+            .is_some());
+        assert!(env
+            .engine
+            .db()
+            .get(&keys::dedup_key(&id, ctxs[0].invocation_id))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

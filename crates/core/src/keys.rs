@@ -8,6 +8,7 @@
 //! ```text
 //! o <id-len:u16-be> <id> m            → object meta (type name)
 //! o <id-len:u16-be> <id> v            → commit version (u64 LE)
+//! o <id-len:u16-be> <id> d <inv:u64-be> → dedup record (version ‖ result)
 //! o <id-len:u16-be> <id> f <field>    → scalar field value
 //! o <id-len:u16-be> <id> n <field>    → collection length (u64 LE)
 //! o <id-len:u16-be> <id> c <field> \0 <index:u64-be> → collection entry
@@ -47,6 +48,24 @@ pub fn meta_key(id: &ObjectId) -> Vec<u8> {
 pub fn version_key(id: &ObjectId) -> Vec<u8> {
     let mut out = object_prefix(id);
     out.push(b'v');
+    out
+}
+
+/// Dedup record key for one remembered invocation id. Living inside the
+/// object's prefix means the record rides the same write batch, the same
+/// replication stream and the same migration snapshot as the data it
+/// protects — failover to a backup preserves exactly-once for free.
+pub fn dedup_key(id: &ObjectId, invocation_id: u64) -> Vec<u8> {
+    let mut out = object_prefix(id);
+    out.push(b'd');
+    out.extend_from_slice(&invocation_id.to_be_bytes());
+    out
+}
+
+/// The prefix under which all of `id`'s dedup records live.
+pub fn dedup_prefix(id: &ObjectId) -> Vec<u8> {
+    let mut out = object_prefix(id);
+    out.push(b'd');
     out
 }
 
@@ -134,9 +153,23 @@ mod tests {
             field_key(&oid, b"name"),
             counter_key(&oid, b"timeline"),
             entry_key(&oid, b"timeline", 7),
+            dedup_key(&oid, 42),
         ] {
             assert!(key.starts_with(&prefix));
         }
+    }
+
+    #[test]
+    fn dedup_keys_sort_by_invocation_id_under_their_prefix() {
+        let oid = id("u");
+        let prefix = dedup_prefix(&oid);
+        let k1 = dedup_key(&oid, 1);
+        let k2 = dedup_key(&oid, 2);
+        let k300 = dedup_key(&oid, 300);
+        assert!(k1.starts_with(&prefix) && k300.starts_with(&prefix));
+        assert!(k1 < k2 && k2 < k300, "big-endian id keeps numeric order");
+        // Dedup records never collide with fields or collections.
+        assert_ne!(dedup_key(&oid, 0x66_00_00_00_00_00_00_00), field_key(&oid, b"x"));
     }
 
     #[test]

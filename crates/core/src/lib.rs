@@ -78,7 +78,9 @@ pub mod transaction;
 
 pub use buffer::{value_hash, WriteBuffer};
 pub use cache::{args_hash, CacheStats, ConsistentCache};
-pub use engine::{CommitHook, Engine, EngineConfig, EngineStats, InvokeRouter, WriteSetOps};
+pub use engine::{
+    CommitHook, Engine, EngineConfig, EngineStats, InvokeRouter, WriteSetOps, DEDUP_WINDOW,
+};
 pub use error::{decode_error, encode_error, InvokeError, Result};
 pub use host::{NestedInvoker, ObjectHost};
 pub use migration::ObjectSnapshot;

@@ -1,0 +1,161 @@
+//! Model-based property test of the per-object dedup window: under an
+//! arbitrary interleaving of fresh invocations and redeliveries of past
+//! invocation ids, the engine must behave exactly like a model that
+//! remembers the last [`DEDUP_WINDOW`] executed invocations — a
+//! redelivery inside the window returns the recorded result without
+//! re-executing; a redelivery of an evicted id re-executes (that is the
+//! documented boundary of the window, not a bug).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lambda_kv::{Db, Options};
+use lambda_objects::{
+    Engine, EngineConfig, FieldDef, FieldKind, InvocationContext, ObjectId, ObjectType,
+    TypeRegistry, DEDUP_WINDOW,
+};
+use lambda_vm::{assemble, VmValue};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// A brand-new invocation adding `amount` to the balance.
+    Fresh(i8),
+    /// Redeliver a previously-sent invocation, picked by index into the
+    /// send history (modulo its length).
+    Redeliver(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<i8>().prop_map(Op::Fresh),
+        2 => any::<u8>().prop_map(Op::Redeliver),
+    ]
+}
+
+fn account_type() -> ObjectType {
+    let module = assemble(
+        r#"
+        fn add(1) locals=2 {
+            push.s "balance"
+            host.get
+            btoi
+            load 0
+            add
+            store 1
+            push.s "balance"
+            load 1
+            itob
+            host.put
+            pop
+            load 1
+            ret
+        }
+        "#,
+    )
+    .unwrap();
+    ObjectType::from_module(
+        "Account",
+        vec![FieldDef { name: "balance".into(), kind: FieldKind::Scalar }],
+        module,
+    )
+    .unwrap()
+}
+
+/// The model: balance, per-id recorded results, and the recency window of
+/// remembered invocation ids (newest at the back).
+#[derive(Debug, Default)]
+struct Model {
+    balance: i64,
+    recorded: HashMap<u64, i64>,
+    window: VecDeque<u64>,
+}
+
+impl Model {
+    fn execute(&mut self, id: u64, amount: i64) -> i64 {
+        self.balance += amount;
+        self.recorded.insert(id, self.balance);
+        self.window.retain(|&w| w != id);
+        self.window.push_back(id);
+        if self.window.len() > DEDUP_WINDOW {
+            let evicted = self.window.pop_front().unwrap();
+            self.recorded.remove(&evicted);
+        }
+        self.balance
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dedup_window_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        static DIR_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = DIR_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("lambda-prop-dedup-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let types = Arc::new(TypeRegistry::new());
+        types.register(account_type());
+        let engine = Engine::new(db, types, EngineConfig::default());
+        let oid = ObjectId::from("acct/dedup");
+        engine.create_object("Account", &oid, &[]).unwrap();
+
+        let mut model = Model::default();
+        // The send history: (invocation id, amount), redeliveries pick
+        // from here. Ids start at 1 (0 means dedup-off).
+        let mut sent: Vec<(u64, i64)> = Vec::new();
+
+        let invoke = |id: u64, amount: i64, attempt: u32| {
+            let mut ctx = InvocationContext::background();
+            ctx.invocation_id = id;
+            ctx.attempt = attempt;
+            engine
+                .invoke_ctx(&ctx, &oid, "add", vec![VmValue::Int(amount)], true, 0)
+                .unwrap()
+        };
+
+        for op in ops {
+            match op {
+                Op::Fresh(amount) => {
+                    let id = sent.len() as u64 + 1;
+                    let amount = amount as i64;
+                    sent.push((id, amount));
+                    let got = invoke(id, amount, 0);
+                    let want = model.execute(id, amount);
+                    prop_assert_eq!(got, VmValue::Int(want));
+                }
+                Op::Redeliver(pick) => {
+                    if sent.is_empty() {
+                        continue;
+                    }
+                    let (id, amount) = sent[pick as usize % sent.len()];
+                    let got = invoke(id, amount, 1);
+                    match model.recorded.get(&id) {
+                        // In the window: the recorded result comes back and
+                        // the state must not change.
+                        Some(&result) => {
+                            prop_assert_eq!(got, VmValue::Int(result));
+                        }
+                        // Evicted (or superseded): the engine re-executes,
+                        // exactly like the model.
+                        None => {
+                            let want = model.execute(id, amount);
+                            prop_assert_eq!(got, VmValue::Int(want));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final audit: the balance only counts deduplicated executions,
+        // and the engine's window is exactly the model's.
+        let balance = engine.invoke(&oid, "add", vec![VmValue::Int(0)]).unwrap();
+        prop_assert_eq!(balance, VmValue::Int(model.balance));
+        drop(engine);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -40,7 +40,10 @@ pub mod sim;
 pub mod wire;
 
 pub use rpc::{Handler, RpcError, RpcNode};
-pub use sim::{Envelope, LatencyModel, Network, NodeHandle, NodeId, RecvError, RecvTimeoutError};
+pub use sim::{
+    Envelope, FaultPlan, FaultSpec, LatencyModel, Network, NodeHandle, NodeId, RecvError,
+    RecvTimeoutError,
+};
 pub use wire::{
     from_bytes, split_header, to_bytes, RequestHeader, WireError, HEADER_MAGIC, HEADER_VERSION,
 };

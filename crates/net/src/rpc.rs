@@ -18,9 +18,10 @@ use parking_lot::Mutex;
 
 use crate::sim::{Network, NodeHandle, NodeId};
 
-/// Frame kind tags.
+/// Frame kind tags. `KIND_RESPONSE` is crate-visible so the simulator's
+/// fault injector can recognise ack frames for one-way reply loss.
 const KIND_REQUEST: u8 = 1;
-const KIND_RESPONSE: u8 = 2;
+pub(crate) const KIND_RESPONSE: u8 = 2;
 const KIND_ONEWAY: u8 = 3;
 
 /// RPC failure modes.

@@ -107,6 +107,81 @@ pub struct NetStats {
     pub messages_dropped: AtomicU64,
     /// Total payload bytes sent.
     pub bytes_sent: AtomicU64,
+    /// Messages dropped by an injected fault (incl. reply loss).
+    pub faults_dropped: AtomicU64,
+    /// Messages duplicated by an injected fault.
+    pub faults_duplicated: AtomicU64,
+    /// Messages hit by an injected delay spike.
+    pub faults_delayed: AtomicU64,
+}
+
+/// Per-link fault behaviour; every probability is sampled independently per
+/// message from the plan's seeded rng.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Probability of silently dropping any message.
+    pub drop: f64,
+    /// Probability of delivering a message twice (independent latencies).
+    pub duplicate: f64,
+    /// Probability of adding `delay_spike` on top of the modelled latency.
+    pub delay: f64,
+    /// Extra latency applied when a delay fault fires.
+    pub delay_spike: Duration,
+    /// Additional drop probability applied only to RPC *response* frames:
+    /// the request executes at the receiver, but its ack never returns.
+    /// This is the classic at-least-once hazard for retrying clients.
+    pub reply_loss: f64,
+}
+
+impl FaultSpec {
+    /// Drop every message on the link.
+    pub fn drop_all() -> FaultSpec {
+        FaultSpec { drop: 1.0, ..FaultSpec::default() }
+    }
+
+    /// Lose every RPC response (requests still execute).
+    pub fn lose_replies() -> FaultSpec {
+        FaultSpec { reply_loss: 1.0, ..FaultSpec::default() }
+    }
+}
+
+/// A scriptable, seeded fault schedule layered on top of `cut_link`/
+/// `isolate`: a default spec applied to every link plus per-link overrides.
+/// Install with [`Network::set_fault_plan`]; injected faults are counted in
+/// [`NetStats`] so tests can assert the chaos actually happened.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    default: Option<FaultSpec>,
+    links: HashMap<(NodeId, NodeId), FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults until specs are added).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Apply `spec` to every link without an explicit override.
+    pub fn everywhere(spec: FaultSpec) -> FaultPlan {
+        FaultPlan { default: Some(spec), ..FaultPlan::default() }
+    }
+
+    /// Override the `from -> to` direction with `spec`.
+    #[must_use]
+    pub fn link(mut self, from: NodeId, to: NodeId, spec: FaultSpec) -> FaultPlan {
+        self.links.insert((from, to), spec);
+        self
+    }
+
+    /// Override both directions between `a` and `b` with `spec`.
+    #[must_use]
+    pub fn between(self, a: NodeId, b: NodeId, spec: FaultSpec) -> FaultPlan {
+        self.link(a, b, spec).link(b, a, spec)
+    }
+
+    fn spec_for(&self, from: NodeId, to: NodeId) -> Option<&FaultSpec> {
+        self.links.get(&(from, to)).or(self.default.as_ref())
+    }
 }
 
 struct Scheduled {
@@ -139,6 +214,7 @@ struct NetInner {
     latency: RwLock<LatencyModel>,
     queue: Mutex<BinaryHeap<Scheduled>>,
     queue_cv: Condvar,
+    faults: Mutex<Option<(FaultPlan, SmallRng)>>,
     rng: Mutex<SmallRng>,
     seq: AtomicU64,
     stats: NetStats,
@@ -167,6 +243,7 @@ impl Network {
             latency: RwLock::new(latency),
             queue: Mutex::new(BinaryHeap::new()),
             queue_cv: Condvar::new(),
+            faults: Mutex::new(None),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
             seq: AtomicU64::new(0),
             stats: NetStats::default(),
@@ -256,6 +333,33 @@ impl Network {
         )
     }
 
+    /// Install a fault plan; its rng is seeded independently of the latency
+    /// rng so a chaos schedule replays identically across runs.
+    pub fn set_fault_plan(&self, plan: FaultPlan, seed: u64) {
+        *self.inner.faults.lock() = Some((plan, SmallRng::seed_from_u64(seed)));
+    }
+
+    /// Remove the installed fault plan (heals everything it injected).
+    pub fn clear_fault_plan(&self) {
+        *self.inner.faults.lock() = None;
+    }
+
+    /// Injected-fault snapshot: (dropped, duplicated, delayed).
+    pub fn fault_stats(&self) -> (u64, u64, u64) {
+        let s = &self.inner.stats;
+        (
+            s.faults_dropped.load(Ordering::Relaxed),
+            s.faults_duplicated.load(Ordering::Relaxed),
+            s.faults_delayed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total faults injected so far, across all kinds.
+    pub fn faults_injected(&self) -> u64 {
+        let (d, du, de) = self.fault_stats();
+        d + du + de
+    }
+
     /// Stop the dispatcher; in-flight messages are discarded.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
@@ -279,13 +383,46 @@ impl Network {
             }
             latency.sample(payload.len(), &mut rng)
         };
-        let item = Scheduled {
-            deliver_at: Instant::now() + delay,
+        // Scripted faults ride on top of the latency model. Reply loss keys
+        // off the RPC frame kind: a lost response means the receiver already
+        // executed the request but the caller times out and retries.
+        let mut spike = Duration::ZERO;
+        let mut duplicate_delay = None;
+        if let Some((plan, rng)) = self.inner.faults.lock().as_mut() {
+            if let Some(spec) = plan.spec_for(from, to) {
+                let is_reply = payload.first() == Some(&crate::rpc::KIND_RESPONSE);
+                let drop_p = spec.drop + if is_reply { spec.reply_loss } else { 0.0 };
+                if drop_p > 0.0 && rng.gen::<f64>() < drop_p {
+                    stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                    stats.faults_dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if spec.delay > 0.0 && rng.gen::<f64>() < spec.delay {
+                    stats.faults_delayed.fetch_add(1, Ordering::Relaxed);
+                    spike = spec.delay_spike;
+                }
+                if spec.duplicate > 0.0 && rng.gen::<f64>() < spec.duplicate {
+                    stats.faults_duplicated.fetch_add(1, Ordering::Relaxed);
+                    duplicate_delay = Some(latency.sample(payload.len(), rng) + spike);
+                }
+            }
+        }
+        let now = Instant::now();
+        let mut queue = self.inner.queue.lock();
+        if let Some(extra) = duplicate_delay {
+            queue.push(Scheduled {
+                deliver_at: now + extra,
+                seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+                envelope: Envelope { from, to, payload: payload.clone() },
+            });
+        }
+        queue.push(Scheduled {
+            deliver_at: now + delay + spike,
             seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
             envelope: Envelope { from, to, payload },
-        };
-        self.inner.queue.lock().push(item);
-        self.inner.queue_cv.notify_one();
+        });
+        drop(queue);
+        self.inner.queue_cv.notify_all();
     }
 }
 
@@ -557,6 +694,124 @@ mod tests {
         a.send(NodeId(2), b"late".to_vec());
         assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
         net.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_drops_everything_until_cleared() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        net.set_fault_plan(FaultPlan::everywhere(FaultSpec::drop_all()), 99);
+        a.send(NodeId(2), b"lost".to_vec());
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        let (dropped, _, _) = net.fault_stats();
+        assert_eq!(dropped, 1);
+        net.clear_fault_plan();
+        a.send(NodeId(2), b"found".to_vec());
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().payload, b"found");
+        assert_eq!(net.faults_injected(), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn reply_loss_only_drops_response_frames() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        net.set_fault_plan(FaultPlan::everywhere(FaultSpec::lose_replies()), 7);
+        // A request-shaped frame goes through...
+        a.send(NodeId(2), vec![crate::rpc::KIND_RESPONSE + 10, 0, 0]);
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+        // ...a response-shaped frame (an ack) is lost.
+        a.send(NodeId(2), vec![crate::rpc::KIND_RESPONSE, 0, 0]);
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        let (dropped, _, _) = net.fault_stats();
+        assert_eq!(dropped, 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn duplication_delivers_the_same_payload_twice() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        net.set_fault_plan(
+            FaultPlan::everywhere(FaultSpec { duplicate: 1.0, ..FaultSpec::default() }),
+            3,
+        );
+        a.send(NodeId(2), b"twin".to_vec());
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().payload, b"twin");
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().payload, b"twin");
+        let (_, duplicated, _) = net.fault_stats();
+        assert_eq!(duplicated, 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn delay_spike_defers_delivery() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        net.set_fault_plan(
+            FaultPlan::everywhere(FaultSpec {
+                delay: 1.0,
+                delay_spike: Duration::from_millis(40),
+                ..FaultSpec::default()
+            }),
+            5,
+        );
+        let start = Instant::now();
+        a.send(NodeId(2), vec![1]);
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(35), "spike applied");
+        let (_, _, delayed) = net.fault_stats();
+        assert_eq!(delayed, 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn per_link_spec_overrides_the_default() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let a = net.join(NodeId(1));
+        let b = net.join(NodeId(2));
+        let c = net.join(NodeId(3));
+        // Default drops everything, but 1 -> 3 is explicitly clean.
+        let plan = FaultPlan::everywhere(FaultSpec::drop_all()).link(
+            NodeId(1),
+            NodeId(3),
+            FaultSpec::default(),
+        );
+        net.set_fault_plan(plan, 11);
+        a.send(NodeId(2), b"x".to_vec());
+        a.send(NodeId(3), b"y".to_vec());
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(c.recv_timeout(Duration::from_secs(1)).unwrap().payload, b"y");
+        net.shutdown();
+    }
+
+    #[test]
+    fn seeded_fault_plans_replay_identically() {
+        let outcomes: Vec<Vec<bool>> = (0..2)
+            .map(|_| {
+                let net = Network::new(LatencyModel::instant(), 1);
+                let a = net.join(NodeId(1));
+                let b = net.join(NodeId(2));
+                net.set_fault_plan(
+                    FaultPlan::everywhere(FaultSpec { drop: 0.5, ..FaultSpec::default() }),
+                    0xfeed,
+                );
+                let got: Vec<bool> = (0..32u32)
+                    .map(|i| {
+                        a.send(NodeId(2), i.to_le_bytes().to_vec());
+                        b.recv_timeout(Duration::from_millis(100)).is_ok()
+                    })
+                    .collect();
+                net.shutdown();
+                got
+            })
+            .collect();
+        assert_eq!(outcomes[0], outcomes[1], "same seed, same fault schedule");
+        assert!(outcomes[0].iter().any(|ok| *ok) && outcomes[0].iter().any(|ok| !*ok));
     }
 
     #[test]

@@ -82,20 +82,25 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
 pub const HEADER_MAGIC: u8 = 0xC7;
 
 /// Current request-header version.
-pub const HEADER_VERSION: u8 = 1;
+pub const HEADER_VERSION: u8 = 2;
 
 /// Length of the version-1 header payload (trace_id + budget + origin).
 const HEADER_V1_LEN: usize = 8 + 8 + 1;
+
+/// Length of the version-2 header payload (v1 + invocation_id + attempt).
+const HEADER_V2_LEN: usize = HEADER_V1_LEN + 8 + 4;
 
 /// The out-of-band request envelope: per-invocation context carried ahead
 /// of the serialized request body.
 ///
 /// Layout: `magic (1) | version (1) | payload_len (u16 LE) | payload`.
 /// The payload for version 1 is `trace_id (u64 LE) | budget_nanos (u64 LE)
-/// | origin (u8)`. Receivers skip payload bytes beyond what they
-/// understand (`payload_len` is authoritative), so future versions can
-/// append fields without breaking old nodes, and old headerless frames
-/// (no magic) still decode as a bare body.
+/// | origin (u8)`; version 2 appends `invocation_id (u64 LE) | attempt
+/// (u32 LE)` for server-side retry dedup. Receivers skip payload bytes
+/// beyond what they understand (`payload_len` is authoritative), so future
+/// versions can append fields without breaking old nodes; v1 payloads
+/// decode with a zero invocation id (= no dedup), and old headerless
+/// frames (no magic) still decode as a bare body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestHeader {
     /// Sender's header version.
@@ -106,18 +111,25 @@ pub struct RequestHeader {
     pub budget_nanos: u64,
     /// Origin tag (see `lambda-telemetry`'s `Origin`).
     pub origin: u8,
+    /// Client-assigned invocation identity, stable across retries of the
+    /// same logical invocation (0 = unassigned, dedup disabled).
+    pub invocation_id: u64,
+    /// Retry ordinal of this delivery (0 = first attempt).
+    pub attempt: u32,
 }
 
 impl RequestHeader {
     /// Serialize the header envelope (to be followed by the body).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + HEADER_V1_LEN);
+        let mut out = Vec::with_capacity(4 + HEADER_V2_LEN);
         out.push(HEADER_MAGIC);
         out.push(self.version);
-        out.extend_from_slice(&(HEADER_V1_LEN as u16).to_le_bytes());
+        out.extend_from_slice(&(HEADER_V2_LEN as u16).to_le_bytes());
         out.extend_from_slice(&self.trace_id.to_le_bytes());
         out.extend_from_slice(&self.budget_nanos.to_le_bytes());
         out.push(self.origin);
+        out.extend_from_slice(&self.invocation_id.to_le_bytes());
+        out.extend_from_slice(&self.attempt.to_le_bytes());
         out
     }
 
@@ -155,11 +167,23 @@ pub fn split_header(bytes: &[u8]) -> Result<(Option<RequestHeader>, &[u8]), Wire
             payload.len()
         )));
     }
+    // v2 fields are parsed only when the payload carries them; a v1-sized
+    // payload decodes with invocation_id 0 (dedup off) and attempt 0.
+    let (invocation_id, attempt) = if payload.len() >= HEADER_V2_LEN {
+        (
+            u64::from_le_bytes(payload[17..25].try_into().expect("8 bytes")),
+            u32::from_le_bytes(payload[25..29].try_into().expect("4 bytes")),
+        )
+    } else {
+        (0, 0)
+    };
     let header = RequestHeader {
         version,
         trace_id: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
         budget_nanos: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
         origin: payload[16],
+        invocation_id,
+        attempt,
     };
     Ok((Some(header), &bytes[4 + payload_len..]))
 }
@@ -765,6 +789,8 @@ mod tests {
             trace_id: 0xDEAD_BEEF,
             budget_nanos: 1_500_000,
             origin: 1,
+            invocation_id: 0x1234_5678_9ABC_DEF0,
+            attempt: 3,
         };
         let body = to_bytes(&sample()).unwrap();
         let frame = h.encode_with_body(&body);
@@ -773,6 +799,29 @@ mod tests {
         assert_eq!(rest, &body[..]);
         let back: Outer = from_bytes(rest).unwrap();
         assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn v1_header_payloads_decode_with_zero_invocation_id() {
+        // A frame from a pre-dedup sender: 17-byte v1 payload.
+        let body = to_bytes(&Kind::One(7)).unwrap();
+        let mut frame = Vec::new();
+        frame.push(HEADER_MAGIC);
+        frame.push(1u8);
+        frame.extend_from_slice(&17u16.to_le_bytes());
+        frame.extend_from_slice(&99u64.to_le_bytes()); // trace_id
+        frame.extend_from_slice(&u64::MAX.to_le_bytes()); // budget
+        frame.push(0); // origin
+        frame.extend_from_slice(&body);
+
+        let (parsed, rest) = split_header(&frame).unwrap();
+        let h = parsed.expect("headered");
+        assert_eq!(h.version, 1);
+        assert_eq!(h.trace_id, 99);
+        assert_eq!(h.invocation_id, 0, "v1 senders carry no invocation id");
+        assert_eq!(h.attempt, 0);
+        let back: Kind = from_bytes(rest).unwrap();
+        assert_eq!(back, Kind::One(7));
     }
 
     #[test]
@@ -789,18 +838,23 @@ mod tests {
 
     #[test]
     fn unknown_trailing_header_bytes_are_tolerated() {
-        // A future sender appends extra fields to the header payload and
-        // bumps the declared length; a v1 receiver must skip them.
-        let h = RequestHeader { version: 2, trace_id: 42, budget_nanos: u64::MAX, origin: 0 };
+        // A future version-3 sender appends extra fields to the header
+        // payload and bumps the declared length; a v2 receiver must skip
+        // them while still parsing every field it knows.
+        let h = RequestHeader {
+            version: 3,
+            trace_id: 42,
+            budget_nanos: u64::MAX,
+            origin: 0,
+            invocation_id: 777,
+            attempt: 2,
+        };
         let body = to_bytes(&Kind::Pair(-1, 1)).unwrap();
-        let mut frame = Vec::new();
-        frame.push(HEADER_MAGIC);
-        frame.push(h.version);
         let extra = [0xAA, 0xBB, 0xCC, 0xDD];
-        frame.extend_from_slice(&((17 + extra.len()) as u16).to_le_bytes());
-        frame.extend_from_slice(&h.trace_id.to_le_bytes());
-        frame.extend_from_slice(&h.budget_nanos.to_le_bytes());
-        frame.push(h.origin);
+        let mut frame = h.encode();
+        // Rewrite the declared payload length to include the extra bytes.
+        let len = u16::from_le_bytes([frame[2], frame[3]]) + extra.len() as u16;
+        frame[2..4].copy_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&extra);
         frame.extend_from_slice(&body);
 
@@ -812,7 +866,14 @@ mod tests {
 
     #[test]
     fn truncated_header_is_rejected() {
-        let h = RequestHeader { version: 1, trace_id: 1, budget_nanos: 2, origin: 0 };
+        let h = RequestHeader {
+            version: HEADER_VERSION,
+            trace_id: 1,
+            budget_nanos: 2,
+            origin: 0,
+            invocation_id: 3,
+            attempt: 1,
+        };
         let frame = h.encode();
         for cut in 1..frame.len() {
             assert!(split_header(&frame[..cut]).is_err(), "cut at {cut}");

@@ -384,6 +384,7 @@ impl NodeInner {
             invocations: es.invocations,
             cache_hits: es.cache_hits,
             replications_applied: self.replications.get(),
+            duplicates_suppressed: es.duplicates_suppressed,
             busy_nanos: self.busy_nanos.get(),
             uptime_nanos: self.registry.uptime_nanos(),
         }

@@ -11,6 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
 use lambda_coordinator::{CoordClient, CoordCmd, ShardId};
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{
@@ -33,8 +36,48 @@ struct ClientInner {
     coord: Option<CoordClient>,
     placement: Placement,
     timeout: Duration,
+    /// Per-attempt RPC cap: a fraction of the end-to-end budget, so one
+    /// lost reply stalls a single attempt instead of consuming the whole
+    /// deadline — the redelivery (same invocation id) is what the server's
+    /// dedup window absorbs.
+    attempt_timeout: Duration,
     retries: usize,
     round_robin: AtomicU64,
+    /// Attempts beyond the first, across all operations of this client.
+    client_retries: AtomicU64,
+}
+
+/// Backoff schedule for one routing loop: exponential growth with full
+/// jitter, capped, and never longer than the invocation's remaining
+/// deadline budget. Seeded from the invocation identity so a replayed
+/// simulation retries at the same instants.
+struct RetryPolicy {
+    base: Duration,
+    cap: Duration,
+    rng: SmallRng,
+}
+
+impl RetryPolicy {
+    fn new(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(100),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The pause to take after a failed `attempt` (0-based). Full jitter —
+    /// uniform in `[0, min(cap, base·2^attempt)]` — spreads synchronized
+    /// retry storms; clamping to the remaining budget keeps the last sleep
+    /// from overshooting the deadline.
+    fn pause(&mut self, attempt: usize, ctx: &InvocationContext) -> Duration {
+        let exp = self.base.saturating_mul(1 << attempt.min(16) as u32).min(self.cap);
+        let jittered = Duration::from_nanos(self.rng.gen_range(0..exp.as_nanos() as u64 + 1));
+        match ctx.remaining() {
+            Some(rem) => jittered.min(rem),
+            None => jittered,
+        }
+    }
 }
 
 impl std::fmt::Debug for StoreClient {
@@ -63,8 +106,10 @@ impl StoreClient {
                 coord,
                 placement: Placement::new(),
                 timeout,
+                attempt_timeout: (timeout / 5).max(Duration::from_millis(1)),
                 retries: 20,
                 round_robin: AtomicU64::new(0),
+                client_retries: AtomicU64::new(0),
             }),
         };
         client.refresh();
@@ -87,9 +132,8 @@ impl StoreClient {
     }
 
     fn call(&self, node: NodeId, req: &StoreRequest) -> Result<StoreResponse, InvokeError> {
-        // Each call gets a fresh context with the full client timeout as
-        // its budget, so routing retries are not starved by earlier
-        // attempts' spent time.
+        // One-shot call outside any routing loop: fresh context, full
+        // client timeout as its budget.
         self.call_ctx(&InvocationContext::client(self.inner.timeout), node, req)
     }
 
@@ -100,7 +144,7 @@ impl StoreClient {
         req: &StoreRequest,
     ) -> Result<StoreResponse, InvokeError> {
         let frame = proto::encode_request(ctx, req).expect("requests serialize");
-        match self.inner.rpc.call(node, frame, ctx.rpc_timeout(self.inner.timeout)) {
+        match self.inner.rpc.call(node, frame, ctx.rpc_timeout(self.inner.attempt_timeout)) {
             Ok(bytes) => wire::from_bytes(&bytes)
                 .map_err(|e| InvokeError::Nested(format!("bad response: {e}"))),
             Err(RpcError::Remote(msg)) => Err(decode_error(&msg)),
@@ -111,44 +155,76 @@ impl StoreClient {
     fn target_for(&self, object: &ObjectId, read_only: bool) -> Option<NodeId> {
         let (_, info) = self.inner.placement.locate(object)?;
         if read_only && !info.backups.is_empty() {
-            // Rotate across the whole replica set for read scaling
-            // ("read-only functions can execute at any replica", §4.2.1).
-            let all = info.replicas();
-            let i = self.inner.round_robin.fetch_add(1, Ordering::Relaxed) as usize;
-            Some(all[i % all.len()])
-        } else {
-            Some(info.primary)
+            // Rotate across the replica set for read scaling ("read-only
+            // functions can execute at any replica", §4.2.1) — but only
+            // across replicas still registered with the coordinator.
+            // Routing a read at a dead backup costs a full RPC timeout
+            // before the retry loop recovers.
+            let live: Vec<NodeId> =
+                info.replicas().into_iter().filter(|n| self.inner.placement.is_live(*n)).collect();
+            if !live.is_empty() {
+                let i = self.inner.round_robin.fetch_add(1, Ordering::Relaxed) as usize;
+                return Some(live[i % live.len()]);
+            }
         }
+        Some(info.primary)
     }
 
     fn with_routing<T>(
         &self,
         object: &ObjectId,
         read_only: bool,
-        mut op: impl FnMut(NodeId) -> Result<T, InvokeError>,
+        op: impl FnMut(&InvocationContext, NodeId) -> Result<T, InvokeError>,
     ) -> Result<T, InvokeError> {
+        self.with_routing_ctx(InvocationContext::client(self.inner.timeout), object, read_only, op)
+    }
+
+    /// The routing loop. One *logical* invocation: every attempt carries
+    /// the same invocation id (so servers can deduplicate redeliveries),
+    /// a bumped attempt number, and spends from the one shared deadline
+    /// budget — a retry never resets the clock.
+    fn with_routing_ctx<T>(
+        &self,
+        mut ctx: InvocationContext,
+        object: &ObjectId,
+        read_only: bool,
+        mut op: impl FnMut(&InvocationContext, NodeId) -> Result<T, InvokeError>,
+    ) -> Result<T, InvokeError> {
+        let mut policy = RetryPolicy::new(ctx.invocation_id ^ ctx.trace_id);
         let mut last_err = InvokeError::Nested("no storage nodes known".into());
         for attempt in 0..self.inner.retries {
+            ctx.attempt = attempt as u32;
+            if attempt > 0 {
+                self.inner.client_retries.fetch_add(1, Ordering::Relaxed);
+                if ctx.expired() {
+                    return Err(InvokeError::DeadlineExceeded);
+                }
+            }
+            let final_attempt = attempt + 1 == self.inner.retries;
             let Some(node) = self.target_for(object, read_only) else {
                 self.refresh();
-                std::thread::sleep(Duration::from_millis(10 * (attempt as u64 + 1)));
+                if !final_attempt {
+                    std::thread::sleep(policy.pause(attempt, &ctx));
+                }
                 continue;
             };
-            match op(node) {
+            match op(&ctx, node) {
                 Ok(v) => return Ok(v),
                 Err(e @ (InvokeError::WrongNode(_) | InvokeError::Nested(_))) => {
                     // Stale map or unreachable node: refresh and retry
                     // (§4.2.1 — clients reissue after reconfiguration).
                     last_err = e;
                     self.refresh();
-                    std::thread::sleep(Duration::from_millis(10 * (attempt as u64 + 1)));
+                    if !final_attempt {
+                        std::thread::sleep(policy.pause(attempt, &ctx));
+                    }
                 }
-                Err(e @ InvokeError::Storage(_)) if attempt + 1 < self.inner.retries => {
+                Err(e @ InvokeError::Storage(_)) if !final_attempt => {
                     // Replication failure at the primary (e.g. backup died
                     // and the shard has not reconfigured yet): retry.
                     last_err = e;
                     self.refresh();
-                    std::thread::sleep(Duration::from_millis(10 * (attempt as u64 + 1)));
+                    std::thread::sleep(policy.pause(attempt, &ctx));
                 }
                 Err(other) => return Err(other),
             }
@@ -156,15 +232,24 @@ impl StoreClient {
         Err(last_err)
     }
 
+    /// How many routing retries (attempts beyond an operation's first)
+    /// this client has performed.
+    pub fn retries_performed(&self) -> u64 {
+        self.inner.client_retries.load(Ordering::Relaxed)
+    }
+
     /// Invoke `method` on `object`. `read_only` is a routing hint that lets
     /// the call run on any replica; it is re-verified server-side.
     ///
-    /// Each routing attempt is a fresh invocation born here with the
-    /// client timeout as its deadline budget; the context (trace id +
-    /// budget + origin) travels with the request in the wire envelope.
+    /// The whole routing loop is one logical invocation: a single
+    /// invocation id (every redelivery is deduplicable server-side), a
+    /// single deadline budget equal to the client timeout, and the context
+    /// (trace id + budget + origin + invocation id + attempt) travels with
+    /// each attempt in the wire envelope.
     ///
     /// # Errors
-    /// Any [`InvokeError`], after routing retries are exhausted.
+    /// Any [`InvokeError`], after routing retries are exhausted;
+    /// [`InvokeError::DeadlineExceeded`] once the budget is spent.
     pub fn invoke(
         &self,
         object: &ObjectId,
@@ -172,16 +257,16 @@ impl StoreClient {
         args: Vec<VmValue>,
         read_only: bool,
     ) -> Result<VmValue, InvokeError> {
-        self.with_routing(object, read_only, |node| {
-            let ctx = InvocationContext::client(self.inner.timeout);
-            self.invoke_at(&ctx, node, object, method, args.clone(), read_only)
+        self.with_routing(object, read_only, |ctx, node| {
+            self.invoke_at(ctx, node, object, method, args.clone(), read_only)
         })
     }
 
-    /// Invoke under a caller-supplied context. Unlike [`invoke`], the one
-    /// deadline bounds the *whole* routing loop: an attempt never starts
-    /// once the budget is spent, and [`InvokeError::DeadlineExceeded`] is
-    /// returned to the caller rather than retried.
+    /// Invoke under a caller-supplied context: same routing loop as
+    /// [`invoke`], but the caller's deadline bounds every attempt and the
+    /// caller's invocation id is what servers deduplicate on. An attempt
+    /// never starts once the budget is spent —
+    /// [`InvokeError::DeadlineExceeded`] is returned rather than retried.
     ///
     /// [`invoke`]: StoreClient::invoke
     ///
@@ -195,7 +280,7 @@ impl StoreClient {
         args: Vec<VmValue>,
         read_only: bool,
     ) -> Result<VmValue, InvokeError> {
-        self.with_routing(object, read_only, |node| {
+        self.with_routing_ctx(*ctx, object, read_only, |ctx, node| {
             if ctx.expired() {
                 return Err(InvokeError::DeadlineExceeded);
             }
@@ -235,13 +320,13 @@ impl StoreClient {
         object: &ObjectId,
         fields: &[(&str, &[u8])],
     ) -> Result<(), InvokeError> {
-        self.with_routing(object, false, |node| {
+        self.with_routing(object, false, |ctx, node| {
             let req = StoreRequest::CreateObject {
                 type_name: type_name.to_string(),
                 object: object.0.clone(),
                 fields: fields.iter().map(|(f, v)| (f.to_string(), v.to_vec())).collect(),
             };
-            match self.call(node, &req)? {
+            match self.call_ctx(ctx, node, &req)? {
                 StoreResponse::Ok => Ok(()),
                 other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
             }
@@ -253,9 +338,9 @@ impl StoreClient {
     /// # Errors
     /// Any [`InvokeError`].
     pub fn delete_object(&self, object: &ObjectId) -> Result<(), InvokeError> {
-        self.with_routing(object, false, |node| {
+        self.with_routing(object, false, |ctx, node| {
             let req = StoreRequest::DeleteObject { object: object.0.clone() };
-            match self.call(node, &req)? {
+            match self.call_ctx(ctx, node, &req)? {
                 StoreResponse::Ok => Ok(()),
                 other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
             }
@@ -309,10 +394,10 @@ impl StoreClient {
             .shard(target_shard)
             .ok_or_else(|| InvokeError::Nested(format!("no shard {target_shard}")))?
             .clone();
-        let snapshot: ObjectSnapshot = self.with_routing(object, false, |node| {
+        let snapshot: ObjectSnapshot = self.with_routing(object, false, |ctx, node| {
             // (fetch with evict: the source deletes its copy under lock)
             let req = StoreRequest::FetchObject { object: object.0.clone(), evict: true };
-            match self.call(node, &req)? {
+            match self.call_ctx(ctx, node, &req)? {
                 StoreResponse::Snapshot(s) => Ok(s),
                 other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
             }
@@ -364,9 +449,9 @@ impl StoreClient {
             return Ok(Vec::new());
         };
         let object = first.object.clone();
-        self.with_routing(&object, false, |node| {
+        self.with_routing(&object, false, |ctx, node| {
             let req = StoreRequest::Transact { calls: calls.clone() };
-            match self.call(node, &req)? {
+            match self.call_ctx(ctx, node, &req)? {
                 StoreResponse::Values(v) => Ok(v),
                 other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
             }

@@ -381,6 +381,7 @@ impl ComputeInner {
             invocations: self.executor.invocations.load(Ordering::Relaxed),
             cache_hits: 0,
             replications_applied: 0,
+            duplicates_suppressed: 0,
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
             uptime_nanos: self.started.elapsed().as_nanos() as u64,
         }

@@ -69,6 +69,13 @@ impl Placement {
     pub fn storage_nodes(&self) -> Vec<NodeId> {
         self.state.read().nodes.iter().copied().collect()
     }
+
+    /// True while `node` is registered with the coordinator. Failed nodes
+    /// are deregistered by the heartbeat monitor, so this is the client's
+    /// cheapest liveness signal when picking a read replica.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.state.read().nodes.contains(&node)
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +118,19 @@ mod tests {
         assert!(!p.is_replica(NodeId(9), &obj));
         assert_eq!(p.epoch_of(0), Some(1));
         assert_eq!(p.storage_nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn liveness_follows_node_registration() {
+        let p = Placement::new();
+        let mut st = state();
+        assert!(!p.is_live(NodeId(1)), "empty placement knows no live nodes");
+        p.update(st.clone());
+        assert!(p.is_live(NodeId(1)) && p.is_live(NodeId(2)));
+        assert!(!p.is_live(NodeId(9)));
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(2) });
+        p.update(st);
+        assert!(!p.is_live(NodeId(2)), "deregistered node is dead");
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub fn encode_request(ctx: &InvocationContext, req: &StoreRequest) -> Result<Vec
         trace_id: ctx.trace_id,
         budget_nanos: ctx.budget_nanos(),
         origin: ctx.origin.to_wire(),
+        invocation_id: ctx.invocation_id,
+        attempt: ctx.attempt,
     };
     let body = wire::to_bytes(req)?;
     Ok(header.encode_with_body(&body))
@@ -37,7 +39,12 @@ pub fn encode_request(ctx: &InvocationContext, req: &StoreRequest) -> Result<Vec
 pub fn decode_request(bytes: &[u8]) -> Result<(InvocationContext, StoreRequest), WireError> {
     let (header, body) = wire::split_header(bytes)?;
     let ctx = match header {
-        Some(h) => InvocationContext::from_wire(h.trace_id, h.budget_nanos, h.origin),
+        Some(h) => {
+            let mut ctx = InvocationContext::from_wire(h.trace_id, h.budget_nanos, h.origin);
+            ctx.invocation_id = h.invocation_id;
+            ctx.attempt = h.attempt;
+            ctx
+        }
         None => InvocationContext::background(),
     };
     Ok((ctx, wire::from_bytes(body)?))
@@ -199,6 +206,9 @@ pub struct NodeStatsWire {
     pub cache_hits: u64,
     /// Replication messages applied (backup role).
     pub replications_applied: u64,
+    /// Redelivered mutations answered from the dedup window without
+    /// re-executing.
+    pub duplicates_suppressed: u64,
     /// Nanoseconds spent actually executing requests (utilization).
     pub busy_nanos: u64,
     /// Nanoseconds since the node started.
@@ -337,6 +347,7 @@ mod tests {
                 invocations: 2,
                 cache_hits: 3,
                 replications_applied: 4,
+                duplicates_suppressed: 6,
                 busy_nanos: 5,
                 uptime_nanos: 10,
             }),
@@ -366,6 +377,8 @@ mod tests {
         assert_eq!(back_req, req);
         assert_eq!(back_ctx.trace_id, ctx.trace_id);
         assert_eq!(back_ctx.origin, ctx.origin);
+        assert_eq!(back_ctx.invocation_id, ctx.invocation_id, "dedup identity survives the wire");
+        assert_eq!(back_ctx.attempt, ctx.attempt);
         // The receiving hop re-derives the deadline from the budget; it
         // can only have shrunk in transit.
         assert!(back_ctx.budget_nanos() <= Duration::from_secs(5).as_nanos() as u64);

@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use lambda_net::NodeId;
+use lambda_net::{FaultPlan, FaultSpec, NodeId};
 use lambda_objects::{FieldDef, FieldKind, InvokeError, ObjectId};
 use lambda_store::{
     AggregatedCluster, ClusterConfig, DisaggregatedCluster, ServerlessCluster, StoreRequest,
@@ -907,5 +907,133 @@ fn decommission_refuses_to_drop_last_replica() {
     let cluster = AggregatedCluster::build(config).unwrap();
     let err = cluster.core.decommission_node(0).unwrap_err();
     assert!(err.to_string().contains("last replica"), "{err}");
+    cluster.shutdown();
+}
+
+/// Chaos regression for exactly-once invocations (§3.1): seeded request
+/// drops, request duplication, delay spikes and lost replies on every
+/// data-plane link — plus a primary crash mid-stream — must not let any
+/// acknowledged post land twice or vanish. The client retries under one
+/// invocation id; the primary's dedup window (replicated with the write
+/// set) absorbs every redelivery, before and after failover.
+#[test]
+fn chaos_acked_posts_land_exactly_once() {
+    let module = assemble(
+        r#"
+        fn post(1) {
+            push.s "posts"
+            load 0
+            host.push
+            ret
+        }
+        fn feed(1) ro {
+            push.s "posts"
+            load 0
+            push.i 0
+            host.scan
+            ret
+        }
+        "#,
+    )
+    .expect("post module assembles");
+    let fields = vec![FieldDef { name: "posts".into(), kind: FieldKind::Collection }];
+
+    let cluster = AggregatedCluster::build(ClusterConfig::for_tests()).unwrap();
+    // A client with a known endpoint id, so the fault plan can target its
+    // links precisely.
+    let client_id = NodeId(9001);
+    let client = lambda_store::StoreClient::new(
+        &cluster.core.net,
+        client_id,
+        cluster.core.coordinator_ids.clone(),
+        Duration::from_secs(5),
+    );
+    client.deploy_type("Wall", fields, &module).unwrap();
+    let wall = ObjectId::from("wall/chaos");
+    client.create_object("Wall", &wall, &[]).unwrap();
+
+    // Faults on the data plane only (client↔storage and storage↔storage):
+    // the coordinator control plane stays clean so spurious heartbeat
+    // deaths don't turn a correctness test into a liveness lottery.
+    let spec = FaultSpec {
+        drop: 0.02,
+        duplicate: 0.10,
+        delay: 0.30,
+        delay_spike: Duration::from_millis(1),
+        reply_loss: 0.05,
+    };
+    let mut plan = FaultPlan::new();
+    for &sid in &cluster.core.storage_ids {
+        plan = plan.between(client_id, sid, spec);
+        for &other in &cluster.core.storage_ids {
+            if sid != other {
+                plan = plan.link(sid, other, spec);
+            }
+        }
+    }
+    cluster.core.net.set_fault_plan(plan, 0x5eed_cafe);
+
+    let (_, info) = client.placement().locate(&wall).expect("located");
+    let primary_idx =
+        cluster.core.storage.iter().position(|n| n.id() == info.primary).expect("primary present");
+
+    let total = 64;
+    let mut acked = Vec::new();
+    let mut unacked = Vec::new();
+    for i in 0..total {
+        if i == total / 2 {
+            // Crash the primary mid-stream; the rest of the posts ride
+            // through reconfiguration under the same fault plan.
+            cluster.core.kill_storage_node(primary_idx);
+        }
+        let text = format!("post-{i}").into_bytes();
+        match client.invoke(&wall, "post", vec![VmValue::Bytes(text.clone())], false) {
+            Ok(_) => acked.push(text),
+            // A failed invocation may or may not have landed — the only
+            // requirement is that it did not land more than once.
+            Err(_) => unacked.push(text),
+        }
+    }
+
+    // Chaos off; audit the surviving replica chain through the client.
+    cluster.core.net.clear_fault_plan();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let feed = loop {
+        match client.invoke(&wall, "feed", vec![VmValue::Int(10_000)], false) {
+            Ok(v) => break v,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "feed unreadable after chaos: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let VmValue::List(rows) = feed else { panic!("expected list, got {feed}") };
+    let count = |text: &Vec<u8>| {
+        rows.iter().filter(|r| matches!(r, VmValue::Bytes(b) if b == text)).count()
+    };
+
+    assert!(
+        acked.len() > total / 2,
+        "chaos overwhelmed the retry loop: only {}/{total} posts acked",
+        acked.len()
+    );
+    for text in &acked {
+        assert_eq!(
+            count(text),
+            1,
+            "acked post {:?} must land exactly once",
+            String::from_utf8_lossy(text)
+        );
+    }
+    for text in &unacked {
+        assert!(count(text) <= 1, "unacked post {:?} landed twice", String::from_utf8_lossy(text));
+    }
+    let (dropped, duplicated, delayed) = cluster.core.net.fault_stats();
+    assert!(
+        dropped + duplicated + delayed > 0,
+        "fault plan never fired; the test exercised nothing"
+    );
+
+    client.shutdown();
     cluster.shutdown();
 }

@@ -55,6 +55,12 @@ pub struct InvocationContext {
     pub deadline: Option<Instant>,
     /// Where the invocation entered the system.
     pub origin: Origin,
+    /// Client-assigned identity of the *logical* invocation, stable across
+    /// retries so servers can deduplicate redelivered mutations (0 = none:
+    /// dedup disabled for this invocation).
+    pub invocation_id: u64,
+    /// Which delivery attempt this is (0 = first send).
+    pub attempt: u32,
 }
 
 impl InvocationContext {
@@ -64,23 +70,33 @@ impl InvocationContext {
             trace_id: next_trace_id(),
             deadline: Some(Instant::now() + budget),
             origin: Origin::Client,
+            invocation_id: next_invocation_id(),
+            attempt: 0,
         }
     }
 
-    /// An unbounded background context (fresh trace id, no deadline).
+    /// An unbounded background context (fresh trace id, no deadline, no
+    /// invocation identity — background work is never retried blindly).
     pub fn background() -> Self {
-        Self { trace_id: next_trace_id(), deadline: None, origin: Origin::Background }
+        Self {
+            trace_id: next_trace_id(),
+            deadline: None,
+            origin: Origin::Background,
+            invocation_id: 0,
+            attempt: 0,
+        }
     }
 
     /// Rebuild a context from its wire form at the receiving hop:
-    /// `deadline = now + budget`.
+    /// `deadline = now + budget`. Pre-v2 senders carry no invocation
+    /// identity; receivers treat that as dedup-off.
     pub fn from_wire(trace_id: u64, budget_nanos: u64, origin: u8) -> Self {
         let deadline = if budget_nanos == NO_BUDGET {
             None
         } else {
             Some(Instant::now() + Duration::from_nanos(budget_nanos))
         };
-        Self { trace_id, deadline, origin: Origin::from_wire(origin) }
+        Self { trace_id, deadline, origin: Origin::from_wire(origin), invocation_id: 0, attempt: 0 }
     }
 
     /// The remaining budget to serialize for the next hop
@@ -136,6 +152,15 @@ impl Default for InvocationContext {
 /// simulation run, so a counter suffices (and keeps runs deterministic
 /// enough to debug).
 pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Process-wide invocation id allocator (0 is reserved for "none", so the
+/// counter starts at 1). Separate from trace ids: a retried invocation
+/// keeps its invocation id, but diagnostic tooling may assign fresh trace
+/// ids per attempt in the future.
+pub fn next_invocation_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
@@ -204,5 +229,18 @@ mod tests {
         assert_eq!(down.trace_id, ctx.trace_id);
         assert_eq!(down.deadline, ctx.deadline);
         assert_eq!(down.origin, Origin::Node);
+        assert_eq!(down.invocation_id, ctx.invocation_id);
+    }
+
+    #[test]
+    fn client_contexts_carry_unique_invocation_ids() {
+        let a = InvocationContext::client(Duration::from_secs(1));
+        let b = InvocationContext::client(Duration::from_secs(1));
+        assert_ne!(a.invocation_id, 0);
+        assert_ne!(a.invocation_id, b.invocation_id);
+        assert_eq!(a.attempt, 0);
+        // Background / wire-v1 contexts opt out of dedup.
+        assert_eq!(InvocationContext::background().invocation_id, 0);
+        assert_eq!(InvocationContext::from_wire(1, NO_BUDGET, 0).invocation_id, 0);
     }
 }

@@ -25,7 +25,7 @@ pub mod histogram;
 pub mod registry;
 pub mod span;
 
-pub use context::{next_trace_id, InvocationContext, Origin, NO_BUDGET};
+pub use context::{next_invocation_id, next_trace_id, InvocationContext, Origin, NO_BUDGET};
 pub use counter::Counter;
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use registry::Registry;
