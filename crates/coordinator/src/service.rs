@@ -72,6 +72,9 @@ pub struct CoordConfig {
     pub heartbeat_timeout: Duration,
     /// Failure-detector scan interval.
     pub detector_interval: Duration,
+    /// Repair-planner scan interval: how often under-replicated shards are
+    /// checked for recruitable spares and lost shards for returning members.
+    pub repair_interval: Duration,
     /// Paxos tuning.
     pub paxos: PaxosConfig,
     /// Service RPC workers.
@@ -85,6 +88,7 @@ impl Default for CoordConfig {
         CoordConfig {
             heartbeat_timeout: Duration::from_millis(500),
             detector_interval: Duration::from_millis(100),
+            repair_interval: Duration::from_millis(200),
             paxos: PaxosConfig::default(),
             workers: 4,
             rpc_timeout: Duration::from_millis(500),
@@ -104,6 +108,10 @@ struct CoordShared {
     proposals: Counter,
     failovers: Counter,
     notifications: Counter,
+    repairs_planned: Counter,
+    shards_lost: Counter,
+    shards_revived: Counter,
+    backups_confirmed: Counter,
 }
 
 /// One replica of the coordination service.
@@ -141,6 +149,10 @@ impl Coordinator {
             proposals: registry.counter("coord_proposals"),
             failovers: registry.counter("coord_failovers"),
             notifications: registry.counter("coord_notifications"),
+            repairs_planned: registry.counter("coord_repairs_planned"),
+            shards_lost: registry.counter("coord_shards_lost"),
+            shards_revived: registry.counter("coord_shards_revived"),
+            backups_confirmed: registry.counter("coord_backups_confirmed"),
             registry,
         });
 
@@ -183,6 +195,9 @@ impl Coordinator {
                 }
                 CoordRequest::Propose { cmd } => {
                     handler_shared.proposals.incr();
+                    if matches!(cmd, CoordCmd::ConfirmBackup { .. }) {
+                        handler_shared.backups_confirmed.incr();
+                    }
                     let bytes = wire::to_bytes(&cmd).map_err(|e| e.to_string())?;
                     let slot = handler_paxos.propose(bytes).map_err(|e| e.to_string())?;
                     // Wait until this replica has applied through the slot.
@@ -215,6 +230,7 @@ impl Coordinator {
 
     fn detector_loop(&self) {
         let mut last_notified_version = 0u64;
+        let mut last_repair = Instant::now();
         loop {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 return;
@@ -240,14 +256,56 @@ impl Coordinator {
                     .copied()
                     .collect()
             };
+            // Re-admit returning nodes: a node heartbeating freshly while
+            // absent from the membership either restarted after a crash or
+            // was falsely declared dead by a lossy detector. Either way it
+            // is alive, and (under synchronous replication) still holds
+            // every write it ever acked — registering it lets the repair
+            // planner fold it back into its shards or revive a lost one.
+            let returning: Vec<NodeId> = {
+                let beats = self.shared.heartbeats.lock();
+                let registered = &self.shared.state.read().nodes;
+                beats
+                    .iter()
+                    .filter(|(n, (at, _))| {
+                        !registered.contains(n)
+                            && now.duration_since(*at) <= self.config.heartbeat_timeout
+                    })
+                    .map(|(n, _)| *n)
+                    .collect()
+            };
+            for node in returning {
+                let _ = self.propose_local(&CoordCmd::RegisterNode { node });
+            }
+
             for dead in expired {
                 self.shared.failovers.incr();
                 let plan = self.shared.state.read().plan_failover(dead);
                 for cmd in plan {
+                    if matches!(cmd, CoordCmd::MarkShardLost { .. }) {
+                        self.shared.shards_lost.incr();
+                    }
                     let _ = self.propose_local(&cmd);
                 }
                 let _ = self.propose_local(&CoordCmd::RemoveNode { node: dead });
                 self.shared.heartbeats.lock().remove(&dead);
+            }
+
+            // Repair pass: recruit spares for under-replicated shards and
+            // revive lost shards whose former members have rejoined. Each
+            // command is epoch-fenced, so replicas planning concurrently
+            // dedup in the log exactly like concurrent failure detectors.
+            if last_repair.elapsed() >= self.config.repair_interval {
+                last_repair = Instant::now();
+                let plan = self.shared.state.read().plan_repair();
+                for cmd in plan {
+                    match cmd {
+                        CoordCmd::AddBackup { .. } => self.shared.repairs_planned.incr(),
+                        CoordCmd::ReviveShard { .. } => self.shared.shards_revived.incr(),
+                        _ => {}
+                    }
+                    let _ = self.propose_local(&cmd);
+                }
             }
 
             // Push state changes to watchers.
@@ -288,7 +346,8 @@ impl Coordinator {
     }
 
     /// This replica's telemetry registry (`coord_*` counters: heartbeats,
-    /// state reads, proposals, failovers, push notifications).
+    /// state reads, proposals, failovers, push notifications, repairs
+    /// planned, shards lost/revived, backups confirmed).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.shared.registry
     }
@@ -390,6 +449,7 @@ mod tests {
         CoordConfig {
             heartbeat_timeout: Duration::from_millis(150),
             detector_interval: Duration::from_millis(25),
+            repair_interval: Duration::from_millis(50),
             paxos: PaxosConfig {
                 rpc_timeout: Duration::from_millis(100),
                 max_retries: 10,

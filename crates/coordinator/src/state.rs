@@ -29,19 +29,45 @@ pub struct ShardInfo {
     pub backups: Vec<NodeId>,
     /// Fencing epoch.
     pub epoch: Epoch,
+    /// Recruited backups still receiving state transfer. A syncing node is
+    /// NOT a replica: it never serves reads and never counts toward
+    /// replication acks until `ConfirmBackup` promotes it.
+    pub syncing: Vec<NodeId>,
+    /// True when every replica died before repair could recruit a
+    /// replacement. Membership is preserved so a restarted former member
+    /// (which, under synchronous replication, holds every acked write) can
+    /// revive the shard.
+    pub lost: bool,
+    /// Replica count the repair planner restores toward; recorded at
+    /// `CreateShard` time. Zero means "current size" (no growth).
+    pub target_replicas: u32,
 }
 
 impl ShardInfo {
-    /// All replicas: primary first.
+    /// All replicas: primary first. Excludes syncing recruits.
     pub fn replicas(&self) -> Vec<NodeId> {
         let mut all = vec![self.primary];
         all.extend(&self.backups);
         all
     }
 
-    /// True when `node` serves this shard.
+    /// True when `node` serves this shard (syncing recruits do not).
     pub fn contains(&self, node: NodeId) -> bool {
         self.primary == node || self.backups.contains(&node)
+    }
+
+    /// True when `node` is a recruited-but-unconfirmed backup.
+    pub fn is_syncing(&self, node: NodeId) -> bool {
+        self.syncing.contains(&node)
+    }
+
+    /// The replica count repair restores toward.
+    pub fn repair_target(&self) -> usize {
+        if self.target_replicas == 0 {
+            self.replicas().len()
+        } else {
+            self.target_replicas as usize
+        }
     }
 }
 
@@ -88,6 +114,48 @@ pub enum CoordCmd {
         /// Slot indices (`< N_SLOTS`).
         slots: Vec<u16>,
     },
+    /// Recruit a registered spare as a *syncing* backup (repair phase 1).
+    /// The node receives state transfer but serves no reads and counts for
+    /// no acks until confirmed. Bumps the epoch so a primary that missed
+    /// the recruitment cannot confirm against a stale view.
+    AddBackup {
+        /// Shard being repaired.
+        shard: ShardId,
+        /// The spare node (registered, not already a member or syncing).
+        node: NodeId,
+        /// Fencing epoch, as for [`CoordCmd::Reconfigure`].
+        expected_epoch: Epoch,
+    },
+    /// Promote a syncing backup to a full replica after state transfer
+    /// completes (repair phase 2). Bumps the epoch, atomically admitting
+    /// the node into the replication fan-out.
+    ConfirmBackup {
+        /// Shard being repaired.
+        shard: ShardId,
+        /// The node that finished syncing.
+        node: NodeId,
+        /// Fencing epoch.
+        expected_epoch: Epoch,
+    },
+    /// Record that a shard lost its last replica. Membership is kept (for
+    /// revival by a restarted member); clients get a clean
+    /// shard-unavailable error instead of hanging on a dead primary.
+    MarkShardLost {
+        /// The abandoned shard.
+        shard: ShardId,
+        /// Fencing epoch.
+        expected_epoch: Epoch,
+    },
+    /// Bring a lost shard back online on a restarted former member, which
+    /// under synchronous replication holds every acknowledged write.
+    ReviveShard {
+        /// The lost shard.
+        shard: ShardId,
+        /// A registered node that was a member when the shard was lost.
+        node: NodeId,
+        /// Fencing epoch.
+        expected_epoch: Epoch,
+    },
     /// Pin an object to a specific shard (microshard migration, §4.2).
     PinObject {
         /// Object id.
@@ -131,6 +199,12 @@ impl ClusterState {
             }
             CoordCmd::RemoveNode { node } => {
                 self.nodes.remove(node);
+                // A dead node can't finish syncing; drop it from every
+                // in-flight recruitment. No epoch bump: syncing members
+                // carry no read or ack responsibility to fence.
+                for info in self.shards.values_mut() {
+                    info.syncing.retain(|n| n != node);
+                }
             }
             CoordCmd::CreateShard { shard, replicas } => {
                 if self.shards.contains_key(shard) || replicas.is_empty() {
@@ -138,7 +212,14 @@ impl ClusterState {
                 }
                 self.shards.insert(
                     *shard,
-                    ShardInfo { primary: replicas[0], backups: replicas[1..].to_vec(), epoch: 1 },
+                    ShardInfo {
+                        primary: replicas[0],
+                        backups: replicas[1..].to_vec(),
+                        epoch: 1,
+                        syncing: Vec::new(),
+                        lost: false,
+                        target_replicas: replicas.len() as u32,
+                    },
                 );
             }
             CoordCmd::Reconfigure { shard, new_primary, new_backups, expected_epoch } => {
@@ -148,6 +229,58 @@ impl ClusterState {
                     }
                     info.primary = *new_primary;
                     info.backups = new_backups.clone();
+                    info.syncing.retain(|n| !new_backups.contains(n) && *n != *new_primary);
+                    info.epoch += 1;
+                }
+            }
+            CoordCmd::AddBackup { shard, node, expected_epoch } => {
+                if !self.nodes.contains(node) {
+                    return;
+                }
+                if let Some(info) = self.shards.get_mut(shard) {
+                    if info.epoch != *expected_epoch
+                        || info.lost
+                        || info.contains(*node)
+                        || info.is_syncing(*node)
+                    {
+                        return;
+                    }
+                    info.syncing.push(*node);
+                    info.epoch += 1;
+                }
+            }
+            CoordCmd::ConfirmBackup { shard, node, expected_epoch } => {
+                if let Some(info) = self.shards.get_mut(shard) {
+                    if info.epoch != *expected_epoch || !info.is_syncing(*node) {
+                        return;
+                    }
+                    info.syncing.retain(|n| n != node);
+                    info.backups.push(*node);
+                    info.epoch += 1;
+                }
+            }
+            CoordCmd::MarkShardLost { shard, expected_epoch } => {
+                if let Some(info) = self.shards.get_mut(shard) {
+                    if info.epoch != *expected_epoch || info.lost {
+                        return;
+                    }
+                    info.lost = true;
+                    info.syncing.clear();
+                    info.epoch += 1;
+                }
+            }
+            CoordCmd::ReviveShard { shard, node, expected_epoch } => {
+                if !self.nodes.contains(node) {
+                    return;
+                }
+                if let Some(info) = self.shards.get_mut(shard) {
+                    if info.epoch != *expected_epoch || !info.lost || !info.contains(*node) {
+                        return;
+                    }
+                    info.primary = *node;
+                    info.backups.clear();
+                    info.syncing.clear();
+                    info.lost = false;
                     info.epoch += 1;
                 }
             }
@@ -200,17 +333,24 @@ impl ClusterState {
 
     /// Compute the reconfigurations needed if `dead` fails: for every shard
     /// it serves, drop it; if it was primary, promote the first surviving
-    /// backup. Shards with no survivors are left untouched (data loss —
-    /// surfaced by the caller).
+    /// backup. Survivors are filtered through the registered-node set, so a
+    /// replica removed by an earlier `RemoveNode` that was never
+    /// reconfigured out cannot be "promoted" to primary of a shard it no
+    /// longer serves. Shards with no survivors are marked lost so clients
+    /// get a clean shard-unavailable error instead of hanging.
     pub fn plan_failover(&self, dead: NodeId) -> Vec<CoordCmd> {
         let mut cmds = Vec::new();
         for (&shard, info) in &self.shards {
-            if !info.contains(dead) {
+            if !info.contains(dead) || info.lost {
                 continue;
             }
-            let survivors: Vec<NodeId> =
-                info.replicas().into_iter().filter(|n| *n != dead).collect();
+            let survivors: Vec<NodeId> = info
+                .replicas()
+                .into_iter()
+                .filter(|n| *n != dead && self.nodes.contains(n))
+                .collect();
             let Some(&new_primary) = survivors.first() else {
+                cmds.push(CoordCmd::MarkShardLost { shard, expected_epoch: info.epoch });
                 continue;
             };
             cmds.push(CoordCmd::Reconfigure {
@@ -219,6 +359,40 @@ impl ClusterState {
                 new_backups: survivors[1..].to_vec(),
                 expected_epoch: info.epoch,
             });
+        }
+        cmds
+    }
+
+    /// Compute repair actions restoring durability after failures: revive
+    /// lost shards whose former members have rejoined, and recruit
+    /// registered spares as syncing backups for shards below their target
+    /// replica count. Every command is fenced on the shard's current epoch,
+    /// so concurrent repairers dedup exactly like concurrent detectors.
+    pub fn plan_repair(&self) -> Vec<CoordCmd> {
+        let mut cmds = Vec::new();
+        for (&shard, info) in &self.shards {
+            if info.lost {
+                // Any former member works: synchronous replication means
+                // each of them holds every acknowledged write. Prefer the
+                // old primary for continuity.
+                if let Some(&node) = info.replicas().iter().find(|n| self.nodes.contains(n)) {
+                    cmds.push(CoordCmd::ReviveShard { shard, node, expected_epoch: info.epoch });
+                }
+                continue;
+            }
+            let have = info.replicas().len() + info.syncing.len();
+            let want = info.repair_target();
+            if have >= want {
+                continue;
+            }
+            let mut spares =
+                self.nodes.iter().copied().filter(|n| !info.contains(*n) && !info.is_syncing(*n));
+            // One recruit per shard per round: AddBackup bumps the epoch,
+            // so batching several against the same expected_epoch would
+            // self-fence all but the first anyway.
+            if let Some(node) = spares.next() {
+                cmds.push(CoordCmd::AddBackup { shard, node, expected_epoch: info.epoch });
+            }
         }
         cmds
     }
@@ -424,5 +598,175 @@ mod tests {
         let bytes = lambda_net::wire::to_bytes(&st).unwrap();
         let back: ClusterState = lambda_net::wire::from_bytes(&bytes).unwrap();
         assert_eq!(back, st);
+    }
+
+    #[test]
+    fn failover_ignores_deregistered_survivors() {
+        // The double-failure interleaving: node 1 is removed from the
+        // cluster (RemoveNode) but a concurrent detector never got its
+        // Reconfigure in, so the shard still lists it as a backup. When
+        // node 0 then dies, the plan must not promote the ghost.
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(1) });
+        let cmds = st.plan_failover(NodeId(0));
+        assert_eq!(
+            cmds,
+            vec![CoordCmd::Reconfigure {
+                shard: 0,
+                new_primary: NodeId(2),
+                new_backups: vec![],
+                expected_epoch: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn failover_with_no_survivors_marks_shard_lost() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(1) });
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(2) });
+        let cmds = st.plan_failover(NodeId(0));
+        assert_eq!(cmds, vec![CoordCmd::MarkShardLost { shard: 0, expected_epoch: 1 }]);
+        for c in &cmds {
+            st.apply(c);
+        }
+        let info = st.shard(0).unwrap();
+        assert!(info.lost);
+        assert_eq!(info.epoch, 2);
+        // Membership is preserved for revival.
+        assert!(info.contains(NodeId(0)));
+        // A lost shard produces no further failover work.
+        assert!(st.plan_failover(NodeId(0)).is_empty());
+        // Stale duplicate from a concurrent detector is fenced out.
+        st.apply(&CoordCmd::MarkShardLost { shard: 0, expected_epoch: 1 });
+        assert_eq!(st.shard(0).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn add_backup_recruits_syncing_not_replica() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(3) });
+        st.apply(&CoordCmd::AddBackup { shard: 0, node: NodeId(3), expected_epoch: 1 });
+        let info = st.shard(0).unwrap();
+        assert_eq!(info.syncing, vec![NodeId(3)]);
+        assert_eq!(info.epoch, 2);
+        // Syncing is not membership: no reads, no acks.
+        assert!(!info.contains(NodeId(3)));
+        assert!(!info.replicas().contains(&NodeId(3)));
+        assert!(info.is_syncing(NodeId(3)));
+        // A concurrent repairer proposing against the old epoch dedups.
+        st.apply(&CoordCmd::AddBackup { shard: 0, node: NodeId(3), expected_epoch: 1 });
+        assert_eq!(st.shard(0).unwrap().syncing, vec![NodeId(3)]);
+        assert_eq!(st.shard(0).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn add_backup_rejects_unregistered_members_and_lost() {
+        let mut st = three_node_state();
+        // Unregistered spare.
+        st.apply(&CoordCmd::AddBackup { shard: 0, node: NodeId(9), expected_epoch: 1 });
+        assert!(st.shard(0).unwrap().syncing.is_empty());
+        // Existing member.
+        st.apply(&CoordCmd::AddBackup { shard: 0, node: NodeId(1), expected_epoch: 1 });
+        assert!(st.shard(0).unwrap().syncing.is_empty());
+        assert_eq!(st.shard(0).unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn confirm_backup_promotes_and_bumps_epoch() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(3) });
+        st.apply(&CoordCmd::AddBackup { shard: 0, node: NodeId(3), expected_epoch: 1 });
+        st.apply(&CoordCmd::ConfirmBackup { shard: 0, node: NodeId(3), expected_epoch: 2 });
+        let info = st.shard(0).unwrap();
+        assert!(info.syncing.is_empty());
+        assert!(info.backups.contains(&NodeId(3)));
+        assert!(info.contains(NodeId(3)));
+        assert_eq!(info.epoch, 3);
+        // Confirming a node that is not syncing is a no-op.
+        st.apply(&CoordCmd::ConfirmBackup { shard: 0, node: NodeId(3), expected_epoch: 3 });
+        assert_eq!(st.shard(0).unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn remove_node_purges_syncing_recruits() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(3) });
+        st.apply(&CoordCmd::AddBackup { shard: 0, node: NodeId(3), expected_epoch: 1 });
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(3) });
+        let info = st.shard(0).unwrap();
+        assert!(info.syncing.is_empty());
+        assert_eq!(info.epoch, 2, "purging a recruit does not fence live traffic");
+    }
+
+    #[test]
+    fn repair_plans_recruit_up_to_target() {
+        let mut st = three_node_state();
+        // Fully replicated: nothing to repair.
+        assert!(st.plan_repair().is_empty());
+        // Lose a backup; no spare registered → nothing to recruit yet.
+        for c in st.plan_failover(NodeId(2)) {
+            st.apply(&c);
+        }
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(2) });
+        assert!(st.plan_repair().is_empty());
+        // A spare joins: recruit it.
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(7) });
+        let info = st.shard(0).unwrap();
+        let cmds = st.plan_repair();
+        assert_eq!(
+            cmds,
+            vec![CoordCmd::AddBackup { shard: 0, node: NodeId(7), expected_epoch: info.epoch }]
+        );
+        for c in &cmds {
+            st.apply(c);
+        }
+        // While the recruit is syncing the shard is "full": no double
+        // recruitment from a second repairer pass.
+        assert!(st.plan_repair().is_empty());
+        // Confirmed → still full.
+        let e = st.shard(0).unwrap().epoch;
+        st.apply(&CoordCmd::ConfirmBackup { shard: 0, node: NodeId(7), expected_epoch: e });
+        assert!(st.plan_repair().is_empty());
+        assert_eq!(st.shard(0).unwrap().replicas().len(), 3);
+    }
+
+    #[test]
+    fn repair_revives_lost_shard_on_returning_member() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(1) });
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(2) });
+        for c in st.plan_failover(NodeId(0)) {
+            st.apply(&c);
+        }
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(0) });
+        assert!(st.shard(0).unwrap().lost);
+        // No former member registered → nothing to do.
+        assert!(st.plan_repair().is_empty());
+        // A *stranger* registering does not revive the shard (it has no
+        // data); only a former member may.
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(9) });
+        assert!(st.plan_repair().is_empty());
+        // The old backup restarts and re-registers.
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(2) });
+        let e = st.shard(0).unwrap().epoch;
+        let cmds = st.plan_repair();
+        assert_eq!(
+            cmds,
+            vec![CoordCmd::ReviveShard { shard: 0, node: NodeId(2), expected_epoch: e }]
+        );
+        for c in &cmds {
+            st.apply(c);
+        }
+        let info = st.shard(0).unwrap();
+        assert!(!info.lost);
+        assert_eq!(info.primary, NodeId(2));
+        assert!(info.backups.is_empty());
+        // The next repair round re-replicates onto the stranger.
+        let cmds = st.plan_repair();
+        assert_eq!(
+            cmds,
+            vec![CoordCmd::AddBackup { shard: 0, node: NodeId(9), expected_epoch: info.epoch }]
+        );
     }
 }

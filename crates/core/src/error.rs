@@ -35,6 +35,9 @@ pub enum InvokeError {
     /// The invocation's deadline budget ran out before it could execute;
     /// the work was shed without running the method body.
     DeadlineExceeded,
+    /// The object's shard has lost every replica; until an operator (or a
+    /// restarted former member) revives it, no node can serve the object.
+    ShardUnavailable(String),
 }
 
 impl fmt::Display for InvokeError {
@@ -52,6 +55,7 @@ impl fmt::Display for InvokeError {
             InvokeError::DepthExceeded => write!(f, "invocation depth limit exceeded"),
             InvokeError::WrongNode(msg) => write!(f, "wrong node for object: {msg}"),
             InvokeError::DeadlineExceeded => write!(f, "invocation deadline exceeded"),
+            InvokeError::ShardUnavailable(msg) => write!(f, "shard unavailable: {msg}"),
         }
     }
 }
@@ -100,6 +104,7 @@ pub fn encode_error(e: &InvokeError) -> String {
         InvokeError::DepthExceeded => "depth_exceeded\x1f".to_string(),
         InvokeError::WrongNode(s) => format!("wrong_node\x1f{s}"),
         InvokeError::DeadlineExceeded => "deadline_exceeded\x1f".to_string(),
+        InvokeError::ShardUnavailable(s) => format!("shard_unavailable\x1f{s}"),
     }
 }
 
@@ -121,6 +126,7 @@ pub fn decode_error(s: &str) -> InvokeError {
         "depth_exceeded" => InvokeError::DepthExceeded,
         "wrong_node" => InvokeError::WrongNode(rest),
         "deadline_exceeded" => InvokeError::DeadlineExceeded,
+        "shard_unavailable" => InvokeError::ShardUnavailable(rest),
         _ => InvokeError::Nested(s.to_string()),
     }
 }
@@ -144,6 +150,7 @@ mod tests {
             InvokeError::DepthExceeded,
             InvokeError::WrongNode("moved".into()),
             InvokeError::DeadlineExceeded,
+            InvokeError::ShardUnavailable("shard 3 lost".into()),
         ];
         for e in &errors {
             assert!(!e.to_string().is_empty());
@@ -165,6 +172,7 @@ mod tests {
             InvokeError::DepthExceeded,
             InvokeError::WrongNode("shard 3".into()),
             InvokeError::DeadlineExceeded,
+            InvokeError::ShardUnavailable("no replicas".into()),
         ];
         for e in errors {
             assert_eq!(decode_error(&encode_error(&e)), e, "{e}");

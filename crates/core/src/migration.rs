@@ -73,6 +73,73 @@ impl Engine {
         Ok(())
     }
 
+    /// Export `id` and, while still holding its exclusive lock, hand the
+    /// snapshot to `f`. State transfer uses this to enqueue the snapshot
+    /// onto a sync stream *before* any later commit to the same object can
+    /// run — so per-object snapshot/forward order in the stream matches
+    /// commit order.
+    ///
+    /// # Errors
+    /// Same as [`export_object`](Engine::export_object).
+    pub fn export_object_with<T>(
+        &self,
+        id: &ObjectId,
+        f: impl FnOnce(&ObjectSnapshot) -> T,
+    ) -> Result<T> {
+        let _guard = self.scheduler().acquire_exclusive(id, &[]);
+        if !self.object_exists(id) {
+            return Err(InvokeError::UnknownObject(id.to_string()));
+        }
+        let prefix = keys::object_prefix(id);
+        let mut entries = Vec::new();
+        for (key, value) in self.db().scan_prefix(&prefix) {
+            let (owner, suffix) = keys::split_key(&key)
+                .ok_or_else(|| InvokeError::Storage("malformed object key".into()))?;
+            debug_assert_eq!(&owner, id);
+            entries.push((suffix, value));
+        }
+        Ok(f(&ObjectSnapshot { id: id.clone(), entries }))
+    }
+
+    /// Import a snapshot, replacing any existing copy of the object in one
+    /// atomic batch. The receiving half of shard state transfer, where a
+    /// stale local copy (crash-restart rejoin) must be superseded rather
+    /// than refused.
+    ///
+    /// # Errors
+    /// Storage failures.
+    pub fn install_object_replacing(&self, snapshot: &ObjectSnapshot) -> Result<()> {
+        let _guard = self.scheduler().acquire_exclusive(&snapshot.id, &[]);
+        let prefix = keys::object_prefix(&snapshot.id);
+        let mut batch = WriteBatch::new();
+        for (key, _) in self.db().scan_prefix(&prefix) {
+            batch.delete(key);
+        }
+        for (suffix, value) in &snapshot.entries {
+            batch.put(keys::join_key(&snapshot.id, suffix), value.clone());
+        }
+        self.db().write(batch)?;
+        self.cache().invalidate_object(&snapshot.id);
+        Ok(())
+    }
+
+    /// Delete every local key of `id` without exporting it. Used when a
+    /// syncing backup wipes stale shard residue before state transfer.
+    ///
+    /// # Errors
+    /// Storage failures. Deleting an absent object is a no-op.
+    pub fn purge_object(&self, id: &ObjectId) -> Result<()> {
+        let _guard = self.scheduler().acquire_exclusive(id, &[]);
+        let prefix = keys::object_prefix(id);
+        let mut batch = WriteBatch::new();
+        for (key, _) in self.db().scan_prefix(&prefix) {
+            batch.delete(key);
+        }
+        self.db().write(batch)?;
+        self.cache().invalidate_object(id);
+        Ok(())
+    }
+
     /// Export + delete: the source half of a migration. The snapshot is
     /// taken and the object removed under one exclusive lock acquisition,
     /// so no invocation can slip in between (the migration cut-over).
@@ -190,6 +257,48 @@ mod tests {
         engine.create_object("User", &id, &[]).unwrap();
         let snap = engine.export_object(&id).unwrap();
         assert!(matches!(engine.import_object(&snap), Err(InvokeError::AlreadyExists(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn install_replacing_supersedes_stale_copy() {
+        let (src, d1) = new_engine();
+        let (dst, d2) = new_engine();
+        let id = oid("user/a");
+        // A stale copy on dst (as after a crash-restart rejoin)...
+        dst.create_object("User", &id, &[]).unwrap();
+        dst.invoke(&id, "add_post", vec![VmValue::str("stale")]).unwrap();
+        // ...must be replaced wholesale by the fresh snapshot.
+        src.create_object("User", &id, &[]).unwrap();
+        src.invoke(&id, "add_post", vec![VmValue::str("fresh")]).unwrap();
+        let snap = src.export_object(&id).unwrap();
+        dst.install_object_replacing(&snap).unwrap();
+        let v = dst.invoke(&id, "read", vec![VmValue::Int(10)]).unwrap();
+        match v {
+            VmValue::List(items) => assert_eq!(items, vec![VmValue::str("fresh")]),
+            other => panic!("expected list, got {other}"),
+        }
+        assert_eq!(dst.object_version(&id), src.object_version(&id));
+        std::fs::remove_dir_all(d1).ok();
+        std::fs::remove_dir_all(d2).ok();
+    }
+
+    #[test]
+    fn export_with_runs_under_the_lock_and_purge_clears() {
+        let (engine, dir) = new_engine();
+        let id = oid("user/a");
+        engine.create_object("User", &id, &[]).unwrap();
+        engine.invoke(&id, "add_post", vec![VmValue::str("p")]).unwrap();
+        let n = engine.export_object_with(&id, |snap| snap.entries.len()).unwrap();
+        assert!(n >= 3);
+        engine.purge_object(&id).unwrap();
+        assert!(!engine.object_exists(&id));
+        // Purging an absent object is a no-op, not an error.
+        engine.purge_object(&id).unwrap();
+        assert!(matches!(
+            engine.export_object_with(&id, |_| ()),
+            Err(InvokeError::UnknownObject(_))
+        ));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -29,7 +29,8 @@ use lambda_objects::{
 use lambda_vm::VmValue;
 
 use crate::placement::Placement;
-use crate::proto::{self, NodeStatsWire, StoreRequest, StoreResponse};
+use crate::proto::{self, NodeStatsWire, StoreRequest, StoreResponse, SyncItem};
+use crate::sync::{SyncManager, SyncPhase, SyncSession};
 
 /// Offset for a node's watch endpoint (coordinator push notifications).
 pub const WATCH_ID_OFFSET: u32 = 20_000;
@@ -51,6 +52,8 @@ pub struct AggregatedConfig {
     pub heartbeat_interval: Duration,
     /// Coordinator service endpoints.
     pub coordinators: Vec<NodeId>,
+    /// Soft payload bound per shard state-transfer chunk (repair).
+    pub sync_chunk_bytes: usize,
 }
 
 impl AggregatedConfig {
@@ -64,6 +67,7 @@ impl AggregatedConfig {
             rpc_timeout: Duration::from_millis(500),
             heartbeat_interval: Duration::from_millis(100),
             coordinators,
+            sync_chunk_bytes: 64 * 1024,
         }
     }
 }
@@ -158,7 +162,42 @@ struct NodeInner {
     repl_rounds: Counter,
     /// Write sets shipped through batched rounds.
     repl_entries: Counter,
+    /// Open state-transfer sessions to syncing backups (primary side).
+    sync: SyncManager,
+    /// Soft payload bound per state-transfer chunk.
+    sync_chunk_bytes: usize,
+    /// `InstallShardChunk` RPCs shipped to syncing backups.
+    repair_chunks_sent: Counter,
+    /// Payload bytes shipped through state transfer.
+    repair_bytes: Counter,
+    /// Chunks applied here as a syncing backup.
+    repair_chunks_applied: Counter,
+    /// Transfer sessions that aborted before promotion (or failed hard).
+    repair_sessions_failed: Counter,
+    /// Stream items accepted into sync sessions (with `repair_sync_shipped`
+    /// below, the difference is the node's total sync lag).
+    repair_sync_enqueued: Counter,
+    /// Stream items acked by syncing backups.
+    repair_sync_shipped: Counter,
 }
+
+/// Payload bytes of one stream item (transfer-cost accounting).
+fn sync_item_bytes(item: &SyncItem) -> u64 {
+    match item {
+        SyncItem::Begin => 0,
+        SyncItem::Object(snap) => snap.payload_bytes() as u64,
+        SyncItem::Forward { object, ops } => {
+            let ops_bytes: usize =
+                ops.iter().map(|(k, v)| k.len() + v.as_ref().map_or(0, Vec::len)).sum();
+            (object.len() + ops_bytes) as u64
+        }
+    }
+}
+
+/// Items per `InstallShardChunk` RPC on the push path.
+const SYNC_BATCH_ITEMS: usize = 32;
+/// Send retries per chunk before a session gives up on its peer.
+const SYNC_SHIP_RETRIES: usize = 10;
 
 impl NodeInner {
     fn rpc(&self) -> &Arc<RpcNode> {
@@ -372,6 +411,86 @@ impl NodeInner {
                 Ok(StoreResponse::Values(results))
             }
             StoreRequest::Stats => Ok(StoreResponse::NodeStats(self.stats_wire())),
+            StoreRequest::FetchShardChunk { shard, epoch, cursor, max_bytes } => {
+                let local_epoch = self.placement.epoch_of(shard).unwrap_or(0);
+                if epoch < local_epoch {
+                    return Err(InvokeError::WrongNode(format!(
+                        "stale epoch {epoch} < {local_epoch} for shard {shard}"
+                    )));
+                }
+                let state = self.placement.snapshot();
+                if let Some(info) = state.shard(shard) {
+                    if info.primary != self.id {
+                        return Err(InvokeError::WrongNode(format!(
+                            "shard {shard} export must run at primary node-{}",
+                            info.primary.0
+                        )));
+                    }
+                }
+                let max_bytes =
+                    if max_bytes == 0 { self.sync_chunk_bytes as u64 } else { max_bytes };
+                let mut ids: Vec<ObjectId> = self
+                    .engine
+                    .list_objects()
+                    .into_iter()
+                    .filter(|o| state.shard_for_object(&o.0) == Some(shard))
+                    .filter(|o| cursor.as_ref().is_none_or(|c| o.0 > *c))
+                    .collect();
+                ids.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut objects = Vec::new();
+                let mut bytes = 0u64;
+                let mut next_cursor = None;
+                for oid in ids {
+                    if !objects.is_empty() && bytes >= max_bytes {
+                        let last: &lambda_objects::migration::ObjectSnapshot =
+                            objects.last().expect("non-empty");
+                        next_cursor = Some(last.id.0.clone());
+                        break;
+                    }
+                    match self.engine.export_object(&oid) {
+                        Ok(snap) => {
+                            bytes += snap.payload_bytes() as u64;
+                            objects.push(snap);
+                        }
+                        // Deleted while we scanned: skip it.
+                        Err(InvokeError::UnknownObject(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                self.repair_chunks_sent.incr();
+                self.repair_bytes.add(bytes);
+                Ok(StoreResponse::ShardChunk { objects, next_cursor })
+            }
+            StoreRequest::InstallShardChunk { shard, epoch, items } => {
+                let local_epoch = self.placement.epoch_of(shard).unwrap_or(0);
+                if epoch < local_epoch {
+                    return Err(InvokeError::WrongNode(format!(
+                        "stale epoch {epoch} < {local_epoch} for shard {shard}"
+                    )));
+                }
+                for item in items {
+                    match item {
+                        SyncItem::Begin => {
+                            // Wipe stale residue of the shard before the
+                            // fresh snapshot stream (a crash-restart rejoin
+                            // may hold superseded objects).
+                            let state = self.placement.snapshot();
+                            for oid in self.engine.list_objects() {
+                                if state.shard_for_object(&oid.0) == Some(shard) {
+                                    self.engine.purge_object(&oid)?;
+                                }
+                            }
+                        }
+                        SyncItem::Object(snap) => self.engine.install_object_replacing(&snap)?,
+                        SyncItem::Forward { object, ops } => {
+                            let oid = ObjectId::new(object);
+                            self.engine.apply_replicated(&oid, &ops)?;
+                        }
+                    }
+                }
+                self.repair_chunks_applied.incr();
+                Ok(StoreResponse::Ok)
+            }
         }
     }
 
@@ -394,9 +513,14 @@ impl NodeInner {
     /// read-only work, the primary for everything else. With no shard map
     /// installed (single-node mode) everything is served locally.
     fn check_role(&self, oid: &ObjectId, read_only: bool) -> Result<(), InvokeError> {
-        let Some((_, info)) = self.placement.locate(oid) else {
+        let Some((shard, info)) = self.placement.locate(oid) else {
             return Ok(());
         };
+        if info.lost {
+            return Err(InvokeError::ShardUnavailable(format!(
+                "shard {shard} for object {oid} lost every replica"
+            )));
+        }
         if read_only {
             if info.contains(self.id) {
                 return Ok(());
@@ -436,6 +560,8 @@ impl NodeInner {
             return Ok(());
         }
         self.replicate_to_backups(ctx, shard, info.epoch, &oid, &ops, &info.backups)
+            .map_err(InvokeError::Storage)?;
+        self.forward_to_syncing(shard, info.epoch, &info.syncing, &oid, &ops)
             .map_err(InvokeError::Storage)
     }
 }
@@ -571,6 +697,188 @@ impl NodeInner {
         drop(queue);
         outcome
     }
+
+    /// Forward one committed write set to every syncing backup of `shard`.
+    /// Called after synchronous replication succeeds, still under the
+    /// object's exclusive lock, so the per-object order of forwards in
+    /// each session's stream equals commit order.
+    ///
+    /// A syncing peer in the placement with *no* open session (the scanner
+    /// hasn't caught up, or the session just closed around `ConfirmBackup`)
+    /// fails the commit: acking it without a session could strand a write
+    /// the peer never receives if the confirmation lands later. The client
+    /// retries against fresh placement.
+    fn forward_to_syncing(
+        &self,
+        shard: ShardId,
+        epoch: Epoch,
+        syncing: &[NodeId],
+        object: &ObjectId,
+        ops: &[(Vec<u8>, Option<Vec<u8>>)],
+    ) -> Result<(), String> {
+        if syncing.is_empty() {
+            return Ok(());
+        }
+        let sessions = self.sync.sessions_for(shard);
+        for &peer in syncing {
+            let Some(session) = sessions.iter().find(|s| s.peer == peer && s.epoch == epoch) else {
+                return Err(format!(
+                    "no open transfer session for syncing backup {peer} at epoch {epoch}; retry"
+                ));
+            };
+            session.offer(SyncItem::Forward { object: object.0.clone(), ops: ops.to_vec() })?;
+            self.repair_sync_enqueued.incr();
+        }
+        Ok(())
+    }
+
+    /// Ship everything queued in `session` to its peer, in order. Returns
+    /// `Err` after [`SYNC_SHIP_RETRIES`] consecutive failures on one chunk
+    /// (the caller decides whether that is a soft or hard session failure).
+    fn ship_pending(&self, session: &SyncSession) -> Result<(), String> {
+        let ctx = InvocationContext::background();
+        loop {
+            let (items, last_seq) = session.take_batch(SYNC_BATCH_ITEMS);
+            if items.is_empty() {
+                return Ok(());
+            }
+            let count = items.len() as u64;
+            let bytes: u64 = items.iter().map(sync_item_bytes).sum();
+            let req = StoreRequest::InstallShardChunk {
+                shard: session.shard,
+                epoch: session.epoch,
+                items,
+            };
+            let mut attempts = 0;
+            loop {
+                if self.shutdown.load(Ordering::Acquire) {
+                    return Err("node shutting down".into());
+                }
+                match self.call_peer(&ctx, session.peer, &req) {
+                    Ok(StoreResponse::Ok) => break,
+                    Ok(other) => return Err(format!("bad install reply {other:?}")),
+                    Err(e) => {
+                        attempts += 1;
+                        if attempts >= SYNC_SHIP_RETRIES {
+                            return Err(format!("chunk ship to {} failed: {e}", session.peer));
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+            session.mark_shipped(last_seq);
+            self.repair_chunks_sent.incr();
+            self.repair_bytes.add(bytes);
+            self.repair_sync_shipped.add(count);
+        }
+    }
+
+    /// Drive one state-transfer session end to end. `Err(hard)` aborts the
+    /// session; `hard` means a durability promise was broken (failure after
+    /// `ConfirmBackup` was proposed) and blocked commits must fail.
+    fn drive_sync(&self, coord: &CoordClient, session: &SyncSession) -> Result<(), bool> {
+        let shard = session.shard;
+        let peer = session.peer;
+        let epoch = session.epoch;
+        let soft = |_: String| false;
+
+        // Stream start: the peer wipes stale residue of the shard.
+        session.offer(SyncItem::Begin).map_err(soft)?;
+        self.repair_sync_enqueued.incr();
+        self.ship_pending(session).map_err(soft)?;
+
+        // Bulk scan. The object list is a point-in-time enumeration;
+        // objects created after it forward through the session (their
+        // create commit happens with the session open), and per-object
+        // lock ordering keeps each object's snapshot/forward sequence in
+        // commit order.
+        let state = self.placement.snapshot();
+        let mut ids: Vec<ObjectId> = self
+            .engine
+            .list_objects()
+            .into_iter()
+            .filter(|o| state.shard_for_object(&o.0) == Some(shard))
+            .collect();
+        ids.sort_by(|a, b| a.0.cmp(&b.0));
+        for oid in ids {
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err(false);
+            }
+            // Abort when the configuration moved on under us (another
+            // failover, or the recruit was dropped).
+            let now = self.placement.snapshot();
+            let Some(info) = now.shard(shard).cloned() else { return Err(false) };
+            if info.epoch != epoch || !info.is_syncing(peer) {
+                return Err(false);
+            }
+            match self
+                .engine
+                .export_object_with(&oid, |snap| session.offer(SyncItem::Object(snap.clone())))
+            {
+                Ok(Ok(())) => self.repair_sync_enqueued.incr(),
+                Ok(Err(e)) => return Err(soft(e)),
+                // Deleted while we scanned: nothing to transfer.
+                Err(InvokeError::UnknownObject(_)) => {}
+                Err(e) => return Err(soft(e.to_string())),
+            }
+            self.ship_pending(session).map_err(soft)?;
+        }
+
+        // Drain: commits now block until their forward ships, squeezing
+        // the stream dry before promotion.
+        session.set_phase(SyncPhase::Draining);
+        self.ship_pending(session).map_err(soft)?;
+        {
+            let now = self.placement.snapshot();
+            let Some(info) = now.shard(shard).cloned() else { return Err(false) };
+            if info.epoch != epoch || !info.is_syncing(peer) {
+                return Err(false);
+            }
+        }
+
+        // Admit BEFORE proposing: once the confirmation may be chosen, a
+        // ship failure must fail the waiting commit rather than ack it
+        // without the (about-to-be-counted) new replica.
+        session.set_phase(SyncPhase::Admitted);
+        let _ = coord.propose(lambda_coordinator::CoordCmd::ConfirmBackup {
+            shard,
+            node: peer,
+            expected_epoch: epoch,
+        });
+
+        // Keep shipping while waiting for the epoch to move past the
+        // session's: either our confirmation applied (peer is a backup) or
+        // a concurrent reconfiguration won the fencing race.
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            self.ship_pending(session).map_err(|_| true)?;
+            let now = self.placement.snapshot();
+            let Some(info) = now.shard(shard).cloned() else { return Err(false) };
+            if info.epoch > epoch {
+                self.ship_pending(session).map_err(|_| true)?;
+                return if info.backups.contains(&peer) { Ok(()) } else { Err(false) };
+            }
+            if Instant::now() > deadline || self.shutdown.load(Ordering::Acquire) {
+                // Ambiguous: the confirmation may yet be chosen. Hard-fail
+                // so no commit is acked into the ambiguity.
+                return Err(true);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Run one registered transfer session to completion and tear it down
+    /// (the scanner registered it in [`SyncManager`] before spawning us).
+    fn run_sync_session(&self, coord: &CoordClient, session: Arc<SyncSession>) {
+        match self.drive_sync(coord, &session) {
+            Ok(()) => session.set_phase(SyncPhase::Done),
+            Err(hard) => {
+                session.set_phase(SyncPhase::Failed { hard });
+                self.repair_sessions_failed.incr();
+            }
+        }
+        self.sync.remove(session.shard, session.peer);
+    }
 }
 
 impl CommitHook for NodeInner {
@@ -586,13 +894,17 @@ impl CommitHook for NodeInner {
         let Some((shard, info)) = self.placement.locate(object) else {
             return Ok(()); // no shard map: single-node mode
         };
+        if info.lost {
+            return Err(format!("fenced: shard {shard} lost every replica (epoch {})", info.epoch));
+        }
         if info.primary != self.id {
             return Err(format!(
                 "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
                 self.id.0, info.epoch
             ));
         }
-        self.replicate_to_backups(ctx, shard, info.epoch, object, ops, &info.backups)
+        self.replicate_to_backups(ctx, shard, info.epoch, object, ops, &info.backups)?;
+        self.forward_to_syncing(shard, info.epoch, &info.syncing, object, ops)
     }
 }
 
@@ -675,6 +987,14 @@ impl AggregatedNode {
             repl_windows: Mutex::new(HashMap::new()),
             repl_rounds: registry.counter("node_repl_rounds"),
             repl_entries: registry.counter("node_repl_entries"),
+            sync: SyncManager::new(),
+            sync_chunk_bytes: config.sync_chunk_bytes,
+            repair_chunks_sent: registry.counter("repair_chunks_sent"),
+            repair_bytes: registry.counter("repair_bytes"),
+            repair_chunks_applied: registry.counter("repair_chunks_applied"),
+            repair_sessions_failed: registry.counter("repair_sessions_failed"),
+            repair_sync_enqueued: registry.counter("repair_sync_enqueued"),
+            repair_sync_shipped: registry.counter("repair_sync_shipped"),
             registry,
         });
 
@@ -711,10 +1031,15 @@ impl AggregatedNode {
             1,
         );
 
-        // Heartbeat + state-poll loop.
+        // Heartbeat + state-poll loop, and the repair scanner that opens
+        // state-transfer sessions for recruits the coordinator assigned us.
         if !config.coordinators.is_empty() {
-            let coord =
-                CoordClient::new(Arc::clone(&rpc), config.coordinators.clone(), config.rpc_timeout);
+            let coord = Arc::new(CoordClient::new(
+                Arc::clone(&rpc),
+                config.coordinators.clone(),
+                config.rpc_timeout,
+            ));
+            let hb_coord = Arc::clone(&coord);
             let hb_inner = Arc::clone(&inner);
             let interval = config.heartbeat_interval;
             let watch_id = NodeId(id.0 + WATCH_ID_OFFSET);
@@ -724,8 +1049,8 @@ impl AggregatedNode {
                     if hb_inner.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    let _ = coord.heartbeat(hb_inner.id, Some(watch_id));
-                    if let Ok(Some(state)) = coord.get_state(hb_inner.placement.version()) {
+                    let _ = hb_coord.heartbeat(hb_inner.id, Some(watch_id));
+                    if let Ok(Some(state)) = hb_coord.get_state(hb_inner.placement.version()) {
                         hb_inner.placement.update(state);
                     }
                     // Housekeeping: drop lock-table entries for idle objects.
@@ -733,6 +1058,38 @@ impl AggregatedNode {
                     std::thread::sleep(interval);
                 })
                 .expect("spawn heartbeat");
+
+            let sync_inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("store-{id}-sync"))
+                .spawn(move || loop {
+                    if sync_inner.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let state = sync_inner.placement.snapshot();
+                    for (&shard, info) in &state.shards {
+                        if info.primary != sync_inner.id || info.lost {
+                            continue;
+                        }
+                        for &peer in &info.syncing {
+                            if sync_inner.sync.contains(shard, peer) {
+                                continue;
+                            }
+                            // Register before spawning so the next scan
+                            // (and concurrent commits) see the session.
+                            let session = SyncSession::new(shard, peer, info.epoch);
+                            sync_inner.sync.insert(Arc::clone(&session));
+                            let n = Arc::clone(&sync_inner);
+                            let c = Arc::clone(&coord);
+                            std::thread::Builder::new()
+                                .name(format!("store-{}-sync-{shard}-{peer}", n.id))
+                                .spawn(move || n.run_sync_session(&c, session))
+                                .expect("spawn sync session");
+                        }
+                    }
+                    std::thread::sleep(interval);
+                })
+                .expect("spawn sync scanner");
         }
 
         Ok(Arc::new(AggregatedNode { inner, watch_rpc }))

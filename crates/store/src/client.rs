@@ -201,6 +201,23 @@ impl StoreClient {
                 }
             }
             let final_attempt = attempt + 1 == self.inner.retries;
+            // A shard marked lost has no live replica anywhere; calling
+            // out would only burn the deadline on RPC timeouts. Keep
+            // refreshing — the repair loop revives a lost shard as soon as
+            // a former member rejoins — and if the retry budget runs out
+            // first, surface the real condition instead of a timeout.
+            if let Some((shard, info)) = self.inner.placement.locate(object) {
+                if info.lost {
+                    last_err = InvokeError::ShardUnavailable(format!(
+                        "shard {shard} for object {object} lost every replica"
+                    ));
+                    self.refresh();
+                    if !final_attempt {
+                        std::thread::sleep(policy.pause(attempt, &ctx));
+                    }
+                    continue;
+                }
+            }
             let Some(node) = self.target_for(object, read_only) else {
                 self.refresh();
                 if !final_attempt {
@@ -213,6 +230,16 @@ impl StoreClient {
                 Err(e @ (InvokeError::WrongNode(_) | InvokeError::Nested(_))) => {
                     // Stale map or unreachable node: refresh and retry
                     // (§4.2.1 — clients reissue after reconfiguration).
+                    last_err = e;
+                    self.refresh();
+                    if !final_attempt {
+                        std::thread::sleep(policy.pause(attempt, &ctx));
+                    }
+                }
+                Err(e @ InvokeError::ShardUnavailable(_)) => {
+                    // The server's placement says the shard lost every
+                    // replica; keep refreshing in case repair revives it
+                    // within our budget, else surface the condition.
                     last_err = e;
                     self.refresh();
                     if !final_attempt {

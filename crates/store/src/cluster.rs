@@ -132,6 +132,7 @@ impl ClusterCore {
         let coord_config = CoordConfig {
             heartbeat_timeout: config.heartbeat_timeout,
             detector_interval: config.heartbeat_interval / 2,
+            repair_interval: config.heartbeat_interval,
             paxos: PaxosConfig::default(),
             workers: 4,
             rpc_timeout: Duration::from_millis(500),
@@ -184,6 +185,7 @@ impl ClusterCore {
                 rpc_timeout: Duration::from_millis(500),
                 heartbeat_interval: config.heartbeat_interval,
                 coordinators: coordinator_ids.clone(),
+                sync_chunk_bytes: 64 * 1024,
             };
             storage.push(AggregatedNode::start(&net, id, node_config)?);
         }
@@ -231,6 +233,7 @@ impl ClusterCore {
             rpc_timeout: Duration::from_millis(500),
             heartbeat_interval: config.heartbeat_interval,
             coordinators: self.coordinator_ids.clone(),
+            sync_chunk_bytes: 64 * 1024,
         };
         let node = AggregatedNode::start(&self.net, id, node_config)?;
         let admin_id = NodeId(ids::ADMIN.0 + 1 + id.0);
@@ -297,8 +300,9 @@ impl ClusterCore {
             .map_err(|e| InvokeError::Nested(format!("decommission: {e}")))?
             .ok_or_else(|| InvokeError::Nested("decommission: no cluster state".into()))?;
         let plan = state.plan_failover(id);
-        let affected = state.shards_of_node(id);
-        if plan.len() != affected.len() {
+        // A graceful scale-in must never orphan data: a plan that would
+        // mark a shard lost means this node is its last replica.
+        if plan.iter().any(|cmd| matches!(cmd, CoordCmd::MarkShardLost { .. })) {
             admin_rpc.shutdown();
             return Err(InvokeError::Nested(format!(
                 "decommission: node-{} is the last replica of a shard",
@@ -334,6 +338,58 @@ impl ClusterCore {
         node.shutdown();
         self.net.isolate(id);
         self.net.isolate(NodeId(id.0 + crate::aggregated::WATCH_ID_OFFSET));
+    }
+
+    /// Restart storage node `idx` after a crash (or kill it first if still
+    /// running): reopen the *same* data directory — the WAL replay in
+    /// `Db::open` recovers every acked write — re-register with the
+    /// coordinator, and heal its network links. The repair loop then folds
+    /// the node back into its shards (recruiting it as a syncing backup,
+    /// or reviving a shard it was the last member of).
+    ///
+    /// # Errors
+    /// Storage recovery or registration failures.
+    pub fn restart_storage_node(
+        &mut self,
+        idx: usize,
+        config: &ClusterConfig,
+    ) -> Result<NodeId, InvokeError> {
+        let id = self.storage[idx].id();
+        let watch_id = NodeId(id.0 + crate::aggregated::WATCH_ID_OFFSET);
+        self.storage[idx].shutdown();
+        // Let in-flight worker threads observe the shutdown flag and drain
+        // before the endpoints are torn out from under them.
+        std::thread::sleep((config.heartbeat_interval * 2).max(Duration::from_millis(200)));
+        self.net.leave(id);
+        self.net.leave(watch_id);
+        self.net.heal_all(id);
+        self.net.heal_all(watch_id);
+        let node_config = AggregatedConfig {
+            data_dir: self.base_dir.join(format!("node-{}", id.0)),
+            kv: config.kv.clone(),
+            engine: config.engine,
+            workers: config.workers,
+            rpc_timeout: Duration::from_millis(500),
+            heartbeat_interval: config.heartbeat_interval,
+            coordinators: self.coordinator_ids.clone(),
+            sync_chunk_bytes: 64 * 1024,
+        };
+        let node = AggregatedNode::start(&self.net, id, node_config)?;
+        // Re-register: the failure detector removed the node from the
+        // membership when it crashed (RegisterNode is idempotent if not).
+        let admin_id = NodeId(ids::ADMIN.0 + 3000 + id.0);
+        let admin_rpc = RpcNode::start(&self.net, admin_id, Arc::new(|_, _| Ok(vec![])), 1);
+        let admin = CoordClient::new(
+            Arc::clone(&admin_rpc),
+            self.coordinator_ids.clone(),
+            Duration::from_secs(5),
+        );
+        admin
+            .propose(CoordCmd::RegisterNode { node: id })
+            .map_err(|e| InvokeError::Nested(format!("restart: {e}")))?;
+        admin_rpc.shutdown();
+        self.storage[idx] = node;
+        Ok(id)
     }
 
     /// Stop everything and delete on-disk state.

@@ -27,6 +27,7 @@ pub mod disaggregated;
 pub mod placement;
 pub mod proto;
 pub mod serverless;
+pub mod sync;
 
 pub use aggregated::{AggregatedConfig, AggregatedNode, WATCH_ID_OFFSET};
 pub use client::StoreClient;
@@ -35,5 +36,6 @@ pub use cluster::{
 };
 pub use disaggregated::{ComputeConfig, ComputeNode, FunctionExecutor};
 pub use placement::Placement;
-pub use proto::{NodeStatsWire, StoreRequest, StoreResponse};
+pub use proto::{NodeStatsWire, StoreRequest, StoreResponse, SyncItem};
 pub use serverless::{ServerlessConfig, ServerlessGateway};
+pub use sync::{SyncManager, SyncPhase, SyncSession};

@@ -193,6 +193,50 @@ pub enum StoreRequest {
     },
     /// Node statistics snapshot.
     Stats,
+    /// Repair: pull one bounded chunk of the shard's objects from its
+    /// primary (diagnostics / pull-based transfer). `cursor` is the last
+    /// object id of the previous chunk (exclusive); `None` starts over.
+    FetchShardChunk {
+        /// Shard to export.
+        shard: ShardId,
+        /// Requester's view of the shard epoch (fencing: stale readers are
+        /// rejected rather than fed a superseded key range).
+        epoch: Epoch,
+        /// Resume after this object id; `None` for the first chunk.
+        cursor: Option<Vec<u8>>,
+        /// Stop adding objects once the chunk payload exceeds this.
+        max_bytes: u64,
+    },
+    /// Repair: install a batch of state-transfer items on a syncing
+    /// backup, in stream order.
+    InstallShardChunk {
+        /// Shard under transfer.
+        shard: ShardId,
+        /// The sending primary's epoch (fencing).
+        epoch: Epoch,
+        /// Items, applied strictly in order.
+        items: Vec<SyncItem>,
+    },
+}
+
+/// One item of a shard state-transfer stream (primary → syncing backup).
+/// Stream order is commit order per object: the primary enqueues snapshots
+/// and forwarded commits while holding each object's exclusive lock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SyncItem {
+    /// Stream start: the receiver wipes any stale residue of the shard
+    /// (a crash-restart rejoin may hold superseded objects).
+    Begin,
+    /// A consistent snapshot of one object.
+    Object(ObjectSnapshot),
+    /// A write set committed at the primary during the transfer, forwarded
+    /// so the syncing backup converges without blocking the hot path.
+    Forward {
+        /// Object whose data changed.
+        object: Vec<u8>,
+        /// `(key, Some(value))` puts / `(key, None)` deletes.
+        ops: WriteSetOps,
+    },
 }
 
 /// Per-node counters returned by [`StoreRequest::Stats`].
@@ -247,6 +291,13 @@ pub enum StoreResponse {
     Values(Vec<VmValue>),
     /// Object ids (ListObjects).
     Objects(Vec<Vec<u8>>),
+    /// One bounded chunk of a shard export ([`StoreRequest::FetchShardChunk`]).
+    ShardChunk {
+        /// Objects in this chunk.
+        objects: Vec<ObjectSnapshot>,
+        /// Cursor for the next chunk; `None` when the export is complete.
+        next_cursor: Option<Vec<u8>>,
+    },
 }
 
 #[cfg(test)]
@@ -325,6 +376,28 @@ mod tests {
                 )],
             },
             StoreRequest::Stats,
+            StoreRequest::FetchShardChunk {
+                shard: 1,
+                epoch: 4,
+                cursor: Some(b"user/1".to_vec()),
+                max_bytes: 65536,
+            },
+            StoreRequest::FetchShardChunk { shard: 1, epoch: 4, cursor: None, max_bytes: 1 },
+            StoreRequest::InstallShardChunk {
+                shard: 1,
+                epoch: 4,
+                items: vec![
+                    SyncItem::Begin,
+                    SyncItem::Object(ObjectSnapshot {
+                        id: ObjectId::from("user/1"),
+                        entries: vec![(b"m".to_vec(), b"User".to_vec())],
+                    }),
+                    SyncItem::Forward {
+                        object: b"user/1".to_vec(),
+                        ops: vec![(b"k".to_vec(), Some(b"v".to_vec())), (b"d".to_vec(), None)],
+                    },
+                ],
+            },
         ];
         for r in reqs {
             let bytes = wire::to_bytes(&r).unwrap();
@@ -353,6 +426,14 @@ mod tests {
             }),
             StoreResponse::Values(vec![VmValue::Unit, VmValue::Int(1)]),
             StoreResponse::Objects(vec![b"user/1".to_vec()]),
+            StoreResponse::ShardChunk {
+                objects: vec![ObjectSnapshot {
+                    id: ObjectId::from("user/1"),
+                    entries: vec![(b"m".to_vec(), b"User".to_vec())],
+                }],
+                next_cursor: Some(b"user/1".to_vec()),
+            },
+            StoreResponse::ShardChunk { objects: vec![], next_cursor: None },
         ];
         for r in resps {
             let bytes = wire::to_bytes(&r).unwrap();
