@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks of the VM dispatch rewrite (MICRO):
+//! pre-decoded threaded interpreter vs the reference match-decode loop, on
+//! the three instruction mixes that dominate ReTwis programs — pure
+//! decode/arithmetic, local-field shuffling with key building, and
+//! host-call-dense bodies.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lambda_vm::host::MemoryHost;
+use lambda_vm::{assemble, Interpreter, Limits, Module, VmValue};
+
+/// Tight counted sum loop: almost every adjacent pair is fusable
+/// (`load;load`, `add;store`, `push.i;store`, `lt;jz`), so this isolates
+/// raw dispatch + decode cost.
+fn decode_heavy() -> Module {
+    assemble(
+        r#"
+        fn spin(1) locals=3 {
+            push.i 0
+            store 1
+            push.i 0
+            store 2
+        head:
+            load 2
+            load 0
+            lt
+            jz done
+            load 1
+            load 2
+            add
+            store 1
+            load 2
+            push.i 1
+            add
+            store 2
+            jmp head
+        done:
+            load 1
+            ret
+        }
+        "#,
+    )
+    .expect("decode_heavy assembles")
+}
+
+/// Local-field traffic: key building (`concat`, `itob`, `len`) plus dense
+/// load/store shuffling — the shape of ReTwis functions preparing keys
+/// before touching storage.
+fn field_access_heavy() -> Module {
+    assemble(
+        r#"
+        fn fields(1) locals=6 {
+            push.s "user:"
+            store 1
+            push.i 0
+            store 5
+        head:
+            load 5
+            load 0
+            lt
+            jz done
+            load 1
+            load 5
+            itob
+            concat
+            store 2
+            load 2
+            len
+            store 3
+            load 3
+            store 4
+            load 5
+            push.i 1
+            add
+            store 5
+            jmp head
+        done:
+            load 4
+            ret
+        }
+        "#,
+    )
+    .expect("field_access_heavy assembles")
+}
+
+/// Host-call-dense loop: get + scan + put per iteration, so per-call
+/// overhead (base fuel, argument accounting) dominates over dispatch.
+fn host_call_heavy() -> Module {
+    assemble(
+        r#"
+        fn hosty(1) locals=2 {
+            push.i 0
+            store 1
+        head:
+            load 1
+            load 0
+            lt
+            jz done
+            push.s "field"
+            host.get
+            pop
+            push.s "tl"
+            push.i 5
+            push.i 1
+            host.scan
+            pop
+            push.s "field"
+            push.s "value"
+            host.put
+            pop
+            load 1
+            push.i 1
+            add
+            store 1
+            jmp head
+        done:
+            unit
+            ret
+        }
+        "#,
+    )
+    .expect("host_call_heavy assembles")
+}
+
+fn seeded_host() -> MemoryHost {
+    let mut host = MemoryHost::default();
+    host.fields.insert(b"field".to_vec(), b"value".to_vec());
+    for i in 0..5u8 {
+        host.collections.entry(b"tl".to_vec()).or_default().push(vec![i; 8]);
+    }
+    host
+}
+
+fn bench_dispatch_mixes(c: &mut Criterion) {
+    let cases: [(&str, Module, &str, i64); 3] = [
+        ("decode_heavy", decode_heavy(), "spin", 2_000),
+        ("field_access_heavy", field_access_heavy(), "fields", 1_000),
+        ("host_call_heavy", host_call_heavy(), "hosty", 200),
+    ];
+    let mut group = c.benchmark_group("vm_dispatch");
+    for (name, module, entry, iters) in &cases {
+        group.throughput(Throughput::Elements(*iters as u64));
+        let threaded = Interpreter::new(Limits::default());
+        let reference = Interpreter::reference(Limits::default());
+        let mut host = seeded_host();
+        group.bench_function(&format!("{name}/threaded"), |b| {
+            b.iter(|| {
+                threaded.execute(module, entry, vec![VmValue::Int(*iters)], &mut host).unwrap()
+            })
+        });
+        group.bench_function(&format!("{name}/reference"), |b| {
+            b.iter(|| {
+                reference.execute(module, entry, vec![VmValue::Int(*iters)], &mut host).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch_mixes);
+criterion_main!(benches);

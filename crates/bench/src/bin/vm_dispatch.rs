@@ -1,0 +1,287 @@
+//! BENCH-VM-DISPATCH: before/after numbers for the VM dispatch rewrite.
+//!
+//! Micro: the three ReTwis-shaped instruction mixes (decode-heavy,
+//! field-access-heavy, host-call-heavy) executed by the reference
+//! match-decode interpreter and by the pre-decoded threaded interpreter,
+//! reported as inner-loop iterations per second.
+//!
+//! End-to-end: the aggregated cluster running Post-only and
+//! GetTimeline-only ReTwis workloads with the engine flipped between the
+//! two interpreters via `EngineConfig::reference_interpreter`.
+//!
+//! Emits `BENCH_vm_dispatch.json` (override with `BENCH_JSON_PATH`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lambda_bench::{cluster_config, env_f64, env_usize};
+use lambda_retwis::{run, setup, AggregatedBackend, Op, OpMix, WorkloadConfig};
+use lambda_store::AggregatedCluster;
+use lambda_vm::host::MemoryHost;
+use lambda_vm::{assemble, Interpreter, Limits, Module, VmValue};
+
+struct MicroRow {
+    workload: &'static str,
+    ref_ops: f64,
+    thr_ops: f64,
+}
+
+struct E2eRow {
+    workload: &'static str,
+    engine: &'static str,
+    ops_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn programs() -> Vec<(&'static str, Module, &'static str, i64)> {
+    let decode = assemble(
+        r#"
+        fn spin(1) locals=3 {
+            push.i 0
+            store 1
+            push.i 0
+            store 2
+        head:
+            load 2
+            load 0
+            lt
+            jz done
+            load 1
+            load 2
+            add
+            store 1
+            load 2
+            push.i 1
+            add
+            store 2
+            jmp head
+        done:
+            load 1
+            ret
+        }
+        "#,
+    )
+    .expect("decode_heavy assembles");
+    let fields = assemble(
+        r#"
+        fn fields(1) locals=6 {
+            push.s "user:"
+            store 1
+            push.i 0
+            store 5
+        head:
+            load 5
+            load 0
+            lt
+            jz done
+            load 1
+            load 5
+            itob
+            concat
+            store 2
+            load 2
+            len
+            store 3
+            load 3
+            store 4
+            load 5
+            push.i 1
+            add
+            store 5
+            jmp head
+        done:
+            load 4
+            ret
+        }
+        "#,
+    )
+    .expect("field_access_heavy assembles");
+    let hosty = assemble(
+        r#"
+        fn hosty(1) locals=2 {
+            push.i 0
+            store 1
+        head:
+            load 1
+            load 0
+            lt
+            jz done
+            push.s "field"
+            host.get
+            pop
+            push.s "tl"
+            push.i 5
+            push.i 1
+            host.scan
+            pop
+            push.s "field"
+            push.s "value"
+            host.put
+            pop
+            load 1
+            push.i 1
+            add
+            store 1
+            jmp head
+        done:
+            unit
+            ret
+        }
+        "#,
+    )
+    .expect("host_call_heavy assembles");
+    vec![
+        ("decode_heavy", decode, "spin", 2_000),
+        ("field_access_heavy", fields, "fields", 1_000),
+        ("host_call_heavy", hosty, "hosty", 200),
+    ]
+}
+
+fn seeded_host() -> MemoryHost {
+    let mut host = MemoryHost::default();
+    host.fields.insert(b"field".to_vec(), b"value".to_vec());
+    for i in 0..5u8 {
+        host.collections.entry(b"tl".to_vec()).or_default().push(vec![i; 8]);
+    }
+    host
+}
+
+/// Iterations of the program's inner loop per second, measured over
+/// `window` after a short warmup.
+fn measure_micro(interp: &Interpreter, module: &Module, entry: &str, iters: i64) -> f64 {
+    let mut host = seeded_host();
+    let args = vec![VmValue::Int(iters)];
+    let warmup_until = Instant::now() + Duration::from_millis(100);
+    while Instant::now() < warmup_until {
+        interp.execute(module, entry, args.clone(), &mut host).expect("micro program runs");
+    }
+    let window = Duration::from_secs_f64(env_f64("VM_DISPATCH_SECONDS", 0.4));
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed() < window {
+        interp.execute(module, entry, args.clone(), &mut host).expect("micro program runs");
+        calls += 1;
+    }
+    (calls as f64 * iters as f64) / start.elapsed().as_secs_f64()
+}
+
+fn run_e2e(workload: &'static str, op: Op, reference: bool, base: &WorkloadConfig) -> E2eRow {
+    let mut cfg = cluster_config();
+    cfg.engine.reference_interpreter = reference;
+    let cluster = AggregatedCluster::build(cfg).expect("cluster");
+    let backend = Arc::new(AggregatedBackend { client: cluster.client() });
+    backend
+        .client
+        .deploy_type(
+            lambda_retwis::USER_TYPE,
+            lambda_retwis::user_fields(),
+            &lambda_retwis::user_module(),
+        )
+        .expect("deploy");
+    let config = WorkloadConfig { mix: OpMix::only(op), ..base.clone() };
+    setup(&backend, &config).expect("setup");
+    let result = run(&backend, &config);
+    cluster.shutdown();
+    E2eRow {
+        workload,
+        engine: if reference { "reference" } else { "threaded" },
+        ops_per_sec: result.throughput(),
+        p50_ms: result.latency.median().as_secs_f64() * 1e3,
+        p99_ms: result.latency.percentile(99.0).as_secs_f64() * 1e3,
+    }
+}
+
+fn write_json(path: &str, micro: &[MicroRow], e2e: &[E2eRow]) {
+    let mut out = String::from("{\n  \"experiment\": \"BENCH-VM-DISPATCH\",\n  \"micro\": [\n");
+    for (i, r) in micro.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"reference_ops_per_sec\": {:.0}, \
+             \"threaded_ops_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.workload,
+            r.ref_ops,
+            r.thr_ops,
+            r.thr_ops / r.ref_ops,
+            if i + 1 == micro.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"e2e\": [\n");
+    for (i, r) in e2e.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"ops_per_sec\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            r.workload,
+            r.engine,
+            r.ops_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 == e2e.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write json");
+}
+
+fn main() {
+    let json_path =
+        std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_vm_dispatch.json".into());
+
+    println!("vm_dispatch micro: inner-loop iterations/sec, reference vs threaded\n");
+    println!(
+        "{:>20} {:>16} {:>16} {:>9}",
+        "workload", "reference it/s", "threaded it/s", "speedup"
+    );
+    let mut micro = Vec::new();
+    for (name, module, entry, iters) in &programs() {
+        let reference =
+            measure_micro(&Interpreter::reference(Limits::default()), module, entry, *iters);
+        let threaded = measure_micro(&Interpreter::new(Limits::default()), module, entry, *iters);
+        println!(
+            "{:>20} {:>16.0} {:>16.0} {:>8.2}x",
+            name,
+            reference,
+            threaded,
+            threaded / reference
+        );
+        micro.push(MicroRow { workload: name, ref_ops: reference, thr_ops: threaded });
+    }
+
+    let base = WorkloadConfig {
+        accounts: env_usize("RETWIS_ACCOUNTS", 300),
+        follows_per_account: env_usize("RETWIS_FOLLOWS", 5),
+        clients: env_usize("RETWIS_CLIENTS", 8),
+        duration: Duration::from_secs_f64(env_f64("RETWIS_SECONDS", 1.5)),
+        ..WorkloadConfig::default()
+    };
+    println!("\nvm_dispatch e2e: aggregated cluster, {} clients\n", base.clients);
+    println!(
+        "{:>14} {:<10} {:>12} {:>10} {:>10}",
+        "workload", "engine", "ops/s", "p50 (ms)", "p99 (ms)"
+    );
+    let mut e2e = Vec::new();
+    for (name, op) in [("Post", Op::Post), ("GetTimeline", Op::GetTimeline)] {
+        for reference in [true, false] {
+            let row = run_e2e(name, op, reference, &base);
+            println!(
+                "{:>14} {:<10} {:>12.0} {:>10.3} {:>10.3}",
+                row.workload, row.engine, row.ops_per_sec, row.p50_ms, row.p99_ms
+            );
+            e2e.push(row);
+        }
+    }
+
+    write_json(&json_path, &micro, &e2e);
+    println!("\nwrote {json_path}");
+
+    for pair in e2e.chunks(2) {
+        if let [r, t] = pair {
+            if r.ops_per_sec > 0.0 {
+                println!(
+                    "{}: threaded = {:.2}x reference end-to-end",
+                    r.workload,
+                    t.ops_per_sec / r.ops_per_sec
+                );
+            }
+        }
+    }
+}

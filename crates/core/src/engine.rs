@@ -56,6 +56,13 @@ pub struct EngineConfig {
     pub scheduler: SchedulerMode,
     /// Maximum nested-invocation depth.
     pub max_depth: usize,
+    /// Lowered-bytecode cache capacity in modules (0 re-lowers every
+    /// invocation).
+    pub lowered_cache_capacity: usize,
+    /// Run the reference (match-decode) interpreter instead of the
+    /// threaded one — for differential testing and before/after
+    /// benchmarking of the dispatch rewrite.
+    pub reference_interpreter: bool,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +72,8 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             scheduler: SchedulerMode::PerObject,
             max_depth: 16,
+            lowered_cache_capacity: lambda_vm::DEFAULT_LOWERED_CACHE_CAPACITY,
+            reference_interpreter: false,
         }
     }
 }
@@ -171,7 +180,11 @@ impl Engine {
             cache: ConsistentCache::new(config.cache_capacity.max(1)),
             cache_enabled: config.cache_capacity > 0,
             scheduler: Scheduler::with_registry(config.scheduler, &registry),
-            interpreter: Interpreter::new(config.limits),
+            interpreter: if config.reference_interpreter {
+                Interpreter::reference(config.limits)
+            } else {
+                Interpreter::with_cache_capacity(config.limits, config.lowered_cache_capacity)
+            },
             router: parking_lot::RwLock::new(None),
             commit_hook: parking_lot::RwLock::new(None),
             max_depth: config.max_depth,

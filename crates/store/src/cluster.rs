@@ -458,6 +458,7 @@ impl DisaggregatedCluster {
                 workers: config.workers,
                 rpc_timeout: Duration::from_secs(1),
                 limits: config.engine.limits,
+                lowered_cache_capacity: config.engine.lowered_cache_capacity,
             },
         );
         Ok(DisaggregatedCluster { core, compute })
@@ -502,6 +503,7 @@ impl ServerlessCluster {
                 workers: config.workers,
                 rpc_timeout: Duration::from_secs(1),
                 limits: config.engine.limits,
+                lowered_cache_capacity: config.engine.lowered_cache_capacity,
             },
             config.base_dir.join("gateway"),
         );

@@ -81,7 +81,7 @@ impl HostFn {
 }
 
 /// One VM instruction. The machine is a classic operand-stack design.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Instr {
     /// Push an integer literal.
     PushInt(i64),
@@ -148,7 +148,7 @@ pub enum Instr {
 }
 
 /// A compiled function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FunctionDef {
     /// Method name, unique within the module.
     pub name: String,
@@ -171,7 +171,7 @@ pub struct FunctionDef {
 }
 
 /// A deployable bundle of functions plus their constant pool.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Module {
     /// Byte-string constants referenced by `PushConst`/`Trap`.
     pub constants: Vec<Vec<u8>>,

@@ -63,7 +63,9 @@ pub mod bytecode;
 pub mod disasm;
 pub mod host;
 pub mod interp;
+pub mod interp_ref;
 pub mod native;
+pub mod threaded;
 pub mod validate;
 pub mod value;
 
@@ -71,8 +73,12 @@ pub use assembler::{assemble, AssembleError};
 pub use bytecode::{FunctionDef, Instr, Module};
 pub use disasm::disassemble;
 pub use host::{Host, HostError, NullHost};
-pub use interp::{ExecutionReport, Interpreter, VmError};
+pub use interp::{
+    ExecutionReport, Interpreter, VmError, DEFAULT_LOWERED_CACHE_CAPACITY, HOST_CALL_BASE_FUEL,
+};
+pub use interp_ref::RefInterpreter;
 pub use native::{NativeCtx, NativeFn, NativeRegistry};
+pub use threaded::LoweredCache;
 pub use validate::{validate_module, ValidateError};
 pub use value::VmValue;
 

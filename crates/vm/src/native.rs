@@ -6,7 +6,10 @@
 //! against the same [`Host`] capability interface as bytecode — so the
 //! consistency machinery (write buffering, read-set tracking, read-only
 //! enforcement) is identical for both. Benchmarks use native methods to
-//! isolate VM dispatch overhead (ablation `MICRO` in DESIGN.md).
+//! isolate VM dispatch overhead (ablation `MICRO` in DESIGN.md): they are
+//! the dispatch-free floor that the threaded interpreter's pre-decoded
+//! superinstruction loop (`threaded.rs`, measured by the `vm_dispatch`
+//! bench) closes in on.
 
 use std::collections::HashMap;
 use std::fmt;

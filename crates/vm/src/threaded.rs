@@ -1,0 +1,1900 @@
+//! The threaded interpreter: pre-decoded, function-pointer dispatch.
+//!
+//! Validated bytecode is lowered once per module into a flat
+//! [`LInstr`] array (see [`LoweredCache`]): operands are decoded, jump
+//! targets are resolved to lowered instruction indices, frequent adjacent
+//! opcode pairs and quads from the ReTwis programs are fused into
+//! superinstructions (`load`+`load`, `push.s`+`host.*`, `lt`+`jz`, and
+//! whole `load;load;add;store` accumulate tails, …) and each instruction
+//! carries a direct function pointer, so the hot loop is just
+//! `(i.op)(vm, i)` with no match-decode and no per-opcode fuel branch.
+//! Handlers return a one-word control code (`CONT`/`HALT`/`FAULT`) with
+//! errors parked in `Vm::error`, so the indirect call never returns a
+//! multi-word `Result` through a hidden out-pointer.
+//!
+//! # Fuel amortization
+//!
+//! Instead of charging and bounds-checking fuel on every opcode, the VM
+//! counts retired instructions in a `pending` accumulator and *settles*
+//! (adds to `fuel_used` and checks the limit) only at basic-block exits:
+//! back-edges, `call`, `ret`, before every host call, at every dynamic
+//! (value-sized) charge, and on every error exit. Within one straight-line
+//! block the VM may therefore run a few instructions past the exact
+//! exhaustion point, but it can never perform a host call or return
+//! successfully while over budget, and any error raised inside that slack
+//! window is reported as `FuelExhausted` — so the observable outcome
+//! (result, error, host-call sequence, and the final `ExecutionReport` on
+//! success) is bit-identical to the reference interpreter. The
+//! differential fuzz suite in `tests/diff_interp.rs` enforces this.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::bytecode::{HostFn, Instr, Module};
+use crate::host::{Host, HostError};
+use crate::interp::{ExecutionReport, VmError, HOST_CALL_BASE_FUEL};
+use crate::value::VmValue;
+use crate::Limits;
+
+/// One pre-decoded instruction: a direct handler pointer plus decoded
+/// operands (`a`/`b` are indices — locals, constants, lowered jump
+/// targets, host-function codes — `imm` is an integer literal).
+#[derive(Clone, Copy)]
+pub(crate) struct LInstr {
+    op: OpFn,
+    a: u32,
+    b: u32,
+    imm: i64,
+}
+
+type OpFn = fn(&mut Vm<'_, '_>, &LInstr) -> u32;
+
+/// Op control codes: the dispatch table returns one machine word instead
+/// of a `Result<bool, VmError>` so the hot loop's indirect call never
+/// spills a multi-word error payload through a hidden return pointer. A
+/// `FAULT` means the handler stored its error in [`Vm::error`].
+const CONT: u32 = 0;
+const HALT: u32 = 1;
+const FAULT: u32 = 2;
+
+/// A function lowered to threaded form.
+pub(crate) struct LoweredFunction {
+    code: Vec<LInstr>,
+    arity: u8,
+}
+
+/// A module lowered to threaded form. Indexes line up with
+/// [`Module::functions`].
+pub(crate) struct LoweredModule {
+    funcs: Vec<LoweredFunction>,
+}
+
+impl fmt::Debug for LoweredModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LoweredModule({} functions)", self.funcs.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+/// Superinstructions recognised by the fuser. The pairs were chosen from
+/// static frequency counts over the ReTwis modules (`crates/retwis`):
+/// local/const pushes feeding host calls, compare-and-branch loop heads,
+/// and accumulate-into-local tails.
+enum Fused {
+    /// `load a; load b`
+    LoadLoad(u16, u16),
+    /// `load a; concat`
+    LoadConcat(u16),
+    /// `load a; push.i imm`
+    LoadPushInt(u16, i64),
+    /// `load a; host.b` — e.g. `load field; host.push`
+    LoadHost(u16, HostFn),
+    /// `load a; ret`
+    LoadRet(u16),
+    /// `push.c a; load b` — field key then operand, the ReTwis calling
+    /// convention for `host.put`/`host.push`
+    ConstLoad(u32, u16),
+    /// `push.c a; host.b` — interned field-key straight into a host call
+    /// (the `push.s "name"; host.get` field-access idiom)
+    ConstHost(u32, HostFn),
+    /// `push.i imm; store a` — counter initialisation
+    PushIntStore(i64, u16),
+    /// `push.c a; store b` — interned constant into a local
+    ConstStore(u32, u16),
+    /// `push.i imm; add` — increment the stack top
+    PushIntAdd(i64),
+    /// `add; store a` — accumulate into a local
+    AddStore(u16),
+    /// `concat; store a` — finish building a key into a local
+    ConcatStore(u16),
+    /// `load a; len` — measure a local (the fused handler skips cloning
+    /// the value onto the stack)
+    LoadLen(u16),
+    /// `store a; load b` — store-then-reload shuffle
+    StoreLoad(u16, u16),
+    /// `push.u; ret`
+    UnitRet,
+    /// `lt; jz target` — loop-head compare-and-branch (forward targets
+    /// only, so the fused op never needs a fuel settle)
+    LtJz(u32),
+    /// `le; jz target`
+    LeJz(u32),
+    /// `eq; jz target`
+    EqJz(u32),
+}
+
+/// Decide whether the adjacent pair `(first, second)` at original pc `at`
+/// fuses. `second` is known not to be a jump target (fusing across a
+/// branch leader would change where jumps land).
+fn fuse_pair(first: &Instr, second: &Instr, at: usize, code_len: usize) -> Option<Fused> {
+    Some(match (first, second) {
+        (Instr::Load(a), Instr::Load(b)) => Fused::LoadLoad(*a, *b),
+        (Instr::Load(a), Instr::Concat) => Fused::LoadConcat(*a),
+        (Instr::Load(a), Instr::PushInt(v)) => Fused::LoadPushInt(*a, *v),
+        (Instr::Load(a), Instr::Host(hf)) => Fused::LoadHost(*a, *hf),
+        (Instr::Load(a), Instr::Ret) => Fused::LoadRet(*a),
+        (Instr::PushConst(c), Instr::Load(b)) => Fused::ConstLoad(*c, *b),
+        (Instr::PushConst(c), Instr::Host(hf)) => Fused::ConstHost(*c, *hf),
+        (Instr::PushInt(v), Instr::Store(s)) => Fused::PushIntStore(*v, *s),
+        (Instr::PushConst(c), Instr::Store(s)) => Fused::ConstStore(*c, *s),
+        (Instr::PushInt(v), Instr::Add) => Fused::PushIntAdd(*v),
+        (Instr::Add, Instr::Store(s)) => Fused::AddStore(*s),
+        (Instr::Concat, Instr::Store(s)) => Fused::ConcatStore(*s),
+        (Instr::Load(a), Instr::Len) => Fused::LoadLen(*a),
+        (Instr::Store(s), Instr::Load(a)) => Fused::StoreLoad(*s, *a),
+        (Instr::PushUnit, Instr::Ret) => Fused::UnitRet,
+        // Compare-and-branch pairs fuse only when the branch is forward
+        // and in range; backward branches need a fuel settle and keep the
+        // two-instruction form.
+        (Instr::Lt, Instr::JumpIfFalse(t)) if *t as usize > at + 1 && *t as usize <= code_len => {
+            Fused::LtJz(*t)
+        }
+        (Instr::Le, Instr::JumpIfFalse(t)) if *t as usize > at + 1 && *t as usize <= code_len => {
+            Fused::LeJz(*t)
+        }
+        (Instr::Eq, Instr::JumpIfFalse(t)) if *t as usize > at + 1 && *t as usize <= code_len => {
+            Fused::EqJz(*t)
+        }
+        _ => return None,
+    })
+}
+
+/// Four-wide superinstructions: whole accumulate/increment tails and
+/// compare-and-branch loop heads, the inner loops of counted ReTwis
+/// bodies. Their handlers carry an all-`Int` fast path that skips the
+/// operand stack entirely while replaying the reference interpreter's
+/// exact fuel and memory accounting.
+#[allow(clippy::enum_variant_names)] // names spell out the fused sequence
+enum FusedQuad {
+    /// `load a; load b; add; store s` — accumulate two locals
+    LoadLoadAddStore(u16, u16, u16),
+    /// `load a; push.i v; add; store s` — counter increment
+    LoadIncStore(u16, i64, u16),
+    /// `load a; load b; lt; jz t` — loop head (forward target)
+    LoadLoadLtJz(u16, u16, u32),
+    /// `load a; load b; le; jz t` — loop head (forward target)
+    LoadLoadLeJz(u16, u16, u32),
+    /// `load a; push.i v; lt; jz t` — counted loop head (forward target)
+    LoadIntLtJz(u16, i64, u32),
+}
+
+/// Decide whether the four instructions starting at `at` fuse. Interior
+/// instructions are known not to be jump targets; branch targets must be
+/// strictly forward (past the quad) so the fused op never settles fuel.
+fn fuse_quad(code: &[Instr], at: usize, code_len: usize) -> Option<FusedQuad> {
+    if at + 3 >= code_len {
+        return None;
+    }
+    let fwd = |t: &u32| (*t as usize) > at + 3 && (*t as usize) <= code_len;
+    Some(match (&code[at], &code[at + 1], &code[at + 2], &code[at + 3]) {
+        (Instr::Load(a), Instr::Load(b), Instr::Add, Instr::Store(s)) => {
+            FusedQuad::LoadLoadAddStore(*a, *b, *s)
+        }
+        (Instr::Load(a), Instr::PushInt(v), Instr::Add, Instr::Store(s)) => {
+            FusedQuad::LoadIncStore(*a, *v, *s)
+        }
+        (Instr::Load(a), Instr::Load(b), Instr::Lt, Instr::JumpIfFalse(t)) if fwd(t) => {
+            FusedQuad::LoadLoadLtJz(*a, *b, *t)
+        }
+        (Instr::Load(a), Instr::Load(b), Instr::Le, Instr::JumpIfFalse(t)) if fwd(t) => {
+            FusedQuad::LoadLoadLeJz(*a, *b, *t)
+        }
+        (Instr::Load(a), Instr::PushInt(v), Instr::Lt, Instr::JumpIfFalse(t)) if fwd(t) => {
+            FusedQuad::LoadIntLtJz(*a, *v, *t)
+        }
+        _ => return None,
+    })
+}
+
+/// The five-wide key-building idiom `load a; load b; itob; concat;
+/// store s` — "prefix bytes + int id" field keys, the hottest sequence in
+/// ReTwis bodies. Returns `(a, b, s)`.
+fn fuse_quint(code: &[Instr], at: usize, code_len: usize) -> Option<(u16, u16, u16)> {
+    if at + 4 >= code_len {
+        return None;
+    }
+    match (&code[at], &code[at + 1], &code[at + 2], &code[at + 3], &code[at + 4]) {
+        (Instr::Load(a), Instr::Load(b), Instr::IntToBytes, Instr::Concat, Instr::Store(s)) => {
+            Some((*a, *b, *s))
+        }
+        _ => None,
+    }
+}
+
+/// A pair must not steal the first instruction of a wider group: greedy
+/// pairing of `store; load` would otherwise split the `load; push.i; add;
+/// store` increment quad that follows it in counted loops.
+fn steals_wider(code: &[Instr], leader: &[bool], at: usize, n: usize) -> bool {
+    let clear = |w: usize| (1..w).all(|k| !leader[at + k]);
+    (at + 4 < n && clear(5) && fuse_quint(code, at, n).is_some())
+        || (at + 3 < n && clear(4) && fuse_quad(code, at, n).is_some())
+}
+
+/// Lower a whole module. Lowering is total: ill-formed references that
+/// the reference interpreter reports at runtime (bad jump targets, bad
+/// call indices) lower to dedicated error ops with identical messages, so
+/// unvalidated modules behave the same in both interpreters.
+pub(crate) fn lower_module(module: &Module) -> LoweredModule {
+    LoweredModule {
+        funcs: module.functions.iter().map(|f| lower_function(module, &f.code, f.arity)).collect(),
+    }
+}
+
+/// Pass 1: greedy left-to-right grouping, widest group first. Returns the
+/// `(original pc, width)` of each lowered instruction plus the
+/// original-pc → lowered index map (interior members of a group map to
+/// the group, though nothing can jump there — interiors are never
+/// basic-block leaders).
+fn group_plan(code: &[Instr]) -> (Vec<(usize, usize)>, Vec<u32>) {
+    let n = code.len();
+    // Any jump target is a basic-block leader; interior instructions of a
+    // fused group must not be one, or jumps into them would skip the
+    // group's earlier halves.
+    let mut leader = vec![false; n + 1];
+    for ins in code {
+        if let Instr::Jump(t) | Instr::JumpIfFalse(t) = ins {
+            if (*t as usize) <= n {
+                leader[*t as usize] = true;
+            }
+        }
+    }
+
+    let mut starts: Vec<(usize, usize)> = Vec::new();
+    let mut map = vec![0u32; n + 1];
+    let mut i = 0;
+    while i < n {
+        let idx = starts.len() as u32;
+        let clear = |w: usize| (1..w).all(|k| !leader[i + k]);
+        let width = if i + 4 < n && clear(5) && fuse_quint(code, i, n).is_some() {
+            5
+        } else if i + 3 < n && clear(4) && fuse_quad(code, i, n).is_some() {
+            4
+        } else if i + 1 < n
+            && !leader[i + 1]
+            && fuse_pair(&code[i], &code[i + 1], i, n).is_some()
+            && !steals_wider(code, &leader, i + 1, n)
+        {
+            2
+        } else {
+            1
+        };
+        for k in 0..width {
+            map[i + k] = idx;
+        }
+        starts.push((i, width));
+        i += width;
+    }
+    map[n] = starts.len() as u32;
+    (starts, map)
+}
+
+fn lower_function(module: &Module, code: &[Instr], arity: u8) -> LoweredFunction {
+    let n = code.len();
+    let (starts, map) = group_plan(code);
+
+    // Pass 2: emit, resolving jump targets through `map` and classifying
+    // back-edges (settle points) at lowering time.
+    let mut out: Vec<LInstr> = Vec::with_capacity(starts.len() + 1);
+    for &(at, width) in &starts {
+        let li = match width {
+            5 => {
+                let (a, b, s) = fuse_quint(code, at, n).expect("pass 1 fused this quint");
+                instr(t_build_key_store, u32::from(a) | (u32::from(b) << 16), s.into(), 0)
+            }
+            4 => match fuse_quad(code, at, n).expect("pass 1 fused this quad") {
+                FusedQuad::LoadLoadAddStore(a, b, s) => {
+                    instr(t_ll_add_store, u32::from(a) | (u32::from(b) << 16), s.into(), 0)
+                }
+                FusedQuad::LoadIncStore(a, v, s) => instr(t_load_inc_store, a.into(), s.into(), v),
+                FusedQuad::LoadLoadLtJz(a, b, t) => {
+                    instr(t_ll_lt_jz, map[t as usize], u32::from(a) | (u32::from(b) << 16), 0)
+                }
+                FusedQuad::LoadLoadLeJz(a, b, t) => {
+                    instr(t_ll_le_jz, map[t as usize], u32::from(a) | (u32::from(b) << 16), 0)
+                }
+                FusedQuad::LoadIntLtJz(a, v, t) => {
+                    instr(t_load_int_lt_jz, map[t as usize], a.into(), v)
+                }
+            },
+            2 => {
+                match fuse_pair(&code[at], &code[at + 1], at, n).expect("pass 1 fused this pair") {
+                    Fused::LoadLoad(a, b) => instr(t_load_load, a.into(), b.into(), 0),
+                    Fused::LoadConcat(a) => instr(t_load_concat, a.into(), 0, 0),
+                    Fused::LoadPushInt(a, v) => instr(t_load_push_int, a.into(), 0, v),
+                    Fused::LoadHost(a, hf) => instr(t_load_host, a.into(), host_code(hf), 0),
+                    Fused::LoadRet(a) => instr(t_load_ret, a.into(), 0, 0),
+                    Fused::ConstLoad(c, b) => instr(t_const_load, c, b.into(), 0),
+                    Fused::ConstHost(c, hf) => instr(t_const_host, c, host_code(hf), 0),
+                    Fused::PushIntStore(v, s) => instr(t_push_int_store, s.into(), 0, v),
+                    Fused::ConstStore(c, s) => instr(t_const_store, c, s.into(), 0),
+                    Fused::PushIntAdd(v) => instr(t_push_int_add, 0, 0, v),
+                    Fused::AddStore(s) => instr(t_add_store, s.into(), 0, 0),
+                    Fused::ConcatStore(s) => instr(t_concat_store, s.into(), 0, 0),
+                    Fused::LoadLen(a) => instr(t_load_len, a.into(), 0, 0),
+                    Fused::StoreLoad(s, a) => instr(t_store_load, s.into(), a.into(), 0),
+                    Fused::UnitRet => instr(t_unit_ret, 0, 0, 0),
+                    Fused::LtJz(t) => instr(t_lt_jz, map[t as usize], 0, 0),
+                    Fused::LeJz(t) => instr(t_le_jz, map[t as usize], 0, 0),
+                    Fused::EqJz(t) => instr(t_eq_jz, map[t as usize], 0, 0),
+                }
+            }
+            _ => lower_single(module, &code[at], at, n, &map),
+        };
+        out.push(li);
+    }
+    // Synthetic fall-off handler: `jmp`s may target `code.len()` and
+    // straight-line code may run off the end; both mean "implicit ret of
+    // Unit" and retire zero instructions.
+    out.push(instr(t_implicit_ret, 0, 0, 0));
+    LoweredFunction { code: out, arity }
+}
+
+fn instr(op: OpFn, a: u32, b: u32, imm: i64) -> LInstr {
+    LInstr { op, a, b, imm }
+}
+
+fn lower_single(module: &Module, ins: &Instr, at: usize, n: usize, map: &[u32]) -> LInstr {
+    match ins {
+        Instr::PushInt(v) => instr(t_push_int, 0, 0, *v),
+        Instr::PushBool(b) => instr(t_push_bool, (*b).into(), 0, 0),
+        Instr::PushUnit => instr(t_push_unit, 0, 0, 0),
+        Instr::PushConst(c) => instr(t_push_const, *c, 0, 0),
+        Instr::Dup => instr(t_dup, 0, 0, 0),
+        Instr::Pop => instr(t_pop, 0, 0, 0),
+        Instr::Swap => instr(t_swap, 0, 0, 0),
+        Instr::Load(l) => instr(t_load, (*l).into(), 0, 0),
+        Instr::Store(l) => instr(t_store, (*l).into(), 0, 0),
+        Instr::Add => instr(t_add, 0, 0, 0),
+        Instr::Sub => instr(t_sub, 0, 0, 0),
+        Instr::Mul => instr(t_mul, 0, 0, 0),
+        Instr::Div => instr(t_div, 0, 0, 0),
+        Instr::Mod => instr(t_mod, 0, 0, 0),
+        Instr::Eq => instr(t_eq, 0, 0, 0),
+        Instr::Lt => instr(t_lt, 0, 0, 0),
+        Instr::Le => instr(t_le, 0, 0, 0),
+        Instr::Not => instr(t_not, 0, 0, 0),
+        Instr::Concat => instr(t_concat, 0, 0, 0),
+        Instr::Len => instr(t_len, 0, 0, 0),
+        Instr::IntToBytes => instr(t_itob, 0, 0, 0),
+        Instr::BytesToInt => instr(t_btoi, 0, 0, 0),
+        Instr::MakeList(k) => instr(t_make_list, (*k).into(), 0, 0),
+        Instr::Index => instr(t_index, 0, 0, 0),
+        Instr::Append => instr(t_append, 0, 0, 0),
+        Instr::Jump(t) => {
+            if *t as usize > n {
+                // Mirrors the reference: the error fires when executed.
+                instr(t_jump_bad, *t, 0, 0)
+            } else if *t as usize <= at {
+                instr(t_jump_back, map[*t as usize], 0, 0)
+            } else {
+                instr(t_jump_fwd, map[*t as usize], 0, 0)
+            }
+        }
+        Instr::JumpIfFalse(t) => {
+            if *t as usize > n {
+                instr(t_jz_bad, *t, 0, 0)
+            } else if *t as usize <= at {
+                instr(t_jz_back, map[*t as usize], 0, 0)
+            } else {
+                instr(t_jz_fwd, map[*t as usize], 0, 0)
+            }
+        }
+        Instr::Call(f) => {
+            if (*f as usize) < module.functions.len() {
+                instr(t_call, *f, 0, 0)
+            } else {
+                instr(t_call_bad, *f, 0, 0)
+            }
+        }
+        Instr::Ret => instr(t_ret, 0, 0, 0),
+        Instr::Host(hf) => instr(t_host, host_code(*hf), 0, 0),
+        Instr::Trap(c) => instr(t_trap, *c, 0, 0),
+    }
+}
+
+fn host_code(hf: HostFn) -> u32 {
+    match hf {
+        HostFn::Get => 0,
+        HostFn::Put => 1,
+        HostFn::Delete => 2,
+        HostFn::Push => 3,
+        HostFn::Scan => 4,
+        HostFn::Count => 5,
+        HostFn::Invoke => 6,
+        HostFn::InvokeMany => 7,
+        HostFn::SelfId => 8,
+        HostFn::Time => 9,
+        HostFn::Log => 10,
+        HostFn::Abort => 11,
+    }
+}
+
+fn host_from(code: u32) -> HostFn {
+    match code {
+        0 => HostFn::Get,
+        1 => HostFn::Put,
+        2 => HostFn::Delete,
+        3 => HostFn::Push,
+        4 => HostFn::Scan,
+        5 => HostFn::Count,
+        6 => HostFn::Invoke,
+        7 => HostFn::InvokeMany,
+        8 => HostFn::SelfId,
+        9 => HostFn::Time,
+        10 => HostFn::Log,
+        _ => HostFn::Abort,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowered-code cache
+// ---------------------------------------------------------------------------
+
+/// Bounded FIFO cache of lowered modules keyed by a 64-bit hash of the
+/// module, with a stored copy compared for full equality on every hit so
+/// a hash collision can never execute the wrong code.
+pub struct LoweredCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+struct CacheInner {
+    map: HashMap<u64, (Module, Arc<LoweredModule>)>,
+    order: VecDeque<u64>,
+}
+
+impl fmt::Debug for LoweredCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LoweredCache(len {}, capacity {})", self.len(), self.capacity)
+    }
+}
+
+impl LoweredCache {
+    /// Create a cache holding at most `capacity` lowered modules.
+    /// Capacity 0 disables caching (every execute re-lowers).
+    pub fn new(capacity: usize) -> LoweredCache {
+        LoweredCache {
+            inner: Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity,
+        }
+    }
+
+    /// Number of modules currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn get_or_lower(&self, module: &Module) -> Arc<LoweredModule> {
+        if self.capacity == 0 {
+            return Arc::new(lower_module(module));
+        }
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        module.hash(&mut hasher);
+        let key = hasher.finish();
+        let mut inner = self.inner.lock();
+        if let Some((stored, lowered)) = inner.map.get(&key) {
+            if stored == module {
+                return Arc::clone(lowered);
+            }
+        }
+        let lowered = Arc::new(lower_module(module));
+        if inner.map.insert(key, (module.clone(), Arc::clone(&lowered))).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+        lowered
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+struct SavedFrame {
+    func: usize,
+    pc: usize,
+    stack: Vec<VmValue>,
+    locals: Vec<VmValue>,
+}
+
+struct Vm<'m, 'h> {
+    lowered: &'m LoweredModule,
+    module: &'m Module,
+    host: &'h mut dyn Host,
+    limits: Limits,
+    report: ExecutionReport,
+    mem: usize,
+    /// Retired instructions not yet added to `fuel_used`/`instructions`.
+    pending: u64,
+    code: &'m [LInstr],
+    pc: usize,
+    func: usize,
+    stack: Vec<VmValue>,
+    locals: Vec<VmValue>,
+    frames: Vec<SavedFrame>,
+    result: VmValue,
+    /// Parked error from a handler that returned `FAULT`; the run loop
+    /// takes it and routes it through [`Vm::fail`].
+    error: Option<VmError>,
+}
+
+/// Run `func` of the lowered `module` to completion.
+pub(crate) fn run(
+    lowered: &LoweredModule,
+    module: &Module,
+    limits: Limits,
+    func: usize,
+    args: Vec<VmValue>,
+    host: &mut dyn Host,
+) -> Result<(VmValue, ExecutionReport), VmError> {
+    let mut vm = Vm {
+        lowered,
+        module,
+        host,
+        limits,
+        report: ExecutionReport::default(),
+        mem: 0,
+        pending: 0,
+        code: &lowered.funcs[func].code,
+        pc: 0,
+        func,
+        stack: Vec::new(),
+        locals: Vec::new(),
+        frames: Vec::new(),
+        result: VmValue::Unit,
+        error: None,
+    };
+    if limits.call_depth == 0 {
+        return Err(VmError::CallDepthExceeded);
+    }
+    if let Err(e) = vm.setup_frame(func, args) {
+        return Err(vm.fail(e));
+    }
+    loop {
+        let i = vm.code[vm.pc];
+        vm.pc += 1;
+        match (i.op)(&mut vm, &i) {
+            CONT => {}
+            HALT => return Ok((std::mem::take(&mut vm.result), vm.report)),
+            _ => {
+                let e = vm.error.take().expect("faulting op parks its error");
+                return Err(vm.fail(e));
+            }
+        }
+    }
+}
+
+impl Vm<'_, '_> {
+    /// Flush `pending` into the report and enforce the fuel limit. Called
+    /// at block exits; cheap no-op when nothing is pending.
+    #[inline]
+    fn settle(&mut self) -> Result<(), VmError> {
+        let p = self.pending;
+        if p != 0 {
+            self.pending = 0;
+            self.report.instructions += p;
+            self.report.fuel_used += p;
+            if self.report.fuel_used > self.limits.fuel {
+                return Err(VmError::FuelExhausted);
+            }
+        }
+        Ok(())
+    }
+
+    /// Dynamic (value-sized) charge. Settles first so the check runs
+    /// against the exact fuel total the reference interpreter would have.
+    #[inline]
+    fn charge(&mut self, fuel: u64) -> Result<(), VmError> {
+        self.settle()?;
+        self.report.fuel_used += fuel;
+        if self.report.fuel_used > self.limits.fuel {
+            return Err(VmError::FuelExhausted);
+        }
+        Ok(())
+    }
+
+    /// Error exit: settle the exact retired prefix and prefer
+    /// `FuelExhausted` when over budget — the reference interpreter
+    /// would have stopped at its per-instruction check before reaching
+    /// whatever raised `e`.
+    fn fail(&mut self, e: VmError) -> VmError {
+        let p = self.pending;
+        self.pending = 0;
+        self.report.instructions += p;
+        self.report.fuel_used += p;
+        if self.report.fuel_used > self.limits.fuel {
+            VmError::FuelExhausted
+        } else {
+            e
+        }
+    }
+
+    /// Park `e` for the run loop and return the `FAULT` control code.
+    #[cold]
+    fn raise(&mut self, e: VmError) -> u32 {
+        self.error = Some(e);
+        FAULT
+    }
+
+    #[inline]
+    fn alloc(&mut self, bytes: usize) -> Result<(), VmError> {
+        self.mem += bytes;
+        if self.mem > self.limits.memory_bytes {
+            return Err(VmError::MemoryLimit);
+        }
+        self.report.peak_memory = self.report.peak_memory.max(self.mem);
+        Ok(())
+    }
+
+    #[inline]
+    fn free(&mut self, bytes: usize) {
+        self.mem = self.mem.saturating_sub(bytes);
+    }
+
+    #[inline]
+    fn push(&mut self, v: VmValue) -> Result<(), VmError> {
+        self.alloc(v.approx_bytes())?;
+        self.stack.push(v);
+        Ok(())
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Result<VmValue, VmError> {
+        self.stack.pop().ok_or(VmError::StackUnderflow)
+    }
+
+    #[inline]
+    fn pop_int(&mut self, op: &'static str) -> Result<i64, VmError> {
+        match self.pop()? {
+            VmValue::Int(v) => Ok(v),
+            other => Err(VmError::Type { op, found: other.type_name() }),
+        }
+    }
+
+    #[inline]
+    fn load_local(&mut self, idx: u32) -> Result<(), VmError> {
+        let v = self
+            .locals
+            .get(idx as usize)
+            .ok_or_else(|| VmError::BadReference(format!("local {idx}")))?
+            .clone();
+        self.push(v)
+    }
+
+    #[inline]
+    fn store_local(&mut self, idx: u32) -> Result<(), VmError> {
+        let v = self.pop()?;
+        let slot = self
+            .locals
+            .get_mut(idx as usize)
+            .ok_or_else(|| VmError::BadReference(format!("local {idx}")))?;
+        let old = std::mem::replace(slot, v);
+        self.free(old.approx_bytes());
+        Ok(())
+    }
+
+    fn int_binop(
+        &mut self,
+        op: &'static str,
+        f: fn(i64, i64) -> Option<i64>,
+    ) -> Result<(), VmError> {
+        let b = self.pop_int(op)?;
+        let a = self.pop_int(op)?;
+        let r = f(a, b).ok_or_else(|| VmError::Trap(format!("arithmetic fault in {op}")))?;
+        self.push(VmValue::Int(r))
+    }
+
+    fn cmp_binop(
+        &mut self,
+        op: &'static str,
+        accept: fn(std::cmp::Ordering) -> bool,
+    ) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let ord = match (&a, &b) {
+            (VmValue::Int(x), VmValue::Int(y)) => x.cmp(y),
+            (VmValue::Bytes(x), VmValue::Bytes(y)) => x.cmp(y),
+            (other, _) => return Err(VmError::Type { op, found: other.type_name() }),
+        };
+        self.free(a.approx_bytes() + b.approx_bytes());
+        self.push(VmValue::Bool(accept(ord)))
+    }
+
+    /// Pop-free compare used by the fused compare-and-branch ops: returns
+    /// the comparison result after mirroring the reference's exact
+    /// pop/free/push-bool accounting (the pushed bool is immediately
+    /// consumed by the branch half, so only its alloc/free is replayed).
+    fn cmp_cond(
+        &mut self,
+        op: &'static str,
+        accept: fn(std::cmp::Ordering) -> bool,
+    ) -> Result<bool, VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let ord = match (&a, &b) {
+            (VmValue::Int(x), VmValue::Int(y)) => x.cmp(y),
+            (VmValue::Bytes(x), VmValue::Bytes(y)) => x.cmp(y),
+            (other, _) => return Err(VmError::Type { op, found: other.type_name() }),
+        };
+        self.free(a.approx_bytes() + b.approx_bytes());
+        self.alloc(16)?; // the bool the compare half pushes…
+        Ok(accept(ord))
+    }
+
+    fn push_const(&mut self, idx: u32) -> Result<(), VmError> {
+        let c = self
+            .module
+            .constants
+            .get(idx as usize)
+            .ok_or_else(|| VmError::BadReference(format!("constant {idx}")))?
+            .clone();
+        self.push(VmValue::Bytes(c))
+    }
+
+    fn len_impl(&mut self) -> Result<(), VmError> {
+        let v = self.pop()?;
+        let len = match &v {
+            VmValue::Bytes(b) => b.len() as i64,
+            VmValue::List(l) => l.len() as i64,
+            other => return Err(VmError::Type { op: "len", found: other.type_name() }),
+        };
+        self.free(v.approx_bytes());
+        self.push(VmValue::Int(len))
+    }
+
+    fn concat_impl(&mut self) -> Result<(), VmError> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        match (a, b) {
+            (VmValue::Bytes(mut a), VmValue::Bytes(b)) => {
+                self.charge((b.len() / 16) as u64)?;
+                a.extend_from_slice(&b);
+                self.free(24 + b.len());
+                self.push(VmValue::Bytes(a))?;
+                // a grew by b.len: account for it.
+                self.alloc(0)
+            }
+            (a, _) => Err(VmError::Type { op: "concat", found: a.type_name() }),
+        }
+    }
+
+    /// Install a new active frame for `func` with `args`; mirrors the
+    /// reference `push_frame` accounting (locals alloc, then charge 2).
+    fn setup_frame(&mut self, func: usize, args: Vec<VmValue>) -> Result<(), VmError> {
+        let def = &self.module.functions[func];
+        if args.len() != def.arity as usize {
+            return Err(VmError::ArityMismatch {
+                name: def.name.clone(),
+                expected: def.arity,
+                got: args.len(),
+            });
+        }
+        let mut locals = args;
+        locals.resize(def.locals.max(def.arity as u16) as usize, VmValue::Unit);
+        let mut live = 0usize;
+        for v in &locals {
+            live += v.approx_bytes();
+        }
+        self.alloc(live)?;
+        self.func = func;
+        self.pc = 0;
+        self.code = &self.lowered.funcs[func].code;
+        self.locals = locals;
+        self.charge(2)
+    }
+
+    /// Tear down the active frame, returning `ret` to the caller (or as
+    /// the final result). `Ok(true)` halts the run loop.
+    fn leave_frame(&mut self, ret: VmValue) -> Result<bool, VmError> {
+        let mut dead = 0usize;
+        for v in self.locals.iter().chain(self.stack.iter()) {
+            dead += v.approx_bytes();
+        }
+        self.free(dead);
+        if let Some(fr) = self.frames.pop() {
+            self.func = fr.func;
+            self.pc = fr.pc;
+            self.code = &self.lowered.funcs[fr.func].code;
+            self.locals = fr.locals;
+            self.stack = fr.stack;
+            let size = ret.approx_bytes();
+            self.stack.push(ret);
+            self.alloc(size)?;
+            Ok(false)
+        } else {
+            self.result = ret;
+            Ok(true)
+        }
+    }
+
+    fn ret_impl(&mut self) -> Result<bool, VmError> {
+        self.settle()?;
+        let ret = self.stack.pop().unwrap_or(VmValue::Unit);
+        self.leave_frame(ret)
+    }
+
+    fn host_call(&mut self, hf: HostFn) -> Result<(), VmError> {
+        // Settle before anything externally visible: a host call must
+        // never execute while the block's slack hides exhaustion.
+        self.settle()?;
+        self.report.host_calls += 1;
+        // The per-call base cost is charged exactly once, here, in both
+        // interpreters (pinned by `host_call_base_fuel_charged_once`).
+        self.charge(HOST_CALL_BASE_FUEL)?;
+        let argc = hf.arg_count();
+        if self.stack.len() < argc {
+            return Err(VmError::StackUnderflow);
+        }
+        let args = self.stack.split_off(self.stack.len() - argc);
+        for a in &args {
+            self.free(a.approx_bytes());
+            self.charge((a.approx_bytes() / 16) as u64)?;
+        }
+
+        let bytes_arg = |v: &VmValue, op: &'static str| -> Result<Vec<u8>, VmError> {
+            v.as_bytes().map(<[u8]>::to_vec).ok_or(VmError::Type { op, found: v.type_name() })
+        };
+        let int_arg = |v: &VmValue, op: &'static str| -> Result<i64, VmError> {
+            v.as_int().ok_or(VmError::Type { op, found: v.type_name() })
+        };
+
+        let result: VmValue = match hf {
+            HostFn::Get => {
+                let key = bytes_arg(&args[0], "host get")?;
+                match self.host.get(&key)? {
+                    Some(v) => VmValue::Bytes(v),
+                    None => VmValue::Unit,
+                }
+            }
+            HostFn::Put => {
+                let key = bytes_arg(&args[0], "host put")?;
+                let value = bytes_arg(&args[1], "host put")?;
+                self.charge((value.len() / 16) as u64)?;
+                self.host.put(&key, &value)?;
+                VmValue::Unit
+            }
+            HostFn::Delete => {
+                let key = bytes_arg(&args[0], "host delete")?;
+                self.host.delete(&key)?;
+                VmValue::Unit
+            }
+            HostFn::Push => {
+                let field = bytes_arg(&args[0], "host push")?;
+                let value = bytes_arg(&args[1], "host push")?;
+                self.charge((value.len() / 16) as u64)?;
+                self.host.push(&field, &value)?;
+                VmValue::Unit
+            }
+            HostFn::Scan => {
+                let field = bytes_arg(&args[0], "host scan")?;
+                let limit = int_arg(&args[1], "host scan")?.max(0) as usize;
+                let newest_first = args[2].is_truthy();
+                let rows = self.host.scan(&field, limit, newest_first)?;
+                let items: Vec<VmValue> = rows.into_iter().map(VmValue::Bytes).collect();
+                VmValue::List(items)
+            }
+            HostFn::Count => {
+                let field = bytes_arg(&args[0], "host count")?;
+                VmValue::Int(self.host.count(&field)? as i64)
+            }
+            HostFn::InvokeMany => {
+                let targets = match &args[0] {
+                    VmValue::List(items) => items
+                        .iter()
+                        .map(|v| {
+                            v.as_bytes().map(<[u8]>::to_vec).ok_or(VmError::Type {
+                                op: "host invoke_many",
+                                found: v.type_name(),
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    other => {
+                        return Err(VmError::Type {
+                            op: "host invoke_many",
+                            found: other.type_name(),
+                        })
+                    }
+                };
+                let method =
+                    String::from_utf8_lossy(&bytes_arg(&args[1], "host invoke_many")?).into_owned();
+                let call_args = match &args[2] {
+                    VmValue::List(items) => items.clone(),
+                    VmValue::Unit => Vec::new(),
+                    other => {
+                        return Err(VmError::Type {
+                            op: "host invoke_many",
+                            found: other.type_name(),
+                        })
+                    }
+                };
+                let results = self.host.invoke_many(targets, &method, call_args)?;
+                VmValue::List(results)
+            }
+            HostFn::Invoke => {
+                let object = bytes_arg(&args[0], "host invoke")?;
+                let method =
+                    String::from_utf8_lossy(&bytes_arg(&args[1], "host invoke")?).into_owned();
+                let call_args = match &args[2] {
+                    VmValue::List(items) => items.clone(),
+                    VmValue::Unit => Vec::new(),
+                    other => {
+                        return Err(VmError::Type { op: "host invoke", found: other.type_name() })
+                    }
+                };
+                self.host.invoke(&object, &method, call_args)?
+            }
+            HostFn::SelfId => VmValue::Bytes(self.host.self_id()),
+            HostFn::Time => VmValue::Int(self.host.now_millis()),
+            HostFn::Log => {
+                let msg = bytes_arg(&args[0], "host log")?;
+                self.host.log(&String::from_utf8_lossy(&msg));
+                VmValue::Unit
+            }
+            HostFn::Abort => {
+                let msg = bytes_arg(&args[0], "host abort")?;
+                return Err(VmError::Host(HostError::Aborted(
+                    String::from_utf8_lossy(&msg).into_owned(),
+                )));
+            }
+        };
+        self.charge((result.approx_bytes() / 16) as u64)?;
+        self.push(result)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Op handlers. Every handler bumps `pending` once per retired *original*
+// instruction, before any fallible step of that instruction, so an error
+// exit settles exactly the prefix the reference interpreter charged.
+//
+// The `op_*` bodies below keep the readable `Result<bool, VmError>` shape;
+// `table_ops!` generates the table-facing `t_*` wrapper for each, which
+// converts to the one-word control-code ABI. Each wrapper is the sole
+// caller of its body, so the body inlines and the `Result` never
+// materialises in the compiled hot loop. The widest superinstructions are
+// written directly against the control-code ABI further down.
+// ---------------------------------------------------------------------------
+
+/// Early-return `FAULT` from a control-code handler when `$e` errs.
+macro_rules! fail {
+    ($vm:expr, $e:expr) => {
+        if let Err(e) = $e {
+            return $vm.raise(e);
+        }
+    };
+}
+
+macro_rules! table_ops {
+    ($($t:ident => $f:ident),* $(,)?) => {
+        $(
+            fn $t(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+                match $f(vm, i) {
+                    Ok(false) => CONT,
+                    Ok(true) => HALT,
+                    Err(e) => vm.raise(e),
+                }
+            }
+        )*
+    };
+}
+
+table_ops! {
+    t_push_int => op_push_int,
+    t_push_bool => op_push_bool,
+    t_push_unit => op_push_unit,
+    t_push_const => op_push_const,
+    t_dup => op_dup,
+    t_pop => op_pop,
+    t_swap => op_swap,
+    t_load => op_load,
+    t_store => op_store,
+    t_add => op_add,
+    t_sub => op_sub,
+    t_mul => op_mul,
+    t_div => op_div,
+    t_mod => op_mod,
+    t_eq => op_eq,
+    t_lt => op_lt,
+    t_le => op_le,
+    t_not => op_not,
+    t_concat => op_concat,
+    t_len => op_len,
+    t_itob => op_itob,
+    t_btoi => op_btoi,
+    t_make_list => op_make_list,
+    t_index => op_index,
+    t_append => op_append,
+    t_jump_fwd => op_jump_fwd,
+    t_jump_back => op_jump_back,
+    t_jump_bad => op_jump_bad,
+    t_jz_fwd => op_jz_fwd,
+    t_jz_back => op_jz_back,
+    t_jz_bad => op_jz_bad,
+    t_call => op_call,
+    t_call_bad => op_call_bad,
+    t_ret => op_ret,
+    t_implicit_ret => op_implicit_ret,
+    t_host => op_host,
+    t_trap => op_trap,
+    t_load_load => op_load_load,
+    t_load_concat => op_load_concat,
+    t_load_push_int => op_load_push_int,
+    t_load_host => op_load_host,
+    t_load_ret => op_load_ret,
+    t_const_load => op_const_load,
+    t_const_host => op_const_host,
+    t_push_int_store => op_push_int_store,
+    t_const_store => op_const_store,
+    t_add_store => op_add_store,
+    t_concat_store => op_concat_store,
+    t_store_load => op_store_load,
+    t_unit_ret => op_unit_ret,
+    t_lt_jz => op_lt_jz,
+    t_le_jz => op_le_jz,
+    t_eq_jz => op_eq_jz,
+}
+
+fn op_push_int(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push(VmValue::Int(i.imm))?;
+    Ok(false)
+}
+
+fn op_push_bool(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push(VmValue::Bool(i.a != 0))?;
+    Ok(false)
+}
+
+fn op_push_unit(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push(VmValue::Unit)?;
+    Ok(false)
+}
+
+fn op_push_const(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push_const(i.a)?;
+    Ok(false)
+}
+
+fn op_dup(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let top = vm.stack.last().ok_or(VmError::StackUnderflow)?.clone();
+    vm.push(top)?;
+    Ok(false)
+}
+
+fn op_pop(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let v = vm.pop()?;
+    vm.free(v.approx_bytes());
+    Ok(false)
+}
+
+fn op_swap(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let len = vm.stack.len();
+    if len < 2 {
+        return Err(VmError::StackUnderflow);
+    }
+    vm.stack.swap(len - 1, len - 2);
+    Ok(false)
+}
+
+fn op_load(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.load_local(i.a)?;
+    Ok(false)
+}
+
+fn op_store(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.store_local(i.a)?;
+    Ok(false)
+}
+
+fn op_add(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.int_binop("add", i64::checked_add)?;
+    Ok(false)
+}
+
+fn op_sub(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.int_binop("sub", i64::checked_sub)?;
+    Ok(false)
+}
+
+fn op_mul(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.int_binop("mul", i64::checked_mul)?;
+    Ok(false)
+}
+
+fn op_div(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.int_binop("div", i64::checked_div)?;
+    Ok(false)
+}
+
+fn op_mod(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.int_binop("mod", i64::checked_rem)?;
+    Ok(false)
+}
+
+fn op_eq(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let b = vm.pop()?;
+    let a = vm.pop()?;
+    vm.free(a.approx_bytes() + b.approx_bytes());
+    vm.push(VmValue::Bool(a == b))?;
+    Ok(false)
+}
+
+fn op_lt(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.cmp_binop("lt", std::cmp::Ordering::is_lt)?;
+    Ok(false)
+}
+
+fn op_le(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.cmp_binop("le", std::cmp::Ordering::is_le)?;
+    Ok(false)
+}
+
+fn op_not(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let v = vm.pop()?;
+    vm.free(v.approx_bytes());
+    vm.push(VmValue::Bool(!v.is_truthy()))?;
+    Ok(false)
+}
+
+fn op_concat(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.concat_impl()?;
+    Ok(false)
+}
+
+fn op_len(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.len_impl()?;
+    Ok(false)
+}
+
+fn op_itob(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let v = vm.pop_int("itob")?;
+    vm.push(VmValue::Bytes(v.to_le_bytes().to_vec()))?;
+    Ok(false)
+}
+
+fn op_btoi(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let v = vm.pop()?;
+    let n = match &v {
+        VmValue::Unit => 0,
+        VmValue::Int(i) => *i,
+        VmValue::Bytes(b) if b.len() <= 8 => {
+            let mut buf = [0u8; 8];
+            buf[..b.len()].copy_from_slice(b);
+            i64::from_le_bytes(buf)
+        }
+        VmValue::Bytes(_) => return Err(VmError::Trap("btoi: more than 8 bytes".into())),
+        other => return Err(VmError::Type { op: "btoi", found: other.type_name() }),
+    };
+    vm.free(v.approx_bytes());
+    vm.push(VmValue::Int(n))?;
+    Ok(false)
+}
+
+fn op_make_list(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let n = i.a as usize;
+    if vm.stack.len() < n {
+        return Err(VmError::StackUnderflow);
+    }
+    let items = vm.stack.split_off(vm.stack.len() - n);
+    vm.push(VmValue::List(items))?;
+    Ok(false)
+}
+
+fn op_index(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let idx = vm.pop_int("index")?;
+    let list = vm.pop()?;
+    match list {
+        VmValue::List(items) => {
+            let item = items.get(idx as usize).cloned().ok_or_else(|| {
+                VmError::Trap(format!("list index {idx} out of bounds (len {})", items.len()))
+            })?;
+            vm.free(VmValue::List(items).approx_bytes());
+            vm.push(item)?;
+            Ok(false)
+        }
+        other => Err(VmError::Type { op: "index", found: other.type_name() }),
+    }
+}
+
+fn op_append(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let v = vm.pop()?;
+    let list = vm.pop()?;
+    match list {
+        VmValue::List(mut items) => {
+            items.push(v);
+            vm.push(VmValue::List(items))?;
+            Ok(false)
+        }
+        other => Err(VmError::Type { op: "append", found: other.type_name() }),
+    }
+}
+
+fn op_jump_fwd(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.pc = i.a as usize;
+    Ok(false)
+}
+
+fn op_jump_back(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.settle()?;
+    vm.pc = i.a as usize;
+    Ok(false)
+}
+
+fn op_jump_bad(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    Err(VmError::BadReference(format!("jump to {}", i.a)))
+}
+
+fn op_jz_fwd(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let v = vm.pop()?;
+    vm.free(v.approx_bytes());
+    if !v.is_truthy() {
+        vm.pc = i.a as usize;
+    }
+    Ok(false)
+}
+
+fn op_jz_back(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let v = vm.pop()?;
+    vm.free(v.approx_bytes());
+    if !v.is_truthy() {
+        vm.settle()?;
+        vm.pc = i.a as usize;
+    }
+    Ok(false)
+}
+
+fn op_jz_bad(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let v = vm.pop()?;
+    vm.free(v.approx_bytes());
+    if !v.is_truthy() {
+        return Err(VmError::BadReference(format!("jump to {}", i.a)));
+    }
+    Ok(false)
+}
+
+fn op_call(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.settle()?;
+    let func = i.a as usize;
+    let arity = vm.lowered.funcs[func].arity as usize;
+    if vm.stack.len() < arity {
+        return Err(VmError::StackUnderflow);
+    }
+    let args = vm.stack.split_off(vm.stack.len() - arity);
+    // The active frame counts toward the depth the reference sees.
+    if vm.frames.len() + 1 >= vm.limits.call_depth {
+        return Err(VmError::CallDepthExceeded);
+    }
+    vm.frames.push(SavedFrame {
+        func: vm.func,
+        pc: vm.pc,
+        stack: std::mem::take(&mut vm.stack),
+        locals: std::mem::take(&mut vm.locals),
+    });
+    vm.setup_frame(func, args)?;
+    Ok(false)
+}
+
+fn op_call_bad(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    Err(VmError::BadReference(format!("function {}", i.a)))
+}
+
+fn op_ret(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.ret_impl()
+}
+
+/// Fall off the end of a function (or jump to `code.len()`): implicit
+/// `ret` of Unit. Retires no original instruction and charges nothing,
+/// but still settles — which can never newly exhaust, since every charge
+/// up to here was already within budget in the reference execution.
+fn op_implicit_ret(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.settle()?;
+    vm.leave_frame(VmValue::Unit)
+}
+
+fn op_host(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.host_call(host_from(i.a))?;
+    Ok(false)
+}
+
+fn op_trap(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let msg = vm
+        .module
+        .constants
+        .get(i.a as usize)
+        .map(|c| String::from_utf8_lossy(c).into_owned())
+        .unwrap_or_else(|| format!("trap #{}", i.a));
+    Err(VmError::Trap(msg))
+}
+
+// --- superinstructions ---
+
+fn op_load_load(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.load_local(i.a)?;
+    vm.pending += 1;
+    vm.load_local(i.b)?;
+    Ok(false)
+}
+
+fn op_load_concat(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.load_local(i.a)?;
+    vm.pending += 1;
+    vm.concat_impl()?;
+    Ok(false)
+}
+
+fn op_load_push_int(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.load_local(i.a)?;
+    vm.pending += 1;
+    vm.push(VmValue::Int(i.imm))?;
+    Ok(false)
+}
+
+fn op_load_host(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.load_local(i.a)?;
+    vm.pending += 1;
+    vm.host_call(host_from(i.b))?;
+    Ok(false)
+}
+
+fn op_load_ret(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.load_local(i.a)?;
+    vm.pending += 1;
+    vm.ret_impl()
+}
+
+fn op_const_load(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push_const(i.a)?;
+    vm.pending += 1;
+    vm.load_local(i.b)?;
+    Ok(false)
+}
+
+fn op_const_host(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push_const(i.a)?;
+    vm.pending += 1;
+    vm.host_call(host_from(i.b))?;
+    Ok(false)
+}
+
+fn op_push_int_store(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push(VmValue::Int(i.imm))?;
+    vm.pending += 1;
+    vm.store_local(i.a)?;
+    Ok(false)
+}
+
+fn op_add_store(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.int_binop("add", i64::checked_add)?;
+    vm.pending += 1;
+    vm.store_local(i.a)?;
+    Ok(false)
+}
+
+fn op_const_store(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push_const(i.a)?;
+    vm.pending += 1;
+    vm.store_local(i.b)?;
+    Ok(false)
+}
+
+fn op_concat_store(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.concat_impl()?;
+    vm.pending += 1;
+    vm.store_local(i.a)?;
+    Ok(false)
+}
+
+fn op_store_load(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.store_local(i.a)?;
+    vm.pending += 1;
+    vm.load_local(i.b)?;
+    Ok(false)
+}
+
+fn op_unit_ret(vm: &mut Vm<'_, '_>, _i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    vm.push(VmValue::Unit)?;
+    vm.pending += 1;
+    vm.ret_impl()
+}
+
+fn op_lt_jz(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let cond = vm.cmp_cond("lt", std::cmp::Ordering::is_lt)?;
+    vm.pending += 1;
+    vm.free(16); // …and the branch half pops it again
+    if !cond {
+        vm.pc = i.a as usize;
+    }
+    Ok(false)
+}
+
+fn op_le_jz(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let cond = vm.cmp_cond("le", std::cmp::Ordering::is_le)?;
+    vm.pending += 1;
+    vm.free(16);
+    if !cond {
+        vm.pc = i.a as usize;
+    }
+    Ok(false)
+}
+
+fn op_eq_jz(vm: &mut Vm<'_, '_>, i: &LInstr) -> Result<bool, VmError> {
+    vm.pending += 1;
+    let b = vm.pop()?;
+    let a = vm.pop()?;
+    vm.free(a.approx_bytes() + b.approx_bytes());
+    let cond = a == b;
+    vm.alloc(16)?;
+    vm.pending += 1;
+    vm.free(16);
+    if !cond {
+        vm.pc = i.a as usize;
+    }
+    Ok(false)
+}
+
+// ---------------------------------------------------------------------------
+// Direct control-code superinstructions. These are the inner-loop shapes
+// of counted ReTwis bodies; each carries a fast path that keeps `Int`
+// operands off the operand stack entirely, replaying only the reference
+// interpreter's fuel bumps and alloc/free sequence (pops never free;
+// loads, pushes, and compare results alloc; stores free the old slot).
+// The slow path falls back to the exact helper sequence so type errors,
+// bad locals, and non-int compares stay bit-identical.
+// ---------------------------------------------------------------------------
+
+/// `load a; len` — when the local is measurable, skip cloning it onto the
+/// stack: replay the clone's alloc/free and push the length directly.
+fn t_load_len(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+    let measured = match vm.locals.get(i.a as usize) {
+        Some(VmValue::Bytes(b)) => Some((b.len() as i64, 24 + b.len())),
+        Some(v @ VmValue::List(l)) => Some((l.len() as i64, v.approx_bytes())),
+        _ => None,
+    };
+    if let Some((len, approx)) = measured {
+        vm.pending += 1;
+        fail!(vm, vm.alloc(approx)); // the load's clone…
+        vm.pending += 1;
+        vm.free(approx); // …which len immediately consumes
+        fail!(vm, vm.push(VmValue::Int(len)));
+    } else {
+        vm.pending += 1;
+        fail!(vm, vm.load_local(i.a));
+        vm.pending += 1;
+        fail!(vm, vm.len_impl());
+    }
+    CONT
+}
+
+/// `push.i v; add` — increment the stack top in place when it is an int.
+fn t_push_int_add(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+    if let Some(&VmValue::Int(x)) = vm.stack.last() {
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // the pushed literal
+        vm.pending += 1;
+        let Some(r) = x.checked_add(i.imm) else {
+            return vm.raise(VmError::Trap("arithmetic fault in add".into()));
+        };
+        fail!(vm, vm.alloc(16)); // the sum the add pushes
+        *vm.stack.last_mut().expect("stack top checked above") = VmValue::Int(r);
+    } else {
+        vm.pending += 1;
+        fail!(vm, vm.push(VmValue::Int(i.imm)));
+        vm.pending += 1;
+        fail!(vm, vm.int_binop("add", i64::checked_add));
+    }
+    CONT
+}
+
+/// `store` of an int a fast path kept off the stack: replace the slot and
+/// free what it held (the popped value itself is never freed — pops don't
+/// free in the reference accounting either).
+#[inline(always)]
+fn store_int(vm: &mut Vm<'_, '_>, s: u32, r: i64) -> u32 {
+    let old = match vm.locals.get_mut(s as usize) {
+        Some(slot) => std::mem::replace(slot, VmValue::Int(r)),
+        None => return vm.raise(VmError::BadReference(format!("local {s}"))),
+    };
+    vm.free(old.approx_bytes());
+    CONT
+}
+
+/// `load a; load b; add; store s`.
+fn t_ll_add_store(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+    let (a, b, s) = (i.a & 0xffff, i.a >> 16, i.b);
+    if let (Some(&VmValue::Int(x)), Some(&VmValue::Int(y))) =
+        (vm.locals.get(a as usize), vm.locals.get(b as usize))
+    {
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // load a
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // load b
+        vm.pending += 1;
+        let Some(r) = x.checked_add(y) else {
+            return vm.raise(VmError::Trap("arithmetic fault in add".into()));
+        };
+        fail!(vm, vm.alloc(16)); // the sum the add pushes
+        vm.pending += 1;
+        store_int(vm, s, r)
+    } else {
+        vm.pending += 1;
+        fail!(vm, vm.load_local(a));
+        vm.pending += 1;
+        fail!(vm, vm.load_local(b));
+        vm.pending += 1;
+        fail!(vm, vm.int_binop("add", i64::checked_add));
+        vm.pending += 1;
+        fail!(vm, vm.store_local(s));
+        CONT
+    }
+}
+
+/// `load a; push.i v; add; store s` — the counter-increment tail.
+fn t_load_inc_store(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+    let (a, s) = (i.a, i.b);
+    if let Some(&VmValue::Int(x)) = vm.locals.get(a as usize) {
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // load a
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // push.i v
+        vm.pending += 1;
+        let Some(r) = x.checked_add(i.imm) else {
+            return vm.raise(VmError::Trap("arithmetic fault in add".into()));
+        };
+        fail!(vm, vm.alloc(16)); // the sum the add pushes
+        vm.pending += 1;
+        store_int(vm, s, r)
+    } else {
+        vm.pending += 1;
+        fail!(vm, vm.load_local(a));
+        vm.pending += 1;
+        fail!(vm, vm.push(VmValue::Int(i.imm)));
+        vm.pending += 1;
+        fail!(vm, vm.int_binop("add", i64::checked_add));
+        vm.pending += 1;
+        fail!(vm, vm.store_local(s));
+        CONT
+    }
+}
+
+/// Shared body of the `load; load; cmp; jz` loop heads.
+fn ll_cmp_jz(
+    vm: &mut Vm<'_, '_>,
+    i: &LInstr,
+    op: &'static str,
+    accept: fn(std::cmp::Ordering) -> bool,
+) -> u32 {
+    let (a, b) = (i.b & 0xffff, i.b >> 16);
+    if let (Some(&VmValue::Int(x)), Some(&VmValue::Int(y))) =
+        (vm.locals.get(a as usize), vm.locals.get(b as usize))
+    {
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // load a
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // load b
+        vm.pending += 1;
+        vm.free(32); // the compare pops both…
+        fail!(vm, vm.alloc(16)); // …and pushes its bool
+        vm.pending += 1;
+        vm.free(16); // which the branch pops
+        if !accept(x.cmp(&y)) {
+            vm.pc = i.a as usize;
+        }
+    } else {
+        vm.pending += 1;
+        fail!(vm, vm.load_local(a));
+        vm.pending += 1;
+        fail!(vm, vm.load_local(b));
+        vm.pending += 1;
+        let cond = match vm.cmp_cond(op, accept) {
+            Ok(c) => c,
+            Err(e) => return vm.raise(e),
+        };
+        vm.pending += 1;
+        vm.free(16);
+        if !cond {
+            vm.pc = i.a as usize;
+        }
+    }
+    CONT
+}
+
+/// `load a; load b; lt; jz t`.
+fn t_ll_lt_jz(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+    ll_cmp_jz(vm, i, "lt", std::cmp::Ordering::is_lt)
+}
+
+/// `load a; load b; le; jz t`.
+fn t_ll_le_jz(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+    ll_cmp_jz(vm, i, "le", std::cmp::Ordering::is_le)
+}
+
+/// `load a; push.i v; lt; jz t` — counted loop head against a literal.
+fn t_load_int_lt_jz(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+    if let Some(&VmValue::Int(x)) = vm.locals.get(i.b as usize) {
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // load a
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // push.i v
+        vm.pending += 1;
+        vm.free(32); // the compare pops both…
+        fail!(vm, vm.alloc(16)); // …and pushes its bool
+        vm.pending += 1;
+        vm.free(16); // which the branch pops
+        if x >= i.imm {
+            vm.pc = i.a as usize;
+        }
+    } else {
+        vm.pending += 1;
+        fail!(vm, vm.load_local(i.b));
+        vm.pending += 1;
+        fail!(vm, vm.push(VmValue::Int(i.imm)));
+        vm.pending += 1;
+        let cond = match vm.cmp_cond("lt", std::cmp::Ordering::is_lt) {
+            Ok(c) => c,
+            Err(e) => return vm.raise(e),
+        };
+        vm.pending += 1;
+        vm.free(16);
+        if !cond {
+            vm.pc = i.a as usize;
+        }
+    }
+    CONT
+}
+
+/// `load a; load b; itob; concat; store s` — build a "prefix + int id"
+/// field key into a local. The fast path assembles the key in a single
+/// allocation — no prefix clone, no itob temporary, no stack traffic —
+/// while replaying the reference accounting exactly, including concat's
+/// dynamic charge (which settles fuel) and its double-count of the
+/// extended value.
+fn t_build_key_store(vm: &mut Vm<'_, '_>, i: &LInstr) -> u32 {
+    let (a, b, s) = ((i.a & 0xffff) as usize, (i.a >> 16) as usize, i.b);
+    let fast = match (vm.locals.get(a), vm.locals.get(b)) {
+        (Some(VmValue::Bytes(ab)), Some(&VmValue::Int(x))) => Some((ab.len(), x)),
+        _ => None,
+    };
+    if let Some((alen, x)) = fast {
+        vm.pending += 1;
+        fail!(vm, vm.alloc(24 + alen)); // load a clones the prefix
+        vm.pending += 1;
+        fail!(vm, vm.alloc(16)); // load b pushes the int
+        vm.pending += 1;
+        fail!(vm, vm.alloc(32)); // itob's 8-byte temporary
+        vm.pending += 1;
+        // Concat charges suffix.len()/16 = 0 for the 8-byte itob result,
+        // but the charge still settles pending fuel at this exact point.
+        fail!(vm, vm.charge(0));
+        vm.free(24 + 8); // concat consumes the temporary…
+        fail!(vm, vm.alloc(24 + alen + 8)); // …and pushes the extended key
+        vm.pending += 1; // store
+        let mut key = Vec::with_capacity(alen + 8);
+        match &vm.locals[a] {
+            VmValue::Bytes(ab) => key.extend_from_slice(ab),
+            _ => unreachable!("type checked above; accounting does not touch locals"),
+        }
+        key.extend_from_slice(&x.to_le_bytes());
+        let old = match vm.locals.get_mut(s as usize) {
+            Some(slot) => std::mem::replace(slot, VmValue::Bytes(key)),
+            None => return vm.raise(VmError::BadReference(format!("local {s}"))),
+        };
+        vm.free(old.approx_bytes());
+        CONT
+    } else {
+        vm.pending += 1;
+        fail!(vm, vm.load_local(a as u32));
+        vm.pending += 1;
+        fail!(vm, vm.load_local(b as u32));
+        vm.pending += 1;
+        let v = match vm.pop_int("itob") {
+            Ok(v) => v,
+            Err(e) => return vm.raise(e),
+        };
+        fail!(vm, vm.push(VmValue::Bytes(v.to_le_bytes().to_vec())));
+        vm.pending += 1;
+        fail!(vm, vm.concat_impl());
+        vm.pending += 1;
+        fail!(vm, vm.store_local(s));
+        CONT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+
+    fn widths(src: &str) -> Vec<usize> {
+        let m = assemble(src).expect("assembles");
+        let (starts, _) = group_plan(&m.functions[0].code);
+        starts.iter().map(|&(_, w)| w).collect()
+    }
+
+    /// The counted sum loop must lower to two init pairs, three quads
+    /// (loop head, accumulate tail, increment tail), the back-edge, and
+    /// the return pair — 7 dispatches for 19 instructions.
+    #[test]
+    fn fuser_covers_counted_sum_loop() {
+        let w = widths(
+            r#"
+            fn spin(1) locals=3 {
+                push.i 0
+                store 1
+                push.i 0
+                store 2
+            head:
+                load 2
+                load 0
+                lt
+                jz done
+                load 1
+                load 2
+                add
+                store 1
+                load 2
+                push.i 1
+                add
+                store 2
+                jmp head
+            done:
+                load 1
+                ret
+            }
+            "#,
+        );
+        assert_eq!(w, vec![2, 2, 4, 4, 4, 1, 2]);
+    }
+
+    /// The key-building body must pick up the five-wide
+    /// `load;load;itob;concat;store` idiom, and the `store;load` pair
+    /// before the increment must yield to the wider increment quad.
+    #[test]
+    fn fuser_covers_key_building_loop() {
+        let w = widths(
+            r#"
+            fn fields(1) locals=6 {
+                push.s "user:"
+                store 1
+                push.i 0
+                store 5
+            head:
+                load 5
+                load 0
+                lt
+                jz done
+                load 1
+                load 5
+                itob
+                concat
+                store 2
+                load 2
+                len
+                store 3
+                load 3
+                store 4
+                load 5
+                push.i 1
+                add
+                store 5
+                jmp head
+            done:
+                load 4
+                ret
+            }
+            "#,
+        );
+        assert_eq!(w, vec![2, 2, 4, 5, 2, 2, 1, 4, 1, 2]);
+    }
+
+    /// A jump target inside a would-be group must break the fusion: the
+    /// whole group decays to singles/pairs so the jump lands correctly.
+    #[test]
+    fn leaders_break_groups() {
+        let w = widths(
+            r#"
+            fn f(1) locals=2 {
+                load 0
+                load 0
+                load 0
+                jz mid
+                pop
+                push.i 1
+            mid:
+                add
+                store 1
+                load 1
+                ret
+            }
+            "#,
+        );
+        // `mid` is a leader, so `push.i; add` must not fuse across it;
+        // the tail still pairs into add+store and load+ret.
+        assert_eq!(w, vec![2, 1, 1, 1, 1, 2, 2]);
+    }
+}
