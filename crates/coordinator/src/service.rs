@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
+use lambda_net::rpc::sync_handler;
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_paxos::{PaxosConfig, PaxosNode};
 use lambda_telemetry::{Counter, Registry};
@@ -176,7 +177,7 @@ impl Coordinator {
         // Service endpoint.
         let handler_shared = Arc::clone(&shared);
         let handler_paxos = Arc::clone(&paxos);
-        let handler = Arc::new(move |_from: NodeId, body: Vec<u8>| -> Result<Vec<u8>, String> {
+        let handler = sync_handler(move |_from: NodeId, body: Vec<u8>| {
             let req: CoordRequest = wire::from_bytes(&body).map_err(|e| e.to_string())?;
             let resp = match req {
                 CoordRequest::Heartbeat { node, watch } => {
@@ -475,7 +476,7 @@ mod tests {
             .iter()
             .map(|&id| Coordinator::start(&net, id, ids.clone(), fast_config()))
             .collect();
-        let client_rpc = RpcNode::start(&net, NodeId(999), Arc::new(|_, _| Ok(vec![])), 1);
+        let client_rpc = RpcNode::start(&net, NodeId(999), lambda_net::null_handler(), 1);
         let client = CoordClient::new(Arc::clone(&client_rpc), ids, Duration::from_secs(2));
         TestCluster { net, coords, client, _client_rpc: client_rpc }
     }
@@ -564,7 +565,7 @@ mod tests {
         let _watch_rpc = RpcNode::start(
             &tc.net,
             NodeId(555),
-            Arc::new(move |_, body| {
+            sync_handler(move |_, body| {
                 if let Ok(CoordEvent::StateChanged(st)) = wire::from_bytes(&body) {
                     seen2.lock().push(st.version);
                 }

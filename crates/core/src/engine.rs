@@ -115,6 +115,14 @@ pub struct EngineStats {
 /// deletes, as shipped by primary-to-backup replication.
 pub type WriteSetOps = Vec<(Vec<u8>, Option<Vec<u8>>)>;
 
+/// Completion for a deferred commit-hook fan-out: invoked exactly once
+/// with the replication outcome.
+pub type CommitCallback = Box<dyn FnOnce(std::result::Result<(), String>) + Send>;
+
+/// Completion for a deferred invocation: invoked exactly once with the
+/// final result.
+pub type InvokeCompletion = Box<dyn FnOnce(Result<VmValue>) + Send>;
+
 pub trait CommitHook: Send + Sync {
     /// Called with the object and the operations just committed locally
     /// (`None` value = deletion). `ctx` carries the committing
@@ -129,6 +137,21 @@ pub trait CommitHook: Send + Sync {
         object: &ObjectId,
         ops: &[(Vec<u8>, Option<Vec<u8>>)],
     ) -> std::result::Result<(), String>;
+
+    /// Deferred variant used by the non-blocking invocation pipeline:
+    /// implementations that replicate over the network should kick off the
+    /// fan-out and complete `done` from their ack-processing thread instead
+    /// of parking this one. The default falls back to the blocking
+    /// [`on_commit`](CommitHook::on_commit) and completes inline.
+    fn on_commit_deferred(
+        &self,
+        ctx: &InvocationContext,
+        object: &ObjectId,
+        ops: WriteSetOps,
+        done: CommitCallback,
+    ) {
+        done(self.on_commit(ctx, object, &ops));
+    }
 }
 
 /// The LambdaObjects execution engine of one storage node.
@@ -574,6 +597,281 @@ impl Engine {
                 Err(e)
             }
         }
+    }
+
+    /// Invoke without parking this thread: `done` runs exactly once with
+    /// the invocation's result, on whichever thread drives the final step —
+    /// inline when everything is free, the lock-releasing thread when the
+    /// invocation queued behind the object, the group-commit leader's
+    /// thread after the kv write, or the replication ack thread when the
+    /// commit hook defers.
+    ///
+    /// Semantically identical to [`Engine::invoke_ctx`] at depth 0: same
+    /// cache, dedup, scheduling, span and counter behaviour. Nested calls
+    /// made *by* the method still run synchronously on the executing
+    /// thread (they are bounded by `max_depth`, not by client fan-in).
+    pub fn invoke_deferred(
+        self: &Arc<Self>,
+        ctx: &InvocationContext,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        external: bool,
+        done: InvokeCompletion,
+    ) {
+        let ty = match self.object_type(object) {
+            Ok(ty) => ty,
+            Err(e) => {
+                done(Err(e));
+                return;
+            }
+        };
+        let meta = match ty.method_meta(method) {
+            Some(m) => m,
+            None => {
+                done(Err(InvokeError::UnknownMethod(method.to_string())));
+                return;
+            }
+        };
+        if external && !meta.public {
+            done(Err(InvokeError::NotPublic(method.to_string())));
+            return;
+        }
+        let read_only = meta.read_only;
+        let cacheable = self.cache_enabled && read_only && meta.deterministic;
+        if cacheable {
+            if let Some(hit) = self.cache.lookup(object, method, &args) {
+                self.cache_hits.incr();
+                self.invocations.incr();
+                done(Ok(hit));
+                return;
+            }
+        }
+
+        let this = Arc::clone(self);
+        let ctx = *ctx;
+        let obj = object.clone();
+        let method = method.to_string();
+        let queue_start = Instant::now();
+        self.scheduler.acquire_deferred(
+            object,
+            &[],
+            !read_only,
+            &ctx,
+            Box::new(move |granted| match granted {
+                Err(e) => {
+                    this.aborts.incr();
+                    done(Err(e));
+                }
+                Ok(guard) => {
+                    this.registry.record_span(ctx.trace_id, Stage::Queue, queue_start.elapsed());
+                    this.execute_granted(
+                        ctx, obj, ty, method, args, external, read_only, cacheable, guard, done,
+                    );
+                }
+            }),
+        );
+    }
+
+    /// The execute step of a deferred invocation: runs on the thread that
+    /// was granted the object lock. The VM itself executes synchronously
+    /// here; only the commit/replicate tail defers further.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_granted(
+        self: &Arc<Self>,
+        ctx: InvocationContext,
+        object: ObjectId,
+        ty: Arc<ObjectType>,
+        method: String,
+        args: Vec<VmValue>,
+        external: bool,
+        read_only: bool,
+        cacheable: bool,
+        guard: crate::scheduler::ObjectGuard,
+        done: InvokeCompletion,
+    ) {
+        // Exactly-once under retries, as in the sync path: checked under
+        // the object guard so the first delivery's commit is visible.
+        let dedup = external && !read_only && ctx.invocation_id != 0;
+        if dedup {
+            match self.db.get(&keys::dedup_key(&object, ctx.invocation_id)) {
+                Ok(Some(rec)) => {
+                    if let Some(result) = decode_dedup_record(&rec) {
+                        self.duplicates_suppressed.incr();
+                        self.invocations.incr();
+                        drop(guard);
+                        done(Ok(result));
+                        return;
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    drop(guard);
+                    done(Err(e.into()));
+                    return;
+                }
+            }
+        }
+
+        let snapshot_seq = self.db.last_sequence();
+        let mut host = ObjectHost::new(
+            &self.db,
+            object.clone(),
+            snapshot_seq,
+            read_only,
+            cacheable,
+            Some(self.as_ref()),
+            0,
+            Some(guard),
+        );
+        host.ctx = ctx;
+
+        let exec_start = Instant::now();
+        let outcome: std::result::Result<VmValue, InvokeError> = match &ty.methods {
+            MethodSet::Bytecode(module) => self
+                .interpreter
+                .execute(module, &method, args.clone(), &mut host)
+                .map_err(InvokeError::from),
+            MethodSet::Native(reg) => {
+                reg.invoke(&method, args.clone(), &mut host).map_err(InvokeError::from)
+            }
+        };
+        self.registry.record_span(ctx.trace_id, Stage::Execute, exec_start.elapsed());
+        self.nested_calls.add(host.nested_calls);
+
+        match outcome {
+            Ok(value) => {
+                let read_set = host.buffer.read_set();
+                debug_assert!(
+                    !read_only || host.buffer.is_clean(),
+                    "read-only invocation buffered writes"
+                );
+                if !host.buffer.is_clean() {
+                    let written = host.buffer.written_keys();
+                    let mut batch = host.buffer.take_batch();
+                    if dedup {
+                        self.append_dedup_record(&object, ctx.invocation_id, &value, &mut batch);
+                    }
+                    // Keep the object guard alive through commit and
+                    // replication: it travels into the completion chain and
+                    // is dropped (releasing the lock) wherever the chain
+                    // finishes.
+                    let guard = host.guard.take();
+                    drop(host);
+                    self.commit_deferred(ctx, object, batch, written, guard, value, done);
+                    return;
+                }
+                drop(host);
+                self.invocations.incr();
+                if cacheable {
+                    self.cache.insert(&object, &method, &args, value.clone(), read_set);
+                }
+                done(Ok(value));
+            }
+            Err(e) => {
+                host.buffer.discard();
+                drop(host);
+                self.aborts.incr();
+                if let InvokeError::Nested(msg) = &e {
+                    if msg.contains('\x1f') {
+                        done(Err(crate::error::decode_error(msg)));
+                        return;
+                    }
+                }
+                done(Err(e));
+            }
+        }
+    }
+
+    /// The commit/replicate tail of a deferred invocation: hand the batch
+    /// to the deferred group commit, then (on the committing thread) run
+    /// the commit hook's deferred fan-out, and finally complete `done`.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_deferred(
+        self: &Arc<Self>,
+        ctx: InvocationContext,
+        object: ObjectId,
+        mut batch: WriteBatch,
+        written_keys: Vec<Vec<u8>>,
+        guard: Option<crate::scheduler::ObjectGuard>,
+        value: VmValue,
+        done: InvokeCompletion,
+    ) {
+        let vkey = keys::version_key(&object);
+        let version = self.object_version(&object) + 1;
+        batch.put(vkey.clone(), version.to_le_bytes().to_vec());
+        let commit_start = Instant::now();
+        let this = Arc::clone(self);
+        let hook_batch = batch.clone();
+        self.db.write_deferred(
+            batch,
+            Box::new(move |res| {
+                this.registry.record_span(ctx.trace_id, Stage::Commit, commit_start.elapsed());
+                if let Err(e) = res {
+                    drop(guard);
+                    done(Err(e.into()));
+                    return;
+                }
+                let hook = this.commit_hook.read().clone();
+                match hook {
+                    None => this.finish_commit(object, vkey, written_keys, guard, Ok(value), done),
+                    Some(hook) => {
+                        let ops: WriteSetOps = hook_batch
+                            .iter()
+                            .map(|op| match op {
+                                lambda_kv::batch::BatchOp::Put { key, value } => {
+                                    (key.clone(), Some(value.clone()))
+                                }
+                                lambda_kv::batch::BatchOp::Delete { key } => (key.clone(), None),
+                            })
+                            .collect();
+                        let this2 = Arc::clone(&this);
+                        let obj = object.clone();
+                        let replicate_start = Instant::now();
+                        hook.on_commit_deferred(
+                            &ctx,
+                            &object,
+                            ops,
+                            Box::new(move |hook_res| {
+                                this2.registry.record_span(
+                                    ctx.trace_id,
+                                    Stage::Replicate,
+                                    replicate_start.elapsed(),
+                                );
+                                let result = match hook_res {
+                                    Ok(()) => Ok(value),
+                                    Err(msg) => Err(InvokeError::Storage(msg)),
+                                };
+                                this2.finish_commit(obj, vkey, written_keys, guard, result, done);
+                            }),
+                        );
+                    }
+                }
+            }),
+        );
+    }
+
+    /// Last step of a deferred mutating invocation: bump counters,
+    /// invalidate overlapping cache entries, release the object lock and
+    /// complete the caller.
+    fn finish_commit(
+        &self,
+        _object: ObjectId,
+        vkey: Vec<u8>,
+        written_keys: Vec<Vec<u8>>,
+        guard: Option<crate::scheduler::ObjectGuard>,
+        result: Result<VmValue>,
+        done: InvokeCompletion,
+    ) {
+        if result.is_ok() {
+            self.commits.incr();
+            self.invocations.incr();
+        }
+        let mut all_keys: Vec<&[u8]> = written_keys.iter().map(Vec::as_slice).collect();
+        all_keys.push(&vkey);
+        self.cache.invalidate_keys(all_keys);
+        drop(guard);
+        done(result);
     }
 
     /// Add a dedup record for `invocation_id` to `batch` and evict the
@@ -1208,6 +1506,164 @@ mod tests {
             .get(&keys::dedup_key(&id, ctxs[0].invocation_id))
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn deferred_invoke_matches_sync_semantics() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        let ctx = InvocationContext::client(std::time::Duration::from_secs(30));
+        let (tx, rx) = std::sync::mpsc::channel();
+        env.engine.invoke_deferred(
+            &ctx,
+            &id,
+            "bump_raw",
+            vec![VmValue::str("9")],
+            true,
+            Box::new(move |res| tx.send(res).unwrap()),
+        );
+        assert!(rx.recv().unwrap().is_ok());
+        assert_eq!(env.engine.object_version(&id), 1);
+        // Same span chain as the sync path.
+        let spans = env.engine.registry().spans_for(ctx.trace_id);
+        let stages: Vec<Stage> = spans.iter().map(|s| s.stage).collect();
+        assert!(stages.contains(&Stage::Queue), "{stages:?}");
+        assert!(stages.contains(&Stage::Execute), "{stages:?}");
+        assert!(stages.contains(&Stage::Commit), "{stages:?}");
+        // And the value is durably visible afterwards.
+        assert_eq!(env.engine.invoke(&id, "read_count", vec![]).unwrap(), VmValue::str("9"));
+    }
+
+    #[test]
+    fn deferred_invoke_sheds_expired_deadline() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"keep")]).unwrap();
+        let expired = InvocationContext::from_wire(777, 0, 0);
+        let (tx, rx) = std::sync::mpsc::channel();
+        env.engine.invoke_deferred(
+            &expired,
+            &id,
+            "bump_raw",
+            vec![VmValue::str("x")],
+            true,
+            Box::new(move |res| tx.send(res).unwrap()),
+        );
+        assert_eq!(rx.recv().unwrap().unwrap_err(), InvokeError::DeadlineExceeded);
+        assert_eq!(env.engine.invoke(&id, "read_count", vec![]).unwrap(), VmValue::str("keep"));
+        assert_eq!(env.engine.stats().scheduler.shed, 1);
+    }
+
+    #[test]
+    fn deferred_invoke_queued_behind_holder_completes_on_releasing_thread() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/hot");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        // Hold the object's lock so the deferred invocation must queue.
+        let guard = env.engine.scheduler().acquire_exclusive(&id, &[]);
+        let ctx = InvocationContext::client(std::time::Duration::from_secs(30));
+        let (tx, rx) = std::sync::mpsc::channel();
+        env.engine.invoke_deferred(
+            &ctx,
+            &id,
+            "bump_raw",
+            vec![VmValue::str("later")],
+            true,
+            Box::new(move |res| tx.send((res, std::thread::current().id())).unwrap()),
+        );
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_millis(50)).is_err(),
+            "must wait for the lock holder"
+        );
+        let releaser = std::thread::spawn(move || {
+            drop(guard);
+            std::thread::current().id()
+        });
+        let releaser_id = releaser.join().unwrap();
+        let (res, ran_on) = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        assert!(res.is_ok());
+        assert_eq!(ran_on, releaser_id, "execution rides the releasing thread");
+        assert_eq!(env.engine.invoke(&id, "read_count", vec![]).unwrap(), VmValue::str("later"));
+    }
+
+    #[test]
+    fn deferred_invoke_suppresses_duplicates() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        let ctx = InvocationContext::client(std::time::Duration::from_secs(30));
+        let call = |ctx: &InvocationContext| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            env.engine.invoke_deferred(
+                ctx,
+                &id,
+                "bump_raw",
+                vec![VmValue::str("9")],
+                true,
+                Box::new(move |res| tx.send(res).unwrap()),
+            );
+            rx.recv().unwrap().unwrap()
+        };
+        let first = call(&ctx);
+        let mut retry = ctx;
+        retry.attempt = 1;
+        let second = call(&retry);
+        assert_eq!(second, first, "recorded result served verbatim");
+        assert_eq!(env.engine.object_version(&id), 1, "no second commit");
+        assert_eq!(env.engine.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn deferred_invoke_runs_commit_hook_and_reports_failures() {
+        struct FailingHook;
+        impl CommitHook for FailingHook {
+            fn on_commit(
+                &self,
+                _ctx: &InvocationContext,
+                _object: &ObjectId,
+                _ops: &[(Vec<u8>, Option<Vec<u8>>)],
+            ) -> std::result::Result<(), String> {
+                Err("replica down".into())
+            }
+        }
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"0")]).unwrap();
+        env.engine.set_commit_hook(Arc::new(FailingHook));
+        let ctx = InvocationContext::client(std::time::Duration::from_secs(30));
+        let (tx, rx) = std::sync::mpsc::channel();
+        env.engine.invoke_deferred(
+            &ctx,
+            &id,
+            "bump_raw",
+            vec![VmValue::str("1")],
+            true,
+            Box::new(move |res| tx.send(res).unwrap()),
+        );
+        let err = rx.recv().unwrap().unwrap_err();
+        assert!(matches!(err, InvokeError::Storage(_)), "{err}");
+    }
+
+    #[test]
+    fn deferred_invoke_read_only_uses_cache() {
+        let env = setup(EngineConfig::default());
+        let id = oid("c/1");
+        env.engine.create_object("Counter", &id, &[("count", b"x")]).unwrap();
+        let ctx = InvocationContext::client(std::time::Duration::from_secs(30));
+        for _ in 0..3 {
+            let (tx, rx) = std::sync::mpsc::channel();
+            env.engine.invoke_deferred(
+                &ctx,
+                &id,
+                "read_count",
+                vec![],
+                true,
+                Box::new(move |res| tx.send(res).unwrap()),
+            );
+            assert_eq!(rx.recv().unwrap().unwrap(), VmValue::str("x"));
+        }
+        assert_eq!(env.engine.stats().cache_hits, 2, "first fills, rest hit");
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub enum InvokeError {
     /// The object's shard has lost every replica; until an operator (or a
     /// restarted former member) revives it, no node can serve the object.
     ShardUnavailable(String),
+    /// Admission control refused the request because the node's run queue
+    /// was over depth. Retryable: unlike [`DeadlineExceeded`]
+    /// (`InvokeError::DeadlineExceeded`), the deadline budget has *not*
+    /// burned — the node shed early precisely so the client can back off
+    /// and try again (or try elsewhere) within the same budget.
+    Overloaded(String),
 }
 
 impl fmt::Display for InvokeError {
@@ -56,6 +62,7 @@ impl fmt::Display for InvokeError {
             InvokeError::WrongNode(msg) => write!(f, "wrong node for object: {msg}"),
             InvokeError::DeadlineExceeded => write!(f, "invocation deadline exceeded"),
             InvokeError::ShardUnavailable(msg) => write!(f, "shard unavailable: {msg}"),
+            InvokeError::Overloaded(msg) => write!(f, "node overloaded: {msg}"),
         }
     }
 }
@@ -105,6 +112,7 @@ pub fn encode_error(e: &InvokeError) -> String {
         InvokeError::WrongNode(s) => format!("wrong_node\x1f{s}"),
         InvokeError::DeadlineExceeded => "deadline_exceeded\x1f".to_string(),
         InvokeError::ShardUnavailable(s) => format!("shard_unavailable\x1f{s}"),
+        InvokeError::Overloaded(s) => format!("overloaded\x1f{s}"),
     }
 }
 
@@ -127,6 +135,7 @@ pub fn decode_error(s: &str) -> InvokeError {
         "wrong_node" => InvokeError::WrongNode(rest),
         "deadline_exceeded" => InvokeError::DeadlineExceeded,
         "shard_unavailable" => InvokeError::ShardUnavailable(rest),
+        "overloaded" => InvokeError::Overloaded(rest),
         _ => InvokeError::Nested(s.to_string()),
     }
 }
@@ -151,6 +160,7 @@ mod tests {
             InvokeError::WrongNode("moved".into()),
             InvokeError::DeadlineExceeded,
             InvokeError::ShardUnavailable("shard 3 lost".into()),
+            InvokeError::Overloaded("run queue full".into()),
         ];
         for e in &errors {
             assert!(!e.to_string().is_empty());
@@ -173,6 +183,7 @@ mod tests {
             InvokeError::WrongNode("shard 3".into()),
             InvokeError::DeadlineExceeded,
             InvokeError::ShardUnavailable("no replicas".into()),
+            InvokeError::Overloaded("depth 128".into()),
         ];
         for e in errors {
             assert_eq!(decode_error(&encode_error(&e)), e, "{e}");

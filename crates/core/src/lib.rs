@@ -79,15 +79,18 @@ pub mod transaction;
 pub use buffer::{value_hash, WriteBuffer};
 pub use cache::{args_hash, CacheStats, ConsistentCache};
 pub use engine::{
-    CommitHook, Engine, EngineConfig, EngineStats, InvokeRouter, WriteSetOps, DEDUP_WINDOW,
+    CommitCallback, CommitHook, Engine, EngineConfig, EngineStats, InvokeCompletion, InvokeRouter,
+    WriteSetOps, DEDUP_WINDOW,
 };
 pub use error::{decode_error, encode_error, InvokeError, Result};
 pub use host::{NestedInvoker, ObjectHost};
 pub use migration::ObjectSnapshot;
 pub use object::{FieldDef, FieldKind, MethodMeta, MethodSet, ObjectId, ObjectType, TypeRegistry};
-pub use scheduler::{ObjectGuard, Scheduler, SchedulerMode, SchedulerStats};
+pub use scheduler::{GrantCallback, ObjectGuard, Scheduler, SchedulerMode, SchedulerStats};
 pub use transaction::TxCall;
 
 // Telemetry substrate re-exports: the context and registry types are part
 // of the engine's public API surface (invoke_ctx, with_registry).
-pub use lambda_telemetry::{Counter, InvocationContext, Origin, Registry, SpanRecord, Stage};
+pub use lambda_telemetry::{
+    Counter, Gauge, InvocationContext, Origin, Registry, SpanRecord, Stage,
+};

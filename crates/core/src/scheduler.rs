@@ -9,12 +9,20 @@
 //! invocations share it. Alternative modes exist for the scheduler
 //! ablation (ABL-SCHED in DESIGN.md): one global lock (coarse), or no
 //! locking at all (unsafe, for measuring what the locks cost).
+//!
+//! The lock is a FIFO queue of waiters rather than a thread-parking
+//! rwlock: a waiter may be a parked thread (the blocking `acquire_*`
+//! calls) **or** a continuation ([`Scheduler::acquire_deferred`]) that the
+//! releasing thread runs when the grant happens. Deferred waiters are what
+//! let an RPC worker hand off a queued invocation and go serve other
+//! requests instead of parking on a hot object.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+use crossbeam::channel;
 use lambda_telemetry::{Counter, InvocationContext, Registry};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::error::InvokeError;
 use crate::object::ObjectId;
@@ -44,11 +52,103 @@ pub struct SchedulerStats {
     pub shed: u64,
 }
 
+/// Completion for a deferred lock acquisition.
+pub type GrantCallback = Box<dyn FnOnce(Result<ObjectGuard, InvokeError>) + Send>;
+
+struct Waiter {
+    exclusive: bool,
+    /// Deadline carried into the queue; checked again at grant time.
+    ctx: Option<InvocationContext>,
+    grant: GrantCallback,
+}
+
+#[derive(Default)]
+struct LockState {
+    readers: usize,
+    writer: bool,
+    queue: VecDeque<Waiter>,
+}
+
+/// One object's lock: mode bits plus the FIFO waiter queue.
+struct ObjectLock {
+    state: Mutex<LockState>,
+    shed: Counter,
+}
+
+impl ObjectLock {
+    fn new(shed: Counter) -> ObjectLock {
+        ObjectLock { state: Mutex::new(LockState::default()), shed }
+    }
+
+    fn busy(&self) -> bool {
+        let st = self.state.lock();
+        st.writer || st.readers > 0 || !st.queue.is_empty()
+    }
+
+    /// Release one holder and hand the lock to the next waiters in FIFO
+    /// order (one writer, or a batch of contiguous readers). Expired
+    /// waiters are shed here — at dequeue — before any execute/commit
+    /// work. Grant continuations run on the releasing thread, outside the
+    /// lock's mutex.
+    fn release(self: &Arc<Self>, exclusive: bool) {
+        let mut grants: Vec<(GrantCallback, Result<ObjectGuard, InvokeError>)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            if exclusive {
+                debug_assert!(st.writer);
+                st.writer = false;
+            } else {
+                debug_assert!(st.readers > 0);
+                st.readers -= 1;
+            }
+            self.grant_locked(&mut st, &mut grants);
+        }
+        for (grant, result) in grants {
+            grant(result);
+        }
+    }
+
+    fn grant_locked(
+        self: &Arc<Self>,
+        st: &mut LockState,
+        grants: &mut Vec<(GrantCallback, Result<ObjectGuard, InvokeError>)>,
+    ) {
+        while let Some(front) = st.queue.front() {
+            // Shed waiters whose budget died in the queue, regardless of
+            // whether the lock is free for them.
+            if front.ctx.as_ref().is_some_and(InvocationContext::expired) {
+                let w = st.queue.pop_front().expect("front exists");
+                self.shed.incr();
+                grants.push((w.grant, Err(InvokeError::DeadlineExceeded)));
+                continue;
+            }
+            if front.exclusive {
+                if st.writer || st.readers > 0 {
+                    break;
+                }
+                let w = st.queue.pop_front().expect("front exists");
+                st.writer = true;
+                let guard = ObjectGuard { lock: Some((Arc::clone(self), true)) };
+                grants.push((w.grant, Ok(guard)));
+                break;
+            }
+            // Shared: admit a batch of contiguous readers.
+            if st.writer {
+                break;
+            }
+            let w = st.queue.pop_front().expect("front exists");
+            st.readers += 1;
+            let guard = ObjectGuard { lock: Some((Arc::clone(self), false)) };
+            grants.push((w.grant, Ok(guard)));
+        }
+    }
+}
+
 /// Grants and tracks object locks.
 pub struct Scheduler {
     mode: SchedulerMode,
-    locks: Mutex<HashMap<ObjectId, Arc<RwLock<()>>>>,
-    global: Arc<RwLock<()>>,
+    locks: Mutex<HashMap<ObjectId, Arc<ObjectLock>>>,
+    global: Arc<ObjectLock>,
     exclusive: Counter,
     shared: Counter,
     shed: Counter,
@@ -60,9 +160,12 @@ impl std::fmt::Debug for Scheduler {
     }
 }
 
-/// A held object lock; released on drop.
+/// A held object lock; released on drop. Plain data (`Send`), so it can
+/// travel with a deferred invocation across threads — from the granting
+/// thread through commit and replication completion — and be dropped
+/// wherever the reply finally happens.
 pub struct ObjectGuard {
-    _lock: Option<GuardKind>,
+    lock: Option<(Arc<ObjectLock>, bool)>,
 }
 
 impl std::fmt::Debug for ObjectGuard {
@@ -71,21 +174,25 @@ impl std::fmt::Debug for ObjectGuard {
     }
 }
 
-enum GuardKind {
-    Shared(#[allow(dead_code)] parking_lot::ArcRwLockReadGuard<parking_lot::RawRwLock, ()>),
-    Exclusive(#[allow(dead_code)] parking_lot::ArcRwLockWriteGuard<parking_lot::RawRwLock, ()>),
+impl Drop for ObjectGuard {
+    fn drop(&mut self) {
+        if let Some((lock, exclusive)) = self.lock.take() {
+            lock.release(exclusive);
+        }
+    }
 }
 
 impl Scheduler {
     /// A scheduler with the given discipline and private counters.
     pub fn new(mode: SchedulerMode) -> Scheduler {
+        let shed = Counter::new();
         Scheduler {
             mode,
             locks: Mutex::new(HashMap::new()),
-            global: Arc::new(RwLock::new(())),
+            global: Arc::new(ObjectLock::new(shed.clone())),
             exclusive: Counter::new(),
             shared: Counter::new(),
-            shed: Counter::new(),
+            shed,
         }
     }
 
@@ -93,13 +200,14 @@ impl Scheduler {
     /// `sched_shared`, `sched_shed`), so node stats and scheduler stats are
     /// views over the same cells.
     pub fn with_registry(mode: SchedulerMode, registry: &Registry) -> Scheduler {
+        let shed = registry.counter("sched_shed");
         Scheduler {
             mode,
             locks: Mutex::new(HashMap::new()),
-            global: Arc::new(RwLock::new(())),
+            global: Arc::new(ObjectLock::new(shed.clone())),
             exclusive: registry.counter("sched_exclusive"),
             shared: registry.counter("sched_shared"),
-            shed: registry.counter("sched_shed"),
+            shed,
         }
     }
 
@@ -108,13 +216,65 @@ impl Scheduler {
         self.mode
     }
 
-    fn lock_for(&self, object: &ObjectId) -> Arc<RwLock<()>> {
+    fn lock_for(&self, object: &ObjectId) -> Arc<ObjectLock> {
         match self.mode {
             SchedulerMode::Global => Arc::clone(&self.global),
             _ => {
                 let mut locks = self.locks.lock();
-                Arc::clone(locks.entry(object.clone()).or_default())
+                Arc::clone(
+                    locks
+                        .entry(object.clone())
+                        .or_insert_with(|| Arc::new(ObjectLock::new(self.shed.clone()))),
+                )
             }
+        }
+    }
+
+    /// Core acquire: immediate grant when the lock is free (FIFO — an
+    /// empty queue), else enqueue. Returns the guard (and the unused grant
+    /// callback) when immediate, or `None` after parking `grant` in the
+    /// queue.
+    fn acquire_with(
+        &self,
+        object: &ObjectId,
+        exclusive: bool,
+        ctx: Option<InvocationContext>,
+        grant: GrantCallback,
+    ) -> Option<(ObjectGuard, GrantCallback)> {
+        let lock = self.lock_for(object);
+        let mut st = lock.state.lock();
+        let free = if exclusive {
+            !st.writer && st.readers == 0 && st.queue.is_empty()
+        } else {
+            !st.writer && st.queue.is_empty()
+        };
+        if free {
+            if exclusive {
+                st.writer = true;
+            } else {
+                st.readers += 1;
+            }
+            drop(st);
+            Some((ObjectGuard { lock: Some((lock, exclusive)) }, grant))
+        } else {
+            st.queue.push_back(Waiter { exclusive, ctx, grant });
+            None
+        }
+    }
+
+    fn acquire_blocking(
+        &self,
+        object: &ObjectId,
+        exclusive: bool,
+        ctx: Option<InvocationContext>,
+    ) -> Result<ObjectGuard, InvokeError> {
+        let (tx, rx) = channel::bounded(1);
+        let grant: GrantCallback = Box::new(move |res| {
+            let _ = tx.send(res);
+        });
+        match self.acquire_with(object, exclusive, ctx, grant) {
+            Some((guard, _unused_grant)) => Ok(guard),
+            None => rx.recv().expect("lock queue never drops waiters"),
         }
     }
 
@@ -125,20 +285,18 @@ impl Scheduler {
     pub fn acquire_exclusive(&self, object: &ObjectId, held: &[ObjectId]) -> ObjectGuard {
         self.exclusive.incr();
         if self.mode == SchedulerMode::Unsafe || held.contains(object) {
-            return ObjectGuard { _lock: None };
+            return ObjectGuard { lock: None };
         }
-        let lock = self.lock_for(object);
-        ObjectGuard { _lock: Some(GuardKind::Exclusive(lock.write_arc())) }
+        self.acquire_blocking(object, true, None).expect("no deadline: cannot be shed")
     }
 
     /// Acquire `object` for a read-only invocation (shared).
     pub fn acquire_shared(&self, object: &ObjectId, held: &[ObjectId]) -> ObjectGuard {
         self.shared.incr();
         if self.mode == SchedulerMode::Unsafe || held.contains(object) {
-            return ObjectGuard { _lock: None };
+            return ObjectGuard { lock: None };
         }
-        let lock = self.lock_for(object);
-        ObjectGuard { _lock: Some(GuardKind::Shared(lock.read_arc())) }
+        self.acquire_blocking(object, false, None).expect("no deadline: cannot be shed")
     }
 
     /// Deadline-aware acquire: queue for `object`, then *re-check the
@@ -161,18 +319,59 @@ impl Scheduler {
             self.shed.incr();
             return Err(InvokeError::DeadlineExceeded);
         }
-        let guard = if exclusive {
-            self.acquire_exclusive(object, held)
+        if exclusive {
+            self.exclusive.incr();
         } else {
-            self.acquire_shared(object, held)
-        };
-        // Dequeue-time check: the wait itself may have consumed the budget.
+            self.shared.incr();
+        }
+        if self.mode == SchedulerMode::Unsafe || held.contains(object) {
+            return Ok(ObjectGuard { lock: None });
+        }
+        let guard = self.acquire_blocking(object, exclusive, Some(*ctx))?;
+        // Grant-time race: the budget may have run out right as the lock
+        // was handed over.
         if ctx.expired() {
             drop(guard);
             self.shed.incr();
             return Err(InvokeError::DeadlineExceeded);
         }
         Ok(guard)
+    }
+
+    /// Deferred deadline-aware acquire: like
+    /// [`acquire_ctx`](Scheduler::acquire_ctx), but instead of parking this
+    /// thread the continuation `cont` runs when the lock is granted — on
+    /// *this* thread when the lock is free right now, else on whichever
+    /// thread releases the lock. Waiters whose deadline expires in the
+    /// queue are shed with [`InvokeError::DeadlineExceeded`] at grant time.
+    pub fn acquire_deferred(
+        &self,
+        object: &ObjectId,
+        held: &[ObjectId],
+        exclusive: bool,
+        ctx: &InvocationContext,
+        cont: GrantCallback,
+    ) {
+        if ctx.expired() {
+            self.shed.incr();
+            cont(Err(InvokeError::DeadlineExceeded));
+            return;
+        }
+        if exclusive {
+            self.exclusive.incr();
+        } else {
+            self.shared.incr();
+        }
+        if self.mode == SchedulerMode::Unsafe || held.contains(object) {
+            cont(Ok(ObjectGuard { lock: None }));
+            return;
+        }
+        // `acquire_with` either grants immediately (we run the
+        // continuation inline on this thread) or parks `cont` in the FIFO
+        // queue for the releasing thread to run.
+        if let Some((guard, cont)) = self.acquire_with(object, exclusive, Some(*ctx), cont) {
+            cont(Ok(guard));
+        }
     }
 
     /// Counter snapshot.
@@ -188,7 +387,7 @@ impl Scheduler {
     /// long-running nodes with many short-lived objects).
     pub fn gc(&self) {
         let mut locks = self.locks.lock();
-        locks.retain(|_, l| Arc::strong_count(l) > 1 || l.is_locked());
+        locks.retain(|_, l| Arc::strong_count(l) > 1 || l.busy());
     }
 
     /// Number of objects with materialized locks.
@@ -385,5 +584,114 @@ mod tests {
         let _g = sched.acquire_exclusive(&oid("live"), &[]);
         sched.gc();
         assert_eq!(sched.tracked_objects(), 1);
+    }
+
+    #[test]
+    fn deferred_acquire_runs_inline_when_free() {
+        let sched = Scheduler::default();
+        let ctx = InvocationContext::client(Duration::from_secs(5));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        sched.acquire_deferred(
+            &oid("a"),
+            &[],
+            true,
+            &ctx,
+            Box::new(move |res| {
+                assert!(res.is_ok());
+                ran2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "free lock grants inline");
+    }
+
+    #[test]
+    fn deferred_acquire_granted_by_releasing_thread() {
+        let sched = Arc::new(Scheduler::default());
+        let id = oid("hot");
+        let ctx = InvocationContext::client(Duration::from_secs(5));
+        let g = sched.acquire_exclusive(&id, &[]);
+        let (tx, rx) = channel::unbounded();
+        sched.acquire_deferred(
+            &id,
+            &[],
+            true,
+            &ctx,
+            Box::new(move |res| {
+                tx.send(std::thread::current().id()).unwrap();
+                drop(res);
+            }),
+        );
+        assert!(rx.try_recv().is_err(), "must wait for the holder");
+        let releaser = std::thread::spawn(move || {
+            drop(g);
+            std::thread::current().id()
+        });
+        let releaser_id = releaser.join().unwrap();
+        let granted_on = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(granted_on, releaser_id, "continuation runs on the releasing thread");
+    }
+
+    #[test]
+    fn deferred_waiter_expired_in_queue_is_shed_at_grant() {
+        let sched = Arc::new(Scheduler::default());
+        let id = oid("slow");
+        let g = sched.acquire_exclusive(&id, &[]);
+        let ctx = InvocationContext::from_wire(7, 20_000_000, 0); // 20ms budget
+        let (tx, rx) = channel::unbounded();
+        sched.acquire_deferred(
+            &id,
+            &[],
+            true,
+            &ctx,
+            Box::new(move |res| tx.send(res.map(|_| ())).unwrap()),
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        drop(g);
+        let res = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(matches!(res, Err(InvokeError::DeadlineExceeded)), "{res:?}");
+        assert_eq!(sched.stats().shed, 1);
+    }
+
+    #[test]
+    fn guard_is_send_across_threads() {
+        let sched = Arc::new(Scheduler::default());
+        let g = sched.acquire_exclusive(&oid("a"), &[]);
+        // Move the guard to another thread and drop it there; a blocked
+        // waiter must then be granted.
+        let sched2 = Arc::clone(&sched);
+        let t = std::thread::spawn(move || {
+            let _g2 = sched2.acquire_exclusive(&oid("a"), &[]);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished());
+        std::thread::spawn(move || drop(g)).join().unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn fifo_writer_not_starved_by_readers() {
+        let sched = Arc::new(Scheduler::default());
+        let id = oid("a");
+        let r1 = sched.acquire_shared(&id, &[]);
+        // Writer queues behind the reader...
+        let sched2 = Arc::clone(&sched);
+        let id2 = id.clone();
+        let w = std::thread::spawn(move || {
+            let _g = sched2.acquire_exclusive(&id2, &[]);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // ...so a late reader queues behind the writer (no barging).
+        let sched3 = Arc::clone(&sched);
+        let id3 = id.clone();
+        let r2 = std::thread::spawn(move || {
+            let _g = sched3.acquire_shared(&id3, &[]);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!w.is_finished(), "writer waits for reader");
+        assert!(!r2.is_finished(), "late reader must not barge past the queued writer");
+        drop(r1);
+        w.join().unwrap();
+        r2.join().unwrap();
     }
 }

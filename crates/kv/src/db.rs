@@ -111,20 +111,37 @@ struct WriteState {
     wal_number: u64,
 }
 
-/// A writer parked in the commit queue.
+/// Completion for a deferred write: invoked exactly once, on the thread
+/// that led the group commit containing the batch (or on the caller's
+/// thread when the caller itself led, or when validation failed).
+pub type WriteCallback = Box<dyn FnOnce(Result<()>) + Send>;
+
+/// Deferred completions collected while finishing a commit group, paired
+/// with the result each should be invoked with (run outside the locks).
+type FinishedWrites = Vec<(WriteCallback, Result<()>)>;
+
+/// A writer in the commit queue — a parked thread ([`Db::write`]) or a
+/// completion callback ([`Db::write_deferred`]).
 ///
 /// The queue implements leader/follower group commit: the writer at the
 /// front of the queue is the leader. It drains every batch queued behind it,
 /// appends them all to the WAL under one sync, assigns sequence numbers in
 /// queue order, then posts each follower its result and promotes the next
-/// queued writer (if any) to leader.
-#[derive(Debug)]
+/// queued writer (if any) to leader. Deferred writers never park: their
+/// callback is run by the committing thread once their batch is durable,
+/// and when one would be *promoted*, the finishing leader's thread simply
+/// leads that group too.
 struct CommitWaiter {
     state: Mutex<WaiterState>,
     cv: Condvar,
 }
 
-#[derive(Debug)]
+impl std::fmt::Debug for CommitWaiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitWaiter").finish()
+    }
+}
+
 struct WaiterState {
     /// The writer's batch; taken by the leader when it forms a group.
     batch: Option<WriteBatch>,
@@ -133,6 +150,10 @@ struct WaiterState {
     /// Set (with `result`) once a leader has committed this waiter's batch.
     done: bool,
     result: Option<Result<()>>,
+    /// Deferred completion; `None` for parked-thread writers. Present (and
+    /// untaken) exactly until the waiter is finished, so `is_some()` also
+    /// distinguishes deferred from parked waiters in the queue.
+    callback: Option<WriteCallback>,
 }
 
 impl CommitWaiter {
@@ -143,6 +164,20 @@ impl CommitWaiter {
                 leader: false,
                 done: false,
                 result: None,
+                callback: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn new_deferred(batch: WriteBatch, callback: WriteCallback) -> Self {
+        CommitWaiter {
+            state: Mutex::new(WaiterState {
+                batch: Some(batch),
+                leader: false,
+                done: false,
+                result: None,
+                callback: Some(callback),
             }),
             cv: Condvar::new(),
         }
@@ -372,18 +407,7 @@ impl Db {
         if batch.is_empty() {
             return Ok(());
         }
-        for op in batch.iter() {
-            if op.key().is_empty() {
-                return Err(KvError::InvalidArgument("empty key".into()));
-            }
-            if op.key().len() > MAX_KEY_LEN {
-                return Err(KvError::InvalidArgument(format!(
-                    "key length {} exceeds maximum {}",
-                    op.key().len(),
-                    MAX_KEY_LEN
-                )));
-            }
-        }
+        validate_batch(&batch)?;
 
         // Enqueue; the writer at the front of the queue leads the next group.
         let waiter = Arc::new(CommitWaiter::new(batch));
@@ -414,11 +438,78 @@ impl Db {
             // Promoted: fall through and lead the next group.
         }
 
-        self.lead_commit(&waiter)
+        self.commit_from(waiter)
+    }
+
+    /// Commit a batch without parking this thread: `done` runs exactly once
+    /// with the batch's result — inline when validation fails or when this
+    /// thread ends up leading the group itself (nobody else was committing),
+    /// otherwise on whichever thread leads the group commit that makes the
+    /// batch durable.
+    ///
+    /// This is what lets an invocation pipeline hand a write to the
+    /// group-commit machinery and go serve other requests instead of
+    /// stalling a thread on the WAL sync.
+    pub fn write_deferred(&self, batch: WriteBatch, done: WriteCallback) {
+        if batch.is_empty() {
+            done(Ok(()));
+            return;
+        }
+        if let Err(e) = validate_batch(&batch) {
+            done(Err(e));
+            return;
+        }
+        let waiter = Arc::new(CommitWaiter::new_deferred(batch, done));
+        let is_leader = {
+            let mut queue = self.inner.commit_queue.lock();
+            queue.push_back(Arc::clone(&waiter));
+            queue.len() == 1
+        };
+        if is_leader {
+            // Nobody is committing: this thread leads (and runs `done`).
+            let _ = self.commit_from(waiter);
+        }
+        // Otherwise the current leader folds the batch into its group (or
+        // its thread is handed the lead when this waiter reaches the front)
+        // and runs `done` once the batch is durable.
+    }
+
+    /// Lead group commits starting from `leader` (which must be the front
+    /// of the commit queue) until the queue is empty or a *parked* writer is
+    /// promoted. When the next-in-line writer is deferred there is no thread
+    /// to wake, so this thread keeps the lead and commits that group too.
+    /// All deferred completions collected along the way run here, after
+    /// every lock is released (a callback may well issue the next write).
+    ///
+    /// Returns the first group's result — the caller's own, when the caller
+    /// enqueued a batch.
+    fn commit_from(&self, mut leader: Arc<CommitWaiter>) -> Result<()> {
+        let mut first_result: Option<Result<()>> = None;
+        let mut callbacks: Vec<(WriteCallback, Result<()>)> = Vec::new();
+        loop {
+            let (res, cbs, next) = self.lead_one_group(&leader);
+            callbacks.extend(cbs);
+            if first_result.is_none() {
+                first_result = Some(res);
+            }
+            match next {
+                Some(n) => leader = n,
+                None => break,
+            }
+        }
+        for (cb, res) in callbacks {
+            cb(res);
+        }
+        first_result.expect("led at least one group")
     }
 
     /// Lead one group commit. `own` must be the front of the commit queue.
-    fn lead_commit(&self, own: &Arc<CommitWaiter>) -> Result<()> {
+    /// Returns `(own's result, deferred completions to run, the next
+    /// leader if it is deferred and this thread must keep committing)`.
+    fn lead_one_group(
+        &self,
+        own: &Arc<CommitWaiter>,
+    ) -> (Result<()>, FinishedWrites, Option<Arc<CommitWaiter>>) {
         let mut ws = self.inner.write.lock();
 
         // Form the group: every writer queued up to now, in arrival order.
@@ -466,9 +557,9 @@ impl Db {
             Err(e) => {
                 // The whole group fails: nothing was applied, so no state
                 // advances and every writer sees an error.
-                self.finish_group(&group, Some(&e));
+                let (cbs, next) = self.finish_group(&group, Some(&e));
                 drop(ws);
-                return Err(e);
+                return (Err(e), cbs, next);
             }
         };
 
@@ -497,42 +588,74 @@ impl Db {
 
         // Wake followers before the (possibly slow) flush below: their
         // batches are durable and visible, so they need not wait for it.
-        self.finish_group(&group, None);
+        // (Deferred completions still run only after `ws` is released, in
+        // `commit_from` — a callback may re-enter `write`.)
+        let (cbs, next) = self.finish_group(&group, None);
 
         let needs_flush =
             self.inner.mem.read().active.approximate_bytes() >= self.inner.opts.memtable_bytes;
+        let mut res = Ok(());
         if needs_flush {
-            self.flush_locked(&mut ws)?;
+            res = self.flush_locked(&mut ws);
         }
         drop(ws);
-        if needs_flush {
-            self.maybe_compact()?;
+        if needs_flush && res.is_ok() {
+            res = self.maybe_compact();
         }
-        Ok(())
+        (res, cbs, next)
     }
 
     /// Pop the finished group off the queue, post each member its result and
     /// promote the next queued writer (if any) to lead the following group.
-    fn finish_group(&self, group: &[Arc<CommitWaiter>], err: Option<&KvError>) {
+    ///
+    /// Parked members are woken through their condvar; deferred members'
+    /// callbacks are *returned* (paired with their result) for the caller to
+    /// run outside the locks. A parked next-in-line is promoted and woken; a
+    /// deferred next-in-line is returned so the current thread keeps the
+    /// lead.
+    fn finish_group(
+        &self,
+        group: &[Arc<CommitWaiter>],
+        err: Option<&KvError>,
+    ) -> (FinishedWrites, Option<Arc<CommitWaiter>>) {
+        let mut callbacks = Vec::new();
         let mut queue = self.inner.commit_queue.lock();
         for w in group {
             let popped = queue.pop_front().expect("group members stay queued until finished");
             debug_assert!(Arc::ptr_eq(&popped, w));
             let mut st = popped.state.lock();
-            st.done = true;
-            st.result = Some(match err {
+            let result = match err {
                 None => Ok(()),
                 Some(e) => {
                     Err(KvError::Io(std::io::Error::other(format!("group commit failed: {e}"))))
                 }
-            });
+            };
+            if let Some(cb) = st.callback.take() {
+                callbacks.push((cb, result));
+                continue;
+            }
+            st.done = true;
+            st.result = Some(result);
             drop(st);
             popped.cv.notify_one();
         }
-        if let Some(next) = queue.front() {
-            next.state.lock().leader = true;
-            next.cv.notify_one();
-        }
+        let next_deferred = match queue.front() {
+            None => None,
+            Some(next) => {
+                let mut st = next.state.lock();
+                if st.callback.is_some() {
+                    // No thread to wake: hand the lead back to the caller.
+                    drop(st);
+                    Some(Arc::clone(next))
+                } else {
+                    st.leader = true;
+                    drop(st);
+                    next.cv.notify_one();
+                    None
+                }
+            }
+        };
+        (callbacks, next_deferred)
     }
 
     /// Read the newest committed value for `key`.
@@ -810,6 +933,22 @@ impl Db {
     pub fn dir(&self) -> &Path {
         &self.inner.dir
     }
+}
+
+fn validate_batch(batch: &WriteBatch) -> Result<()> {
+    for op in batch.iter() {
+        if op.key().is_empty() {
+            return Err(KvError::InvalidArgument("empty key".into()));
+        }
+        if op.key().len() > MAX_KEY_LEN {
+            return Err(KvError::InvalidArgument(format!(
+                "key length {} exceeds maximum {}",
+                op.key().len(),
+                MAX_KEY_LEN
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// The smallest key strictly greater than every key with `prefix`
@@ -1220,6 +1359,112 @@ mod tests {
         let db = Db::open(&dir, Options::small_for_tests()).unwrap();
         db.write(WriteBatch::new()).unwrap();
         assert_eq!(db.stats().writes, 0);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn deferred_write_leads_inline_when_idle() {
+        let dir = tmpdir("defer-inline");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let caller = std::thread::current().id();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut b = WriteBatch::new();
+        b.put(b"k".to_vec(), b"v".to_vec());
+        db.write_deferred(
+            b,
+            Box::new(move |res| {
+                tx.send((res.is_ok(), std::thread::current().id())).unwrap();
+            }),
+        );
+        let (ok, on) = rx.recv().unwrap();
+        assert!(ok);
+        assert_eq!(on, caller, "idle queue: caller leads and completes inline");
+        assert_eq!(db.get(b"k").unwrap(), Some(b"v".to_vec()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn deferred_write_invalid_batch_fails_inline() {
+        let dir = tmpdir("defer-invalid");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut b = WriteBatch::new();
+        b.put(Vec::new(), b"v".to_vec());
+        db.write_deferred(b, Box::new(move |res| tx.send(res).unwrap()));
+        assert!(matches!(rx.recv().unwrap(), Err(KvError::InvalidArgument(_))));
+        assert_eq!(db.stats().writes, 0);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn deferred_callback_may_issue_the_next_write() {
+        let dir = tmpdir("defer-chain");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let db2 = db.clone();
+        let mut b = WriteBatch::new();
+        b.put(b"first".to_vec(), b"1".to_vec());
+        db.write_deferred(
+            b,
+            Box::new(move |res| {
+                res.unwrap();
+                // Continuation chains re-enter the commit path; this must
+                // not deadlock on the write or queue locks.
+                db2.put(b"second".to_vec(), b"2".to_vec()).unwrap();
+                tx.send(()).unwrap();
+            }),
+        );
+        rx.recv().unwrap();
+        assert_eq!(db.get(b"first").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"second").unwrap(), Some(b"2".to_vec()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mixed_parked_and_deferred_writers_all_commit() {
+        let dir = tmpdir("defer-mixed");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let parked: Vec<_> = (0..4)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        db.put(format!("p{t}-{i:03}").into_bytes(), b"v".to_vec()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let deferred: Vec<_> = (0..4)
+            .map(|t| {
+                let db = db.clone();
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let mut b = WriteBatch::new();
+                        b.put(format!("d{t}-{i:03}").into_bytes(), b"v".to_vec());
+                        let tx = tx.clone();
+                        db.write_deferred(b, Box::new(move |res| tx.send(res).unwrap()));
+                    }
+                })
+            })
+            .collect();
+        for h in parked.into_iter().chain(deferred) {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let completions: Vec<_> = rx.iter().collect();
+        assert_eq!(completions.len(), 200, "every deferred write completes exactly once");
+        assert!(completions.iter().all(Result::is_ok));
+        let s = db.stats();
+        assert_eq!(s.writes, 400);
+        assert_eq!(db.last_sequence(), 400, "gapless seqnos across parked + deferred");
+        for t in 0..4 {
+            for i in 0..50 {
+                assert!(db.get(format!("p{t}-{i:03}").as_bytes()).unwrap().is_some());
+                assert!(db.get(format!("d{t}-{i:03}").as_bytes()).unwrap().is_some());
+            }
+        }
         fs::remove_dir_all(dir).ok();
     }
 }

@@ -60,7 +60,7 @@ pub mod wal;
 
 pub use batch::WriteBatch;
 pub use block_cache::{BlockCache, BlockCacheStats};
-pub use db::{Db, DbStats, Snapshot, StatsSnapshot};
+pub use db::{Db, DbStats, Snapshot, StatsSnapshot, WriteCallback};
 pub use error::{KvError, Result};
 pub use iterator::DbIterator;
 pub use types::{Key, SeqNo, Value, ValueKind};

@@ -21,13 +21,13 @@
 //! # Example
 //!
 //! ```
+//! use lambda_net::rpc::{null_handler, sync_handler};
 //! use lambda_net::{LatencyModel, Network, NodeId, RpcNode};
-//! use std::sync::Arc;
 //! use std::time::Duration;
 //!
 //! let net = Network::new(LatencyModel::instant(), 42);
-//! let _server = RpcNode::start(&net, NodeId(1), Arc::new(|_, body| Ok(body)), 2);
-//! let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+//! let _server = RpcNode::start(&net, NodeId(1), sync_handler(|_, body| Ok(body)), 2);
+//! let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
 //! let reply = client
 //!     .call(NodeId(1), b"echo".to_vec(), Duration::from_secs(1))
 //!     .expect("echo");
@@ -39,7 +39,10 @@ pub mod rpc;
 pub mod sim;
 pub mod wire;
 
-pub use rpc::{Handler, RpcError, RpcNode};
+pub use rpc::{
+    null_handler, sync_handler, AdmissionPolicy, Handler, Responder, RpcConfig, RpcError, RpcNode,
+    RpcQueueStats,
+};
 pub use sim::{
     Envelope, FaultPlan, FaultSpec, LatencyModel, Network, NodeHandle, NodeId, RecvError,
     RecvTimeoutError,

@@ -5,16 +5,24 @@
 //! matches responses to pending calls by id. Calls have timeouts so callers
 //! can survive partitions and node failures (the coordinator relies on this
 //! to detect dead nodes, §4.2.1).
+//!
+//! Replies are **completions, not return values**: a handler receives a
+//! cloneable [`Responder`] owning the request id and the outbound send path,
+//! so it may return without replying and complete the response later from a
+//! commit/ack thread. A still-synchronous handler simply replies inline.
+//! The router admits requests into a depth-bounded run queue and sheds
+//! excess load with an explicit error *before* deadline budgets burn
+//! (see [`RpcConfig::queue_depth`] and [`AdmissionPolicy`]).
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::sim::{Network, NodeHandle, NodeId};
 
@@ -50,9 +58,41 @@ impl fmt::Display for RpcError {
 
 impl std::error::Error for RpcError {}
 
-/// A request handler: `(from, request bytes) -> Result<response, error>`.
-/// Errors travel back to the caller as [`RpcError::Remote`].
-pub type Handler = Arc<dyn Fn(NodeId, Vec<u8>) -> Result<Vec<u8>, String> + Send + Sync>;
+/// A request handler: `(from, request bytes, responder)`. The handler (or
+/// whatever thread it hands the [`Responder`] to) replies exactly once;
+/// errors travel back to the caller as [`RpcError::Remote`].
+pub type Handler = Arc<dyn Fn(NodeId, Vec<u8>, Responder) + Send + Sync>;
+
+/// Completion for a deferred call issued with [`RpcNode::call_deferred`].
+pub type ReplyCallback = Box<dyn FnOnce(Result<Vec<u8>, RpcError>) + Send>;
+
+/// Completion for a deferred fan-out issued with
+/// [`RpcNode::call_many_deferred`]: receives all results in target order.
+pub type ManyReplyCallback = Box<dyn FnOnce(Vec<Result<Vec<u8>, RpcError>>) + Send>;
+
+/// Decides whether a request may be shed when the run queue is over depth.
+/// Returns `Some(error_body)` — the application-level error string to reply
+/// with — when the request is sheddable, `None` when it must be admitted
+/// regardless of depth (replication, repair, other background origins).
+/// The policy sees the raw request body so the store layer can peek its own
+/// envelope header without `lambda-net` learning the format.
+pub type AdmissionPolicy = Arc<dyn Fn(&[u8]) -> Option<String> + Send + Sync>;
+
+/// Wrap a synchronous `(from, body) -> Result` function as a [`Handler`]
+/// that replies inline — the migration path for endpoints that do not need
+/// deferred completion.
+pub fn sync_handler<F>(f: F) -> Handler
+where
+    F: Fn(NodeId, Vec<u8>) -> Result<Vec<u8>, String> + Send + Sync + 'static,
+{
+    Arc::new(move |from, body, responder: Responder| responder.reply(f(from, body)))
+}
+
+/// A handler for endpoints that only issue calls and never serve any: it
+/// acks every request with an empty payload.
+pub fn null_handler() -> Handler {
+    Arc::new(|_, _, responder: Responder| responder.reply(Ok(Vec::new())))
+}
 
 fn encode_frame(kind: u8, id: u64, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(9 + body.len());
@@ -97,13 +137,215 @@ fn decode_response_body(body: Vec<u8>) -> Result<Vec<u8>, RpcError> {
     }
 }
 
-/// Completion channel for one in-flight call.
-type PendingReply = Sender<Result<Vec<u8>, RpcError>>;
+/// Completion slot for one in-flight outbound call.
+enum PendingReply {
+    /// A thread parked in [`RpcNode::call`]/[`call_many`](RpcNode::call_many).
+    Sync(Sender<Result<Vec<u8>, RpcError>>),
+    /// A deferred call; runs on the completion executor.
+    Callback(ReplyCallback),
+}
+
+/// The reply capability for one inbound request. Cloneable so a handler can
+/// park it in a commit queue, a replication window, or a scheduler waiter
+/// and complete it from whichever thread finishes first — the first
+/// `reply` wins, later ones are no-ops. One-way requests (`req_id` 0)
+/// accept the reply and suppress the frame. Dropping every clone without
+/// replying sends an error so callers fail fast instead of timing out.
+#[derive(Clone)]
+pub struct Responder {
+    inner: Arc<ResponderInner>,
+}
+
+struct ResponderInner {
+    shared: Arc<RpcShared>,
+    peer: NodeId,
+    req_id: u64,
+    replied: AtomicBool,
+}
+
+impl Responder {
+    /// The node that sent the request.
+    pub fn peer(&self) -> NodeId {
+        self.inner.peer
+    }
+
+    /// True for fire-and-forget requests whose reply is suppressed.
+    pub fn is_oneway(&self) -> bool {
+        self.inner.req_id == 0
+    }
+
+    /// Complete the request. First reply wins; replies to one-way requests
+    /// are accepted but never put on the wire.
+    pub fn reply(&self, result: Result<Vec<u8>, String>) {
+        let inner = &self.inner;
+        if inner.replied.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        inner.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        if inner.req_id != 0 {
+            let frame = encode_frame(KIND_RESPONSE, inner.req_id, &encode_response_body(&result));
+            inner.shared.handle.send(inner.peer, frame);
+        }
+    }
+}
+
+impl fmt::Debug for Responder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Responder")
+            .field("peer", &self.inner.peer)
+            .field("req_id", &self.inner.req_id)
+            .finish()
+    }
+}
+
+impl Drop for ResponderInner {
+    fn drop(&mut self) {
+        if !*self.replied.get_mut() {
+            self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            if self.req_id != 0 {
+                let body =
+                    encode_response_body(&Err("handler dropped request without replying".into()));
+                self.shared.handle.send(self.peer, encode_frame(KIND_RESPONSE, self.req_id, &body));
+            }
+        }
+    }
+}
+
+/// Tuning for an RPC endpoint.
+#[derive(Clone)]
+pub struct RpcConfig {
+    /// Handler threads. With deferred replies a small pool sustains
+    /// thousands of in-flight requests; size for CPU work, not for waits.
+    pub workers: usize,
+    /// Run-queue depth that triggers admission control; `0` = unbounded.
+    /// Sheddable requests over this depth are refused immediately with the
+    /// policy's error instead of queueing toward their deadline.
+    pub queue_depth: usize,
+    /// Classifies sheddable requests; `None` sheds everything over depth
+    /// with a generic error. Only consulted once the queue is over depth.
+    pub admission: Option<AdmissionPolicy>,
+    /// Threads completing deferred calls and timer tasks. Completions may
+    /// run continuation work (retries, grant chains), so this is separate
+    /// from the request workers.
+    pub completion_threads: usize,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig { workers: 1, queue_depth: 0, admission: None, completion_threads: 2 }
+    }
+}
+
+/// Instantaneous run-queue/overload counters for one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcQueueStats {
+    /// Requests admitted but not yet picked up by a worker.
+    pub depth: u64,
+    /// Requests admitted and not yet replied to (queued + executing +
+    /// parked deferred).
+    pub inflight: u64,
+    /// Requests refused by admission control since start.
+    pub shed: u64,
+    /// Requests admitted since start.
+    pub admitted: u64,
+}
+
+/// Generic error body used when no [`AdmissionPolicy`] is installed. Uses
+/// the store's `tag US payload` error encoding so typed decoders classify
+/// it as an overload, but remains a plain readable string for everyone else.
+pub const SHED_ERROR: &str = "overloaded\u{1f}rpc: run queue full";
+
+enum Ctrl {
+    Shutdown,
+}
+
+struct Job {
+    from: NodeId,
+    req_id: u64,
+    body: Vec<u8>,
+}
+
+type Task = Box<dyn FnOnce() + Send>;
+
+enum TimerKind {
+    /// Expire pending call `id` with `Timeout`.
+    CallTimeout(u64),
+    /// Run an arbitrary task on the completion executor.
+    Task(Task),
+}
+
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest deadline on top.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TimerState {
+    heap: BinaryHeap<TimerEntry>,
+    seq: u64,
+    shutdown: bool,
+}
 
 struct RpcShared {
     pending: Mutex<HashMap<u64, PendingReply>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    handle: Arc<NodeHandle>,
+    inflight: AtomicU64,
+    shed: AtomicU64,
+    admitted: AtomicU64,
+    exec_tx: Mutex<Option<Sender<Task>>>,
+    timer: Mutex<TimerState>,
+    timer_cv: Condvar,
+}
+
+impl RpcShared {
+    /// Run `task` on the completion executor; dropped after shutdown.
+    fn dispatch(&self, task: Task) {
+        let tx = self.exec_tx.lock().clone();
+        if let Some(tx) = tx {
+            let _ = tx.send(task);
+        }
+    }
+
+    fn complete(&self, reply: PendingReply, result: Result<Vec<u8>, RpcError>) {
+        match reply {
+            PendingReply::Sync(tx) => {
+                let _ = tx.send(result);
+            }
+            PendingReply::Callback(cb) => self.dispatch(Box::new(move || cb(result))),
+        }
+    }
+
+    fn schedule_at(&self, at: Instant, kind: TimerKind) {
+        let mut st = self.timer.lock();
+        if st.shutdown {
+            return;
+        }
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(TimerEntry { at, seq, kind });
+        drop(st);
+        self.timer_cv.notify_all();
+    }
 }
 
 /// An RPC endpoint: issues calls and serves a handler.
@@ -111,7 +353,10 @@ pub struct RpcNode {
     id: NodeId,
     net: Network,
     shared: Arc<RpcShared>,
-    outbound: Sender<(NodeId, Vec<u8>)>,
+    ctrl: Sender<Ctrl>,
+    jobs: Receiver<Job>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    exec_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl fmt::Debug for RpcNode {
@@ -121,102 +366,231 @@ impl fmt::Debug for RpcNode {
 }
 
 impl RpcNode {
-    /// Join `net` as `id`, serving `handler` on `workers` threads.
+    /// Join `net` as `id`, serving `handler` on `workers` threads with an
+    /// unbounded run queue (no admission control).
     pub fn start(net: &Network, id: NodeId, handler: Handler, workers: usize) -> Arc<RpcNode> {
+        Self::start_with_config(net, id, handler, RpcConfig { workers, ..RpcConfig::default() })
+    }
+
+    /// Join `net` as `id` with full pipeline tuning.
+    pub fn start_with_config(
+        net: &Network,
+        id: NodeId,
+        handler: Handler,
+        config: RpcConfig,
+    ) -> Arc<RpcNode> {
         let handle = net.join(id);
-        Self::start_with_handle(handle, handler, workers)
+        Self::start_with_handle_config(handle, handler, config)
     }
 
     /// Like [`start`](Self::start) for a pre-joined [`NodeHandle`].
     pub fn start_with_handle(handle: NodeHandle, handler: Handler, workers: usize) -> Arc<RpcNode> {
+        Self::start_with_handle_config(
+            handle,
+            handler,
+            RpcConfig { workers, ..RpcConfig::default() },
+        )
+    }
+
+    /// Like [`start_with_config`](Self::start_with_config) for a pre-joined
+    /// [`NodeHandle`].
+    pub fn start_with_handle_config(
+        handle: NodeHandle,
+        handler: Handler,
+        config: RpcConfig,
+    ) -> Arc<RpcNode> {
         let id = handle.id();
         let net = handle.network().clone();
+        let handle = Arc::new(handle);
+        let (exec_tx, exec_rx) = channel::unbounded::<Task>();
         let shared = Arc::new(RpcShared {
             pending: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            handle: Arc::clone(&handle),
+            inflight: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            exec_tx: Mutex::new(Some(exec_tx)),
+            timer: Mutex::new(TimerState { heap: BinaryHeap::new(), seq: 0, shutdown: false }),
+            timer_cv: Condvar::new(),
         });
-        // Outbound channel: the router and workers both need to send.
-        let (out_tx, out_rx) = channel::unbounded::<(NodeId, Vec<u8>)>();
-        // Worker pool for request handling.
-        let (job_tx, job_rx) = channel::unbounded::<(NodeId, u64, Vec<u8>)>();
-        for w in 0..workers.max(1) {
-            let job_rx: Receiver<(NodeId, u64, Vec<u8>)> = job_rx.clone();
-            let handler = Arc::clone(&handler);
-            let out_tx = out_tx.clone();
-            std::thread::Builder::new()
-                .name(format!("rpc-{id}-worker-{w}"))
-                .spawn(move || {
-                    while let Ok((from, req_id, body)) = job_rx.recv() {
-                        let result = handler(from, body);
-                        let frame =
-                            encode_frame(KIND_RESPONSE, req_id, &encode_response_body(&result));
-                        let _ = out_tx.send((from, frame));
-                    }
-                })
-                .expect("spawn rpc worker");
+        let mut threads = Vec::new();
+        let mut exec_threads = Vec::new();
+        // Completion executor: runs deferred-call callbacks and timer tasks
+        // off the router thread (callbacks may block or issue new calls).
+        for e in 0..config.completion_threads.max(1) {
+            let exec_rx = exec_rx.clone();
+            exec_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-{id}-exec-{e}"))
+                    .spawn(move || {
+                        while let Ok(task) = exec_rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("spawn rpc executor"),
+            );
         }
-        // Router thread: owns the NodeHandle and multiplexes between the
-        // network mailbox and the local outbound queue with no added
-        // latency on either path.
+        drop(exec_rx);
+        // Timer thread: expires deferred calls and fires scheduled tasks.
         {
             let shared = Arc::clone(&shared);
-            let handler = Arc::clone(&handler);
-            let incoming = handle.receiver();
-            std::thread::Builder::new()
-                .name(format!("rpc-{id}-router"))
-                .spawn(move || {
-                    loop {
-                        let env = channel::select! {
-                            recv(out_rx) -> out => {
-                                match out {
-                                    Ok((to, frame)) => {
-                                        handle.send(to, frame);
-                                        continue;
-                                    }
-                                    Err(_) => break, // all senders gone
-                                }
-                            }
-                            recv(incoming) -> env => match env {
-                                Ok(env) => env,
-                                Err(_) => break, // left the network
-                            },
-                            default(Duration::from_millis(50)) => {
-                                if shared.shutdown.load(Ordering::Acquire) {
-                                    break;
-                                }
-                                continue;
-                            }
-                        };
-                        match decode_frame(&env.payload) {
-                            Ok((KIND_REQUEST, req_id, body)) => {
-                                let _ = job_tx.send((env.from, req_id, body));
-                            }
-                            Ok((KIND_ONEWAY, _, body)) => {
-                                // Fire-and-forget: run inline on a worker.
-                                let _ = job_tx.send((env.from, 0, body));
-                                // Response for id 0 goes nowhere: workers
-                                // still send a frame, which the peer's
-                                // router discards (no pending id 0).
-                                let _ = handler; // handler captured for lifetime parity
-                            }
-                            Ok((KIND_RESPONSE, req_id, body)) => {
-                                let waiter = shared.pending.lock().remove(&req_id);
-                                if let Some(tx) = waiter {
-                                    let _ = tx.send(decode_response_body(body));
-                                }
-                            }
-                            Ok((other, _, _)) => {
-                                // Unknown frame kind: ignore (forward compat).
-                                let _ = other;
-                            }
-                            Err(_) => { /* malformed frame: drop */ }
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-{id}-timer"))
+                    .spawn(move || loop {
+                        let mut st = shared.timer.lock();
+                        if st.shutdown {
+                            break;
                         }
-                    }
-                })
-                .expect("spawn rpc router");
+                        let now = Instant::now();
+                        match st.heap.peek().map(|e| e.at) {
+                            Some(at) if at <= now => {
+                                let entry = st.heap.pop().expect("peeked");
+                                drop(st);
+                                match entry.kind {
+                                    TimerKind::CallTimeout(call_id) => {
+                                        let waiter = shared.pending.lock().remove(&call_id);
+                                        if let Some(reply) = waiter {
+                                            shared.complete(reply, Err(RpcError::Timeout));
+                                        }
+                                    }
+                                    TimerKind::Task(task) => shared.dispatch(task),
+                                }
+                            }
+                            Some(at) => {
+                                shared.timer_cv.wait_for(&mut st, at - now);
+                            }
+                            None => shared.timer_cv.wait(&mut st),
+                        }
+                    })
+                    .expect("spawn rpc timer"),
+            );
         }
-        Arc::new(RpcNode { id, net, shared, outbound: out_tx })
+        // Worker pool for request handling; replies go straight out through
+        // the shared NodeHandle, never back through the router.
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        for w in 0..config.workers.max(1) {
+            let job_rx = job_rx.clone();
+            let handler = Arc::clone(&handler);
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-{id}-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(job) = job_rx.recv() {
+                            let responder = Responder {
+                                inner: Arc::new(ResponderInner {
+                                    shared: Arc::clone(&shared),
+                                    peer: job.from,
+                                    req_id: job.req_id,
+                                    replied: AtomicBool::new(false),
+                                }),
+                            };
+                            handler(job.from, job.body, responder);
+                        }
+                    })
+                    .expect("spawn rpc worker"),
+            );
+        }
+        // Router thread: demultiplexes the network mailbox, admits requests
+        // into the run queue, and completes pending calls. It never blocks
+        // on a full queue and never runs completions itself.
+        let (ctrl_tx, ctrl_rx) = channel::unbounded::<Ctrl>();
+        {
+            let shared = Arc::clone(&shared);
+            let incoming = handle.receiver();
+            let queue_depth = config.queue_depth;
+            let admission = config.admission.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-{id}-router"))
+                    .spawn(move || {
+                        loop {
+                            let env = channel::select! {
+                                recv(ctrl_rx) -> c => {
+                                    match c {
+                                        Ok(Ctrl::Shutdown) | Err(_) => break,
+                                    }
+                                }
+                                recv(incoming) -> env => match env {
+                                    Ok(env) => env,
+                                    Err(_) => break, // left the network
+                                },
+                                default(Duration::from_millis(50)) => {
+                                    if shared.shutdown.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    continue;
+                                }
+                            };
+                            match decode_frame(&env.payload) {
+                                Ok((KIND_REQUEST, req_id, body)) => {
+                                    let over = queue_depth > 0 && job_tx.len() >= queue_depth;
+                                    let shed = if !over {
+                                        None
+                                    } else {
+                                        match &admission {
+                                            None => Some(SHED_ERROR.to_string()),
+                                            Some(policy) => policy(&body),
+                                        }
+                                    };
+                                    match shed {
+                                        Some(err) => {
+                                            shared.shed.fetch_add(1, Ordering::Relaxed);
+                                            let resp = encode_response_body(&Err(err));
+                                            shared.handle.send(
+                                                env.from,
+                                                encode_frame(KIND_RESPONSE, req_id, &resp),
+                                            );
+                                        }
+                                        None => {
+                                            shared.admitted.fetch_add(1, Ordering::Relaxed);
+                                            shared.inflight.fetch_add(1, Ordering::Relaxed);
+                                            let _ =
+                                                job_tx.send(Job { from: env.from, req_id, body });
+                                        }
+                                    }
+                                }
+                                Ok((KIND_ONEWAY, _, body)) => {
+                                    // Fire-and-forget: never shed (heartbeats
+                                    // and watch events are control plane);
+                                    // req_id 0 marks the responder one-way so
+                                    // the reply frame is suppressed.
+                                    shared.admitted.fetch_add(1, Ordering::Relaxed);
+                                    shared.inflight.fetch_add(1, Ordering::Relaxed);
+                                    let _ = job_tx.send(Job { from: env.from, req_id: 0, body });
+                                }
+                                Ok((KIND_RESPONSE, req_id, body)) => {
+                                    let waiter = shared.pending.lock().remove(&req_id);
+                                    if let Some(reply) = waiter {
+                                        shared.complete(reply, decode_response_body(body));
+                                    }
+                                }
+                                Ok((other, _, _)) => {
+                                    // Unknown frame kind: ignore (forward compat).
+                                    let _ = other;
+                                }
+                                Err(_) => { /* malformed frame: drop */ }
+                            }
+                        }
+                        // Dropping job_tx here lets workers drain every
+                        // already-admitted request (replying as they go) and
+                        // then exit — no admitted reply is lost on shutdown.
+                    })
+                    .expect("spawn rpc router"),
+            );
+        }
+        Arc::new(RpcNode {
+            id,
+            net,
+            shared,
+            ctrl: ctrl_tx,
+            jobs: job_rx,
+            threads: Mutex::new(threads),
+            exec_threads: Mutex::new(exec_threads),
+        })
     }
 
     /// This endpoint's node id.
@@ -227,6 +601,16 @@ impl RpcNode {
     /// The underlying network.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// Run-queue and overload counters.
+    pub fn queue_stats(&self) -> RpcQueueStats {
+        RpcQueueStats {
+            depth: self.jobs.len() as u64,
+            inflight: self.shared.inflight.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+        }
     }
 
     /// Call `to` with `body`, waiting up to `timeout` for the response.
@@ -240,12 +624,9 @@ impl RpcNode {
         }
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::bounded(1);
-        self.shared.pending.lock().insert(id, tx);
+        self.shared.pending.lock().insert(id, PendingReply::Sync(tx));
         let frame = encode_frame(KIND_REQUEST, id, &body);
-        if self.outbound.send((to, frame)).is_err() {
-            self.shared.pending.lock().remove(&id);
-            return Err(RpcError::Shutdown);
-        }
+        self.shared.handle.send(to, frame);
         match rx.recv_timeout(timeout) {
             Ok(result) => result,
             Err(_) => {
@@ -253,6 +634,35 @@ impl RpcNode {
                 Err(RpcError::Timeout)
             }
         }
+    }
+
+    /// Call `to` with `body` and complete `done` when the response, a
+    /// timeout, or shutdown arrives — without parking this thread. The
+    /// callback runs on the endpoint's completion executor (never on the
+    /// router), so it may block briefly or issue follow-up calls.
+    pub fn call_deferred(&self, to: NodeId, body: Vec<u8>, timeout: Duration, done: ReplyCallback) {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            done(Err(RpcError::Shutdown));
+            return;
+        }
+        self.start_deferred(to, &body, timeout, done);
+    }
+
+    fn start_deferred(&self, to: NodeId, body: &[u8], timeout: Duration, done: ReplyCallback) {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.pending.lock().insert(id, PendingReply::Callback(done));
+        self.shared.schedule_at(Instant::now() + timeout, TimerKind::CallTimeout(id));
+        let frame = encode_frame(KIND_REQUEST, id, body);
+        self.shared.handle.send(to, frame);
+    }
+
+    /// Run `task` on the completion executor after `delay` (backoff sleeps
+    /// for async retries without parking a thread).
+    pub fn schedule(&self, delay: Duration, task: Task) {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        self.shared.schedule_at(Instant::now() + delay, TimerKind::Task(task));
     }
 
     /// Send one `body` to several `targets` **concurrently** (single
@@ -276,46 +686,124 @@ impl RpcNode {
         for to in targets {
             let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
             let (tx, rx) = channel::bounded(1);
-            self.shared.pending.lock().insert(id, tx);
+            self.shared.pending.lock().insert(id, PendingReply::Sync(tx));
             let frame = encode_frame(KIND_REQUEST, id, &body);
-            if self.outbound.send((*to, frame)).is_err() {
-                self.shared.pending.lock().remove(&id);
-                waiters.push((id, None));
-                continue;
-            }
-            waiters.push((id, Some(rx)));
+            self.shared.handle.send(*to, frame);
+            waiters.push((id, rx));
         }
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         waiters
             .into_iter()
-            .map(|(id, rx)| match rx {
-                None => Err(RpcError::Shutdown),
-                Some(rx) => {
-                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-                    match rx.recv_timeout(remaining) {
-                        Ok(result) => result,
-                        Err(_) => {
-                            self.shared.pending.lock().remove(&id);
-                            Err(RpcError::Timeout)
-                        }
+            .map(|(id, rx)| {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(remaining) {
+                    Ok(result) => result,
+                    Err(_) => {
+                        self.shared.pending.lock().remove(&id);
+                        Err(RpcError::Timeout)
                     }
                 }
             })
             .collect()
     }
 
-    /// Send a one-way message (no response expected).
-    pub fn notify(&self, to: NodeId, body: Vec<u8>) {
-        let frame = encode_frame(KIND_ONEWAY, 0, &body);
-        let _ = self.outbound.send((to, frame));
+    /// Send one `body` to several `targets` and complete `done` once with
+    /// all results (in target order) as soon as the last reply, timeout, or
+    /// shutdown lands — no thread parks anywhere.
+    pub fn call_many_deferred(
+        &self,
+        targets: &[NodeId],
+        body: Bytes,
+        timeout: Duration,
+        done: ManyReplyCallback,
+    ) {
+        let n = targets.len();
+        if n == 0 {
+            done(Vec::new());
+            return;
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            done(targets.iter().map(|_| Err(RpcError::Shutdown)).collect());
+            return;
+        }
+        type SlotResults = Mutex<(Vec<Option<Result<Vec<u8>, RpcError>>>, usize)>;
+        struct FanIn {
+            results: SlotResults,
+            done: Mutex<Option<ManyReplyCallback>>,
+        }
+        let fan = Arc::new(FanIn {
+            results: Mutex::new((vec![None; n], 0)),
+            done: Mutex::new(Some(done)),
+        });
+        for (idx, to) in targets.iter().enumerate() {
+            let fan = Arc::clone(&fan);
+            let cb: ReplyCallback = Box::new(move |res| {
+                let ready = {
+                    let mut st = fan.results.lock();
+                    st.0[idx] = Some(res);
+                    st.1 += 1;
+                    st.1 == n
+                };
+                if ready {
+                    let done = fan.done.lock().take();
+                    if let Some(done) = done {
+                        let results: Vec<_> = {
+                            let mut st = fan.results.lock();
+                            st.0.iter_mut().map(|r| r.take().expect("all set")).collect()
+                        };
+                        done(results);
+                    }
+                }
+            });
+            self.start_deferred(*to, &body, timeout, cb);
+        }
     }
 
-    /// Stop the router and fail all pending calls.
+    /// Send a one-way message (no response expected).
+    pub fn notify(&self, to: NodeId, body: Vec<u8>) {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let frame = encode_frame(KIND_ONEWAY, 0, &body);
+        self.shared.handle.send(to, frame);
+    }
+
+    /// Stop the endpoint: fail local pending calls, stop admitting new
+    /// requests, let workers drain every already-admitted request (their
+    /// replies still go out), and join all pipeline threads. Prompt — the
+    /// router is woken explicitly rather than waiting for a poll tick.
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        let mut pending = self.shared.pending.lock();
-        for (_, tx) in pending.drain() {
-            let _ = tx.send(Err(RpcError::Shutdown));
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Fail all locally pending calls.
+        let drained: Vec<PendingReply> =
+            self.shared.pending.lock().drain().map(|(_, p)| p).collect();
+        for reply in drained {
+            self.shared.complete(reply, Err(RpcError::Shutdown));
+        }
+        // Wake the router; it exits and drops the job queue so workers
+        // drain admitted requests and stop.
+        let _ = self.ctrl.send(Ctrl::Shutdown);
+        // Stop the timer.
+        self.shared.timer.lock().shutdown = true;
+        self.shared.timer_cv.notify_all();
+        // Join router, workers, timer — skipping the current thread in case
+        // shutdown was invoked from a completion or handler context.
+        let me = std::thread::current().id();
+        let threads = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            if t.thread().id() != me {
+                let _ = t.join();
+            }
+        }
+        // Retire the completion executor once queued completions drain.
+        drop(self.shared.exec_tx.lock().take());
+        let exec_threads = std::mem::take(&mut *self.exec_threads.lock());
+        for t in exec_threads {
+            if t.thread().id() != me {
+                let _ = t.join();
+            }
         }
     }
 }
@@ -326,7 +814,7 @@ mod tests {
     use crate::sim::LatencyModel;
 
     fn echo_handler() -> Handler {
-        Arc::new(|from, body| {
+        sync_handler(|from, body| {
             let mut out = format!("from={} ", from.0).into_bytes();
             out.extend_from_slice(&body);
             Ok(out)
@@ -337,11 +825,55 @@ mod tests {
     fn call_and_response() {
         let net = Network::new(LatencyModel::instant(), 1);
         let server = RpcNode::start(&net, NodeId(1), echo_handler(), 2);
-        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
         let out = client.call(NodeId(1), b"ping".to_vec(), Duration::from_secs(1)).unwrap();
         assert_eq!(out, b"from=2 ping");
         server.shutdown();
         client.shutdown();
+        net.shutdown();
+    }
+
+    #[test]
+    fn deferred_reply_from_another_thread() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let server = RpcNode::start(
+            &net,
+            NodeId(1),
+            Arc::new(|_, body: Vec<u8>, responder: Responder| {
+                // Return immediately; a different thread completes later.
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    responder.reply(Ok(body));
+                });
+            }),
+            1,
+        );
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
+        let out = client.call(NodeId(1), b"later".to_vec(), Duration::from_secs(1)).unwrap();
+        assert_eq!(out, b"later");
+        server.shutdown();
+        client.shutdown();
+        net.shutdown();
+    }
+
+    #[test]
+    fn first_reply_wins_and_drop_without_reply_errors() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let _double = RpcNode::start(
+            &net,
+            NodeId(1),
+            Arc::new(|_, _, responder: Responder| {
+                responder.reply(Ok(b"first".to_vec()));
+                responder.reply(Ok(b"second".to_vec()));
+            }),
+            1,
+        );
+        let _dropper = RpcNode::start(&net, NodeId(3), Arc::new(|_, _, _responder| {}), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
+        let out = client.call(NodeId(1), vec![], Duration::from_secs(1)).unwrap();
+        assert_eq!(out, b"first");
+        let err = client.call(NodeId(3), vec![], Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, RpcError::Remote(ref m) if m.contains("without replying")), "{err}");
         net.shutdown();
     }
 
@@ -351,10 +883,10 @@ mod tests {
         let _server = RpcNode::start(
             &net,
             NodeId(1),
-            Arc::new(|_, body| Ok(body)), // echo
+            sync_handler(|_, body| Ok(body)), // echo
             4,
         );
-        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
         let client = Arc::clone(&client);
         let threads: Vec<_> = (0..8u32)
             .map(|i| {
@@ -378,8 +910,9 @@ mod tests {
     #[test]
     fn remote_errors_propagate() {
         let net = Network::new(LatencyModel::instant(), 1);
-        let _server = RpcNode::start(&net, NodeId(1), Arc::new(|_, _| Err("nope".to_string())), 1);
-        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let _server =
+            RpcNode::start(&net, NodeId(1), sync_handler(|_, _| Err("nope".to_string())), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
         let err = client.call(NodeId(1), vec![], Duration::from_secs(1)).unwrap_err();
         assert_eq!(err, RpcError::Remote("nope".into()));
         net.shutdown();
@@ -388,7 +921,7 @@ mod tests {
     #[test]
     fn timeout_on_dead_destination() {
         let net = Network::new(LatencyModel::instant(), 1);
-        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
         let err = client.call(NodeId(99), vec![], Duration::from_millis(50)).unwrap_err();
         assert_eq!(err, RpcError::Timeout);
         net.shutdown();
@@ -398,7 +931,7 @@ mod tests {
     fn timeout_on_partition_then_recovery() {
         let net = Network::new(LatencyModel::instant(), 1);
         let _server = RpcNode::start(&net, NodeId(1), echo_handler(), 1);
-        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
         net.cut_link(NodeId(1), NodeId(2));
         let err = client.call(NodeId(1), b"x".to_vec(), Duration::from_millis(50)).unwrap_err();
         assert_eq!(err, RpcError::Timeout);
@@ -408,11 +941,131 @@ mod tests {
     }
 
     #[test]
+    fn deferred_call_completes_and_times_out() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let _server = RpcNode::start(&net, NodeId(1), echo_handler(), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        client.call_deferred(
+            NodeId(1),
+            b"hi".to_vec(),
+            Duration::from_secs(1),
+            Box::new(move |res| tx2.send(res).unwrap()),
+        );
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.unwrap(), b"from=2 hi");
+        // Dead destination: the timer expires the pending call.
+        client.call_deferred(
+            NodeId(99),
+            vec![],
+            Duration::from_millis(30),
+            Box::new(move |res| tx.send(res).unwrap()),
+        );
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.unwrap_err(), RpcError::Timeout);
+        net.shutdown();
+    }
+
+    #[test]
+    fn scheduled_tasks_fire_in_order() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        client.schedule(Duration::from_millis(40), Box::new(move || tx2.send(2u32).unwrap()));
+        client.schedule(Duration::from_millis(5), Box::new(move || tx.send(1u32).unwrap()));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+        net.shutdown();
+    }
+
+    #[test]
+    fn admission_sheds_over_depth_and_counts() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let server = RpcNode::start_with_config(
+            &net,
+            NodeId(1),
+            Arc::new(|_, _, responder: Responder| {
+                std::thread::sleep(Duration::from_millis(40));
+                responder.reply(Ok(vec![]));
+            }),
+            RpcConfig { workers: 1, queue_depth: 1, admission: None, completion_threads: 1 },
+        );
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || client.call(NodeId(1), vec![], Duration::from_secs(5)))
+            })
+            .collect();
+        let results: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(RpcError::Remote(m)) if m.contains("run queue full")))
+            .count();
+        assert!(ok >= 1, "at least the first admitted call succeeds");
+        assert!(shed >= 1, "overload must shed: {results:?}");
+        assert_eq!(ok + shed, 8, "shed or served, nothing lost: {results:?}");
+        let stats = server.queue_stats();
+        assert_eq!(stats.shed, shed as u64);
+        assert_eq!(stats.admitted, ok as u64);
+        assert_eq!(stats.inflight, 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn admission_policy_protects_unsheddable_requests() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        // Requests starting with b'P' are privileged (never shed).
+        let policy: AdmissionPolicy = Arc::new(|body: &[u8]| {
+            if body.first() == Some(&b'P') {
+                None
+            } else {
+                Some("overloaded\u{1f}client load shed".to_string())
+            }
+        });
+        let server = RpcNode::start_with_config(
+            &net,
+            NodeId(1),
+            Arc::new(|_, _, responder: Responder| {
+                std::thread::sleep(Duration::from_millis(30));
+                responder.reply(Ok(vec![]));
+            }),
+            RpcConfig {
+                workers: 1,
+                queue_depth: 1,
+                admission: Some(policy),
+                completion_threads: 1,
+            },
+        );
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
+        let threads: Vec<_> = (0..6)
+            .map(|i| {
+                let client = Arc::clone(&client);
+                let body = if i % 2 == 0 { b"P".to_vec() } else { b"c".to_vec() };
+                std::thread::spawn(move || {
+                    (body.clone(), client.call(NodeId(1), body, Duration::from_secs(5)))
+                })
+            })
+            .collect();
+        for t in threads {
+            let (body, res) = t.join().unwrap();
+            if body == b"P" {
+                assert!(res.is_ok(), "privileged requests are never shed: {res:?}");
+            }
+        }
+        let _ = server.queue_stats();
+        net.shutdown();
+    }
+
+    #[test]
     fn call_many_shares_one_body_across_targets() {
         let net = Network::new(LatencyModel::instant(), 1);
         let servers: Vec<_> =
             (1..=3).map(|i| RpcNode::start(&net, NodeId(i), echo_handler(), 1)).collect();
-        let client = RpcNode::start(&net, NodeId(9), Arc::new(|_, _| Ok(vec![])), 1);
+        let client = RpcNode::start(&net, NodeId(9), null_handler(), 1);
         let targets = [NodeId(1), NodeId(2), NodeId(3)];
         let body = Bytes::from(b"fanout".to_vec());
         let replies = client.call_many(&targets, body, Duration::from_secs(1));
@@ -435,22 +1088,59 @@ mod tests {
     }
 
     #[test]
+    fn call_many_deferred_fans_in_all_results() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let _servers: Vec<_> =
+            (1..=2).map(|i| RpcNode::start(&net, NodeId(i), echo_handler(), 1)).collect();
+        let client = RpcNode::start(&net, NodeId(9), null_handler(), 1);
+        let (tx, rx) = channel::unbounded();
+        client.call_many_deferred(
+            &[NodeId(1), NodeId(42), NodeId(2)],
+            Bytes::from(b"x".to_vec()),
+            Duration::from_millis(150),
+            Box::new(move |results| tx.send(results).unwrap()),
+        );
+        let results = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_deref().unwrap(), b"from=9 x");
+        assert_eq!(results[1], Err(RpcError::Timeout));
+        assert_eq!(results[2].as_deref().unwrap(), b"from=9 x");
+        net.shutdown();
+    }
+
+    #[test]
     fn notify_reaches_handler() {
         let net = Network::new(LatencyModel::instant(), 1);
         let (tx, rx) = channel::unbounded();
         let _server = RpcNode::start(
             &net,
             NodeId(1),
-            Arc::new(move |_, body| {
+            sync_handler(move |_, body| {
                 tx.send(body).unwrap();
                 Ok(vec![])
             }),
             1,
         );
-        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
         client.notify(NodeId(1), b"event".to_vec());
         let got = rx.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(got, b"event");
+        net.shutdown();
+    }
+
+    #[test]
+    fn oneway_reply_frame_is_suppressed() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        // Handler *does* reply — the responder must drop it for one-ways.
+        let _server = RpcNode::start(&net, NodeId(1), echo_handler(), 1);
+        let raw = net.join(NodeId(7));
+        raw.send(NodeId(1), encode_frame(KIND_ONEWAY, 0, b"evt"));
+        // Previously the worker sent a junk KIND_RESPONSE id-0 frame back;
+        // now nothing must arrive at the sender.
+        assert!(
+            raw.receiver().recv_timeout(Duration::from_millis(100)).is_err(),
+            "one-way requests must not generate response frames"
+        );
         net.shutdown();
     }
 
@@ -461,7 +1151,7 @@ mod tests {
             1,
         );
         let _server = RpcNode::start(&net, NodeId(1), echo_handler(), 1);
-        let client = RpcNode::start(&net, NodeId(2), Arc::new(|_, _| Ok(vec![])), 1);
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
         let c2 = Arc::clone(&client);
         let t = std::thread::spawn(move || {
             c2.call(NodeId(1), b"slow".to_vec(), Duration::from_secs(5))
@@ -470,6 +1160,36 @@ mod tests {
         client.shutdown();
         let res = t.join().unwrap();
         assert_eq!(res.unwrap_err(), RpcError::Shutdown);
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let net = Network::new(LatencyModel::instant(), 1);
+        let server = RpcNode::start(
+            &net,
+            NodeId(1),
+            Arc::new(|_, body: Vec<u8>, responder: Responder| {
+                std::thread::sleep(Duration::from_millis(60));
+                responder.reply(Ok(body));
+            }),
+            2,
+        );
+        let client = RpcNode::start(&net, NodeId(2), null_handler(), 1);
+        let threads: Vec<_> = (0..4u8)
+            .map(|i| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || client.call(NodeId(1), vec![i], Duration::from_secs(10)))
+            })
+            .collect();
+        // Let all four reach the server's run queue, then shut it down.
+        std::thread::sleep(Duration::from_millis(25));
+        server.shutdown();
+        for (i, t) in threads.into_iter().enumerate() {
+            let res = t.join().unwrap();
+            assert_eq!(res.unwrap(), vec![i as u8], "admitted request {i} lost its reply");
+        }
+        assert_eq!(server.queue_stats().inflight, 0);
         net.shutdown();
     }
 

@@ -14,6 +14,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use rand::Rng;
 
+use lambda_net::rpc::sync_handler;
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 
 use crate::acceptor::Acceptor;
@@ -104,7 +105,7 @@ impl PaxosNode {
         let handler_acceptor = Arc::clone(&acceptor);
         let handler_next = Arc::clone(&next_apply);
         let handler_apply = Arc::clone(&apply);
-        let handler = Arc::new(move |_from: NodeId, body: Vec<u8>| -> Result<Vec<u8>, String> {
+        let handler = sync_handler(move |_from: NodeId, body: Vec<u8>| {
             let msg: PaxosMsg = wire::from_bytes(&body).map_err(|e| e.to_string())?;
             let response = {
                 let mut acc = handler_acceptor.lock();

@@ -149,6 +149,32 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Outcome of [`Sender::try_send`] failure; the message is handed back.
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity.
+        Full(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     impl<T> Sender<T> {
         /// Send `msg`, blocking if the channel is bounded and full.
         ///
@@ -169,6 +195,38 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Shared::notify_wakers(&mut state);
             Ok(())
+        }
+
+        /// Non-blocking send: fails with `Full` instead of waiting when a
+        /// bounded channel is at capacity.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] at capacity, [`TrySendError::Disconnected`]
+        /// when every receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.shared.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            state.queue.push_back(msg);
+            self.shared.not_empty.notify_one();
+            Shared::notify_wakers(&mut state);
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -253,6 +311,16 @@ pub mod channel {
                 return Err(TryRecvError::Disconnected);
             }
             Err(TryRecvError::Empty)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         fn register_waker(&self, waker: &Arc<SelectWaker>) {
@@ -358,6 +426,19 @@ pub mod channel {
             assert_eq!(rx.recv().unwrap(), 1);
             assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
             t.join().unwrap();
+        }
+
+        #[test]
+        fn try_send_full_and_disconnected() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(tx.len(), 1);
+            assert_eq!(rx.len(), 1);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert!(rx.is_empty());
+            drop(rx);
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
         }
 
         #[test]

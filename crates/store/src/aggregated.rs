@@ -11,7 +11,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -21,10 +21,12 @@ use lambda_coordinator::CoordClient;
 use lambda_coordinator::CoordEvent;
 use lambda_coordinator::{Epoch, ShardId};
 use lambda_kv::Db;
-use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
+use lambda_net::rpc::{sync_handler, AdmissionPolicy, Responder, RpcConfig};
+use lambda_net::{wire, Handler, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{
-    decode_error, encode_error, keys, CommitHook, Counter, Engine, EngineConfig, InvocationContext,
-    InvokeError, InvokeRouter, ObjectId, ObjectType, Registry, TypeRegistry, WriteSetOps,
+    decode_error, encode_error, keys, CommitCallback, CommitHook, Counter, Engine, EngineConfig,
+    Gauge, InvocationContext, InvokeError, InvokeRouter, ObjectId, ObjectType, Origin, Registry,
+    TypeRegistry, WriteSetOps,
 };
 use lambda_vm::VmValue;
 
@@ -44,8 +46,17 @@ pub struct AggregatedConfig {
     pub kv: lambda_kv::Options,
     /// Execution-engine options.
     pub engine: EngineConfig,
-    /// RPC worker threads.
+    /// RPC worker threads. With the deferred `Invoke` path a worker is
+    /// only held for CPU work (decode + VM execution), never for lock,
+    /// group-commit, or replication waits, so a small pool sustains
+    /// thousands of in-flight invocations.
     pub workers: usize,
+    /// Run-queue depth that trips admission control (`0` = unbounded).
+    /// Client-origin requests arriving over this depth are refused
+    /// immediately with a retryable [`InvokeError::Overloaded`]; requests
+    /// on behalf of other nodes or background work (replication, repair,
+    /// state transfer) are always admitted.
+    pub run_queue_depth: usize,
     /// Per-RPC timeout for node-to-node calls.
     pub rpc_timeout: Duration,
     /// Heartbeat + state-poll interval.
@@ -64,6 +75,7 @@ impl AggregatedConfig {
             kv: lambda_kv::Options::default(),
             engine: EngineConfig::default(),
             workers: 16,
+            run_queue_depth: 1024,
             rpc_timeout: Duration::from_millis(500),
             heartbeat_interval: Duration::from_millis(100),
             coordinators,
@@ -120,6 +132,40 @@ struct ShardWindow {
     queue: Mutex<VecDeque<Arc<ReplWaiter>>>,
 }
 
+/// One committed write set queued in a shard's *deferred* replication
+/// window (the non-blocking commit path). Unlike [`ReplWaiter`] nothing
+/// parks: the commit completion travels with the entry and fires from the
+/// ack thread of the round that ships it.
+struct DeferredRepl {
+    object: Vec<u8>,
+    ops: WriteSetOps,
+    /// Epoch and backup set captured at enqueue time; a round only
+    /// coalesces a queue prefix that agrees on both, so epoch fencing
+    /// stays exact across reconfigurations (same rule as the blocking
+    /// window).
+    epoch: Epoch,
+    backups: Vec<NodeId>,
+    /// The committing invocation's context; the round leader's copy
+    /// bounds the fan-out timeout and rides in the batch envelope.
+    ctx: InvocationContext,
+    done: CommitCallback,
+}
+
+/// Per-shard deferred replication window. Entries accumulate while one
+/// `ReplicateBatch` fan-out is in flight; that fan-out's completion ships
+/// the next round, so the window is always driven without a parked leader
+/// thread.
+#[derive(Default)]
+struct DeferredWindow {
+    state: Mutex<DeferredWindowState>,
+}
+
+#[derive(Default)]
+struct DeferredWindowState {
+    queue: VecDeque<DeferredRepl>,
+    in_flight: bool,
+}
+
 /// Decode one ack per backup; any failure fails the whole window.
 fn collect_acks(backups: &[NodeId], replies: Vec<Result<Vec<u8>, RpcError>>) -> Result<(), String> {
     for (backup, reply) in backups.iter().zip(replies) {
@@ -138,9 +184,12 @@ fn collect_acks(backups: &[NodeId], replies: Vec<Result<Vec<u8>, RpcError>>) -> 
 
 struct NodeInner {
     id: NodeId,
-    engine: Engine,
+    engine: Arc<Engine>,
     placement: Placement,
     rpc: OnceLock<Arc<RpcNode>>,
+    /// Back-reference for completions that must re-enter the node after an
+    /// asynchronous hop (deferred replication rounds).
+    self_ref: OnceLock<Weak<NodeInner>>,
     rpc_timeout: Duration,
     /// The node-wide telemetry registry: shared by the kv layer, the
     /// engine/scheduler, and the counters below, so every stats surface is
@@ -156,8 +205,18 @@ struct NodeInner {
     /// When false every committed write set is shipped as its own
     /// `Replicate` RPC (the ABL-GROUPCOMMIT "wal-only" configuration).
     repl_batching: AtomicBool,
-    /// Per-shard replication windows, created on first use.
+    /// Per-shard replication windows, created on first use (blocking
+    /// callers: raw writes and synchronous commits).
     repl_windows: Mutex<HashMap<ShardId, Arc<ShardWindow>>>,
+    /// Per-shard deferred replication windows (non-blocking commit path).
+    deferred_windows: Mutex<HashMap<ShardId, Arc<DeferredWindow>>>,
+    /// Instantaneous run-queue depth, mirrored from the RPC endpoint on
+    /// stats reads.
+    q_depth: Gauge,
+    /// Admitted-but-unanswered requests, mirrored likewise.
+    q_inflight: Gauge,
+    /// Requests refused by admission control, mirrored likewise.
+    q_shed: Gauge,
     /// Batched replication rounds issued (one `ReplicateBatch` fan-out).
     repl_rounds: Counter,
     /// Write sets shipped through batched rounds.
@@ -498,6 +557,12 @@ impl NodeInner {
     /// (engine counters included — same cells `EngineStats` reads).
     fn stats_wire(&self) -> NodeStatsWire {
         let es = self.engine.stats();
+        let qs = self.rpc().queue_stats();
+        // Mirror the endpoint's overload counters into the registry's
+        // gauges so stats scrapes and wire stats read the same numbers.
+        self.q_depth.set(qs.depth as i64);
+        self.q_inflight.set(qs.inflight as i64);
+        self.q_shed.set(qs.shed as i64);
         NodeStatsWire {
             requests: self.requests.get(),
             invocations: es.invocations,
@@ -506,6 +571,9 @@ impl NodeInner {
             duplicates_suppressed: es.duplicates_suppressed,
             busy_nanos: self.busy_nanos.get(),
             uptime_nanos: self.registry.uptime_nanos(),
+            run_queue_depth: qs.depth,
+            inflight: qs.inflight,
+            shed: qs.shed,
         }
     }
 
@@ -696,6 +764,110 @@ impl NodeInner {
         }
         drop(queue);
         outcome
+    }
+
+    /// The owning `Arc` (for completions that outlive this call frame).
+    fn arc(&self) -> Arc<NodeInner> {
+        self.self_ref.get().and_then(Weak::upgrade).expect("self_ref installed during start")
+    }
+
+    /// Non-blocking counterpart of [`replicate_to_backups`]: enqueue the
+    /// write set on the shard's deferred window and return immediately.
+    /// `done` fires from the ack thread of the fan-out that ships it.
+    #[allow(clippy::too_many_arguments)]
+    fn replicate_deferred(
+        &self,
+        ctx: &InvocationContext,
+        shard: ShardId,
+        epoch: Epoch,
+        object: &ObjectId,
+        ops: WriteSetOps,
+        backups: Vec<NodeId>,
+        done: CommitCallback,
+    ) {
+        if !self.repl_batching.load(Ordering::Relaxed) {
+            // Unbatched ablation: one fan-out per committed write set,
+            // still without parking — the acks complete the commit.
+            let down = ctx.for_downstream();
+            let req = StoreRequest::Replicate { shard, epoch, object: object.0.clone(), ops };
+            let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
+            let expect = backups.clone();
+            self.rpc().call_many_deferred(
+                &backups,
+                body,
+                down.rpc_timeout(self.rpc_timeout),
+                Box::new(move |replies| done(collect_acks(&expect, replies))),
+            );
+            return;
+        }
+
+        let window = {
+            let mut windows = self.deferred_windows.lock();
+            Arc::clone(windows.entry(shard).or_default())
+        };
+        let entry = DeferredRepl { object: object.0.clone(), ops, epoch, backups, ctx: *ctx, done };
+        let lead = {
+            let mut st = window.state.lock();
+            st.queue.push_back(entry);
+            !std::mem::replace(&mut st.in_flight, true)
+        };
+        if lead {
+            self.ship_deferred_round(shard, window);
+        }
+    }
+
+    /// Ship one round from the shard's deferred window: pop the longest
+    /// queue prefix agreeing on `(epoch, backups)`, fan the batch out, and
+    /// complete every member from the acks. The completion ships the next
+    /// round (if any), so the window drains without a parked leader.
+    fn ship_deferred_round(&self, shard: ShardId, window: Arc<DeferredWindow>) {
+        let round: Vec<DeferredRepl> = {
+            let mut st = window.state.lock();
+            debug_assert!(st.in_flight);
+            let mut round: Vec<DeferredRepl> = Vec::new();
+            while let Some(front) = st.queue.front() {
+                if let Some(first) = round.first() {
+                    if front.epoch != first.epoch || front.backups != first.backups {
+                        break;
+                    }
+                }
+                round.push(st.queue.pop_front().expect("front exists"));
+            }
+            if round.is_empty() {
+                st.in_flight = false;
+                return;
+            }
+            round
+        };
+        let epoch = round[0].epoch;
+        let backups = round[0].backups.clone();
+        let down = round[0].ctx.for_downstream();
+        let mut entries = Vec::with_capacity(round.len());
+        let mut dones = Vec::with_capacity(round.len());
+        for entry in round {
+            entries.push((entry.object, entry.ops));
+            dones.push(entry.done);
+        }
+        let count = entries.len() as u64;
+        // Serialize once; the refcounted body is shared by every send.
+        let req = StoreRequest::ReplicateBatch { shard, epoch, entries };
+        let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
+        let this = self.arc();
+        let expect = backups.clone();
+        self.rpc().call_many_deferred(
+            &backups,
+            body,
+            down.rpc_timeout(self.rpc_timeout),
+            Box::new(move |replies| {
+                let outcome = collect_acks(&expect, replies);
+                this.repl_rounds.incr();
+                this.repl_entries.add(count);
+                for done in dones {
+                    done(outcome.clone());
+                }
+                this.ship_deferred_round(shard, window);
+            }),
+        );
     }
 
     /// Forward one committed write set to every syncing backup of `shard`.
@@ -906,6 +1078,54 @@ impl CommitHook for NodeInner {
         self.replicate_to_backups(ctx, shard, info.epoch, object, ops, &info.backups)?;
         self.forward_to_syncing(shard, info.epoch, &info.syncing, object, ops)
     }
+
+    /// Non-blocking commit hook for the deferred invocation path: the
+    /// fencing checks and the forward to syncing peers run inline on the
+    /// committing thread (still under the object's exclusive lock, so
+    /// per-object stream order equals commit order), then the write set
+    /// joins the shard's deferred replication window and `done` fires from
+    /// the ack thread. No thread parks between local commit and ack.
+    fn on_commit_deferred(
+        &self,
+        ctx: &InvocationContext,
+        object: &ObjectId,
+        ops: WriteSetOps,
+        done: CommitCallback,
+    ) {
+        if !self.replicate.load(Ordering::Relaxed) {
+            done(Ok(()));
+            return;
+        }
+        let Some((shard, info)) = self.placement.locate(object) else {
+            done(Ok(())); // no shard map: single-node mode
+            return;
+        };
+        if info.lost {
+            done(Err(format!("fenced: shard {shard} lost every replica (epoch {})", info.epoch)));
+            return;
+        }
+        if info.primary != self.id {
+            done(Err(format!(
+                "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
+                self.id.0, info.epoch
+            )));
+            return;
+        }
+        // The forward precedes the backup acks here (the blocking path
+        // forwards after them). The write is already durable locally, so
+        // forwarding a write whose replication later fails only makes the
+        // syncing peer converge toward local state — it is never acked to
+        // the client.
+        if let Err(e) = self.forward_to_syncing(shard, info.epoch, &info.syncing, object, &ops) {
+            done(Err(e));
+            return;
+        }
+        if info.backups.is_empty() {
+            done(Ok(()));
+            return;
+        }
+        self.replicate_deferred(ctx, shard, info.epoch, object, ops, info.backups.clone(), done);
+    }
 }
 
 impl InvokeRouter for NodeInner {
@@ -970,13 +1190,15 @@ impl AggregatedNode {
         let registry = Registry::shared();
         let db = Db::open_with_registry(&config.data_dir, config.kv.clone(), &registry)?;
         let types = Arc::new(TypeRegistry::new());
-        let engine = Engine::with_registry(db, types, config.engine, Arc::clone(&registry));
+        let engine =
+            Arc::new(Engine::with_registry(db, types, config.engine, Arc::clone(&registry)));
 
         let inner = Arc::new(NodeInner {
             id,
             engine,
             placement: Placement::new(),
             rpc: OnceLock::new(),
+            self_ref: OnceLock::new(),
             rpc_timeout: config.rpc_timeout,
             requests: registry.counter("node_requests"),
             replications: registry.counter("node_replications_applied"),
@@ -985,6 +1207,10 @@ impl AggregatedNode {
             replicate: AtomicBool::new(true),
             repl_batching: AtomicBool::new(true),
             repl_windows: Mutex::new(HashMap::new()),
+            deferred_windows: Mutex::new(HashMap::new()),
+            q_depth: registry.gauge("rpc_queue_depth"),
+            q_inflight: registry.gauge("rpc_inflight"),
+            q_shed: registry.gauge("rpc_shed"),
             repl_rounds: registry.counter("node_repl_rounds"),
             repl_entries: registry.counter("node_repl_entries"),
             sync: SyncManager::new(),
@@ -998,20 +1224,85 @@ impl AggregatedNode {
             registry,
         });
 
-        // Service endpoint.
+        // Service endpoint. `Invoke` is served as a *deferred reply*: the
+        // worker thread hands the parked `Responder` to the engine's
+        // continuation chain and is released while the invocation waits on
+        // the object lock, the group commit, or replication acks — the
+        // reply is a completion, not a return value. Every other request
+        // kind still replies inline.
         let handler_inner = Arc::clone(&inner);
-        let handler = Arc::new(move |from: NodeId, body: Vec<u8>| -> Result<Vec<u8>, String> {
-            let started = Instant::now();
-            let (ctx, req) = proto::decode_request(&body).map_err(|e| e.to_string())?;
-            let result = handler_inner
-                .handle(from, &ctx, req)
-                .map_err(|e| encode_error(&e))
-                .and_then(|resp| wire::to_bytes(&resp).map_err(|e| e.to_string()));
-            handler_inner.busy_nanos.add(started.elapsed().as_nanos() as u64);
-            result
-        });
-        let rpc = RpcNode::start(net, id, handler, config.workers);
+        let handler: Handler =
+            Arc::new(move |from: NodeId, body: Vec<u8>, responder: Responder| {
+                let started = Instant::now();
+                let (ctx, req) = match proto::decode_request(&body) {
+                    Ok(decoded) => decoded,
+                    Err(e) => {
+                        responder.reply(Err(e.to_string()));
+                        return;
+                    }
+                };
+                if let StoreRequest::Invoke { object, method, args, read_only, internal } = req {
+                    handler_inner.requests.incr();
+                    let oid = ObjectId::new(object);
+                    if let Err(e) = handler_inner.check_role(&oid, read_only) {
+                        handler_inner.busy_nanos.add(started.elapsed().as_nanos() as u64);
+                        responder.reply(Err(encode_error(&e)));
+                        return;
+                    }
+                    let busy = handler_inner.busy_nanos.clone();
+                    handler_inner.engine.invoke_deferred(
+                        &ctx,
+                        &oid,
+                        &method,
+                        args,
+                        !internal,
+                        Box::new(move |result| {
+                            let encoded = result
+                                .map(StoreResponse::Value)
+                                .map_err(|e| encode_error(&e))
+                                .and_then(|resp| wire::to_bytes(&resp).map_err(|e| e.to_string()));
+                            busy.add(started.elapsed().as_nanos() as u64);
+                            responder.reply(encoded);
+                        }),
+                    );
+                    return;
+                }
+                let result = handler_inner
+                    .handle(from, &ctx, req)
+                    .map_err(|e| encode_error(&e))
+                    .and_then(|resp| wire::to_bytes(&resp).map_err(|e| e.to_string()));
+                handler_inner.busy_nanos.add(started.elapsed().as_nanos() as u64);
+                responder.reply(result);
+            });
+        // Admission control: once the run queue is over depth, requests
+        // born at a client are refused with a retryable `Overloaded`
+        // before consuming a worker. Node-to-node and background traffic
+        // (replication, repair, state transfer) is always admitted, so
+        // shedding never cascades into the durability path.
+        let shed_reply =
+            encode_error(&InvokeError::Overloaded(format!("node-{} run queue full", id.0)));
+        let admission: AdmissionPolicy =
+            Arc::new(move |body: &[u8]| match wire::split_header(body) {
+                Ok((Some(header), _)) if header.origin == Origin::Client.to_wire() => {
+                    Some(shed_reply.clone())
+                }
+                // Headerless, malformed, or non-client origin: admit — only
+                // provably client-origin load is sheddable.
+                _ => None,
+            });
+        let rpc = RpcNode::start_with_config(
+            net,
+            id,
+            handler,
+            RpcConfig {
+                workers: config.workers,
+                queue_depth: config.run_queue_depth,
+                admission: Some(admission),
+                ..RpcConfig::default()
+            },
+        );
         inner.rpc.set(Arc::clone(&rpc)).expect("set once");
+        inner.self_ref.set(Arc::downgrade(&inner)).expect("set once");
 
         // The engine's replication hook and cross-shard router are the node.
         inner.engine.set_commit_hook(Arc::clone(&inner) as Arc<dyn CommitHook>);
@@ -1022,7 +1313,7 @@ impl AggregatedNode {
         let watch_rpc = RpcNode::start(
             net,
             NodeId(id.0 + WATCH_ID_OFFSET),
-            Arc::new(move |_, body| {
+            sync_handler(move |_, body| {
                 if let Ok(CoordEvent::StateChanged(state)) = wire::from_bytes(&body) {
                     watch_inner.placement.update(state);
                 }

@@ -15,6 +15,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use lambda_coordinator::{CoordClient, CoordCmd, ShardId};
+use lambda_net::null_handler;
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{
     decode_error, InvocationContext, InvokeError, ObjectId, ObjectSnapshot, TxCall,
@@ -94,7 +95,7 @@ impl StoreClient {
         coordinators: Vec<NodeId>,
         timeout: Duration,
     ) -> StoreClient {
-        let rpc = RpcNode::start(net, id, Arc::new(|_, _| Ok(vec![])), 1);
+        let rpc = RpcNode::start(net, id, null_handler(), 1);
         let coord = if coordinators.is_empty() {
             None
         } else {
@@ -253,6 +254,14 @@ impl StoreClient {
                     self.refresh();
                     std::thread::sleep(policy.pause(attempt, &ctx));
                 }
+                Err(e @ InvokeError::Overloaded(_)) if !final_attempt => {
+                    // Admission control shed us *before* burning the
+                    // deadline; the placement map is not stale (no refresh
+                    // needed) — back off and re-offer within the same
+                    // budget.
+                    last_err = e;
+                    std::thread::sleep(policy.pause(attempt, &ctx));
+                }
                 Err(other) => return Err(other),
             }
         }
@@ -313,6 +322,65 @@ impl StoreClient {
             }
             self.invoke_at(ctx, node, object, method, args.clone(), read_only)
         })
+    }
+
+    /// Invoke `method` on `object` without parking this thread: `done`
+    /// runs on the client's RPC completion executor once the invocation
+    /// succeeds, exhausts its retries, or spends its deadline budget.
+    ///
+    /// Same logical-invocation semantics as [`invoke`](StoreClient::invoke)
+    /// — one invocation id across every redelivery, one shared deadline
+    /// budget, exponential-backoff retries on `WrongNode`/`Nested`/
+    /// `ShardUnavailable`/`Storage`/`Overloaded` — but backoff sleeps are
+    /// timer events, not parked threads, so an open-loop generator can keep
+    /// thousands of invocations in flight from a handful of threads.
+    pub fn invoke_async(
+        &self,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        read_only: bool,
+        done: InvokeCallback,
+    ) {
+        let st = AsyncInvokeState {
+            client: self.clone(),
+            object: object.clone(),
+            method: method.to_string(),
+            args,
+            read_only,
+            ctx: InvocationContext::client(self.inner.timeout),
+            attempt: 0,
+            pinned: None,
+            last_err: InvokeError::Nested("no storage nodes known".into()),
+        };
+        async_invoke_step(st, done);
+    }
+
+    /// Like [`invoke_async`](StoreClient::invoke_async), but every attempt
+    /// goes to one fixed `endpoint` instead of routing by placement — the
+    /// open-loop path to the disaggregated compute node or the serverless
+    /// gateway, which proxy to storage themselves.
+    pub fn invoke_async_at(
+        &self,
+        endpoint: NodeId,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        read_only: bool,
+        done: InvokeCallback,
+    ) {
+        let st = AsyncInvokeState {
+            client: self.clone(),
+            object: object.clone(),
+            method: method.to_string(),
+            args,
+            read_only,
+            ctx: InvocationContext::client(self.inner.timeout),
+            attempt: 0,
+            pinned: Some(endpoint),
+            last_err: InvokeError::Nested("endpoint never reached".into()),
+        };
+        async_invoke_step(st, done);
     }
 
     fn invoke_at(
@@ -572,4 +640,130 @@ impl StoreClient {
     pub fn shutdown(&self) {
         self.inner.rpc.shutdown();
     }
+}
+
+/// Completion for [`StoreClient::invoke_async`].
+pub type InvokeCallback = Box<dyn FnOnce(Result<VmValue, InvokeError>) + Send>;
+
+/// One in-flight logical invocation of the async path. The state walks the
+/// same routing loop as `with_routing_ctx`, but each retry is rescheduled
+/// through the RPC timer instead of sleeping, and each attempt's reply is
+/// classified in a completion callback instead of a parked thread.
+struct AsyncInvokeState {
+    client: StoreClient,
+    object: ObjectId,
+    method: String,
+    args: Vec<VmValue>,
+    read_only: bool,
+    ctx: InvocationContext,
+    attempt: usize,
+    /// `Some` = every attempt goes to this endpoint (no placement routing).
+    pinned: Option<NodeId>,
+    last_err: InvokeError,
+}
+
+fn async_invoke_step(mut st: AsyncInvokeState, done: InvokeCallback) {
+    let inner = Arc::clone(&st.client.inner);
+    {
+        if st.attempt >= inner.retries {
+            done(Err(st.last_err));
+            return;
+        }
+        st.ctx.attempt = st.attempt as u32;
+        if st.attempt > 0 {
+            inner.client_retries.fetch_add(1, Ordering::Relaxed);
+            if st.ctx.expired() {
+                done(Err(InvokeError::DeadlineExceeded));
+                return;
+            }
+        }
+        // Lost shard / unknown placement: refresh and go around (through
+        // the backoff timer, not a sleep).
+        let target = if st.pinned.is_some() {
+            st.pinned
+        } else {
+            match inner.placement.locate(&st.object) {
+                Some((shard, info)) if info.lost => {
+                    st.last_err = InvokeError::ShardUnavailable(format!(
+                        "shard {shard} for object {} lost every replica",
+                        st.object
+                    ));
+                    st.client.refresh();
+                    None
+                }
+                _ => st.client.target_for(&st.object, st.read_only),
+            }
+        };
+        let Some(node) = target else {
+            st.client.refresh();
+            st.attempt += 1;
+            async_invoke_backoff(st, done);
+            return;
+        };
+        let req = StoreRequest::Invoke {
+            object: st.object.0.clone(),
+            method: st.method.clone(),
+            args: st.args.clone(),
+            read_only: st.read_only,
+            internal: false,
+        };
+        let frame = proto::encode_request(&st.ctx, &req).expect("requests serialize");
+        let rpc_timeout = st.ctx.rpc_timeout(inner.attempt_timeout);
+        let rpc = Arc::clone(&inner.rpc);
+        rpc.call_deferred(
+            node,
+            frame,
+            rpc_timeout,
+            Box::new(move |reply| {
+                let result: Result<VmValue, InvokeError> = match reply {
+                    Ok(bytes) => match wire::from_bytes(&bytes) {
+                        Ok(StoreResponse::Value(v)) => Ok(v),
+                        Ok(other) => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+                        Err(e) => Err(InvokeError::Nested(format!("bad response: {e}"))),
+                    },
+                    Err(RpcError::Remote(msg)) => Err(decode_error(&msg)),
+                    Err(other) => Err(InvokeError::Nested(other.to_string())),
+                };
+                match result {
+                    Ok(v) => done(Ok(v)),
+                    Err(
+                        e @ (InvokeError::WrongNode(_)
+                        | InvokeError::Nested(_)
+                        | InvokeError::ShardUnavailable(_)
+                        | InvokeError::Storage(_)),
+                    ) => {
+                        st.last_err = e;
+                        st.client.refresh();
+                        st.attempt += 1;
+                        async_invoke_backoff(st, done);
+                    }
+                    Err(e @ InvokeError::Overloaded(_)) => {
+                        // Shed early by admission control: the placement
+                        // map is fine, just back off and re-offer.
+                        st.last_err = e;
+                        st.attempt += 1;
+                        async_invoke_backoff(st, done);
+                    }
+                    Err(other) => done(Err(other)),
+                }
+            }),
+        );
+    }
+}
+
+/// Schedule the next attempt after the policy's jittered pause, on the RPC
+/// timer (no thread parks). The policy is rebuilt per attempt from the
+/// invocation identity + attempt number, preserving deterministic replay
+/// without holding a `!Sync` rng across callbacks.
+fn async_invoke_backoff(st: AsyncInvokeState, done: InvokeCallback) {
+    if st.attempt >= st.client.inner.retries {
+        done(Err(st.last_err));
+        return;
+    }
+    let mut policy = RetryPolicy::new(
+        st.ctx.invocation_id ^ st.ctx.trace_id ^ (st.attempt as u64).wrapping_mul(0x9e37),
+    );
+    let pause = policy.pause(st.attempt.saturating_sub(1), &st.ctx);
+    let rpc = Arc::clone(&st.client.inner.rpc);
+    rpc.schedule(pause, Box::new(move || async_invoke_step(st, done)));
 }

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lambda_coordinator::{CoordClient, CoordCmd, CoordConfig, Coordinator, N_SLOTS};
+use lambda_net::null_handler;
 use lambda_net::{LatencyModel, Network, NodeId, RpcNode};
 use lambda_objects::{EngineConfig, InvokeError};
 use lambda_paxos::PaxosConfig;
@@ -57,6 +58,9 @@ pub struct ClusterConfig {
     pub kv: lambda_kv::Options,
     /// RPC workers per node.
     pub workers: usize,
+    /// Run-queue depth that trips admission control on aggregated nodes
+    /// (`0` = unbounded; see [`AggregatedConfig::run_queue_depth`]).
+    pub run_queue_depth: usize,
     /// Heartbeat interval for storage nodes.
     pub heartbeat_interval: Duration,
     /// Heartbeat timeout before the coordinator declares a node dead.
@@ -78,6 +82,7 @@ impl Default for ClusterConfig {
             engine: EngineConfig::default(),
             kv: lambda_kv::Options::default(),
             workers: 48,
+            run_queue_depth: 1024,
             heartbeat_interval: Duration::from_millis(100),
             heartbeat_timeout: Duration::from_millis(600),
         }
@@ -145,7 +150,7 @@ impl ClusterCore {
         // Bootstrap: register nodes, create shards, assign slots.
         let storage_ids: Vec<NodeId> =
             (0..config.storage_nodes).map(|i| NodeId(ids::STORAGE_BASE + i)).collect();
-        let admin_rpc = RpcNode::start(&net, ids::ADMIN, Arc::new(|_, _| Ok(vec![])), 1);
+        let admin_rpc = RpcNode::start(&net, ids::ADMIN, null_handler(), 1);
         let admin = CoordClient::new(
             Arc::clone(&admin_rpc),
             coordinator_ids.clone(),
@@ -182,6 +187,7 @@ impl ClusterCore {
                 kv: config.kv.clone(),
                 engine: config.engine,
                 workers: config.workers,
+                run_queue_depth: config.run_queue_depth,
                 rpc_timeout: Duration::from_millis(500),
                 heartbeat_interval: config.heartbeat_interval,
                 coordinators: coordinator_ids.clone(),
@@ -230,6 +236,7 @@ impl ClusterCore {
             kv: config.kv.clone(),
             engine: config.engine,
             workers: config.workers,
+            run_queue_depth: config.run_queue_depth,
             rpc_timeout: Duration::from_millis(500),
             heartbeat_interval: config.heartbeat_interval,
             coordinators: self.coordinator_ids.clone(),
@@ -237,7 +244,7 @@ impl ClusterCore {
         };
         let node = AggregatedNode::start(&self.net, id, node_config)?;
         let admin_id = NodeId(ids::ADMIN.0 + 1 + id.0);
-        let admin_rpc = RpcNode::start(&self.net, admin_id, Arc::new(|_, _| Ok(vec![])), 1);
+        let admin_rpc = RpcNode::start(&self.net, admin_id, null_handler(), 1);
         let admin = CoordClient::new(
             Arc::clone(&admin_rpc),
             self.coordinator_ids.clone(),
@@ -264,7 +271,7 @@ impl ClusterCore {
         replicas: Vec<NodeId>,
     ) -> Result<(), InvokeError> {
         let admin_id = NodeId(ids::ADMIN.0 + 5000 + shard);
-        let admin_rpc = RpcNode::start(&self.net, admin_id, Arc::new(|_, _| Ok(vec![])), 1);
+        let admin_rpc = RpcNode::start(&self.net, admin_id, null_handler(), 1);
         let admin = CoordClient::new(
             Arc::clone(&admin_rpc),
             self.coordinator_ids.clone(),
@@ -289,7 +296,7 @@ impl ClusterCore {
         let node = &self.storage[idx];
         let id = node.id();
         let admin_id = NodeId(ids::ADMIN.0 + 2000 + id.0);
-        let admin_rpc = RpcNode::start(&self.net, admin_id, Arc::new(|_, _| Ok(vec![])), 1);
+        let admin_rpc = RpcNode::start(&self.net, admin_id, null_handler(), 1);
         let admin = CoordClient::new(
             Arc::clone(&admin_rpc),
             self.coordinator_ids.clone(),
@@ -369,6 +376,7 @@ impl ClusterCore {
             kv: config.kv.clone(),
             engine: config.engine,
             workers: config.workers,
+            run_queue_depth: config.run_queue_depth,
             rpc_timeout: Duration::from_millis(500),
             heartbeat_interval: config.heartbeat_interval,
             coordinators: self.coordinator_ids.clone(),
@@ -378,7 +386,7 @@ impl ClusterCore {
         // Re-register: the failure detector removed the node from the
         // membership when it crashed (RegisterNode is idempotent if not).
         let admin_id = NodeId(ids::ADMIN.0 + 3000 + id.0);
-        let admin_rpc = RpcNode::start(&self.net, admin_id, Arc::new(|_, _| Ok(vec![])), 1);
+        let admin_rpc = RpcNode::start(&self.net, admin_id, null_handler(), 1);
         let admin = CoordClient::new(
             Arc::clone(&admin_rpc),
             self.coordinator_ids.clone(),

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
+use lambda_net::rpc::{null_handler, sync_handler};
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{encode_error, keys, InvokeError, ObjectId};
 use lambda_vm::{Host, HostError, Interpreter, Limits, Module, VmValue};
@@ -391,6 +392,7 @@ impl ComputeInner {
             duplicates_suppressed: 0,
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
             uptime_nanos: self.started.elapsed().as_nanos() as u64,
+            ..Default::default()
         }
     }
 }
@@ -399,7 +401,7 @@ impl ComputeNode {
     /// Start a compute node at `id`. The executor issues its storage RPCs
     /// from a dedicated endpoint (`id + 30000`).
     pub fn start(net: &Network, id: NodeId, config: ComputeConfig) -> Arc<ComputeNode> {
-        let exec_rpc = RpcNode::start(net, NodeId(id.0 + 30_000), Arc::new(|_, _| Ok(vec![])), 1);
+        let exec_rpc = RpcNode::start(net, NodeId(id.0 + 30_000), null_handler(), 1);
         let executor = Arc::new(FunctionExecutor::new(exec_rpc, &config));
         let inner = Arc::new(ComputeInner {
             id,
@@ -413,7 +415,7 @@ impl ComputeNode {
         let rpc = RpcNode::start(
             net,
             id,
-            Arc::new(move |_from, body| handler_inner.handle(body)),
+            sync_handler(move |_from, body| handler_inner.handle(body)),
             config.workers,
         );
         inner.rpc.set(rpc).expect("set once");

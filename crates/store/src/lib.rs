@@ -30,7 +30,7 @@ pub mod serverless;
 pub mod sync;
 
 pub use aggregated::{AggregatedConfig, AggregatedNode, WATCH_ID_OFFSET};
-pub use client::StoreClient;
+pub use client::{InvokeCallback, StoreClient};
 pub use cluster::{
     ids, AggregatedCluster, ClusterConfig, ClusterCore, DisaggregatedCluster, ServerlessCluster,
 };

@@ -257,6 +257,14 @@ pub struct NodeStatsWire {
     pub busy_nanos: u64,
     /// Nanoseconds since the node started.
     pub uptime_nanos: u64,
+    /// Requests admitted but not yet picked up by a worker (instantaneous
+    /// run-queue depth at the time of the stats read).
+    pub run_queue_depth: u64,
+    /// Requests admitted and not yet replied to — queued, executing, or
+    /// parked as deferred replies (instantaneous).
+    pub inflight: u64,
+    /// Requests refused by admission control since the node started.
+    pub shed: u64,
 }
 
 impl NodeStatsWire {
@@ -423,6 +431,9 @@ mod tests {
                 duplicates_suppressed: 6,
                 busy_nanos: 5,
                 uptime_nanos: 10,
+                run_queue_depth: 7,
+                inflight: 8,
+                shed: 9,
             }),
             StoreResponse::Values(vec![VmValue::Unit, VmValue::Int(1)]),
             StoreResponse::Objects(vec![b"user/1".to_vec()]),

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use lambda_kv::wal::Wal;
+use lambda_net::rpc::{null_handler, sync_handler};
 use lambda_net::{wire, Network, NodeId, RpcNode};
 use lambda_objects::{encode_error, InvokeError, ObjectId};
 
@@ -184,6 +185,7 @@ impl GatewayInner {
             duplicates_suppressed: 0,
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
             uptime_nanos: self.started.elapsed().as_nanos() as u64,
+            ..Default::default()
         }
     }
 }
@@ -214,7 +216,7 @@ impl ServerlessGateway {
             .map_err(|e| InvokeError::Storage(e.to_string()))?;
         let log = Wal::create(config.log_dir.join("requests.log"))
             .map_err(|e| InvokeError::Storage(e.to_string()))?;
-        let exec_rpc = RpcNode::start(net, NodeId(id.0 + 30_000), Arc::new(|_, _| Ok(vec![])), 1);
+        let exec_rpc = RpcNode::start(net, NodeId(id.0 + 30_000), null_handler(), 1);
         let executor = Arc::new(FunctionExecutor::new(exec_rpc, &config.compute));
         let workers = config.compute.workers;
         let inner = Arc::new(GatewayInner {
@@ -234,7 +236,7 @@ impl ServerlessGateway {
         let rpc = RpcNode::start(
             net,
             id,
-            Arc::new(move |_from, body| handler_inner.handle(body)),
+            sync_handler(move |_from, body| handler_inner.handle(body)),
             workers,
         );
         inner.rpc.set(rpc).expect("set once");

@@ -1,0 +1,220 @@
+//! Admission-control integration tests: shedding semantics at the
+//! aggregated nodes, client-side retry of shed requests, and the
+//! guarantee that internal traffic (replication, repair) is never shed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lambda_objects::{FieldDef, FieldKind, InvokeError, ObjectId};
+use lambda_store::{AggregatedCluster, ClusterConfig, StoreRequest, StoreResponse};
+use lambda_vm::{assemble, Module, VmValue};
+
+fn counter_module() -> Module {
+    assemble(
+        r#"
+        fn bump(1) locals=2 {
+            push.s "n"
+            host.get
+            btoi
+            load 0
+            add
+            store 1
+            push.s "n"
+            load 1
+            itob
+            host.put
+            pop
+            load 1
+            ret
+        }
+        fn read(0) ro det {
+            push.s "n"
+            host.get
+            btoi
+            ret
+        }
+        fn spin(1) locals=2 {
+            ; arg 0: iterations of busy work
+            load 0
+            store 1
+        loop:
+            load 1
+            jz done
+            load 1
+            push.i 1
+            sub
+            store 1
+            jmp loop
+        done:
+            push.i 0
+            ret
+        }
+        "#,
+    )
+    .expect("counter module assembles")
+}
+
+fn counter_fields() -> Vec<FieldDef> {
+    vec![FieldDef { name: "n".into(), kind: FieldKind::Scalar }]
+}
+
+/// A cluster whose storage nodes trip admission control almost
+/// immediately: one worker, run queue depth 1.
+fn tiny_queue_cluster() -> AggregatedCluster {
+    let config = ClusterConfig { workers: 1, run_queue_depth: 1, ..ClusterConfig::for_tests() };
+    AggregatedCluster::build(config).unwrap()
+}
+
+fn deploy_counter(cluster: &AggregatedCluster, object: &ObjectId) {
+    let client = cluster.client();
+    client.deploy_type("Counter", counter_fields(), &counter_module()).unwrap();
+    // Empty bytes decode to 0 under `btoi` (little-endian).
+    client.create_object("Counter", object, &[("n", b"" as &[u8])]).unwrap();
+}
+
+/// Over-depth client requests are refused with `Overloaded` — a distinct,
+/// immediately-retryable signal — never with `DeadlineExceeded` (the
+/// request was shed before burning any budget) and never a hang.
+#[test]
+fn overload_sheds_with_overloaded_error_not_deadline() {
+    let cluster = tiny_queue_cluster();
+    let client = cluster.client();
+    client.deploy_type("Counter", counter_fields(), &counter_module()).unwrap();
+    // Distinct objects so nothing queues behind an object guard: each
+    // request occupies the single worker for the whole VM spin, so a
+    // synchronized volley of 24 must overflow the depth-1 run queue.
+    let objects: Vec<ObjectId> =
+        (0..24).map(|i| ObjectId::new(format!("cnt{i}").into_bytes())).collect();
+    for o in &objects {
+        client.create_object("Counter", o, &[("n", b"" as &[u8])]).unwrap();
+    }
+    client.refresh();
+    let primary = client.placement().locate(&objects[0]).expect("placement").1.primary;
+
+    // `raw` bypasses the client's retry loop: we see each attempt's
+    // verbatim outcome. Aim everything at the shard primary at once.
+    let barrier = Arc::new(std::sync::Barrier::new(24));
+    let threads: Vec<_> = objects
+        .iter()
+        .map(|object| {
+            let client = cluster.client();
+            let object = object.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let req = StoreRequest::Invoke {
+                    object: object.0.clone(),
+                    method: "spin".into(),
+                    args: vec![VmValue::Int(100_000)],
+                    read_only: false,
+                    internal: false,
+                };
+                barrier.wait();
+                client.raw(primary, &req)
+            })
+        })
+        .collect();
+
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for t in threads {
+        match t.join().unwrap() {
+            Ok(StoreResponse::Value(_)) => ok += 1,
+            Ok(other) => panic!("unexpected reply {other:?}"),
+            Err(InvokeError::Overloaded(msg)) => {
+                assert!(msg.contains("run queue full"), "shed reason names the queue: {msg}");
+                shed += 1;
+            }
+            Err(other) => panic!("shed must surface as Overloaded, got {other:?}"),
+        }
+    }
+    assert!(shed >= 1, "24 concurrent requests against depth-1 queue must shed (ok={ok})");
+    assert!(ok >= 1, "the queue still serves admitted requests");
+
+    let node_shed: u64 = cluster.core.storage.iter().map(|n| n.stats().shed).sum();
+    assert!(node_shed >= shed, "node gauges record every shed ({node_shed} < {shed})");
+    cluster.shutdown();
+}
+
+/// Shed requests retried by the StoreClient succeed within the deadline
+/// budget: the full blocking `invoke` path absorbs overload transparently.
+#[test]
+fn shed_requests_retried_by_client_succeed() {
+    let cluster = tiny_queue_cluster();
+    let object = ObjectId::new(b"cnt".to_vec());
+    deploy_counter(&cluster, &object);
+
+    let succeeded = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..16)
+        .map(|t| {
+            let client = cluster.client();
+            let object = object.clone();
+            let succeeded = Arc::clone(&succeeded);
+            std::thread::spawn(move || {
+                for i in 0..3 {
+                    let v = client
+                        .invoke(&object, "bump", vec![VmValue::Int(1)], false)
+                        .unwrap_or_else(|e| panic!("thread {t} op {i}: {e}"));
+                    assert!(v.as_int().is_some());
+                    succeeded.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(succeeded.load(Ordering::Relaxed), 48);
+
+    // The counter saw every increment exactly once (retries are
+    // deduplicated by invocation id).
+    let client = cluster.client();
+    let v = client.invoke(&object, "read", vec![], true).unwrap();
+    assert_eq!(v.as_int(), Some(48));
+
+    let node_shed: u64 = cluster.core.storage.iter().map(|n| n.stats().shed).sum();
+    assert!(node_shed > 0, "depth-1 queue under 16 closed-loop writers must shed at least once");
+    cluster.shutdown();
+}
+
+/// Internal traffic is never shed: while client requests are being
+/// refused, replication (node-origin) keeps flowing, so every acked write
+/// is fully replicated and no write is lost.
+#[test]
+fn replication_and_internal_traffic_never_shed() {
+    let cluster = tiny_queue_cluster();
+    let object = ObjectId::new(b"cnt".to_vec());
+    deploy_counter(&cluster, &object);
+
+    let threads: Vec<_> = (0..12)
+        .map(|_| {
+            let client = cluster.client();
+            let object = object.clone();
+            std::thread::spawn(move || {
+                let mut acked = 0u64;
+                for _ in 0..4 {
+                    if client.invoke(&object, "bump", vec![VmValue::Int(1)], false).is_ok() {
+                        acked += 1;
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+    let acked: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(acked > 0);
+
+    let node_shed: u64 = cluster.core.storage.iter().map(|n| n.stats().shed).sum();
+    assert!(node_shed > 0, "client overload must be visible in the shed gauge");
+
+    // Every acked write was replicated despite the shedding: the backups
+    // applied replication batches (node-origin traffic was admitted).
+    let applied: u64 = cluster.core.storage.iter().map(|n| n.stats().replications_applied).sum();
+    assert!(applied > 0, "replication must keep flowing under client overload");
+
+    // Zero acked-write loss: the counter equals the number of acks (reads
+    // retry through any residual shedding).
+    let client = cluster.client();
+    let v = client.invoke(&object, "read", vec![], true).unwrap();
+    assert_eq!(v.as_int(), Some(acked as i64), "acked writes survive overload");
+    cluster.shutdown();
+}

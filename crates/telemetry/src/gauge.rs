@@ -1,0 +1,67 @@
+//! Lock-free instantaneous gauges.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A shared, lock-free gauge: a value that moves both ways (queue depth,
+/// in-flight requests), unlike the monotonic [`Counter`](crate::Counter).
+///
+/// Cloning a `Gauge` clones the *handle*, not the value: all clones update
+/// the same underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the gauge with `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn decr(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_cell_and_move_both_ways() {
+        let a = Gauge::new();
+        let b = a.clone();
+        a.add(5);
+        b.decr();
+        assert_eq!(a.get(), 4);
+        b.set(-2);
+        assert_eq!(a.get(), -2);
+    }
+}

@@ -21,12 +21,14 @@
 
 pub mod context;
 pub mod counter;
+pub mod gauge;
 pub mod histogram;
 pub mod registry;
 pub mod span;
 
 pub use context::{next_invocation_id, next_trace_id, InvocationContext, Origin, NO_BUDGET};
 pub use counter::Counter;
+pub use gauge::Gauge;
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use registry::Registry;
 pub use span::{SpanRecord, SpanRecorder, Stage};

@@ -6,6 +6,7 @@ use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::counter::Counter;
+use crate::gauge::Gauge;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::span::{SpanRecord, SpanRecorder, Stage};
 
@@ -26,6 +27,7 @@ pub struct Registry {
     enabled: AtomicBool,
     started: Instant,
     counters: RwLock<HashMap<&'static str, Counter>>,
+    gauges: RwLock<HashMap<&'static str, Gauge>>,
     stages: [LatencyHistogram; 4],
     spans: SpanRecorder,
 }
@@ -43,6 +45,7 @@ impl Registry {
             enabled: AtomicBool::new(true),
             started: Instant::now(),
             counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
             stages: Default::default(),
             spans: SpanRecorder::default(),
         }
@@ -91,6 +94,30 @@ impl Registry {
         out
     }
 
+    /// The gauge registered under `name`, creating it at zero on first
+    /// use. Like counters, the handle shares the cell with the registry;
+    /// gauges always run (they back load-shedding visibility), independent
+    /// of `set_enabled`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            return g.clone();
+        }
+        self.gauges.write().unwrap().entry(name).or_default().clone()
+    }
+
+    /// Current value of gauge `name` (zero if never registered).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.gauges.read().unwrap().get(name).map(|g| g.get()).unwrap_or(0)
+    }
+
+    /// Snapshot of every named gauge.
+    pub fn gauges(&self) -> Vec<(&'static str, i64)> {
+        let mut out: Vec<_> =
+            self.gauges.read().unwrap().iter().map(|(n, g)| (*n, g.get())).collect();
+        out.sort_unstable_by_key(|(n, _)| *n);
+        out
+    }
+
     fn stage_slot(stage: Stage) -> usize {
         match stage {
             Stage::Queue => 0,
@@ -134,6 +161,17 @@ mod tests {
         assert_eq!(r.counter_value("invocations"), 3);
         assert_eq!(r.counter_value("never"), 0);
         assert_eq!(r.counters(), vec![("invocations", 3)]);
+    }
+
+    #[test]
+    fn gauges_are_shared_handles() {
+        let r = Registry::new();
+        let depth = r.gauge("rpc_queue_depth");
+        depth.set(7);
+        r.gauge("rpc_queue_depth").decr();
+        assert_eq!(r.gauge_value("rpc_queue_depth"), 6);
+        assert_eq!(r.gauge_value("never"), 0);
+        assert_eq!(r.gauges(), vec![("rpc_queue_depth", 6)]);
     }
 
     #[test]

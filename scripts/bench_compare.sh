@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Guard benchmark results against regressions.
+#
+#   scripts/bench_compare.sh smoke   <candidate.json>
+#   scripts/bench_compare.sh compare <candidate.json> [baseline.json]
+#
+# smoke:    sanity-check a (small, CI-sized) openloop run: every swept
+#           rate must complete >= 90% of the requests it issued. Smoke
+#           runs use low offered rates, so losing more than 10% there
+#           means the un-overloaded request path regressed.
+#
+# compare:  diff a full openloop run against the committed baseline
+#           (default BENCH_openloop.json at the repo root): for every
+#           mode present in both files, knee_achieved and peak_achieved
+#           may not drop more than 10% below the baseline.
+#
+# Only tools guaranteed on a stock runner are used (awk, grep).
+
+set -euo pipefail
+
+die() {
+    echo "bench_compare: $*" >&2
+    exit 1
+}
+
+[ $# -ge 2 ] || die "usage: $0 smoke|compare <candidate.json> [baseline.json]"
+mode="$1"
+candidate="$2"
+[ -f "$candidate" ] || die "candidate file not found: $candidate"
+
+case "$mode" in
+smoke)
+    awk '
+        /"offered":/ {
+            points++
+            issued = 0; ok = 0
+            for (i = 1; i <= NF; i++) {
+                gsub(/[,}]/, "", $(i+1))
+                if ($i == "\"issued\":")  issued = $(i+1) + 0
+                if ($i == "\"ok\":")      ok = $(i+1) + 0
+            }
+            if (issued == 0) { print "FAIL: a swept rate issued nothing"; bad = 1 }
+            else if (ok < 0.9 * issued) {
+                printf "FAIL: only %d/%d requests completed ok (< 90%%)\n", ok, issued
+                bad = 1
+            }
+        }
+        END {
+            if (points == 0) { print "FAIL: no points in candidate"; exit 1 }
+            if (bad) exit 1
+            printf "smoke ok: %d rate points, all >= 90%% goodput\n", points
+        }
+    ' "$candidate" || die "smoke check failed for $candidate"
+    ;;
+compare)
+    baseline="${3:-BENCH_openloop.json}"
+    [ -f "$baseline" ] || die "baseline file not found: $baseline"
+    # Extract "mode knee_achieved peak_achieved" rows from a results file.
+    extract() {
+        awk '
+            /"mode":/ {
+                m = ""; knee = ""; peak = ""
+                for (i = 1; i <= NF; i++) {
+                    k = $i; gsub(/[{[]/, "", k)
+                    v = $(i+1); gsub(/[",}]/, "", v)
+                    if (k == "\"mode\":")          m = v
+                    if (k == "\"knee_achieved\":") knee = v
+                    if (k == "\"peak_achieved\":") peak = v
+                }
+                if (m != "") print m, knee + 0, peak + 0
+            }
+        ' "$1"
+    }
+    extract "$baseline" >/tmp/bench_base.$$
+    extract "$candidate" >/tmp/bench_cand.$$
+    [ -s /tmp/bench_base.$$ ] || die "no modes found in baseline $baseline"
+    bad=0
+    while read -r m base_knee base_peak; do
+        row=$(grep "^$m " /tmp/bench_cand.$$ || true)
+        if [ -z "$row" ]; then
+            echo "bench_compare: WARN mode '$m' missing from candidate, skipping" >&2
+            continue
+        fi
+        cand_knee=$(echo "$row" | awk '{print $2}')
+        cand_peak=$(echo "$row" | awk '{print $3}')
+        awk -v m="$m" -v b="$base_knee" -v c="$cand_knee" 'BEGIN {
+            if (c < 0.9 * b) { printf "FAIL: %s knee_achieved %.1f < 90%% of baseline %.1f\n", m, c, b; exit 1 }
+            printf "ok: %s knee_achieved %.1f vs baseline %.1f\n", m, c, b
+        }' || bad=1
+        awk -v m="$m" -v b="$base_peak" -v c="$cand_peak" 'BEGIN {
+            if (c < 0.9 * b) { printf "FAIL: %s peak_achieved %.1f < 90%% of baseline %.1f\n", m, c, b; exit 1 }
+            printf "ok: %s peak_achieved %.1f vs baseline %.1f\n", m, c, b
+        }' || bad=1
+    done </tmp/bench_base.$$
+    rm -f /tmp/bench_base.$$ /tmp/bench_cand.$$
+    [ "$bad" = 0 ] || die "regression(s) > 10% against $baseline"
+    echo "compare ok: no mode regressed more than 10%"
+    ;;
+*)
+    die "unknown mode '$mode' (want smoke or compare)"
+    ;;
+esac
