@@ -17,6 +17,7 @@ fn bench_codec(c: &mut Criterion) {
         args: vec![VmValue::str("a fairly typical post payload, ~64 bytes of text here!")],
         read_only: false,
         internal: false,
+        collect_read_set: false,
     };
     let encoded = wire::to_bytes(&request).unwrap();
     let mut group = c.benchmark_group("wire");

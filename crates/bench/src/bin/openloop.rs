@@ -18,12 +18,17 @@
 //!
 //! Knobs (env): `OPENLOOP_RATES` (comma-separated offered rates/s),
 //! `OPENLOOP_SECONDS` (window per rate), `OPENLOOP_MODES`
-//! (subset of `aggregated,disaggregated,serverless`),
-//! `OPENLOOP_ENDPOINTS` (client RPC endpoints to spread completions
-//! over), `OPENLOOP_MAX_INFLIGHT` (generator safety cap),
-//! `OPENLOOP_SYNC_WAL` (default 1: durability config matching
-//! ABL-GROUPCOMMIT's baseline), `SERVERLESS_COLD_MS`, plus the usual
-//! `RETWIS_ACCOUNTS` / `RETWIS_FOLLOWS` / `BENCH_RTT_US`.
+//! (subset of `aggregated,disaggregated,serverless`, each optionally
+//! suffixed with a request mix: `aggregated:read90` is 90% GetTimeline /
+//! 10% Post with leased follower reads and the client-edge result cache;
+//! `aggregated:read90-primary` is the same mix with reads pinned to the
+//! primary and no edge cache — the pre-lease read path, for the
+//! read-scaling comparison), `OPENLOOP_ENDPOINTS` (client RPC endpoints
+//! to spread completions over), `OPENLOOP_MAX_INFLIGHT` (generator
+//! safety cap), `OPENLOOP_EDGE_CACHE` (edge-cache entries per client in
+//! read mixes, default 4096), `OPENLOOP_SYNC_WAL` (default 1: durability
+//! config matching ABL-GROUPCOMMIT's baseline), `SERVERLESS_COLD_MS`,
+//! plus the usual `RETWIS_ACCOUNTS` / `RETWIS_FOLLOWS` / `BENCH_RTT_US`.
 //!
 //! Emits `BENCH_openloop.json` (override with `BENCH_JSON_PATH`).
 
@@ -89,6 +94,37 @@ impl Cluster {
     }
 }
 
+/// The request mix one mode cell drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    /// 100% Post (writes) — the original pipeline stressor.
+    Post,
+    /// 90% GetTimeline / 10% Post. `pin_primary` routes the reads to the
+    /// shard primary with no edge cache (the pre-lease read path);
+    /// otherwise reads rotate across leased replicas and repeat reads
+    /// short-circuit in the client-edge result cache.
+    Read90 { pin_primary: bool },
+}
+
+impl Mix {
+    fn parse(name: &str) -> Mix {
+        match name {
+            "post" => Mix::Post,
+            "read90" => Mix::Read90 { pin_primary: false },
+            "read90-primary" => Mix::Read90 { pin_primary: true },
+            other => panic!("unknown OPENLOOP_MODES mix suffix {other:?}"),
+        }
+    }
+
+    fn suffix(self) -> &'static str {
+        match self {
+            Mix::Post => "",
+            Mix::Read90 { pin_primary: false } => ":read90",
+            Mix::Read90 { pin_primary: true } => ":read90-primary",
+        }
+    }
+}
+
 /// Completion-side counters shared with the async callbacks.
 #[derive(Default)]
 struct RateStats {
@@ -118,7 +154,7 @@ struct Point {
 }
 
 struct ModeResult {
-    label: &'static str,
+    label: String,
     points: Vec<Point>,
     knee_offered: f64,
     knee_achieved: f64,
@@ -140,10 +176,12 @@ fn storage_shed(core: &ClusterCore) -> u64 {
 }
 
 /// Run one open-loop window at `rate` requests/second.
+#[allow(clippy::too_many_arguments)]
 fn run_rate(
     cluster: &Cluster,
     clients: &[StoreClient],
     accounts: usize,
+    mix: Mix,
     rate: f64,
     window: Duration,
     max_inflight: u64,
@@ -178,7 +216,10 @@ fn run_rate(
         issued += 1;
         let author = rng.gen_range(0..accounts);
         let object = ObjectId::new(account_id(author));
-        let msg = format!("openloop {issued}");
+        let write = match mix {
+            Mix::Post => true,
+            Mix::Read90 { .. } => rng.gen_range(0..10) == 0,
+        };
         let inflight = stats.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         stats.max_inflight.fetch_max(inflight, Ordering::Relaxed);
         let st = Arc::clone(&stats);
@@ -202,10 +243,14 @@ fn run_rate(
             st.inflight.fetch_sub(1, Ordering::Relaxed);
         });
         let client = &clients[issued as usize % clients.len()];
-        let args = vec![VmValue::str(&msg)];
+        let (method, args, read_only) = if write {
+            ("create_post", vec![VmValue::str(format!("openloop {issued}"))], false)
+        } else {
+            ("get_timeline", vec![VmValue::Int(10)], true)
+        };
         match endpoint {
-            None => client.invoke_async(&object, "create_post", args, false, done),
-            Some(ep) => client.invoke_async_at(ep, &object, "create_post", args, false, done),
+            None => client.invoke_async(&object, method, args, read_only, done),
+            Some(ep) => client.invoke_async_at(ep, &object, method, args, read_only, done),
         }
     }
 
@@ -277,10 +322,24 @@ fn run_mode(mode: &str, rates: &[f64], setup_cfg: &WorkloadConfig) -> ModeResult
     let endpoints = env_usize("OPENLOOP_ENDPOINTS", 4).max(1);
     let max_inflight = env_usize("OPENLOOP_MAX_INFLIGHT", 20_000) as u64;
 
+    // `arch` or `arch:mix` (e.g. `aggregated:read90`).
+    let (arch, mix) = match mode.split_once(':') {
+        Some((arch, mix)) => (arch, Mix::parse(mix)),
+        None => (mode, Mix::Post),
+    };
     eprintln!("[{mode}] building cluster (sync_wal={sync_wal})...");
-    let cluster = build_cluster(mode, sync_wal);
+    let cluster = build_cluster(arch, sync_wal);
     prepare(&cluster, setup_cfg);
     let clients: Vec<StoreClient> = (0..endpoints).map(|_| cluster.core().client()).collect();
+    if let Mix::Read90 { pin_primary } = mix {
+        for client in &clients {
+            if pin_primary {
+                client.pin_reads_to_primary(true);
+            } else {
+                client.enable_edge_cache(env_usize("OPENLOOP_EDGE_CACHE", 4096));
+            }
+        }
+    }
 
     let mut points = Vec::new();
     for (i, &rate) in rates.iter().enumerate() {
@@ -288,6 +347,7 @@ fn run_mode(mode: &str, rates: &[f64], setup_cfg: &WorkloadConfig) -> ModeResult
             &cluster,
             &clients,
             setup_cfg.accounts,
+            mix,
             rate,
             window,
             max_inflight,
@@ -319,7 +379,7 @@ fn run_mode(mode: &str, rates: &[f64], setup_cfg: &WorkloadConfig) -> ModeResult
         .map_or((0.0, 0.0), |p| (p.offered, p.achieved));
     let peak = points.iter().map(|p| p.achieved).fold(0.0, f64::max);
     ModeResult {
-        label: cluster.label(),
+        label: format!("{}{}", cluster.label(), mix.suffix()),
         points,
         knee_offered: knee.0,
         knee_achieved: knee.1,
@@ -329,7 +389,7 @@ fn run_mode(mode: &str, rates: &[f64], setup_cfg: &WorkloadConfig) -> ModeResult
 
 fn write_json(path: &str, window_s: f64, sync_wal: bool, modes: &[ModeResult]) {
     let mut out = format!(
-        "{{\n  \"experiment\": \"OPENLOOP\",\n  \"workload\": \"Post\",\n  \
+        "{{\n  \"experiment\": \"OPENLOOP\",\n  \"workload\": \"per-mode mix (default Post)\",\n  \
          \"arrivals\": \"poisson\",\n  \"window_secs\": {window_s:.2},\n  \
          \"sync_wal\": {sync_wal},\n  \"modes\": [\n"
     );
@@ -388,8 +448,8 @@ fn main() {
         std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_openloop.json".into());
 
     println!(
-        "openloop: Post workload, poisson arrivals, rates {rates:?}, window {window_s}s, \
-         accounts {}",
+        "openloop: per-mode mix (default Post), poisson arrivals, rates {rates:?}, \
+         window {window_s}s, accounts {}",
         setup_cfg.accounts
     );
 

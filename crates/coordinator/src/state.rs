@@ -69,6 +69,15 @@ impl ShardInfo {
             self.target_replicas as usize
         }
     }
+
+    /// Members serving this configuration (primary or backup) that no
+    /// longer serve in `newer`. These are exactly the nodes whose read
+    /// leases the new configuration must let drain before acking commits:
+    /// everyone still in `newer` keeps receiving every acked write, so
+    /// only departures can serve a stale read.
+    pub fn departed_members(&self, newer: &ShardInfo) -> Vec<NodeId> {
+        self.replicas().into_iter().filter(|&n| !newer.contains(n)).collect()
+    }
 }
 
 /// Commands accepted by the replicated state machine.
@@ -686,6 +695,25 @@ mod tests {
         // Confirming a node that is not syncing is a no-op.
         st.apply(&CoordCmd::ConfirmBackup { shard: 0, node: NodeId(3), expected_epoch: 3 });
         assert_eq!(st.shard(0).unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn departed_members_tracks_replica_set_shrinkage() {
+        let mut st = three_node_state();
+        let before = st.shard(0).unwrap().clone();
+        // Failover away from the primary: the old primary departed, the
+        // promoted backup and any survivors have not.
+        st.apply(&CoordCmd::RemoveNode { node: before.primary });
+        for cmd in st.plan_failover(before.primary) {
+            st.apply(&cmd);
+        }
+        let after = st.shard(0).unwrap();
+        assert_eq!(before.departed_members(after), vec![before.primary]);
+        assert!(after.departed_members(after).is_empty(), "stable config has no departures");
+        // A syncing recruit is not a member and never shows up as departed.
+        let mut with_recruit = after.clone();
+        with_recruit.syncing.push(NodeId(9));
+        assert_eq!(with_recruit.departed_members(after), Vec::<NodeId>::new());
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// A recorded read set: each key the cached execution read, paired with
+/// the hash of the value it observed.
+pub type ReadSet = Vec<(Vec<u8>, u64)>;
+
 /// Key of a cache entry: object, method, and a hash of the arguments.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct EntryKey {
@@ -50,7 +54,12 @@ struct EntryKey {
 #[derive(Debug, Clone)]
 struct Entry {
     result: VmValue,
-    read_set: Vec<(Vec<u8>, u64)>,
+    read_set: ReadSet,
+    /// Insertion stamp matching this entry's ticket in the eviction queue.
+    /// A replace keeps the stamp (and the FIFO position); an entry that was
+    /// invalidated and later re-inserted gets a fresh stamp, so the old
+    /// queue ticket no longer matches and cannot evict the live entry.
+    seq: u64,
 }
 
 /// Hash the argument list of an invocation.
@@ -67,8 +76,10 @@ struct CacheInner {
     entries: HashMap<EntryKey, Entry>,
     /// Reverse index: storage key → cache entries reading it.
     by_key: HashMap<Vec<u8>, HashSet<EntryKey>>,
-    /// FIFO order for capacity eviction.
-    order: VecDeque<EntryKey>,
+    /// FIFO order for capacity eviction; tickets are `(key, seq)` and only
+    /// count while the stamp still matches the live entry.
+    order: VecDeque<(EntryKey, u64)>,
+    next_seq: u64,
 }
 
 /// The consistent function-result cache of one storage node.
@@ -92,11 +103,13 @@ impl std::fmt::Debug for ConsistentCache {
 }
 
 impl ConsistentCache {
-    /// A cache bounded to `capacity` entries.
+    /// A cache bounded to `capacity` entries. Capacity 0 is a fully
+    /// disabled cache: lookups miss for free, inserts are dropped, and no
+    /// statistics accumulate.
     pub fn new(capacity: usize) -> ConsistentCache {
         ConsistentCache {
             inner: Mutex::new(CacheInner::default()),
-            capacity: capacity.max(1),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
@@ -114,6 +127,21 @@ impl ConsistentCache {
     /// [`lookup_validated`](Self::lookup_validated) re-checks the read set
     /// anyway, for callers that bypass the commit paths.
     pub fn lookup(&self, object: &ObjectId, method: &str, args: &[VmValue]) -> Option<VmValue> {
+        self.lookup_with_read_set(object, method, args).map(|(v, _)| v)
+    }
+
+    /// Like [`lookup`](Self::lookup), but also returns the entry's recorded
+    /// read set — the server uses this to hand read sets to client-edge
+    /// caches without re-executing the method.
+    pub fn lookup_with_read_set(
+        &self,
+        object: &ObjectId,
+        method: &str,
+        args: &[VmValue],
+    ) -> Option<(VmValue, ReadSet)> {
+        if self.capacity == 0 {
+            return None;
+        }
         let key = EntryKey {
             object: object.clone(),
             method: method.to_string(),
@@ -126,7 +154,7 @@ impl ConsistentCache {
         match entry {
             Some(entry) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.result)
+                Some((entry.result, entry.read_set))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -146,6 +174,9 @@ impl ConsistentCache {
         args: &[VmValue],
         mut current_hash: impl FnMut(&[u8]) -> u64,
     ) -> Option<VmValue> {
+        if self.capacity == 0 {
+            return None;
+        }
         let key = EntryKey {
             object: object.clone(),
             method: method.to_string(),
@@ -177,18 +208,25 @@ impl ConsistentCache {
         method: &str,
         args: &[VmValue],
         result: VmValue,
-        read_set: Vec<(Vec<u8>, u64)>,
+        read_set: ReadSet,
     ) {
+        if self.capacity == 0 {
+            return;
+        }
         let key = EntryKey {
             object: object.clone(),
             method: method.to_string(),
             args_hash: args_hash(args),
         };
         let mut inner = self.inner.lock();
-        // Drain order keys whose entries were invalidated out-of-band; they
-        // are not live and must not linger (unbounded growth) nor count
-        // toward anything.
-        while inner.order.front().is_some_and(|k| !inner.entries.contains_key(k)) {
+        // Drain queue tickets whose entries were invalidated (or replaced
+        // under a newer stamp) out-of-band; they are not live and must not
+        // linger (unbounded growth) nor count toward anything.
+        while inner
+            .order
+            .front()
+            .is_some_and(|(k, s)| inner.entries.get(k).map(|e| e.seq) != Some(*s))
+        {
             inner.order.pop_front();
         }
         // A replace: detach the old version's read set from the reverse
@@ -206,31 +244,45 @@ impl ConsistentCache {
             }
         }
         // Capacity eviction (FIFO) — only when the insert actually grows
-        // the map; replacing in place never needs a victim.
+        // the map; replacing in place never needs a victim. Tickets with a
+        // mismatched stamp are stale duplicates (their entry was
+        // invalidated and re-inserted since) and are skipped, not counted:
+        // honoring them would evict the *live* re-inserted entry early.
         if replacing.is_none() {
             while inner.entries.len() >= self.capacity {
-                let Some(victim) = inner.order.pop_front() else {
+                let Some((victim, stamp)) = inner.order.pop_front() else {
                     break;
                 };
-                if let Some(old) = inner.entries.remove(&victim) {
-                    for (k, _) in &old.read_set {
-                        if let Some(set) = inner.by_key.get_mut(k) {
-                            set.remove(&victim);
-                            if set.is_empty() {
-                                inner.by_key.remove(k);
+                if inner.entries.get(&victim).is_some_and(|e| e.seq == stamp) {
+                    if let Some(old) = inner.entries.remove(&victim) {
+                        for (k, _) in &old.read_set {
+                            if let Some(set) = inner.by_key.get_mut(k) {
+                                set.remove(&victim);
+                                if set.is_empty() {
+                                    inner.by_key.remove(k);
+                                }
                             }
                         }
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
                     }
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
         for (k, _) in &read_set {
             inner.by_key.entry(k.clone()).or_default().insert(key.clone());
         }
-        inner.entries.insert(key.clone(), Entry { result, read_set });
+        // A replace keeps the old stamp and queue position; a fresh insert
+        // takes a new stamp and joins the queue tail.
+        let seq = match &replacing {
+            Some(old) => old.seq,
+            None => {
+                inner.next_seq += 1;
+                inner.next_seq
+            }
+        };
+        inner.entries.insert(key.clone(), Entry { result, read_set, seq });
         if replacing.is_none() {
-            inner.order.push_back(key);
+            inner.order.push_back((key, seq));
         }
     }
 
@@ -330,7 +382,7 @@ mod tests {
         ObjectId::from("user/1")
     }
 
-    fn read_set(pairs: &[(&[u8], Option<&[u8]>)]) -> Vec<(Vec<u8>, u64)> {
+    fn read_set(pairs: &[(&[u8], Option<&[u8]>)]) -> ReadSet {
         pairs.iter().map(|(k, v)| (k.to_vec(), value_hash(*v))).collect()
     }
 
@@ -455,6 +507,47 @@ mod tests {
         let b = [VmValue::Int(2), VmValue::Int(1)];
         assert_ne!(args_hash(&a), args_hash(&b));
         assert_eq!(args_hash(&a), args_hash(&a.clone()));
+    }
+
+    #[test]
+    fn capacity_zero_is_a_disabled_cache() {
+        let cache = ConsistentCache::new(0);
+        cache.insert(&oid(), "get", &[], VmValue::Int(1), read_set(&[(b"k", None)]));
+        assert!(cache.lookup(&oid(), "get", &[]).is_none());
+        assert!(cache.lookup_validated(&oid(), "get", &[], |_| 0).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.order_len(), 0, "no insert bookkeeping when disabled");
+        cache.invalidate_keys([&b"k"[..]]);
+        cache.invalidate_object(&oid());
+        assert_eq!(cache.stats(), CacheStats::default(), "stats stay zero when disabled");
+    }
+
+    #[test]
+    fn reinserted_entry_is_not_evicted_by_its_stale_queue_ticket() {
+        let cache = ConsistentCache::new(2);
+        cache.insert(&oid(), "a", &[], VmValue::Int(1), read_set(&[(b"k", None)]));
+        cache.insert(&oid(), "b", &[], VmValue::Int(2), vec![]);
+        // Invalidate "a", then re-insert it: the queue now holds a stale
+        // ticket for "a" in front of the live one.
+        cache.invalidate_keys([&b"k"[..]]);
+        cache.insert(&oid(), "a", &[], VmValue::Int(11), vec![]);
+        // Filling the cache must evict the true FIFO victim ("b"), not
+        // honor the stale front ticket and evict the re-inserted "a".
+        cache.insert(&oid(), "c", &[], VmValue::Int(3), vec![]);
+        assert_eq!(cache.lookup(&oid(), "a", &[]), Some(VmValue::Int(11)), "live entry survives");
+        assert!(cache.lookup(&oid(), "b", &[]).is_none(), "true oldest evicted");
+        assert_eq!(cache.lookup(&oid(), "c", &[]), Some(VmValue::Int(3)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lookup_with_read_set_returns_the_recorded_reads() {
+        let cache = ConsistentCache::new(4);
+        let rs = read_set(&[(b"k1", Some(b"v1"))]);
+        cache.insert(&oid(), "get", &[], VmValue::Int(9), rs.clone());
+        let (v, got) = cache.lookup_with_read_set(&oid(), "get", &[]).unwrap();
+        assert_eq!(v, VmValue::Int(9));
+        assert_eq!(got, rs);
     }
 
     #[test]

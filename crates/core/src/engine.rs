@@ -123,6 +123,16 @@ pub type CommitCallback = Box<dyn FnOnce(std::result::Result<(), String>) + Send
 /// final result.
 pub type InvokeCompletion = Box<dyn FnOnce(Result<VmValue>) + Send>;
 
+/// A recorded read set: keys and value hashes, as cached by the
+/// consistent result cache (§4.2.2).
+pub type ReadSet = Vec<(Vec<u8>, u64)>;
+
+/// Completion for a deferred invocation that also wants the recorded read
+/// set. The read set is `Some` only for cacheable (deterministic
+/// read-only) invocations; mutating or non-deterministic calls yield
+/// `None`.
+pub type TrackedCompletion = Box<dyn FnOnce(Result<(VmValue, Option<ReadSet>)>) + Send>;
+
 pub trait CommitHook: Send + Sync {
     /// Called with the object and the operations just committed locally
     /// (`None` value = deletion). `ctx` carries the committing
@@ -200,7 +210,7 @@ impl Engine {
         Engine {
             db,
             types,
-            cache: ConsistentCache::new(config.cache_capacity.max(1)),
+            cache: ConsistentCache::new(config.cache_capacity),
             cache_enabled: config.cache_capacity > 0,
             scheduler: Scheduler::with_registry(config.scheduler, &registry),
             interpreter: if config.reference_interpreter {
@@ -577,11 +587,20 @@ impl Engine {
                     }
                     self.commit_batch(ctx, object, batch, &written)?;
                 }
+                // The insert happens while the object guard is still held:
+                // a concurrent exclusive apply (replication landing this
+                // object's next write) is then ordered entirely before or
+                // after this read — never between its snapshot and its
+                // cache insert, which is the window where a stale result
+                // could be recorded *after* the apply's eager invalidation
+                // already ran and serve trusted hits forever after.
+                let guard = host.guard.take();
                 drop(host);
                 self.invocations.incr();
                 if cacheable {
                     self.cache.insert(object, method, &args, value.clone(), read_set);
                 }
+                drop(guard);
                 Ok(value)
             }
             Err(e) => {
@@ -619,6 +638,30 @@ impl Engine {
         external: bool,
         done: InvokeCompletion,
     ) {
+        self.invoke_deferred_tracked(
+            ctx,
+            object,
+            method,
+            args,
+            external,
+            Box::new(move |r| done(r.map(|(v, _)| v))),
+        );
+    }
+
+    /// [`invoke_deferred`](Engine::invoke_deferred), but the completion
+    /// also receives the invocation's recorded read set when the method is
+    /// cacheable — from the cache entry on a hit, from the execution's
+    /// read buffer on a miss. Servers use this to feed client-edge result
+    /// caches without a second execution.
+    pub fn invoke_deferred_tracked(
+        self: &Arc<Self>,
+        ctx: &InvocationContext,
+        object: &ObjectId,
+        method: &str,
+        args: Vec<VmValue>,
+        external: bool,
+        done: TrackedCompletion,
+    ) {
         let ty = match self.object_type(object) {
             Ok(ty) => ty,
             Err(e) => {
@@ -640,10 +683,10 @@ impl Engine {
         let read_only = meta.read_only;
         let cacheable = self.cache_enabled && read_only && meta.deterministic;
         if cacheable {
-            if let Some(hit) = self.cache.lookup(object, method, &args) {
+            if let Some((hit, read_set)) = self.cache.lookup_with_read_set(object, method, &args) {
                 self.cache_hits.incr();
                 self.invocations.incr();
-                done(Ok(hit));
+                done(Ok((hit, Some(read_set))));
                 return;
             }
         }
@@ -688,7 +731,7 @@ impl Engine {
         read_only: bool,
         cacheable: bool,
         guard: crate::scheduler::ObjectGuard,
-        done: InvokeCompletion,
+        done: TrackedCompletion,
     ) {
         // Exactly-once under retries, as in the sync path: checked under
         // the object guard so the first delivery's commit is visible.
@@ -700,7 +743,7 @@ impl Engine {
                         self.duplicates_suppressed.incr();
                         self.invocations.incr();
                         drop(guard);
-                        done(Ok(result));
+                        done(Ok((result, None)));
                         return;
                     }
                 }
@@ -758,15 +801,21 @@ impl Engine {
                     // finishes.
                     let guard = host.guard.take();
                     drop(host);
+                    let done: InvokeCompletion = Box::new(move |r| done(r.map(|v| (v, None))));
                     self.commit_deferred(ctx, object, batch, written, guard, value, done);
                     return;
                 }
+                // Insert under the object guard — see `invoke_ctx` for why
+                // releasing first would let a concurrent replicated apply
+                // invalidate *before* the stale insert lands.
+                let guard = host.guard.take();
                 drop(host);
                 self.invocations.incr();
                 if cacheable {
-                    self.cache.insert(&object, &method, &args, value.clone(), read_set);
+                    self.cache.insert(&object, &method, &args, value.clone(), read_set.clone());
                 }
-                done(Ok(value));
+                drop(guard);
+                done(Ok((value, cacheable.then_some(read_set))));
             }
             Err(e) => {
                 host.buffer.discard();

@@ -44,6 +44,11 @@ pub enum InvokeError {
     /// burned — the node shed early precisely so the client can back off
     /// and try again (or try elsewhere) within the same budget.
     Overloaded(String),
+    /// A follower (or deposed primary) refused a read because its read
+    /// lease is missing, expired, or bound to a stale epoch. Retryable:
+    /// the data is fine — the client should refresh placement and route
+    /// the read to the shard primary.
+    LeaseExpired(String),
 }
 
 impl fmt::Display for InvokeError {
@@ -63,6 +68,7 @@ impl fmt::Display for InvokeError {
             InvokeError::DeadlineExceeded => write!(f, "invocation deadline exceeded"),
             InvokeError::ShardUnavailable(msg) => write!(f, "shard unavailable: {msg}"),
             InvokeError::Overloaded(msg) => write!(f, "node overloaded: {msg}"),
+            InvokeError::LeaseExpired(msg) => write!(f, "read lease expired: {msg}"),
         }
     }
 }
@@ -113,6 +119,7 @@ pub fn encode_error(e: &InvokeError) -> String {
         InvokeError::DeadlineExceeded => "deadline_exceeded\x1f".to_string(),
         InvokeError::ShardUnavailable(s) => format!("shard_unavailable\x1f{s}"),
         InvokeError::Overloaded(s) => format!("overloaded\x1f{s}"),
+        InvokeError::LeaseExpired(s) => format!("lease_expired\x1f{s}"),
     }
 }
 
@@ -136,6 +143,7 @@ pub fn decode_error(s: &str) -> InvokeError {
         "deadline_exceeded" => InvokeError::DeadlineExceeded,
         "shard_unavailable" => InvokeError::ShardUnavailable(rest),
         "overloaded" => InvokeError::Overloaded(rest),
+        "lease_expired" => InvokeError::LeaseExpired(rest),
         _ => InvokeError::Nested(s.to_string()),
     }
 }
@@ -161,6 +169,7 @@ mod tests {
             InvokeError::DeadlineExceeded,
             InvokeError::ShardUnavailable("shard 3 lost".into()),
             InvokeError::Overloaded("run queue full".into()),
+            InvokeError::LeaseExpired("epoch 4 lease lapsed".into()),
         ];
         for e in &errors {
             assert!(!e.to_string().is_empty());
@@ -184,6 +193,7 @@ mod tests {
             InvokeError::DeadlineExceeded,
             InvokeError::ShardUnavailable("no replicas".into()),
             InvokeError::Overloaded("depth 128".into()),
+            InvokeError::LeaseExpired("no lease for shard 2".into()),
         ];
         for e in errors {
             assert_eq!(decode_error(&encode_error(&e)), e, "{e}");

@@ -80,7 +80,7 @@ pub use buffer::{value_hash, WriteBuffer};
 pub use cache::{args_hash, CacheStats, ConsistentCache};
 pub use engine::{
     CommitCallback, CommitHook, Engine, EngineConfig, EngineStats, InvokeCompletion, InvokeRouter,
-    WriteSetOps, DEDUP_WINDOW,
+    ReadSet, TrackedCompletion, WriteSetOps, DEDUP_WINDOW,
 };
 pub use error::{decode_error, encode_error, InvokeError, Result};
 pub use host::{NestedInvoker, ObjectHost};

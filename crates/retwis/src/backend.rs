@@ -112,6 +112,7 @@ impl EndpointBackend {
             args,
             read_only,
             internal: false,
+            collect_read_set: false,
         };
         match self.client.raw(self.endpoint, &req)? {
             StoreResponse::Value(v) => Ok(v),

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
@@ -19,7 +19,7 @@ use parking_lot::{Condvar, Mutex};
 
 use lambda_coordinator::CoordClient;
 use lambda_coordinator::CoordEvent;
-use lambda_coordinator::{Epoch, ShardId};
+use lambda_coordinator::{ClusterState, Epoch, ShardId};
 use lambda_kv::Db;
 use lambda_net::rpc::{sync_handler, AdmissionPolicy, Responder, RpcConfig};
 use lambda_net::{wire, Handler, Network, NodeId, RpcError, RpcNode};
@@ -31,7 +31,7 @@ use lambda_objects::{
 use lambda_vm::VmValue;
 
 use crate::placement::Placement;
-use crate::proto::{self, NodeStatsWire, StoreRequest, StoreResponse, SyncItem};
+use crate::proto::{self, ClientPush, NodeStatsWire, StoreRequest, StoreResponse, SyncItem};
 use crate::sync::{SyncManager, SyncPhase, SyncSession};
 
 /// Offset for a node's watch endpoint (coordinator push notifications).
@@ -65,6 +65,14 @@ pub struct AggregatedConfig {
     pub coordinators: Vec<NodeId>,
     /// Soft payload bound per shard state-transfer chunk (repair).
     pub sync_chunk_bytes: usize,
+    /// Read-lease duration. A primary grants backups the right to serve
+    /// read-only invocations for this long per grant (piggybacked on
+    /// replication traffic and renewed from the heartbeat loop), and a
+    /// freshly reconfigured primary fences commits for up to this long so
+    /// departed members' leases drain. Must stay below the coordinator's
+    /// `heartbeat_timeout` × 2 (see DESIGN.md §11); leases are only
+    /// enforced when coordinators are configured.
+    pub lease_duration: Duration,
 }
 
 impl AggregatedConfig {
@@ -80,6 +88,7 @@ impl AggregatedConfig {
             heartbeat_interval: Duration::from_millis(100),
             coordinators,
             sync_chunk_bytes: 64 * 1024,
+            lease_duration: Duration::from_millis(400),
         }
     }
 }
@@ -167,19 +176,19 @@ struct DeferredWindowState {
 }
 
 /// Decode one ack per backup; any failure fails the whole window.
-fn collect_acks(backups: &[NodeId], replies: Vec<Result<Vec<u8>, RpcError>>) -> Result<(), String> {
-    for (backup, reply) in backups.iter().zip(replies) {
-        match reply {
-            Ok(bytes) => match wire::from_bytes::<StoreResponse>(&bytes) {
-                Ok(StoreResponse::Ok) => {}
-                Ok(other) => return Err(format!("backup {backup}: bad reply {other:?}")),
-                Err(e) => return Err(format!("backup {backup}: bad response: {e}")),
-            },
-            Err(RpcError::Remote(msg)) => return Err(format!("backup {backup} failed: {msg}")),
-            Err(e) => return Err(format!("backup {backup} failed: {e}")),
-        }
-    }
-    Ok(())
+/// The subset of `backups` whose reply was anything but a clean `Ok` ack.
+/// Replication retries re-target exactly this subset: a backup that acked
+/// has the write applied, whatever happened to its peers.
+fn failed_acks(backups: &[NodeId], replies: &[Result<Vec<u8>, RpcError>]) -> Vec<NodeId> {
+    backups
+        .iter()
+        .zip(replies)
+        .filter(|(_, reply)| {
+            !matches!(reply, Ok(bytes)
+                if matches!(wire::from_bytes::<StoreResponse>(bytes), Ok(StoreResponse::Ok)))
+        })
+        .map(|(backup, _)| *backup)
+        .collect()
 }
 
 struct NodeInner {
@@ -238,6 +247,42 @@ struct NodeInner {
     repair_sync_enqueued: Counter,
     /// Stream items acked by syncing backups.
     repair_sync_shipped: Counter,
+    /// Read-lease duration (grants, fences, and the primary's own read
+    /// authority window all derive from it).
+    lease_duration: Duration,
+    /// Leases are only enforced when a coordinator drives placement;
+    /// statically configured deployments keep the pre-lease behaviour
+    /// (any replica serves reads, unfenced).
+    lease_enforce: bool,
+    /// Node start instant; `last_coord_ok` is nanoseconds since it.
+    started: Instant,
+    /// Nanoseconds (since `started`) of the last successful coordinator
+    /// heartbeat; 0 = never. Grants and primary reads require freshness.
+    last_coord_ok: AtomicU64,
+    /// Backup role: shard → (granting epoch, expiry) of the held lease.
+    leases_held: Mutex<HashMap<ShardId, (Epoch, Instant)>>,
+    /// Primary role: (shard, backup) → expiry of the latest grant issued,
+    /// stamped conservatively at send. Consulted when a member departs to
+    /// size the commit fence.
+    leases_granted: Mutex<HashMap<(ShardId, NodeId), Instant>>,
+    /// Commits for these shards are refused until the instant passes
+    /// (departed members' read leases draining after a reconfiguration).
+    commit_fences: Mutex<HashMap<ShardId, Instant>>,
+    /// Clients subscribed to the commit invalidation stream.
+    subscribers: Mutex<Vec<NodeId>>,
+    /// Read-only invocations served here under a follower lease.
+    follower_reads: Counter,
+    /// Reads refused for want of a (fresh, epoch-matching) lease.
+    lease_rejections: Counter,
+    /// Standalone `RenewLease` frames sent (primary role).
+    lease_renewals: Counter,
+    /// Commits held (not failed) while a post-reconfiguration fence was up.
+    lease_fenced_commits: Counter,
+    /// Replication fan-outs re-sent to backups that missed an earlier round
+    /// (a dropped frame or lost ack never downgrades an acked write).
+    repl_retries: Counter,
+    /// Invalidation frames pushed to subscribed clients.
+    invalidations_published: Counter,
 }
 
 /// Payload bytes of one stream item (transfer-cost accounting).
@@ -253,6 +298,11 @@ fn sync_item_bytes(item: &SyncItem) -> u64 {
     }
 }
 
+/// Pause between replication retry rounds: long enough to let a transient
+/// fault clear or the failure detector evict a dead backup, short enough
+/// that a commit holding an object lock barely notices.
+const REPL_RETRY_PAUSE: Duration = Duration::from_millis(2);
+
 /// Items per `InstallShardChunk` RPC on the push path.
 const SYNC_BATCH_ITEMS: usize = 32;
 /// Send retries per chunk before a session gives up on its peer.
@@ -261,6 +311,197 @@ const SYNC_SHIP_RETRIES: usize = 10;
 impl NodeInner {
     fn rpc(&self) -> &Arc<RpcNode> {
         self.rpc.get().expect("rpc initialized during start")
+    }
+
+    /// Record a successful coordinator contact (heartbeat ack).
+    fn note_coord_ok(&self) {
+        self.last_coord_ok.store(self.started.elapsed().as_nanos() as u64, Ordering::Release);
+    }
+
+    /// Time since the last successful coordinator contact; `None` = never.
+    fn coord_contact_age(&self) -> Option<Duration> {
+        match self.last_coord_ok.load(Ordering::Acquire) {
+            0 => None,
+            nanos => Some(self.started.elapsed().saturating_sub(Duration::from_nanos(nanos))),
+        }
+    }
+
+    /// True while this node's view of "am I still primary?" is fresh
+    /// enough to serve linearizable reads locally: the coordinator cannot
+    /// have both declared us dead and elected a successor without first
+    /// missing our heartbeats for longer than this.
+    fn primary_read_authority_ok(&self) -> bool {
+        self.coord_contact_age().is_some_and(|age| age < self.lease_duration)
+    }
+
+    /// The lease to piggyback on a grant-carrying message to `backups` of
+    /// `shard`, in nanoseconds; 0 withholds the grant. A primary only
+    /// grants while its own coordinator contact is fresher than half a
+    /// lease: a deposed primary partitioned from the coordinator must stop
+    /// granting *before* the failure detector can have replaced it, so no
+    /// split-brain island keeps a departed backup's lease alive.
+    fn grant_lease_nanos(&self, shard: ShardId, backups: &[NodeId]) -> u64 {
+        if !self.lease_enforce || backups.is_empty() {
+            return 0;
+        }
+        let fresh = self.coord_contact_age().is_some_and(|age| age * 2 < self.lease_duration);
+        if !fresh {
+            return 0;
+        }
+        let expiry = Instant::now() + self.lease_duration;
+        let mut granted = self.leases_granted.lock();
+        for &b in backups {
+            let e = granted.entry((shard, b)).or_insert(expiry);
+            if expiry > *e {
+                *e = expiry;
+            }
+        }
+        self.lease_duration.as_nanos() as u64
+    }
+
+    /// Backup role: accept a lease grant for `shard`, never downgrading to
+    /// an older epoch or an earlier expiry.
+    fn accept_lease(&self, shard: ShardId, epoch: Epoch, lease_nanos: u64) {
+        if lease_nanos == 0 {
+            return;
+        }
+        let expiry = Instant::now() + Duration::from_nanos(lease_nanos);
+        let mut held = self.leases_held.lock();
+        match held.entry(shard) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((epoch, expiry));
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let (held_epoch, held_expiry) = *o.get();
+                if epoch > held_epoch || (epoch == held_epoch && expiry > held_expiry) {
+                    o.insert((epoch, expiry));
+                }
+            }
+        }
+    }
+
+    /// Remaining fence time for `shard` commits, if a post-reconfiguration
+    /// fence is still draining; expired fences are removed on the way.
+    fn fence_remaining(&self, shard: ShardId) -> Option<Duration> {
+        let mut fences = self.commit_fences.lock();
+        let until = *fences.get(&shard)?;
+        let now = Instant::now();
+        if now >= until {
+            fences.remove(&shard);
+            return None;
+        }
+        Some(until - now)
+    }
+
+    /// Install a placement update, diffing shard configurations to keep
+    /// lease state honest: superseded held leases are dropped, and when
+    /// this node (re)takes a primary role in a configuration that lost a
+    /// member, commits are fenced until every lease that member could
+    /// still hold has drained. Growth-only changes (recruiting/confirming
+    /// a backup) and first sight of a shard fence nothing.
+    fn install_placement(&self, state: ClusterState) {
+        if !self.lease_enforce {
+            self.placement.update(state);
+            return;
+        }
+        let old = self.placement.snapshot();
+        if !self.placement.update(state) {
+            return;
+        }
+        let new = self.placement.snapshot();
+        let now = Instant::now();
+        for (&shard, info) in &new.shards {
+            let old_info = old.shard(shard);
+            if old_info.is_some_and(|oi| info.epoch > oi.epoch) {
+                // Backup role: a lease granted under a superseded epoch
+                // can never serve this configuration's reads.
+                let mut held = self.leases_held.lock();
+                if held.get(&shard).is_some_and(|&(e, _)| e < info.epoch) {
+                    held.remove(&shard);
+                }
+            }
+            if info.primary != self.id || info.lost {
+                continue;
+            }
+            // First sight of the shard (bootstrap): nobody can hold a
+            // lease we have to wait out.
+            let Some(old_info) = old_info else { continue };
+            if info.epoch == old_info.epoch {
+                continue;
+            }
+            let was_primary = old_info.primary == self.id;
+            let departed = old_info.departed_members(info);
+            let fence_until = if !was_primary {
+                // Just promoted: the old primary's outstanding grants are
+                // unknown here, so assume the worst case — a grant issued
+                // the instant before the configuration changed.
+                Some(now + self.lease_duration)
+            } else {
+                // Still primary: fence exactly to the latest grant this
+                // node issued to each departed member (none recorded means
+                // none granted — nothing to wait for).
+                let granted = self.leases_granted.lock();
+                departed.iter().filter_map(|&n| granted.get(&(shard, n)).copied()).max()
+            };
+            if let Some(until) = fence_until {
+                if until > now {
+                    let mut fences = self.commit_fences.lock();
+                    let e = fences.entry(shard).or_insert(until);
+                    if until > *e {
+                        *e = until;
+                    }
+                }
+            }
+            let mut granted = self.leases_granted.lock();
+            for &n in &departed {
+                granted.remove(&(shard, n));
+            }
+        }
+    }
+
+    /// Primary role: re-grant leases to every backup of every shard this
+    /// node leads (driven from the heartbeat loop, so write-idle shards
+    /// stay readable at their backups).
+    fn renew_leases(&self) {
+        if !self.lease_enforce {
+            return;
+        }
+        let state = self.placement.snapshot();
+        let ctx = InvocationContext::background();
+        for (&shard, info) in &state.shards {
+            if info.primary != self.id || info.lost || info.backups.is_empty() {
+                continue;
+            }
+            let lease_nanos = self.grant_lease_nanos(shard, &info.backups);
+            if lease_nanos == 0 {
+                continue;
+            }
+            let req = StoreRequest::RenewLease { shard, epoch: info.epoch, lease_nanos };
+            let frame = proto::encode_request(&ctx, &req).expect("requests serialize");
+            for &b in &info.backups {
+                self.rpc().notify(b, frame.clone());
+                self.lease_renewals.incr();
+            }
+        }
+    }
+
+    /// Push the written keys of a commit this node just applied to every
+    /// subscribed client-edge cache (oneway; a lost frame only costs the
+    /// subscriber a lazy re-validation miss later).
+    fn publish_invalidations<'a>(&self, written: impl Iterator<Item = &'a Vec<u8>>) {
+        let subs = self.subscribers.lock();
+        if subs.is_empty() {
+            return;
+        }
+        let keys: Vec<Vec<u8>> = written.cloned().collect();
+        if keys.is_empty() {
+            return;
+        }
+        let frame = wire::to_bytes(&ClientPush::Invalidate { keys }).expect("pushes serialize");
+        for &s in subs.iter() {
+            self.rpc().notify(s, frame.clone());
+            self.invalidations_published.incr();
+        }
     }
 
     /// One node-to-node RPC on behalf of `ctx`: the context crosses the
@@ -294,7 +535,7 @@ impl NodeInner {
     ) -> Result<StoreResponse, InvokeError> {
         self.requests.incr();
         match req {
-            StoreRequest::Invoke { object, method, args, read_only, internal } => {
+            StoreRequest::Invoke { object, method, args, read_only, internal, .. } => {
                 let oid = ObjectId::new(object);
                 self.check_role(&oid, read_only)?;
                 let value = self.engine.invoke_ctx(ctx, &oid, &method, args, !internal, 0)?;
@@ -320,30 +561,50 @@ impl NodeInner {
                 self.engine.types().register(ty);
                 Ok(StoreResponse::Ok)
             }
-            StoreRequest::Replicate { shard, epoch, object, ops } => {
+            StoreRequest::Replicate { shard, epoch, object, ops, lease_nanos } => {
                 let local_epoch = self.placement.epoch_of(shard).unwrap_or(0);
                 if epoch < local_epoch {
                     return Err(InvokeError::WrongNode(format!(
                         "stale epoch {epoch} < {local_epoch} for shard {shard}"
                     )));
                 }
+                self.accept_lease(shard, epoch, lease_nanos);
                 let oid = ObjectId::new(object);
                 self.engine.apply_replicated(&oid, &ops)?;
+                self.publish_invalidations(ops.iter().map(|(k, _)| k));
                 self.replications.incr();
                 Ok(StoreResponse::Ok)
             }
-            StoreRequest::ReplicateBatch { shard, epoch, entries } => {
+            StoreRequest::ReplicateBatch { shard, epoch, entries, lease_nanos } => {
                 let local_epoch = self.placement.epoch_of(shard).unwrap_or(0);
                 if epoch < local_epoch {
                     return Err(InvokeError::WrongNode(format!(
                         "stale epoch {epoch} < {local_epoch} for shard {shard}"
                     )));
                 }
+                self.accept_lease(shard, epoch, lease_nanos);
                 let count = entries.len() as u64;
                 let entries: Vec<(ObjectId, WriteSetOps)> =
                     entries.into_iter().map(|(o, ops)| (ObjectId::new(o), ops)).collect();
                 self.engine.apply_replicated_batch(&entries)?;
+                self.publish_invalidations(
+                    entries.iter().flat_map(|(_, ops)| ops.iter().map(|(k, _)| k)),
+                );
                 self.replications.add(count);
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::RenewLease { shard, epoch, lease_nanos } => {
+                let local_epoch = self.placement.epoch_of(shard).unwrap_or(0);
+                if epoch >= local_epoch {
+                    self.accept_lease(shard, epoch, lease_nanos);
+                }
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::SubscribeInvalidations { subscriber } => {
+                let mut subs = self.subscribers.lock();
+                if !subs.contains(&subscriber) {
+                    subs.push(subscriber);
+                }
                 Ok(StoreResponse::Ok)
             }
             StoreRequest::FetchObject { object, evict } => {
@@ -389,6 +650,9 @@ impl NodeInner {
                     epoch: info.epoch,
                     object: snapshot.id.0.clone(),
                     ops,
+                    // Migration install, not a lease-bearing commit: the
+                    // target shard's primary grants on its own traffic.
+                    lease_nanos: 0,
                 };
                 for backup in &info.backups {
                     match self.call_peer(ctx, *backup, &req)? {
@@ -574,12 +838,21 @@ impl NodeInner {
             run_queue_depth: qs.depth,
             inflight: qs.inflight,
             shed: qs.shed,
+            follower_reads: self.follower_reads.get(),
+            lease_rejections: self.lease_rejections.get(),
+            invalidations_published: self.invalidations_published.get(),
         }
     }
 
-    /// Verify this node may serve the request for `oid`: any replica for
-    /// read-only work, the primary for everything else. With no shard map
-    /// installed (single-node mode) everything is served locally.
+    /// Verify this node may serve the request for `oid`: the primary for
+    /// mutating work, any *leased* replica for read-only work (§4.2 +
+    /// DESIGN.md §11). With no shard map installed (single-node mode)
+    /// everything is served locally, and with no coordinator configured
+    /// leases are not enforced (any in-set replica serves reads).
+    ///
+    /// Syncing recruits are never readable: they are not in the replica
+    /// set (`contains` excludes them) and hold no lease, so they fall
+    /// through to `WrongNode` like any stranger.
     fn check_role(&self, oid: &ObjectId, read_only: bool) -> Result<(), InvokeError> {
         let Some((shard, info)) = self.placement.locate(oid) else {
             return Ok(());
@@ -590,8 +863,36 @@ impl NodeInner {
             )));
         }
         if read_only {
-            if info.contains(self.id) {
-                return Ok(());
+            if info.primary == self.id {
+                // The primary's "lease" is its own liveness attestation:
+                // while its coordinator contact is fresher than one lease
+                // the failure detector cannot have finished electing a
+                // successor, so local reads are still linearizable.
+                if !self.lease_enforce || self.primary_read_authority_ok() {
+                    return Ok(());
+                }
+                self.lease_rejections.incr();
+                return Err(InvokeError::LeaseExpired(format!(
+                    "primary node-{} lost coordinator contact; cannot attest leadership of shard {shard}",
+                    self.id.0
+                )));
+            }
+            if info.backups.contains(&self.id) {
+                if !self.lease_enforce {
+                    return Ok(());
+                }
+                let held = self.leases_held.lock().get(&shard).copied();
+                if let Some((epoch, expiry)) = held {
+                    if epoch == info.epoch && Instant::now() < expiry {
+                        self.follower_reads.incr();
+                        return Ok(());
+                    }
+                }
+                self.lease_rejections.incr();
+                return Err(InvokeError::LeaseExpired(format!(
+                    "node-{} holds no current read lease for shard {shard} (epoch {})",
+                    self.id.0, info.epoch
+                )));
             }
         } else if info.primary == self.id {
             return Ok(());
@@ -612,6 +913,9 @@ impl NodeInner {
         ctx: &InvocationContext,
         ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
     ) -> Result<(), InvokeError> {
+        // Raw writes land outside the engine's commit hook but can still
+        // overwrite keys a cached read recorded: publish them too.
+        self.publish_invalidations(ops.iter().map(|(k, _)| k));
         if !self.replicate.load(Ordering::Relaxed) {
             return Ok(());
         }
@@ -621,16 +925,27 @@ impl NodeInner {
         let Some((oid, _)) = keys::split_key(key) else {
             return Ok(());
         };
-        let Some((shard, info)) = self.placement.locate(&oid) else {
-            return Ok(());
-        };
-        if info.primary != self.id {
-            return Ok(());
+        loop {
+            let Some((shard, info)) = self.placement.locate(&oid) else {
+                return Ok(());
+            };
+            if info.primary != self.id {
+                return Ok(());
+            }
+            // Hold, don't fail — see `on_commit`: the raw put is already
+            // durable locally, so the fence delays its ack until departed
+            // read leases drain, then replicates against fresh placement.
+            if let Some(wait) = self.fence_remaining(shard) {
+                self.lease_fenced_commits.incr();
+                std::thread::sleep(wait);
+                continue;
+            }
+            self.replicate_to_backups(ctx, shard, info.epoch, &oid, &ops, &info.backups)
+                .map_err(InvokeError::Storage)?;
+            return self
+                .forward_to_syncing(shard, info.epoch, &info.syncing, &oid, &ops)
+                .map_err(InvokeError::Storage);
         }
-        self.replicate_to_backups(ctx, shard, info.epoch, &oid, &ops, &info.backups)
-            .map_err(InvokeError::Storage)?;
-        self.forward_to_syncing(shard, info.epoch, &info.syncing, &oid, &ops)
-            .map_err(InvokeError::Storage)
     }
 }
 
@@ -657,20 +972,17 @@ impl NodeInner {
             return Ok(());
         }
         if !self.repl_batching.load(Ordering::Relaxed) {
-            // Unbatched path: one RPC round per committed write set. The
-            // body is still serialized exactly once for the whole fan-out,
-            // carrying the invocation's context so backups apply under the
-            // same trace, and bounded by its remaining budget.
-            let req = StoreRequest::Replicate {
+            // Unbatched path: one RPC round per committed write set, retried
+            // until every still-configured backup has applied it.
+            let entries = vec![(object.0.clone(), ops.to_vec())];
+            return self.replicate_until_acked(
+                ctx,
                 shard,
                 epoch,
-                object: object.0.clone(),
-                ops: ops.to_vec(),
-            };
-            let down = ctx.for_downstream();
-            let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
-            let replies = self.rpc().call_many(backups, body, down.rpc_timeout(self.rpc_timeout));
-            return collect_acks(backups, replies);
+                &entries,
+                backups.to_vec(),
+                false,
+            );
         }
 
         // Join the shard's replication window.
@@ -735,16 +1047,8 @@ impl NodeInner {
             .iter()
             .map(|w| w.state.lock().entry.take().expect("queued waiter has an entry"))
             .collect();
-        let count = entries.len() as u64;
 
-        // Serialize once; the refcounted body is shared by every send.
-        let req = StoreRequest::ReplicateBatch { shard, epoch, entries };
-        let down = ctx.for_downstream();
-        let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
-        let replies = self.rpc().call_many(&backups, body, down.rpc_timeout(self.rpc_timeout));
-        let outcome = collect_acks(&backups, replies);
-        self.repl_rounds.incr();
-        self.repl_entries.add(count);
+        let outcome = self.replicate_until_acked(ctx, shard, epoch, &entries, backups, true);
 
         // Pop the group, post every waiter its result, and promote the
         // next queued write set (if any) to lead the following round.
@@ -764,6 +1068,98 @@ impl NodeInner {
         }
         drop(queue);
         outcome
+    }
+
+    /// Fan `entries` out to `backups` and drive the round to a *definite*
+    /// outcome: every backup still in the shard's configuration has applied
+    /// the write sets, or the configuration has moved on (shard lost, or
+    /// this node deposed — then the commit fails and the client re-routes).
+    ///
+    /// A transient fan-out failure — dropped frame, lost ack, slow peer —
+    /// is retried against re-read placement rather than surfaced. The write
+    /// is already durable locally and its dedup record answers any client
+    /// redelivery, so "commit failed" must never mean "some backup silently
+    /// missed it": that backup would keep serving leased follower reads of
+    /// the pre-write value after the dedup ack. Applies are idempotent
+    /// (pure key/value puts), so re-sending to a backup whose ack was lost
+    /// is harmless, and a backup that already acked is never re-targeted.
+    ///
+    /// Retry rounds deliberately run on the node's full RPC timeout, not
+    /// the invocation's remaining budget: once locally durable, finishing
+    /// replication is the system's obligation, and a budget squeezed to
+    /// zero would turn the loop into a hot spin of instant timeouts.
+    fn replicate_until_acked(
+        &self,
+        ctx: &InvocationContext,
+        shard: ShardId,
+        mut epoch: Epoch,
+        entries: &[(Vec<u8>, WriteSetOps)],
+        mut backups: Vec<NodeId>,
+        batched: bool,
+    ) -> Result<(), String> {
+        let down = ctx.for_downstream();
+        let mut attempt = 0u32;
+        loop {
+            if backups.is_empty() {
+                return Ok(());
+            }
+            let lease_nanos = self.grant_lease_nanos(shard, &backups);
+            let req = if batched {
+                StoreRequest::ReplicateBatch {
+                    shard,
+                    epoch,
+                    entries: entries.to_vec(),
+                    lease_nanos,
+                }
+            } else {
+                let (object, ops) = &entries[0];
+                StoreRequest::Replicate {
+                    shard,
+                    epoch,
+                    object: object.clone(),
+                    ops: ops.clone(),
+                    lease_nanos,
+                }
+            };
+            let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
+            let timeout =
+                if attempt == 0 { down.rpc_timeout(self.rpc_timeout) } else { self.rpc_timeout };
+            let replies = self.rpc().call_many(&backups, body, timeout);
+            if batched {
+                self.repl_rounds.incr();
+                self.repl_entries.add(entries.len() as u64);
+            }
+            let failed = failed_acks(&backups, &replies);
+            if failed.is_empty() {
+                return Ok(());
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err("node shutting down".into());
+            }
+            self.repl_retries.incr();
+            attempt += 1;
+            std::thread::sleep(REPL_RETRY_PAUSE);
+            // Re-read placement: an evicted laggard leaves the required
+            // set (it re-syncs on rejoin), an epoch bump re-stamps the
+            // retry so still-configured backups accept it.
+            let Some(info) = self.placement.shard_info(shard) else {
+                return Ok(());
+            };
+            if info.lost {
+                return Err(format!(
+                    "fenced: shard {shard} lost every replica (epoch {})",
+                    info.epoch
+                ));
+            }
+            if info.primary != self.id {
+                return Err(format!(
+                    "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
+                    self.id.0, info.epoch
+                ));
+            }
+            epoch = info.epoch;
+            backups = failed.into_iter().filter(|b| info.backups.contains(b)).collect();
+        }
     }
 
     /// The owning `Arc` (for completions that outlive this call frame).
@@ -789,14 +1185,32 @@ impl NodeInner {
             // Unbatched ablation: one fan-out per committed write set,
             // still without parking — the acks complete the commit.
             let down = ctx.for_downstream();
-            let req = StoreRequest::Replicate { shard, epoch, object: object.0.clone(), ops };
+            let req = StoreRequest::Replicate {
+                shard,
+                epoch,
+                object: object.0.clone(),
+                ops,
+                lease_nanos: self.grant_lease_nanos(shard, &backups),
+            };
             let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
             let expect = backups.clone();
+            let this = self.arc();
+            let body2 = body.clone();
             self.rpc().call_many_deferred(
                 &backups,
                 body,
                 down.rpc_timeout(self.rpc_timeout),
-                Box::new(move |replies| done(collect_acks(&expect, replies))),
+                Box::new(move |replies| {
+                    this.settle_deferred_acks(
+                        shard,
+                        body2,
+                        down,
+                        expect,
+                        replies,
+                        vec![done],
+                        None,
+                    );
+                }),
             );
             return;
         }
@@ -850,22 +1264,140 @@ impl NodeInner {
         }
         let count = entries.len() as u64;
         // Serialize once; the refcounted body is shared by every send.
-        let req = StoreRequest::ReplicateBatch { shard, epoch, entries };
+        let lease_nanos = self.grant_lease_nanos(shard, &backups);
+        let req = StoreRequest::ReplicateBatch { shard, epoch, entries, lease_nanos };
         let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
         let this = self.arc();
         let expect = backups.clone();
+        let body2 = body.clone();
         self.rpc().call_many_deferred(
             &backups,
             body,
             down.rpc_timeout(self.rpc_timeout),
             Box::new(move |replies| {
-                let outcome = collect_acks(&expect, replies);
                 this.repl_rounds.incr();
                 this.repl_entries.add(count);
-                for done in dones {
-                    done(outcome.clone());
-                }
-                this.ship_deferred_round(shard, window);
+                this.settle_deferred_acks(shard, body2, down, expect, replies, dones, Some(window));
+            }),
+        );
+    }
+
+    /// Deliver `outcome` to every commit waiting on a deferred round, then
+    /// ship the next round of the window (when one is attached).
+    fn finish_deferred(
+        &self,
+        shard: ShardId,
+        outcome: &Result<(), String>,
+        dones: Vec<CommitCallback>,
+        window: Option<Arc<DeferredWindow>>,
+    ) {
+        for done in dones {
+            done(outcome.clone());
+        }
+        if let Some(window) = window {
+            self.ship_deferred_round(shard, window);
+        }
+    }
+
+    /// Non-blocking counterpart of the retry loop in
+    /// [`replicate_until_acked`]: inspect one deferred fan-out's replies
+    /// and either complete the commits or schedule a retry round for the
+    /// backups that missed it. The same definite-outcome rule applies — a
+    /// commit only completes once every still-configured backup applied
+    /// its write set, or the configuration itself moved on.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_deferred_acks(
+        &self,
+        shard: ShardId,
+        body: Bytes,
+        down: InvocationContext,
+        sent_to: Vec<NodeId>,
+        replies: Vec<Result<Vec<u8>, RpcError>>,
+        dones: Vec<CommitCallback>,
+        window: Option<Arc<DeferredWindow>>,
+    ) {
+        let failed = failed_acks(&sent_to, &replies);
+        if failed.is_empty() {
+            self.finish_deferred(shard, &Ok(()), dones, window);
+            return;
+        }
+        if self.shutdown.load(Ordering::Acquire) {
+            self.finish_deferred(shard, &Err("node shutting down".into()), dones, window);
+            return;
+        }
+        self.repl_retries.incr();
+        let this = self.arc();
+        self.rpc().schedule(
+            REPL_RETRY_PAUSE,
+            Box::new(move || {
+                this.retry_deferred_round(shard, body, down, failed, dones, window);
+            }),
+        );
+    }
+
+    /// One retry fan-out for a deferred round that some backups missed,
+    /// re-targeted at the intersection of the failed set with the current
+    /// configuration and re-stamped with the current epoch and a fresh
+    /// lease grant. Runs off the RPC timer wheel, so no thread parks.
+    #[allow(clippy::too_many_arguments)]
+    fn retry_deferred_round(
+        &self,
+        shard: ShardId,
+        body: Bytes,
+        down: InvocationContext,
+        failed: Vec<NodeId>,
+        dones: Vec<CommitCallback>,
+        window: Option<Arc<DeferredWindow>>,
+    ) {
+        let Some(info) = self.placement.shard_info(shard) else {
+            self.finish_deferred(shard, &Ok(()), dones, window);
+            return;
+        };
+        if info.lost {
+            let err = format!("fenced: shard {shard} lost every replica (epoch {})", info.epoch);
+            self.finish_deferred(shard, &Err(err), dones, window);
+            return;
+        }
+        if info.primary != self.id {
+            let err = format!(
+                "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
+                self.id.0, info.epoch
+            );
+            self.finish_deferred(shard, &Err(err), dones, window);
+            return;
+        }
+        let retry: Vec<NodeId> = failed.into_iter().filter(|b| info.backups.contains(b)).collect();
+        if retry.is_empty() {
+            // Every laggard left the configuration; the survivors' acks
+            // carry the commit (the laggards re-sync when they rejoin).
+            self.finish_deferred(shard, &Ok(()), dones, window);
+            return;
+        }
+        // Rebuild the frame rather than re-sending it verbatim: the epoch
+        // may have moved (backups fence stale-epoch frames) and the lease
+        // grant must be re-issued *and re-recorded* at this send time so
+        // departure fences keep covering what the backups actually hold.
+        let epoch = info.epoch;
+        let lease_nanos = self.grant_lease_nanos(shard, &retry);
+        let req = match proto::decode_request(&body) {
+            Ok((_, StoreRequest::ReplicateBatch { entries, .. })) => {
+                StoreRequest::ReplicateBatch { shard, epoch, entries, lease_nanos }
+            }
+            Ok((_, StoreRequest::Replicate { object, ops, .. })) => {
+                StoreRequest::Replicate { shard, epoch, object, ops, lease_nanos }
+            }
+            _ => unreachable!("deferred rounds carry replicate frames"),
+        };
+        let body = Bytes::from(proto::encode_request(&down, &req).expect("requests serialize"));
+        let body2 = body.clone();
+        let expect = retry.clone();
+        let this = self.arc();
+        self.rpc().call_many_deferred(
+            &retry,
+            body,
+            self.rpc_timeout,
+            Box::new(move |replies| {
+                this.settle_deferred_acks(shard, body2, down, expect, replies, dones, window);
             }),
         );
     }
@@ -1060,23 +1592,44 @@ impl CommitHook for NodeInner {
         object: &ObjectId,
         ops: &[(Vec<u8>, Option<Vec<u8>>)],
     ) -> Result<(), String> {
+        // The edge-cache invalidation stream fires for every local commit,
+        // before any replication gating: single-node mode and the no-repl
+        // ablation still publish (the write is already durably applied).
+        self.publish_invalidations(ops.iter().map(|(k, _)| k));
         if !self.replicate.load(Ordering::Relaxed) {
             return Ok(());
         }
-        let Some((shard, info)) = self.placement.locate(object) else {
-            return Ok(()); // no shard map: single-node mode
-        };
-        if info.lost {
-            return Err(format!("fenced: shard {shard} lost every replica (epoch {})", info.epoch));
+        loop {
+            let Some((shard, info)) = self.placement.locate(object) else {
+                return Ok(()); // no shard map: single-node mode
+            };
+            if info.lost {
+                return Err(format!(
+                    "fenced: shard {shard} lost every replica (epoch {})",
+                    info.epoch
+                ));
+            }
+            if info.primary != self.id {
+                return Err(format!(
+                    "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
+                    self.id.0, info.epoch
+                ));
+            }
+            // A post-reconfiguration fence *holds* the commit rather than
+            // failing it: the write is already durable locally, so an error
+            // here would strand it at the primary while the client's retry
+            // dedups into an ack nobody replicated. Waiting the drain out
+            // (bounded by one lease duration) keeps the write in the ack
+            // chain; the placement is re-read afterwards so replication
+            // targets the configuration that ends the fence.
+            if let Some(wait) = self.fence_remaining(shard) {
+                self.lease_fenced_commits.incr();
+                std::thread::sleep(wait);
+                continue;
+            }
+            self.replicate_to_backups(ctx, shard, info.epoch, object, ops, &info.backups)?;
+            return self.forward_to_syncing(shard, info.epoch, &info.syncing, object, ops);
         }
-        if info.primary != self.id {
-            return Err(format!(
-                "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
-                self.id.0, info.epoch
-            ));
-        }
-        self.replicate_to_backups(ctx, shard, info.epoch, object, ops, &info.backups)?;
-        self.forward_to_syncing(shard, info.epoch, &info.syncing, object, ops)
     }
 
     /// Non-blocking commit hook for the deferred invocation path: the
@@ -1092,6 +1645,8 @@ impl CommitHook for NodeInner {
         ops: WriteSetOps,
         done: CommitCallback,
     ) {
+        // See `on_commit`: publish for every local commit, unconditionally.
+        self.publish_invalidations(ops.iter().map(|(k, _)| k));
         if !self.replicate.load(Ordering::Relaxed) {
             done(Ok(()));
             return;
@@ -1109,6 +1664,22 @@ impl CommitHook for NodeInner {
                 "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
                 self.id.0, info.epoch
             )));
+            return;
+        }
+        // Hold, don't fail — see `on_commit`. The deferred path re-enters
+        // through the rpc timer wheel once the fence drains (no thread
+        // parks); the object guard rides in `done`, so per-object commit
+        // order is preserved across the hold. Re-entry re-publishes the
+        // invalidation frame, which edge caches absorb idempotently.
+        if let Some(wait) = self.fence_remaining(shard) {
+            self.lease_fenced_commits.incr();
+            let this = self.arc();
+            let ctx = *ctx;
+            let object = object.clone();
+            self.rpc().schedule(
+                wait,
+                Box::new(move || this.on_commit_deferred(&ctx, &object, ops, done)),
+            );
             return;
         }
         // The forward precedes the backup acks here (the blocking path
@@ -1152,6 +1723,7 @@ impl InvokeRouter for NodeInner {
                     args,
                     read_only: false,
                     internal: true,
+                    collect_read_set: false,
                 };
                 match self.call_peer(ctx, info.primary, &req)? {
                     StoreResponse::Value(v) => Ok(v),
@@ -1221,6 +1793,20 @@ impl AggregatedNode {
             repair_sessions_failed: registry.counter("repair_sessions_failed"),
             repair_sync_enqueued: registry.counter("repair_sync_enqueued"),
             repair_sync_shipped: registry.counter("repair_sync_shipped"),
+            lease_duration: config.lease_duration,
+            lease_enforce: !config.coordinators.is_empty(),
+            started: Instant::now(),
+            last_coord_ok: AtomicU64::new(0),
+            leases_held: Mutex::new(HashMap::new()),
+            leases_granted: Mutex::new(HashMap::new()),
+            commit_fences: Mutex::new(HashMap::new()),
+            subscribers: Mutex::new(Vec::new()),
+            follower_reads: registry.counter("lease_follower_reads"),
+            lease_rejections: registry.counter("lease_rejections"),
+            lease_renewals: registry.counter("lease_renewals"),
+            lease_fenced_commits: registry.counter("lease_fenced_commits"),
+            repl_retries: registry.counter("node_repl_retries"),
+            invalidations_published: registry.counter("invalidations_published"),
             registry,
         });
 
@@ -1241,7 +1827,15 @@ impl AggregatedNode {
                         return;
                     }
                 };
-                if let StoreRequest::Invoke { object, method, args, read_only, internal } = req {
+                if let StoreRequest::Invoke {
+                    object,
+                    method,
+                    args,
+                    read_only,
+                    internal,
+                    collect_read_set,
+                } = req
+                {
                     handler_inner.requests.incr();
                     let oid = ObjectId::new(object);
                     if let Err(e) = handler_inner.check_role(&oid, read_only) {
@@ -1250,7 +1844,7 @@ impl AggregatedNode {
                         return;
                     }
                     let busy = handler_inner.busy_nanos.clone();
-                    handler_inner.engine.invoke_deferred(
+                    handler_inner.engine.invoke_deferred_tracked(
                         &ctx,
                         &oid,
                         &method,
@@ -1258,7 +1852,15 @@ impl AggregatedNode {
                         !internal,
                         Box::new(move |result| {
                             let encoded = result
-                                .map(StoreResponse::Value)
+                                .map(|(value, read_set)| match read_set {
+                                    // Only cacheable (deterministic
+                                    // read-only) invocations carry a read
+                                    // set, and only when the client asked.
+                                    Some(read_set) if collect_read_set => {
+                                        StoreResponse::CachedValue { value, read_set }
+                                    }
+                                    _ => StoreResponse::Value(value),
+                                })
                                 .map_err(|e| encode_error(&e))
                                 .and_then(|resp| wire::to_bytes(&resp).map_err(|e| e.to_string()));
                             busy.add(started.elapsed().as_nanos() as u64);
@@ -1315,7 +1917,7 @@ impl AggregatedNode {
             NodeId(id.0 + WATCH_ID_OFFSET),
             sync_handler(move |_, body| {
                 if let Ok(CoordEvent::StateChanged(state)) = wire::from_bytes(&body) {
-                    watch_inner.placement.update(state);
+                    watch_inner.install_placement(state);
                 }
                 Ok(vec![])
             }),
@@ -1340,10 +1942,15 @@ impl AggregatedNode {
                     if hb_inner.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    let _ = hb_coord.heartbeat(hb_inner.id, Some(watch_id));
-                    if let Ok(Some(state)) = hb_coord.get_state(hb_inner.placement.version()) {
-                        hb_inner.placement.update(state);
+                    if hb_coord.heartbeat(hb_inner.id, Some(watch_id)).is_ok() {
+                        hb_inner.note_coord_ok();
                     }
+                    if let Ok(Some(state)) = hb_coord.get_state(hb_inner.placement.version()) {
+                        hb_inner.install_placement(state);
+                    }
+                    // Re-grant read leases to the backups of every shard
+                    // this node leads, so write-idle shards stay readable.
+                    hb_inner.renew_leases();
                     // Housekeeping: drop lock-table entries for idle objects.
                     hb_inner.engine.scheduler().gc();
                     std::thread::sleep(interval);

@@ -7,23 +7,24 @@
 //! (the paper's "clients... will reissue their request if needed",
 //! §4.2.1).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use lambda_coordinator::{CoordClient, CoordCmd, ShardId};
-use lambda_net::null_handler;
+use lambda_net::rpc::sync_handler;
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{
-    decode_error, InvocationContext, InvokeError, ObjectId, ObjectSnapshot, TxCall,
+    decode_error, CacheStats, ConsistentCache, InvocationContext, InvokeError, ObjectId,
+    ObjectSnapshot, TxCall,
 };
 use lambda_vm::{Module, VmValue};
 
 use crate::placement::Placement;
-use crate::proto::{self, NodeStatsWire, StoreRequest, StoreResponse};
+use crate::proto::{self, ClientPush, NodeStatsWire, StoreRequest, StoreResponse};
 
 /// A cluster client. Cheap to clone ([`Arc`] inside); safe to share across
 /// request-generator threads.
@@ -33,10 +34,16 @@ pub struct StoreClient {
 }
 
 struct ClientInner {
+    id: NodeId,
     rpc: Arc<RpcNode>,
     coord: Option<CoordClient>,
     placement: Placement,
     timeout: Duration,
+    /// Client-edge result cache for cacheable (deterministic read-only)
+    /// invocations, disabled until [`StoreClient::enable_edge_cache`] is
+    /// called. Kept correct by the commit invalidation stream the client
+    /// subscribes to: repeat reads short-circuit here without any RPC.
+    edge: Arc<OnceLock<Arc<ConsistentCache>>>,
     /// Per-attempt RPC cap: a fraction of the end-to-end budget, so one
     /// lost reply stalls a single attempt instead of consuming the whole
     /// deadline — the redelivery (same invocation id) is what the server's
@@ -46,6 +53,10 @@ struct ClientInner {
     round_robin: AtomicU64,
     /// Attempts beyond the first, across all operations of this client.
     client_retries: AtomicU64,
+    /// When set, read-only invocations skip the replica rotation and go
+    /// straight to the primary (measurement ablation: the pre-lease read
+    /// path, with identical execution semantics).
+    pin_reads_to_primary: AtomicBool,
 }
 
 /// Backoff schedule for one routing loop: exponential growth with full
@@ -95,7 +106,24 @@ impl StoreClient {
         coordinators: Vec<NodeId>,
         timeout: Duration,
     ) -> StoreClient {
-        let rpc = RpcNode::start(net, id, null_handler(), 1);
+        // The client's endpoint doubles as the sink of the commit
+        // invalidation stream: storage nodes push `ClientPush::Invalidate`
+        // frames here once the client subscribes (edge cache enabled).
+        let edge: Arc<OnceLock<Arc<ConsistentCache>>> = Arc::new(OnceLock::new());
+        let push_edge = Arc::clone(&edge);
+        let rpc = RpcNode::start(
+            net,
+            id,
+            sync_handler(move |_, body| {
+                if let Some(cache) = push_edge.get() {
+                    if let Ok(ClientPush::Invalidate { keys }) = wire::from_bytes(&body) {
+                        cache.invalidate_keys(keys.iter().map(Vec::as_slice));
+                    }
+                }
+                Ok(vec![])
+            }),
+            1,
+        );
         let coord = if coordinators.is_empty() {
             None
         } else {
@@ -103,14 +131,17 @@ impl StoreClient {
         };
         let client = StoreClient {
             inner: Arc::new(ClientInner {
+                id,
                 rpc,
                 coord,
                 placement: Placement::new(),
                 timeout,
+                edge,
                 attempt_timeout: (timeout / 5).max(Duration::from_millis(1)),
                 retries: 20,
                 round_robin: AtomicU64::new(0),
                 client_retries: AtomicU64::new(0),
+                pin_reads_to_primary: AtomicBool::new(false),
             }),
         };
         client.refresh();
@@ -153,14 +184,27 @@ impl StoreClient {
         }
     }
 
-    fn target_for(&self, object: &ObjectId, read_only: bool) -> Option<NodeId> {
+    /// Pick the node for the next attempt. Reads rotate across the live
+    /// replica set for scaling ("read-only functions can execute at any
+    /// replica", §4.2.1); `prefer_primary` pins them to the primary after a
+    /// misroute (`WrongNode`/`LeaseExpired` from a replica) — the primary
+    /// always serves, so one refresh + fall-back beats spinning through a
+    /// replica set the local map has wrong.
+    fn target_for(
+        &self,
+        object: &ObjectId,
+        read_only: bool,
+        prefer_primary: bool,
+    ) -> Option<NodeId> {
         let (_, info) = self.inner.placement.locate(object)?;
-        if read_only && !info.backups.is_empty() {
-            // Rotate across the replica set for read scaling ("read-only
-            // functions can execute at any replica", §4.2.1) — but only
-            // across replicas still registered with the coordinator.
-            // Routing a read at a dead backup costs a full RPC timeout
-            // before the retry loop recovers.
+        if read_only
+            && !prefer_primary
+            && !self.inner.pin_reads_to_primary.load(Ordering::Relaxed)
+            && !info.backups.is_empty()
+        {
+            // Only rotate across replicas still registered with the
+            // coordinator: routing a read at a dead backup costs a full
+            // RPC timeout before the retry loop recovers.
             let live: Vec<NodeId> =
                 info.replicas().into_iter().filter(|n| self.inner.placement.is_live(*n)).collect();
             if !live.is_empty() {
@@ -193,6 +237,7 @@ impl StoreClient {
     ) -> Result<T, InvokeError> {
         let mut policy = RetryPolicy::new(ctx.invocation_id ^ ctx.trace_id);
         let mut last_err = InvokeError::Nested("no storage nodes known".into());
+        let mut prefer_primary = false;
         for attempt in 0..self.inner.retries {
             ctx.attempt = attempt as u32;
             if attempt > 0 {
@@ -219,7 +264,7 @@ impl StoreClient {
                     continue;
                 }
             }
-            let Some(node) = self.target_for(object, read_only) else {
+            let Some(node) = self.target_for(object, read_only, prefer_primary) else {
                 self.refresh();
                 if !final_attempt {
                     std::thread::sleep(policy.pause(attempt, &ctx));
@@ -228,9 +273,29 @@ impl StoreClient {
             };
             match op(&ctx, node) {
                 Ok(v) => return Ok(v),
-                Err(e @ (InvokeError::WrongNode(_) | InvokeError::Nested(_))) => {
-                    // Stale map or unreachable node: refresh and retry
-                    // (§4.2.1 — clients reissue after reconfiguration).
+                Err(e @ InvokeError::WrongNode(_)) => {
+                    // Stale map: refresh and retry (§4.2.1 — clients
+                    // reissue after reconfiguration), pinning reads to the
+                    // primary from here on — re-rotating through a replica
+                    // set the local map has wrong just burns attempts.
+                    last_err = e;
+                    prefer_primary = true;
+                    self.refresh();
+                    if !final_attempt {
+                        std::thread::sleep(policy.pause(attempt, &ctx));
+                    }
+                }
+                Err(e @ InvokeError::LeaseExpired(_)) => {
+                    // A replica without a current read lease. The data is
+                    // fine and the primary serves unconditionally: refresh
+                    // and go straight there, with no backoff — this is a
+                    // routing redirect, not congestion or failure.
+                    last_err = e;
+                    prefer_primary = true;
+                    self.refresh();
+                }
+                Err(e @ InvokeError::Nested(_)) => {
+                    // Unreachable node or garbled reply: refresh and retry.
                     last_err = e;
                     self.refresh();
                     if !final_attempt {
@@ -274,6 +339,50 @@ impl StoreClient {
         self.inner.client_retries.load(Ordering::Relaxed)
     }
 
+    /// Enable the client-edge result cache (idempotent; the first call's
+    /// `capacity` wins) and subscribe this client to every known storage
+    /// node's commit invalidation stream. Cacheable (deterministic
+    /// read-only) invocations then return server-recorded read sets, and
+    /// repeat reads short-circuit at the client without any RPC until a
+    /// commit writes one of the recorded keys.
+    ///
+    /// The invalidation stream is push-based and best-effort: frames ride
+    /// oneway messages and subscriptions live in node memory, so a node
+    /// restart silently drops this client until
+    /// [`resubscribe_invalidations`](Self::resubscribe_invalidations) runs
+    /// again. Intended for read-mostly workloads that tolerate a bounded
+    /// staleness window equal to one invalidation push in flight.
+    pub fn enable_edge_cache(&self, capacity: usize) {
+        let _ = self.inner.edge.set(Arc::new(ConsistentCache::new(capacity)));
+        self.resubscribe_invalidations();
+    }
+
+    /// (Re-)subscribe this client to the invalidation stream of every
+    /// storage node the placement currently knows. Call after adding or
+    /// restarting nodes; unreachable nodes are skipped.
+    pub fn resubscribe_invalidations(&self) {
+        if self.inner.edge.get().is_none() {
+            return;
+        }
+        self.refresh();
+        let req = StoreRequest::SubscribeInvalidations { subscriber: self.inner.id };
+        for node in self.inner.placement.storage_nodes() {
+            let _ = self.call(node, &req);
+        }
+    }
+
+    /// Statistics of the edge cache, if enabled.
+    pub fn edge_cache_stats(&self) -> Option<CacheStats> {
+        self.inner.edge.get().map(|c| c.stats())
+    }
+
+    /// Route read-only invocations straight to the primary instead of
+    /// rotating across leased replicas (measurement ablation: the
+    /// pre-lease read path, with identical execution semantics).
+    pub fn pin_reads_to_primary(&self, pin: bool) {
+        self.inner.pin_reads_to_primary.store(pin, Ordering::Relaxed);
+    }
+
     /// Invoke `method` on `object`. `read_only` is a routing hint that lets
     /// the call run on any replica; it is re-verified server-side.
     ///
@@ -293,6 +402,13 @@ impl StoreClient {
         args: Vec<VmValue>,
         read_only: bool,
     ) -> Result<VmValue, InvokeError> {
+        if read_only {
+            if let Some(cache) = self.inner.edge.get() {
+                if let Some(v) = cache.lookup(object, method, &args) {
+                    return Ok(v);
+                }
+            }
+        }
         self.with_routing(object, read_only, |ctx, node| {
             self.invoke_at(ctx, node, object, method, args.clone(), read_only)
         })
@@ -342,6 +458,14 @@ impl StoreClient {
         read_only: bool,
         done: InvokeCallback,
     ) {
+        if read_only {
+            if let Some(cache) = self.inner.edge.get() {
+                if let Some(v) = cache.lookup(object, method, &args) {
+                    done(Ok(v));
+                    return;
+                }
+            }
+        }
         let st = AsyncInvokeState {
             client: self.clone(),
             object: object.clone(),
@@ -351,6 +475,7 @@ impl StoreClient {
             ctx: InvocationContext::client(self.inner.timeout),
             attempt: 0,
             pinned: None,
+            prefer_primary: false,
             last_err: InvokeError::Nested("no storage nodes known".into()),
         };
         async_invoke_step(st, done);
@@ -378,6 +503,7 @@ impl StoreClient {
             ctx: InvocationContext::client(self.inner.timeout),
             attempt: 0,
             pinned: Some(endpoint),
+            prefer_primary: false,
             last_err: InvokeError::Nested("endpoint never reached".into()),
         };
         async_invoke_step(st, done);
@@ -392,15 +518,26 @@ impl StoreClient {
         args: Vec<VmValue>,
         read_only: bool,
     ) -> Result<VmValue, InvokeError> {
+        let edge = if read_only { self.inner.edge.get() } else { None };
+        // Keep the args for the cache insert only when one can happen; the
+        // common (cache-off) path moves them into the request untouched.
+        let insert_args = edge.map(|_| args.clone());
         let req = StoreRequest::Invoke {
             object: object.0.clone(),
             method: method.to_string(),
             args,
             read_only,
             internal: false,
+            collect_read_set: edge.is_some(),
         };
         match self.call_ctx(ctx, node, &req)? {
             StoreResponse::Value(v) => Ok(v),
+            StoreResponse::CachedValue { value, read_set } => {
+                if let (Some(cache), Some(args)) = (edge, insert_args) {
+                    cache.insert(object, method, &args, value.clone(), read_set);
+                }
+                Ok(value)
+            }
             other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
         }
     }
@@ -659,6 +796,9 @@ struct AsyncInvokeState {
     attempt: usize,
     /// `Some` = every attempt goes to this endpoint (no placement routing).
     pinned: Option<NodeId>,
+    /// Reads stop rotating and pin to the primary after a misroute
+    /// (`WrongNode`/`LeaseExpired`), mirroring the blocking loop.
+    prefer_primary: bool,
     last_err: InvokeError,
 }
 
@@ -691,7 +831,7 @@ fn async_invoke_step(mut st: AsyncInvokeState, done: InvokeCallback) {
                     st.client.refresh();
                     None
                 }
-                _ => st.client.target_for(&st.object, st.read_only),
+                _ => st.client.target_for(&st.object, st.read_only, st.prefer_primary),
             }
         };
         let Some(node) = target else {
@@ -700,12 +840,14 @@ fn async_invoke_step(mut st: AsyncInvokeState, done: InvokeCallback) {
             async_invoke_backoff(st, done);
             return;
         };
+        let edge = if st.read_only { inner.edge.get().cloned() } else { None };
         let req = StoreRequest::Invoke {
             object: st.object.0.clone(),
             method: st.method.clone(),
             args: st.args.clone(),
             read_only: st.read_only,
             internal: false,
+            collect_read_set: edge.is_some(),
         };
         let frame = proto::encode_request(&st.ctx, &req).expect("requests serialize");
         let rpc_timeout = st.ctx.rpc_timeout(inner.attempt_timeout);
@@ -718,6 +860,18 @@ fn async_invoke_step(mut st: AsyncInvokeState, done: InvokeCallback) {
                 let result: Result<VmValue, InvokeError> = match reply {
                     Ok(bytes) => match wire::from_bytes(&bytes) {
                         Ok(StoreResponse::Value(v)) => Ok(v),
+                        Ok(StoreResponse::CachedValue { value, read_set }) => {
+                            if let Some(cache) = &edge {
+                                cache.insert(
+                                    &st.object,
+                                    &st.method,
+                                    &st.args,
+                                    value.clone(),
+                                    read_set,
+                                );
+                            }
+                            Ok(value)
+                        }
                         Ok(other) => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
                         Err(e) => Err(InvokeError::Nested(format!("bad response: {e}"))),
                     },
@@ -726,9 +880,24 @@ fn async_invoke_step(mut st: AsyncInvokeState, done: InvokeCallback) {
                 };
                 match result {
                     Ok(v) => done(Ok(v)),
+                    Err(e @ InvokeError::LeaseExpired(_)) => {
+                        // Routing redirect, not failure: refresh, pin to
+                        // the primary, and go again without backoff.
+                        st.last_err = e;
+                        st.prefer_primary = true;
+                        st.client.refresh();
+                        st.attempt += 1;
+                        async_invoke_step(st, done);
+                    }
+                    Err(e @ InvokeError::WrongNode(_)) => {
+                        st.last_err = e;
+                        st.prefer_primary = true;
+                        st.client.refresh();
+                        st.attempt += 1;
+                        async_invoke_backoff(st, done);
+                    }
                     Err(
-                        e @ (InvokeError::WrongNode(_)
-                        | InvokeError::Nested(_)
+                        e @ (InvokeError::Nested(_)
                         | InvokeError::ShardUnavailable(_)
                         | InvokeError::Storage(_)),
                     ) => {
@@ -758,6 +927,13 @@ fn async_invoke_step(mut st: AsyncInvokeState, done: InvokeCallback) {
 fn async_invoke_backoff(st: AsyncInvokeState, done: InvokeCallback) {
     if st.attempt >= st.client.inner.retries {
         done(Err(st.last_err));
+        return;
+    }
+    if st.ctx.expired() {
+        // Mirror the blocking loop: once the budget is spent, report
+        // `DeadlineExceeded` now instead of scheduling a timer whose only
+        // outcome is discovering the same thing later.
+        done(Err(InvokeError::DeadlineExceeded));
         return;
     }
     let mut policy = RetryPolicy::new(

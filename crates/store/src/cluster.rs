@@ -65,6 +65,11 @@ pub struct ClusterConfig {
     pub heartbeat_interval: Duration,
     /// Heartbeat timeout before the coordinator declares a node dead.
     pub heartbeat_timeout: Duration,
+    /// Read-lease duration for aggregated nodes (see
+    /// [`AggregatedConfig::lease_duration`]). Keep below
+    /// `heartbeat_timeout * 2` so a deposed primary's grants expire before
+    /// a successor's promotion fence lifts.
+    pub lease_duration: Duration,
 }
 
 static CLUSTER_COUNTER: AtomicU32 = AtomicU32::new(0);
@@ -85,6 +90,7 @@ impl Default for ClusterConfig {
             run_queue_depth: 1024,
             heartbeat_interval: Duration::from_millis(100),
             heartbeat_timeout: Duration::from_millis(600),
+            lease_duration: Duration::from_millis(400),
         }
     }
 }
@@ -192,6 +198,7 @@ impl ClusterCore {
                 heartbeat_interval: config.heartbeat_interval,
                 coordinators: coordinator_ids.clone(),
                 sync_chunk_bytes: 64 * 1024,
+                lease_duration: config.lease_duration,
             };
             storage.push(AggregatedNode::start(&net, id, node_config)?);
         }
@@ -241,6 +248,7 @@ impl ClusterCore {
             heartbeat_interval: config.heartbeat_interval,
             coordinators: self.coordinator_ids.clone(),
             sync_chunk_bytes: 64 * 1024,
+            lease_duration: config.lease_duration,
         };
         let node = AggregatedNode::start(&self.net, id, node_config)?;
         let admin_id = NodeId(ids::ADMIN.0 + 1 + id.0);
@@ -381,6 +389,7 @@ impl ClusterCore {
             heartbeat_interval: config.heartbeat_interval,
             coordinators: self.coordinator_ids.clone(),
             sync_chunk_bytes: 64 * 1024,
+            lease_duration: config.lease_duration,
         };
         let node = AggregatedNode::start(&self.net, id, node_config)?;
         // Re-register: the failure detector removed the node from the

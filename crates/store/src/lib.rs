@@ -36,6 +36,6 @@ pub use cluster::{
 };
 pub use disaggregated::{ComputeConfig, ComputeNode, FunctionExecutor};
 pub use placement::Placement;
-pub use proto::{NodeStatsWire, StoreRequest, StoreResponse, SyncItem};
+pub use proto::{ClientPush, NodeStatsWire, StoreRequest, StoreResponse, SyncItem};
 pub use serverless::{ServerlessConfig, ServerlessGateway};
 pub use sync::{SyncManager, SyncPhase, SyncSession};

@@ -55,6 +55,11 @@ impl Placement {
         self.state.read().shard(shard).map(|i| i.epoch)
     }
 
+    /// The current replica set of `shard`.
+    pub fn shard_info(&self, shard: ShardId) -> Option<ShardInfo> {
+        self.state.read().shard(shard).cloned()
+    }
+
     /// True when `node` is the primary for `object`.
     pub fn is_primary(&self, node: NodeId, object: &ObjectId) -> bool {
         self.locate(object).is_some_and(|(_, info)| info.primary == node)

@@ -70,6 +70,11 @@ pub enum StoreRequest {
         /// non-public methods (a production system would authenticate the
         /// sender; nodes are trusted here).
         internal: bool,
+        /// Client-edge caching: when set and the method is cacheable
+        /// (deterministic read-only), the node answers with
+        /// [`StoreResponse::CachedValue`] carrying the recorded read set so
+        /// the client can cache the result consistently.
+        collect_read_set: bool,
     },
     /// Instantiate an object.
     CreateObject {
@@ -105,6 +110,11 @@ pub enum StoreRequest {
         object: Vec<u8>,
         /// `(key, Some(value))` puts / `(key, None)` deletes.
         ops: WriteSetOps,
+        /// Piggybacked read-lease grant: the backup may serve reads for
+        /// this shard at this epoch for `lease_nanos` from receipt. Zero
+        /// grants nothing (the primary withholds leases while its own
+        /// coordinator contact is stale).
+        lease_nanos: u64,
     },
     /// Primary→backup replication of a window of committed write sets,
     /// coalesced by the primary's per-shard replication batcher into one
@@ -119,6 +129,8 @@ pub enum StoreRequest {
         /// `(object, ops)` per committed write set, in commit order.
         /// `(key, Some(value))` puts / `(key, None)` deletes.
         entries: Vec<(Vec<u8>, WriteSetOps)>,
+        /// Piggybacked read-lease grant (see [`StoreRequest::Replicate`]).
+        lease_nanos: u64,
     },
     /// Migration: export an object (source side executes `evict`).
     FetchObject {
@@ -217,6 +229,38 @@ pub enum StoreRequest {
         /// Items, applied strictly in order.
         items: Vec<SyncItem>,
     },
+    /// Primary→backup standalone read-lease renewal, sent from the
+    /// primary's heartbeat loop so leases stay fresh on write-idle shards
+    /// (replication traffic piggybacks grants on busy ones). Oneway.
+    RenewLease {
+        /// Shard the lease covers.
+        shard: ShardId,
+        /// The granting primary's configuration epoch; the lease is only
+        /// good for reads at this epoch.
+        epoch: Epoch,
+        /// Lease duration from receipt.
+        lease_nanos: u64,
+    },
+    /// Client→node: register the sender for the commit invalidation
+    /// stream. The node pushes [`ClientPush::Invalidate`] frames with the
+    /// written keys of every commit it applies (primary or backup role),
+    /// keeping client-edge result caches consistent.
+    SubscribeInvalidations {
+        /// RPC id of the subscribing client.
+        subscriber: lambda_net::NodeId,
+    },
+}
+
+/// Unsolicited node→client frames (oneway pushes, outside the
+/// request/response pattern).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientPush {
+    /// Keys written by a commit this node just applied; subscribed
+    /// client-edge caches drop every entry whose read set overlaps.
+    Invalidate {
+        /// The commit's written storage keys.
+        keys: Vec<Vec<u8>>,
+    },
 }
 
 /// One item of a shard state-transfer stream (primary → syncing backup).
@@ -265,6 +309,13 @@ pub struct NodeStatsWire {
     pub inflight: u64,
     /// Requests refused by admission control since the node started.
     pub shed: u64,
+    /// Read-only invocations served here under a follower read lease.
+    pub follower_reads: u64,
+    /// Reads refused because the node's lease was missing, expired, or
+    /// epoch-stale (each bounces the client back to the primary).
+    pub lease_rejections: u64,
+    /// Commit invalidation frames pushed to subscribed client-edge caches.
+    pub invalidations_published: u64,
 }
 
 impl NodeStatsWire {
@@ -306,6 +357,16 @@ pub enum StoreResponse {
         /// Cursor for the next chunk; `None` when the export is complete.
         next_cursor: Option<Vec<u8>>,
     },
+    /// Invocation result plus its recorded read set, answered to
+    /// [`StoreRequest::Invoke`] with `collect_read_set` when the method
+    /// was cacheable; non-cacheable methods still answer
+    /// [`StoreResponse::Value`].
+    CachedValue {
+        /// Invocation result.
+        value: VmValue,
+        /// `(key, value hash)` pairs the execution read (§4.2.2).
+        read_set: Vec<(Vec<u8>, u64)>,
+    },
 }
 
 #[cfg(test)]
@@ -323,6 +384,15 @@ mod tests {
                 args: vec![VmValue::str("hi"), VmValue::Int(3)],
                 read_only: false,
                 internal: false,
+                collect_read_set: false,
+            },
+            StoreRequest::Invoke {
+                object: b"user/1".to_vec(),
+                method: "get_timeline".into(),
+                args: vec![VmValue::Int(10)],
+                read_only: true,
+                internal: false,
+                collect_read_set: true,
             },
             StoreRequest::CreateObject {
                 type_name: "User".into(),
@@ -340,6 +410,7 @@ mod tests {
                 epoch: 7,
                 object: b"user/1".to_vec(),
                 ops: vec![(b"k".to_vec(), Some(b"v".to_vec())), (b"d".to_vec(), None)],
+                lease_nanos: 400_000_000,
             },
             StoreRequest::ReplicateBatch {
                 shard: 3,
@@ -351,7 +422,10 @@ mod tests {
                     ),
                     (b"user/2".to_vec(), vec![(b"x".to_vec(), Some(b"y".to_vec()))]),
                 ],
+                lease_nanos: 0,
             },
+            StoreRequest::RenewLease { shard: 3, epoch: 7, lease_nanos: 400_000_000 },
+            StoreRequest::SubscribeInvalidations { subscriber: lambda_net::NodeId(501) },
             StoreRequest::FetchObject { object: b"user/1".to_vec(), evict: true },
             StoreRequest::InstallObject {
                 snapshot: ObjectSnapshot {
@@ -434,6 +508,9 @@ mod tests {
                 run_queue_depth: 7,
                 inflight: 8,
                 shed: 9,
+                follower_reads: 11,
+                lease_rejections: 12,
+                invalidations_published: 13,
             }),
             StoreResponse::Values(vec![VmValue::Unit, VmValue::Int(1)]),
             StoreResponse::Objects(vec![b"user/1".to_vec()]),
@@ -445,11 +522,31 @@ mod tests {
                 next_cursor: Some(b"user/1".to_vec()),
             },
             StoreResponse::ShardChunk { objects: vec![], next_cursor: None },
+            StoreResponse::CachedValue {
+                value: VmValue::List(vec![VmValue::Int(1)]),
+                read_set: vec![
+                    (b"user/1/tl/0".to_vec(), 0x9e3779b9),
+                    (b"user/1/tl#len".to_vec(), 7),
+                ],
+            },
         ];
         for r in resps {
             let bytes = wire::to_bytes(&r).unwrap();
             let back: StoreResponse = wire::from_bytes(&bytes).unwrap();
             assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn client_pushes_round_trip() {
+        let pushes = vec![
+            ClientPush::Invalidate { keys: vec![b"user/1/tl/0".to_vec(), b"user/1/v".to_vec()] },
+            ClientPush::Invalidate { keys: vec![] },
+        ];
+        for p in pushes {
+            let bytes = wire::to_bytes(&p).unwrap();
+            let back: ClientPush = wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back, p);
         }
     }
 
@@ -463,6 +560,7 @@ mod tests {
             args: vec![VmValue::Int(1)],
             read_only: false,
             internal: false,
+            collect_read_set: false,
         };
         let frame = encode_request(&ctx, &req).unwrap();
         let (back_ctx, back_req) = decode_request(&frame).unwrap();

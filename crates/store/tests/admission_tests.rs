@@ -107,6 +107,7 @@ fn overload_sheds_with_overloaded_error_not_deadline() {
                     args: vec![VmValue::Int(100_000)],
                     read_only: false,
                     internal: false,
+                    collect_read_set: false,
                 };
                 barrier.wait();
                 client.raw(primary, &req)

@@ -377,6 +377,7 @@ fn disaggregated_end_to_end() {
         args: vec![VmValue::Int(9)],
         read_only: false,
         internal: false,
+        collect_read_set: false,
     };
     match client.raw(compute, &invoke).unwrap() {
         StoreResponse::Value(v) => assert_eq!(as_int(v), 9),
@@ -422,6 +423,7 @@ fn disaggregated_nested_calls_run_on_compute() {
         args: vec![VmValue::Int(30)],
         read_only: false,
         internal: false,
+        collect_read_set: false,
     };
     client.raw(compute, &deposit).unwrap();
     let transfer = StoreRequest::Invoke {
@@ -430,6 +432,7 @@ fn disaggregated_nested_calls_run_on_compute() {
         args: vec![VmValue::str("acct/y"), VmValue::Int(10)],
         read_only: false,
         internal: false,
+        collect_read_set: false,
     };
     client.raw(compute, &transfer).unwrap();
     let balance = StoreRequest::Invoke {
@@ -438,6 +441,7 @@ fn disaggregated_nested_calls_run_on_compute() {
         args: vec![],
         read_only: true,
         internal: false,
+        collect_read_set: false,
     };
     match client.raw(compute, &balance).unwrap() {
         StoreResponse::Value(v) => assert_eq!(as_int(v), 10),
@@ -483,6 +487,7 @@ fn serverless_pays_cold_starts() {
         args: vec![VmValue::Int(1)],
         read_only: false,
         internal: false,
+        collect_read_set: false,
     };
     // First call: cold.
     let t0 = Instant::now();
@@ -638,6 +643,7 @@ fn epoch_fencing_blocks_deposed_primary() {
         args: vec![VmValue::Int(1000)],
         read_only: false,
         internal: false,
+        collect_read_set: false,
     };
     let res = rogue.raw(old_primary.id(), &req);
     assert!(res.is_err(), "deposed primary must not acknowledge writes: {res:?}");
@@ -724,6 +730,7 @@ fn serverless_gateway_logs_requests_durably() {
             args: vec![VmValue::Int(i)],
             read_only: false,
             internal: false,
+            collect_read_set: false,
         };
         client.raw(gw, &req).unwrap();
     }

@@ -305,6 +305,7 @@ fn restart_rejoins_and_recovers_data() {
             args: vec![],
             read_only: true,
             internal: false,
+            collect_read_set: false,
         };
         match client.raw(old_primary, &req) {
             Ok(StoreResponse::Value(v)) => {
@@ -469,6 +470,7 @@ fn syncing_backup_never_serves_reads() {
         args: vec![],
         read_only: true,
         internal: false,
+        collect_read_set: false,
     };
     let err = client.raw(spare, &req).unwrap_err();
     assert!(matches!(err, InvokeError::WrongNode(_)), "syncing node served a read: {err}");

@@ -12,7 +12,12 @@
 # compare:  diff a full openloop run against the committed baseline
 #           (default BENCH_openloop.json at the repo root): for every
 #           mode present in both files, knee_achieved and peak_achieved
-#           may not drop more than 10% below the baseline.
+#           may not drop more than 10% below the baseline. Read-heavy
+#           modes (":read90" suffix) are load-bearing for the leased
+#           follower-read path: a baseline read90 mode missing from the
+#           candidate is a FAIL, not a skip, and the candidate must
+#           keep the read-scaling knee (aggregated:read90 >= 1.5x
+#           aggregated:read90-primary) that DESIGN.md §11 claims.
 #
 # Only tools guaranteed on a stock runner are used (awk, grep).
 
@@ -78,7 +83,15 @@ compare)
     while read -r m base_knee base_peak; do
         row=$(grep "^$m " /tmp/bench_cand.$$ || true)
         if [ -z "$row" ]; then
-            echo "bench_compare: WARN mode '$m' missing from candidate, skipping" >&2
+            case "$m" in
+            *:read90*)
+                echo "FAIL: read-heavy mode '$m' missing from candidate"
+                bad=1
+                ;;
+            *)
+                echo "bench_compare: WARN mode '$m' missing from candidate, skipping" >&2
+                ;;
+            esac
             continue
         fi
         cand_knee=$(echo "$row" | awk '{print $2}')
@@ -92,6 +105,20 @@ compare)
             printf "ok: %s peak_achieved %.1f vs baseline %.1f\n", m, c, b
         }' || bad=1
     done </tmp/bench_base.$$
+    # Read-scaling separation: leased follower reads + the edge cache
+    # must keep the read-heavy knee >= 1.5x the primary-pinned ablation
+    # whenever the candidate swept both modes.
+    lease_knee=$(awk '$1 == "aggregated:read90" {print $2}' /tmp/bench_cand.$$)
+    pinned_knee=$(awk '$1 == "aggregated:read90-primary" {print $2}' /tmp/bench_cand.$$)
+    if [ -n "$lease_knee" ] && [ -n "$pinned_knee" ]; then
+        awk -v l="$lease_knee" -v p="$pinned_knee" 'BEGIN {
+            if (p > 0 && l < 1.5 * p) {
+                printf "FAIL: read-scaling knee %.1f < 1.5x primary-pinned knee %.1f\n", l, p
+                exit 1
+            }
+            printf "ok: read-scaling knee %.1f >= 1.5x primary-pinned %.1f\n", l, p
+        }' || bad=1
+    fi
     rm -f /tmp/bench_base.$$ /tmp/bench_cand.$$
     [ "$bad" = 0 ] || die "regression(s) > 10% against $baseline"
     echo "compare ok: no mode regressed more than 10%"

@@ -173,6 +173,7 @@ fn disaggregated_concurrent_increments_lose_updates() {
                         args: vec![],
                         read_only: false,
                         internal: false,
+                        collect_read_set: false,
                     };
                     client.raw(compute, &req).unwrap();
                 }
@@ -186,6 +187,7 @@ fn disaggregated_concurrent_increments_lose_updates() {
         args: vec![],
         read_only: true,
         internal: false,
+        collect_read_set: false,
     };
     let n = match client.raw(compute, &read).unwrap() {
         StoreResponse::Value(VmValue::Int(n)) => n,
