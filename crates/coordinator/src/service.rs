@@ -113,6 +113,7 @@ struct CoordShared {
     shards_lost: Counter,
     shards_revived: Counter,
     backups_confirmed: Counter,
+    corruption_repairs: Counter,
 }
 
 /// One replica of the coordination service.
@@ -154,6 +155,7 @@ impl Coordinator {
             shards_lost: registry.counter("coord_shards_lost"),
             shards_revived: registry.counter("coord_shards_revived"),
             backups_confirmed: registry.counter("coord_backups_confirmed"),
+            corruption_repairs: registry.counter("coord_corruption_repairs"),
             registry,
         });
 
@@ -198,6 +200,9 @@ impl Coordinator {
                     handler_shared.proposals.incr();
                     if matches!(cmd, CoordCmd::ConfirmBackup { .. }) {
                         handler_shared.backups_confirmed.incr();
+                    }
+                    if matches!(cmd, CoordCmd::ReportCorruption { .. }) {
+                        handler_shared.corruption_repairs.incr();
                     }
                     let bytes = wire::to_bytes(&cmd).map_err(|e| e.to_string())?;
                     let slot = handler_paxos.propose(bytes).map_err(|e| e.to_string())?;
@@ -348,7 +353,7 @@ impl Coordinator {
 
     /// This replica's telemetry registry (`coord_*` counters: heartbeats,
     /// state reads, proposals, failovers, push notifications, repairs
-    /// planned, shards lost/revived, backups confirmed).
+    /// planned, shards lost/revived, backups confirmed, corruption repairs).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.shared.registry
     }

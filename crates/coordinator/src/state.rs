@@ -165,6 +165,21 @@ pub enum CoordCmd {
         /// Fencing epoch.
         expected_epoch: Epoch,
     },
+    /// A node detected unrecoverable local corruption in its copy of a
+    /// shard (quarantined tables, rotten WAL/manifest). The node is dropped
+    /// from the shard exactly like a departed replica — a corrupt backup is
+    /// removed, a corrupt primary demotes to the first healthy backup — and
+    /// the repair loop then re-recruits through a full state transfer. The
+    /// node itself stays registered: its other shards are unaffected, and it
+    /// may even be re-recruited for this shard (sync wipes its local copy).
+    ReportCorruption {
+        /// The node whose local copy is damaged.
+        node: NodeId,
+        /// The affected shard.
+        shard: ShardId,
+        /// Fencing epoch.
+        expected_epoch: Epoch,
+    },
     /// Pin an object to a specific shard (microshard migration, §4.2).
     PinObject {
         /// Object id.
@@ -300,6 +315,57 @@ impl ClusterState {
                 for &slot in slots {
                     if slot < N_SLOTS {
                         self.slots.insert(slot, *shard);
+                    }
+                }
+            }
+            CoordCmd::ReportCorruption { node, shard, expected_epoch } => {
+                if let Some(info) = self.shards.get_mut(shard) {
+                    if info.epoch != *expected_epoch || info.lost {
+                        return;
+                    }
+                    if info.is_syncing(*node) {
+                        // A rotten recruit abandons its transfer; repair
+                        // restarts it from scratch against the new epoch.
+                        info.syncing.retain(|n| n != node);
+                        info.epoch += 1;
+                        return;
+                    }
+                    if !info.contains(*node) {
+                        return;
+                    }
+                    let survivors: Vec<NodeId> = info
+                        .replicas()
+                        .into_iter()
+                        .filter(|n| *n != *node && self.nodes.contains(n))
+                        .collect();
+                    match survivors.first() {
+                        Some(&new_primary) => {
+                            info.primary = new_primary;
+                            info.backups = survivors[1..].to_vec();
+                            info.epoch += 1;
+                        }
+                        None => {
+                            // No *registered* healthy survivor — but former
+                            // members that merely missed heartbeats still
+                            // hold every acked write, while the reporter's
+                            // quarantine already punched holes in its data.
+                            // Drop the reporter from membership so revival
+                            // waits for a clean former member instead of
+                            // re-seating the rotten copy; keep it only when
+                            // it is truly the last copy (a hole-y replica
+                            // beats none, and reads still verify checksums,
+                            // so the worst case is missing data, never
+                            // wrong data).
+                            let rest: Vec<NodeId> =
+                                info.replicas().into_iter().filter(|n| *n != *node).collect();
+                            if let Some(&first) = rest.first() {
+                                info.primary = first;
+                                info.backups = rest[1..].to_vec();
+                            }
+                            info.lost = true;
+                            info.syncing.clear();
+                            info.epoch += 1;
+                        }
                     }
                 }
             }
@@ -757,6 +823,110 @@ mod tests {
         st.apply(&CoordCmd::ConfirmBackup { shard: 0, node: NodeId(7), expected_epoch: e });
         assert!(st.plan_repair().is_empty());
         assert_eq!(st.shard(0).unwrap().replicas().len(), 3);
+    }
+
+    #[test]
+    fn corrupt_backup_is_dropped_and_rerecruited() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::ReportCorruption { node: NodeId(2), shard: 0, expected_epoch: 1 });
+        let info = st.shard(0).unwrap();
+        assert_eq!(info.primary, NodeId(0));
+        assert_eq!(info.backups, vec![NodeId(1)]);
+        assert_eq!(info.epoch, 2);
+        assert!(st.nodes.contains(&NodeId(2)), "node stays registered");
+        // Repair re-recruits the very node that reported: sync wipes and
+        // rebuilds its local copy from a healthy replica.
+        let cmds = st.plan_repair();
+        assert_eq!(
+            cmds,
+            vec![CoordCmd::AddBackup { shard: 0, node: NodeId(2), expected_epoch: 2 }]
+        );
+        // A duplicate report against the old epoch is fenced out.
+        st.apply(&CoordCmd::ReportCorruption { node: NodeId(1), shard: 0, expected_epoch: 1 });
+        assert_eq!(st.shard(0).unwrap().backups, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn corrupt_primary_demotes_to_healthy_backup() {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::ReportCorruption { node: NodeId(0), shard: 0, expected_epoch: 1 });
+        let info = st.shard(0).unwrap();
+        assert_eq!(info.primary, NodeId(1), "first healthy backup promoted");
+        assert_eq!(info.backups, vec![NodeId(2)]);
+        assert_eq!(info.epoch, 2);
+        assert!(!info.lost);
+    }
+
+    #[test]
+    fn corrupt_last_copy_marks_shard_lost() {
+        let mut st = ClusterState::default();
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(0) });
+        st.apply(&CoordCmd::CreateShard { shard: 0, replicas: vec![NodeId(0)] });
+        st.apply(&CoordCmd::ReportCorruption { node: NodeId(0), shard: 0, expected_epoch: 1 });
+        let info = st.shard(0).unwrap();
+        assert!(info.lost, "no healthy replica to repair from");
+        assert!(info.contains(NodeId(0)), "membership preserved");
+        assert_eq!(info.epoch, 2);
+    }
+
+    #[test]
+    fn corrupt_report_with_starved_survivors_prefers_clean_revival() {
+        // The reporter's peers missed heartbeats (starved, not gone): no
+        // registered survivor exists, but the unregistered former members
+        // hold every acked write while the reporter's quarantine punched
+        // holes in its copy. The shard goes lost with the reporter dropped
+        // from membership, so revival waits for a clean member instead of
+        // re-seating the rotten one.
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(1) });
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(2) });
+        st.apply(&CoordCmd::ReportCorruption { node: NodeId(0), shard: 0, expected_epoch: 1 });
+        let info = st.shard(0).unwrap();
+        assert!(info.lost);
+        assert!(!info.contains(NodeId(0)), "rotten reporter dropped");
+        assert!(info.contains(NodeId(1)) && info.contains(NodeId(2)), "clean members kept");
+        // The reporter is still registered, but it is no longer a member:
+        // repair must NOT revive the shard from it.
+        assert!(st.plan_repair().is_empty());
+        // A starved survivor re-registers → revival picks it.
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(1) });
+        let cmds = st.plan_repair();
+        let epoch = st.shard(0).unwrap().epoch;
+        assert_eq!(
+            cmds,
+            vec![CoordCmd::ReviveShard { shard: 0, node: NodeId(1), expected_epoch: epoch }]
+        );
+        for c in cmds {
+            st.apply(&c);
+        }
+        let info = st.shard(0).unwrap();
+        assert!(!info.lost);
+        assert_eq!(info.primary, NodeId(1));
+    }
+
+    #[test]
+    fn corrupt_syncing_recruit_restarts_transfer() {
+        let mut st = three_node_state();
+        // Lose a backup so repair actually recruits the spare.
+        for c in st.plan_failover(NodeId(2)) {
+            st.apply(&c);
+        }
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(2) });
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(3) });
+        for c in st.plan_repair() {
+            st.apply(&c);
+        }
+        assert!(st.shard(0).unwrap().is_syncing(NodeId(3)));
+        let e = st.shard(0).unwrap().epoch;
+        st.apply(&CoordCmd::ReportCorruption { node: NodeId(3), shard: 0, expected_epoch: e });
+        let info = st.shard(0).unwrap();
+        assert!(info.syncing.is_empty());
+        assert_eq!(info.epoch, e + 1);
+        // Next repair round recruits again (possibly the same node).
+        assert_eq!(st.plan_repair().len(), 1);
+        // A non-member report is a no-op.
+        st.apply(&CoordCmd::ReportCorruption { node: NodeId(9), shard: 0, expected_epoch: e + 1 });
+        assert_eq!(st.shard(0).unwrap().epoch, e + 1);
     }
 
     #[test]

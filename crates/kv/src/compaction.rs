@@ -16,8 +16,10 @@
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::iterator::{ChildIter, MergingIterator};
-use crate::sstable::{Table, TableBuilder};
+use crate::sstable::{CorruptionSink, Table, TableBuilder};
 use crate::types::{InternalKey, SeqNo, ValueKind};
 use crate::version::{table_path, TableHandle, Version, VersionEdit, VersionSet};
 use crate::{Options, Result};
@@ -165,15 +167,19 @@ pub fn run_compaction_cached(
     cache: Option<std::sync::Arc<crate::block_cache::BlockCache>>,
 ) -> Result<CompactionResult> {
     let out_level = task.level + 1;
+    // Input iterators cannot return errors through `Iterator::next`; a
+    // corrupt block would silently truncate an input and the compaction
+    // would commit a version that lost data. The sink catches exactly that.
+    let sink: CorruptionSink = Arc::new(Mutex::new(Vec::new()));
     let mut children: Vec<ChildIter> = Vec::new();
     // Newest sources first: L0 files have the highest numbers = newest data.
     let mut l0_sorted = task.inputs.clone();
     l0_sorted.sort_by_key(|f| std::cmp::Reverse(f.number));
     for f in &l0_sorted {
-        children.push(Box::new(f.table.iter()));
+        children.push(Box::new(f.table.iter().with_sink(Arc::clone(&sink))));
     }
     for f in &task.next_level_inputs {
-        children.push(Box::new(f.table.iter()));
+        children.push(Box::new(f.table.iter().with_sink(Arc::clone(&sink))));
     }
     let merged = MergingIterator::new(children);
 
@@ -200,8 +206,12 @@ pub fn run_compaction_cached(
             None => {
                 builder_number = versions.allocate_file_number();
                 let path = table_path(versions.dir(), builder_number);
-                builder =
-                    Some(TableBuilder::create(path, opts.block_bytes, opts.bloom_bits_per_key)?);
+                builder = Some(TableBuilder::create_with(
+                    &opts.vfs,
+                    path,
+                    opts.block_bytes,
+                    opts.bloom_bits_per_key,
+                )?);
                 builder.as_mut().expect("just set")
             }
         };
@@ -216,14 +226,23 @@ pub fn run_compaction_cached(
         }
     }
 
+    // An input table went bad mid-merge: abandon the compaction (removing
+    // the partial outputs) and surface the corruption so the caller can
+    // quarantine the offending file. No version change is applied, so no
+    // data is lost here.
+    let first_corruption = sink.lock().pop();
+    if let Some(err) = first_corruption {
+        for (number, b) in outputs {
+            drop(b);
+            let _ = opts.vfs.remove_file(&table_path(versions.dir(), number));
+        }
+        return Err(err);
+    }
+
     let mut edit = VersionEdit::default();
     for (number, b) in outputs {
         let (size, _, _) = b.finish()?;
-        let table = Table::open_cached(
-            table_path(versions.dir(), number),
-            opts.paranoid_checks,
-            cache.clone(),
-        )?;
+        let table = Table::open_with(&opts.vfs, table_path(versions.dir(), number), cache.clone())?;
         let handle = TableHandle::new(number, size, table);
         result.output.push(Arc::clone(&handle));
         edit.added.push((out_level, handle));
@@ -263,7 +282,7 @@ mod tests {
         let path = table_path(dir, n);
         let (size, _, _) =
             build_table(&path, entries.iter().map(|(k, v)| (k, v.as_slice())), 256, 10).unwrap();
-        let t = Table::open(&path, true).unwrap();
+        let t = Table::open(&path).unwrap();
         let h = TableHandle::new(n, size, t);
         vs.log_and_apply(VersionEdit { added: vec![(level, h)], deleted: vec![] }, 0).unwrap();
         n
@@ -301,7 +320,7 @@ mod tests {
     #[test]
     fn l0_compaction_merges_and_dedups() {
         let dir = tmpdir("l0");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         add_table(&mut vs, &dir, 0, vec![put("a", 1), put("b", 1)]);
         add_table(&mut vs, &dir, 0, vec![put("a", 5), put("c", 5)]);
         let opts = Options { l0_compaction_files: 2, ..Options::small_for_tests() };
@@ -324,7 +343,7 @@ mod tests {
     #[test]
     fn snapshot_pins_old_versions_through_compaction() {
         let dir = tmpdir("snap");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         add_table(&mut vs, &dir, 0, vec![put("a", 1)]);
         add_table(&mut vs, &dir, 0, vec![put("a", 5)]);
         let opts = Options { l0_compaction_files: 2, ..Options::small_for_tests() };
@@ -340,7 +359,7 @@ mod tests {
     #[test]
     fn tombstones_vanish_at_base_level() {
         let dir = tmpdir("tomb");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         add_table(&mut vs, &dir, 0, vec![del("a", 5)]);
         add_table(&mut vs, &dir, 0, vec![put("a", 1)]);
         let opts = Options { l0_compaction_files: 2, ..Options::small_for_tests() };
@@ -355,7 +374,7 @@ mod tests {
     #[test]
     fn size_triggered_compaction_at_l1() {
         let dir = tmpdir("size");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         let big: Vec<(InternalKey, Vec<u8>)> = (0..200)
             .map(|i| {
                 (
@@ -376,9 +395,38 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_input_aborts_compaction_without_data_loss() {
+        let dir = tmpdir("corruptinput");
+        let mut vs = VersionSet::create(&dir).unwrap();
+        let entries: Vec<(InternalKey, Vec<u8>)> =
+            (0..100).map(|i| put(&format!("k{i:05}"), 1)).collect();
+        let n1 = add_table(&mut vs, &dir, 0, entries);
+        add_table(&mut vs, &dir, 0, vec![put("zz", 2)]);
+        // Rot a data block in the first input.
+        let p = table_path(&dir, n1);
+        let mut data = std::fs::read(&p).unwrap();
+        data[10] ^= 0x01;
+        std::fs::write(&p, &data).unwrap();
+        // Re-open the version so the table reader has no cached copy.
+        let mut vs = VersionSet::recover(&dir).unwrap().versions;
+        let opts = Options { l0_compaction_files: 2, ..Options::small_for_tests() };
+        let task = pick_compaction(&vs.current(), &opts).expect("l0 compaction due");
+        let file_count_before = vs.current().file_count();
+        match run_compaction(&mut vs, task, &opts, 100) {
+            Err(crate::KvError::Corruption(info)) => {
+                assert_eq!(info.file.as_deref(), Some(p.as_path()));
+            }
+            other => panic!("expected corruption abort, got {other:?}"),
+        }
+        // No version change: both inputs still live, no outputs installed.
+        assert_eq!(vs.current().file_count(), file_count_before);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn no_compaction_when_under_thresholds() {
         let dir = tmpdir("quiet");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         add_table(&mut vs, &dir, 0, vec![put("a", 1)]);
         let opts = Options::default();
         assert!(pick_compaction(&vs.current(), &opts).is_none());

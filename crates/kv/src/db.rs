@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 use lambda_telemetry::{Counter, Registry};
@@ -16,7 +16,7 @@ use crate::block_cache::BlockCache;
 use crate::compaction::{pick_compaction, run_compaction_cached};
 use crate::iterator::{ChildIter, DbIterator, MergingIterator, VisibilityIterator};
 use crate::memtable::{LookupResult, MemTable};
-use crate::sstable::{Table, TableBuilder};
+use crate::sstable::{CorruptionSink, Table, TableBuilder};
 use crate::types::{InternalKey, Key, SeqNo, Value, ValueKind, MAX_KEY_LEN, MAX_SEQNO};
 use crate::version::{table_path, wal_path, TableHandle, Version, VersionEdit, VersionSet};
 use crate::wal::{self, Wal};
@@ -48,6 +48,14 @@ pub struct DbStats {
     /// Total microseconds writers spent parked in the commit queue waiting
     /// for a leader to durably commit their batch.
     pub commit_stall_micros: Counter,
+    /// Checksum/framing failures detected on any read path.
+    pub corruptions_detected: Counter,
+    /// Corrupt SSTables renamed aside and version-edited out.
+    pub tables_quarantined: Counter,
+    /// Data blocks re-read and checksum-verified by the scrubber.
+    pub scrub_blocks_verified: Counter,
+    /// WAL recoveries that tolerated (and truncated) a torn tail.
+    pub wal_torn_tail_recoveries: Counter,
 }
 
 impl DbStats {
@@ -63,6 +71,10 @@ impl DbStats {
             commit_groups: registry.counter("kv_commit_groups"),
             commit_group_batches: registry.counter("kv_commit_group_batches"),
             commit_stall_micros: registry.counter("kv_commit_stall_micros"),
+            corruptions_detected: registry.counter("kv_corruptions_detected"),
+            tables_quarantined: registry.counter("kv_tables_quarantined"),
+            scrub_blocks_verified: registry.counter("scrub_blocks_verified"),
+            wal_torn_tail_recoveries: registry.counter("wal_torn_tail_recoveries"),
         }
     }
 }
@@ -86,6 +98,14 @@ pub struct StatsSnapshot {
     pub commit_group_batches: u64,
     /// Total microseconds writers spent parked in the commit queue.
     pub commit_stall_micros: u64,
+    /// Checksum/framing failures detected on any read path.
+    pub corruptions_detected: u64,
+    /// Corrupt SSTables renamed aside and version-edited out.
+    pub tables_quarantined: u64,
+    /// Data blocks re-read and checksum-verified by the scrubber.
+    pub scrub_blocks_verified: u64,
+    /// WAL recoveries that tolerated (and truncated) a torn tail.
+    pub wal_torn_tail_recoveries: u64,
 }
 
 impl StatsSnapshot {
@@ -97,6 +117,25 @@ impl StatsSnapshot {
             self.commit_group_batches as f64 / self.commit_groups as f64
         }
     }
+}
+
+/// A corruption the engine detected (and survived) on some read path.
+///
+/// Events queue up inside the database until the embedding node drains them
+/// with [`Db::take_corruption_events`]; the store layer turns them into
+/// coordinator corruption reports so the shard can be repaired from a
+/// healthy replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionEvent {
+    /// File the corruption was detected in, when identified.
+    pub file: Option<PathBuf>,
+    /// Byte offset of the damaged region, when identified.
+    pub offset: Option<u64>,
+    /// Whether the file was a live SSTable that has now been renamed aside
+    /// and version-edited out of the LSM.
+    pub quarantined: bool,
+    /// Human-readable description of the damage.
+    pub detail: String,
 }
 
 #[derive(Debug)]
@@ -197,6 +236,11 @@ struct DbInner {
     snapshots: Mutex<BTreeMap<SeqNo, usize>>,
     stats: DbStats,
     block_cache: Option<Arc<BlockCache>>,
+    /// Corruptions detected but not yet drained by the embedding node.
+    corruption_events: Mutex<Vec<CorruptionEvent>>,
+    /// Sink range iterators report table corruption through (iterators
+    /// cannot return `Err` from `next`); drained alongside the events.
+    read_corruptions: CorruptionSink,
 }
 
 /// A consistent, point-in-time read view. Holding a snapshot pins all
@@ -276,11 +320,12 @@ impl Db {
         } else {
             None
         };
-        let fresh = !dir.join("CURRENT").exists();
+        let vfs = opts.vfs.clone();
+        let fresh = !vfs.exists(&dir.join("CURRENT"));
         if fresh {
-            let versions = VersionSet::create(&dir, opts.paranoid_checks)?;
+            let versions = VersionSet::create_with(&dir, vfs.clone())?;
             let wal_number = versions.wal_number;
-            let wal = Wal::create(wal_path(&dir, wal_number))?;
+            let wal = Wal::create_with(&vfs, wal_path(&dir, wal_number))?;
             let inner = Arc::new(DbInner {
                 dir,
                 opts,
@@ -293,12 +338,14 @@ impl Db {
                 snapshots: Mutex::new(BTreeMap::new()),
                 stats,
                 block_cache,
+                corruption_events: Mutex::new(Vec::new()),
+                read_corruptions: Arc::new(Mutex::new(Vec::new())),
             });
+            spawn_scrubber(&inner);
             return Ok(Db { inner });
         }
 
-        let recovered =
-            VersionSet::recover_cached(&dir, opts.paranoid_checks, block_cache.clone())?;
+        let recovered = VersionSet::recover_with(&dir, vfs.clone(), block_cache.clone())?;
         let mut versions = recovered.versions;
         let mut last_seq = recovered.last_seq;
         let flushed = versions.flushed_seq;
@@ -306,8 +353,11 @@ impl Db {
         // Replay the live WAL into a fresh memtable.
         let mut mem = MemTable::new();
         let old_wal = wal_path(&dir, versions.wal_number);
-        if old_wal.exists() {
-            let replay = wal::recover(&old_wal)?;
+        if vfs.exists(&old_wal) {
+            let replay = wal::recover_with(&vfs, &old_wal)?;
+            if replay.truncated_tail {
+                stats.wal_torn_tail_recoveries.incr();
+            }
             for record in replay.records {
                 let (start_seq, batch) = WriteBatch::decode(&record)?;
                 for (i, op) in batch.iter().enumerate() {
@@ -332,12 +382,13 @@ impl Db {
         if !mem.is_empty() {
             let number = versions.allocate_file_number();
             let path = table_path(&dir, number);
-            let mut b = TableBuilder::create(&path, opts.block_bytes, opts.bloom_bits_per_key)?;
+            let mut b =
+                TableBuilder::create_with(&vfs, &path, opts.block_bytes, opts.bloom_bits_per_key)?;
             for (k, v) in mem.iter() {
                 b.add(k, v)?;
             }
             let (size, _, _) = b.finish()?;
-            let table = Table::open_cached(&path, opts.paranoid_checks, block_cache.clone())?;
+            let table = Table::open_with(&vfs, &path, block_cache.clone())?;
             versions.flushed_seq = last_seq;
             versions.log_and_apply(
                 VersionEdit {
@@ -349,9 +400,9 @@ impl Db {
         }
 
         let wal_number = versions.allocate_file_number();
-        let wal = Wal::create(wal_path(&dir, wal_number))?;
+        let wal = Wal::create_with(&vfs, wal_path(&dir, wal_number))?;
         versions.set_wal_number(wal_number, last_seq)?;
-        let _ = fs::remove_file(&old_wal);
+        let _ = vfs.remove_file(&old_wal);
 
         let inner = Arc::new(DbInner {
             dir,
@@ -365,7 +416,10 @@ impl Db {
             snapshots: Mutex::new(BTreeMap::new()),
             stats,
             block_cache,
+            corruption_events: Mutex::new(Vec::new()),
+            read_corruptions: Arc::new(Mutex::new(Vec::new())),
         });
+        spawn_scrubber(&inner);
         let db = Db { inner };
         db.maybe_compact()?;
         Ok(db)
@@ -690,7 +744,7 @@ impl Db {
         let version = self.inner.current.read().clone();
         // L0: newest file first (files are sorted by ascending number).
         for f in version.levels[0].iter().rev() {
-            match f.table.get(key, seq)? {
+            match self.checked(f.table.get(key, seq))? {
                 LookupResult::Found(v) => return Ok(Some(v)),
                 LookupResult::Deleted => return Ok(None),
                 LookupResult::NotFound => {}
@@ -701,7 +755,7 @@ impl Db {
             let idx = level.partition_point(|f| f.table.largest.user.as_slice() < key);
             if let Some(f) = level.get(idx) {
                 if f.table.smallest.user.as_slice() <= key {
-                    match f.table.get(key, seq)? {
+                    match self.checked(f.table.get(key, seq))? {
                         LookupResult::Found(v) => return Ok(Some(v)),
                         LookupResult::Deleted => return Ok(None),
                         LookupResult::NotFound => {}
@@ -745,13 +799,14 @@ impl Db {
         }
         let version = self.inner.current.read().clone();
         let seek = InternalKey::seek(start.to_vec(), MAX_SEQNO);
+        let sink = &self.inner.read_corruptions;
         for f in version.levels[0].iter().rev() {
-            children.push(Box::new(f.table.iter_from(&seek)));
+            children.push(Box::new(f.table.iter_from(&seek).with_sink(Arc::clone(sink))));
         }
         for level in version.levels.iter().skip(1) {
             for f in level {
                 if f.table.largest.user.as_slice() >= start {
-                    children.push(Box::new(f.table.iter_from(&seek)));
+                    children.push(Box::new(f.table.iter_from(&seek).with_sink(Arc::clone(sink))));
                 }
             }
         }
@@ -790,16 +845,18 @@ impl Db {
         let last_seq = self.inner.last_seq.load(Ordering::Acquire);
 
         // Rotate the WAL first so new writes land in a fresh log.
+        let vfs = &self.inner.opts.vfs;
         let mut versions = self.inner.versions.lock();
         let new_wal_number = versions.allocate_file_number();
         let old_wal_number = ws.wal_number;
-        ws.wal = Wal::create(wal_path(&self.inner.dir, new_wal_number))?;
+        ws.wal = Wal::create_with(vfs, wal_path(&self.inner.dir, new_wal_number))?;
         ws.wal_number = new_wal_number;
 
         // Write the table.
         let number = versions.allocate_file_number();
         let path = table_path(&self.inner.dir, number);
-        let mut b = TableBuilder::create(
+        let mut b = TableBuilder::create_with(
+            vfs,
             &path,
             self.inner.opts.block_bytes,
             self.inner.opts.bloom_bits_per_key,
@@ -808,11 +865,7 @@ impl Db {
             b.add(k, v)?;
         }
         let (size, _, _) = b.finish()?;
-        let table = Table::open_cached(
-            &path,
-            self.inner.opts.paranoid_checks,
-            self.inner.block_cache.clone(),
-        )?;
+        let table = Table::open_with(vfs, &path, self.inner.block_cache.clone())?;
         versions.flushed_seq = last_seq;
         versions.wal_number = new_wal_number;
         let new_version = versions.log_and_apply(
@@ -826,7 +879,7 @@ impl Db {
 
         *self.inner.current.write() = new_version;
         self.inner.mem.write().immutable = None;
-        let _ = fs::remove_file(wal_path(&self.inner.dir, old_wal_number));
+        let _ = self.inner.opts.vfs.remove_file(&wal_path(&self.inner.dir, old_wal_number));
         self.inner.stats.flushes.incr();
         Ok(())
     }
@@ -842,19 +895,38 @@ impl Db {
     }
 
     fn maybe_compact(&self) -> Result<()> {
+        // Bound the quarantine retries so a pathological directory (every
+        // input corrupt) cannot spin forever; each retry removes one table.
+        let mut corruption_retries = 8u32;
         loop {
             let mut versions = self.inner.versions.lock();
             let task = match pick_compaction(&versions.current(), &self.inner.opts) {
                 Some(t) => t,
                 None => return Ok(()),
             };
-            run_compaction_cached(
+            let res = run_compaction_cached(
                 &mut versions,
                 task,
                 &self.inner.opts,
                 self.oldest_snapshot(),
                 self.inner.block_cache.clone(),
-            )?;
+            );
+            match res {
+                Ok(_) => {}
+                Err(e @ KvError::Corruption(_)) => {
+                    // A compaction input is rotten. Quarantine it (needs the
+                    // versions lock, so release ours first) and retry: the
+                    // remaining inputs are still mergeable.
+                    drop(versions);
+                    self.note_corruption(&e);
+                    if corruption_retries == 0 {
+                        return Err(e);
+                    }
+                    corruption_retries -= 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
             let new_version = versions.current();
             drop(versions);
             *self.inner.current.write() = new_version;
@@ -888,6 +960,10 @@ impl Db {
             commit_groups: s.commit_groups.get(),
             commit_group_batches: s.commit_group_batches.get(),
             commit_stall_micros: s.commit_stall_micros.get(),
+            corruptions_detected: s.corruptions_detected.get(),
+            tables_quarantined: s.tables_quarantined.get(),
+            scrub_blocks_verified: s.scrub_blocks_verified.get(),
+            wal_torn_tail_recoveries: s.wal_torn_tail_recoveries.get(),
         }
     }
 
@@ -933,6 +1009,124 @@ impl Db {
     pub fn dir(&self) -> &Path {
         &self.inner.dir
     }
+
+    /// Drain the queued [`CorruptionEvent`]s (oldest first).
+    ///
+    /// Also folds in corruption that range iterators reported through their
+    /// sink since the last drain. The embedding node polls this to learn it
+    /// is serving a shard from damaged local storage and must be repaired.
+    pub fn take_corruption_events(&self) -> Vec<CorruptionEvent> {
+        let pending: Vec<KvError> = std::mem::take(&mut *self.inner.read_corruptions.lock());
+        for err in &pending {
+            self.note_corruption(err);
+        }
+        std::mem::take(&mut *self.inner.corruption_events.lock())
+    }
+
+    /// One scrubber pass: re-read every data block of every live table and
+    /// verify its checksum, bypassing the block cache. Corrupt tables are
+    /// quarantined (and queued as [`CorruptionEvent`]s) rather than aborting
+    /// the pass. Returns the number of blocks that verified clean.
+    ///
+    /// # Errors
+    /// Propagates non-corruption I/O errors.
+    pub fn scrub_pass(&self) -> Result<u64> {
+        let version = self.inner.current.read().clone();
+        let mut clean = 0u64;
+        for f in version.levels.iter().flatten() {
+            match f.table.verify_blocks() {
+                Ok(blocks) => {
+                    clean += blocks;
+                    self.inner.stats.scrub_blocks_verified.add(blocks);
+                }
+                Err(e @ KvError::Corruption(_)) => self.note_corruption(&e),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(clean)
+    }
+
+    /// Pass `res` through, recording any corruption it carries first.
+    fn checked<T>(&self, res: Result<T>) -> Result<T> {
+        if let Err(e) = &res {
+            self.note_corruption(e);
+        }
+        res
+    }
+
+    /// Record a detected corruption: bump the counter, quarantine the named
+    /// table when one is identified, and queue an event for the embedding
+    /// node. Non-corruption errors are ignored.
+    fn note_corruption(&self, err: &KvError) {
+        let KvError::Corruption(info) = err else { return };
+        self.inner.stats.corruptions_detected.incr();
+        let quarantined = match &info.file {
+            Some(file) => self.quarantine_table(file),
+            None => false,
+        };
+        self.inner.corruption_events.lock().push(CorruptionEvent {
+            file: info.file.clone(),
+            offset: info.offset,
+            quarantined,
+            detail: info.message.clone(),
+        });
+    }
+
+    /// Rename a corrupt live table aside (`<name>.quarantine`) and
+    /// version-edit it out of the LSM so no read path touches it again.
+    /// Returns `false` when `path` is not a live table (already quarantined,
+    /// or a WAL/manifest — those are handled by recovery, not here).
+    fn quarantine_table(&self, path: &Path) -> bool {
+        let mut versions = self.inner.versions.lock();
+        let current = versions.current();
+        let mut found = None;
+        'levels: for (level, files) in current.levels.iter().enumerate() {
+            for f in files.iter() {
+                if f.table.path() == path {
+                    found = Some((level, f.number));
+                    break 'levels;
+                }
+            }
+        }
+        let Some((level, number)) = found else {
+            return false;
+        };
+        let mut aside = path.as_os_str().to_owned();
+        aside.push(".quarantine");
+        // Even when the rename fails (e.g. the disk is rejecting writes),
+        // still drop the table from the version so reads stop hitting it.
+        let _ = self.inner.opts.vfs.rename(path, Path::new(&aside));
+        let last_seq = self.inner.last_seq.load(Ordering::Acquire);
+        let edit = VersionEdit { added: vec![], deleted: vec![(level, number)] };
+        match versions.log_and_apply(edit, last_seq) {
+            Ok(new_version) => {
+                drop(versions);
+                *self.inner.current.write() = new_version;
+                self.inner.stats.tables_quarantined.incr();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Background scrubber: a low-priority thread that walks the live tables
+/// verifying block checksums every `scrub_interval`. Holds only a [`Weak`]
+/// to the database so dropping the last [`Db`] handle stops it at the next
+/// tick. Disabled when the interval is zero.
+fn spawn_scrubber(inner: &Arc<DbInner>) {
+    let interval = inner.opts.scrub_interval;
+    if interval.is_zero() {
+        return;
+    }
+    let weak: Weak<DbInner> = Arc::downgrade(inner);
+    let _ = std::thread::Builder::new().name("kv-scrub".into()).spawn(move || loop {
+        std::thread::sleep(interval);
+        let Some(inner) = weak.upgrade() else {
+            return;
+        };
+        let _ = Db { inner }.scrub_pass();
+    });
 }
 
 fn validate_batch(batch: &WriteBatch) -> Result<()> {
@@ -1205,6 +1399,130 @@ mod tests {
             r.join().unwrap();
         }
         assert_eq!(db.get(b"shared").unwrap(), Some(b"199".to_vec()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    fn sst_files(dir: &Path) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "sst"))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn flip_byte(path: &Path, offset: u64) {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let mut f = fs::OpenOptions::new().read(true).write(true).open(path).unwrap();
+        f.seek(SeekFrom::Start(offset)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        b[0] ^= 0xff;
+        f.seek(SeekFrom::Start(offset)).unwrap();
+        f.write_all(&b).unwrap();
+    }
+
+    fn fill_one_table(db: &Db) {
+        for i in 0..40 {
+            db.put(format!("key-{i:05}").into_bytes(), vec![b'x'; 32]).unwrap();
+        }
+        db.flush().unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_tolerated_and_counted() {
+        let dir = tmpdir("torntail");
+        {
+            let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+            db.put(b"a".to_vec(), b"1".to_vec()).unwrap();
+            db.put(b"b".to_vec(), b"2".to_vec()).unwrap();
+            // No clean shutdown: both records live only in the WAL.
+        }
+        let wal = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "wal"))
+            .expect("live wal present");
+        let len = fs::metadata(&wal).unwrap().len();
+        fs::OpenOptions::new().write(true).open(&wal).unwrap().set_len(len - 3).unwrap();
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"b").unwrap(), None, "sheared record is gone");
+        assert_eq!(db.stats().wal_torn_tail_recoveries, 1);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_table_is_quarantined_on_read() {
+        let dir = tmpdir("quarantine");
+        {
+            let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+            fill_one_table(&db);
+        }
+        let ssts = sst_files(&dir);
+        assert_eq!(ssts.len(), 1, "one flushed table expected");
+        flip_byte(&ssts[0], 20); // inside the first data block
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        let err = db.get(b"key-00000").unwrap_err();
+        match &err {
+            KvError::Corruption(info) => {
+                assert_eq!(info.file.as_deref(), Some(ssts[0].as_path()));
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        // The table was quarantined: reads stop hitting it, the bytes are
+        // preserved aside for forensics, and the event is queued.
+        assert_eq!(db.get(b"key-00000").unwrap(), None);
+        assert_eq!(db.table_file_count(), 0);
+        let s = db.stats();
+        assert_eq!(s.corruptions_detected, 1);
+        assert_eq!(s.tables_quarantined, 1);
+        let events = db.take_corruption_events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].quarantined);
+        assert!(ssts[0].with_extension("sst.quarantine").exists(), "bytes kept aside");
+        assert!(!ssts[0].exists());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scrub_pass_detects_and_quarantines_bit_rot() {
+        let dir = tmpdir("scrub");
+        let db = Db::open(&dir, Options::small_for_tests()).unwrap();
+        fill_one_table(&db);
+        let clean = db.scrub_pass().unwrap();
+        assert!(clean > 0, "clean table verifies some blocks");
+        assert_eq!(db.stats().corruptions_detected, 0);
+        let ssts = sst_files(&dir);
+        flip_byte(&ssts[0], 20);
+        db.scrub_pass().unwrap();
+        let s = db.stats();
+        assert_eq!(s.corruptions_detected, 1);
+        assert_eq!(s.tables_quarantined, 1);
+        assert!(s.scrub_blocks_verified >= clean);
+        let events = db.take_corruption_events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].quarantined);
+        assert_eq!(events[0].file.as_deref(), Some(ssts[0].as_path()));
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn background_scrubber_finds_rot_without_reads() {
+        let dir = tmpdir("scrub-bg");
+        let opts = Options {
+            scrub_interval: std::time::Duration::from_millis(20),
+            ..Options::small_for_tests()
+        };
+        let db = Db::open(&dir, opts).unwrap();
+        fill_one_table(&db);
+        flip_byte(&sst_files(&dir)[0], 20);
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while db.stats().tables_quarantined == 0 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(db.stats().tables_quarantined >= 1, "scrubber thread must find the rot");
         fs::remove_dir_all(dir).ok();
     }
 

@@ -2,9 +2,38 @@
 
 use std::fmt;
 use std::io;
+use std::path::{Path, PathBuf};
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, KvError>;
+
+/// What corrupted, and where: the file and byte offset (when known) that
+/// failed a checksum or framing check. Carried inside
+/// [`KvError::Corruption`] so quarantine and repair can identify the
+/// offending file without string parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionInfo {
+    /// File in which the corruption was detected, when known.
+    pub file: Option<PathBuf>,
+    /// Byte offset of the corrupt region within `file`, when known.
+    pub offset: Option<u64>,
+    /// Human-readable description of the failed check.
+    pub message: String,
+}
+
+impl fmt::Display for CorruptionInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(file) = &self.file {
+            write!(f, " (file {}", file.display())?;
+            if let Some(offset) = self.offset {
+                write!(f, ", offset {offset}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors returned by the storage engine.
 #[derive(Debug)]
@@ -12,7 +41,7 @@ pub enum KvError {
     /// An underlying filesystem operation failed.
     Io(io::Error),
     /// On-disk data failed a checksum or framing check.
-    Corruption(String),
+    Corruption(CorruptionInfo),
     /// The database directory is malformed or locked.
     InvalidDatabase(String),
     /// The caller supplied an argument the engine cannot accept
@@ -26,7 +55,7 @@ impl fmt::Display for KvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KvError::Io(e) => write!(f, "i/o error: {e}"),
-            KvError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            KvError::Corruption(info) => write!(f, "corruption detected: {info}"),
             KvError::InvalidDatabase(msg) => write!(f, "invalid database: {msg}"),
             KvError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             KvError::ShuttingDown => write!(f, "database is shutting down"),
@@ -50,9 +79,40 @@ impl From<io::Error> for KvError {
 }
 
 impl KvError {
-    /// Build a [`KvError::Corruption`] with a formatted message.
+    /// Build a [`KvError::Corruption`] without location information.
     pub fn corruption(msg: impl Into<String>) -> Self {
-        KvError::Corruption(msg.into())
+        KvError::Corruption(CorruptionInfo { file: None, offset: None, message: msg.into() })
+    }
+
+    /// Build a [`KvError::Corruption`] pinned to `file` (and optionally a
+    /// byte `offset` within it).
+    pub fn corruption_at(
+        file: impl Into<PathBuf>,
+        offset: impl Into<Option<u64>>,
+        msg: impl Into<String>,
+    ) -> Self {
+        KvError::Corruption(CorruptionInfo {
+            file: Some(file.into()),
+            offset: offset.into(),
+            message: msg.into(),
+        })
+    }
+
+    /// Attach `file` (and optionally `offset`) to a corruption error that
+    /// was built without location information; other variants pass through
+    /// unchanged.
+    #[must_use]
+    pub fn with_location(self, file: &Path, offset: Option<u64>) -> Self {
+        match self {
+            KvError::Corruption(mut info) => {
+                if info.file.is_none() {
+                    info.file = Some(file.to_path_buf());
+                    info.offset = info.offset.or(offset);
+                }
+                KvError::Corruption(info)
+            }
+            other => other,
+        }
     }
 }
 
@@ -73,6 +133,36 @@ mod tests {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn corruption_display_includes_location() {
+        let e = KvError::corruption_at("/db/000000000004.sst", 128u64, "bad block crc");
+        let s = e.to_string();
+        assert!(s.contains("bad block crc"), "{s}");
+        assert!(s.contains("000000000004.sst"), "{s}");
+        assert!(s.contains("offset 128"), "{s}");
+    }
+
+    #[test]
+    fn with_location_fills_only_missing_identity() {
+        let located = KvError::corruption("plain").with_location(Path::new("/db/a.sst"), Some(7));
+        match located {
+            KvError::Corruption(info) => {
+                assert_eq!(info.file.as_deref(), Some(Path::new("/db/a.sst")));
+                assert_eq!(info.offset, Some(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let keeps = KvError::corruption_at("/db/b.sst", 1u64, "x")
+            .with_location(Path::new("/db/c.sst"), Some(99));
+        match keeps {
+            KvError::Corruption(info) => {
+                assert_eq!(info.file.as_deref(), Some(Path::new("/db/b.sst")));
+                assert_eq!(info.offset, Some(1));
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

@@ -56,14 +56,16 @@ pub mod memtable;
 pub mod sstable;
 pub mod types;
 pub mod version;
+pub mod vfs;
 pub mod wal;
 
 pub use batch::WriteBatch;
 pub use block_cache::{BlockCache, BlockCacheStats};
-pub use db::{Db, DbStats, Snapshot, StatsSnapshot, WriteCallback};
-pub use error::{KvError, Result};
+pub use db::{CorruptionEvent, Db, DbStats, Snapshot, StatsSnapshot, WriteCallback};
+pub use error::{CorruptionInfo, KvError, Result};
 pub use iterator::DbIterator;
 pub use types::{Key, SeqNo, Value, ValueKind};
+pub use vfs::{DiskFaultPlan, DiskFaultSpec, FaultVfs, FileKind, RealVfs, Vfs};
 
 /// Tuning knobs for a [`Db`] instance.
 ///
@@ -100,7 +102,19 @@ pub struct Options {
     /// each writer append and sync its own batch under the write lock.
     pub group_commit: bool,
     /// Verify block checksums on every read.
+    ///
+    /// Since the storage fault model landed, every read path verifies
+    /// checksums unconditionally; this knob is retained for configuration
+    /// compatibility but no longer weakens verification.
     pub paranoid_checks: bool,
+    /// Filesystem implementation all WAL/SSTable/manifest I/O goes through.
+    /// Defaults to the real filesystem; tests substitute a seeded
+    /// [`FaultVfs`] to inject disk faults.
+    pub vfs: std::sync::Arc<dyn Vfs>,
+    /// Interval between background scrub passes over live SSTables
+    /// (checksum verification of every block). `Duration::ZERO` (the
+    /// default) disables the scrubber.
+    pub scrub_interval: std::time::Duration,
 }
 
 impl Default for Options {
@@ -117,6 +131,8 @@ impl Default for Options {
             sync_wal: false,
             group_commit: true,
             paranoid_checks: true,
+            vfs: vfs::real(),
+            scrub_interval: std::time::Duration::ZERO,
         }
     }
 }
@@ -137,6 +153,8 @@ impl Options {
             sync_wal: false,
             group_commit: true,
             paranoid_checks: true,
+            vfs: vfs::real(),
+            scrub_interval: std::time::Duration::ZERO,
         }
     }
 }

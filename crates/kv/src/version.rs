@@ -11,7 +11,6 @@
 //! LevelDB's incremental version-edit log and equally crash-safe.
 
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -19,6 +18,7 @@ use std::sync::Arc;
 use crate::crc;
 use crate::sstable::Table;
 use crate::types::SeqNo;
+use crate::vfs::{self, Vfs};
 use crate::{KvError, Result};
 
 /// Number of LSM levels.
@@ -135,6 +135,7 @@ pub struct VersionEdit {
 #[derive(Debug)]
 pub struct VersionSet {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     current: Arc<Version>,
     next_file: u64,
     manifest_number: u64,
@@ -154,14 +155,23 @@ pub struct RecoveredState {
 }
 
 impl VersionSet {
-    /// Create a fresh version set for a new database directory.
+    /// Create a fresh version set for a new database directory on the real
+    /// filesystem.
     ///
     /// # Errors
     /// Propagates filesystem errors from writing the initial manifest.
-    pub fn create(dir: &Path, paranoid: bool) -> Result<VersionSet> {
-        let _ = paranoid;
+    pub fn create(dir: &Path) -> Result<VersionSet> {
+        Self::create_with(dir, vfs::real())
+    }
+
+    /// Create a fresh version set whose manifest I/O goes through `vfs`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from writing the initial manifest.
+    pub fn create_with(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<VersionSet> {
         let mut vs = VersionSet {
             dir: dir.to_path_buf(),
+            vfs,
             current: Arc::new(Version::empty()),
             next_file: 1,
             manifest_number: 0,
@@ -173,43 +183,48 @@ impl VersionSet {
         Ok(vs)
     }
 
-    /// Recover the version set from the directory's `CURRENT` manifest.
+    /// Recover the version set from the directory's `CURRENT` manifest on
+    /// the real filesystem.
     ///
     /// # Errors
     /// Returns [`KvError::InvalidDatabase`] or [`KvError::Corruption`] when
     /// the manifest chain is broken.
-    pub fn recover(dir: &Path, paranoid: bool) -> Result<RecoveredState> {
-        Self::recover_cached(dir, paranoid, None)
+    pub fn recover(dir: &Path) -> Result<RecoveredState> {
+        Self::recover_with(dir, vfs::real(), None)
     }
 
-    /// Like [`recover`](Self::recover) with a shared block cache for the
+    /// Recover through `vfs`, optionally with a shared block cache for the
     /// opened tables.
     ///
     /// # Errors
     /// Same as [`recover`](Self::recover).
-    pub fn recover_cached(
+    pub fn recover_with(
         dir: &Path,
-        paranoid: bool,
+        vfs: Arc<dyn Vfs>,
         cache: Option<std::sync::Arc<crate::block_cache::BlockCache>>,
     ) -> Result<RecoveredState> {
-        let current = fs::read_to_string(dir.join("CURRENT"))
+        let current = vfs
+            .read_to_string(&dir.join("CURRENT"))
             .map_err(|e| KvError::InvalidDatabase(format!("cannot read CURRENT: {e}")))?;
         let manifest_name = current.trim();
-        let raw = fs::read(dir.join(manifest_name))
+        let mpath = dir.join(manifest_name);
+        let raw = vfs
+            .read(&mpath)
             .map_err(|e| KvError::InvalidDatabase(format!("cannot read {manifest_name}: {e}")))?;
         if raw.len() < 4 {
-            return Err(KvError::corruption("manifest too short"));
+            return Err(KvError::corruption_at(&mpath, 0u64, "manifest too short"));
         }
         let (body, crcb) = raw.split_at(raw.len() - 4);
         let stored = crc::unmask(u32::from_le_bytes(crcb.try_into().unwrap()));
         if crc::crc32c(body) != stored {
-            return Err(KvError::corruption("manifest checksum mismatch"));
+            return Err(KvError::corruption_at(&mpath, 0u64, "manifest checksum mismatch"));
         }
 
         let mut pos = 0usize;
         let mut rd_u64 = |body: &[u8]| -> Result<u64> {
-            let v =
-                body.get(pos..pos + 8).ok_or_else(|| KvError::corruption("manifest truncated"))?;
+            let v = body
+                .get(pos..pos + 8)
+                .ok_or_else(|| KvError::corruption_at(&mpath, pos as u64, "manifest truncated"))?;
             pos += 8;
             Ok(u64::from_le_bytes(v.try_into().unwrap()))
         };
@@ -219,7 +234,7 @@ impl VersionSet {
         let wal_number = rd_u64(body)?;
         let n_levels = rd_u64(body)? as usize;
         if n_levels > 64 {
-            return Err(KvError::corruption("manifest level count implausible"));
+            return Err(KvError::corruption_at(&mpath, 0u64, "manifest level count implausible"));
         }
         let mut version = Version { levels: vec![Vec::new(); NUM_LEVELS.max(n_levels)] };
         for level in 0..n_levels {
@@ -228,7 +243,7 @@ impl VersionSet {
                 let number = rd_u64(body)?;
                 let size = rd_u64(body)?;
                 let path = table_path(dir, number);
-                let table = Table::open_cached(&path, paranoid, cache.clone())?;
+                let table = Table::open_with(&vfs, &path, cache.clone())?;
                 version.levels[level].push(TableHandle::new(number, size, table));
             }
         }
@@ -239,6 +254,7 @@ impl VersionSet {
         Ok(RecoveredState {
             versions: VersionSet {
                 dir: dir.to_path_buf(),
+                vfs,
                 current: Arc::new(version),
                 next_file,
                 manifest_number,
@@ -319,16 +335,17 @@ impl VersionSet {
             }
         }
         body.extend_from_slice(&crc::mask(crc::crc32c(&body)).to_le_bytes());
-        let mut file = fs::File::create(&path)?;
+        let mut file = self.vfs.create(&path)?;
         file.write_all(&body)?;
         file.sync_data()?;
+        drop(file);
         // Atomically point CURRENT at the new manifest.
         let tmp = self.dir.join("CURRENT.tmp");
-        fs::write(&tmp, format!("MANIFEST-{:012}\n", self.manifest_number))?;
-        fs::rename(&tmp, self.dir.join("CURRENT"))?;
+        self.vfs.write(&tmp, format!("MANIFEST-{:012}\n", self.manifest_number).as_bytes())?;
+        self.vfs.rename(&tmp, &self.dir.join("CURRENT"))?;
         // Best-effort cleanup of the previous manifest.
         if self.manifest_number > 1 {
-            let _ = fs::remove_file(manifest_path(&self.dir, self.manifest_number - 1));
+            let _ = self.vfs.remove_file(&manifest_path(&self.dir, self.manifest_number - 1));
         }
         Ok(())
     }
@@ -336,6 +353,11 @@ impl VersionSet {
     /// Database directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The [`Vfs`] this version set performs its I/O through.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
     }
 }
 
@@ -361,13 +383,13 @@ mod tests {
             .collect();
         let (size, _, _) =
             build_table(&path, entries.iter().map(|(k, v)| (k, v.as_slice())), 256, 10).unwrap();
-        TableHandle::new(number, size, Table::open(&path, true).unwrap())
+        TableHandle::new(number, size, Table::open(&path).unwrap())
     }
 
     #[test]
     fn create_apply_recover_round_trip() {
         let dir = tmpdir("roundtrip");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         let n1 = vs.allocate_file_number();
         let t1 = make_table(&dir, n1, &["a", "b"]);
         let n2 = vs.allocate_file_number();
@@ -375,7 +397,7 @@ mod tests {
         let edit = VersionEdit { added: vec![(0, t1), (1, t2)], deleted: vec![] };
         vs.log_and_apply(edit, 42).unwrap();
 
-        let rec = VersionSet::recover(&dir, true).unwrap();
+        let rec = VersionSet::recover(&dir).unwrap();
         assert_eq!(rec.last_seq, 42);
         let v = rec.versions.current();
         assert_eq!(v.levels[0].len(), 1);
@@ -387,7 +409,7 @@ mod tests {
     #[test]
     fn deleted_files_are_removed_from_disk_when_unpinned() {
         let dir = tmpdir("gc");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         let n1 = vs.allocate_file_number();
         let t1 = make_table(&dir, n1, &["a"]);
         let path = t1.table.path().to_path_buf();
@@ -404,7 +426,7 @@ mod tests {
     #[test]
     fn overlapping_and_base_level_queries() {
         let dir = tmpdir("overlap");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         let n1 = vs.allocate_file_number();
         let n2 = vs.allocate_file_number();
         let t1 = make_table(&dir, n1, &["a", "f"]);
@@ -422,21 +444,21 @@ mod tests {
     #[test]
     fn recover_rejects_corrupt_manifest() {
         let dir = tmpdir("badmanifest");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         vs.log_and_apply(VersionEdit::default(), 7).unwrap();
         let current = fs::read_to_string(dir.join("CURRENT")).unwrap();
         let mpath = dir.join(current.trim());
         let mut data = fs::read(&mpath).unwrap();
         data[3] ^= 0xff;
         fs::write(&mpath, &data).unwrap();
-        assert!(VersionSet::recover(&dir, true).is_err());
+        assert!(VersionSet::recover(&dir).is_err());
         fs::remove_dir_all(dir).ok();
     }
 
     #[test]
     fn missing_current_is_invalid_database() {
         let dir = tmpdir("nocurrent");
-        match VersionSet::recover(&dir, true) {
+        match VersionSet::recover(&dir) {
             Err(KvError::InvalidDatabase(_)) => {}
             other => panic!("expected InvalidDatabase, got {other:?}"),
         }
@@ -446,12 +468,12 @@ mod tests {
     #[test]
     fn file_numbers_are_unique_after_recovery() {
         let dir = tmpdir("filenos");
-        let mut vs = VersionSet::create(&dir, true).unwrap();
+        let mut vs = VersionSet::create(&dir).unwrap();
         let a = vs.allocate_file_number();
         let b = vs.allocate_file_number();
         assert_ne!(a, b);
         vs.log_and_apply(VersionEdit::default(), 0).unwrap();
-        let mut rec = VersionSet::recover(&dir, true).unwrap();
+        let mut rec = VersionSet::recover(&dir).unwrap();
         let c = rec.versions.allocate_file_number();
         assert!(c > b);
         fs::remove_dir_all(dir).ok();

@@ -1,0 +1,713 @@
+//! Virtual filesystem: the single seam between the engine and the disk.
+//!
+//! Every byte the engine persists — WAL records, SSTable blocks, manifests,
+//! the `CURRENT` pointer — flows through a [`Vfs`] implementation. In
+//! production that is [`RealVfs`], a thin veneer over `std::fs`. In tests it
+//! can be a seeded [`FaultVfs`] that injects read/write/fsync errors, torn
+//! writes (a simulated crash mid-write), short reads, and bit flips,
+//! mirroring the `FaultPlan` style of `lambda-net::sim`: a default
+//! [`DiskFaultSpec`] plus per-[`FileKind`] overrides, every probability
+//! sampled independently from a seeded rng, and injected faults counted in
+//! [`DiskFaultStats`] so tests can assert the chaos actually happened.
+//!
+//! The storage media is treated like the network: an unreliable component
+//! whose failures the layers above must detect (checksums on every read
+//! path) and contain (quarantine + re-replication) rather than trust.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sequential (append-only) writer handle produced by [`Vfs::create`].
+pub trait VfsFile: Send + fmt::Debug {
+    /// Append `data` at the current position.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Flush buffered bytes to the OS.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Flush and `fsync`, making the bytes durable across power loss.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// Random-access reader handle produced by [`Vfs::open_random`].
+pub trait RandomFile: Send + Sync + fmt::Debug {
+    /// Fill `buf` from `offset` exactly, like `pread`.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors, including short reads.
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()>;
+
+    /// Current file size in bytes.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn size(&self) -> io::Result<u64>;
+}
+
+/// The filesystem operations the engine needs. Object-safe so a database
+/// can carry `Arc<dyn Vfs>` in its [`Options`](crate::Options).
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Create (truncating) a file for sequential writing.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Open a file for random-access reads.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn open_random(&self, path: &Path) -> io::Result<Box<dyn RandomFile>>;
+
+    /// Read a whole file.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Read a whole file as UTF-8.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// Write a whole file (create/truncate) in one call.
+    ///
+    /// # Errors
+    /// Propagates (or injects) I/O errors.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Rename `from` to `to` (atomic within a directory on POSIX).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove a file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// True when `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// A shared handle to the production filesystem.
+pub fn real() -> Arc<dyn Vfs> {
+    Arc::new(RealVfs)
+}
+
+// ---------------------------------------------------------------------------
+// RealVfs
+// ---------------------------------------------------------------------------
+
+/// Production [`Vfs`]: a direct passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+#[derive(Debug)]
+struct RealFile {
+    w: BufWriter<File>,
+}
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.w.write_all(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.w.flush()?;
+        self.w.get_ref().sync_data()
+    }
+}
+
+#[derive(Debug)]
+struct RealRandomFile {
+    f: File,
+}
+
+impl RandomFile for RealRandomFile {
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        self.f.read_exact_at(buf, offset)
+    }
+
+    fn size(&self) -> io::Result<u64> {
+        Ok(self.f.metadata()?.len())
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        Ok(Box::new(RealFile { w: BufWriter::new(file) }))
+    }
+
+    fn open_random(&self, path: &Path) -> io::Result<Box<dyn RandomFile>> {
+        Ok(Box::new(RealRandomFile { f: File::open(path)? }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::write(path, data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Which class of engine file a path belongs to, for targeting faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// Write-ahead log files (`*.wal`).
+    Wal,
+    /// SSTable files (`*.sst`).
+    Table,
+    /// Manifests and the `CURRENT` pointer.
+    Manifest,
+    /// Anything else.
+    Other,
+}
+
+/// Classify `path` by the engine's naming conventions.
+pub fn classify(path: &Path) -> FileKind {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name.ends_with(".wal") {
+        FileKind::Wal
+    } else if name.ends_with(".sst") {
+        FileKind::Table
+    } else if name.starts_with("MANIFEST-") || name.starts_with("CURRENT") {
+        FileKind::Manifest
+    } else {
+        FileKind::Other
+    }
+}
+
+/// Per-file-kind fault behaviour; every probability is sampled independently
+/// per operation from the plan's seeded rng.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DiskFaultSpec {
+    /// Probability that a read returns an I/O error.
+    pub read_error: f64,
+    /// Probability that a write returns an I/O error (nothing written).
+    pub write_error: f64,
+    /// Probability that an `fsync` fails (bytes may or may not be durable).
+    pub sync_error: f64,
+    /// Probability that a read comes back short (an `UnexpectedEof` error).
+    pub short_read: f64,
+    /// Probability that one random bit in the read range is flipped.
+    pub bit_flip: f64,
+    /// Probability that a write persists only a random prefix while
+    /// *reporting success*, after which the handle is wedged (every later
+    /// operation fails) — a crash mid-write. Recovery sees a torn tail.
+    pub torn_write: f64,
+}
+
+impl DiskFaultSpec {
+    /// Flip bits on reads with probability `p` (media bit rot).
+    pub fn bit_rot(p: f64) -> DiskFaultSpec {
+        DiskFaultSpec { bit_flip: p, ..DiskFaultSpec::default() }
+    }
+
+    /// Fail reads, writes and syncs with probability `p` (flaky device).
+    pub fn flaky_io(p: f64) -> DiskFaultSpec {
+        DiskFaultSpec { read_error: p, write_error: p, sync_error: p, ..DiskFaultSpec::default() }
+    }
+
+    /// Tear writes with probability `p` (crashy writer).
+    pub fn torn_writes(p: f64) -> DiskFaultSpec {
+        DiskFaultSpec { torn_write: p, ..DiskFaultSpec::default() }
+    }
+
+    /// Whether this spec injects nothing (all probabilities zero).
+    pub fn is_quiet(&self) -> bool {
+        *self == DiskFaultSpec::default()
+    }
+}
+
+/// A scriptable, seeded disk-fault schedule: a default spec applied to every
+/// file plus per-[`FileKind`] overrides. Install via [`FaultVfs::new`] or
+/// swap at runtime with [`FaultVfs::set_plan`]; injected faults are counted
+/// in [`DiskFaultStats`] so tests can assert the chaos actually happened.
+#[derive(Debug, Clone, Default)]
+pub struct DiskFaultPlan {
+    default: Option<DiskFaultSpec>,
+    kinds: HashMap<FileKind, DiskFaultSpec>,
+}
+
+impl DiskFaultPlan {
+    /// An empty plan (no faults until specs are added).
+    pub fn new() -> DiskFaultPlan {
+        DiskFaultPlan::default()
+    }
+
+    /// Apply `spec` to every file without an explicit override.
+    pub fn everywhere(spec: DiskFaultSpec) -> DiskFaultPlan {
+        DiskFaultPlan { default: Some(spec), ..DiskFaultPlan::default() }
+    }
+
+    /// Override files of `kind` with `spec`.
+    #[must_use]
+    pub fn kind(mut self, kind: FileKind, spec: DiskFaultSpec) -> DiskFaultPlan {
+        self.kinds.insert(kind, spec);
+        self
+    }
+
+    fn spec_for(&self, kind: FileKind) -> DiskFaultSpec {
+        self.kinds.get(&kind).copied().or(self.default).unwrap_or_default()
+    }
+}
+
+/// Counters of faults actually injected, observed by tests.
+#[derive(Debug, Default)]
+pub struct DiskFaultStats {
+    /// Reads failed with an injected I/O error.
+    pub read_errors: AtomicU64,
+    /// Writes failed with an injected I/O error.
+    pub write_errors: AtomicU64,
+    /// Syncs failed with an injected I/O error.
+    pub sync_errors: AtomicU64,
+    /// Reads that came back short.
+    pub short_reads: AtomicU64,
+    /// Bits flipped in read buffers.
+    pub bits_flipped: AtomicU64,
+    /// Writes torn (partial persist + wedged handle).
+    pub torn_writes: AtomicU64,
+}
+
+impl DiskFaultStats {
+    /// Total injected faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
+            + self.write_errors.load(Ordering::Relaxed)
+            + self.sync_errors.load(Ordering::Relaxed)
+            + self.short_reads.load(Ordering::Relaxed)
+            + self.bits_flipped.load(Ordering::Relaxed)
+            + self.torn_writes.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct FaultCore {
+    plan: Mutex<DiskFaultPlan>,
+    rng: Mutex<SmallRng>,
+    stats: DiskFaultStats,
+}
+
+impl FaultCore {
+    fn spec_for(&self, kind: FileKind) -> DiskFaultSpec {
+        self.plan.lock().spec_for(kind)
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        p > 0.0 && self.rng.lock().gen_bool(p)
+    }
+
+    /// Uniform index into `0..n` (n > 0).
+    fn pick(&self, n: usize) -> usize {
+        self.rng.lock().gen_range(0..n)
+    }
+}
+
+fn injected(kind: &str) -> io::Error {
+    io::Error::other(format!("injected {kind} fault"))
+}
+
+/// A [`Vfs`] wrapper that injects seeded disk faults according to a
+/// [`DiskFaultPlan`]. The plan can be swapped at runtime, so a cluster test
+/// can open every node with a quiet `FaultVfs` and then turn faults on for
+/// one replica at a time.
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    core: Arc<FaultCore>,
+}
+
+impl FaultVfs {
+    /// Wrap `inner` with `plan`, drawing fault decisions from a rng seeded
+    /// with `seed`.
+    pub fn new(inner: Arc<dyn Vfs>, plan: DiskFaultPlan, seed: u64) -> Arc<FaultVfs> {
+        Arc::new(FaultVfs {
+            inner,
+            core: Arc::new(FaultCore {
+                plan: Mutex::new(plan),
+                rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+                stats: DiskFaultStats::default(),
+            }),
+        })
+    }
+
+    /// Wrap the real filesystem (the common case in tests).
+    pub fn seeded(plan: DiskFaultPlan, seed: u64) -> Arc<FaultVfs> {
+        Self::new(real(), plan, seed)
+    }
+
+    /// Replace the active fault plan.
+    pub fn set_plan(&self, plan: DiskFaultPlan) {
+        *self.core.plan.lock() = plan;
+    }
+
+    /// Stop injecting faults (equivalent to installing an empty plan).
+    pub fn clear(&self) {
+        self.set_plan(DiskFaultPlan::new());
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> &DiskFaultStats {
+        &self.core.stats
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    kind: FileKind,
+    core: Arc<FaultCore>,
+    /// Set after a torn write: the simulated process has crashed, so every
+    /// later operation on this handle fails.
+    wedged: bool,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        if self.wedged {
+            return Err(injected("torn-write (handle wedged)"));
+        }
+        let spec = self.core.spec_for(self.kind);
+        if self.core.roll(spec.torn_write) {
+            self.core.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+            // Persist a random prefix, report success, then wedge: the next
+            // flush/sync fails, so the "process" never acks past this point
+            // and recovery finds a torn tail.
+            if !data.is_empty() {
+                let keep = self.core.pick(data.len());
+                self.inner.write_all(&data[..keep])?;
+                let _ = self.inner.flush();
+            }
+            self.wedged = true;
+            return Ok(());
+        }
+        if self.core.roll(spec.write_error) {
+            self.core.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("write"));
+        }
+        self.inner.write_all(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.wedged {
+            return Err(injected("torn-write (handle wedged)"));
+        }
+        self.inner.flush()
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        if self.wedged {
+            return Err(injected("torn-write (handle wedged)"));
+        }
+        let spec = self.core.spec_for(self.kind);
+        if self.core.roll(spec.sync_error) {
+            self.core.stats.sync_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("sync"));
+        }
+        self.inner.sync_data()
+    }
+}
+
+#[derive(Debug)]
+struct FaultRandomFile {
+    inner: Box<dyn RandomFile>,
+    kind: FileKind,
+    core: Arc<FaultCore>,
+}
+
+impl RandomFile for FaultRandomFile {
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        let spec = self.core.spec_for(self.kind);
+        if self.core.roll(spec.read_error) {
+            self.core.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("read"));
+        }
+        if self.core.roll(spec.short_read) {
+            self.core.stats.short_reads.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "injected short read"));
+        }
+        self.inner.read_exact_at(buf, offset)?;
+        if !buf.is_empty() && self.core.roll(spec.bit_flip) {
+            let idx = self.core.pick(buf.len());
+            let bit = self.core.pick(8);
+            buf[idx] ^= 1 << bit;
+            self.core.stats.bits_flipped.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn size(&self) -> io::Result<u64> {
+        self.inner.size()
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            kind: classify(path),
+            core: Arc::clone(&self.core),
+            wedged: false,
+        }))
+    }
+
+    fn open_random(&self, path: &Path) -> io::Result<Box<dyn RandomFile>> {
+        let inner = self.inner.open_random(path)?;
+        Ok(Box::new(FaultRandomFile { inner, kind: classify(path), core: Arc::clone(&self.core) }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let spec = self.core.spec_for(classify(path));
+        if self.core.roll(spec.read_error) {
+            self.core.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("read"));
+        }
+        let mut data = self.inner.read(path)?;
+        if self.core.roll(spec.short_read) && !data.is_empty() {
+            self.core.stats.short_reads.fetch_add(1, Ordering::Relaxed);
+            let keep = self.core.pick(data.len());
+            data.truncate(keep);
+            return Ok(data);
+        }
+        if !data.is_empty() && self.core.roll(spec.bit_flip) {
+            let idx = self.core.pick(data.len());
+            let bit = self.core.pick(8);
+            data[idx] ^= 1 << bit;
+            self.core.stats.bits_flipped.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(data)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let spec = self.core.spec_for(classify(path));
+        if self.core.roll(spec.read_error) {
+            self.core.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("read"));
+        }
+        self.inner.read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let spec = self.core.spec_for(classify(path));
+        if self.core.roll(spec.write_error) {
+            self.core.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("write"));
+        }
+        self.inner.write(path, data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lambda-kv-vfs-{}-{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn classify_by_name() {
+        assert_eq!(classify(Path::new("/db/000000000003.wal")), FileKind::Wal);
+        assert_eq!(classify(Path::new("/db/000000000007.sst")), FileKind::Table);
+        assert_eq!(classify(Path::new("/db/MANIFEST-000000000002")), FileKind::Manifest);
+        assert_eq!(classify(Path::new("/db/CURRENT")), FileKind::Manifest);
+        assert_eq!(classify(Path::new("/db/CURRENT.tmp")), FileKind::Manifest);
+        assert_eq!(classify(Path::new("/db/LOCK")), FileKind::Other);
+    }
+
+    #[test]
+    fn real_vfs_round_trips() {
+        let dir = tmpdir("real");
+        let path = dir.join("f.sst");
+        let vfs = RealVfs;
+        let mut w = vfs.create(&path).unwrap();
+        w.write_all(b"hello world").unwrap();
+        w.sync_data().unwrap();
+        drop(w);
+        assert!(vfs.exists(&path));
+        assert_eq!(vfs.read(&path).unwrap(), b"hello world");
+        let r = vfs.open_random(&path).unwrap();
+        assert_eq!(r.size().unwrap(), 11);
+        let mut buf = [0u8; 5];
+        r.read_exact_at(&mut buf, 6).unwrap();
+        assert_eq!(&buf, b"world");
+        let moved = dir.join("g.sst");
+        vfs.rename(&path, &moved).unwrap();
+        assert!(!vfs.exists(&path));
+        vfs.remove_file(&moved).unwrap();
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let dir = tmpdir("quiet");
+        let path = dir.join("f.sst");
+        let vfs = FaultVfs::seeded(DiskFaultPlan::new(), 7);
+        let mut w = vfs.create(&path).unwrap();
+        for _ in 0..100 {
+            w.write_all(b"payload").unwrap();
+        }
+        w.sync_data().unwrap();
+        drop(w);
+        let r = vfs.open_random(&path).unwrap();
+        let mut buf = vec![0u8; 700];
+        r.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(vfs.stats().total(), 0);
+        assert!(DiskFaultSpec::default().is_quiet());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_are_injected_and_counted() {
+        let dir = tmpdir("flip");
+        let path = dir.join("f.sst");
+        let vfs =
+            FaultVfs::seeded(DiskFaultPlan::everywhere(DiskFaultSpec::bit_rot(1.0)), 0x5eed_cafe);
+        fs::write(&path, vec![0u8; 64]).unwrap();
+        let r = vfs.open_random(&path).unwrap();
+        let mut buf = vec![0u8; 64];
+        r.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1, "exactly one flipped byte");
+        assert_eq!(vfs.stats().bits_flipped.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_write_wedges_the_handle() {
+        let dir = tmpdir("torn");
+        let path = dir.join("f.wal");
+        let vfs = FaultVfs::seeded(DiskFaultPlan::everywhere(DiskFaultSpec::torn_writes(1.0)), 42);
+        let mut w = vfs.create(&path).unwrap();
+        w.write_all(&[9u8; 1000]).unwrap(); // torn, but reports success
+        assert!(w.write_all(b"more").is_err(), "wedged after the tear");
+        assert!(w.sync_data().is_err());
+        drop(w);
+        let on_disk = fs::read(&path).unwrap();
+        assert!(on_disk.len() < 1000, "only a prefix persisted");
+        assert_eq!(vfs.stats().torn_writes.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn errors_target_only_the_configured_kind() {
+        let dir = tmpdir("kind");
+        let vfs = FaultVfs::seeded(
+            DiskFaultPlan::new().kind(FileKind::Table, DiskFaultSpec::flaky_io(1.0)),
+            1,
+        );
+        let wal = dir.join("a.wal");
+        let sst = dir.join("b.sst");
+        let mut w = vfs.create(&wal).unwrap();
+        w.write_all(b"fine").unwrap();
+        w.sync_data().unwrap();
+        assert!(vfs.create(&sst).unwrap().write_all(b"boom").is_err());
+        assert!(vfs.stats().write_errors.load(Ordering::Relaxed) >= 1);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let trial = |seed: u64| -> Vec<bool> {
+            let vfs =
+                FaultVfs::seeded(DiskFaultPlan::everywhere(DiskFaultSpec::flaky_io(0.5)), seed);
+            let dir = tmpdir(&format!("seed{seed}"));
+            let path = dir.join("f.sst");
+            let mut w = vfs.create(&path).unwrap();
+            let outcomes: Vec<bool> = (0..32).map(|_| w.write_all(b"x").is_ok()).collect();
+            drop(w);
+            fs::remove_dir_all(dir).ok();
+            outcomes
+        };
+        assert_eq!(trial(99), trial(99), "seeded schedule replays identically");
+        assert_ne!(trial(99), trial(100), "different seeds differ");
+    }
+
+    #[test]
+    fn runtime_plan_swap() {
+        let dir = tmpdir("swap");
+        let path = dir.join("f.sst");
+        fs::write(&path, vec![0u8; 32]).unwrap();
+        let vfs = FaultVfs::seeded(DiskFaultPlan::new(), 3);
+        let r = vfs.open_random(&path).unwrap();
+        let mut buf = vec![0u8; 32];
+        r.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(vfs.stats().total(), 0);
+        vfs.set_plan(DiskFaultPlan::everywhere(DiskFaultSpec {
+            read_error: 1.0,
+            ..DiskFaultSpec::default()
+        }));
+        assert!(r.read_exact_at(&mut buf, 0).is_err(), "new plan applies to open handles");
+        vfs.clear();
+        r.read_exact_at(&mut buf, 0).unwrap();
+        fs::remove_dir_all(dir).ok();
+    }
+}

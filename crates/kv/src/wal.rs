@@ -5,12 +5,18 @@
 //! `crc32c(masked):u32 len:u16 type:u8` and records that straddle block
 //! boundaries are split into FIRST/MIDDLE/LAST fragments. This framing lets
 //! recovery resynchronize after torn writes at the tail of the log.
+//!
+//! Recovery distinguishes two failure shapes: a **torn tail** (the expected
+//! aftermath of a crash mid-write — tolerated, truncated, reported via
+//! [`WalRecovery::truncated_tail`]) and **mid-log corruption** (a damaged
+//! record with intact records after it — impossible from a crash, so it is
+//! a hard [`KvError::Corruption`] carrying the file and byte offset).
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::crc;
+use crate::vfs::{self, Vfs, VfsFile};
 use crate::{KvError, Result};
 
 /// Size of a log block.
@@ -42,21 +48,29 @@ impl RecordType {
 /// Appending side of the log.
 #[derive(Debug)]
 pub struct Wal {
-    file: BufWriter<File>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     block_offset: usize,
     written: u64,
 }
 
 impl Wal {
-    /// Create (truncating) a log file at `path`.
+    /// Create (truncating) a log file at `path` on the real filesystem.
     ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn create(path: impl AsRef<Path>) -> Result<Wal> {
+        Wal::create_with(&vfs::real(), path)
+    }
+
+    /// Create (truncating) a log file at `path` through `vfs`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn create_with(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
-        Ok(Wal { file: BufWriter::new(file), path, block_offset: 0, written: 0 })
+        let file = vfs.create(&path)?;
+        Ok(Wal { file, path, block_offset: 0, written: 0 })
     }
 
     /// Path of the underlying file.
@@ -135,8 +149,7 @@ impl Wal {
     /// # Errors
     /// Propagates filesystem errors.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.flush()?;
-        self.file.get_ref().sync_data()?;
+        self.file.sync_data()?;
         Ok(())
     }
 }
@@ -151,25 +164,68 @@ pub struct WalRecovery {
     pub truncated_tail: bool,
 }
 
-/// Read every intact record from the log at `path`.
-///
-/// Recovery is tolerant of a torn tail (reports it via
-/// [`WalRecovery::truncated_tail`]) but treats corruption in the middle of
-/// the log the same way LevelDB does: stop at the first bad record.
+/// True when a well-formed record (valid type, in-block length, matching
+/// CRC) exists anywhere at or after `from`. A crash can only damage the tail
+/// of the log, so intact records *after* a damaged region prove the damage
+/// is media corruption rather than a torn write.
+fn later_valid_record(raw: &[u8], from: usize) -> bool {
+    let mut p = from;
+    while p + HEADER_SIZE <= raw.len() {
+        let block_remaining = BLOCK_SIZE - (p % BLOCK_SIZE);
+        if block_remaining < HEADER_SIZE {
+            p += block_remaining;
+            continue;
+        }
+        let rtype = raw[p + 6];
+        if RecordType::from_u8(rtype).is_some() {
+            let len = u16::from_le_bytes(raw[p + 4..p + 6].try_into().unwrap()) as usize;
+            if HEADER_SIZE + len <= block_remaining && p + HEADER_SIZE + len <= raw.len() {
+                let stored = crc::unmask(u32::from_le_bytes(raw[p..p + 4].try_into().unwrap()));
+                let data = &raw[p + HEADER_SIZE..p + HEADER_SIZE + len];
+                if crc::extend(crc::crc32c(&[rtype]), data) == stored {
+                    return true;
+                }
+            }
+        }
+        p += 1;
+    }
+    false
+}
+
+/// Read every intact record from the log at `path` on the real filesystem.
 ///
 /// # Errors
-/// Propagates filesystem errors; a missing file is an error (callers check
-/// existence first).
+/// Propagates filesystem errors and mid-log corruption; see
+/// [`recover_with`].
 pub fn recover(path: impl AsRef<Path>) -> Result<WalRecovery> {
-    let mut file = File::open(path.as_ref())?;
-    let mut raw = Vec::new();
-    file.read_to_end(&mut raw)?;
+    recover_with(&vfs::real(), path)
+}
+
+/// Read every intact record from the log at `path` through `vfs`.
+///
+/// Recovery is tolerant of a torn tail (reports it via
+/// [`WalRecovery::truncated_tail`]) — the expected aftermath of a crash
+/// mid-write.
+///
+/// # Errors
+/// A damaged record with intact records after it cannot come from a crash,
+/// so it returns a hard [`KvError::Corruption`] with the file and byte
+/// offset instead of silently dropping the rest of the log. Filesystem
+/// errors propagate; a missing file is an error (callers check existence
+/// first).
+pub fn recover_with(vfs: &Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<WalRecovery> {
+    let path = path.as_ref();
+    let raw = vfs.read(path)?;
 
     let mut out = WalRecovery::default();
     let mut pos = 0usize;
     let mut pending: Option<Vec<u8>> = None;
 
-    'outer: while pos < raw.len() {
+    let corrupt = |pos: usize, what: &str| -> KvError {
+        KvError::corruption_at(path, pos as u64, format!("wal record {what}"))
+    };
+
+    while pos < raw.len() {
         let block_remaining = BLOCK_SIZE - (pos % BLOCK_SIZE);
         if block_remaining < HEADER_SIZE {
             pos += block_remaining; // skip padding
@@ -180,28 +236,41 @@ pub fn recover(path: impl AsRef<Path>) -> Result<WalRecovery> {
             break;
         }
         let header = &raw[pos..pos + HEADER_SIZE];
-        // A zeroed header means pre-allocated/padded space: end of log.
+        // A zeroed header normally means end of log; zeros with intact
+        // records after them are mid-log damage.
         if header.iter().all(|&b| b == 0) {
+            if later_valid_record(&raw, pos + 1) {
+                return Err(corrupt(pos, "header zeroed mid-log"));
+            }
             break;
         }
         let stored_crc = crc::unmask(u32::from_le_bytes(header[..4].try_into().unwrap()));
         let len = u16::from_le_bytes(header[4..6].try_into().unwrap()) as usize;
         let rtype = header[6];
         if pos + HEADER_SIZE + len > raw.len() {
+            if later_valid_record(&raw, pos + 1) {
+                return Err(corrupt(pos, "length overruns file mid-log"));
+            }
             out.truncated_tail = true;
             break;
         }
         let data = &raw[pos + HEADER_SIZE..pos + HEADER_SIZE + len];
         let actual = crc::extend(crc::crc32c(&[rtype]), data);
         if actual != stored_crc {
+            if later_valid_record(&raw, pos + 1) {
+                return Err(corrupt(pos, "checksum mismatch mid-log"));
+            }
             out.truncated_tail = true;
             break;
         }
         let rtype = match RecordType::from_u8(rtype) {
             Some(t) => t,
             None => {
+                if later_valid_record(&raw, pos + 1) {
+                    return Err(corrupt(pos, "unknown record type mid-log"));
+                }
                 out.truncated_tail = true;
-                break 'outer;
+                break;
             }
         };
         pos += HEADER_SIZE + len;
@@ -349,6 +418,72 @@ mod tests {
         let rec = recover(&path).unwrap();
         assert!(rec.truncated_tail);
         assert_eq!(rec.records, vec![b"first".to_vec()]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn midlog_bitflip_is_hard_corruption_with_location() {
+        let dir = tmpdir("midflip");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"first").unwrap();
+        wal.append(b"second").unwrap();
+        wal.append(b"third-still-intact").unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a bit inside the SECOND record's payload; the third record
+        // after it is intact, so this cannot be a torn tail.
+        let second_pos = HEADER_SIZE + 5;
+        data[second_pos + HEADER_SIZE + 2] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        match recover(&path) {
+            Err(KvError::Corruption(info)) => {
+                assert_eq!(info.file.as_deref(), Some(path.as_path()));
+                assert_eq!(info.offset, Some(second_pos as u64));
+            }
+            other => panic!("expected mid-log corruption, got {other:?}"),
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn midlog_zeroed_header_is_hard_corruption() {
+        let dir = tmpdir("midzero");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"first").unwrap();
+        wal.append(b"second-is-long-enough").unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let mut data = std::fs::read(&path).unwrap();
+        // Zero the first record's header while the second stays intact.
+        for b in &mut data[..HEADER_SIZE] {
+            *b = 0;
+        }
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(recover(&path), Err(KvError::Corruption(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recover_through_fault_vfs_sees_injected_errors() {
+        use crate::vfs::{DiskFaultPlan, DiskFaultSpec, FaultVfs};
+        let dir = tmpdir("faultvfs");
+        let path = dir.join("wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"payload").unwrap();
+        wal.flush().unwrap();
+        drop(wal);
+        let fv = FaultVfs::seeded(
+            DiskFaultPlan::everywhere(DiskFaultSpec {
+                read_error: 1.0,
+                ..DiskFaultSpec::default()
+            }),
+            11,
+        );
+        let vfs: Arc<dyn Vfs> = fv;
+        assert!(matches!(recover_with(&vfs, &path), Err(KvError::Io(_))));
         std::fs::remove_dir_all(dir).ok();
     }
 

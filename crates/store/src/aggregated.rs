@@ -283,6 +283,36 @@ struct NodeInner {
     repl_retries: Counter,
     /// Invalidation frames pushed to subscribed clients.
     invalidations_published: Counter,
+    /// Recent committed write sets per shard (bounded ring, newest last),
+    /// fed by both roles: the primary records what it replicates, a backup
+    /// records what it applies. A backup promoted to primary replays its
+    /// ring to the surviving backups before new commits land, so a write
+    /// the old primary acked after some survivor's ack was lost still
+    /// reaches every replica (closes the DESIGN.md §11 limitation).
+    recent_commits: Mutex<HashMap<ShardId, RecentCommitRing>>,
+    /// Shards whose local state is known corrupt, awaiting coordinator
+    /// action (value = epoch of the latest report attempt). Suspicion is
+    /// sticky: a report proposed with a stale epoch is fenced off by the
+    /// coordinator as a no-op, so the node re-reports every heartbeat with
+    /// a refreshed epoch until it observes itself evicted from (or
+    /// re-recruited into) the shard.
+    suspect_shards: Mutex<HashMap<ShardId, Epoch>>,
+    /// Per-shard corruption-detection count at the last sync `Begin` this
+    /// node received as a recruit. Chunks arriving after the count moves
+    /// are refused, failing the transfer before it can confirm a replica
+    /// with quarantine holes in its freshly-installed state.
+    sync_damage_floor: Mutex<HashMap<ShardId, u64>>,
+    /// Primary-side forward-gap token, bumped when a commit could not
+    /// forward to a syncing recruit because no session was open yet. A
+    /// sync session snapshots the token at start and refuses to propose
+    /// `ConfirmBackup` if it moved: the gapped write is already durable
+    /// locally, so the replacement session's re-scan covers it, while the
+    /// commit acks without stalling on session registration.
+    forward_gaps: Mutex<HashMap<ShardId, u64>>,
+    /// Disk-corruption reports proposed to the coordinator.
+    corruption_reports: Counter,
+    /// Promotion re-syncs completed (ring replays after failover).
+    promotion_resyncs: Counter,
 }
 
 /// Payload bytes of one stream item (transfer-cost accounting).
@@ -307,6 +337,14 @@ const REPL_RETRY_PAUSE: Duration = Duration::from_millis(2);
 const SYNC_BATCH_ITEMS: usize = 32;
 /// Send retries per chunk before a session gives up on its peer.
 const SYNC_SHIP_RETRIES: usize = 10;
+/// Committed write sets kept per shard for promotion re-sync. Sized to
+/// cover everything the old primary could have acked between two lease
+/// renewals; replays are idempotent puts, so over-covering is harmless.
+const RECENT_COMMITS_CAP: usize = 32;
+
+/// One shard's ring of recent committed write sets: `(object id bytes,
+/// write set)`, newest last, bounded at [`RECENT_COMMITS_CAP`].
+type RecentCommitRing = VecDeque<(Vec<u8>, WriteSetOps)>;
 
 impl NodeInner {
     fn rpc(&self) -> &Arc<RpcNode> {
@@ -393,6 +431,102 @@ impl NodeInner {
         Some(until - now)
     }
 
+    /// Record one committed write set in `shard`'s recent ring (bounded at
+    /// [`RECENT_COMMITS_CAP`]; the oldest entry falls off).
+    fn record_recent(&self, shard: ShardId, object: &[u8], ops: &[(Vec<u8>, Option<Vec<u8>>)]) {
+        let mut rings = self.recent_commits.lock();
+        let ring = rings.entry(shard).or_default();
+        if ring.len() == RECENT_COMMITS_CAP {
+            ring.pop_front();
+        }
+        ring.push_back((object.to_vec(), ops.to_vec()));
+    }
+
+    /// Drain the storage engine's corruption events and report them to the
+    /// coordinator. One kv store backs every shard this node serves, so an
+    /// unrecoverable corruption is reported against each of them; the
+    /// coordinator treats the report like a departure (a corrupt backup is
+    /// re-recruited around, a corrupt primary demoted to a healthy
+    /// survivor), and this node re-syncs from a clean peer when it is
+    /// recruited back. Quarantined-and-repaired corruptions (a rotten
+    /// SSTable dropped from the current version, its data recoverable from
+    /// other tables or peers) still flow through here: the coordinator's
+    /// epoch bump forces a fresh transfer, which restores any keys the
+    /// quarantine took out.
+    fn report_corruption(&self, coord: &CoordClient) {
+        let events = self.engine.db().take_corruption_events();
+        let state = self.placement.snapshot();
+        let mut suspects = self.suspect_shards.lock();
+        if !events.is_empty() {
+            for (&shard, info) in &state.shards {
+                let member = info.primary == self.id
+                    || info.backups.contains(&self.id)
+                    || info.is_syncing(self.id);
+                if !info.lost && member {
+                    suspects.entry(shard).or_insert(info.epoch);
+                }
+            }
+        }
+        // Re-propose every tracked suspicion at the freshest epoch we know.
+        // Clear it once this node is out of the shard entirely: the
+        // coordinator acted (or the shard moved on), and any recruitment
+        // back in streams clean state onto this store. The syncing role is
+        // tracked like the active ones — a recruit that quarantined
+        // freshly-installed transfer data MUST NOT confirm with that hole,
+        // so it keeps reporting until the transfer is torn down.
+        suspects.retain(|&shard, epoch| {
+            let Some(info) = state.shards.get(&shard) else { return false };
+            let member = info.primary == self.id
+                || info.backups.contains(&self.id)
+                || info.is_syncing(self.id);
+            if !member {
+                return false;
+            }
+            if info.lost {
+                // Lost keeps membership as revival preference, and a
+                // `ReviveShard` re-seats this replica as-is — no clean
+                // transfer happens. Hold the suspicion (proposing now
+                // would just fence on `lost`) so a revival onto this node
+                // is re-reported against the revived epoch.
+                return true;
+            }
+            *epoch = info.epoch;
+            let _ = coord.propose(lambda_coordinator::CoordCmd::ReportCorruption {
+                node: self.id,
+                shard,
+                expected_epoch: info.epoch,
+            });
+            self.corruption_reports.incr();
+            true
+        });
+    }
+
+    /// Just-promoted primary: replay the shard's ring of recent committed
+    /// write sets to the surviving backups before the commit fence lifts.
+    /// Applies are idempotent puts, so re-sending a set a survivor already
+    /// holds is harmless; a set the deposed primary acked without this
+    /// survivor's ack landing is delivered here, converging the replica
+    /// set on every acked write before new commits stack on top.
+    fn spawn_promotion_resync(&self, shard: ShardId, epoch: Epoch, backups: Vec<NodeId>) {
+        let entries: Vec<(Vec<u8>, WriteSetOps)> = {
+            let rings = self.recent_commits.lock();
+            rings.get(&shard).map(|r| r.iter().cloned().collect()).unwrap_or_default()
+        };
+        if entries.is_empty() || backups.is_empty() {
+            return;
+        }
+        let this = self.arc();
+        std::thread::Builder::new()
+            .name(format!("store-{}-resync-{shard}", self.id))
+            .spawn(move || {
+                let ctx = InvocationContext::background();
+                if this.replicate_until_acked(&ctx, shard, epoch, &entries, backups, true).is_ok() {
+                    this.promotion_resyncs.incr();
+                }
+            })
+            .expect("spawn promotion resync");
+    }
+
     /// Install a placement update, diffing shard configurations to keep
     /// lease state honest: superseded held leases are dropped, and when
     /// this node (re)takes a primary role in a configuration that lost a
@@ -455,6 +589,14 @@ impl NodeInner {
             let mut granted = self.leases_granted.lock();
             for &n in &departed {
                 granted.remove(&(shard, n));
+            }
+            drop(granted);
+            if !was_primary {
+                // Satellite of the fence: while departed leases drain,
+                // bring the surviving backups up to everything this node
+                // applied as a backup (the old primary may have acked
+                // writes the survivors never saw).
+                self.spawn_promotion_resync(shard, info.epoch, info.backups.clone());
             }
         }
     }
@@ -571,6 +713,7 @@ impl NodeInner {
                 self.accept_lease(shard, epoch, lease_nanos);
                 let oid = ObjectId::new(object);
                 self.engine.apply_replicated(&oid, &ops)?;
+                self.record_recent(shard, &oid.0, &ops);
                 self.publish_invalidations(ops.iter().map(|(k, _)| k));
                 self.replications.incr();
                 Ok(StoreResponse::Ok)
@@ -587,6 +730,9 @@ impl NodeInner {
                 let entries: Vec<(ObjectId, WriteSetOps)> =
                     entries.into_iter().map(|(o, ops)| (ObjectId::new(o), ops)).collect();
                 self.engine.apply_replicated_batch(&entries)?;
+                for (oid, ops) in &entries {
+                    self.record_recent(shard, &oid.0, ops);
+                }
                 self.publish_invalidations(
                     entries.iter().flat_map(|(_, ops)| ops.iter().map(|(k, _)| k)),
                 );
@@ -791,6 +937,26 @@ impl NodeInner {
                         "stale epoch {epoch} < {local_epoch} for shard {shard}"
                     )));
                 }
+                // A transfer onto a disk that damaged data mid-stream must
+                // not be confirmed: if the scrubber quarantined anything
+                // since this session's `Begin`, installed state may already
+                // have holes. Failing the chunk fails the session; repair
+                // restarts it against the cleaned store. (An empty `items`
+                // chunk is the sender's final health probe before it
+                // proposes the confirmation.)
+                {
+                    let floors = self.sync_damage_floor.lock();
+                    if let Some(&floor) = floors.get(&shard) {
+                        let now = self.engine.db().stats().corruptions_detected;
+                        if now > floor {
+                            return Err(InvokeError::Storage(format!(
+                                "shard {shard} transfer tainted: {} corruption(s) \
+                                 detected since stream start",
+                                now - floor
+                            )));
+                        }
+                    }
+                }
                 for item in items {
                     match item {
                         SyncItem::Begin => {
@@ -803,6 +969,20 @@ impl NodeInner {
                                     self.engine.purge_object(&oid)?;
                                 }
                             }
+                            // The purge-and-restream is the repair a
+                            // corruption report asks for: whatever rot the
+                            // quarantine took out of this shard is about to
+                            // be replaced with clean state, so standing
+                            // suspicion is satisfied here — not on placement
+                            // inference, which can miss the eviction window
+                            // and re-report a freshly healed replica.
+                            self.suspect_shards.lock().remove(&shard);
+                            // Baseline for the tainted-transfer check above:
+                            // any detection past this point dirties the
+                            // session.
+                            self.sync_damage_floor
+                                .lock()
+                                .insert(shard, self.engine.db().stats().corruptions_detected);
                         }
                         SyncItem::Object(snap) => self.engine.install_object_replacing(&snap)?,
                         SyncItem::Forward { object, ops } => {
@@ -841,6 +1021,8 @@ impl NodeInner {
             follower_reads: self.follower_reads.get(),
             lease_rejections: self.lease_rejections.get(),
             invalidations_published: self.invalidations_published.get(),
+            corruption_reports: self.corruption_reports.get(),
+            promotion_resyncs: self.promotion_resyncs.get(),
         }
     }
 
@@ -940,6 +1122,7 @@ impl NodeInner {
                 std::thread::sleep(wait);
                 continue;
             }
+            self.record_recent(shard, &oid.0, &ops);
             self.replicate_to_backups(ctx, shard, info.epoch, &oid, &ops, &info.backups)
                 .map_err(InvokeError::Storage)?;
             return self
@@ -1426,8 +1609,37 @@ impl NodeInner {
         let sessions = self.sync.sessions_for(shard);
         for &peer in syncing {
             let Some(session) = sessions.iter().find(|s| s.peer == peer && s.epoch == epoch) else {
+                // A session strictly older than the commit's epoch can
+                // never confirm this recruit (`ConfirmBackup` is
+                // epoch-fenced), so there is nothing owed to it: the
+                // recruit only joins the replica set through a future
+                // session at the current epoch, whose purge + re-scan
+                // covers this already-durable write. Skipping it also
+                // breaks a deadlock — the stale session's scan may be
+                // blocked on this very object's lock, which the committing
+                // thread holds while it retries the forward.
+                if sessions.iter().any(|s| s.peer == peer && s.epoch < epoch) {
+                    continue;
+                }
+                // No session at all. If the placement cache still agrees
+                // the peer is syncing at this epoch, no session for this
+                // epoch has confirmed (a confirmation moves the epoch in
+                // our own cache before its session is removed), so any
+                // future session's Begin + re-scan covers this
+                // already-durable write — bump the forward-gap token to
+                // soft-fail sessions already past their snapshot of it,
+                // and ack without stalling on session registration. If
+                // the cache moved on, retry: the fresh placement routes
+                // the write through backup replication instead.
+                let now = self.placement.snapshot();
+                let current = now.shard(shard);
+                if current.is_some_and(|i| i.epoch == epoch && i.is_syncing(peer)) {
+                    *self.forward_gaps.lock().entry(shard).or_insert(0) += 1;
+                    continue;
+                }
                 return Err(format!(
-                    "no open transfer session for syncing backup {peer} at epoch {epoch}; retry"
+                    "placement moved while forwarding to syncing backup {peer} \
+                     at epoch {epoch}; retry"
                 ));
             };
             session.offer(SyncItem::Forward { object: object.0.clone(), ops: ops.to_vec() })?;
@@ -1486,6 +1698,13 @@ impl NodeInner {
         let epoch = session.epoch;
         let soft = |_: String| false;
 
+        // Forward-gap snapshot: commits that find no session ack after
+        // bumping this token instead of stalling. Taken before `Begin`, so
+        // any bump observed later means a write this stream may have
+        // missed — the session must fail instead of confirming, and its
+        // replacement's re-scan picks the write up.
+        let gap0 = self.forward_gaps.lock().get(&shard).copied().unwrap_or(0);
+
         // Stream start: the peer wipes stale residue of the shard.
         session.offer(SyncItem::Begin).map_err(soft)?;
         self.repair_sync_enqueued.incr();
@@ -1537,6 +1756,26 @@ impl NodeInner {
             let Some(info) = now.shard(shard).cloned() else { return Err(false) };
             if info.epoch != epoch || !info.is_syncing(peer) {
                 return Err(false);
+            }
+        }
+
+        // Forward-gap check: a commit raced session registration and acked
+        // with its forward unshipped. This stream may predate that write —
+        // abandon the recruit; the replacement session re-scans everything.
+        if self.forward_gaps.lock().get(&shard).copied().unwrap_or(0) != gap0 {
+            return Err(false);
+        }
+
+        // Final health probe: an empty chunk that the peer only acks while
+        // its store has detected no corruption since this session's Begin.
+        // A recruit whose scrubber quarantined installed transfer state
+        // must fail here, before its confirmation can be proposed.
+        {
+            let ctx = InvocationContext::background();
+            let probe = StoreRequest::InstallShardChunk { shard, epoch, items: Vec::new() };
+            match self.call_peer(&ctx, peer, &probe) {
+                Ok(StoreResponse::Ok) => {}
+                Ok(_) | Err(_) => return Err(false),
             }
         }
 
@@ -1599,6 +1838,7 @@ impl CommitHook for NodeInner {
         if !self.replicate.load(Ordering::Relaxed) {
             return Ok(());
         }
+        let mut recorded = false;
         loop {
             let Some((shard, info)) = self.placement.locate(object) else {
                 return Ok(()); // no shard map: single-node mode
@@ -1627,8 +1867,32 @@ impl CommitHook for NodeInner {
                 std::thread::sleep(wait);
                 continue;
             }
+            if !recorded {
+                self.record_recent(shard, &object.0, ops);
+                recorded = true;
+            }
             self.replicate_to_backups(ctx, shard, info.epoch, object, ops, &info.backups)?;
-            return self.forward_to_syncing(shard, info.epoch, &info.syncing, object, ops);
+            // The forward is held-not-failed for the same reason as the
+            // fence above: the write is already durable locally, so a
+            // forward error surfaced to the client turns into a dedup'd ack
+            // on retry — without the forward. A recruit whose bulk scan
+            // already passed this object would then confirm with a hole in
+            // its state, and promoting it later loses the acked write.
+            // Retrying with fresh placement resolves every case: the
+            // session appears (offer lands), the recruit is re-streamed (a
+            // new session re-scans everything, covering this write), or the
+            // recruit left the syncing set — dropped (forward vacuous) or
+            // confirmed (the re-read places it in `backups`, and the
+            // definite-outcome replication above covers it).
+            match self.forward_to_syncing(shard, info.epoch, &info.syncing, object, ops) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
         }
     }
 
@@ -1685,12 +1949,29 @@ impl CommitHook for NodeInner {
         // The forward precedes the backup acks here (the blocking path
         // forwards after them). The write is already durable locally, so
         // forwarding a write whose replication later fails only makes the
-        // syncing peer converge toward local state — it is never acked to
-        // the client.
-        if let Err(e) = self.forward_to_syncing(shard, info.epoch, &info.syncing, object, &ops) {
-            done(Err(e));
+        // syncing peer converge toward local state. A forward *error* is
+        // held-not-failed, exactly like the lease fence above: surfaced to
+        // the client it would dedup into an ack on retry — without the
+        // forward — and a recruit whose bulk scan already passed this
+        // object could confirm with a hole in its state. Re-entering with
+        // fresh placement resolves every case (session appears, recruit
+        // re-streamed from a new scan, recruit dropped, or recruit
+        // confirmed and covered by backup replication below).
+        if self.forward_to_syncing(shard, info.epoch, &info.syncing, object, &ops).is_err() {
+            if self.shutdown.load(Ordering::Acquire) {
+                done(Err("node shutting down".into()));
+                return;
+            }
+            let this = self.arc();
+            let ctx = *ctx;
+            let object = object.clone();
+            self.rpc().schedule(
+                Duration::from_millis(5),
+                Box::new(move || this.on_commit_deferred(&ctx, &object, ops, done)),
+            );
             return;
         }
+        self.record_recent(shard, &object.0, &ops);
         if info.backups.is_empty() {
             done(Ok(()));
             return;
@@ -1807,6 +2088,12 @@ impl AggregatedNode {
             lease_fenced_commits: registry.counter("lease_fenced_commits"),
             repl_retries: registry.counter("node_repl_retries"),
             invalidations_published: registry.counter("invalidations_published"),
+            recent_commits: Mutex::new(HashMap::new()),
+            suspect_shards: Mutex::new(HashMap::new()),
+            sync_damage_floor: Mutex::new(HashMap::new()),
+            forward_gaps: Mutex::new(HashMap::new()),
+            corruption_reports: registry.counter("node_corruption_reports"),
+            promotion_resyncs: registry.counter("node_promotion_resyncs"),
             registry,
         });
 
@@ -1951,6 +2238,10 @@ impl AggregatedNode {
                     // Re-grant read leases to the backups of every shard
                     // this node leads, so write-idle shards stay readable.
                     hb_inner.renew_leases();
+                    // Disk health: surface unrecoverable kv corruptions to
+                    // the coordinator so the replica sets repair around
+                    // this node's bad media.
+                    hb_inner.report_corruption(&hb_coord);
                     // Housekeeping: drop lock-table entries for idle objects.
                     hb_inner.engine.scheduler().gc();
                     std::thread::sleep(interval);

@@ -289,10 +289,19 @@ impl StoreClient {
                     // A replica without a current read lease. The data is
                     // fine and the primary serves unconditionally: refresh
                     // and go straight there, with no backoff — this is a
-                    // routing redirect, not congestion or failure.
+                    // routing redirect, not congestion or failure. If the
+                    // *primary* answered LeaseExpired, though, it cannot
+                    // attest its own leadership until the next coordinator
+                    // heartbeat lands; that is transient unavailability,
+                    // so back off instead of burning the remaining
+                    // attempts in a tight loop.
+                    let was_primary = prefer_primary;
                     last_err = e;
                     prefer_primary = true;
                     self.refresh();
+                    if was_primary && !final_attempt {
+                        std::thread::sleep(policy.pause(attempt, &ctx));
+                    }
                 }
                 Err(e @ InvokeError::Nested(_)) => {
                     // Unreachable node or garbled reply: refresh and retry.
@@ -544,6 +553,14 @@ impl StoreClient {
 
     /// Create an object of a deployed type.
     ///
+    /// Creation is retried like any other write, and a create is not
+    /// deduplicated server-side, so `AlreadyExists` on a retry attempt is
+    /// treated as success: the ambiguous earlier attempt committed before
+    /// its reply was lost. A conflict on the very first attempt still
+    /// errors. (A concurrent create of the same id by another client during
+    /// our retry window is absorbed the same way — acceptable because
+    /// creates of a given id are expected to have one owner.)
+    ///
     /// # Errors
     /// Any [`InvokeError`].
     pub fn create_object(
@@ -552,15 +569,19 @@ impl StoreClient {
         object: &ObjectId,
         fields: &[(&str, &[u8])],
     ) -> Result<(), InvokeError> {
+        let attempted = std::cell::Cell::new(false);
         self.with_routing(object, false, |ctx, node| {
+            let retrying = attempted.replace(true);
             let req = StoreRequest::CreateObject {
                 type_name: type_name.to_string(),
                 object: object.0.clone(),
                 fields: fields.iter().map(|(f, v)| (f.to_string(), v.to_vec())).collect(),
             };
-            match self.call_ctx(ctx, node, &req)? {
-                StoreResponse::Ok => Ok(()),
-                other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+            match self.call_ctx(ctx, node, &req) {
+                Ok(StoreResponse::Ok) => Ok(()),
+                Ok(other) => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
+                Err(InvokeError::AlreadyExists(_)) if retrying => Ok(()),
+                Err(e) => Err(e),
             }
         })
     }
@@ -882,12 +903,21 @@ fn async_invoke_step(mut st: AsyncInvokeState, done: InvokeCallback) {
                     Ok(v) => done(Ok(v)),
                     Err(e @ InvokeError::LeaseExpired(_)) => {
                         // Routing redirect, not failure: refresh, pin to
-                        // the primary, and go again without backoff.
+                        // the primary, and go again without backoff. If
+                        // the primary itself answered LeaseExpired (it
+                        // cannot attest leadership until the next
+                        // coordinator heartbeat), back off like any
+                        // transient fault instead of burning attempts.
+                        let was_primary = st.prefer_primary;
                         st.last_err = e;
                         st.prefer_primary = true;
                         st.client.refresh();
                         st.attempt += 1;
-                        async_invoke_step(st, done);
+                        if was_primary {
+                            async_invoke_backoff(st, done);
+                        } else {
+                            async_invoke_step(st, done);
+                        }
                     }
                     Err(e @ InvokeError::WrongNode(_)) => {
                         st.last_err = e;

@@ -56,6 +56,11 @@ pub struct ClusterConfig {
     pub engine: EngineConfig,
     /// Storage-engine options.
     pub kv: lambda_kv::Options,
+    /// Per-node storage-engine overrides, keyed by storage index (node id
+    /// minus [`ids::STORAGE_BASE`]). Disk-fault tests use this to hand
+    /// individual nodes a seeded [`lambda_kv::FaultVfs`] while the rest of
+    /// the cluster runs on the real filesystem.
+    pub kv_overrides: std::collections::HashMap<u32, lambda_kv::Options>,
     /// RPC workers per node.
     pub workers: usize,
     /// Run-queue depth that trips admission control on aggregated nodes
@@ -86,6 +91,7 @@ impl Default for ClusterConfig {
             base_dir: std::env::temp_dir().join(format!("lambdastore-{}-{n}", std::process::id())),
             engine: EngineConfig::default(),
             kv: lambda_kv::Options::default(),
+            kv_overrides: std::collections::HashMap::new(),
             workers: 48,
             run_queue_depth: 1024,
             heartbeat_interval: Duration::from_millis(100),
@@ -103,6 +109,12 @@ impl ClusterConfig {
             kv: lambda_kv::Options::small_for_tests(),
             ..ClusterConfig::default()
         }
+    }
+
+    /// The storage-engine options for storage index `idx`: the per-node
+    /// override when one is registered, the shared default otherwise.
+    pub fn kv_for(&self, idx: u32) -> lambda_kv::Options {
+        self.kv_overrides.get(&idx).cloned().unwrap_or_else(|| self.kv.clone())
     }
 }
 
@@ -190,7 +202,7 @@ impl ClusterCore {
         for &id in &storage_ids {
             let node_config = AggregatedConfig {
                 data_dir: config.base_dir.join(format!("node-{}", id.0)),
-                kv: config.kv.clone(),
+                kv: config.kv_for(id.0 - ids::STORAGE_BASE),
                 engine: config.engine,
                 workers: config.workers,
                 run_queue_depth: config.run_queue_depth,
@@ -240,7 +252,7 @@ impl ClusterCore {
         let id = NodeId(self.storage_ids.iter().map(|n| n.0).max().unwrap_or(0) + 1);
         let node_config = AggregatedConfig {
             data_dir: self.base_dir.join(format!("node-{}", id.0)),
-            kv: config.kv.clone(),
+            kv: config.kv_for(id.0 - ids::STORAGE_BASE),
             engine: config.engine,
             workers: config.workers,
             run_queue_depth: config.run_queue_depth,
@@ -381,7 +393,7 @@ impl ClusterCore {
         self.net.heal_all(watch_id);
         let node_config = AggregatedConfig {
             data_dir: self.base_dir.join(format!("node-{}", id.0)),
-            kv: config.kv.clone(),
+            kv: config.kv_for(id.0 - ids::STORAGE_BASE),
             engine: config.engine,
             workers: config.workers,
             run_queue_depth: config.run_queue_depth,

@@ -316,6 +316,14 @@ pub struct NodeStatsWire {
     pub lease_rejections: u64,
     /// Commit invalidation frames pushed to subscribed client-edge caches.
     pub invalidations_published: u64,
+    /// Disk-corruption reports proposed to the coordinator (one per shard
+    /// this node was configured in when an unrecoverable kv corruption
+    /// surfaced).
+    pub corruption_reports: u64,
+    /// Promotion re-syncs completed: ring replays of recent committed
+    /// write sets to the surviving backups after this node took over a
+    /// shard's primary role.
+    pub promotion_resyncs: u64,
 }
 
 impl NodeStatsWire {
@@ -511,6 +519,8 @@ mod tests {
                 follower_reads: 11,
                 lease_rejections: 12,
                 invalidations_published: 13,
+                corruption_reports: 14,
+                promotion_resyncs: 15,
             }),
             StoreResponse::Values(vec![VmValue::Unit, VmValue::Int(1)]),
             StoreResponse::Objects(vec![b"user/1".to_vec()]),
