@@ -24,4 +24,7 @@ pub mod state;
 pub use service::{
     CoordClient, CoordConfig, CoordEvent, CoordRequest, CoordResponse, Coordinator, PAXOS_ID_OFFSET,
 };
-pub use state::{ClusterState, CoordCmd, Epoch, ShardId, ShardInfo, N_SLOTS};
+pub use state::{
+    ClusterState, CoordCmd, Epoch, MigrationInfo, MigrationPhase, NodeLoad, RebalancePolicy,
+    ShardId, ShardInfo, N_SLOTS,
+};

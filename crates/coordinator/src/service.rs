@@ -14,12 +14,14 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
+use std::collections::BTreeMap;
+
 use lambda_net::rpc::sync_handler;
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_paxos::{PaxosConfig, PaxosNode};
-use lambda_telemetry::{Counter, Registry};
+use lambda_telemetry::{Counter, Gauge, Registry};
 
-use crate::state::{ClusterState, CoordCmd};
+use crate::state::{ClusterState, CoordCmd, MigrationPhase, NodeLoad, RebalancePolicy};
 
 /// NodeId offset separating a coordinator's Paxos endpoint from its
 /// service endpoint.
@@ -29,12 +31,15 @@ pub const PAXOS_ID_OFFSET: u32 = 10_000;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CoordRequest {
     /// Liveness signal from a storage node; `watch` is an optional endpoint
-    /// to push state changes to.
+    /// to push state changes to, `load` an optional load report feeding the
+    /// rebalancer.
     Heartbeat {
         /// The storage node.
         node: NodeId,
         /// Watch endpoint for push notifications.
         watch: Option<NodeId>,
+        /// Queue depth and hottest objects since the last beat.
+        load: Option<NodeLoad>,
     },
     /// Fetch the replicated state if its version exceeds `min_version`.
     GetState {
@@ -76,6 +81,12 @@ pub struct CoordConfig {
     /// Repair-planner scan interval: how often under-replicated shards are
     /// checked for recruitable spares and lost shards for returning members.
     pub repair_interval: Duration,
+    /// Rebalancer scan interval: how often heartbeat load reports are
+    /// checked for hot objects worth migrating off overloaded nodes.
+    /// `Duration::ZERO` disables the rebalancer.
+    pub rebalance_interval: Duration,
+    /// Rebalancer thresholds (hot-object floor, in-flight migration cap).
+    pub rebalance: RebalancePolicy,
     /// Paxos tuning.
     pub paxos: PaxosConfig,
     /// Service RPC workers.
@@ -90,6 +101,8 @@ impl Default for CoordConfig {
             heartbeat_timeout: Duration::from_millis(500),
             detector_interval: Duration::from_millis(100),
             repair_interval: Duration::from_millis(200),
+            rebalance_interval: Duration::ZERO,
+            rebalance: RebalancePolicy::default(),
             paxos: PaxosConfig::default(),
             workers: 4,
             rpc_timeout: Duration::from_millis(500),
@@ -100,6 +113,7 @@ impl Default for CoordConfig {
 struct CoordShared {
     state: RwLock<ClusterState>,
     heartbeats: Mutex<HashMap<NodeId, (Instant, Option<NodeId>)>>,
+    loads: Mutex<BTreeMap<NodeId, NodeLoad>>,
     shutdown: AtomicBool,
     /// Telemetry registry for this replica; the counters below share its
     /// cells, so operators read them either way.
@@ -114,6 +128,13 @@ struct CoordShared {
     shards_revived: Counter,
     backups_confirmed: Counter,
     corruption_repairs: Counter,
+    migrations_planned: Counter,
+    migrations_resumed: Counter,
+    migrations_committed: Counter,
+    migrations_aborted: Counter,
+    /// Directory size: number of objects pinned away from hash placement.
+    /// A gauge so an unbounded directory is visible, not silent.
+    pins_gauge: Gauge,
 }
 
 /// One replica of the coordination service.
@@ -145,6 +166,7 @@ impl Coordinator {
         let shared = Arc::new(CoordShared {
             state: RwLock::new(ClusterState::default()),
             heartbeats: Mutex::new(HashMap::new()),
+            loads: Mutex::new(BTreeMap::new()),
             shutdown: AtomicBool::new(false),
             hb_received: registry.counter("coord_heartbeats"),
             state_reads: registry.counter("coord_state_reads"),
@@ -156,6 +178,11 @@ impl Coordinator {
             shards_revived: registry.counter("coord_shards_revived"),
             backups_confirmed: registry.counter("coord_backups_confirmed"),
             corruption_repairs: registry.counter("coord_corruption_repairs"),
+            migrations_planned: registry.counter("coord_migrations_planned"),
+            migrations_resumed: registry.counter("coord_migrations_resumed"),
+            migrations_committed: registry.counter("coord_migrations_committed"),
+            migrations_aborted: registry.counter("coord_migrations_aborted"),
+            pins_gauge: registry.gauge("coord_pins"),
             registry,
         });
 
@@ -165,7 +192,37 @@ impl Coordinator {
         let apply_shared = Arc::clone(&shared);
         let apply = Arc::new(move |_slot: u64, bytes: &[u8]| {
             if let Ok(cmd) = wire::from_bytes::<CoordCmd>(bytes) {
-                apply_shared.state.write().apply(&cmd);
+                let mut st = apply_shared.state.write();
+                // Migration observability: diff the entry set across the
+                // apply so plans, resumes, commits and (failover-driven)
+                // aborts each tick a counter on every replica.
+                let pre: Vec<Vec<u8>> = st.migrations.keys().cloned().collect();
+                let resumed = matches!(&cmd, CoordCmd::MigrationHandoff { object }
+                    if st.migrations.get(object).is_some_and(|m| m.phase == MigrationPhase::Handoff));
+                st.apply(&cmd);
+                if let CoordCmd::PlanMigration { object, .. } = &cmd {
+                    if st.migrations.contains_key(object) {
+                        apply_shared.migrations_planned.incr();
+                    }
+                }
+                if resumed {
+                    apply_shared.migrations_resumed.incr();
+                }
+                for obj in &pre {
+                    if !st.migrations.contains_key(obj) {
+                        // At rest every entry is live (the GC runs inside
+                        // apply), so a live Handoff entry named by a commit
+                        // always commits; any other disappearance is an abort.
+                        let committed =
+                            matches!(&cmd, CoordCmd::CommitMigration { object } if object == obj);
+                        if committed {
+                            apply_shared.migrations_committed.incr();
+                        } else {
+                            apply_shared.migrations_aborted.incr();
+                        }
+                    }
+                }
+                apply_shared.pins_gauge.set(st.pins.len() as i64);
             }
         });
         let paxos = PaxosNode::start(
@@ -182,9 +239,12 @@ impl Coordinator {
         let handler = sync_handler(move |_from: NodeId, body: Vec<u8>| {
             let req: CoordRequest = wire::from_bytes(&body).map_err(|e| e.to_string())?;
             let resp = match req {
-                CoordRequest::Heartbeat { node, watch } => {
+                CoordRequest::Heartbeat { node, watch, load } => {
                     handler_shared.hb_received.incr();
                     handler_shared.heartbeats.lock().insert(node, (Instant::now(), watch));
+                    if let Some(load) = load {
+                        handler_shared.loads.lock().insert(node, load);
+                    }
                     CoordResponse::Ack
                 }
                 CoordRequest::GetState { min_version } => {
@@ -237,6 +297,7 @@ impl Coordinator {
     fn detector_loop(&self) {
         let mut last_notified_version = 0u64;
         let mut last_repair = Instant::now();
+        let mut last_rebalance = Instant::now();
         loop {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 return;
@@ -295,6 +356,7 @@ impl Coordinator {
                 }
                 let _ = self.propose_local(&CoordCmd::RemoveNode { node: dead });
                 self.shared.heartbeats.lock().remove(&dead);
+                self.shared.loads.lock().remove(&dead);
             }
 
             // Repair pass: recruit spares for under-replicated shards and
@@ -310,6 +372,21 @@ impl Coordinator {
                         CoordCmd::ReviveShard { .. } => self.shared.shards_revived.incr(),
                         _ => {}
                     }
+                    let _ = self.propose_local(&cmd);
+                }
+            }
+
+            // Rebalance pass: plan migrations of hot objects off overloaded
+            // nodes from the heartbeat load reports. `PlanMigration` no-ops
+            // on an existing entry, so replicas planning concurrently dedup
+            // in the log like concurrent repairers.
+            if !self.config.rebalance_interval.is_zero()
+                && last_rebalance.elapsed() >= self.config.rebalance_interval
+            {
+                last_rebalance = Instant::now();
+                let loads = self.shared.loads.lock().clone();
+                let plan = self.shared.state.read().plan_rebalance(&loads, &self.config.rebalance);
+                for cmd in plan {
                     let _ = self.propose_local(&cmd);
                 }
             }
@@ -367,11 +444,18 @@ impl Coordinator {
 }
 
 /// Client-side handle to the coordination service, used by storage nodes
-/// and front-ends. Retries across coordinator replicas.
+/// and front-ends. Retries across coordinator replicas, remembering which
+/// replica answered last: after a replica dies, every request would
+/// otherwise pay a full timeout probing the corpse before failing over,
+/// which is enough added latency to starve heartbeat-fed failure
+/// detectors on the survivors.
 pub struct CoordClient {
     rpc: Arc<RpcNode>,
     coordinators: Vec<NodeId>,
     timeout: Duration,
+    /// Index into `coordinators` of the replica that served the last
+    /// successful request; probing starts here.
+    preferred: std::sync::atomic::AtomicUsize,
 }
 
 impl std::fmt::Debug for CoordClient {
@@ -384,15 +468,24 @@ impl CoordClient {
     /// Build a client on an existing RPC endpoint.
     pub fn new(rpc: Arc<RpcNode>, coordinators: Vec<NodeId>, timeout: Duration) -> CoordClient {
         assert!(!coordinators.is_empty(), "need at least one coordinator");
-        CoordClient { rpc, coordinators, timeout }
+        CoordClient {
+            rpc,
+            coordinators,
+            timeout,
+            preferred: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 
     fn request(&self, req: &CoordRequest) -> Result<CoordResponse, RpcError> {
         let body = wire::to_bytes(req).expect("requests serialize");
         let mut last_err = RpcError::Timeout;
-        for &c in &self.coordinators {
-            match self.rpc.call(c, body.clone(), self.timeout) {
+        let n = self.coordinators.len();
+        let start = self.preferred.load(Ordering::Relaxed) % n;
+        for k in 0..n {
+            let idx = (start + k) % n;
+            match self.rpc.call(self.coordinators[idx], body.clone(), self.timeout) {
                 Ok(bytes) => {
+                    self.preferred.store(idx, Ordering::Relaxed);
                     return wire::from_bytes(&bytes).map_err(|e| RpcError::BadFrame(e.to_string()));
                 }
                 Err(e) => last_err = e,
@@ -401,25 +494,49 @@ impl CoordClient {
         Err(last_err)
     }
 
-    /// Send a heartbeat for `node`, optionally registering a watch endpoint.
+    /// Send a heartbeat for `node`, optionally registering a watch endpoint
+    /// and piggybacking a load report for the rebalancer.
+    ///
+    /// The beat fans out to *every* coordinator **concurrently** — each
+    /// replica's detector must stay fed — and returns as soon as one
+    /// replica acks. Sequential fan-out would be fatal with a dead
+    /// replica in the list: every beat would stall a full RPC timeout on
+    /// the corpse, inflating the beat period past the survivors'
+    /// heartbeat timeout and making them declare live storage nodes dead.
     ///
     /// # Errors
-    /// Propagates RPC failures (all coordinators unreachable). Heartbeats
-    /// are sent to *every* coordinator so each replica's detector stays fed.
-    pub fn heartbeat(&self, node: NodeId, watch: Option<NodeId>) -> Result<(), RpcError> {
-        let body = wire::to_bytes(&CoordRequest::Heartbeat { node, watch }).expect("serializes");
-        let mut ok = false;
-        let mut last_err = RpcError::Timeout;
+    /// [`RpcError::Timeout`] when no coordinator acks within the timeout.
+    pub fn heartbeat(
+        &self,
+        node: NodeId,
+        watch: Option<NodeId>,
+        load: Option<NodeLoad>,
+    ) -> Result<(), RpcError> {
+        let body =
+            wire::to_bytes(&CoordRequest::Heartbeat { node, watch, load }).expect("serializes");
+        let (tx, rx) = std::sync::mpsc::sync_channel::<bool>(self.coordinators.len());
         for &c in &self.coordinators {
-            match self.rpc.call(c, body.clone(), self.timeout) {
-                Ok(_) => ok = true,
-                Err(e) => last_err = e,
-            }
+            let tx = tx.clone();
+            self.rpc.call_deferred(
+                c,
+                body.clone(),
+                self.timeout,
+                Box::new(move |res| {
+                    let _ = tx.send(res.is_ok());
+                }),
+            );
         }
-        if ok {
-            Ok(())
-        } else {
-            Err(last_err)
+        drop(tx);
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(true) => return Ok(()),
+                Ok(false) => continue,
+                // All senders reported failure (channel drained) or the
+                // deadline passed with no ack.
+                Err(_) => return Err(RpcError::Timeout),
+            }
         }
     }
 
@@ -456,6 +573,8 @@ mod tests {
             heartbeat_timeout: Duration::from_millis(150),
             detector_interval: Duration::from_millis(25),
             repair_interval: Duration::from_millis(50),
+            rebalance_interval: Duration::ZERO,
+            rebalance: RebalancePolicy::default(),
             paxos: PaxosConfig {
                 rpc_timeout: Duration::from_millis(100),
                 max_retries: 10,
@@ -540,13 +659,13 @@ mod tests {
             .unwrap();
         // Heartbeat both nodes a few times, then let node 1 go silent.
         for _ in 0..3 {
-            tc.client.heartbeat(NodeId(1), None).unwrap();
-            tc.client.heartbeat(NodeId(2), None).unwrap();
+            tc.client.heartbeat(NodeId(1), None, None).unwrap();
+            tc.client.heartbeat(NodeId(2), None, None).unwrap();
             std::thread::sleep(Duration::from_millis(30));
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            tc.client.heartbeat(NodeId(2), None).unwrap();
+            tc.client.heartbeat(NodeId(2), None, None).unwrap();
             let st = tc.client.get_state(0).unwrap().unwrap();
             if st.shard(0).unwrap().primary == NodeId(2) && !st.nodes.contains(&NodeId(1)) {
                 assert_eq!(st.shard(0).unwrap().epoch, 2);
@@ -579,11 +698,11 @@ mod tests {
             1,
         );
         tc.client.propose(CoordCmd::RegisterNode { node: NodeId(7) }).unwrap();
-        tc.client.heartbeat(NodeId(7), Some(NodeId(555))).unwrap();
+        tc.client.heartbeat(NodeId(7), Some(NodeId(555)), None).unwrap();
         tc.client.propose(CoordCmd::RegisterNode { node: NodeId(8) }).unwrap();
         let deadline = Instant::now() + Duration::from_secs(3);
         loop {
-            tc.client.heartbeat(NodeId(7), Some(NodeId(555))).unwrap();
+            tc.client.heartbeat(NodeId(7), Some(NodeId(555)), None).unwrap();
             if !seen.lock().is_empty() {
                 break;
             }
@@ -594,6 +713,58 @@ mod tests {
             c.shutdown();
         }
         tc.net.shutdown();
+    }
+
+    #[test]
+    fn rebalance_loop_plans_migration_from_heartbeat_loads() {
+        let mut config = fast_config();
+        config.rebalance_interval = Duration::from_millis(50);
+        config.rebalance = RebalancePolicy { hot_object_threshold: 10, max_inflight: 2 };
+        let net = Network::new(LatencyModel::instant(), 7);
+        let ids: Vec<NodeId> = (100..103).map(NodeId).collect();
+        let coords: Vec<Arc<Coordinator>> =
+            ids.iter().map(|&id| Coordinator::start(&net, id, ids.clone(), config)).collect();
+        let client_rpc = RpcNode::start(&net, NodeId(999), lambda_net::null_handler(), 1);
+        let client = CoordClient::new(Arc::clone(&client_rpc), ids, Duration::from_secs(2));
+
+        client.propose(CoordCmd::RegisterNode { node: NodeId(1) }).unwrap();
+        client.propose(CoordCmd::RegisterNode { node: NodeId(2) }).unwrap();
+        client.propose(CoordCmd::CreateShard { shard: 0, replicas: vec![NodeId(1)] }).unwrap();
+        client.propose(CoordCmd::CreateShard { shard: 1, replicas: vec![NodeId(2)] }).unwrap();
+        client
+            .propose(CoordCmd::AssignSlots {
+                shard: 0,
+                slots: (0..crate::state::N_SLOTS).collect(),
+            })
+            .unwrap();
+
+        // Node 1 is slammed by one object; node 2 idles. The rebalance
+        // loop must turn the reports into a PlanMigration toward shard 1.
+        let hot = NodeLoad {
+            queue_depth: 9,
+            invocations: 1_000,
+            hot: vec![(b"celebrity".to_vec(), 950)],
+        };
+        let idle = NodeLoad::default();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            client.heartbeat(NodeId(1), None, Some(hot.clone())).unwrap();
+            client.heartbeat(NodeId(2), None, Some(idle.clone())).unwrap();
+            let st = client.get_state(0).unwrap().unwrap();
+            if let Some(m) = st.migrations.get(b"celebrity".as_slice()) {
+                assert_eq!((m.from, m.to), (0, 1));
+                break;
+            }
+            assert!(Instant::now() < deadline, "rebalancer never planned a migration");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let planned: u64 =
+            coords.iter().map(|c| c.registry().counter_value("coord_migrations_planned")).sum();
+        assert!(planned >= 1, "migrations_planned never incremented");
+        for c in &coords {
+            c.shutdown();
+        }
+        net.shutdown();
     }
 
     #[test]

@@ -192,6 +192,122 @@ pub enum CoordCmd {
         /// Object id.
         object: Vec<u8>,
     },
+    /// Open a crash-safe migration of one object from its current shard to
+    /// `to` (phase Planned). The source keeps its copy and keeps serving;
+    /// placement does not change until [`CoordCmd::CommitMigration`].
+    PlanMigration {
+        /// Object id (must currently map to `from`).
+        object: Vec<u8>,
+        /// The shard serving the object today.
+        from: ShardId,
+        /// Destination shard.
+        to: ShardId,
+    },
+    /// The source primary started streaming a warm copy to the target
+    /// (phase Planned → Copying). Pure bookkeeping: the source still
+    /// serves reads and writes.
+    MigrationCopying {
+        /// Object id.
+        object: Vec<u8>,
+    },
+    /// Enter the handoff phase (Copying/Planned → Handoff): from the
+    /// moment the source primary observes this, it fences new mutations
+    /// with a retryable `ObjectMoved` and takes the authoritative final
+    /// snapshot. Idempotent — re-proposing against an entry already in
+    /// Handoff is how a restarted driver resumes.
+    MigrationHandoff {
+        /// Object id.
+        object: Vec<u8>,
+    },
+    /// Commit the migration: atomically re-point placement at the target
+    /// (a pin, or a pin *removal* when the target is the object's
+    /// hash-home shard) and retire the migration entry. No-ops unless the
+    /// entry is live and in Handoff, so a commit racing a failover-driven
+    /// abort loses cleanly.
+    CommitMigration {
+        /// Object id.
+        object: Vec<u8>,
+    },
+    /// Abort the migration: drop the entry, leaving placement untouched.
+    /// The source (which never stopped holding the object) resumes serving
+    /// writes as soon as it observes the entry gone. Guarded by the plan's
+    /// identity: a driver that gave up on a *superseded* plan (its plan was
+    /// already aborted and replaced while it was stuck mid-copy) must not
+    /// kill the successor, so an abort only applies when the live entry
+    /// matches the shards and primaries the aborter was driving.
+    AbortMigration {
+        /// Object id.
+        object: Vec<u8>,
+        /// Source shard of the plan being aborted.
+        from: ShardId,
+        /// Destination shard of the plan being aborted.
+        to: ShardId,
+        /// Plan-time source primary.
+        from_primary: NodeId,
+        /// Plan-time target primary.
+        to_primary: NodeId,
+    },
+}
+
+/// Phase of a live object migration. The entry itself lives in the
+/// replicated log, so every transition is chosen by Paxos and survives any
+/// single crash: a new source primary, target primary, or coordinator
+/// leader sees exactly where the move stood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationPhase {
+    /// Chosen into the log; the source primary has not picked it up yet.
+    Planned,
+    /// The source is streaming a warm copy; source still serves writes.
+    Copying,
+    /// Mutations fence at the source (`ObjectMoved`); the final snapshot
+    /// is being made durable at the target before the commit is proposed.
+    Handoff,
+}
+
+/// One in-flight object migration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationInfo {
+    /// Shard serving the object when the migration was planned.
+    pub from: ShardId,
+    /// Destination shard.
+    pub to: ShardId,
+    /// Source primary at plan time. A primary change on either side
+    /// invalidates the snapshot authority and auto-aborts the entry.
+    pub from_primary: NodeId,
+    /// Target primary at plan time.
+    pub to_primary: NodeId,
+    /// Current phase.
+    pub phase: MigrationPhase,
+}
+
+/// Load report a storage node piggybacks on its heartbeat: run-queue
+/// pressure plus the objects it executed most since the last beat. Input
+/// to [`ClusterState::plan_rebalance`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeLoad {
+    /// Current RPC run-queue depth.
+    pub queue_depth: u64,
+    /// Invocations executed since the previous report.
+    pub invocations: u64,
+    /// Hottest objects in the window: (object id, invocation count),
+    /// hottest first, bounded to a small top-K by the reporter.
+    pub hot: Vec<(Vec<u8>, u64)>,
+}
+
+/// Tunables for the load-adaptive rebalancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalancePolicy {
+    /// Minimum per-window invocation count before an object is considered
+    /// hot enough to be worth moving.
+    pub hot_object_threshold: u64,
+    /// Cap on concurrently in-flight migrations.
+    pub max_inflight: usize,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        Self { hot_object_threshold: 64, max_inflight: 2 }
+    }
 }
 
 /// Number of fixed placement slots objects hash onto.
@@ -208,6 +324,8 @@ pub struct ClusterState {
     pub slots: BTreeMap<u16, ShardId>,
     /// Objects pinned away from their slot-placement shard.
     pub pins: BTreeMap<Vec<u8>, ShardId>,
+    /// In-flight object migrations, keyed by object id.
+    pub migrations: BTreeMap<Vec<u8>, MigrationInfo>,
     /// Number of log entries applied (the state's version).
     pub version: u64,
 }
@@ -377,6 +495,108 @@ impl ClusterState {
             CoordCmd::UnpinObject { object } => {
                 self.pins.remove(object);
             }
+            CoordCmd::PlanMigration { object, from, to } => {
+                if from == to
+                    || self.migrations.contains_key(object)
+                    || self.shard_for_object(object) != Some(*from)
+                {
+                    return;
+                }
+                let (Some(src), Some(dst)) = (self.shards.get(from), self.shards.get(to)) else {
+                    return;
+                };
+                if src.lost || dst.lost {
+                    return;
+                }
+                self.migrations.insert(
+                    object.clone(),
+                    MigrationInfo {
+                        from: *from,
+                        to: *to,
+                        from_primary: src.primary,
+                        to_primary: dst.primary,
+                        phase: MigrationPhase::Planned,
+                    },
+                );
+            }
+            CoordCmd::MigrationCopying { object } => {
+                if let Some(m) = self.migrations.get_mut(object) {
+                    if m.phase == MigrationPhase::Planned {
+                        m.phase = MigrationPhase::Copying;
+                    }
+                }
+            }
+            CoordCmd::MigrationHandoff { object } => {
+                if let Some(m) = self.migrations.get_mut(object) {
+                    // Handoff → Handoff is the resume path; Planned/Copying
+                    // advance. Nothing to fence: staleness is handled by
+                    // the per-apply GC below.
+                    m.phase = MigrationPhase::Handoff;
+                }
+            }
+            CoordCmd::CommitMigration { object } => {
+                let Some(m) = self.migrations.get(object) else { return };
+                if m.phase != MigrationPhase::Handoff || !self.migration_live(object, m) {
+                    return; // premature or stale; GC handles stale entries
+                }
+                let to = m.to;
+                self.migrations.remove(object);
+                // Pin hygiene: landing on the hash-home shard needs no pin
+                // (and clears a stale one) — the directory only holds
+                // objects placed *away* from their slot.
+                let home = self.slots.get(&Self::slot_of(object)).copied();
+                if home == Some(to) {
+                    self.pins.remove(object);
+                } else {
+                    self.pins.insert(object.clone(), to);
+                }
+            }
+            CoordCmd::AbortMigration { object, from, to, from_primary, to_primary } => {
+                if let Some(m) = self.migrations.get(object) {
+                    let same_plan = m.from == *from
+                        && m.to == *to
+                        && m.from_primary == *from_primary
+                        && m.to_primary == *to_primary;
+                    if same_plan {
+                        self.migrations.remove(object);
+                    }
+                }
+            }
+        }
+        self.gc_stale_migrations();
+    }
+
+    /// True while `m`'s plan-time invariants still hold: both shards alive
+    /// under their plan-time primaries and the object still mapped to the
+    /// source. Any failover, revival, corruption demotion, or placement
+    /// change on either side invalidates the copy authority.
+    fn migration_live(&self, object: &[u8], m: &MigrationInfo) -> bool {
+        let (Some(src), Some(dst)) = (self.shards.get(&m.from), self.shards.get(&m.to)) else {
+            return false;
+        };
+        !src.lost
+            && !dst.lost
+            && src.primary == m.from_primary
+            && dst.primary == m.to_primary
+            && self.shard_for_object(object) == Some(m.from)
+    }
+
+    /// Auto-abort migrations whose invariants were invalidated by the
+    /// command just applied. Runs inside `apply`, so every replica retires
+    /// the same entries at the same log position: a source primary that
+    /// died mid-handoff leaves nothing behind but a consistent abort.
+    fn gc_stale_migrations(&mut self) {
+        if self.migrations.is_empty() {
+            return;
+        }
+        let stale: Vec<Vec<u8>> = self
+            .migrations
+            .iter()
+            .filter(|(obj, m)| !self.migration_live(obj, m))
+            .map(|(obj, _)| obj.clone())
+            .collect();
+        for obj in stale {
+            self.migrations.remove(&obj);
         }
     }
 
@@ -467,6 +687,104 @@ impl ClusterState {
             // self-fence all but the first anyway.
             if let Some(node) = spares.next() {
                 cmds.push(CoordCmd::AddBackup { shard, node, expected_epoch: info.epoch });
+            }
+        }
+        cmds
+    }
+
+    /// Plan migrations of hot objects off overloaded nodes. Input is the
+    /// per-node load reports piggybacked on heartbeats; output is at most
+    /// one `PlanMigration` per overloaded node per round, bounded by the
+    /// policy's in-flight cap. Deterministic in its inputs, so concurrent
+    /// rebalancers on different coordinators propose identical (deduped by
+    /// `PlanMigration`'s no-existing-entry check) commands.
+    pub fn plan_rebalance(
+        &self,
+        loads: &BTreeMap<NodeId, NodeLoad>,
+        policy: &RebalancePolicy,
+    ) -> Vec<CoordCmd> {
+        let mut budget = policy.max_inflight.saturating_sub(self.migrations.len());
+        if budget == 0 {
+            return Vec::new();
+        }
+        let reporting: Vec<(&NodeId, &NodeLoad)> =
+            loads.iter().filter(|(n, _)| self.nodes.contains(n)).collect();
+        if reporting.len() < 2 {
+            return Vec::new(); // nowhere to move load
+        }
+        let mean =
+            reporting.iter().map(|(_, l)| l.invocations).sum::<u64>() / reporting.len() as u64;
+
+        // Hottest node first; NodeId breaks ties for determinism.
+        let mut by_load = reporting.clone();
+        by_load.sort_by_key(|(n, l)| (std::cmp::Reverse(l.invocations), **n));
+
+        let mut cmds = Vec::new();
+        let mut claimed_targets: BTreeSet<NodeId> = BTreeSet::new();
+        for &(src_node, load) in &by_load {
+            if budget == 0 {
+                break;
+            }
+            // Overloaded = clearly above the cluster mean and above the
+            // absolute floor (an idle cluster is never "skewed").
+            if load.invocations < policy.hot_object_threshold
+                || load.invocations <= mean.saturating_mul(3) / 2
+            {
+                break; // sorted: nobody below is hotter
+            }
+            // Coolest reporting node that is primary of a healthy shard.
+            let target = by_load.iter().rev().map(|(n, _)| **n).find(|n| {
+                n != src_node
+                    && !claimed_targets.contains(n)
+                    && self.shards.values().any(|info| !info.lost && info.primary == *n)
+            });
+            let Some(target_node) = target else { continue };
+            // Hottest object actually served (as primary) by the source
+            // that has somewhere to go.
+            let mut hot = load.hot.clone();
+            hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (object, count) in hot {
+                if count < policy.hot_object_threshold || self.migrations.contains_key(&object) {
+                    continue;
+                }
+                let Some(from) = self.shard_for_object(&object) else { continue };
+                let from_ok = self
+                    .shards
+                    .get(&from)
+                    .is_some_and(|info| !info.lost && info.primary == *src_node);
+                if !from_ok {
+                    continue;
+                }
+                let to = self
+                    .shards
+                    .iter()
+                    .find(|(id, info)| **id != from && !info.lost && info.primary == target_node)
+                    .map(|(id, _)| *id);
+                let Some(to) = to else { break };
+                // Anti-ping-pong hysteresis: the move must improve the
+                // pairwise imbalance. A never-moved object may go anywhere
+                // strictly cooler than its source (isolating a monolithic
+                // hot object onto an idle node is worthwhile even when the
+                // object alone dominates the target afterwards), but a
+                // *pinned* object — one a previous migration already
+                // placed — only moves again when the target stays at or
+                // below the source even after absorbing it. Without the
+                // stronger bar, per-beat load jitter walks a hot object
+                // between near-tied nodes forever, fencing its writes on
+                // every hop.
+                let dst_load = loads.get(&target_node).map_or(0, |l| l.invocations);
+                let improves = if self.pins.contains_key(&object) {
+                    dst_load + count <= load.invocations.saturating_sub(count)
+                } else {
+                    dst_load + count < load.invocations
+                };
+                if !improves {
+                    continue;
+                }
+                cmds.push(CoordCmd::PlanMigration { object, from, to });
+                claimed_targets.insert(target_node);
+                budget -= 1;
+                break; // one object per overloaded node per round
             }
         }
         cmds
@@ -669,7 +987,10 @@ mod tests {
 
     #[test]
     fn wire_round_trip() {
-        let st = three_node_state();
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::CreateShard { shard: 7, replicas: vec![NodeId(2)] });
+        st.apply(&CoordCmd::PlanMigration { object: b"hot".to_vec(), from: 0, to: 7 });
+        assert!(st.migrations.contains_key(b"hot".as_slice()));
         let bytes = lambda_net::wire::to_bytes(&st).unwrap();
         let back: ClusterState = lambda_net::wire::from_bytes(&bytes).unwrap();
         assert_eq!(back, st);
@@ -927,6 +1248,233 @@ mod tests {
         // A non-member report is a no-op.
         st.apply(&CoordCmd::ReportCorruption { node: NodeId(9), shard: 0, expected_epoch: e + 1 });
         assert_eq!(st.shard(0).unwrap().epoch, e + 1);
+    }
+
+    /// three_node_state plus a second shard (7) whose primary is NodeId(2).
+    fn two_shard_state() -> ClusterState {
+        let mut st = three_node_state();
+        st.apply(&CoordCmd::CreateShard { shard: 7, replicas: vec![NodeId(2)] });
+        st
+    }
+
+    #[test]
+    fn migration_full_lifecycle_pins_object() {
+        let mut st = two_shard_state();
+        let obj = b"hot".to_vec();
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 7 });
+        let m = st.migrations.get(&obj).expect("planned");
+        assert_eq!((m.from, m.to, m.phase), (0, 7, MigrationPhase::Planned));
+        assert_eq!((m.from_primary, m.to_primary), (NodeId(0), NodeId(2)));
+        // Placement unchanged until commit: the source keeps serving.
+        assert_eq!(st.shard_for_object(&obj), Some(0));
+
+        st.apply(&CoordCmd::MigrationCopying { object: obj.clone() });
+        assert_eq!(st.migrations[&obj].phase, MigrationPhase::Copying);
+        st.apply(&CoordCmd::MigrationHandoff { object: obj.clone() });
+        assert_eq!(st.migrations[&obj].phase, MigrationPhase::Handoff);
+        // Handoff re-proposal (driver resume) is idempotent.
+        st.apply(&CoordCmd::MigrationHandoff { object: obj.clone() });
+        assert_eq!(st.migrations[&obj].phase, MigrationPhase::Handoff);
+
+        st.apply(&CoordCmd::CommitMigration { object: obj.clone() });
+        assert!(st.migrations.is_empty(), "commit retires the entry");
+        assert_eq!(st.pins.get(&obj), Some(&7));
+        assert_eq!(st.shard_for_object(&obj), Some(7));
+        // A duplicate commit (retried proposal) is a no-op.
+        st.apply(&CoordCmd::CommitMigration { object: obj.clone() });
+        assert_eq!(st.pins.get(&obj), Some(&7));
+    }
+
+    #[test]
+    fn migration_home_landing_unpins_instead_of_pinning() {
+        let mut st = two_shard_state();
+        let obj = b"hot".to_vec();
+        st.apply(&CoordCmd::PinObject { object: obj.clone(), shard: 7 });
+        assert_eq!(st.shard_for_object(&obj), Some(7));
+        // Migrate back to the hash-home shard (all slots → shard 0).
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 7, to: 0 });
+        st.apply(&CoordCmd::MigrationHandoff { object: obj.clone() });
+        st.apply(&CoordCmd::CommitMigration { object: obj.clone() });
+        assert!(st.pins.is_empty(), "home landing clears the pin");
+        assert_eq!(st.shard_for_object(&obj), Some(0));
+        assert!(st.migrations.is_empty());
+    }
+
+    #[test]
+    fn plan_migration_rejects_invalid() {
+        let mut st = two_shard_state();
+        let obj = b"o".to_vec();
+        // Same source and destination.
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 0 });
+        // Wrong source shard.
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 7, to: 0 });
+        // Missing destination.
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 99 });
+        assert!(st.migrations.is_empty());
+        // A live entry blocks a second plan (concurrent migration dedup).
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 7 });
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 7 });
+        assert_eq!(st.migrations.len(), 1);
+        // Lost destination is rejected.
+        let e = st.shard(7).unwrap().epoch;
+        st.apply(&CoordCmd::MarkShardLost { shard: 7, expected_epoch: e });
+        st.apply(&CoordCmd::PlanMigration { object: b"p".to_vec(), from: 0, to: 7 });
+        assert!(!st.migrations.contains_key(b"p".as_slice()));
+    }
+
+    #[test]
+    fn source_failover_mid_migration_auto_aborts() {
+        let mut st = two_shard_state();
+        let obj = b"hot".to_vec();
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 7 });
+        st.apply(&CoordCmd::MigrationHandoff { object: obj.clone() });
+        // Source primary dies; the failover reconfiguration retires the
+        // entry in the same log step that bumps the epoch.
+        for c in st.plan_failover(NodeId(0)) {
+            st.apply(&c);
+        }
+        assert!(st.migrations.is_empty(), "failover aborts the in-flight migration");
+        // A straggling commit proposal from the deposed driver loses.
+        st.apply(&CoordCmd::CommitMigration { object: obj.clone() });
+        assert!(st.pins.is_empty());
+        assert_eq!(st.shard_for_object(&obj), Some(0), "object stays at the source");
+    }
+
+    #[test]
+    fn target_loss_mid_migration_auto_aborts() {
+        let mut st = two_shard_state();
+        let obj = b"hot".to_vec();
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 7 });
+        st.apply(&CoordCmd::RemoveNode { node: NodeId(2) });
+        for c in st.plan_failover(NodeId(2)) {
+            st.apply(&c);
+        }
+        assert!(st.migrations.is_empty(), "target loss aborts the migration");
+        assert_eq!(st.shard_for_object(&obj), Some(0));
+    }
+
+    #[test]
+    fn slot_reassignment_mid_migration_auto_aborts() {
+        let mut st = two_shard_state();
+        let obj = b"hot".to_vec();
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 7 });
+        // The object's slot moves to another shard: the plan-time mapping
+        // no longer holds, so the entry dies with it.
+        st.apply(&CoordCmd::AssignSlots { shard: 7, slots: vec![ClusterState::slot_of(&obj)] });
+        assert!(st.migrations.is_empty());
+    }
+
+    #[test]
+    fn premature_commit_is_a_noop() {
+        let mut st = two_shard_state();
+        let obj = b"hot".to_vec();
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 7 });
+        st.apply(&CoordCmd::CommitMigration { object: obj.clone() });
+        assert!(st.migrations.contains_key(&obj), "entry survives a premature commit");
+        assert!(st.pins.is_empty());
+        st.apply(&CoordCmd::AbortMigration {
+            object: obj.clone(),
+            from: 0,
+            to: 7,
+            from_primary: NodeId(0),
+            to_primary: NodeId(2),
+        });
+        assert!(st.migrations.is_empty());
+        assert_eq!(st.shard_for_object(&obj), Some(0));
+
+        // A stale driver aborting a *superseded* plan must not kill the
+        // live one: mismatched identity fields make the abort a no-op.
+        st.apply(&CoordCmd::PlanMigration { object: obj.clone(), from: 0, to: 7 });
+        st.apply(&CoordCmd::AbortMigration {
+            object: obj.clone(),
+            from: 0,
+            to: 7,
+            from_primary: NodeId(1),
+            to_primary: NodeId(2),
+        });
+        assert!(st.migrations.contains_key(&obj), "mismatched abort is ignored");
+    }
+
+    /// (node id, invocations, hot objects as (id, count)).
+    type LoadEntry<'a> = (u32, u64, &'a [(&'a [u8], u64)]);
+
+    fn loads(entries: &[LoadEntry<'_>]) -> BTreeMap<NodeId, NodeLoad> {
+        entries
+            .iter()
+            .map(|(n, inv, hot)| {
+                (
+                    NodeId(*n),
+                    NodeLoad {
+                        queue_depth: 0,
+                        invocations: *inv,
+                        hot: hot.iter().map(|(o, c)| (o.to_vec(), *c)).collect(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rebalance_moves_hot_object_off_overloaded_node() {
+        let st = two_shard_state();
+        let policy = RebalancePolicy { hot_object_threshold: 10, max_inflight: 2 };
+        // Node 0 (primary of shard 0) is slammed by one object; node 2
+        // (primary of shard 7) is idle.
+        let l = loads(&[(0, 1000, &[(b"hot", 900)]), (1, 10, &[]), (2, 5, &[])]);
+        let cmds = st.plan_rebalance(&l, &policy);
+        assert_eq!(cmds, vec![CoordCmd::PlanMigration { object: b"hot".to_vec(), from: 0, to: 7 }]);
+        // Determinism: same inputs, same plan.
+        assert_eq!(st.plan_rebalance(&l, &policy), cmds);
+    }
+
+    #[test]
+    fn rebalance_ignores_balanced_or_idle_clusters() {
+        let st = two_shard_state();
+        let policy = RebalancePolicy { hot_object_threshold: 10, max_inflight: 2 };
+        // Balanced: nobody clearly above the mean.
+        let l = loads(&[(0, 100, &[(b"a", 50)]), (2, 90, &[(b"b", 40)])]);
+        assert!(st.plan_rebalance(&l, &policy).is_empty());
+        // Idle: skewed but under the absolute floor.
+        let l = loads(&[(0, 8, &[(b"a", 8)]), (2, 0, &[])]);
+        assert!(st.plan_rebalance(&l, &policy).is_empty());
+        // Single reporter: nowhere to move load.
+        let l = loads(&[(0, 1000, &[(b"a", 900)])]);
+        assert!(st.plan_rebalance(&l, &policy).is_empty());
+    }
+
+    #[test]
+    fn rebalance_respects_inflight_cap_and_live_entries() {
+        let mut st = two_shard_state();
+        let policy = RebalancePolicy { hot_object_threshold: 10, max_inflight: 1 };
+        let l = loads(&[(0, 1000, &[(b"hot", 900)]), (2, 5, &[])]);
+        for c in st.plan_rebalance(&l, &policy) {
+            st.apply(&c);
+        }
+        assert_eq!(st.migrations.len(), 1);
+        // The in-flight migration exhausts the cap; an already-migrating
+        // object is also never re-planned.
+        assert!(st.plan_rebalance(&l, &policy).is_empty());
+    }
+
+    #[test]
+    fn rebalance_hysteresis_blocks_ping_pong() {
+        let mut st = two_shard_state();
+        st.apply(&CoordCmd::PinObject { object: b"hot".to_vec(), shard: 7 });
+        let policy = RebalancePolicy { hot_object_threshold: 10, max_inflight: 2 };
+        // The previously-migrated (pinned) object sits on node 2, which is
+        // moderately hotter than node 0. The weak improvement bar would
+        // allow the move (20 + 60 < 100) — and next beat's jitter would
+        // move it again, fencing its writes on every hop — but a pinned
+        // object needs strong improvement to move a second time.
+        let l = loads(&[(0, 20, &[]), (1, 0, &[]), (2, 100, &[(b"hot", 60)])]);
+        assert!(st.plan_rebalance(&l, &policy).is_empty());
+        // A genuinely slammed source clears the stronger bar: the target
+        // stays no hotter than the source even after absorbing the object.
+        let l = loads(&[(0, 20, &[]), (1, 0, &[]), (2, 200, &[(b"hot", 60)])]);
+        assert_eq!(
+            st.plan_rebalance(&l, &policy),
+            vec![CoordCmd::PlanMigration { object: b"hot".to_vec(), from: 7, to: 0 }]
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property-based test of coordinator routing: `shard_for_object` (pins
+//! override hash placement) must stay **total** — every object resolves to
+//! an existing shard once the slot table is bootstrapped — and
+//! **deterministic** — two replicas applying the same command sequence
+//! agree on every routing decision — under arbitrary interleavings of
+//! `PinObject` / `UnpinObject` / `CreateShard` / `MarkShardLost`.
+//!
+//! This is the replicated-state-machine safety argument for the migration
+//! protocol: a migration commit is just a pin (or unpin) chosen into the
+//! log, so routing agreement across replicas is what makes the cut-over
+//! atomic.
+
+use proptest::prelude::*;
+
+use lambda_coordinator::{ClusterState, CoordCmd, N_SLOTS};
+use lambda_net::NodeId;
+
+/// Objects the property probes routing with. A fixed small universe keeps
+/// pin/unpin interleavings hitting the same keys.
+const PROBES: [&[u8]; 8] = [
+    b"user/alice",
+    b"user/bob",
+    b"user/carol",
+    b"post/1",
+    b"post/2",
+    b"timeline/hot",
+    b"counter/global",
+    b"x",
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Pin probe object `o` to shard id `s` (which may not exist yet —
+    /// the state machine must ignore such pins, not dangle them).
+    Pin { o: usize, s: u32 },
+    /// Unpin probe object `o` (possibly never pinned).
+    Unpin { o: usize },
+    /// Create shard `s` on node `n` (duplicate ids must be rejected).
+    Create { s: u32, n: u32 },
+    /// Mark shard `s` lost with a guessed epoch (stale guesses no-op).
+    Lose { s: u32, epoch: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..PROBES.len(), 0u32..6).prop_map(|(o, s)| Op::Pin { o, s }),
+        2 => (0usize..PROBES.len()).prop_map(|o| Op::Unpin { o }),
+        2 => (0u32..6, 0u32..3).prop_map(|(s, n)| Op::Create { s, n }),
+        1 => (0u32..6, 1u64..4).prop_map(|(s, epoch)| Op::Lose { s, epoch }),
+    ]
+}
+
+/// Bootstrapped state: three registered nodes, shard 0 everywhere, every
+/// slot assigned — the invariant base the cluster always establishes
+/// before serving.
+fn bootstrapped() -> ClusterState {
+    let mut st = ClusterState::default();
+    for n in 0..3 {
+        st.apply(&CoordCmd::RegisterNode { node: NodeId(n + 1) });
+    }
+    st.apply(&CoordCmd::CreateShard { shard: 0, replicas: vec![NodeId(1), NodeId(2), NodeId(3)] });
+    st.apply(&CoordCmd::AssignSlots { shard: 0, slots: (0..N_SLOTS).collect() });
+    st
+}
+
+fn cmd_of(op: &Op) -> CoordCmd {
+    match *op {
+        Op::Pin { o, s } => CoordCmd::PinObject { object: PROBES[o].to_vec(), shard: s },
+        Op::Unpin { o } => CoordCmd::UnpinObject { object: PROBES[o].to_vec() },
+        Op::Create { s, n } => CoordCmd::CreateShard { shard: s, replicas: vec![NodeId(n + 1)] },
+        Op::Lose { s, epoch } => CoordCmd::MarkShardLost { shard: s, expected_epoch: epoch },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn routing_stays_total_and_deterministic(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut a = bootstrapped();
+        let mut b = bootstrapped();
+        for op in &ops {
+            let cmd = cmd_of(op);
+            a.apply(&cmd);
+            b.apply(&cmd);
+
+            // Determinism: two replicas that applied the same prefix agree
+            // on every routing decision (and on the full directory).
+            prop_assert_eq!(&a.pins, &b.pins);
+            prop_assert_eq!(&a.slots, &b.slots);
+            prop_assert_eq!(a.version, b.version);
+
+            for probe in PROBES {
+                let routed_a = a.shard_for_object(probe);
+                let routed_b = b.shard_for_object(probe);
+                prop_assert_eq!(routed_a, routed_b);
+
+                // Totality: with the slot table bootstrapped, every object
+                // resolves, and always to a shard that exists (a pin to a
+                // shard that was never created must be ignored, and shards
+                // are never deleted — `MarkShardLost` keeps membership).
+                let routed = routed_a.expect("bootstrapped routing is total");
+                prop_assert!(
+                    a.shard(routed).is_some(),
+                    "object routed to nonexistent shard {}", routed
+                );
+
+                // Pins override hash placement: when the directory holds a
+                // pin for this object, routing follows it verbatim.
+                if let Some(&pinned) = a.pins.get(probe) {
+                    prop_assert_eq!(routed, pinned);
+                } else {
+                    prop_assert_eq!(
+                        a.slots.get(&ClusterState::slot_of(probe)).copied(),
+                        Some(routed)
+                    );
+                }
+            }
+        }
+    }
+}

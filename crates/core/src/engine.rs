@@ -164,6 +164,10 @@ pub trait CommitHook: Send + Sync {
     }
 }
 
+/// Oldest-first (commit version, storage key) queue of one object's live
+/// dedup records.
+type DedupWindow = std::collections::VecDeque<(u64, Vec<u8>)>;
+
 /// The LambdaObjects execution engine of one storage node.
 pub struct Engine {
     db: Db,
@@ -174,6 +178,12 @@ pub struct Engine {
     interpreter: Interpreter,
     router: parking_lot::RwLock<Option<Arc<dyn InvokeRouter>>>,
     commit_hook: parking_lot::RwLock<Option<Arc<dyn CommitHook>>>,
+    /// Per-object dedup-record eviction order, oldest first. Purely an
+    /// index over what is already in storage (lazily rebuilt on first
+    /// touch), so that retiring old records on the hot path does not
+    /// re-scan the dedup prefix — which walks one tombstone per record
+    /// ever retired and turns sustained single-object load quadratic.
+    dedup_windows: parking_lot::Mutex<std::collections::BTreeMap<ObjectId, DedupWindow>>,
     max_depth: usize,
     registry: Arc<Registry>,
     invocations: Counter,
@@ -220,6 +230,7 @@ impl Engine {
             },
             router: parking_lot::RwLock::new(None),
             commit_hook: parking_lot::RwLock::new(None),
+            dedup_windows: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
             max_depth: config.max_depth,
             invocations: registry.counter("eng_invocations"),
             aborts: registry.counter("eng_aborts"),
@@ -268,7 +279,7 @@ impl Engine {
             let start = Instant::now();
             let result = hook.on_commit(ctx, object, &ops);
             self.registry.record_span(ctx.trace_id, Stage::Replicate, start.elapsed());
-            result.map_err(InvokeError::Storage)?;
+            result.map_err(crate::error::decode_hook_error)?;
         }
         Ok(())
     }
@@ -300,6 +311,7 @@ impl Engine {
         }
         self.db.write(batch)?;
         self.cache.invalidate_keys(keys.into_iter().map(|k| k as &[u8]));
+        self.forget_dedup_window(object);
         Ok(())
     }
 
@@ -341,6 +353,9 @@ impl Engine {
         }
         self.db.write(batch)?;
         self.cache.invalidate_keys(keys.into_iter().map(|k| k as &[u8]));
+        for object in objects {
+            self.forget_dedup_window(object);
+        }
         Ok(())
     }
 
@@ -416,6 +431,7 @@ impl Engine {
             self.run_commit_hook(&InvocationContext::background(), id, &batch)?;
         }
         self.cache.invalidate_object(id);
+        self.forget_dedup_window(id);
         Ok(())
     }
 
@@ -889,7 +905,7 @@ impl Engine {
                                 );
                                 let result = match hook_res {
                                     Ok(()) => Ok(value),
-                                    Err(msg) => Err(InvokeError::Storage(msg)),
+                                    Err(msg) => Err(crate::error::decode_hook_error(msg)),
                                 };
                                 this2.finish_commit(obj, vkey, written_keys, guard, result, done);
                             }),
@@ -926,6 +942,13 @@ impl Engine {
     /// Add a dedup record for `invocation_id` to `batch` and evict the
     /// oldest records beyond [`DEDUP_WINDOW`] in the same batch. Runs under
     /// the object's guard, right before the commit that bumps the version.
+    ///
+    /// Eviction order comes from the in-memory [`Engine::dedup_windows`]
+    /// index, lazily rebuilt from storage on first touch (fresh
+    /// primaryship, restart). Re-scanning the dedup prefix here instead
+    /// would walk one tombstone per record ever retired — O(the object's
+    /// whole mutation history) per write until compaction catches up,
+    /// which decays hot-object throughput the longer it stays hot.
     fn append_dedup_record(
         &self,
         object: &ObjectId,
@@ -939,28 +962,42 @@ impl Engine {
         value.extend_from_slice(&version.to_le_bytes());
         value.extend_from_slice(&encoded);
         let own_key = keys::dedup_key(object, invocation_id);
-        batch.put(own_key.clone(), value);
 
-        let mut records: Vec<(Vec<u8>, u64)> = self
-            .db
-            .scan_prefix(&keys::dedup_prefix(object))
-            .filter(|(k, _)| *k != own_key)
-            .map(|(k, v)| {
-                let ver = v
-                    .get(0..8)
-                    .and_then(|b| b.try_into().ok())
-                    .map(u64::from_le_bytes)
-                    .unwrap_or(0);
-                (k, ver)
-            })
-            .collect();
-        let excess = (records.len() + 1).saturating_sub(DEDUP_WINDOW);
-        if excess > 0 {
-            records.sort_by_key(|&(_, ver)| ver);
-            for (key, _) in records.into_iter().take(excess) {
-                batch.delete(key);
-            }
+        let mut windows = self.dedup_windows.lock();
+        let window = windows.entry(object.clone()).or_insert_with(|| {
+            let mut records: Vec<(u64, Vec<u8>)> = self
+                .db
+                .scan_prefix(&keys::dedup_prefix(object))
+                .map(|(k, v)| {
+                    let ver = v
+                        .get(0..8)
+                        .and_then(|b| b.try_into().ok())
+                        .map(u64::from_le_bytes)
+                        .unwrap_or(0);
+                    (ver, k)
+                })
+                .collect();
+            records.sort_unstable();
+            records.into_iter().collect()
+        });
+        // A retried id supersedes its old record in place rather than
+        // counting twice against the window.
+        window.retain(|(_, k)| *k != own_key);
+        window.push_back((version, own_key.clone()));
+        while window.len() > DEDUP_WINDOW {
+            let Some((_, key)) = window.pop_front() else { break };
+            batch.delete(key);
         }
+        batch.put(own_key, value);
+    }
+
+    /// Drop the in-memory dedup-eviction window for `id`. Called whenever
+    /// the object's records change outside [`Engine::append_dedup_record`]
+    /// — replicated write sets, migration installs, deletion — so a stale
+    /// index can never drive eviction; it is rebuilt from storage on the
+    /// next primary-side mutation.
+    pub(crate) fn forget_dedup_window(&self, id: &ObjectId) {
+        self.dedup_windows.lock().remove(id);
     }
 
     fn object_type(&self, id: &ObjectId) -> Result<Arc<ObjectType>> {

@@ -49,6 +49,12 @@ pub enum InvokeError {
     /// the data is fine — the client should refresh placement and route
     /// the read to the shard primary.
     LeaseExpired(String),
+    /// The object is in the handoff phase of a live migration: the source
+    /// shard fences mutations while the destination takes ownership.
+    /// Retryable without burning backoff budget — the client should
+    /// refresh placement and follow the object to its new shard (or back
+    /// to the source, if the migration aborted).
+    ObjectMoved(String),
 }
 
 impl fmt::Display for InvokeError {
@@ -69,6 +75,7 @@ impl fmt::Display for InvokeError {
             InvokeError::ShardUnavailable(msg) => write!(f, "shard unavailable: {msg}"),
             InvokeError::Overloaded(msg) => write!(f, "node overloaded: {msg}"),
             InvokeError::LeaseExpired(msg) => write!(f, "read lease expired: {msg}"),
+            InvokeError::ObjectMoved(msg) => write!(f, "object moved: {msg}"),
         }
     }
 }
@@ -120,6 +127,19 @@ pub fn encode_error(e: &InvokeError) -> String {
         InvokeError::ShardUnavailable(s) => format!("shard_unavailable\x1f{s}"),
         InvokeError::Overloaded(s) => format!("overloaded\x1f{s}"),
         InvokeError::LeaseExpired(s) => format!("lease_expired\x1f{s}"),
+        InvokeError::ObjectMoved(s) => format!("object_moved\x1f{s}"),
+    }
+}
+
+/// Map a commit-hook failure string back to a typed error: a hook that
+/// needs a specific variant to reach the client (the migration handoff
+/// fence's `ObjectMoved`) embeds one via [`encode_error`]; plain fence
+/// strings stay [`InvokeError::Storage`].
+pub fn decode_hook_error(msg: String) -> InvokeError {
+    if msg.contains('\x1f') {
+        decode_error(&msg)
+    } else {
+        InvokeError::Storage(msg)
     }
 }
 
@@ -144,6 +164,7 @@ pub fn decode_error(s: &str) -> InvokeError {
         "shard_unavailable" => InvokeError::ShardUnavailable(rest),
         "overloaded" => InvokeError::Overloaded(rest),
         "lease_expired" => InvokeError::LeaseExpired(rest),
+        "object_moved" => InvokeError::ObjectMoved(rest),
         _ => InvokeError::Nested(s.to_string()),
     }
 }
@@ -170,6 +191,7 @@ mod tests {
             InvokeError::ShardUnavailable("shard 3 lost".into()),
             InvokeError::Overloaded("run queue full".into()),
             InvokeError::LeaseExpired("epoch 4 lease lapsed".into()),
+            InvokeError::ObjectMoved("handoff to shard 2".into()),
         ];
         for e in &errors {
             assert!(!e.to_string().is_empty());
@@ -194,6 +216,7 @@ mod tests {
             InvokeError::ShardUnavailable("no replicas".into()),
             InvokeError::Overloaded("depth 128".into()),
             InvokeError::LeaseExpired("no lease for shard 2".into()),
+            InvokeError::ObjectMoved("handoff to shard 2".into()),
         ];
         for e in errors {
             assert_eq!(decode_error(&encode_error(&e)), e, "{e}");

@@ -70,6 +70,7 @@ impl Engine {
         self.db().write(batch)?;
         // Any cached results for a previous tenant of this id are invalid.
         self.cache().invalidate_object(&snapshot.id);
+        self.forget_dedup_window(&snapshot.id);
         Ok(())
     }
 
@@ -120,6 +121,7 @@ impl Engine {
         }
         self.db().write(batch)?;
         self.cache().invalidate_object(&snapshot.id);
+        self.forget_dedup_window(&snapshot.id);
         Ok(())
     }
 
@@ -137,6 +139,7 @@ impl Engine {
         }
         self.db().write(batch)?;
         self.cache().invalidate_object(id);
+        self.forget_dedup_window(id);
         Ok(())
     }
 

@@ -55,6 +55,50 @@ pub struct SchedulerStats {
 /// Completion for a deferred lock acquisition.
 pub type GrantCallback = Box<dyn FnOnce(Result<ObjectGuard, InvokeError>) + Send>;
 
+thread_local! {
+    /// Nested grant-continuation depth on this thread (see [`run_grant`]).
+    static GRANT_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Longest chain of grant continuations run on one stack before the rest
+/// of the chain is handed to a fresh thread.
+///
+/// A continuation that finishes its invocation synchronously (sync-WAL
+/// replication) drops its guard inside its own frame, which grants the
+/// next waiter inline — so draining an N-deep hot-object queue would
+/// otherwise recurse N invocation frames on one worker stack and
+/// overflow under sustained hotspot load.
+const GRANT_INLINE_DEPTH: usize = 32;
+
+/// Run a grant continuation, bounding how deep continuation chains grow
+/// on this stack; past the limit the remainder of the chain moves to a
+/// fresh thread (never back onto a frame that might be blocked waiting
+/// to reacquire — that would deadlock the host's nested-invoke resume).
+fn run_grant(grant: GrantCallback, result: Result<ObjectGuard, InvokeError>) {
+    let depth = GRANT_DEPTH.with(std::cell::Cell::get);
+    if depth >= GRANT_INLINE_DEPTH {
+        let cell = std::sync::Arc::new(Mutex::new(Some((grant, result))));
+        let theirs = std::sync::Arc::clone(&cell);
+        let spawned =
+            std::thread::Builder::new().name("lock-grant-drain".into()).spawn(move || {
+                if let Some((grant, result)) = theirs.lock().take() {
+                    grant(result);
+                }
+            });
+        if spawned.is_err() {
+            // Out of threads: running inline risks the deep stack, but
+            // dropping the grant would leak the lock forever.
+            if let Some((grant, result)) = cell.lock().take() {
+                grant(result);
+            }
+        }
+        return;
+    }
+    GRANT_DEPTH.with(|d| d.set(depth + 1));
+    grant(result);
+    GRANT_DEPTH.with(|d| d.set(depth));
+}
+
 struct Waiter {
     exclusive: bool,
     /// Deadline carried into the queue; checked again at grant time.
@@ -104,7 +148,7 @@ impl ObjectLock {
             self.grant_locked(&mut st, &mut grants);
         }
         for (grant, result) in grants {
-            grant(result);
+            run_grant(grant, result);
         }
     }
 
@@ -370,7 +414,7 @@ impl Scheduler {
         // continuation inline on this thread) or parks `cont` in the FIFO
         // queue for the releasing thread to run.
         if let Some((guard, cont)) = self.acquire_with(object, exclusive, Some(*ctx), cont) {
-            cont(Ok(guard));
+            run_grant(cont, Ok(guard));
         }
     }
 

@@ -8,7 +8,7 @@
 //! responsible primary, and the node heartbeats the coordination service
 //! and receives shard-map pushes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
@@ -19,7 +19,9 @@ use parking_lot::{Condvar, Mutex};
 
 use lambda_coordinator::CoordClient;
 use lambda_coordinator::CoordEvent;
-use lambda_coordinator::{ClusterState, Epoch, ShardId};
+use lambda_coordinator::{
+    ClusterState, CoordCmd, Epoch, MigrationInfo, MigrationPhase, NodeLoad, ShardId,
+};
 use lambda_kv::Db;
 use lambda_net::rpc::{sync_handler, AdmissionPolicy, Responder, RpcConfig};
 use lambda_net::{wire, Handler, Network, NodeId, RpcError, RpcNode};
@@ -313,6 +315,17 @@ struct NodeInner {
     corruption_reports: Counter,
     /// Promotion re-syncs completed (ring replays after failover).
     promotion_resyncs: Counter,
+    /// Per-object invocation tally since the last heartbeat; drained into
+    /// the coordinator load report that feeds the rebalancer.
+    invoke_tally: Mutex<HashMap<Vec<u8>, u64>>,
+    /// Objects whose coordinator-owned migration this node is currently
+    /// driving as the source primary (guards against double-spawning).
+    migrations_driving: Mutex<HashSet<Vec<u8>>>,
+    /// Coordinator-owned migrations this node drove to commit as source.
+    migrations_completed: Counter,
+    /// Mutations refused (admission) or fenced (commit) with `ObjectMoved`
+    /// while their object's migration was in handoff.
+    migration_fenced: Counter,
 }
 
 /// Payload bytes of one stream item (transfer-cost accounting).
@@ -345,6 +358,15 @@ const RECENT_COMMITS_CAP: usize = 32;
 /// One shard's ring of recent committed write sets: `(object id bytes,
 /// write set)`, newest last, bounded at [`RECENT_COMMITS_CAP`].
 type RecentCommitRing = VecDeque<(Vec<u8>, WriteSetOps)>;
+
+/// Hottest objects reported per heartbeat load report.
+const HOT_REPORT_TOP_K: usize = 8;
+/// `MigrateInstall` attempts against the target primary before the source
+/// driver gives up and proposes `AbortMigration`.
+const MIGRATE_SHIP_RETRIES: usize = 20;
+/// Pause between migration-driver steps while waiting for placement to
+/// catch up with a proposed phase change.
+const MIGRATE_POLL_PAUSE: Duration = Duration::from_millis(5);
 
 impl NodeInner {
     fn rpc(&self) -> &Arc<RpcNode> {
@@ -680,6 +702,7 @@ impl NodeInner {
             StoreRequest::Invoke { object, method, args, read_only, internal, .. } => {
                 let oid = ObjectId::new(object);
                 self.check_role(&oid, read_only)?;
+                self.tally_invoke(oid.as_bytes());
                 let value = self.engine.invoke_ctx(ctx, &oid, &method, args, !internal, 0)?;
                 Ok(StoreResponse::Value(value))
             }
@@ -809,6 +832,57 @@ impl NodeInner {
                             )))
                         }
                     }
+                }
+                Ok(StoreResponse::Ok)
+            }
+            StoreRequest::MigrateInstall { snapshot, shard } => {
+                let state = self.placement.snapshot();
+                let info = state
+                    .shard(shard)
+                    .cloned()
+                    .ok_or_else(|| InvokeError::WrongNode(format!("no shard {shard}")))?;
+                // A node holds ONE copy of an object. When this node is a
+                // member of the shard the object is *currently routed to*
+                // (source/target shards overlap, or a failover made the
+                // source primary the target's), its copy IS the live one —
+                // kept fresh by the serving shard's synchronous
+                // replication. Replacing it wholesale with a snapshot that
+                // was exported earlier would roll back acked writes, so
+                // the install is a no-op here; the fenced final snapshot
+                // such a node would receive equals what it already holds.
+                let holds_live = state
+                    .shard_for_object(&snapshot.id.0)
+                    .and_then(|s| state.shard(s))
+                    .is_some_and(|serving| serving.contains(self.id));
+                if info.primary == self.id {
+                    if !holds_live {
+                        self.engine.install_object_replacing(&snapshot)?;
+                    }
+                    // Fan the replacing install out to the shard's backups
+                    // with the same wholesale semantics: op-replication
+                    // could leave keys of a superseded warm copy behind.
+                    // Each backup applies its own holds-live check against
+                    // its own placement view.
+                    let req = StoreRequest::MigrateInstall { snapshot, shard };
+                    for backup in &info.backups {
+                        match self.call_peer(ctx, *backup, &req)? {
+                            StoreResponse::Ok => {}
+                            other => {
+                                return Err(InvokeError::Storage(format!(
+                                    "migrate install replication to {backup}: bad reply {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                } else if info.contains(self.id) {
+                    if !holds_live {
+                        self.engine.install_object_replacing(&snapshot)?;
+                    }
+                } else {
+                    return Err(InvokeError::WrongNode(format!(
+                        "node-{} holds no replica of shard {shard}",
+                        self.id.0
+                    )));
                 }
                 Ok(StoreResponse::Ok)
             }
@@ -1077,6 +1151,20 @@ impl NodeInner {
                 )));
             }
         } else if info.primary == self.id {
+            // Migration handoff fence: once the coordinator's handoff
+            // record is visible here, new mutations are refused with a
+            // retryable `ObjectMoved` so the final snapshot the driver
+            // ships is the last word. Reads keep serving from the source
+            // until the commit lands (the source copy stays authoritative).
+            if let Some(m) = self.placement.migration_of(oid.as_bytes()) {
+                if m.phase == MigrationPhase::Handoff && m.from == shard {
+                    self.migration_fenced.incr();
+                    return Err(InvokeError::ObjectMoved(format!(
+                        "object {oid} is handing off from shard {} to shard {}",
+                        m.from, m.to
+                    )));
+                }
+            }
             return Ok(());
         }
         Err(InvokeError::WrongNode(format!(
@@ -1822,6 +1910,249 @@ impl NodeInner {
         }
         self.sync.remove(session.shard, session.peer);
     }
+
+    /// Count one invocation against `object` for the next heartbeat's
+    /// load report.
+    fn tally_invoke(&self, object: &[u8]) {
+        let mut tally = self.invoke_tally.lock();
+        if let Some(n) = tally.get_mut(object) {
+            *n += 1;
+        } else {
+            tally.insert(object.to_vec(), 1);
+        }
+    }
+
+    /// Drain the per-object invocation tally into a coordinator load
+    /// report: total invocations since the last beat plus the hottest
+    /// [`HOT_REPORT_TOP_K`] objects, and the instantaneous run-queue depth.
+    fn drain_load(&self) -> NodeLoad {
+        let tally: HashMap<Vec<u8>, u64> = std::mem::take(&mut *self.invoke_tally.lock());
+        let invocations: u64 = tally.values().sum();
+        let mut hot: Vec<(Vec<u8>, u64)> = tally.into_iter().collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(HOT_REPORT_TOP_K);
+        NodeLoad { queue_depth: self.rpc().queue_stats().depth, invocations, hot }
+    }
+
+    /// Drive one coordinator-owned migration as the source shard's
+    /// primary: warm copy, handoff, final fenced copy, commit, retire the
+    /// source copy. Every step is idempotent against the replicated phase,
+    /// so a crashed driver's successor (a restarted source primary, or a
+    /// promoted backup once the coordinator re-plans) resumes cleanly; a
+    /// persistent target failure rolls the plan back with
+    /// `AbortMigration` and the source keeps serving from its own copy.
+    fn drive_migration(&self, coord: &CoordClient, object: Vec<u8>, planned: MigrationInfo) {
+        if let Err(reason) = self.drive_migration_steps(coord, &object, &planned) {
+            let _ = reason;
+            // Identity-guarded: if this plan was already superseded by a
+            // fresh one (our ship retries outlived the entry), the abort
+            // must not kill the successor — mismatched fields no-op.
+            let _ = coord.propose(CoordCmd::AbortMigration {
+                object: object.clone(),
+                from: planned.from,
+                to: planned.to,
+                from_primary: planned.from_primary,
+                to_primary: planned.to_primary,
+            });
+        }
+        self.migrations_driving.lock().remove(&object);
+    }
+
+    fn drive_migration_steps(
+        &self,
+        coord: &CoordClient,
+        object: &[u8],
+        planned: &MigrationInfo,
+    ) -> Result<(), String> {
+        let oid = ObjectId::new(object.to_vec());
+        let mut warmed = false;
+        let mut announced = false;
+        let mut shipped_final = false;
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let state = self.placement.snapshot();
+            let Some(m) = state.migrations.get(object) else {
+                // Chosen out of the log: committed (placement follows the
+                // object to the target in the same state version) or
+                // aborted (placement unchanged, source keeps serving).
+                if state.shard_for_object(object) == Some(planned.to) {
+                    self.retire_migrated_object(&state, &oid, planned.from, planned.to);
+                    self.migrations_completed.incr();
+                }
+                return Ok(());
+            };
+            if (m.from, m.to, m.from_primary, m.to_primary)
+                != (planned.from, planned.to, planned.from_primary, planned.to_primary)
+            {
+                // The entry we're looking at is a *successor* plan (ours
+                // was aborted and re-planned while we were stuck in ship
+                // retries). Our warm/handoff flags describe the old plan —
+                // bail and let the successor's own driver run it.
+                return Ok(());
+            }
+            let Some(src) = state.shard(m.from) else { return Ok(()) };
+            if src.primary != self.id || src.lost {
+                // Deposed mid-drive: the coordinator's liveness GC aborts
+                // the entry; whoever leads next starts a fresh plan.
+                return Ok(());
+            }
+            let Some(dst) = state.shard(m.to) else { return Ok(()) };
+            match m.phase {
+                MigrationPhase::Planned | MigrationPhase::Copying => {
+                    if !warmed {
+                        // Warm copy: get the bulk of the object durable at
+                        // the target while the source still serves
+                        // everything. The target install replaces
+                        // wholesale, so re-running after a crash is fine.
+                        let snap = match self.engine.export_object(&oid) {
+                            Ok(snap) => snap,
+                            Err(e) => return Err(format!("warm export of {oid}: {e}")),
+                        };
+                        self.ship_migrate_install(dst.primary, object, planned, snap, m.to)?;
+                        warmed = true;
+                    }
+                    if !announced {
+                        // Both proposals must land for the plan to make
+                        // progress — a swallowed failure (e.g. the propose
+                        // raced a coordinator replica's death) would
+                        // otherwise park this driver in Copying forever,
+                        // so only a confirmed choice sets the flag and a
+                        // failure retries next iteration.
+                        if m.phase == MigrationPhase::Planned {
+                            let _ = coord
+                                .propose(CoordCmd::MigrationCopying { object: object.to_vec() });
+                        }
+                        if coord
+                            .propose(CoordCmd::MigrationHandoff { object: object.to_vec() })
+                            .is_ok()
+                        {
+                            announced = true;
+                        }
+                    }
+                    // Wait for our own placement to reflect the handoff:
+                    // the fence must be visible locally before the final
+                    // copy, or a racing commit could ack after it.
+                }
+                MigrationPhase::Handoff => {
+                    if !announced {
+                        // Resuming an interrupted handoff (driver restart):
+                        // re-propose the idempotent phase change so the
+                        // coordinator counts the resumption. The phase is
+                        // already replicated, so a failure here is not
+                        // load-bearing — don't retry, just stop claiming
+                        // the resumption happened.
+                        let _ =
+                            coord.propose(CoordCmd::MigrationHandoff { object: object.to_vec() });
+                        announced = true;
+                    }
+                    if !shipped_final {
+                        // The fence is active in our placement: admission
+                        // refuses new mutations and racing commits fail at
+                        // commit time, so this snapshot — taken under the
+                        // object's exclusive lock — is the final word,
+                        // dedup records included.
+                        let snap = match self.engine.export_object(&oid) {
+                            Ok(snap) => snap,
+                            Err(e) => return Err(format!("final export of {oid}: {e}")),
+                        };
+                        self.ship_migrate_install(dst.primary, object, planned, snap, m.to)?;
+                        shipped_final = true;
+                    }
+                    // Idempotent: a duplicate commit against a vanished
+                    // entry is a no-op at the coordinator.
+                    let _ = coord.propose(CoordCmd::CommitMigration { object: object.to_vec() });
+                }
+            }
+            std::thread::sleep(MIGRATE_POLL_PAUSE);
+        }
+    }
+
+    /// Ship a snapshot to the migration target's primary, retrying through
+    /// transient faults; a persistent failure aborts the migration.
+    ///
+    /// Each retry re-checks the replicated plan: a dead target means the
+    /// retries span seconds, long enough for the coordinator's liveness GC
+    /// to abort the entry and a successor plan to appear. Bailing as soon
+    /// as the plan we're serving is gone keeps a stuck driver from
+    /// shipping a stale snapshot at (or past) the successor.
+    fn ship_migrate_install(
+        &self,
+        target: NodeId,
+        object: &[u8],
+        planned: &MigrationInfo,
+        snapshot: lambda_objects::migration::ObjectSnapshot,
+        shard: ShardId,
+    ) -> Result<(), String> {
+        let ctx = InvocationContext::background();
+        let req = StoreRequest::MigrateInstall { snapshot, shard };
+        let mut last = String::new();
+        for attempt in 0..MIGRATE_SHIP_RETRIES {
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err("node shutting down".into());
+            }
+            if attempt > 0 {
+                let state = self.placement.snapshot();
+                let live = state.migrations.get(object).is_some_and(|m| {
+                    (m.from, m.to, m.from_primary, m.to_primary)
+                        == (planned.from, planned.to, planned.from_primary, planned.to_primary)
+                });
+                if !live {
+                    return Err("plan superseded mid-ship".into());
+                }
+            }
+            match self.call_peer(&ctx, target, &req) {
+                Ok(StoreResponse::Ok) => return Ok(()),
+                Ok(other) => last = format!("bad reply {other:?}"),
+                Err(e) => last = e.to_string(),
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Err(format!("install at node-{} failed: {last}", target.0))
+    }
+
+    /// The migration committed: the object now lives at the target, so the
+    /// source copy (ours and our backups') is residue. Purge locally and
+    /// ship the deletions to the shard's backups best-effort — leftover
+    /// keys there are harmless (placement no longer maps the object here,
+    /// and any later install replaces wholesale), so failures are ignored.
+    ///
+    /// A node holds ONE copy of an object, not one per shard: when the
+    /// source and target shards share replicas, the overlap nodes' copy
+    /// *is* the target's data now, so both the local purge and the delete
+    /// fan-out must skip every member of the target shard.
+    fn retire_migrated_object(
+        &self,
+        state: &ClusterState,
+        oid: &ObjectId,
+        from: ShardId,
+        to: ShardId,
+    ) {
+        let in_target = |node: NodeId| state.shard(to).is_some_and(|dst| dst.contains(node));
+        let prefix = keys::object_prefix(oid);
+        let ops: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            self.engine.db().scan_prefix(&prefix).map(|(k, _)| (k, None)).collect();
+        if ops.is_empty() {
+            return;
+        }
+        if !in_target(self.id) && self.engine.purge_object(oid).is_err() {
+            return;
+        }
+        if let Some(info) = state.shard(from) {
+            let ctx = InvocationContext::background();
+            let req = StoreRequest::Replicate {
+                shard: from,
+                epoch: info.epoch,
+                object: oid.0.clone(),
+                ops,
+                lease_nanos: 0,
+            };
+            for backup in info.backups.iter().filter(|b| !in_target(**b)) {
+                let _ = self.call_peer(&ctx, *backup, &req);
+            }
+        }
+    }
 }
 
 impl CommitHook for NodeInner {
@@ -1854,6 +2185,21 @@ impl CommitHook for NodeInner {
                     "fenced: node-{} is no longer primary for shard {shard} (epoch {})",
                     self.id.0, info.epoch
                 ));
+            }
+            // Migration handoff fence, checked at commit time: a mutation
+            // admitted before the handoff record arrived must not ack
+            // after the driver's final snapshot. Failed — not held — so
+            // the commit is never acked and writes no replicated dedup
+            // record; the client follows `ObjectMoved` to the target and
+            // re-executes (or dedups, if this write made the snapshot).
+            if let Some(m) = self.placement.migration_of(&object.0) {
+                if m.phase == MigrationPhase::Handoff && m.from == shard {
+                    self.migration_fenced.incr();
+                    return Err(encode_error(&InvokeError::ObjectMoved(format!(
+                        "commit fenced: object handing off from shard {} to shard {}",
+                        m.from, m.to
+                    ))));
+                }
             }
             // A post-reconfiguration fence *holds* the commit rather than
             // failing it: the write is already durable locally, so an error
@@ -1929,6 +2275,19 @@ impl CommitHook for NodeInner {
                 self.id.0, info.epoch
             )));
             return;
+        }
+        // Migration handoff fence — see `on_commit`. Checked inline on the
+        // committing thread (still under the object's exclusive lock), so
+        // it serializes against the driver's final export.
+        if let Some(m) = self.placement.migration_of(&object.0) {
+            if m.phase == MigrationPhase::Handoff && m.from == shard {
+                self.migration_fenced.incr();
+                done(Err(encode_error(&InvokeError::ObjectMoved(format!(
+                    "commit fenced: object handing off from shard {} to shard {}",
+                    m.from, m.to
+                )))));
+                return;
+            }
         }
         // Hold, don't fail — see `on_commit`. The deferred path re-enters
         // through the rpc timer wheel once the fence drains (no thread
@@ -2094,6 +2453,10 @@ impl AggregatedNode {
             forward_gaps: Mutex::new(HashMap::new()),
             corruption_reports: registry.counter("node_corruption_reports"),
             promotion_resyncs: registry.counter("node_promotion_resyncs"),
+            invoke_tally: Mutex::new(HashMap::new()),
+            migrations_driving: Mutex::new(HashSet::new()),
+            migrations_completed: registry.counter("node_migrations_completed"),
+            migration_fenced: registry.counter("node_migration_fenced"),
             registry,
         });
 
@@ -2130,6 +2493,7 @@ impl AggregatedNode {
                         responder.reply(Err(encode_error(&e)));
                         return;
                     }
+                    handler_inner.tally_invoke(oid.as_bytes());
                     let busy = handler_inner.busy_nanos.clone();
                     handler_inner.engine.invoke_deferred_tracked(
                         &ctx,
@@ -2229,7 +2593,11 @@ impl AggregatedNode {
                     if hb_inner.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    if hb_coord.heartbeat(hb_inner.id, Some(watch_id)).is_ok() {
+                    // The load report rides the heartbeat: queue depth plus
+                    // the hottest objects since the last beat, feeding the
+                    // coordinator's rebalancer.
+                    let load = hb_inner.drain_load();
+                    if hb_coord.heartbeat(hb_inner.id, Some(watch_id), Some(load)).is_ok() {
                         hb_inner.note_coord_ok();
                     }
                     if let Ok(Some(state)) = hb_coord.get_state(hb_inner.placement.version()) {
@@ -2247,6 +2615,40 @@ impl AggregatedNode {
                     std::thread::sleep(interval);
                 })
                 .expect("spawn heartbeat");
+
+            // Migration scanner: drive every replicated migration whose
+            // source shard this node leads. The plan lives in the Paxos
+            // log, so a restarted source primary finds it again here and
+            // resumes from the recorded phase.
+            let mig_inner = Arc::clone(&inner);
+            let mig_coord = Arc::clone(&coord);
+            std::thread::Builder::new()
+                .name(format!("store-{id}-migrate"))
+                .spawn(move || loop {
+                    if mig_inner.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let state = mig_inner.placement.snapshot();
+                    for (object, m) in &state.migrations {
+                        let Some(src) = state.shard(m.from) else { continue };
+                        if src.primary != mig_inner.id || src.lost {
+                            continue;
+                        }
+                        // Claim before spawning so the next scan skips it.
+                        if !mig_inner.migrations_driving.lock().insert(object.clone()) {
+                            continue;
+                        }
+                        let n = Arc::clone(&mig_inner);
+                        let c = Arc::clone(&mig_coord);
+                        let (object, m) = (object.clone(), m.clone());
+                        std::thread::Builder::new()
+                            .name(format!("store-{}-migrate-drive", n.id))
+                            .spawn(move || n.drive_migration(&c, object, m))
+                            .expect("spawn migration driver");
+                    }
+                    std::thread::sleep(interval);
+                })
+                .expect("spawn migration scanner");
 
             let sync_inner = Arc::clone(&inner);
             std::thread::Builder::new()

@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -18,13 +18,17 @@ use lambda_coordinator::{CoordClient, CoordCmd, ShardId};
 use lambda_net::rpc::sync_handler;
 use lambda_net::{wire, Network, NodeId, RpcError, RpcNode};
 use lambda_objects::{
-    decode_error, CacheStats, ConsistentCache, InvocationContext, InvokeError, ObjectId,
-    ObjectSnapshot, TxCall,
+    decode_error, CacheStats, ConsistentCache, InvocationContext, InvokeError, ObjectId, TxCall,
 };
 use lambda_vm::{Module, VmValue};
 
 use crate::placement::Placement;
 use crate::proto::{self, ClientPush, NodeStatsWire, StoreRequest, StoreResponse};
+
+/// How long [`StoreClient::migrate_object`] waits for the coordinator's
+/// replicated state machine to drive a planned migration to commit (or
+/// abort) before reporting a timeout.
+const MIGRATE_WAIT: Duration = Duration::from_secs(30);
 
 /// A cluster client. Cheap to clone ([`Arc`] inside); safe to share across
 /// request-generator threads.
@@ -301,6 +305,19 @@ impl StoreClient {
                     self.refresh();
                     if was_primary && !final_attempt {
                         std::thread::sleep(policy.pause(attempt, &ctx));
+                    }
+                }
+                Err(e @ InvokeError::ObjectMoved(_)) => {
+                    // The object is mid-handoff (or just committed to its
+                    // new shard): follow it. A redirect, not congestion or
+                    // failure — no backoff beyond a brief pause when our
+                    // placement has not caught up with the commit yet.
+                    let before = self.inner.placement.version();
+                    last_err = e;
+                    prefer_primary = true;
+                    self.refresh();
+                    if self.inner.placement.version() == before && !final_attempt {
+                        std::thread::sleep(Duration::from_millis(2));
                     }
                 }
                 Err(e @ InvokeError::Nested(_)) => {
@@ -629,65 +646,73 @@ impl StoreClient {
         Ok(())
     }
 
-    /// Migrate `object` to `target_shard`: evict at the source primary,
-    /// install at the target primary, and pin the object there through the
-    /// coordinator (microshard migration, §4.2).
+    /// Migrate `object` to `target_shard` through the coordinator-owned
+    /// protocol: propose a `PlanMigration` and wait for the replicated
+    /// state machine to drive it to commit (microshard migration, §4.2).
+    /// The source keeps serving — and keeps its copy — until the target
+    /// holds the object durably and the routing flip is chosen into the
+    /// Paxos log, so no failure in between can strand or lose the object.
     ///
     /// # Errors
-    /// Any step failure; the coordinator pin is proposed last so routing
-    /// flips only after the data has moved.
+    /// Plan rejection (unknown shard, concurrent migration of the same
+    /// object to a different target), an aborted migration (target
+    /// unreachable, replica failures mid-copy), or a poll timeout.
     pub fn migrate_object(
         &self,
         object: &ObjectId,
         target_shard: ShardId,
     ) -> Result<(), InvokeError> {
+        let Some(coord) = &self.inner.coord else {
+            return Err(InvokeError::Nested("migration needs a coordinator".into()));
+        };
         self.refresh();
         let state = self.inner.placement.snapshot();
-        let target_info = state
-            .shard(target_shard)
-            .ok_or_else(|| InvokeError::Nested(format!("no shard {target_shard}")))?
-            .clone();
-        let snapshot: ObjectSnapshot = self.with_routing(object, false, |ctx, node| {
-            // (fetch with evict: the source deletes its copy under lock)
-            let req = StoreRequest::FetchObject { object: object.0.clone(), evict: true };
-            match self.call_ctx(ctx, node, &req)? {
-                StoreResponse::Snapshot(s) => Ok(s),
-                other => Err(InvokeError::Nested(format!("bad reply {other:?}"))),
-            }
-        })?;
-        // The target primary may not have learned about a freshly created
-        // shard yet (its placement refreshes on the heartbeat interval);
-        // retry the install briefly. The snapshot is held client-side, so
-        // no data is at risk while we wait.
-        let mut installed = false;
-        let mut last_err = InvokeError::Nested("install never attempted".into());
-        for _ in 0..50 {
-            match self.call(
-                target_info.primary,
-                &StoreRequest::InstallObject { snapshot: snapshot.clone(), shard: target_shard },
-            ) {
-                Ok(StoreResponse::Ok) => {
-                    installed = true;
-                    break;
+        if state.shard(target_shard).is_none() {
+            return Err(InvokeError::Nested(format!("no shard {target_shard}")));
+        }
+        let Some(from) = state.shard_for_object(object.as_bytes()) else {
+            return Err(InvokeError::Nested(format!("object {object} has no placement")));
+        };
+        if from == target_shard {
+            return Ok(());
+        }
+        coord
+            .propose(CoordCmd::PlanMigration { object: object.0.clone(), from, to: target_shard })
+            .map_err(|e| InvokeError::Nested(format!("plan failed: {e}")))?;
+        // The plan is applied deterministically on every replica, but may
+        // have been rejected as a no-op (e.g. another migration of this
+        // object was already in flight). Poll the replicated entry until
+        // the migration resolves one way or the other.
+        let deadline = Instant::now() + MIGRATE_WAIT;
+        let mut seen = false;
+        loop {
+            self.refresh();
+            let st = self.inner.placement.snapshot();
+            if let Some(m) = st.migrations.get(object.as_bytes()) {
+                if m.to != target_shard {
+                    return Err(InvokeError::Nested(format!(
+                        "concurrent migration of {object} to shard {} in flight",
+                        m.to
+                    )));
                 }
-                Ok(other) => return Err(InvokeError::Nested(format!("bad reply {other:?}"))),
-                Err(e @ InvokeError::WrongNode(_)) => {
-                    last_err = e;
-                    std::thread::sleep(Duration::from_millis(20));
+                seen = true;
+            } else {
+                if st.shard_for_object(object.as_bytes()) == Some(target_shard) {
+                    return Ok(());
                 }
-                Err(other) => return Err(other),
+                if seen {
+                    return Err(InvokeError::Nested(format!(
+                        "migration of {object} to shard {target_shard} aborted"
+                    )));
+                }
             }
+            if Instant::now() > deadline {
+                return Err(InvokeError::Nested(format!(
+                    "migration of {object} to shard {target_shard} did not complete"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
-        if !installed {
-            return Err(last_err);
-        }
-        if let Some(coord) = &self.inner.coord {
-            coord
-                .propose(CoordCmd::PinObject { object: object.0.clone(), shard: target_shard })
-                .map_err(|e| InvokeError::Nested(format!("pin failed: {e}")))?;
-        }
-        self.refresh();
-        Ok(())
     }
 
     /// Execute a serializable multi-call transaction. All objects must be
@@ -746,18 +771,37 @@ impl StoreClient {
             .ok_or_else(|| InvokeError::Nested(format!("no shard {source_shard}")))?
             .clone();
         // Every object in the slot currently lives on the source primary.
-        let mut moved = 0;
+        let mut moved = Vec::new();
         for object in self.list_objects(source.primary)? {
             if ClusterState::slot_of(object.as_bytes()) != slot {
                 continue;
             }
             // Skip objects pinned elsewhere (they only *stored* here if the
-            // pin points here, in which case slot_of is irrelevant).
-            if state.pins.contains_key(object.as_bytes()) {
+            // pin points here, in which case slot_of is irrelevant), and
+            // objects a previous half-finished rebalance already landed on
+            // another shard (stored residue, no longer placed here).
+            if state.pins.contains_key(object.as_bytes())
+                || state.shard_for_object(object.as_bytes()) != Some(source_shard)
+            {
                 continue;
             }
-            self.migrate_object(&object, target_shard)?;
-            moved += 1;
+            match self.migrate_object(&object, target_shard) {
+                Ok(()) => moved.push(object),
+                Err(e) => {
+                    // Partial-failure tolerance: an object that reached the
+                    // target anyway (a concurrent or earlier interrupted
+                    // rebalance) or is mid-migration right now must not
+                    // fail the whole slot — the remaining objects still
+                    // need moving and a retried rebalance converges.
+                    self.refresh();
+                    let now = self.inner.placement.snapshot();
+                    if now.shard_for_object(object.as_bytes()) == Some(target_shard) {
+                        moved.push(object);
+                    } else if !now.migrations.contains_key(object.as_bytes()) {
+                        return Err(e);
+                    }
+                }
+            }
         }
         // Flip the slot table; future objects in this slot are created on
         // the target shard. Existing moved objects stay routed by pins
@@ -769,9 +813,17 @@ impl StoreClient {
                     slots: vec![slot],
                 })
                 .map_err(|e| InvokeError::Nested(format!("slot flip failed: {e}")))?;
+            // The flip makes the moved objects' pins redundant (pin ==
+            // hash home); retire them so the directory only holds true
+            // exceptions and the `coord_pins` gauge tracks real overrides.
+            for object in &moved {
+                coord
+                    .propose(lambda_coordinator::CoordCmd::UnpinObject { object: object.0.clone() })
+                    .map_err(|e| InvokeError::Nested(format!("unpin failed: {e}")))?;
+            }
         }
         self.refresh();
-        Ok(moved)
+        Ok(moved.len())
     }
 
     /// Fetch statistics from `node`.
@@ -914,6 +966,22 @@ fn async_invoke_step(mut st: AsyncInvokeState, done: InvokeCallback) {
                         st.client.refresh();
                         st.attempt += 1;
                         if was_primary {
+                            async_invoke_backoff(st, done);
+                        } else {
+                            async_invoke_step(st, done);
+                        }
+                    }
+                    Err(e @ InvokeError::ObjectMoved(_)) => {
+                        // Mid-handoff redirect: refresh and follow the
+                        // object without burning backoff budget. Only when
+                        // the refresh learned nothing does the next attempt
+                        // go through the timer (placement lag, not load).
+                        let before = st.client.inner.placement.version();
+                        st.last_err = e;
+                        st.prefer_primary = true;
+                        st.client.refresh();
+                        st.attempt += 1;
+                        if st.client.inner.placement.version() == before {
                             async_invoke_backoff(st, done);
                         } else {
                             async_invoke_step(st, done);

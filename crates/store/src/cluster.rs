@@ -75,6 +75,13 @@ pub struct ClusterConfig {
     /// `heartbeat_timeout * 2` so a deposed primary's grants expire before
     /// a successor's promotion fence lifts.
     pub lease_duration: Duration,
+    /// How often the coordinator's rebalancer scans heartbeat load reports
+    /// and plans hot-object migrations. `Duration::ZERO` (the default)
+    /// disables automatic rebalancing.
+    pub rebalance_interval: Duration,
+    /// Invocations-per-heartbeat an object must reach before the
+    /// rebalancer considers moving it off an overloaded node.
+    pub hot_object_threshold: u64,
 }
 
 static CLUSTER_COUNTER: AtomicU32 = AtomicU32::new(0);
@@ -97,6 +104,8 @@ impl Default for ClusterConfig {
             heartbeat_interval: Duration::from_millis(100),
             heartbeat_timeout: Duration::from_millis(600),
             lease_duration: Duration::from_millis(400),
+            rebalance_interval: Duration::ZERO,
+            hot_object_threshold: 64,
         }
     }
 }
@@ -156,6 +165,11 @@ impl ClusterCore {
             heartbeat_timeout: config.heartbeat_timeout,
             detector_interval: config.heartbeat_interval / 2,
             repair_interval: config.heartbeat_interval,
+            rebalance_interval: config.rebalance_interval,
+            rebalance: lambda_coordinator::RebalancePolicy {
+                hot_object_threshold: config.hot_object_threshold,
+                ..lambda_coordinator::RebalancePolicy::default()
+            },
             paxos: PaxosConfig::default(),
             workers: 4,
             rpc_timeout: Duration::from_millis(500),

@@ -2,7 +2,7 @@
 
 use parking_lot::RwLock;
 
-use lambda_coordinator::{ClusterState, Epoch, ShardId, ShardInfo};
+use lambda_coordinator::{ClusterState, Epoch, MigrationInfo, ShardId, ShardInfo};
 use lambda_net::NodeId;
 use lambda_objects::ObjectId;
 
@@ -48,6 +48,13 @@ impl Placement {
         let shard = st.shard_for_object(object.as_bytes())?;
         let info = st.shard(shard)?.clone();
         Some((shard, info))
+    }
+
+    /// The live migration entry for `object`, if any — read under the
+    /// lock without cloning the whole state (this sits on the mutation
+    /// admission path).
+    pub fn migration_of(&self, object: &[u8]) -> Option<MigrationInfo> {
+        self.state.read().migrations.get(object).cloned()
     }
 
     /// The current epoch of `shard`.

@@ -147,6 +147,18 @@ pub enum StoreRequest {
         /// install is replicated to that shard's backups.
         shard: ShardId,
     },
+    /// Coordinator-owned migration: install (or replace) a snapshot shipped
+    /// by the source shard's migration runner. Unlike [`InstallObject`]
+    /// (`StoreRequest::InstallObject`) this overwrites any earlier copy of
+    /// the object, so the warm pass, the final fenced pass, and any
+    /// post-crash resume are all idempotent.
+    MigrateInstall {
+        /// The snapshot (dedup records ride along inside the key prefix).
+        snapshot: ObjectSnapshot,
+        /// The destination shard (this node must be its primary); the
+        /// install is replicated to that shard's backups.
+        shard: ShardId,
+    },
     /// Raw storage API used by the disaggregated baseline's compute layer;
     /// each call is exactly one network round-trip (§4.1).
     RawGet {
@@ -441,6 +453,13 @@ mod tests {
                     entries: vec![(b"m".to_vec(), b"User".to_vec())],
                 },
                 shard: 2,
+            },
+            StoreRequest::MigrateInstall {
+                snapshot: ObjectSnapshot {
+                    id: ObjectId::from("user/2"),
+                    entries: vec![(b"m".to_vec(), b"User".to_vec())],
+                },
+                shard: 4,
             },
             StoreRequest::RawGet { key: b"k".to_vec() },
             StoreRequest::RawPut { key: b"k".to_vec(), value: b"v".to_vec() },

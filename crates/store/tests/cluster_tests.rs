@@ -12,6 +12,20 @@ use lambda_vm::{assemble, Module, VmValue};
 
 /// A small "Account" type exercising fields, collections, nested calls and
 /// aborts.
+/// Seed for this file's fault plans; `CHAOS_SEED` (hex with optional `0x`,
+/// or decimal) overrides it so a failing nightly run can be replayed.
+fn chaos_seed(default: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => {
+            let t = s.trim().trim_start_matches("0x").replace('_', "");
+            u64::from_str_radix(&t, 16)
+                .or_else(|_| s.trim().parse())
+                .unwrap_or_else(|_| panic!("unparseable CHAOS_SEED {s:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
 fn account_module() -> Module {
     assemble(
         r#"
@@ -978,7 +992,7 @@ fn chaos_acked_posts_land_exactly_once() {
             }
         }
     }
-    cluster.core.net.set_fault_plan(plan, 0x5eed_cafe);
+    cluster.core.net.set_fault_plan(plan, chaos_seed(0x5eed_cafe));
 
     let (_, info) = client.placement().locate(&wall).expect("located");
     let primary_idx =

@@ -14,6 +14,20 @@ use lambda_objects::{FieldDef, FieldKind, ObjectId};
 use lambda_store::{AggregatedCluster, ClusterConfig, StoreClient};
 use lambda_vm::{assemble, Module, VmValue};
 
+/// Seed for this file's fault plans; `CHAOS_SEED` (hex with optional `0x`,
+/// or decimal) overrides it so a failing nightly run can be replayed.
+fn chaos_seed(default: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => {
+            let t = s.trim().trim_start_matches("0x").replace('_', "");
+            u64::from_str_radix(&t, 16)
+                .or_else(|_| s.trim().parse())
+                .unwrap_or_else(|_| panic!("unparseable CHAOS_SEED {s:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
 fn account_module() -> Module {
     assemble(
         r#"
@@ -249,7 +263,7 @@ fn rot_and_heal(
 /// detection/quarantine/repair counters all move.
 #[test]
 fn disk_fault_campaign_loses_no_acked_write() {
-    let (cluster, faults) = chaos_cluster(0x0d15_c0de);
+    let (cluster, faults) = chaos_cluster(chaos_seed(0x0d15_c0de));
     let client = cluster.client();
     client.deploy_type("Account", account_fields(), &account_module()).unwrap();
     let id = ObjectId::from("acct/chaos");
@@ -303,7 +317,7 @@ fn disk_fault_campaign_loses_no_acked_write() {
 /// verification progress on every node and never cry wolf.
 #[test]
 fn scrubbers_verify_healthy_cluster_without_false_positives() {
-    let (cluster, faults) = chaos_cluster(0xc1ea_0000);
+    let (cluster, faults) = chaos_cluster(chaos_seed(0xc1ea_0000));
     let client = cluster.client();
     client.deploy_type("Account", account_fields(), &account_module()).unwrap();
     let id = ObjectId::from("acct/clean");

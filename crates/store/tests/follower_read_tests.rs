@@ -15,6 +15,20 @@ use lambda_objects::{FieldDef, FieldKind, InvokeError, ObjectId};
 use lambda_store::{AggregatedCluster, ClusterConfig, StoreClient, StoreRequest};
 use lambda_vm::{assemble, Module, VmValue};
 
+/// Seed for this file's fault plans; `CHAOS_SEED` (hex with optional `0x`,
+/// or decimal) overrides it so a failing nightly run can be replayed.
+fn chaos_seed(default: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => {
+            let t = s.trim().trim_start_matches("0x").replace('_', "");
+            u64::from_str_radix(&t, 16)
+                .or_else(|_| s.trim().parse())
+                .unwrap_or_else(|_| panic!("unparseable CHAOS_SEED {s:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
 fn counter_module() -> Module {
     assemble(
         r#"
@@ -260,7 +274,7 @@ fn follower_reads_chaos_failover_stays_linearizable() {
             }
         }
     }
-    cluster.core.net.set_fault_plan(plan, 0x001e_a5ed);
+    cluster.core.net.set_fault_plan(plan, chaos_seed(0x001e_a5ed));
 
     client.refresh();
     let (_, before) = client.placement().locate(&id).unwrap();

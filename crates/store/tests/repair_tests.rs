@@ -9,6 +9,20 @@ use lambda_objects::{FieldDef, FieldKind, InvokeError, ObjectId};
 use lambda_store::{AggregatedCluster, ClusterConfig, StoreClient, StoreRequest, StoreResponse};
 use lambda_vm::{assemble, Module, VmValue};
 
+/// Seed for this file's fault plans; `CHAOS_SEED` (hex with optional `0x`,
+/// or decimal) overrides it so a failing nightly run can be replayed.
+fn chaos_seed(default: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => {
+            let t = s.trim().trim_start_matches("0x").replace('_', "");
+            u64::from_str_radix(&t, 16)
+                .or_else(|_| s.trim().parse())
+                .unwrap_or_else(|_| panic!("unparseable CHAOS_SEED {s:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
 fn account_module() -> Module {
     assemble(
         r#"
@@ -200,7 +214,7 @@ fn heal_cycle_under_chaos() {
             }
         }
     }
-    cluster.core.net.set_fault_plan(plan, 0x4eed_5eed);
+    cluster.core.net.set_fault_plan(plan, chaos_seed(0x4eed_5eed));
 
     let mut acked = 0i64;
     for _ in 0..10 {
